@@ -1,0 +1,131 @@
+#ifndef SQUERY_BENCH_BENCH_COMMON_H_
+#define SQUERY_BENCH_BENCH_COMMON_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/histogram.h"
+#include "dataflow/execution.h"
+#include "dh/delivery.h"
+#include "kv/grid.h"
+#include "state/snapshot_registry.h"
+#include "state/squery_state_store.h"
+
+namespace sq::bench {
+
+/// Environment knob: SQ_BENCH_SCALE scales run durations / key counts down
+/// (e.g. SQ_BENCH_SCALE=0.2 for a quick smoke run). Default 1.0.
+inline double BenchScale() {
+  const char* env = std::getenv("SQ_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double scale = std::atof(env);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+inline void PrintHeader(const std::string& figure,
+                        const std::string& description) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), description.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Prints one latency series in the paper's percentile axis
+/// (0/50/90/99/99.9/99.99) in milliseconds.
+inline void PrintLatencyRow(const std::string& label,
+                            const Histogram& histogram) {
+  const Histogram::Summary s = histogram.Summarize();
+  std::printf(
+      "%-28s n=%-9lld p0=%8.3f p50=%8.3f p90=%8.3f p99=%8.3f "
+      "p99.9=%8.3f p99.99=%8.3f max=%8.3f (ms)\n",
+      label.c_str(), static_cast<long long>(s.count),
+      static_cast<double>(s.p0) / 1e6, static_cast<double>(s.p50) / 1e6,
+      static_cast<double>(s.p90) / 1e6, static_cast<double>(s.p99) / 1e6,
+      static_cast<double>(s.p999) / 1e6,
+      static_cast<double>(s.p9999) / 1e6, static_cast<double>(s.max) / 1e6);
+}
+
+/// A running Delivery Hero ingestion pipeline with S-QUERY (or plain) state,
+/// lingering after the bounded stream so checkpoints and queries hit a
+/// settled state of exactly `num_orders` keys per operator.
+struct DeliveryHarness {
+  std::unique_ptr<kv::Grid> grid;
+  std::unique_ptr<state::SnapshotRegistry> registry;
+  std::unique_ptr<dataflow::Job> job;
+  state::SQueryStateStats stats;
+
+  ~DeliveryHarness() {
+    if (job != nullptr) {
+      (void)job->Stop();
+    }
+  }
+};
+
+/// Starts the DH job with `num_orders` unique keys and waits until the
+/// state is populated. `squery` toggles the queryable state backend vs the
+/// plain in-memory one; `incremental` selects delta snapshots.
+/// `checkpoint_interval_ms` = 0 means checkpoints are triggered manually.
+/// With `churn_rate` > 0 the sources keep updating state at that rate
+/// (events/s per source) instead of lingering idle — keeps per-checkpoint
+/// deltas non-empty for the incremental-snapshot experiments.
+inline std::unique_ptr<DeliveryHarness> StartDeliveryHarness(
+    int64_t num_orders, bool squery, bool incremental,
+    int64_t checkpoint_interval_ms, double churn_rate = 0.0,
+    int retained_versions = 2) {
+  auto harness = std::make_unique<DeliveryHarness>();
+  harness->grid = std::make_unique<kv::Grid>(
+      kv::GridConfig{.node_count = 3, .partition_count = 24,
+                     .backup_count = 0});
+  harness->registry = std::make_unique<state::SnapshotRegistry>(
+      harness->grid.get(),
+      state::SnapshotRegistry::Options{.retained_versions = retained_versions,
+                                       .async_prune = true});
+
+  dh::DeliveryConfig config;
+  config.num_orders = num_orders;
+  config.num_riders = std::max<int64_t>(num_orders / 10, 16);
+  if (churn_rate > 0.0) {
+    config.total_events = -1;
+    config.target_rate = churn_rate;
+    config.cycle_states = true;  // keep a mix of order states forever
+  } else {
+    config.total_events = num_orders * 3;  // settle orders mid state machine
+    config.linger = true;
+  }
+  dataflow::JobGraph graph =
+      dh::BuildDeliveryGraph(config, /*operator_parallelism=*/2, nullptr);
+
+  dataflow::JobConfig job_config;
+  job_config.checkpoint_interval_ms = checkpoint_interval_ms;
+  job_config.partitioner = &harness->grid->partitioner();
+  job_config.listener = harness->registry.get();
+  if (squery) {
+    state::SQueryConfig state_config;
+    state_config.incremental = incremental;
+    state_config.parallelism = 2;
+    job_config.state_store_factory = state::MakeSQueryStateStoreFactory(
+        harness->grid.get(), state_config, &harness->stats);
+  }
+  auto job = dataflow::Job::Create(graph, std::move(job_config));
+  if (!job.ok()) {
+    std::fprintf(stderr, "job creation failed: %s\n",
+                 job.status().ToString().c_str());
+    std::exit(1);
+  }
+  harness->job = std::move(*job);
+  (void)harness->job->Start();
+  const int64_t warm_target =
+      config.total_events > 0 ? config.total_events : num_orders;
+  while (harness->job->ProcessedCount(dh::kOrderStateVertex) < warm_target) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return harness;
+}
+
+}  // namespace sq::bench
+
+#endif  // SQUERY_BENCH_BENCH_COMMON_H_

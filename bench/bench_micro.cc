@@ -1,0 +1,202 @@
+// Micro-benchmarks (google-benchmark): per-operation costs of the
+// substrates, used to calibrate the cluster simulator and as ablations for
+// the design decisions listed in DESIGN.md §6 (colocation, key-level
+// locking, incremental snapshots, SQL operator costs).
+
+#include <benchmark/benchmark.h>
+
+#include "common/histogram.h"
+#include "common/queue.h"
+#include "common/rng.h"
+#include "kv/grid.h"
+#include "kv/map_store.h"
+#include "kv/snapshot_table.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "state/squery_state_store.h"
+
+namespace sq {
+namespace {
+
+kv::Object SmallObject(int64_t v) {
+  kv::Object o;
+  o.Set("lat", kv::Value(52.1));
+  o.Set("lon", kv::Value(4.3));
+  o.Set("updatedAt", kv::Value(v));
+  return o;
+}
+
+void BM_LiveMapPut(benchmark::State& state) {
+  kv::Partitioner partitioner(271);
+  kv::LiveMap map("m", &partitioner);
+  int64_t i = 0;
+  for (auto _ : state) {
+    map.Put(kv::Value(i % 100000), SmallObject(i));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LiveMapPut);
+
+void BM_LiveMapGet(benchmark::State& state) {
+  kv::Partitioner partitioner(271);
+  kv::LiveMap map("m", &partitioner);
+  for (int64_t i = 0; i < 100000; ++i) {
+    map.Put(kv::Value(i), SmallObject(i));
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    auto v = map.Get(kv::Value(static_cast<int64_t>(rng.NextBounded(100000))));
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LiveMapGet);
+
+// Ablation: replicated write (backup_count=1) vs plain — the cost of the
+// synchronous backup copy.
+void BM_LiveMapPutReplicated(benchmark::State& state) {
+  kv::Partitioner partitioner(271);
+  kv::LiveMap map("m", &partitioner, /*backup_count=*/1);
+  int64_t i = 0;
+  for (auto _ : state) {
+    map.Put(kv::Value(i % 100000), SmallObject(i));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LiveMapPutReplicated);
+
+void BM_SnapshotTableWrite(benchmark::State& state) {
+  kv::Partitioner partitioner(271);
+  kv::SnapshotTable table("t", &partitioner);
+  int64_t i = 0;
+  for (auto _ : state) {
+    table.Write(i / 100000 + 1, kv::Value(i % 100000), SmallObject(i));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnapshotTableWrite);
+
+// The backward differential read of incremental snapshots, as a function of
+// version-chain depth.
+void BM_SnapshotTableGetAt(benchmark::State& state) {
+  const int64_t versions = state.range(0);
+  kv::Partitioner partitioner(64);
+  kv::SnapshotTable table("t", &partitioner);
+  for (int64_t v = 1; v <= versions; ++v) {
+    for (int64_t k = 0; k < 10000; ++k) {
+      table.Write(v, kv::Value(k), SmallObject(v));
+    }
+  }
+  Rng rng(2);
+  for (auto _ : state) {
+    auto v = table.GetAt(
+        kv::Value(static_cast<int64_t>(rng.NextBounded(10000))), versions);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnapshotTableGetAt)->Arg(1)->Arg(4)->Arg(16);
+
+// Full state-store update path: local map + live mirror + dirty tracking —
+// the per-event cost the live configuration adds in Fig. 8.
+void BM_SQueryStateStorePut(benchmark::State& state) {
+  const bool live = state.range(0) != 0;
+  kv::Grid grid(kv::GridConfig{.node_count = 3, .partition_count = 24,
+                               .backup_count = 0});
+  state::SQueryConfig config;
+  config.live_enabled = live;
+  state::SQueryStateStore store(&grid, "op", 0, config);
+  int64_t i = 0;
+  for (auto _ : state) {
+    store.Put(kv::Value(i % 100000), SmallObject(i));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(live ? "live mirroring on" : "live mirroring off");
+}
+BENCHMARK(BM_SQueryStateStorePut)->Arg(0)->Arg(1);
+
+void BM_SqlParseQuery1(benchmark::State& state) {
+  const std::string q =
+      "SELECT COUNT(*), deliveryZone FROM \"snapshot_orderinfo\" JOIN "
+      "\"snapshot_orderstate\" USING(partitionKey) WHERE "
+      "(orderState='VENDOR_ACCEPTED' AND lateTimestamp<LOCALTIMESTAMP) "
+      "GROUP BY deliveryZone;";
+  for (auto _ : state) {
+    auto stmt = sql::ParseSelect(q);
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_SqlParseQuery1);
+
+class VectorResolver : public sql::TableResolver {
+ public:
+  explicit VectorResolver(int64_t rows) {
+    for (int64_t i = 0; i < rows; ++i) {
+      kv::Object o;
+      o.Set("partitionKey", kv::Value(i));
+      o.Set("zone", kv::Value("zone-" + std::to_string(i % 12)));
+      o.Set("v", kv::Value(i));
+      rows_.push_back(std::move(o));
+    }
+  }
+  Result<std::vector<kv::Object>> ScanTable(
+      const std::string&, std::optional<int64_t>) override {
+    return rows_;
+  }
+
+ private:
+  std::vector<kv::Object> rows_;
+};
+
+void BM_SqlJoinGroupBy(benchmark::State& state) {
+  VectorResolver resolver(state.range(0));
+  for (auto _ : state) {
+    auto result = sql::ExecuteSql(
+        "SELECT COUNT(*), zone FROM a JOIN b USING(partitionKey) WHERE "
+        "v>=0 GROUP BY zone",
+        &resolver, sql::ExecOptions{});
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SqlJoinGroupBy)->Arg(1000)->Arg(10000);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  int64_t i = 0;
+  for (auto _ : state) {
+    h.Record(i++ % 1000000);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_BlockingQueuePushPop(benchmark::State& state) {
+  BlockingQueue<int64_t> q(1024);
+  int64_t i = 0;
+  for (auto _ : state) {
+    q.Push(i++);
+    benchmark::DoNotOptimize(q.Pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockingQueuePushPop);
+
+void BM_PartitionerHash(benchmark::State& state) {
+  kv::Partitioner partitioner(271);
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partitioner.PartitionOf(kv::Value(i++)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PartitionerHash);
+
+}  // namespace
+}  // namespace sq
+
+BENCHMARK_MAIN();

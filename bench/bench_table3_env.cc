@@ -1,0 +1,63 @@
+// Table III counterpart: prints the execution environment next to the
+// paper's c5.4xlarge node properties, so EXPERIMENTS.md can record both.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+std::string ReadFirstMatch(const std::string& path, const std::string& key) {
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(key, 0) == 0) {
+      const size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        size_t start = line.find_first_not_of(" \t", colon + 1);
+        return start == std::string::npos ? "" : line.substr(start);
+      }
+    }
+  }
+  return "(unknown)";
+}
+
+}  // namespace
+
+int main() {
+  sq::bench::PrintHeader(
+      "Table III", "node properties: paper's c5.4xlarge vs this environment");
+  std::printf("%-12s | %-34s | %s\n", "property", "paper (c5.4xlarge)",
+              "this run");
+  std::printf("%-12s-+-%-34s-+-%s\n", "------------",
+              "----------------------------------", "-----------------");
+  std::printf("%-12s | %-34s | %u hardware threads\n", "CPU",
+              "16 vCPUs (12 for data, 4 for GC)",
+              std::thread::hardware_concurrency());
+  std::printf("%-12s | %-34s | %s\n", "model", "(Intel Xeon Platinum 8124M)",
+              ReadFirstMatch("/proc/cpuinfo", "model name").c_str());
+  std::printf("%-12s | %-34s | %s\n", "Memory", "32 GB",
+              ReadFirstMatch("/proc/meminfo", "MemTotal").c_str());
+  std::printf("%-12s | %-34s | %s\n", "Network", "10 Gbit/s",
+              "in-process channels (simulated cluster)");
+  std::printf("%-12s | %-34s | %s\n", "OS", "Ubuntu 20.04.2 LTS",
+              ReadFirstMatch("/etc/os-release", "PRETTY_NAME").c_str());
+  std::printf("%-12s | %-34s | C++20 (%s %d)\n", "Runtime",
+              "AdoptOpenJDK 15.0.2+7",
+#if defined(__clang__)
+              "clang", __clang_major__
+#elif defined(__GNUC__)
+              "gcc", __GNUC__
+#else
+              "cxx", 0
+#endif
+  );
+  std::printf(
+      "\nNote: the paper runs 7-node AWS clusters; this reproduction runs a\n"
+      "single-process simulated cluster (see DESIGN.md §3). Figures 9 and 15\n"
+      "use the calibrated discrete-event cluster model.\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Time-travel debugging (paper Section III, "Debugging" and "Auditing"):
+// retain many snapshot versions, watch a keyed state mutate across
+// checkpoints through the `__versions` table, pin queries to a past
+// snapshot id, and demonstrate the isolation-level difference of Figs. 5/6
+// by crashing the job: the live view rolls back, the pinned snapshot view
+// does not.
+//
+// Build & run:  ./build/examples/time_travel_debug
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "dataflow/execution.h"
+#include "dataflow/job_graph.h"
+#include "dataflow/operators.h"
+#include "kv/grid.h"
+#include "query/query_service.h"
+#include "state/snapshot_registry.h"
+#include "state/squery_state_store.h"
+
+using sq::Status;
+using sq::dataflow::OperatorContext;
+using sq::dataflow::Record;
+using sq::kv::Object;
+using sq::kv::Value;
+
+int main() {
+  sq::kv::Grid grid(sq::kv::GridConfig{.node_count = 2,
+                                       .partition_count = 16,
+                                       .backup_count = 0});
+  // Keep 6 versions instead of the default 2: the audit window.
+  sq::state::SnapshotRegistry registry(
+      &grid, {.retained_versions = 6, .async_prune = true});
+  sq::query::QueryService query(&grid, &registry);
+
+  // A counting job (the example of Figs. 5 and 6).
+  sq::dataflow::JobGraph graph;
+  sq::dataflow::GeneratorSource::Options options;
+  options.total_records = -1;
+  options.target_rate = 5000.0;
+  const int32_t src = graph.AddSource(
+      "events", 1,
+      sq::dataflow::MakeGeneratorSourceFactory(
+          options, [](int64_t offset, OperatorContext* ctx) {
+            Object payload;
+            payload.Set("n", Value(offset));
+            return Record::Data(Value(offset % 3), std::move(payload),
+                                ctx->NowNanos());
+          }));
+  const int32_t counter = graph.AddOperator(
+      "count", 1,
+      sq::dataflow::MakeLambdaOperatorFactory(
+          [](const Record& r, OperatorContext* ctx) {
+            Object state = ctx->GetState(r.key).value_or(Object());
+            state.Set("counter", Value(state.Get("counter").AsInt64() + 1));
+            ctx->PutState(r.key, state);
+            return Status::OK();
+          }));
+  (void)graph.Connect(src, counter, sq::dataflow::EdgeKind::kKeyed);
+
+  sq::state::SQueryConfig state_config;
+  state_config.parallelism = 1;
+  state_config.retained_versions = 6;
+  sq::dataflow::JobConfig job_config;
+  job_config.checkpoint_interval_ms = 200;
+  job_config.partitioner = &grid.partitioner();
+  job_config.listener = &registry;
+  job_config.state_store_factory =
+      sq::state::MakeSQueryStateStoreFactory(&grid, state_config);
+  auto job = sq::dataflow::Job::Create(graph, std::move(job_config));
+  if (!job.ok()) {
+    std::fprintf(stderr, "%s\n", job.status().ToString().c_str());
+    return 1;
+  }
+  (void)(*job)->Start();
+  std::printf("counting job running with 200ms checkpoints, retaining 6 "
+              "snapshot versions...\n");
+  registry.WaitForCommit(5, 5000);
+
+  // --- How did the state evolve? One row per (key, version).
+  auto history = query.Execute(
+      "SELECT ssid, key, counter FROM snapshot_count__versions "
+      "ORDER BY key, ssid");
+  if (history.ok()) {
+    std::printf("\nstate history across retained versions:\n%s",
+                history->ToString(24).c_str());
+  }
+
+  // --- Pin a version (Fig. 6): this answer can never change.
+  const int64_t pinned_ssid = registry.latest_committed();
+  char sql[160];
+  std::snprintf(sql, sizeof(sql),
+                "SELECT SUM(counter) AS total FROM snapshot_count WHERE "
+                "ssid=%lld",
+                static_cast<long long>(pinned_ssid));
+  auto pinned_before = query.Execute(sql);
+  const int64_t pinned_total =
+      pinned_before.ok() ? pinned_before->At(0, "total").AsInt64() : -1;
+  std::printf("\npinned snapshot %lld total: %lld\n",
+              static_cast<long long>(pinned_ssid),
+              static_cast<long long>(pinned_total));
+
+  // --- Live view (Fig. 5): read-uncommitted; remember it, then crash.
+  sq::query::QueryOptions live_options;
+  live_options.isolation = sq::state::IsolationLevel::kReadUncommitted;
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  auto live_before = query.Execute(
+      "SELECT SUM(counter) AS total FROM count", live_options);
+  const int64_t dirty_total =
+      live_before.ok() ? live_before->At(0, "total").AsInt64() : -1;
+  std::printf("live total before crash (dirty read):        %lld\n",
+              static_cast<long long>(dirty_total));
+
+  std::printf("\n>>> injecting failure; rolling back to checkpoint %lld\n",
+              static_cast<long long>((*job)->latest_committed_checkpoint()));
+  (void)(*job)->InjectFailureAndRecover();
+
+  auto live_after = query.Execute(
+      "SELECT SUM(counter) AS total FROM count", live_options);
+  if (live_after.ok()) {
+    std::printf("live total right after recovery:             %lld "
+                "(values beyond the checkpoint were dirty reads)\n",
+                static_cast<long long>(live_after->At(0, "total").AsInt64()));
+  }
+  auto pinned_after = query.Execute(sql);
+  if (pinned_after.ok()) {
+    std::printf("pinned snapshot %lld total after the crash:    %lld "
+                "(unchanged — serializable)\n",
+                static_cast<long long>(pinned_ssid),
+                static_cast<long long>(pinned_after->At(0, "total").AsInt64()));
+  }
+
+  (void)(*job)->Stop();
+  return 0;
+}

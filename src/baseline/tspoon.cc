@@ -1,0 +1,125 @@
+#include "baseline/tspoon.h"
+
+#include <chrono>
+
+namespace sq::baseline {
+
+namespace {
+
+using dataflow::Operator;
+using dataflow::OperatorContext;
+using dataflow::Record;
+
+/// Serves pending read-only transactions from the wrapped operator's keyed
+/// state, serialized with record processing on the operator thread.
+class TSpoonQueryableOperator : public Operator {
+ public:
+  TSpoonQueryableOperator(std::unique_ptr<Operator> inner,
+                          TSpoonMailbox* mailbox)
+      : inner_(std::move(inner)), mailbox_(mailbox) {}
+
+  Status Open(OperatorContext* ctx) override { return inner_->Open(ctx); }
+
+  Status ProcessRecord(const Record& record, OperatorContext* ctx) override {
+    SQ_RETURN_IF_ERROR(inner_->ProcessRecord(record, ctx));
+    ServePending(ctx);
+    return Status::OK();
+  }
+
+  Status OnCheckpoint(int64_t checkpoint_id, OperatorContext* ctx) override {
+    SQ_RETURN_IF_ERROR(inner_->OnCheckpoint(checkpoint_id, ctx));
+    ServePending(ctx);
+    return Status::OK();
+  }
+
+  Status Close(OperatorContext* ctx) override { return inner_->Close(ctx); }
+
+ private:
+  void ServePending(OperatorContext* ctx) {
+    while (auto request = mailbox_->TryDequeue(ctx->instance_index())) {
+      std::vector<std::pair<kv::Value, kv::Object>> reply;
+      reply.reserve(request->keys.size());
+      for (const kv::Value& key : request->keys) {
+        if (auto value = ctx->GetState(key); value.has_value()) {
+          reply.emplace_back(key, std::move(*value));
+        }
+      }
+      request->reply.set_value(std::move(reply));
+    }
+  }
+
+  std::unique_ptr<Operator> inner_;
+  TSpoonMailbox* mailbox_;
+};
+
+}  // namespace
+
+TSpoonMailbox::TSpoonMailbox(int32_t parallelism) {
+  queues_.reserve(parallelism);
+  for (int32_t i = 0; i < parallelism; ++i) {
+    queues_.push_back(
+        std::make_unique<BlockingQueue<std::unique_ptr<TSpoonRequest>>>(
+            1024));
+  }
+}
+
+bool TSpoonMailbox::Enqueue(int32_t instance,
+                            std::unique_ptr<TSpoonRequest> request) {
+  return queues_[instance]->Push(std::move(request));
+}
+
+std::unique_ptr<TSpoonRequest> TSpoonMailbox::TryDequeue(int32_t instance) {
+  auto popped = queues_[instance]->TryPop();
+  if (!popped.has_value()) return nullptr;
+  return std::move(*popped);
+}
+
+void TSpoonMailbox::Close() {
+  for (auto& queue : queues_) queue->Close();
+}
+
+dataflow::OperatorFactory MakeTSpoonQueryableFactory(
+    dataflow::OperatorFactory inner, TSpoonMailbox* mailbox) {
+  return [inner, mailbox](int32_t instance) {
+    return std::make_unique<TSpoonQueryableOperator>(inner(instance),
+                                                     mailbox);
+  };
+}
+
+TSpoonClient::TSpoonClient(TSpoonMailbox* mailbox,
+                           const kv::Partitioner* partitioner)
+    : mailbox_(mailbox), partitioner_(partitioner) {}
+
+Result<std::vector<std::pair<kv::Value, kv::Object>>> TSpoonClient::Get(
+    const std::vector<kv::Value>& keys, int64_t timeout_ms) {
+  const int32_t parallelism = mailbox_->parallelism();
+  std::vector<std::vector<kv::Value>> by_instance(parallelism);
+  for (const kv::Value& key : keys) {
+    by_instance[partitioner_->PartitionOf(key) % parallelism].push_back(key);
+  }
+  std::vector<std::future<std::vector<std::pair<kv::Value, kv::Object>>>>
+      futures;
+  for (int32_t i = 0; i < parallelism; ++i) {
+    if (by_instance[i].empty()) continue;
+    auto request = std::make_unique<TSpoonRequest>();
+    request->keys = std::move(by_instance[i]);
+    futures.push_back(request->reply.get_future());
+    if (!mailbox_->Enqueue(i, std::move(request))) {
+      return Status::Unavailable("TSpoon mailbox closed");
+    }
+  }
+  std::vector<std::pair<kv::Value, kv::Object>> out;
+  out.reserve(keys.size());
+  for (auto& future : futures) {
+    if (future.wait_for(std::chrono::milliseconds(timeout_ms)) !=
+        std::future_status::ready) {
+      return Status::Timeout("TSpoon transaction was not served in time");
+    }
+    for (auto& entry : future.get()) {
+      out.push_back(std::move(entry));
+    }
+  }
+  return out;
+}
+
+}  // namespace sq::baseline

@@ -1,0 +1,82 @@
+#ifndef SQUERY_BASELINE_TSPOON_H_
+#define SQUERY_BASELINE_TSPOON_H_
+
+#include <future>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/queue.h"
+#include "common/result.h"
+#include "dataflow/operator.h"
+#include "kv/object.h"
+#include "kv/partitioner.h"
+#include "kv/value.h"
+
+namespace sq::baseline {
+
+/// Comparator for Fig. 14: TSpoon-style queryable state (Margara et al.,
+/// JPDC 2020). Unlike S-QUERY's direct access to the colocated KV store,
+/// TSpoon treats external queries as *read-only transactions routed through
+/// the dataflow*: a query enters the operator's input path and is served by
+/// the operator thread itself, sequentially with record processing (after
+/// the previous "transaction", i.e., record, commits). That serialization is
+/// what this baseline reproduces — and what costs it throughput at small
+/// key selections.
+
+/// One read-only transaction addressed to one operator instance.
+struct TSpoonRequest {
+  std::vector<kv::Value> keys;
+  std::promise<std::vector<std::pair<kv::Value, kv::Object>>> reply;
+};
+
+/// Per-instance mailboxes through which queries enter the stream path.
+class TSpoonMailbox {
+ public:
+  explicit TSpoonMailbox(int32_t parallelism);
+
+  int32_t parallelism() const {
+    return static_cast<int32_t>(queues_.size());
+  }
+
+  /// Enqueues a request for `instance`; fails when the mailbox was closed.
+  bool Enqueue(int32_t instance, std::unique_ptr<TSpoonRequest> request);
+
+  /// Non-blocking dequeue, called by the operator thread between records.
+  std::unique_ptr<TSpoonRequest> TryDequeue(int32_t instance);
+
+  /// Unblocks all pending clients (e.g., on job shutdown).
+  void Close();
+
+ private:
+  std::vector<std::unique_ptr<
+      BlockingQueue<std::unique_ptr<TSpoonRequest>>>>
+      queues_;
+};
+
+/// Wraps an operator so that after every processed record (and at every
+/// checkpoint boundary) pending read-only transactions for this instance are
+/// served from its keyed state.
+dataflow::OperatorFactory MakeTSpoonQueryableFactory(
+    dataflow::OperatorFactory inner, TSpoonMailbox* mailbox);
+
+/// Client side of the TSpoon direct-object interface: splits a key set by
+/// owning instance, routes one read-only transaction per instance through
+/// the mailboxes, and gathers the replies.
+class TSpoonClient {
+ public:
+  TSpoonClient(TSpoonMailbox* mailbox, const kv::Partitioner* partitioner);
+
+  /// Fetches the state objects of `keys`. Missing keys are omitted.
+  /// Times out if the stream stops serving transactions.
+  Result<std::vector<std::pair<kv::Value, kv::Object>>> Get(
+      const std::vector<kv::Value>& keys, int64_t timeout_ms = 5000);
+
+ private:
+  TSpoonMailbox* mailbox_;
+  const kv::Partitioner* partitioner_;
+};
+
+}  // namespace sq::baseline
+
+#endif  // SQUERY_BASELINE_TSPOON_H_

@@ -1,0 +1,30 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace sq {
+
+int64_t SystemClock::NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SystemClock::SleepForNanos(int64_t nanos) {
+  if (nanos <= 0) return;
+  std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+}
+
+SystemClock* SystemClock::Default() {
+  static SystemClock* clock = new SystemClock();
+  return clock;
+}
+
+int64_t UnixMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace sq

@@ -1,0 +1,60 @@
+#ifndef SQUERY_COMMON_CLOCK_H_
+#define SQUERY_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace sq {
+
+/// Time source abstraction. The dataflow engine and the checkpoint
+/// coordinator take a `Clock*` so tests and the cluster simulator can run on
+/// virtual time while production code uses the monotonic system clock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Nanoseconds on a monotonic timeline (epoch is unspecified but fixed for
+  /// the clock's lifetime).
+  virtual int64_t NowNanos() = 0;
+
+  /// Blocks (or advances virtual time) for `nanos` nanoseconds.
+  virtual void SleepForNanos(int64_t nanos) = 0;
+
+  int64_t NowMicros() { return NowNanos() / 1000; }
+  int64_t NowMillis() { return NowNanos() / 1000000; }
+};
+
+/// Monotonic wall clock backed by std::chrono::steady_clock.
+class SystemClock : public Clock {
+ public:
+  int64_t NowNanos() override;
+  void SleepForNanos(int64_t nanos) override;
+
+  /// Process-wide instance (never destroyed).
+  static SystemClock* Default();
+};
+
+/// Manually advanced clock for deterministic tests and simulation.
+/// `SleepForNanos` advances the clock instead of blocking.
+class VirtualClock : public Clock {
+ public:
+  explicit VirtualClock(int64_t start_nanos = 0) : now_nanos_(start_nanos) {}
+
+  int64_t NowNanos() override { return now_nanos_.load(); }
+  void SleepForNanos(int64_t nanos) override { AdvanceNanos(nanos); }
+
+  void AdvanceNanos(int64_t nanos) { now_nanos_.fetch_add(nanos); }
+  void SetNanos(int64_t nanos) { now_nanos_.store(nanos); }
+
+ private:
+  std::atomic<int64_t> now_nanos_;
+};
+
+/// Wall-clock timestamp in microseconds since the Unix epoch. Used for
+/// event-time fields such as the Delivery Hero `lateTimestamp` and the SQL
+/// LOCALTIMESTAMP function.
+int64_t UnixMicros();
+
+}  // namespace sq
+
+#endif  // SQUERY_COMMON_CLOCK_H_

@@ -1,0 +1,45 @@
+#ifndef SQUERY_COMMON_HASH_H_
+#define SQUERY_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sq {
+
+/// FNV-1a over raw bytes. Stable across platforms so the partitioning of
+/// keys (and therefore the state/compute colocation) is deterministic.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+/// Finalizer (from murmur3) to spread low-entropy integers like sequential
+/// ids across partitions.
+inline uint64_t HashInt64(int64_t v) {
+  uint64_t h = static_cast<uint64_t>(v);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+inline uint64_t CombineHashes(uint64_t a, uint64_t b) {
+  // boost::hash_combine's 64-bit variant.
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace sq
+
+#endif  // SQUERY_COMMON_HASH_H_

@@ -1,0 +1,159 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace sq {
+
+namespace {
+constexpr int kHalfSub = Histogram::kSubBuckets / 2;
+}  // namespace
+
+Histogram::Histogram() : buckets_(2048, 0) {}
+
+int Histogram::BucketIndex(int64_t value) {
+  uint64_t u = value < 0 ? 0 : static_cast<uint64_t>(value);
+  if (u < kSubBuckets) return static_cast<int>(u);
+  const int msb = 63 - std::countl_zero(u);
+  const int shift = msb - kSubBucketBits + 1;
+  const int sub = static_cast<int>(u >> shift);  // in [kHalfSub*2/2, kSubBuckets)
+  return kSubBuckets + (shift - 1) * kHalfSub + (sub - kHalfSub);
+}
+
+int64_t Histogram::BucketLowerBound(int index) {
+  if (index < kSubBuckets) return index;
+  const int rel = index - kSubBuckets;
+  const int shift = rel / kHalfSub + 1;
+  const int sub = rel % kHalfSub + kHalfSub;
+  return static_cast<int64_t>(sub) << shift;
+}
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  const int index = BucketIndex(value);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<size_t>(index) >= buckets_.size()) {
+    buckets_.resize(index + 1, 0);
+  }
+  ++buckets_[index];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += static_cast<double>(value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  std::vector<int64_t> other_buckets;
+  int64_t other_count;
+  int64_t other_min;
+  int64_t other_max;
+  double other_sum;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    other_buckets = other.buckets_;
+    other_count = other.count_;
+    other_min = other.min_;
+    other_max = other.max_;
+    other_sum = other.sum_;
+  }
+  if (other_count == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (other_buckets.size() > buckets_.size()) {
+    buckets_.resize(other_buckets.size(), 0);
+  }
+  for (size_t i = 0; i < other_buckets.size(); ++i) {
+    buckets_[i] += other_buckets[i];
+  }
+  if (count_ == 0) {
+    min_ = other_min;
+    max_ = other_max;
+  } else {
+    min_ = std::min(min_, other_min);
+    max_ = std::max(max_, other_max);
+  }
+  count_ += other_count;
+  sum_ += other_sum;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0.0;
+}
+
+int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+int64_t Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+int64_t Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::Mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+int64_t Histogram::ValueAtPercentile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0;
+  if (p <= 0.0) return min_;
+  if (p >= 100.0) return max_;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  int64_t running = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    running += buckets_[i];
+    if (static_cast<double>(running) >= target) {
+      return std::min(
+          max_, std::max(min_, BucketLowerBound(static_cast<int>(i))));
+    }
+  }
+  return max_;
+}
+
+Histogram::Summary Histogram::Summarize() const {
+  Summary s;
+  s.count = count();
+  s.p0 = ValueAtPercentile(0);
+  s.p50 = ValueAtPercentile(50);
+  s.p90 = ValueAtPercentile(90);
+  s.p99 = ValueAtPercentile(99);
+  s.p999 = ValueAtPercentile(99.9);
+  s.p9999 = ValueAtPercentile(99.99);
+  s.max = max();
+  s.mean = Mean();
+  return s;
+}
+
+std::string Histogram::ToString(double scale, const std::string& unit) const {
+  const Summary s = Summarize();
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%lld p0=%.3f p50=%.3f p90=%.3f p99=%.3f p99.9=%.3f "
+                "p99.99=%.3f max=%.3f %s",
+                static_cast<long long>(s.count),
+                static_cast<double>(s.p0) / scale,
+                static_cast<double>(s.p50) / scale,
+                static_cast<double>(s.p90) / scale,
+                static_cast<double>(s.p99) / scale,
+                static_cast<double>(s.p999) / scale,
+                static_cast<double>(s.p9999) / scale,
+                static_cast<double>(s.max) / scale, unit.c_str());
+  return buf;
+}
+
+}  // namespace sq

@@ -1,0 +1,78 @@
+#ifndef SQUERY_COMMON_HISTOGRAM_H_
+#define SQUERY_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sq {
+
+/// Log-linear latency histogram in the spirit of HdrHistogram: values are
+/// bucketed with ~1.5% relative precision over [1ns, ~92 years], which is
+/// plenty for the 0th–99.99th percentile plots the paper reports
+/// (Figs. 8–13).
+///
+/// `Record` is lock-free-ish (per-call mutex kept short); aggregation and
+/// percentile queries take the same mutex. For hot paths, record into a
+/// thread-local Histogram and `Merge` at the end.
+class Histogram {
+ public:
+  // 64 sub-buckets per power-of-two bucket (~3% relative precision).
+  static constexpr int kSubBucketBits = 6;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+
+  Histogram();
+
+  /// Records one value (negative values are clamped to 0).
+  void Record(int64_t value);
+
+  /// Adds all counts from `other` into this histogram.
+  void Merge(const Histogram& other);
+
+  /// Removes all recorded values.
+  void Reset();
+
+  int64_t count() const;
+  int64_t min() const;
+  int64_t max() const;
+  double Mean() const;
+
+  /// Value at percentile `p` in [0, 100]. p=0 returns the min bucket value;
+  /// p=100 the max. Returns 0 for an empty histogram.
+  int64_t ValueAtPercentile(double p) const;
+
+  /// Convenience for the paper's latency plots:
+  /// {0, 50, 90, 99, 99.9, 99.99} percentiles.
+  struct Summary {
+    int64_t count = 0;
+    int64_t p0 = 0;
+    int64_t p50 = 0;
+    int64_t p90 = 0;
+    int64_t p99 = 0;
+    int64_t p999 = 0;
+    int64_t p9999 = 0;
+    int64_t max = 0;
+    double mean = 0.0;
+  };
+  Summary Summarize() const;
+
+  /// Renders a summary line with values scaled by `scale` (e.g. 1e6 to print
+  /// nanoseconds as milliseconds) and suffixed with `unit`.
+  std::string ToString(double scale, const std::string& unit) const;
+
+ private:
+  static int BucketIndex(int64_t value);
+  static int64_t BucketLowerBound(int index);
+
+  mutable std::mutex mu_;
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace sq
+
+#endif  // SQUERY_COMMON_HISTOGRAM_H_

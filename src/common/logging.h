@@ -1,0 +1,73 @@
+#ifndef SQUERY_COMMON_LOGGING_H_
+#define SQUERY_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+
+namespace sq {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the global minimum level; messages below it are dropped. Thread-safe.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (with timestamp, level, location)
+/// on destruction. FATAL aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+struct LogMessageVoidify {
+  // Lower precedence than << but higher than ?:.
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace sq
+
+#define SQ_LOG_INTERNAL(level) \
+  ::sq::internal::LogMessage(level, __FILE__, __LINE__)
+
+#define SQ_LOG(severity)                                              \
+  (::sq::LogLevel::k##severity < ::sq::GetLogLevel())                 \
+      ? (void)0                                                       \
+      : ::sq::internal::LogMessageVoidify() &                         \
+            SQ_LOG_INTERNAL(::sq::LogLevel::k##severity)
+
+/// CHECK-style assertion active in all build types.
+#define SQ_CHECK(condition)                                          \
+  (condition) ? (void)0                                              \
+              : ::sq::internal::LogMessageVoidify() &                \
+                    SQ_LOG_INTERNAL(::sq::LogLevel::kFatal)          \
+                        << "Check failed: " #condition " "
+
+#define SQ_CHECK_OK(expr)                                            \
+  do {                                                               \
+    ::sq::Status sq_check_ok_tmp_ = (expr);                          \
+    SQ_CHECK(sq_check_ok_tmp_.ok()) << sq_check_ok_tmp_.ToString(); \
+  } while (0)
+
+#endif  // SQUERY_COMMON_LOGGING_H_

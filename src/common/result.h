@@ -1,0 +1,76 @@
+#ifndef SQUERY_COMMON_RESULT_H_
+#define SQUERY_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace sq {
+
+/// Either a value of type `T` or an error `Status`, in the style of
+/// `arrow::Result`. An OK-status Result without a value is invalid and
+/// asserted against in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace sq
+
+/// Assigns the value of a `Result<T>` expression to `lhs`, or propagates the
+/// error status. `lhs` may include a declaration: SQ_ASSIGN_OR_RETURN(auto x, F());
+#define SQ_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) {                               \
+    return tmp.status();                         \
+  }                                              \
+  lhs = std::move(tmp).value();
+
+#define SQ_ASSIGN_OR_RETURN_CONCAT_(a, b) a##b
+#define SQ_ASSIGN_OR_RETURN_CONCAT(a, b) SQ_ASSIGN_OR_RETURN_CONCAT_(a, b)
+#define SQ_ASSIGN_OR_RETURN(lhs, expr) \
+  SQ_ASSIGN_OR_RETURN_IMPL(            \
+      SQ_ASSIGN_OR_RETURN_CONCAT(sq_result_tmp_, __LINE__), lhs, expr)
+
+#endif  // SQUERY_COMMON_RESULT_H_

@@ -1,0 +1,64 @@
+#ifndef SQUERY_COMMON_RNG_H_
+#define SQUERY_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace sq {
+
+/// Deterministic, seedable PRNG (xoshiro256**). All workload generators use
+/// this so experiments and tests are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      const size_t j = NextBounded(i);
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Zipf-distributed integers over [0, n). Skew `s` = 0 is uniform; the
+/// classic "hot keys" workloads use s in [0.6, 1.1]. Uses the precomputed
+/// CDF (O(n) setup, O(log n) sampling) — fine for the key cardinalities in
+/// the paper (≤100K).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double s);
+
+  uint64_t Next(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace sq
+
+#endif  // SQUERY_COMMON_RNG_H_

@@ -1,0 +1,53 @@
+#ifndef SQUERY_DATAFLOW_CHECKPOINT_H_
+#define SQUERY_DATAFLOW_CHECKPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/histogram.h"
+
+namespace sq::dataflow {
+
+/// Observers of the checkpoint lifecycle. The engine drives the two-phase
+/// protocol; the S-QUERY state layer implements this interface to publish
+/// the committed snapshot id atomically to the whole grid (which is what
+/// makes snapshot queries phantom-free, Section VII-B) and to apply the
+/// retention/pruning policy.
+class CheckpointListener {
+ public:
+  virtual ~CheckpointListener() = default;
+
+  /// Phase 1 complete: every operator instance has written its snapshot
+  /// under `checkpoint_id` (still invisible to queries).
+  virtual void OnCheckpointPrepared(int64_t checkpoint_id) {
+    (void)checkpoint_id;
+  }
+
+  /// Phase 2 complete: `checkpoint_id` is the new latest committed snapshot.
+  virtual void OnCheckpointCommitted(int64_t checkpoint_id) {
+    (void)checkpoint_id;
+  }
+
+  /// The checkpoint was abandoned (failure mid-protocol); any state written
+  /// under this id must be discarded.
+  virtual void OnCheckpointAborted(int64_t checkpoint_id) {
+    (void)checkpoint_id;
+  }
+};
+
+/// Latency instrumentation of the snapshot 2PC, measured at the coordinator
+/// exactly as in the paper (Section IX-A): "before phase 1 begins, after
+/// phase 1 completes, and after phase 2 completes". Figures 10-12 plot
+/// `phase2_latency` (full 2PC commit time).
+struct CheckpointStats {
+  /// Initiation → all instances prepared (ns).
+  Histogram phase1_latency;
+  /// Initiation → commit published (ns).
+  Histogram phase2_latency;
+  std::atomic<int64_t> committed{0};
+  std::atomic<int64_t> aborted{0};
+};
+
+}  // namespace sq::dataflow
+
+#endif  // SQUERY_DATAFLOW_CHECKPOINT_H_

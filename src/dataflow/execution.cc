@@ -1,0 +1,503 @@
+#include "dataflow/execution.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace sq::dataflow {
+
+/// Per-worker operator context. Lives on the worker thread's stack for the
+/// duration of RunWorker.
+class Job::ContextImpl : public OperatorContext {
+ public:
+  ContextImpl(Job* job, Worker* worker) : job_(job), worker_(worker) {}
+
+  const std::string& vertex_name() const override {
+    return worker_->vertex_name;
+  }
+  int32_t instance_index() const override { return worker_->instance; }
+  int32_t parallelism() const override { return worker_->parallelism; }
+
+  void PutState(const kv::Value& key, kv::Object value) override {
+    if (worker_->state) worker_->state->Put(key, std::move(value));
+  }
+  std::optional<kv::Object> GetState(const kv::Value& key) const override {
+    if (!worker_->state) return std::nullopt;
+    return worker_->state->Get(key);
+  }
+  bool RemoveState(const kv::Value& key) override {
+    return worker_->state ? worker_->state->Remove(key) : false;
+  }
+  void ForEachState(
+      const std::function<void(const kv::Value&, const kv::Object&)>& fn)
+      const override {
+    if (worker_->state) worker_->state->ForEach(fn);
+  }
+
+  void Emit(Record record) override {
+    job_->EmitFrom(worker_, std::move(record));
+  }
+
+  int64_t NowNanos() const override { return job_->clock_->NowNanos(); }
+
+ private:
+  Job* job_;
+  Worker* worker_;
+};
+
+Job::Job(const JobGraph& graph, JobConfig config)
+    : config_(std::move(config)) {
+  if (config_.partitioner != nullptr) {
+    partitioner_ = config_.partitioner;
+  } else {
+    owned_partitioner_ = std::make_unique<kv::Partitioner>(271);
+    partitioner_ = owned_partitioner_.get();
+  }
+  clock_ = config_.clock != nullptr ? config_.clock : SystemClock::Default();
+  if (!config_.state_store_factory) {
+    config_.state_store_factory = InMemoryStateStoreFactory();
+  }
+
+  // Materialize workers.
+  std::vector<std::vector<int32_t>> vertex_workers(graph.vertices().size());
+  for (size_t v = 0; v < graph.vertices().size(); ++v) {
+    const VertexSpec& spec = graph.vertices()[v];
+    factories_.push_back(spec.factory);
+    for (int32_t i = 0; i < spec.parallelism; ++i) {
+      auto w = std::make_unique<Worker>();
+      w->id = static_cast<int32_t>(workers_.size());
+      w->vertex = static_cast<int32_t>(v);
+      w->instance = i;
+      w->is_source = spec.is_source;
+      w->stateful = spec.stateful;
+      w->vertex_name = spec.name;
+      w->parallelism = spec.parallelism;
+      w->op = spec.factory(i);
+      if (spec.stateful) {
+        w->state = config_.state_store_factory(spec.name, i);
+      }
+      vertex_workers[v].push_back(w->id);
+      workers_.push_back(std::move(w));
+    }
+  }
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    queues_.push_back(
+        std::make_unique<BlockingQueue<Record>>(config_.channel_capacity));
+  }
+  // Wire edges.
+  for (const EdgeSpec& e : graph.edges()) {
+    for (int32_t wid : vertex_workers[e.from]) {
+      OutEdge edge;
+      edge.kind = e.kind;
+      edge.dest_worker_ids = vertex_workers[e.to];
+      workers_[wid]->outputs.push_back(std::move(edge));
+    }
+    for (int32_t wid : vertex_workers[e.to]) {
+      for (int32_t up : vertex_workers[e.from]) {
+        workers_[wid]->upstream_ids.insert(up);
+      }
+    }
+  }
+}
+
+Result<std::unique_ptr<Job>> Job::Create(const JobGraph& graph,
+                                         JobConfig config) {
+  SQ_RETURN_IF_ERROR(graph.Validate());
+  return std::unique_ptr<Job>(new Job(graph, std::move(config)));
+}
+
+Job::~Job() {
+  if (started_.load()) {
+    Stop();
+  }
+}
+
+Status Job::Start() {
+  if (started_.exchange(true)) {
+    return Status::FailedPrecondition("job already started");
+  }
+  abort_.store(false);
+  for (auto& w : workers_) {
+    Worker* raw = w.get();
+    raw->thread = std::thread([this, raw] { RunWorker(raw); });
+  }
+  if (config_.checkpoint_interval_ms > 0) {
+    coordinator_stop_.store(false);
+    coordinator_thread_ = std::thread([this] { RunCoordinator(); });
+  }
+  return Status::OK();
+}
+
+Status Job::AwaitCompletion() {
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  coordinator_stop_.store(true);
+  if (coordinator_thread_.joinable()) coordinator_thread_.join();
+  return Status::OK();
+}
+
+Status Job::Stop() {
+  coordinator_stop_.store(true);
+  abort_.store(true);
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    ckpt_cv_.notify_all();
+  }
+  for (auto& q : queues_) q->Close();
+  if (coordinator_thread_.joinable()) coordinator_thread_.join();
+  JoinAllWorkers();
+  return Status::OK();
+}
+
+void Job::JoinAllWorkers() {
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+bool Job::IsRunning() const {
+  if (!started_.load()) return false;
+  for (const auto& w : workers_) {
+    if (!w->finished.load()) return true;
+  }
+  return false;
+}
+
+int64_t Job::ProcessedCount(const std::string& vertex) const {
+  int64_t total = 0;
+  for (const auto& w : workers_) {
+    if (w->vertex_name == vertex) total += w->processed.load();
+  }
+  return total;
+}
+
+void Job::EmitFrom(Worker* w, Record record) {
+  record.from_instance = w->id;
+  const size_t n_out = w->outputs.size();
+  for (size_t e = 0; e < n_out; ++e) {
+    const OutEdge& edge = w->outputs[e];
+    // The last edge consumes the record; earlier ones get copies.
+    Record r = (e + 1 == n_out) ? std::move(record) : record;
+    switch (edge.kind) {
+      case EdgeKind::kForward: {
+        const int32_t dest =
+            edge.dest_worker_ids[static_cast<size_t>(w->instance) %
+                                 edge.dest_worker_ids.size()];
+        queues_[dest]->Push(std::move(r));
+        break;
+      }
+      case EdgeKind::kKeyed: {
+        const int32_t p = partitioner_->PartitionOf(r.key);
+        const int32_t dest =
+            edge.dest_worker_ids[static_cast<size_t>(p) %
+                                 edge.dest_worker_ids.size()];
+        queues_[dest]->Push(std::move(r));
+        break;
+      }
+      case EdgeKind::kBroadcast: {
+        for (int32_t dest : edge.dest_worker_ids) {
+          queues_[dest]->Push(r);
+        }
+        break;
+      }
+    }
+  }
+}
+
+void Job::BroadcastControl(Worker* w, const Record& record) {
+  // Markers and EOFs go to every downstream instance of every out edge.
+  for (const OutEdge& edge : w->outputs) {
+    for (int32_t dest : edge.dest_worker_ids) {
+      Record r = record;
+      r.from_instance = w->id;
+      queues_[dest]->Push(std::move(r));
+    }
+  }
+}
+
+void Job::PerformSnapshot(Worker* w, ContextImpl* ctx,
+                          int64_t checkpoint_id) {
+  // Order matters: OnCheckpoint may flush transient operator members into
+  // keyed state (and emit pre-marker records), then the state store persists
+  // phase-1 data, then we ack so the coordinator can commit.
+  Status s = w->op->OnCheckpoint(checkpoint_id, ctx);
+  if (!s.ok()) {
+    SQ_LOG(Error) << w->vertex_name << "[" << w->instance
+                  << "] OnCheckpoint failed: " << s;
+  }
+  if (w->state) {
+    s = w->state->SnapshotTo(checkpoint_id);
+    if (!s.ok()) {
+      SQ_LOG(Error) << w->vertex_name << "[" << w->instance
+                    << "] snapshot failed: " << s;
+    }
+  }
+  AckPrepared(w->id, checkpoint_id);
+}
+
+void Job::RunWorker(Worker* w) {
+  ContextImpl ctx(this, w);
+  Status s = w->op->Open(&ctx);
+  if (!s.ok()) {
+    SQ_LOG(Error) << w->vertex_name << "[" << w->instance
+                  << "] Open failed: " << s;
+  } else if (w->is_source) {
+    RunSource(w, &ctx);
+  } else {
+    RunConsumer(w, &ctx);
+  }
+  s = w->op->Close(&ctx);
+  if (!s.ok()) {
+    SQ_LOG(Error) << w->vertex_name << "[" << w->instance
+                  << "] Close failed: " << s;
+  }
+  BroadcastControl(w, Record::Eof());
+  NotifyWorkerFinished(w->id);
+}
+
+void Job::RunSource(Worker* w, ContextImpl* ctx) {
+  bool done = false;
+  int64_t last_ckpt = 0;
+  while (!done && !abort_.load(std::memory_order_relaxed)) {
+    const int64_t requested =
+        w->requested_checkpoint.load(std::memory_order_acquire);
+    if (requested > last_ckpt) {
+      PerformSnapshot(w, ctx, requested);
+      BroadcastControl(w, Record::Marker(requested));
+      last_ckpt = requested;
+    }
+    auto* source = static_cast<SourceOperator*>(w->op.get());
+    Status s = source->Poll(ctx, &done);
+    if (!s.ok()) {
+      SQ_LOG(Error) << w->vertex_name << "[" << w->instance
+                    << "] Poll failed: " << s;
+      break;
+    }
+  }
+}
+
+void Job::RunConsumer(Worker* w, ContextImpl* ctx) {
+  BlockingQueue<Record>* input = queues_[w->id].get();
+  std::unordered_set<int32_t> active = w->upstream_ids;
+  int64_t aligning = 0;  // checkpoint id currently aligning, 0 = none
+  std::unordered_set<int32_t> aligned;
+  std::vector<Record> buffered;
+
+  auto process = [&](const Record& r) {
+    w->processed.fetch_add(1, std::memory_order_relaxed);
+    Status s = w->op->ProcessRecord(r, ctx);
+    if (!s.ok()) {
+      SQ_LOG(Error) << w->vertex_name << "[" << w->instance
+                    << "] ProcessRecord failed: " << s;
+    }
+  };
+
+  // Completes the alignment phase if every still-active upstream delivered
+  // its marker (Fig. 3b/3c): snapshot, forward the marker, then replay the
+  // records buffered from already-aligned channels.
+  auto maybe_complete_alignment = [&] {
+    if (aligning == 0) return;
+    for (int32_t u : active) {
+      if (!aligned.contains(u)) return;
+    }
+    PerformSnapshot(w, ctx, aligning);
+    BroadcastControl(w, Record::Marker(aligning));
+    aligning = 0;
+    aligned.clear();
+    std::vector<Record> replay;
+    replay.swap(buffered);
+    for (const Record& r : replay) process(r);
+  };
+
+  while (!active.empty() && !abort_.load(std::memory_order_relaxed)) {
+    std::optional<Record> r = input->Pop();
+    if (!r.has_value()) break;  // queue closed: shutdown/failure
+    switch (r->kind) {
+      case RecordKind::kEof:
+        active.erase(r->from_instance);
+        maybe_complete_alignment();
+        break;
+      case RecordKind::kMarker:
+        if (r->checkpoint_id <= latest_committed_.load()) break;  // stale
+        aligning = r->checkpoint_id;
+        aligned.insert(r->from_instance);
+        maybe_complete_alignment();
+        break;
+      case RecordKind::kData:
+        if (aligning != 0 && aligned.contains(r->from_instance)) {
+          // Channel already delivered the marker: blocked until alignment
+          // completes (Fig. 3a).
+          buffered.push_back(std::move(*r));
+        } else {
+          process(*r);
+        }
+        break;
+    }
+  }
+  // If we exit with unreplayed buffered records (abort path), they are
+  // dropped; recovery will replay from the last committed checkpoint.
+}
+
+void Job::AckPrepared(int32_t worker_id, int64_t checkpoint_id) {
+  std::lock_guard<std::mutex> lock(ckpt_mu_);
+  if (checkpoint_id != pending_checkpoint_) return;  // aborted or stale
+  prepared_workers_.insert(worker_id);
+  ckpt_cv_.notify_all();
+}
+
+void Job::NotifyWorkerFinished(int32_t worker_id) {
+  workers_[worker_id]->finished.store(true);
+  std::lock_guard<std::mutex> lock(ckpt_mu_);
+  ckpt_cv_.notify_all();
+}
+
+bool Job::AllPreparedLocked() const {
+  for (const auto& w : workers_) {
+    if (!w->finished.load() && !prepared_workers_.contains(w->id)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<int64_t> Job::TriggerCheckpoint() {
+  if (!started_.load() || abort_.load()) {
+    return Status::FailedPrecondition("job is not running");
+  }
+  std::unique_lock<std::mutex> lock(ckpt_mu_);
+  if (pending_checkpoint_ != 0) {
+    return Status::FailedPrecondition("a checkpoint is already in flight");
+  }
+  bool any_active = false;
+  for (const auto& w : workers_) {
+    if (!w->finished.load()) {
+      any_active = true;
+      break;
+    }
+  }
+  if (!any_active) {
+    return Status::FailedPrecondition("all workers have finished");
+  }
+
+  const int64_t id = ++next_checkpoint_id_;
+  pending_checkpoint_ = id;
+  prepared_workers_.clear();
+  const int64_t t0 = clock_->NowNanos();
+  // Phase 1: inject markers at the sources; they flow through the DAG and
+  // every instance writes its snapshot after alignment.
+  for (auto& w : workers_) {
+    if (w->is_source) {
+      w->requested_checkpoint.store(id, std::memory_order_release);
+    }
+  }
+  const bool prepared = ckpt_cv_.wait_for(
+      lock, std::chrono::milliseconds(config_.checkpoint_timeout_ms),
+      [this] { return abort_.load() || AllPreparedLocked(); });
+  if (!prepared || abort_.load()) {
+    pending_checkpoint_ = 0;
+    stats_.aborted.fetch_add(1);
+    lock.unlock();
+    if (config_.listener != nullptr) {
+      config_.listener->OnCheckpointAborted(id);
+    }
+    return Status::Aborted("checkpoint " + std::to_string(id) +
+                           (prepared ? " aborted" : " timed out"));
+  }
+  const int64_t t1 = clock_->NowNanos();
+  stats_.phase1_latency.Record(t1 - t0);
+  if (config_.listener != nullptr) {
+    config_.listener->OnCheckpointPrepared(id);
+  }
+  // Phase 2: atomically publish the new snapshot id (the commit point that
+  // makes the snapshot queryable everywhere at once).
+  latest_committed_.store(id);
+  if (config_.listener != nullptr) {
+    config_.listener->OnCheckpointCommitted(id);
+  }
+  const int64_t t2 = clock_->NowNanos();
+  stats_.phase2_latency.Record(t2 - t0);
+  stats_.committed.fetch_add(1);
+  pending_checkpoint_ = 0;
+  ckpt_cv_.notify_all();
+  return id;
+}
+
+void Job::RunCoordinator() {
+  const int64_t interval_ms = config_.checkpoint_interval_ms;
+  while (!coordinator_stop_.load()) {
+    // Interruptible sleep.
+    int64_t slept = 0;
+    while (slept < interval_ms && !coordinator_stop_.load()) {
+      const int64_t step = std::min<int64_t>(10, interval_ms - slept);
+      std::this_thread::sleep_for(std::chrono::milliseconds(step));
+      slept += step;
+    }
+    if (coordinator_stop_.load() || abort_.load()) break;
+    if (!IsRunning()) break;
+    Result<int64_t> result = TriggerCheckpoint();
+    if (!result.ok() && !result.status().IsAborted() &&
+        GetLogLevel() <= LogLevel::kDebug) {
+      SQ_LOG(Debug) << "periodic checkpoint skipped: " << result.status();
+    }
+  }
+}
+
+Status Job::InjectFailureAndRecover() {
+  if (!started_.load()) {
+    return Status::FailedPrecondition("job not started");
+  }
+  // --- Crash: kill every worker, losing all in-flight records and all
+  // uncommitted state progress.
+  abort_.store(true);
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    ckpt_cv_.notify_all();
+  }
+  for (auto& q : queues_) q->Close();
+  JoinAllWorkers();
+
+  const int64_t committed = latest_committed_.load();
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    // Discard snapshots of checkpoints that never committed.
+    for (int64_t id = committed + 1; id <= next_checkpoint_id_; ++id) {
+      if (config_.listener != nullptr) {
+        config_.listener->OnCheckpointAborted(id);
+      }
+      stats_.aborted.fetch_add(1);
+    }
+    next_checkpoint_id_ = committed;
+    pending_checkpoint_ = 0;
+    prepared_workers_.clear();
+  }
+
+  // --- Recovery: roll every stateful instance back to the latest committed
+  // checkpoint and rebuild the pipeline. Sources resume from their restored
+  // offsets, re-producing the exact post-checkpoint record sequence
+  // (deterministic generators), which yields exactly-once state updates.
+  for (auto& w : workers_) {
+    w->finished.store(false);
+    w->requested_checkpoint.store(0);
+    if (w->state) {
+      SQ_RETURN_IF_ERROR(
+          w->state->RestoreFrom(committed)
+              .WithContext("restoring " + w->vertex_name + "[" +
+                           std::to_string(w->instance) + "]"));
+    }
+    w->op = factories_[w->vertex](w->instance);
+  }
+  for (size_t i = 0; i < queues_.size(); ++i) {
+    queues_[i] =
+        std::make_unique<BlockingQueue<Record>>(config_.channel_capacity);
+  }
+  abort_.store(false);
+  for (auto& w : workers_) {
+    Worker* raw = w.get();
+    raw->thread = std::thread([this, raw] { RunWorker(raw); });
+  }
+  return Status::OK();
+}
+
+}  // namespace sq::dataflow

@@ -1,0 +1,170 @@
+#ifndef SQUERY_DATAFLOW_EXECUTION_H_
+#define SQUERY_DATAFLOW_EXECUTION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/queue.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "dataflow/checkpoint.h"
+#include "dataflow/job_graph.h"
+#include "dataflow/operator.h"
+#include "dataflow/record.h"
+#include "dataflow/state_store.h"
+#include "kv/partitioner.h"
+
+namespace sq::dataflow {
+
+/// Execution-time configuration of a job.
+struct JobConfig {
+  /// Interval between automatic checkpoints; 0 disables the periodic
+  /// coordinator (checkpoints can still be triggered manually).
+  int64_t checkpoint_interval_ms = 1000;
+  /// Per-worker input queue capacity (records). Determines backpressure.
+  size_t channel_capacity = 4096;
+  /// Supplies per-instance state stores; defaults to InMemoryStateStore
+  /// (the plain-Jet configuration).
+  StateStoreFactory state_store_factory;
+  /// Key partitioner shared with the KV grid (colocation). If null, a
+  /// private partitioner with 271 partitions is created.
+  const kv::Partitioner* partitioner = nullptr;
+  /// Time source; defaults to the monotonic system clock.
+  Clock* clock = nullptr;
+  /// Observer of checkpoint lifecycle events (may be null).
+  CheckpointListener* listener = nullptr;
+  /// Phase-1 wait budget before a checkpoint is aborted.
+  int64_t checkpoint_timeout_ms = 30000;
+};
+
+/// A running (or runnable) instantiation of a JobGraph: worker threads,
+/// channels, marker-aligned checkpointing with 2PC commit, and
+/// rollback recovery. See DESIGN.md §2 "Streaming dataflow engine".
+class Job {
+ public:
+  /// Validates the graph and materializes workers and channels.
+  static Result<std::unique_ptr<Job>> Create(const JobGraph& graph,
+                                             JobConfig config);
+
+  ~Job();
+
+  Job(const Job&) = delete;
+  Job& operator=(const Job&) = delete;
+
+  /// Launches all worker threads and, if configured, the periodic
+  /// checkpoint coordinator.
+  Status Start();
+
+  /// Waits until every worker finished (bounded sources ran dry). Stops the
+  /// periodic coordinator afterwards.
+  Status AwaitCompletion();
+
+  /// Requests cooperative shutdown and joins all threads.
+  Status Stop();
+
+  /// Runs one checkpoint synchronously; returns its id once phase 2
+  /// committed. Fails if the job is not running.
+  Result<int64_t> TriggerCheckpoint();
+
+  /// Id of the newest committed snapshot (0 before the first commit).
+  int64_t latest_committed_checkpoint() const {
+    return latest_committed_.load();
+  }
+
+  /// 2PC latency instrumentation (Figs. 10-12).
+  const CheckpointStats& checkpoint_stats() const { return stats_; }
+  /// Mutable access for benchmark harnesses that reset between phases.
+  CheckpointStats* mutable_checkpoint_stats() { return &stats_; }
+
+  /// Simulates a crash of the whole pipeline followed by recovery: all
+  /// workers are killed, uncommitted snapshots discarded, every stateful
+  /// instance rolled back to the latest committed checkpoint, and the
+  /// pipeline restarted (sources resume from their checkpointed offsets) —
+  /// the roll-back semantics behind the paper's isolation-level discussion
+  /// (Figures 5 and 6).
+  Status InjectFailureAndRecover();
+
+  /// True while at least one worker thread is live.
+  bool IsRunning() const;
+
+  /// Number of data records delivered to workers of `vertex` (monitoring).
+  int64_t ProcessedCount(const std::string& vertex) const;
+
+ private:
+  struct OutEdge {
+    EdgeKind kind = EdgeKind::kForward;
+    std::vector<int32_t> dest_worker_ids;  // resolved to queues at push time
+  };
+
+  struct Worker {
+    int32_t id = 0;  // global worker id
+    int32_t vertex = 0;
+    int32_t instance = 0;
+    bool is_source = false;
+    bool stateful = false;
+    std::string vertex_name;
+    int32_t parallelism = 1;
+
+    std::unique_ptr<Operator> op;          // recreated on recovery
+    std::unique_ptr<StateStore> state;     // survives recovery (rolled back)
+    std::vector<OutEdge> outputs;
+    std::unordered_set<int32_t> upstream_ids;  // workers feeding this one
+
+    std::thread thread;
+    std::atomic<bool> finished{false};
+    std::atomic<int64_t> requested_checkpoint{0};  // sources only
+    std::atomic<int64_t> processed{0};
+  };
+
+  class ContextImpl;
+
+  Job(const JobGraph& graph, JobConfig config);
+
+  Status StartLocked();
+  void RunWorker(Worker* w);
+  void RunSource(Worker* w, ContextImpl* ctx);
+  void RunConsumer(Worker* w, ContextImpl* ctx);
+  void PerformSnapshot(Worker* w, ContextImpl* ctx, int64_t checkpoint_id);
+  void EmitFrom(Worker* w, Record record);
+  void BroadcastControl(Worker* w, const Record& record);
+  void AckPrepared(int32_t worker_id, int64_t checkpoint_id);
+  void NotifyWorkerFinished(int32_t worker_id);
+  bool AllPreparedLocked() const;
+  void JoinAllWorkers();
+  void RunCoordinator();
+
+  JobConfig config_;
+  std::unique_ptr<kv::Partitioner> owned_partitioner_;
+  const kv::Partitioner* partitioner_ = nullptr;
+  Clock* clock_ = nullptr;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::unique_ptr<BlockingQueue<Record>>> queues_;  // by worker id
+  std::vector<OperatorFactory> factories_;  // by vertex index
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> abort_{false};
+  std::atomic<int64_t> latest_committed_{0};
+
+  // Checkpoint coordination.
+  std::mutex ckpt_mu_;
+  std::condition_variable ckpt_cv_;
+  int64_t next_checkpoint_id_ = 0;
+  int64_t pending_checkpoint_ = 0;  // 0 = none in flight
+  std::unordered_set<int32_t> prepared_workers_;
+  CheckpointStats stats_;
+  std::thread coordinator_thread_;
+  std::atomic<bool> coordinator_stop_{false};
+};
+
+}  // namespace sq::dataflow
+
+#endif  // SQUERY_DATAFLOW_EXECUTION_H_

@@ -1,0 +1,116 @@
+#include "dataflow/job_graph.h"
+
+#include <set>
+#include <unordered_set>
+
+namespace sq::dataflow {
+
+int32_t JobGraph::AddVertex(VertexSpec spec) {
+  vertices_.push_back(std::move(spec));
+  return static_cast<int32_t>(vertices_.size()) - 1;
+}
+
+int32_t JobGraph::AddSource(const std::string& name, int32_t parallelism,
+                            OperatorFactory factory, bool stateful) {
+  VertexSpec spec;
+  spec.name = name;
+  spec.parallelism = parallelism;
+  spec.is_source = true;
+  spec.stateful = stateful;
+  spec.factory = std::move(factory);
+  return AddVertex(std::move(spec));
+}
+
+int32_t JobGraph::AddOperator(const std::string& name, int32_t parallelism,
+                              OperatorFactory factory, bool stateful) {
+  VertexSpec spec;
+  spec.name = name;
+  spec.parallelism = parallelism;
+  spec.is_source = false;
+  spec.stateful = stateful;
+  spec.factory = std::move(factory);
+  return AddVertex(std::move(spec));
+}
+
+int32_t JobGraph::AddSink(const std::string& name, int32_t parallelism,
+                          OperatorFactory factory) {
+  VertexSpec spec;
+  spec.name = name;
+  spec.parallelism = parallelism;
+  spec.is_source = false;
+  spec.stateful = false;
+  spec.factory = std::move(factory);
+  return AddVertex(std::move(spec));
+}
+
+Status JobGraph::Connect(int32_t from, int32_t to, EdgeKind kind) {
+  const auto n = static_cast<int32_t>(vertices_.size());
+  if (from < 0 || from >= n || to < 0 || to >= n) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (from == to) {
+    return Status::InvalidArgument("self-loops are not allowed");
+  }
+  if (vertices_[to].is_source) {
+    return Status::InvalidArgument("source vertex cannot have inputs");
+  }
+  edges_.push_back(EdgeSpec{from, to, kind});
+  return Status::OK();
+}
+
+Status JobGraph::Validate() const {
+  if (vertices_.empty()) {
+    return Status::InvalidArgument("empty job graph");
+  }
+  std::unordered_set<std::string> names;
+  for (const auto& v : vertices_) {
+    if (v.name.empty()) {
+      return Status::InvalidArgument("vertex with empty name");
+    }
+    if (!names.insert(v.name).second) {
+      return Status::InvalidArgument("duplicate vertex name: " + v.name);
+    }
+    if (v.parallelism <= 0) {
+      return Status::InvalidArgument("vertex " + v.name +
+                                     " has non-positive parallelism");
+    }
+    if (!v.factory) {
+      return Status::InvalidArgument("vertex " + v.name + " has no factory");
+    }
+  }
+  std::vector<int> in_degree(vertices_.size(), 0);
+  for (const auto& e : edges_) {
+    ++in_degree[e.to];
+  }
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    if (vertices_[i].is_source && in_degree[i] != 0) {
+      return Status::InvalidArgument("source " + vertices_[i].name +
+                                     " has inputs");
+    }
+    if (!vertices_[i].is_source && in_degree[i] == 0) {
+      return Status::InvalidArgument("non-source " + vertices_[i].name +
+                                     " has no inputs");
+    }
+  }
+  // Cycle check via Kahn's algorithm.
+  std::vector<int> degree = in_degree;
+  std::set<int32_t> frontier;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    if (degree[i] == 0) frontier.insert(static_cast<int32_t>(i));
+  }
+  size_t visited = 0;
+  while (!frontier.empty()) {
+    const int32_t v = *frontier.begin();
+    frontier.erase(frontier.begin());
+    ++visited;
+    for (const auto& e : edges_) {
+      if (e.from == v && --degree[e.to] == 0) frontier.insert(e.to);
+    }
+  }
+  if (visited != vertices_.size()) {
+    return Status::InvalidArgument("job graph contains a cycle");
+  }
+  return Status::OK();
+}
+
+}  // namespace sq::dataflow

@@ -1,0 +1,75 @@
+#ifndef SQUERY_DATAFLOW_JOB_GRAPH_H_
+#define SQUERY_DATAFLOW_JOB_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dataflow/operator.h"
+
+namespace sq::dataflow {
+
+/// How records are routed along an edge.
+enum class EdgeKind {
+  /// Instance i feeds instance i % downstream_parallelism. Preserves
+  /// per-instance order, no repartitioning.
+  kForward,
+  /// Hash-partitioned by record key through the shared Partitioner, so the
+  /// downstream instance owning a key is the one colocated with that key's
+  /// KV partition.
+  kKeyed,
+  /// Every record goes to every downstream instance.
+  kBroadcast,
+};
+
+struct VertexSpec {
+  std::string name;
+  int32_t parallelism = 1;
+  bool is_source = false;
+  /// Whether this vertex keeps keyed state (gets a StateStore and
+  /// participates in snapshots). Sources with offsets are stateful too.
+  bool stateful = false;
+  OperatorFactory factory;
+};
+
+struct EdgeSpec {
+  int32_t from = -1;  // vertex index
+  int32_t to = -1;    // vertex index
+  EdgeKind kind = EdgeKind::kForward;
+};
+
+/// A DAG of operators — the paper's streaming-job model (Section IV).
+/// Pure description; `Job` (execution.h) instantiates and runs it.
+class JobGraph {
+ public:
+  /// Adds a vertex and returns its index.
+  int32_t AddVertex(VertexSpec spec);
+
+  /// Convenience builders.
+  int32_t AddSource(const std::string& name, int32_t parallelism,
+                    OperatorFactory factory, bool stateful = true);
+  int32_t AddOperator(const std::string& name, int32_t parallelism,
+                      OperatorFactory factory, bool stateful = true);
+  int32_t AddSink(const std::string& name, int32_t parallelism,
+                  OperatorFactory factory);
+
+  /// Connects two vertices.
+  Status Connect(int32_t from, int32_t to, EdgeKind kind = EdgeKind::kKeyed);
+
+  const std::vector<VertexSpec>& vertices() const { return vertices_; }
+  const std::vector<EdgeSpec>& edges() const { return edges_; }
+
+  /// Checks the graph is a DAG, names are unique, sources have no inputs,
+  /// and every non-source vertex has at least one input.
+  Status Validate() const;
+
+ private:
+  std::vector<VertexSpec> vertices_;
+  std::vector<EdgeSpec> edges_;
+};
+
+}  // namespace sq::dataflow
+
+#endif  // SQUERY_DATAFLOW_JOB_GRAPH_H_

@@ -1,0 +1,103 @@
+#ifndef SQUERY_DATAFLOW_OPERATOR_H_
+#define SQUERY_DATAFLOW_OPERATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "dataflow/record.h"
+#include "dataflow/state_store.h"
+
+namespace sq::dataflow {
+
+/// Engine-provided services available to an operator instance while it
+/// processes records: keyed state access (backed by a StateStore) and an
+/// output collector. Context objects are valid only for the duration of the
+/// callback they are passed to.
+class OperatorContext {
+ public:
+  virtual ~OperatorContext() = default;
+
+  /// Name of the vertex this operator instance belongs to.
+  virtual const std::string& vertex_name() const = 0;
+  /// Index of this instance within the vertex, in [0, parallelism).
+  virtual int32_t instance_index() const = 0;
+  virtual int32_t parallelism() const = 0;
+
+  /// Keyed state. In a keyed vertex, instances own disjoint key ranges, so
+  /// state updates are single-writer by construction — the property the
+  /// paper uses to argue serializability of snapshot queries (Section VII).
+  virtual void PutState(const kv::Value& key, kv::Object value) = 0;
+  virtual std::optional<kv::Object> GetState(const kv::Value& key) const = 0;
+  virtual bool RemoveState(const kv::Value& key) = 0;
+  /// Iterates this instance's keyed state (used to rebuild transient
+  /// operator members after recovery).
+  virtual void ForEachState(
+      const std::function<void(const kv::Value&, const kv::Object&)>& fn)
+      const = 0;
+
+  /// Emits a data record downstream.
+  virtual void Emit(Record record) = 0;
+
+  /// Engine-clock nanos (monotonic; virtual under test clocks).
+  virtual int64_t NowNanos() const = 0;
+};
+
+/// A vertex's processing logic. One instance exists per parallel worker;
+/// each instance is driven by a single thread, so implementations need no
+/// internal synchronization for their own members.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Called once before any records (state is already restored on recovery).
+  virtual Status Open(OperatorContext* ctx) {
+    (void)ctx;
+    return Status::OK();
+  }
+
+  /// Handles one data record.
+  virtual Status ProcessRecord(const Record& record, OperatorContext* ctx) = 0;
+
+  /// Called after marker alignment for `checkpoint_id`, right before the
+  /// engine snapshots this instance's state store. Operators that keep
+  /// transient members outside keyed state flush them here.
+  virtual Status OnCheckpoint(int64_t checkpoint_id, OperatorContext* ctx) {
+    (void)checkpoint_id;
+    (void)ctx;
+    return Status::OK();
+  }
+
+  /// Called once after the last record (or on shutdown).
+  virtual Status Close(OperatorContext* ctx) {
+    (void)ctx;
+    return Status::OK();
+  }
+};
+
+/// Source vertices have no inputs; the worker thread polls them instead.
+class SourceOperator : public Operator {
+ public:
+  /// Emits zero or more records via ctx->Emit(). Sets `*done` to true when
+  /// the source is exhausted (bounded sources). Unbounded sources leave it
+  /// false and may sleep to pace themselves.
+  virtual Status Poll(OperatorContext* ctx, bool* done) = 0;
+
+  /// Sources never receive records.
+  Status ProcessRecord(const Record& record, OperatorContext* ctx) final {
+    (void)record;
+    (void)ctx;
+    return Status::Internal("source received a record");
+  }
+};
+
+/// Creates the operator instance for worker `instance` of a vertex.
+using OperatorFactory =
+    std::function<std::unique_ptr<Operator>(int32_t instance)>;
+
+}  // namespace sq::dataflow
+
+#endif  // SQUERY_DATAFLOW_OPERATOR_H_

@@ -1,0 +1,145 @@
+#include "dataflow/operators.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace sq::dataflow {
+
+namespace {
+constexpr const char* kOffsetField = "offset";
+}  // namespace
+
+GeneratorSource::GeneratorSource(Options options, GeneratorFn generator)
+    : options_(options), generator_(std::move(generator)) {}
+
+Status GeneratorSource::Open(OperatorContext* ctx) {
+  rate_per_instance_ = options_.target_rate > 0
+                           ? options_.target_rate / ctx->parallelism()
+                           : 0.0;
+  if (options_.total_records >= 0) {
+    // Offsets are interleaved: instance i produces i, i+P, i+2P, ...
+    const int64_t p = ctx->parallelism();
+    const int64_t i = ctx->instance_index();
+    limit_per_instance_ = (options_.total_records - i + p - 1) / p;
+    limit_per_instance_ = std::max<int64_t>(limit_per_instance_, 0);
+  }
+  // Resume from the checkpointed offset, if any (recovery path).
+  const kv::Value state_key(static_cast<int64_t>(ctx->instance_index()));
+  if (auto state = ctx->GetState(state_key); state.has_value()) {
+    next_index_ = state->Get(kOffsetField).AsInt64();
+  }
+  start_nanos_ = ctx->NowNanos();
+  emitted_ = 0;
+  return Status::OK();
+}
+
+void GeneratorSource::PersistOffset(OperatorContext* ctx) {
+  kv::Object state;
+  state.Set(kOffsetField, kv::Value(next_index_));
+  ctx->PutState(kv::Value(static_cast<int64_t>(ctx->instance_index())),
+                std::move(state));
+}
+
+Status GeneratorSource::Poll(OperatorContext* ctx, bool* done) {
+  if (limit_per_instance_ >= 0 && next_index_ >= limit_per_instance_) {
+    if (options_.linger) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      return Status::OK();
+    }
+    *done = true;
+    return Status::OK();
+  }
+  int32_t budget = options_.batch_size;
+  if (rate_per_instance_ > 0.0) {
+    // Emit only as many records as the schedule allows; sleep briefly when
+    // ahead so the requested ingest rate is met without bursts.
+    const double elapsed_s =
+        static_cast<double>(ctx->NowNanos() - start_nanos_) / 1e9;
+    const int64_t allowed =
+        static_cast<int64_t>(elapsed_s * rate_per_instance_) - emitted_;
+    if (allowed <= 0) {
+      const int64_t wait_ns = static_cast<int64_t>(
+          (static_cast<double>(emitted_ + 1) / rate_per_instance_ -
+           elapsed_s) *
+          1e9);
+      std::this_thread::sleep_for(std::chrono::nanoseconds(
+          std::clamp<int64_t>(wait_ns, 1000, 1000000)));
+      return Status::OK();
+    }
+    budget = static_cast<int32_t>(
+        std::min<int64_t>(budget, allowed));
+  }
+  const int64_t p = ctx->parallelism();
+  const int64_t i = ctx->instance_index();
+  for (int32_t n = 0; n < budget; ++n) {
+    if (limit_per_instance_ >= 0 && next_index_ >= limit_per_instance_) {
+      if (!options_.linger) *done = true;
+      break;
+    }
+    const int64_t global_offset = i + next_index_ * p;
+    ctx->Emit(generator_(global_offset, ctx));
+    ++next_index_;
+    ++emitted_;
+  }
+  PersistOffset(ctx);
+  return Status::OK();
+}
+
+LambdaOperator::LambdaOperator(ProcessFn process, CheckpointFn on_checkpoint)
+    : process_(std::move(process)),
+      on_checkpoint_(std::move(on_checkpoint)) {}
+
+Status LambdaOperator::ProcessRecord(const Record& record,
+                                     OperatorContext* ctx) {
+  return process_(record, ctx);
+}
+
+Status LambdaOperator::OnCheckpoint(int64_t checkpoint_id,
+                                    OperatorContext* ctx) {
+  if (on_checkpoint_) return on_checkpoint_(checkpoint_id, ctx);
+  return Status::OK();
+}
+
+Status LatencySink::ProcessRecord(const Record& record,
+                                  OperatorContext* ctx) {
+  histogram_->Record(ctx->NowNanos() - record.source_nanos);
+  return Status::OK();
+}
+
+Status CollectingSink::ProcessRecord(const Record& record,
+                                     OperatorContext* ctx) {
+  (void)ctx;
+  std::lock_guard<std::mutex> lock(collector_->mu);
+  collector_->records.push_back(record);
+  return Status::OK();
+}
+
+OperatorFactory MakeGeneratorSourceFactory(GeneratorSource::Options options,
+                                           GeneratorSource::GeneratorFn fn) {
+  return [options, fn](int32_t /*instance*/) {
+    return std::make_unique<GeneratorSource>(options, fn);
+  };
+}
+
+OperatorFactory MakeLambdaOperatorFactory(
+    LambdaOperator::ProcessFn process,
+    LambdaOperator::CheckpointFn on_checkpoint) {
+  return [process, on_checkpoint](int32_t /*instance*/) {
+    return std::make_unique<LambdaOperator>(process, on_checkpoint);
+  };
+}
+
+OperatorFactory MakeLatencySinkFactory(Histogram* histogram) {
+  return [histogram](int32_t /*instance*/) {
+    return std::make_unique<LatencySink>(histogram);
+  };
+}
+
+OperatorFactory MakeCollectingSinkFactory(CollectingSink::Collector* c) {
+  return [c](int32_t /*instance*/) {
+    return std::make_unique<CollectingSink>(c);
+  };
+}
+
+}  // namespace sq::dataflow

@@ -1,0 +1,124 @@
+#ifndef SQUERY_DATAFLOW_OPERATORS_H_
+#define SQUERY_DATAFLOW_OPERATORS_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "dataflow/operator.h"
+
+namespace sq::dataflow {
+
+/// Pull-based source that reads from a deterministic, replayable generator
+/// function. The read offset is kept in keyed state (key = instance index),
+/// so after a failure the source rewinds to the offset recorded in the last
+/// committed checkpoint and re-produces the exact same record sequence —
+/// the replayability the rollback-recovery protocol requires.
+class GeneratorSource : public SourceOperator {
+ public:
+  struct Options {
+    /// Total records across all instances; -1 = unbounded.
+    int64_t total_records = -1;
+    /// Target ingest rate in records/second across all instances;
+    /// 0 = unthrottled.
+    double target_rate = 0.0;
+    /// Max records emitted per Poll call.
+    int32_t batch_size = 64;
+    /// When the bounded stream is exhausted, keep the source (and therefore
+    /// the job and its periodic checkpoints) alive instead of finishing —
+    /// used to checkpoint and query a settled final state.
+    bool linger = false;
+  };
+
+  /// Produces the record at global offset `offset`. Must be deterministic.
+  using GeneratorFn = std::function<Record(int64_t offset, OperatorContext*)>;
+
+  GeneratorSource(Options options, GeneratorFn generator);
+
+  Status Open(OperatorContext* ctx) override;
+  Status Poll(OperatorContext* ctx, bool* done) override;
+
+  /// Emitted-records count of this instance (post-restore progress).
+  int64_t emitted() const { return emitted_; }
+
+ private:
+  void PersistOffset(OperatorContext* ctx);
+
+  Options options_;
+  GeneratorFn generator_;
+  int64_t next_index_ = 0;  // per-instance sequence number
+  int64_t emitted_ = 0;
+  int64_t start_nanos_ = 0;
+  double rate_per_instance_ = 0.0;
+  int64_t limit_per_instance_ = -1;
+};
+
+/// Stateless (or state-via-context) operator defined by a lambda.
+class LambdaOperator : public Operator {
+ public:
+  using ProcessFn = std::function<Status(const Record&, OperatorContext*)>;
+  using CheckpointFn = std::function<Status(int64_t, OperatorContext*)>;
+
+  explicit LambdaOperator(ProcessFn process, CheckpointFn on_checkpoint = {});
+
+  Status ProcessRecord(const Record& record, OperatorContext* ctx) override;
+  Status OnCheckpoint(int64_t checkpoint_id, OperatorContext* ctx) override;
+
+ private:
+  ProcessFn process_;
+  CheckpointFn on_checkpoint_;
+};
+
+/// Sink recording source→sink latency (engine-clock nanos) into a shared
+/// histogram — the measurement behind Figs. 8 and 9.
+class LatencySink : public Operator {
+ public:
+  explicit LatencySink(Histogram* histogram) : histogram_(histogram) {}
+
+  Status ProcessRecord(const Record& record, OperatorContext* ctx) override;
+
+ private:
+  Histogram* histogram_;
+};
+
+/// Sink appending every record to a shared vector (tests and examples).
+/// All sink instances may share one collector.
+class CollectingSink : public Operator {
+ public:
+  struct Collector {
+    std::mutex mu;
+    std::vector<Record> records;
+
+    size_t Size() {
+      std::lock_guard<std::mutex> lock(mu);
+      return records.size();
+    }
+    std::vector<Record> Snapshot() {
+      std::lock_guard<std::mutex> lock(mu);
+      return records;
+    }
+  };
+
+  explicit CollectingSink(Collector* collector) : collector_(collector) {}
+
+  Status ProcessRecord(const Record& record, OperatorContext* ctx) override;
+
+ private:
+  Collector* collector_;
+};
+
+/// Convenience factory helpers.
+OperatorFactory MakeGeneratorSourceFactory(GeneratorSource::Options options,
+                                           GeneratorSource::GeneratorFn fn);
+OperatorFactory MakeLambdaOperatorFactory(
+    LambdaOperator::ProcessFn process,
+    LambdaOperator::CheckpointFn on_checkpoint = {});
+OperatorFactory MakeLatencySinkFactory(Histogram* histogram);
+OperatorFactory MakeCollectingSinkFactory(CollectingSink::Collector* c);
+
+}  // namespace sq::dataflow
+
+#endif  // SQUERY_DATAFLOW_OPERATORS_H_

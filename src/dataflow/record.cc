@@ -1,0 +1,18 @@
+#include "dataflow/record.h"
+
+namespace sq::dataflow {
+
+std::string Record::ToString() const {
+  switch (kind) {
+    case RecordKind::kData:
+      return "Data(key=" + key.ToString() + ", payload=" +
+             payload.ToString() + ")";
+    case RecordKind::kMarker:
+      return "Marker(" + std::to_string(checkpoint_id) + ")";
+    case RecordKind::kEof:
+      return "Eof";
+  }
+  return "?";
+}
+
+}  // namespace sq::dataflow

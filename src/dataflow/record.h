@@ -1,0 +1,60 @@
+#ifndef SQUERY_DATAFLOW_RECORD_H_
+#define SQUERY_DATAFLOW_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "kv/object.h"
+#include "kv/value.h"
+
+namespace sq::dataflow {
+
+/// What flows on channels: data records, checkpoint markers (the
+/// punctuations of Section IV), and end-of-stream signals.
+enum class RecordKind { kData, kMarker, kEof };
+
+/// One unit of stream traffic. `from_instance` is a global worker id stamped
+/// by the edge router so downstream workers can perform per-upstream marker
+/// alignment and EOF counting on their single merged input queue.
+struct Record {
+  RecordKind kind = RecordKind::kData;
+  kv::Value key;
+  kv::Object payload;
+  /// Engine-clock nanos stamped when the record was created at the source;
+  /// sinks use it for the source→sink latency distributions (Figs. 8, 9).
+  int64_t source_nanos = 0;
+  /// Checkpoint id for markers.
+  int64_t checkpoint_id = 0;
+  /// Global id of the worker that sent this record (set by the router).
+  int32_t from_instance = -1;
+
+  static Record Data(kv::Value key, kv::Object payload,
+                     int64_t source_nanos) {
+    Record r;
+    r.kind = RecordKind::kData;
+    r.key = std::move(key);
+    r.payload = std::move(payload);
+    r.source_nanos = source_nanos;
+    return r;
+  }
+
+  static Record Marker(int64_t checkpoint_id) {
+    Record r;
+    r.kind = RecordKind::kMarker;
+    r.checkpoint_id = checkpoint_id;
+    return r;
+  }
+
+  static Record Eof() {
+    Record r;
+    r.kind = RecordKind::kEof;
+    return r;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace sq::dataflow
+
+#endif  // SQUERY_DATAFLOW_RECORD_H_

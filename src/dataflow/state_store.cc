@@ -1,0 +1,64 @@
+#include "dataflow/state_store.h"
+
+namespace sq::dataflow {
+
+InMemoryStateStore::InMemoryStateStore(int retained_snapshots)
+    : retained_snapshots_(retained_snapshots) {}
+
+void InMemoryStateStore::Put(const kv::Value& key, kv::Object value) {
+  live_[key] = std::move(value);
+}
+
+std::optional<kv::Object> InMemoryStateStore::Get(const kv::Value& key) const {
+  auto it = live_.find(key);
+  if (it == live_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool InMemoryStateStore::Remove(const kv::Value& key) {
+  return live_.erase(key) > 0;
+}
+
+void InMemoryStateStore::ForEach(
+    const std::function<void(const kv::Value&, const kv::Object&)>& fn)
+    const {
+  for (const auto& [key, value] : live_) fn(key, value);
+}
+
+size_t InMemoryStateStore::Size() const { return live_.size(); }
+
+Status InMemoryStateStore::SnapshotTo(int64_t checkpoint_id) {
+  snapshots_[checkpoint_id] = live_;
+  while (static_cast<int>(snapshots_.size()) > retained_snapshots_) {
+    snapshots_.erase(snapshots_.begin());
+  }
+  return Status::OK();
+}
+
+Status InMemoryStateStore::RestoreFrom(int64_t checkpoint_id) {
+  auto it = snapshots_.find(checkpoint_id);
+  if (it == snapshots_.end()) {
+    if (checkpoint_id == 0) {
+      // Checkpoint 0 == "before any checkpoint": empty state.
+      live_.clear();
+      return Status::OK();
+    }
+    return Status::NotFound("no snapshot with id " +
+                            std::to_string(checkpoint_id));
+  }
+  live_ = it->second;
+  // Snapshots newer than the restore point belong to an aborted epoch.
+  snapshots_.erase(snapshots_.upper_bound(checkpoint_id), snapshots_.end());
+  return Status::OK();
+}
+
+void InMemoryStateStore::Clear() { live_.clear(); }
+
+StateStoreFactory InMemoryStateStoreFactory(int retained_snapshots) {
+  return [retained_snapshots](const std::string& /*vertex_name*/,
+                              int32_t /*instance*/) {
+    return std::make_unique<InMemoryStateStore>(retained_snapshots);
+  };
+}
+
+}  // namespace sq::dataflow

@@ -1,0 +1,97 @@
+#ifndef SQUERY_DATAFLOW_STATE_STORE_H_
+#define SQUERY_DATAFLOW_STATE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "kv/object.h"
+#include "kv/value.h"
+
+namespace sq::dataflow {
+
+/// Keyed-state storage for one operator instance. The engine snapshots and
+/// restores through this interface; the concrete implementation decides
+/// where live state and snapshot state actually live:
+///
+///  * `InMemoryStateStore` (below) keeps both privately — this is the plain
+///    "Jet" configuration the paper compares against: snapshots exist for
+///    fault tolerance but are opaque blobs to the outside world.
+///  * `sq::state::SQueryStateStore` mirrors live state into the KV grid and
+///    writes snapshots into queryable `snapshot_<operator>` tables — the
+///    S-QUERY configuration.
+class StateStore {
+ public:
+  virtual ~StateStore() = default;
+
+  /// Inserts or updates the state of `key`.
+  virtual void Put(const kv::Value& key, kv::Object value) = 0;
+
+  /// Reads the state of `key` (the operator's own authoritative copy).
+  virtual std::optional<kv::Object> Get(const kv::Value& key) const = 0;
+
+  /// Deletes the state of `key`; returns true if it existed.
+  virtual bool Remove(const kv::Value& key) = 0;
+
+  /// Iterates the authoritative live state of this instance.
+  virtual void ForEach(const std::function<void(const kv::Value&,
+                                                const kv::Object&)>& fn)
+      const = 0;
+
+  virtual size_t Size() const = 0;
+
+  /// Phase-1 work of a checkpoint: persist the current state under
+  /// `checkpoint_id`. Called by the worker after marker alignment.
+  virtual Status SnapshotTo(int64_t checkpoint_id) = 0;
+
+  /// Rolls the authoritative state back to `checkpoint_id` (recovery).
+  virtual Status RestoreFrom(int64_t checkpoint_id) = 0;
+
+  /// Drops all live state (used before restore-from-scratch).
+  virtual void Clear() = 0;
+};
+
+/// The engine asks this factory for one store per stateful operator
+/// instance. `vertex_name` identifies the operator in the DAG and doubles as
+/// the external table name for queryable implementations; `instance` is the
+/// operator-instance index.
+using StateStoreFactory = std::function<std::unique_ptr<StateStore>(
+    const std::string& vertex_name, int32_t instance)>;
+
+/// Default private state store: live state in a hash map, snapshots as
+/// internal copies keyed by checkpoint id (bounded retention). Models the
+/// baseline streaming engine whose state is a black box.
+class InMemoryStateStore : public StateStore {
+ public:
+  /// Keeps at most `retained_snapshots` snapshot versions (oldest dropped).
+  explicit InMemoryStateStore(int retained_snapshots = 2);
+
+  void Put(const kv::Value& key, kv::Object value) override;
+  std::optional<kv::Object> Get(const kv::Value& key) const override;
+  bool Remove(const kv::Value& key) override;
+  void ForEach(const std::function<void(const kv::Value&, const kv::Object&)>&
+                   fn) const override;
+  size_t Size() const override;
+  Status SnapshotTo(int64_t checkpoint_id) override;
+  Status RestoreFrom(int64_t checkpoint_id) override;
+  void Clear() override;
+
+ private:
+  using StateMap = std::unordered_map<kv::Value, kv::Object, kv::ValueHash>;
+
+  int retained_snapshots_;
+  StateMap live_;
+  std::map<int64_t, StateMap> snapshots_;  // ordered by checkpoint id
+};
+
+/// Factory producing `InMemoryStateStore`s.
+StateStoreFactory InMemoryStateStoreFactory(int retained_snapshots = 2);
+
+}  // namespace sq::dataflow
+
+#endif  // SQUERY_DATAFLOW_STATE_STORE_H_

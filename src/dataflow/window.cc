@@ -1,0 +1,132 @@
+#include "dataflow/window.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace sq::dataflow {
+
+namespace {
+
+using kv::Object;
+using kv::Value;
+
+int64_t FloorToWindow(int64_t t, int64_t size) {
+  // Event times are non-negative in all workloads; keep the simple floor.
+  return (t / size) * size;
+}
+
+}  // namespace
+
+TumblingWindowOperator::TumblingWindowOperator(Options options)
+    : options_(std::move(options)) {}
+
+Status TumblingWindowOperator::Open(OperatorContext* ctx) {
+  open_windows_.clear();
+  ctx->ForEachState([this](const Value& state_key, const Object& acc) {
+    if (!acc.Has("windowStart")) return;  // not a window accumulator
+    const int64_t start = acc.Get("windowStart").AsInt64();
+    open_windows_[{start, state_key.ToString()}] =
+        OpenWindow{acc.Get("key"), start};
+  });
+  return Status::OK();
+}
+
+kv::Value TumblingWindowOperator::WindowStateKey(const kv::Value& key,
+                                                 int64_t window_start) const {
+  return Value(key.ToString() + "@" + std::to_string(window_start));
+}
+
+void TumblingWindowOperator::EmitWindow(const kv::Value& state_key,
+                                        const kv::Object& acc,
+                                        OperatorContext* ctx) {
+  Object out = acc;
+  const int64_t count = acc.Get("count").AsInt64();
+  if (count > 0) {
+    out.Set("avg", Value(acc.Get("sum").AsDouble() /
+                         static_cast<double>(count)));
+  }
+  ctx->Emit(Record::Data(acc.Get("key"), std::move(out), ctx->NowNanos()));
+  ctx->RemoveState(state_key);
+}
+
+void TumblingWindowOperator::FireClosedWindows(OperatorContext* ctx) {
+  while (!open_windows_.empty()) {
+    const auto it = open_windows_.begin();
+    const int64_t start = it->first.first;
+    if (watermark_micros_ < start + options_.window_size_micros) break;
+    const Value state_key(it->first.second);
+    if (auto acc = ctx->GetState(state_key); acc.has_value()) {
+      EmitWindow(state_key, *acc, ctx);
+    }
+    open_windows_.erase(it);
+  }
+}
+
+Status TumblingWindowOperator::ProcessRecord(const Record& record,
+                                             OperatorContext* ctx) {
+  const int64_t event_time =
+      record.payload.Get(options_.time_field).AsInt64();
+  const int64_t start = FloorToWindow(event_time,
+                                      options_.window_size_micros);
+  if (watermark_micros_ != std::numeric_limits<int64_t>::min() &&
+      start + options_.window_size_micros <= watermark_micros_) {
+    // The window this record belongs to already fired.
+    ++late_records_;
+    return Status::OK();
+  }
+
+  const Value state_key = WindowStateKey(record.key, start);
+  Object acc = ctx->GetState(state_key).value_or(Object());
+  if (acc.empty()) {
+    acc.Set("key", record.key);
+    acc.Set("windowStart", Value(start));
+    acc.Set("windowEnd", Value(start + options_.window_size_micros));
+    acc.Set("count", Value(int64_t{0}));
+    acc.Set("sum", Value(0.0));
+    open_windows_[{start, state_key.ToString()}] =
+        OpenWindow{record.key, start};
+  }
+  const Value& v = record.payload.Get(options_.value_field);
+  acc.Set("count", Value(acc.Get("count").AsInt64() + 1));
+  acc.Set("sum", Value(acc.Get("sum").AsDouble() + v.AsDouble()));
+  if (!acc.Has("min") || v < acc.Get("min")) acc.Set("min", v);
+  if (!acc.Has("max") || acc.Get("max") < v) acc.Set("max", v);
+  ctx->PutState(state_key, std::move(acc));
+
+  // Advance the inferred watermark and fire windows it passed.
+  const int64_t new_watermark =
+      event_time - options_.allowed_lateness_micros;
+  if (new_watermark > watermark_micros_) {
+    watermark_micros_ = new_watermark;
+    FireClosedWindows(ctx);
+  }
+  return Status::OK();
+}
+
+Status TumblingWindowOperator::OnCheckpoint(int64_t checkpoint_id,
+                                            OperatorContext* ctx) {
+  (void)checkpoint_id;
+  FireClosedWindows(ctx);
+  return Status::OK();
+}
+
+Status TumblingWindowOperator::Close(OperatorContext* ctx) {
+  // End of stream: everything still open fires.
+  for (const auto& [key, window] : open_windows_) {
+    const Value state_key(key.second);
+    if (auto acc = ctx->GetState(state_key); acc.has_value()) {
+      EmitWindow(state_key, *acc, ctx);
+    }
+  }
+  open_windows_.clear();
+  return Status::OK();
+}
+
+OperatorFactory MakeTumblingWindowFactory(
+    TumblingWindowOperator::Options options) {
+  return [options](int32_t /*instance*/) {
+    return std::make_unique<TumblingWindowOperator>(options);
+  };
+}
+
+}  // namespace sq::dataflow

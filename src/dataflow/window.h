@@ -1,0 +1,84 @@
+#ifndef SQUERY_DATAFLOW_WINDOW_H_
+#define SQUERY_DATAFLOW_WINDOW_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "dataflow/operator.h"
+
+namespace sq::dataflow {
+
+/// Event-time tumbling-window aggregation.
+///
+/// Records carry their event time in a payload field (`time_field`,
+/// microseconds). The operator infers a watermark per instance as
+/// `max(event time seen) - allowed_lateness`; a window [start, start+size)
+/// fires when the watermark passes its end, emitting one record per
+/// (key, window) and deleting the window's state. Records older than the
+/// watermark are dropped as late (counted).
+///
+/// In-flight window accumulators are ordinary keyed state — with the
+/// S-QUERY backend they are externally queryable while the window is still
+/// open (state key = "<key>@<window start>", fields: windowStart,
+/// windowEnd, count, sum, min, max) — one of the debugging use cases of
+/// Section III.
+class TumblingWindowOperator : public Operator {
+ public:
+  struct Options {
+    /// Window length, in the same (microsecond) unit as the time field.
+    int64_t window_size_micros = 1000000;
+    /// Watermark lag behind the max observed event time.
+    int64_t allowed_lateness_micros = 0;
+    /// Payload field holding the event time (microseconds).
+    std::string time_field = "eventTime";
+    /// Payload field aggregated into sum/min/max (count always maintained).
+    std::string value_field = "value";
+  };
+
+  explicit TumblingWindowOperator(Options options);
+
+  /// Rebuilds the open-window index (and watermark) from keyed state —
+  /// required after recovery, when the operator object is recreated but the
+  /// state store was rolled back to the checkpoint.
+  Status Open(OperatorContext* ctx) override;
+
+  Status ProcessRecord(const Record& record, OperatorContext* ctx) override;
+
+  /// Flushing every closable window before the snapshot keeps checkpointed
+  /// state minimal and makes emissions deterministic w.r.t. markers.
+  Status OnCheckpoint(int64_t checkpoint_id, OperatorContext* ctx) override;
+
+  /// Emits all remaining open windows (end of a bounded stream).
+  Status Close(OperatorContext* ctx) override;
+
+  int64_t late_records() const { return late_records_; }
+
+ private:
+  kv::Value WindowStateKey(const kv::Value& key, int64_t window_start) const;
+  void EmitWindow(const kv::Value& state_key, const kv::Object& acc,
+                  OperatorContext* ctx);
+  void FireClosedWindows(OperatorContext* ctx);
+
+  Options options_;
+  int64_t watermark_micros_ = INT64_MIN;
+  int64_t late_records_ = 0;
+  // Open windows of this instance, ordered by window start so closable
+  // windows pop from the front. Rebuilt from keyed state in Open().
+  struct OpenWindow {
+    kv::Value key;
+    int64_t start = 0;
+  };
+  std::map<std::pair<int64_t, std::string>, OpenWindow> open_windows_;
+};
+
+/// Factory helper.
+OperatorFactory MakeTumblingWindowFactory(TumblingWindowOperator::Options
+                                              options);
+
+}  // namespace sq::dataflow
+
+#endif  // SQUERY_DATAFLOW_WINDOW_H_

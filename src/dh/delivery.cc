@@ -1,0 +1,261 @@
+#include "dh/delivery.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/hash.h"
+#include "dataflow/operators.h"
+
+namespace sq::dh {
+
+namespace {
+
+using dataflow::OperatorContext;
+using dataflow::Record;
+using kv::Object;
+using kv::Value;
+
+constexpr const char* kCategories[] = {"restaurant", "groceries", "pharmacy",
+                                       "electronics", "flowers",
+                                       "convenience"};
+constexpr int64_t kHourMicros = 3600LL * 1000 * 1000;
+
+uint64_t OrderHash(const DeliveryConfig& config, int64_t order) {
+  return CombineHashes(config.seed, HashInt64(order));
+}
+
+std::string ZoneOf(const DeliveryConfig& config, int64_t order) {
+  return "zone-" + std::to_string(OrderHash(config, order) %
+                                  static_cast<uint64_t>(config.num_zones));
+}
+
+std::string CategoryOf(const DeliveryConfig& config, int64_t order) {
+  const int n = std::min<int>(config.num_categories,
+                              static_cast<int>(std::size(kCategories)));
+  return kCategories[(OrderHash(config, order) >> 8) %
+                     static_cast<uint64_t>(n)];
+}
+
+bool IsLate(const DeliveryConfig& config, int64_t order, int64_t state_idx) {
+  const uint64_t h =
+      CombineHashes(OrderHash(config, order), HashInt64(state_idx));
+  return static_cast<double>(h % 1000000) / 1000000.0 <
+         config.late_fraction;
+}
+
+/// Keyed "latest event wins" operator; ordering across parallel sources is
+/// resolved by the monotone `seq` field, so the final state is
+/// deterministic regardless of interleaving.
+dataflow::OperatorFactory LatestBySeq() {
+  return dataflow::MakeLambdaOperatorFactory(
+      [](const Record& r, OperatorContext* ctx) {
+        auto current = ctx->GetState(r.key);
+        if (current.has_value() &&
+            current->Get("seq").AsInt64() >= r.payload.Get("seq").AsInt64()) {
+          return Status::OK();
+        }
+        ctx->PutState(r.key, r.payload);
+        ctx->Emit(Record::Data(r.key, r.payload, r.source_nanos));
+        return Status::OK();
+      });
+}
+
+}  // namespace
+
+const char* OrderStateToString(OrderState state) {
+  switch (state) {
+    case OrderState::kOrderReceived:
+      return "ORDER_RECEIVED";
+    case OrderState::kVendorAccepted:
+      return "VENDOR_ACCEPTED";
+    case OrderState::kNotified:
+      return "NOTIFIED";
+    case OrderState::kAccepted:
+      return "ACCEPTED";
+    case OrderState::kPickedUp:
+      return "PICKED_UP";
+    case OrderState::kLeftPickup:
+      return "LEFT_PICKUP";
+    case OrderState::kNearCustomer:
+      return "NEAR_CUSTOMER";
+    case OrderState::kDelivered:
+      return "DELIVERED";
+  }
+  return "?";
+}
+
+dataflow::Record OrderInfoAt(const DeliveryConfig& config, int64_t offset,
+                             int64_t now_nanos, int64_t now_micros) {
+  const int64_t order = offset % config.num_orders;
+  const uint64_t h = OrderHash(config, order);
+  Object payload;
+  payload.Set("deliveryZone", Value(ZoneOf(config, order)));
+  payload.Set("vendorCategory", Value(CategoryOf(config, order)));
+  payload.Set("customerLat",
+              Value(52.0 + static_cast<double>(h % 1000) / 1000.0));
+  payload.Set("customerLon",
+              Value(4.0 + static_cast<double>((h >> 10) % 1000) / 1000.0));
+  payload.Set("vendorLat",
+              Value(52.0 + static_cast<double>((h >> 20) % 1000) / 1000.0));
+  payload.Set("vendorLon",
+              Value(4.0 + static_cast<double>((h >> 30) % 1000) / 1000.0));
+  payload.Set("createdAt", Value(now_micros));
+  // Info is a one-time event: identical payload on every repetition, so the
+  // "latest wins" operator is idempotent per order.
+  payload.Set("seq", Value(int64_t{0}));
+  return Record::Data(Value(order), std::move(payload), now_nanos);
+}
+
+dataflow::Record OrderStatusAt(const DeliveryConfig& config, int64_t offset,
+                               int64_t now_nanos, int64_t now_micros) {
+  const int64_t order = offset % config.num_orders;
+  // One state-machine transition per generator lap; transitions beyond
+  // DELIVERED repeat the terminal state so replays stay deterministic
+  // (or cycle forever in churn mode).
+  const int64_t lap = offset / config.num_orders;
+  // Churn mode staggers orders by key so the population always covers the
+  // whole state machine (otherwise all orders advance in lockstep).
+  const int64_t state_idx =
+      config.cycle_states ? (lap + order) % kOrderStateCount
+                          : std::min<int64_t>(lap, kOrderStateCount - 1);
+  Object payload;
+  payload.Set("orderState",
+              Value(OrderStateToString(static_cast<OrderState>(state_idx))));
+  // Deadline for the next transition: overdue for `late_fraction` of the
+  // orders — what the paper's Query 1 counts.
+  const int64_t deadline = IsLate(config, order, state_idx)
+                               ? now_micros - kHourMicros
+                               : now_micros + kHourMicros;
+  payload.Set("lateTimestamp", Value(deadline));
+  payload.Set("seq", Value(config.cycle_states ? lap : state_idx));
+  return Record::Data(Value(order), std::move(payload), now_nanos);
+}
+
+dataflow::Record RiderLocationAt(const DeliveryConfig& config, int64_t offset,
+                                 int64_t now_nanos, int64_t now_micros) {
+  const int64_t rider = offset % config.num_riders;
+  const uint64_t h = CombineHashes(config.seed ^ 0xa1de0001ULL,
+                                   HashInt64(offset));
+  Object payload;
+  payload.Set("lat", Value(52.0 + static_cast<double>(h % 2000) / 1000.0));
+  payload.Set("lon", Value(4.0 + static_cast<double>((h >> 16) % 2000) /
+                                     1000.0));
+  payload.Set("updatedAt", Value(now_micros));
+  payload.Set("seq", Value(offset / config.num_riders));
+  return Record::Data(Value(rider), std::move(payload), now_nanos);
+}
+
+dataflow::JobGraph BuildDeliveryGraph(const DeliveryConfig& config,
+                                      int32_t operator_parallelism,
+                                      Histogram* latency) {
+  dataflow::JobGraph graph;
+  dataflow::GeneratorSource::Options source_options;
+  source_options.total_records = config.total_events;
+  source_options.target_rate = config.target_rate;
+  source_options.linger = config.linger;
+
+  const int32_t info_src = graph.AddSource(
+      "orderinfo_src", 1,
+      dataflow::MakeGeneratorSourceFactory(
+          source_options, [config](int64_t offset, OperatorContext* ctx) {
+            return OrderInfoAt(config, offset, ctx->NowNanos(), UnixMicros());
+          }));
+  const int32_t status_src = graph.AddSource(
+      "orderstate_src", 1,
+      dataflow::MakeGeneratorSourceFactory(
+          source_options, [config](int64_t offset, OperatorContext* ctx) {
+            return OrderStatusAt(config, offset, ctx->NowNanos(),
+                                 UnixMicros());
+          }));
+  const int32_t rider_src = graph.AddSource(
+      "riderlocation_src", 1,
+      dataflow::MakeGeneratorSourceFactory(
+          source_options, [config](int64_t offset, OperatorContext* ctx) {
+            return RiderLocationAt(config, offset, ctx->NowNanos(),
+                                   UnixMicros());
+          }));
+
+  const int32_t info_op = graph.AddOperator(
+      kOrderInfoVertex, operator_parallelism, LatestBySeq());
+  const int32_t state_op = graph.AddOperator(
+      kOrderStateVertex, operator_parallelism, LatestBySeq());
+  const int32_t rider_op = graph.AddOperator(
+      kRiderLocationVertex, operator_parallelism, LatestBySeq());
+
+  dataflow::OperatorFactory sink_factory =
+      latency != nullptr
+          ? dataflow::MakeLatencySinkFactory(latency)
+          : dataflow::MakeLambdaOperatorFactory(
+                [](const Record&, OperatorContext*) { return Status::OK(); });
+  const int32_t sink = graph.AddSink("sink", 1, std::move(sink_factory));
+
+  (void)graph.Connect(info_src, info_op, dataflow::EdgeKind::kKeyed);
+  (void)graph.Connect(status_src, state_op, dataflow::EdgeKind::kKeyed);
+  (void)graph.Connect(rider_src, rider_op, dataflow::EdgeKind::kKeyed);
+  (void)graph.Connect(info_op, sink, dataflow::EdgeKind::kForward);
+  (void)graph.Connect(state_op, sink, dataflow::EdgeKind::kForward);
+  (void)graph.Connect(rider_op, sink, dataflow::EdgeKind::kForward);
+  return graph;
+}
+
+std::string Query1() {
+  return "SELECT COUNT(*), deliveryZone FROM \"snapshot_orderinfo\" JOIN "
+         "\"snapshot_orderstate\" USING(partitionKey) WHERE "
+         "(orderState='VENDOR_ACCEPTED' AND lateTimestamp<LOCALTIMESTAMP) "
+         "GROUP BY deliveryZone;";
+}
+
+std::string Query2() {
+  return "SELECT COUNT(*), vendorCategory FROM \"snapshot_orderinfo\" JOIN "
+         "\"snapshot_orderstate\" USING(partitionKey) WHERE "
+         "(orderState='NOTIFIED' OR orderState='ACCEPTED') GROUP BY "
+         "vendorCategory;";
+}
+
+std::string Query3() {
+  return "SELECT COUNT(*), deliveryZone FROM \"snapshot_orderinfo\" JOIN "
+         "\"snapshot_orderstate\" USING(partitionKey) WHERE "
+         "(orderState='VENDOR_ACCEPTED') GROUP BY deliveryZone;";
+}
+
+std::string Query4() {
+  return "SELECT COUNT(*), deliveryZone FROM \"snapshot_orderinfo\" JOIN "
+         "\"snapshot_orderstate\" USING(partitionKey) WHERE "
+         "orderState='PICKED_UP' OR orderState='LEFT_PICKUP' OR "
+         "orderState='NEAR_CUSTOMER' GROUP BY deliveryZone;";
+}
+
+DeliveryReference ComputeReference(const DeliveryConfig& config,
+                                   int64_t events_per_source,
+                                   int64_t query_time_micros) {
+  DeliveryReference ref;
+  (void)query_time_micros;  // lateness is ±1h around emission; queries run
+                            // well inside that window, so the flag decides.
+  const int64_t orders_seen =
+      std::min<int64_t>(config.num_orders, events_per_source);
+  for (int64_t order = 0; order < orders_seen; ++order) {
+    // Laps delivered for this order: offsets order, order+N, order+2N, ...
+    const int64_t max_lap = (events_per_source - 1 - order) / config.num_orders;
+    const int64_t state_idx =
+        std::min<int64_t>(max_lap, kOrderStateCount - 1);
+    const auto state = static_cast<OrderState>(state_idx);
+    const std::string zone = ZoneOf(config, order);
+    const std::string category = CategoryOf(config, order);
+    if (state == OrderState::kVendorAccepted) {
+      ref.q3_preparing_per_zone[zone] += 1;
+      if (IsLate(config, order, state_idx)) {
+        ref.q1_late_per_zone[zone] += 1;
+      }
+    }
+    if (state == OrderState::kNotified || state == OrderState::kAccepted) {
+      ref.q2_ready_per_category[category] += 1;
+    }
+    if (state == OrderState::kPickedUp || state == OrderState::kLeftPickup ||
+        state == OrderState::kNearCustomer) {
+      ref.q4_transit_per_zone[zone] += 1;
+    }
+  }
+  return ref;
+}
+
+}  // namespace sq::dh

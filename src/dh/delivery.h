@@ -1,0 +1,114 @@
+#ifndef SQUERY_DH_DELIVERY_H_
+#define SQUERY_DH_DELIVERY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "dataflow/job_graph.h"
+#include "dataflow/record.h"
+#include "kv/object.h"
+
+namespace sq::dh {
+
+/// Order lifecycle of the Delivery Hero Q-commerce workload (Section VIII).
+/// The paper lists ORDER_RECEIVED → ... → PICKED_UP → ... → DELIVERED and
+/// "several other states omitted for space savings"; the intermediate states
+/// here are the ones its Queries 1-4 reference.
+enum class OrderState {
+  kOrderReceived = 0,
+  kVendorAccepted,
+  kNotified,
+  kAccepted,
+  kPickedUp,
+  kLeftPickup,
+  kNearCustomer,
+  kDelivered,
+};
+inline constexpr int kOrderStateCount = 8;
+
+const char* OrderStateToString(OrderState state);
+
+/// Synthetic stand-in for the anonymized Delivery Hero stream (the real
+/// data is proprietary; see DESIGN.md §3). Three event types with the
+/// paper's schema:
+///  * order info   — one-time event: customer/vendor location, category,
+///                   delivery zone;
+///  * order status — state-machine transitions with a `lateTimestamp`
+///                   deadline for the next transition;
+///  * rider location — coordinates + update timestamp.
+struct DeliveryConfig {
+  /// Distinct orders (the paper's 1K/10K/100K unique-key sweeps).
+  int64_t num_orders = 10000;
+  /// Distinct delivery riders.
+  int64_t num_riders = 1000;
+  /// Delivery zones and vendor categories (GROUP BY cardinalities).
+  int32_t num_zones = 12;
+  int32_t num_categories = 6;
+  /// Fraction of orders whose next transition is already overdue
+  /// (lateTimestamp in the past) — what Query 1 counts.
+  double late_fraction = 0.3;
+  /// Events per source; -1 = unbounded.
+  int64_t total_events = -1;
+  double target_rate = 0.0;
+  /// Keep sources alive after the bounded stream is exhausted (see
+  /// GeneratorSource::Options::linger).
+  bool linger = false;
+  /// Unbounded-churn mode: order states cycle through the machine forever
+  /// instead of parking at DELIVERED, so long-running experiments always
+  /// see a mix of states. (Bounded/reference runs keep the default.)
+  bool cycle_states = false;
+  uint64_t seed = 7;
+};
+
+/// Deterministic event constructors (offset-replayable).
+/// Order info for order `offset % num_orders`.
+dataflow::Record OrderInfoAt(const DeliveryConfig& config, int64_t offset,
+                             int64_t now_nanos, int64_t now_micros);
+/// Order status: order `offset % num_orders` advances one state per lap.
+dataflow::Record OrderStatusAt(const DeliveryConfig& config, int64_t offset,
+                               int64_t now_nanos, int64_t now_micros);
+/// Rider location update for rider `offset % num_riders`.
+dataflow::Record RiderLocationAt(const DeliveryConfig& config, int64_t offset,
+                                 int64_t now_nanos, int64_t now_micros);
+
+/// Vertex (and therefore table) names.
+inline constexpr char kOrderInfoVertex[] = "orderinfo";
+inline constexpr char kOrderStateVertex[] = "orderstate";
+inline constexpr char kRiderLocationVertex[] = "riderlocation";
+
+/// Builds the monitoring job of Section VIII: three sources feeding three
+/// keyed operators that each hold the latest event per key. `latency` (may
+/// be null) receives source→sink latencies from all three chains.
+dataflow::JobGraph BuildDeliveryGraph(const DeliveryConfig& config,
+                                      int32_t operator_parallelism,
+                                      Histogram* latency);
+
+/// The paper's queries, verbatim (Queries 1-4, Section VIII).
+/// Q1: how many orders are late (in preparation for too long) per area?
+std::string Query1();
+/// Q2: how many deliveries are ready for pickup per shop category?
+std::string Query2();
+/// Q3: how many deliveries are being prepared per area?
+std::string Query3();
+/// Q4: how many deliveries are in transit per area?
+std::string Query4();
+
+/// Oracle for tests: expected per-zone / per-category counts for each query
+/// given that `events_per_source` events of each stream were ingested.
+/// Keys are zone/category strings; missing key = count 0.
+struct DeliveryReference {
+  std::map<std::string, int64_t> q1_late_per_zone;
+  std::map<std::string, int64_t> q2_ready_per_category;
+  std::map<std::string, int64_t> q3_preparing_per_zone;
+  std::map<std::string, int64_t> q4_transit_per_zone;
+};
+DeliveryReference ComputeReference(const DeliveryConfig& config,
+                                   int64_t events_per_source,
+                                   int64_t query_time_micros);
+
+}  // namespace sq::dh
+
+#endif  // SQUERY_DH_DELIVERY_H_

@@ -1,0 +1,169 @@
+#include "kv/grid.h"
+
+#include "common/logging.h"
+
+namespace sq::kv {
+
+Grid::Grid(GridConfig config)
+    : config_(config),
+      partitioner_(config.partition_count),
+      node_alive_(config.node_count, true) {
+  SQ_CHECK(config.node_count > 0) << "grid needs at least one node";
+  SQ_CHECK(config.partition_count > 0) << "grid needs at least one partition";
+  SQ_CHECK(config.backup_count >= 0 && config.backup_count < config.node_count)
+      << "backup count must be in [0, node_count)";
+}
+
+LiveMap* Grid::GetOrCreateLiveMap(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_maps_.find(name);
+  if (it == live_maps_.end()) {
+    it = live_maps_
+             .emplace(name, std::make_unique<LiveMap>(name, &partitioner_,
+                                                      config_.backup_count))
+             .first;
+  }
+  return it->second.get();
+}
+
+LiveMap* Grid::GetLiveMap(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_maps_.find(name);
+  return it == live_maps_.end() ? nullptr : it->second.get();
+}
+
+SnapshotTable* Grid::GetOrCreateSnapshotTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = snapshot_tables_.find(name);
+  if (it == snapshot_tables_.end()) {
+    it = snapshot_tables_
+             .emplace(name,
+                      std::make_unique<SnapshotTable>(name, &partitioner_,
+                                                      config_.backup_count))
+             .first;
+  }
+  return it->second.get();
+}
+
+SnapshotTable* Grid::GetSnapshotTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = snapshot_tables_.find(name);
+  return it == snapshot_tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Grid::LiveMapNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(live_maps_.size());
+  for (const auto& [name, map] : live_maps_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> Grid::SnapshotTableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(snapshot_tables_.size());
+  for (const auto& [name, table] : snapshot_tables_) names.push_back(name);
+  return names;
+}
+
+int32_t Grid::PrimaryNodeOf(int32_t partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int32_t i = 0; i < config_.node_count; ++i) {
+    const int32_t node = (PreferredNodeOf(partition) + i) % config_.node_count;
+    if (node_alive_[node]) return node;
+  }
+  return -1;
+}
+
+int32_t Grid::BackupNodeOf(int32_t partition, int32_t replica) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int32_t seen = -1;  // replica rank; rank 0 = primary
+  for (int32_t i = 0; i < config_.node_count; ++i) {
+    const int32_t node = (PreferredNodeOf(partition) + i) % config_.node_count;
+    if (!node_alive_[node]) continue;
+    ++seen;
+    if (seen == replica + 1) return node;
+  }
+  return -1;
+}
+
+bool Grid::IsNodeAlive(int32_t node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return node >= 0 && node < config_.node_count && node_alive_[node];
+}
+
+int32_t Grid::AliveNodeCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int32_t alive = 0;
+  for (bool a : node_alive_) alive += a ? 1 : 0;
+  return alive;
+}
+
+Status Grid::KillNode(int32_t node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (node < 0 || node >= config_.node_count) {
+    return Status::InvalidArgument("no such node");
+  }
+  if (!node_alive_[node]) {
+    return Status::FailedPrecondition("node already dead");
+  }
+  int32_t alive = 0;
+  for (bool a : node_alive_) alive += a ? 1 : 0;
+  if (alive == 1) {
+    return Status::FailedPrecondition("cannot kill the last alive node");
+  }
+  node_alive_[node] = false;
+  // Partitions whose current primary copy lived on `node` lose that copy;
+  // the backup replica is promoted in every map and snapshot table.
+  for (int32_t p = 0; p < config_.partition_count; ++p) {
+    // Recompute pre-kill ownership: first alive node (including `node`,
+    // which we just marked dead — so check the preference chain manually).
+    int32_t owner = -1;
+    for (int32_t i = 0; i < config_.node_count; ++i) {
+      const int32_t n = (PreferredNodeOf(p) + i) % config_.node_count;
+      if (n == node || node_alive_[n]) {
+        owner = n;
+        break;
+      }
+    }
+    if (owner != node) continue;
+    for (auto& [name, map] : live_maps_) {
+      map->FailPartitionPrimary(p);
+    }
+    for (auto& [name, table] : snapshot_tables_) {
+      table->FailPartitionPrimary(p);
+    }
+  }
+  return Status::OK();
+}
+
+Status Grid::ReviveNode(int32_t node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (node < 0 || node >= config_.node_count) {
+    return Status::InvalidArgument("no such node");
+  }
+  if (node_alive_[node]) {
+    return Status::FailedPrecondition("node already alive");
+  }
+  node_alive_[node] = true;
+  return Status::OK();
+}
+
+size_t Grid::TotalLiveEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [name, map] : live_maps_) total += map->Size();
+  return total;
+}
+
+size_t Grid::TotalSnapshotEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [name, table] : snapshot_tables_) {
+    total += table->EntryCount();
+  }
+  return total;
+}
+
+}  // namespace sq::kv

@@ -1,0 +1,98 @@
+#ifndef SQUERY_KV_GRID_H_
+#define SQUERY_KV_GRID_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "kv/map_store.h"
+#include "kv/partitioner.h"
+#include "kv/snapshot_table.h"
+
+namespace sq::kv {
+
+/// Grid configuration. Defaults mirror the paper's small-cluster setups.
+struct GridConfig {
+  /// Simulated cluster nodes; partition ownership is spread across them.
+  int32_t node_count = 3;
+  /// Total partitions shared by the KV store and the stream partitioner.
+  int32_t partition_count = 32;
+  /// Synchronous backup replicas per partition.
+  int32_t backup_count = 1;
+};
+
+/// The in-memory data grid (Hazelcast-IMDG stand-in): a registry of named
+/// live-state maps and snapshot tables, all sharing one partitioner so
+/// compute/state colocation holds (Section V-A), plus simulated node
+/// membership with primary/backup failover.
+class Grid {
+ public:
+  explicit Grid(GridConfig config);
+
+  Grid(const Grid&) = delete;
+  Grid& operator=(const Grid&) = delete;
+
+  const GridConfig& config() const { return config_; }
+  const Partitioner& partitioner() const { return partitioner_; }
+
+  /// Creates (or returns the existing) live-state map `name`.
+  LiveMap* GetOrCreateLiveMap(const std::string& name);
+  /// Returns the live map or nullptr.
+  LiveMap* GetLiveMap(const std::string& name) const;
+
+  /// Creates (or returns the existing) snapshot table `name`.
+  SnapshotTable* GetOrCreateSnapshotTable(const std::string& name);
+  /// Returns the snapshot table or nullptr.
+  SnapshotTable* GetSnapshotTable(const std::string& name) const;
+
+  std::vector<std::string> LiveMapNames() const;
+  std::vector<std::string> SnapshotTableNames() const;
+
+  /// The node currently owning `partition` (its first alive preferred node).
+  /// Returns -1 if no node is alive.
+  int32_t PrimaryNodeOf(int32_t partition) const;
+
+  /// The node hosting replica `r` (0-based) of `partition`, skipping dead
+  /// nodes. Returns -1 if unavailable.
+  int32_t BackupNodeOf(int32_t partition, int32_t replica) const;
+
+  bool IsNodeAlive(int32_t node) const;
+  int32_t AliveNodeCount() const;
+
+  /// Simulates the crash of `node`: primary partition copies hosted there
+  /// are lost and backups are promoted in every registered map/table.
+  Status KillNode(int32_t node);
+
+  /// Brings a killed node back (empty; it will re-own its partitions and, in
+  /// a real system, re-sync — here promotion already moved the data).
+  Status ReviveNode(int32_t node);
+
+  /// Total live entries across all live maps (monitoring).
+  size_t TotalLiveEntries() const;
+  /// Total snapshot (key, version) entries across all snapshot tables.
+  size_t TotalSnapshotEntries() const;
+
+ private:
+  // The preferred node of a partition before considering failures.
+  int32_t PreferredNodeOf(int32_t partition) const {
+    return partition % config_.node_count;
+  }
+
+  GridConfig config_;
+  Partitioner partitioner_;
+
+  mutable std::mutex mu_;
+  std::vector<bool> node_alive_;
+  std::unordered_map<std::string, std::unique_ptr<LiveMap>> live_maps_;
+  std::unordered_map<std::string, std::unique_ptr<SnapshotTable>>
+      snapshot_tables_;
+};
+
+}  // namespace sq::kv
+
+#endif  // SQUERY_KV_GRID_H_

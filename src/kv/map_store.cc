@@ -1,0 +1,141 @@
+#include "kv/map_store.h"
+
+namespace sq::kv {
+
+void MapPartition::Put(const Value& key, Object value) {
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  stripe.entries[key] = std::move(value);
+}
+
+std::optional<Object> MapPartition::Get(const Value& key) const {
+  const Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.entries.find(key);
+  if (it == stripe.entries.end()) return std::nullopt;
+  return it->second;
+}
+
+bool MapPartition::Remove(const Value& key) {
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  return stripe.entries.erase(key) > 0;
+}
+
+void MapPartition::ForEach(
+    const std::function<void(const Value&, const Object&)>& fn) const {
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (const auto& [key, value] : stripe.entries) {
+      fn(key, value);
+    }
+  }
+}
+
+size_t MapPartition::Size() const {
+  size_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    total += stripe.entries.size();
+  }
+  return total;
+}
+
+void MapPartition::Clear() {
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.entries.clear();
+  }
+}
+
+size_t MapPartition::ByteSize() const {
+  size_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (const auto& [key, value] : stripe.entries) {
+      total += key.ByteSize() + value.ByteSize();
+    }
+  }
+  return total;
+}
+
+LiveMap::LiveMap(std::string name, const Partitioner* partitioner,
+                 int32_t backup_count)
+    : name_(std::move(name)),
+      partitioner_(partitioner),
+      backup_count_(backup_count) {
+  partitions_.reserve(partitioner_->partition_count());
+  for (int32_t i = 0; i < partitioner_->partition_count(); ++i) {
+    partitions_.push_back(std::make_unique<MapPartition>());
+  }
+  backups_.resize(backup_count_);
+  for (auto& replica : backups_) {
+    replica.reserve(partitioner_->partition_count());
+    for (int32_t i = 0; i < partitioner_->partition_count(); ++i) {
+      replica.push_back(std::make_unique<MapPartition>());
+    }
+  }
+}
+
+void LiveMap::Put(const Value& key, Object value) {
+  const int32_t p = partitioner_->PartitionOf(key);
+  for (auto& replica : backups_) {
+    replica[p]->Put(key, value);
+  }
+  partitions_[p]->Put(key, std::move(value));
+}
+
+std::optional<Object> LiveMap::Get(const Value& key) const {
+  return partitions_[partitioner_->PartitionOf(key)]->Get(key);
+}
+
+bool LiveMap::Remove(const Value& key) {
+  const int32_t p = partitioner_->PartitionOf(key);
+  for (auto& replica : backups_) {
+    replica[p]->Remove(key);
+  }
+  return partitions_[p]->Remove(key);
+}
+
+void LiveMap::FailPartitionPrimary(int32_t partition) {
+  partitions_[partition]->Clear();
+  if (backups_.empty()) return;
+  backups_[0][partition]->ForEach(
+      [this, partition](const Value& key, const Object& value) {
+        partitions_[partition]->Put(key, value);
+      });
+}
+
+void LiveMap::ForEach(
+    const std::function<void(const Value&, const Object&)>& fn) const {
+  for (const auto& partition : partitions_) {
+    partition->ForEach(fn);
+  }
+}
+
+void LiveMap::ForEachInPartition(
+    int32_t partition,
+    const std::function<void(const Value&, const Object&)>& fn) const {
+  partitions_[partition]->ForEach(fn);
+}
+
+size_t LiveMap::Size() const {
+  size_t total = 0;
+  for (const auto& partition : partitions_) total += partition->Size();
+  return total;
+}
+
+size_t LiveMap::ByteSize() const {
+  size_t total = 0;
+  for (const auto& partition : partitions_) total += partition->ByteSize();
+  return total;
+}
+
+void LiveMap::Clear() {
+  for (const auto& partition : partitions_) partition->Clear();
+  for (auto& replica : backups_) {
+    for (const auto& partition : replica) partition->Clear();
+  }
+}
+
+}  // namespace sq::kv

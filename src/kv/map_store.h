@@ -1,0 +1,122 @@
+#ifndef SQUERY_KV_MAP_STORE_H_
+#define SQUERY_KV_MAP_STORE_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kv/object.h"
+#include "kv/partitioner.h"
+#include "kv/value.h"
+
+namespace sq::kv {
+
+/// One partition of a live-state map. Implements the paper's *key-level
+/// locking*: readers and writers of the same key serialize on a striped
+/// lock, held only for the duration of the single-key access. This is what
+/// gives live queries read-committed behaviour in the absence of failures
+/// (Section VII-B) without blocking the stream for whole-query durations.
+class MapPartition {
+ public:
+  MapPartition() = default;
+
+  MapPartition(const MapPartition&) = delete;
+  MapPartition& operator=(const MapPartition&) = delete;
+
+  /// Inserts or replaces the value for `key`.
+  void Put(const Value& key, Object value);
+
+  /// Returns a copy of the value, taken under the key lock.
+  std::optional<Object> Get(const Value& key) const;
+
+  /// Removes the key; returns true if it existed.
+  bool Remove(const Value& key);
+
+  /// Invokes `fn` for every entry. Each stripe is locked while its entries
+  /// are visited, so individual entries are never observed mid-update, but
+  /// the scan as a whole is not a point-in-time snapshot — exactly the
+  /// paper's live-state semantics.
+  void ForEach(
+      const std::function<void(const Value&, const Object&)>& fn) const;
+
+  size_t Size() const;
+  void Clear();
+
+  /// Approximate heap footprint.
+  size_t ByteSize() const;
+
+ private:
+  static constexpr int kStripes = 16;
+
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<Value, Object, ValueHash> entries;
+  };
+
+  Stripe& StripeFor(const Value& key) const {
+    return stripes_[key.Hash() % kStripes];
+  }
+
+  mutable std::array<Stripe, kStripes> stripes_;
+};
+
+/// A named, partitioned live-state map — the `<operator name>` table of
+/// Table I. All partitions live in-process; the Grid assigns them to
+/// (simulated) nodes.
+///
+/// With `backup_count` > 0, every write is synchronously applied to the
+/// backup replica(s) of the partition as well (the paper: "the KV store can
+/// replicate it according to its internal replication strategy"). When the
+/// Grid simulates a node failure it calls `FailPartitionPrimary` to discard
+/// the primary copy and promote the backup.
+class LiveMap {
+ public:
+  LiveMap(std::string name, const Partitioner* partitioner,
+          int32_t backup_count = 0);
+
+  const std::string& name() const { return name_; }
+  int32_t partition_count() const { return partitioner_->partition_count(); }
+
+  void Put(const Value& key, Object value);
+  std::optional<Object> Get(const Value& key) const;
+  bool Remove(const Value& key);
+
+  /// Scans all partitions (see MapPartition::ForEach for semantics).
+  void ForEach(
+      const std::function<void(const Value&, const Object&)>& fn) const;
+
+  /// Scans one partition only (used by partition-parallel query execution).
+  void ForEachInPartition(
+      int32_t partition,
+      const std::function<void(const Value&, const Object&)>& fn) const;
+
+  size_t Size() const;
+  size_t ByteSize() const;
+  void Clear();
+
+  MapPartition* partition(int32_t index) { return partitions_[index].get(); }
+
+  int32_t backup_count() const { return backup_count_; }
+
+  /// Simulates the loss of the primary replica of `partition`: the primary
+  /// copy is dropped and replica 0 (if any) is promoted in its place.
+  void FailPartitionPrimary(int32_t partition);
+
+ private:
+  std::string name_;
+  const Partitioner* partitioner_;
+  int32_t backup_count_;
+  std::vector<std::unique_ptr<MapPartition>> partitions_;
+  // backups_[r][p] = replica r of partition p.
+  std::vector<std::vector<std::unique_ptr<MapPartition>>> backups_;
+};
+
+}  // namespace sq::kv
+
+#endif  // SQUERY_KV_MAP_STORE_H_

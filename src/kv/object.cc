@@ -1,0 +1,78 @@
+#include "kv/object.h"
+
+#include <algorithm>
+
+namespace sq::kv {
+
+namespace {
+const Value kNullValue{};
+
+auto LowerBound(std::vector<Object::Field>& fields, std::string_view name) {
+  return std::lower_bound(
+      fields.begin(), fields.end(), name,
+      [](const Object::Field& f, std::string_view n) { return f.first < n; });
+}
+
+auto LowerBound(const std::vector<Object::Field>& fields,
+                std::string_view name) {
+  return std::lower_bound(
+      fields.begin(), fields.end(), name,
+      [](const Object::Field& f, std::string_view n) { return f.first < n; });
+}
+
+}  // namespace
+
+Object::Object(std::initializer_list<Field> fields) {
+  for (const auto& f : fields) Set(f.first, f.second);
+}
+
+void Object::Set(std::string_view name, Value value) {
+  auto it = LowerBound(fields_, name);
+  if (it != fields_.end() && it->first == name) {
+    it->second = std::move(value);
+  } else {
+    fields_.insert(it, Field(std::string(name), std::move(value)));
+  }
+}
+
+const Value& Object::Get(std::string_view name) const {
+  auto it = LowerBound(fields_, name);
+  if (it != fields_.end() && it->first == name) return it->second;
+  return kNullValue;
+}
+
+bool Object::Has(std::string_view name) const {
+  auto it = LowerBound(fields_, name);
+  return it != fields_.end() && it->first == name;
+}
+
+bool Object::Remove(std::string_view name) {
+  auto it = LowerBound(fields_, name);
+  if (it != fields_.end() && it->first == name) {
+    fields_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+size_t Object::ByteSize() const {
+  size_t total = sizeof(Object);
+  for (const auto& [name, value] : fields_) {
+    total += name.capacity() + value.ByteSize();
+  }
+  return total;
+}
+
+std::string Object::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].first;
+    out += "=";
+    out += fields_[i].second.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace sq::kv

@@ -1,0 +1,63 @@
+#ifndef SQUERY_KV_OBJECT_H_
+#define SQUERY_KV_OBJECT_H_
+
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "kv/value.h"
+
+namespace sq::kv {
+
+/// The "state object" of Tables I/II in the paper: a record of named scalar
+/// fields. Operator state values, live/snapshot KV table values, and SQL
+/// scan rows are all Objects, which is what lets external SQL see operator
+/// state as relational rows.
+///
+/// Fields are kept sorted by name; lookup is binary search. Field count per
+/// object is small (a handful) in every workload here.
+class Object {
+ public:
+  using Field = std::pair<std::string, Value>;
+
+  Object() = default;
+  Object(std::initializer_list<Field> fields);
+
+  /// Sets (or replaces) a field.
+  void Set(std::string_view name, Value value);
+
+  /// Returns the field value or NULL if absent.
+  const Value& Get(std::string_view name) const;
+
+  /// True if the field exists (even with a NULL value).
+  bool Has(std::string_view name) const;
+
+  /// Removes a field; returns true if it existed.
+  bool Remove(std::string_view name);
+
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t size() const { return fields_.size(); }
+  bool empty() const { return fields_.empty(); }
+
+  /// Rough in-memory footprint in bytes.
+  size_t ByteSize() const;
+
+  /// "{a=1, b=x}" rendering for logs and tests.
+  std::string ToString() const;
+
+  friend bool operator==(const Object& a, const Object& b) {
+    return a.fields_ == b.fields_;
+  }
+  friend bool operator!=(const Object& a, const Object& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::vector<Field> fields_;  // sorted by field name
+};
+
+}  // namespace sq::kv
+
+#endif  // SQUERY_KV_OBJECT_H_

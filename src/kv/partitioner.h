@@ -1,0 +1,38 @@
+#ifndef SQUERY_KV_PARTITIONER_H_
+#define SQUERY_KV_PARTITIONER_H_
+
+#include <cstdint>
+
+#include "kv/value.h"
+
+namespace sq::kv {
+
+/// Maps keys to partitions. The *same* partitioner instance (same partition
+/// count) is shared by the KV grid and the dataflow engine's keyed edges —
+/// this is the colocation design decision of the paper (Section II): the
+/// operator instance that owns a key and the KV partition that stores that
+/// key's live/snapshot state always land on the same node, so state updates
+/// never cross the (simulated) network.
+class Partitioner {
+ public:
+  explicit Partitioner(int32_t partition_count)
+      : partition_count_(partition_count) {}
+
+  int32_t partition_count() const { return partition_count_; }
+
+  int32_t PartitionOf(const Value& key) const {
+    return static_cast<int32_t>(key.Hash() %
+                                static_cast<uint64_t>(partition_count_));
+  }
+
+  friend bool operator==(const Partitioner& a, const Partitioner& b) {
+    return a.partition_count_ == b.partition_count_;
+  }
+
+ private:
+  int32_t partition_count_;
+};
+
+}  // namespace sq::kv
+
+#endif  // SQUERY_KV_PARTITIONER_H_

@@ -1,0 +1,269 @@
+#include "kv/snapshot_table.h"
+
+#include <algorithm>
+
+namespace sq::kv {
+
+namespace {
+
+// Returns an iterator to the entry with the greatest ssid <= `ssid`, or
+// entries.end() if all entries are newer.
+std::vector<SnapshotTable::Entry>::const_iterator FindAt(
+    const std::vector<SnapshotTable::Entry>& entries, int64_t ssid) {
+  auto it = std::upper_bound(
+      entries.begin(), entries.end(), ssid,
+      [](int64_t s, const SnapshotTable::Entry& e) { return s < e.ssid; });
+  if (it == entries.begin()) return entries.end();
+  return it - 1;
+}
+
+}  // namespace
+
+SnapshotTable::SnapshotTable(std::string name, const Partitioner* partitioner,
+                             int32_t backup_count)
+    : name_(std::move(name)), partitioner_(partitioner) {
+  partitions_.reserve(partitioner_->partition_count());
+  for (int32_t i = 0; i < partitioner_->partition_count(); ++i) {
+    partitions_.push_back(std::make_unique<PartitionData>());
+  }
+  backups_.resize(backup_count);
+  for (auto& replica : backups_) {
+    replica.reserve(partitioner_->partition_count());
+    for (int32_t i = 0; i < partitioner_->partition_count(); ++i) {
+      replica.push_back(std::make_unique<PartitionData>());
+    }
+  }
+}
+
+void SnapshotTable::WriteInto(PartitionData* part, int64_t ssid,
+                              const Value& key, Object value,
+                              bool tombstone) {
+  std::lock_guard<std::mutex> lock(part->mu);
+  auto& entries = part->keys[key];
+  // Checkpoints are produced in increasing ssid order, so the append fast
+  // path almost always applies; a rewrite of the same ssid replaces it.
+  if (!entries.empty() && entries.back().ssid == ssid) {
+    entries.back().tombstone = tombstone;
+    entries.back().value = std::move(value);
+    return;
+  }
+  if (entries.empty() || entries.back().ssid < ssid) {
+    entries.push_back(Entry{ssid, tombstone, std::move(value)});
+    return;
+  }
+  auto it =
+      std::lower_bound(entries.begin(), entries.end(), ssid,
+                       [](const Entry& e, int64_t s) { return e.ssid < s; });
+  if (it != entries.end() && it->ssid == ssid) {
+    it->tombstone = tombstone;
+    it->value = std::move(value);
+  } else {
+    entries.insert(it, Entry{ssid, tombstone, std::move(value)});
+  }
+}
+
+void SnapshotTable::Write(int64_t ssid, const Value& key, Object value) {
+  const int32_t p = partitioner_->PartitionOf(key);
+  for (auto& replica : backups_) {
+    WriteInto(replica[p].get(), ssid, key, value, /*tombstone=*/false);
+  }
+  WriteInto(partitions_[p].get(), ssid, key, std::move(value),
+            /*tombstone=*/false);
+}
+
+void SnapshotTable::WriteTombstone(int64_t ssid, const Value& key) {
+  const int32_t p = partitioner_->PartitionOf(key);
+  for (auto& replica : backups_) {
+    WriteInto(replica[p].get(), ssid, key, Object(), /*tombstone=*/true);
+  }
+  WriteInto(partitions_[p].get(), ssid, key, Object(), /*tombstone=*/true);
+}
+
+void SnapshotTable::DropSnapshotInPartition(PartitionData* part,
+                                            int64_t ssid) {
+  std::lock_guard<std::mutex> lock(part->mu);
+  for (auto it = part->keys.begin(); it != part->keys.end();) {
+    auto& entries = it->second;
+    entries.erase(
+        std::remove_if(entries.begin(), entries.end(),
+                       [ssid](const Entry& e) { return e.ssid == ssid; }),
+        entries.end());
+    if (entries.empty()) {
+      it = part->keys.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SnapshotTable::DropSnapshot(int64_t ssid) {
+  for (auto& part : partitions_) {
+    DropSnapshotInPartition(part.get(), ssid);
+  }
+  for (auto& replica : backups_) {
+    for (auto& part : replica) {
+      DropSnapshotInPartition(part.get(), ssid);
+    }
+  }
+}
+
+std::optional<Object> SnapshotTable::GetAt(const Value& key,
+                                           int64_t ssid) const {
+  const PartitionData& part = PartitionFor(key);
+  std::lock_guard<std::mutex> lock(part.mu);
+  auto it = part.keys.find(key);
+  if (it == part.keys.end()) return std::nullopt;
+  auto entry = FindAt(it->second, ssid);
+  if (entry == it->second.end() || entry->tombstone) return std::nullopt;
+  return entry->value;
+}
+
+std::optional<Object> SnapshotTable::GetExact(const Value& key,
+                                              int64_t ssid) const {
+  const PartitionData& part = PartitionFor(key);
+  std::lock_guard<std::mutex> lock(part.mu);
+  auto it = part.keys.find(key);
+  if (it == part.keys.end()) return std::nullopt;
+  auto entry = FindAt(it->second, ssid);
+  if (entry == it->second.end() || entry->ssid != ssid || entry->tombstone) {
+    return std::nullopt;
+  }
+  return entry->value;
+}
+
+void SnapshotTable::ScanAt(
+    int64_t ssid,
+    const std::function<void(const Value&, int64_t, const Object&)>& fn)
+    const {
+  for (int32_t p = 0; p < partitioner_->partition_count(); ++p) {
+    ScanPartitionAt(p, ssid, fn);
+  }
+}
+
+void SnapshotTable::ScanPartitionAt(
+    int32_t partition, int64_t ssid,
+    const std::function<void(const Value&, int64_t, const Object&)>& fn)
+    const {
+  const PartitionData& part = *partitions_[partition];
+  std::lock_guard<std::mutex> lock(part.mu);
+  for (const auto& [key, entries] : part.keys) {
+    auto entry = FindAt(entries, ssid);
+    if (entry == entries.end() || entry->tombstone) continue;
+    fn(key, entry->ssid, entry->value);
+  }
+}
+
+void SnapshotTable::ScanAllVersions(
+    const std::function<void(const Value&, int64_t, const Object&)>& fn)
+    const {
+  for (const auto& part : partitions_) {
+    std::lock_guard<std::mutex> lock(part->mu);
+    for (const auto& [key, entries] : part->keys) {
+      for (const auto& entry : entries) {
+        if (entry.tombstone) continue;
+        fn(key, entry.ssid, entry.value);
+      }
+    }
+  }
+}
+
+size_t SnapshotTable::CompactPartition(PartitionData* part,
+                                       int64_t floor_ssid) {
+  size_t removed = 0;
+  std::lock_guard<std::mutex> lock(part->mu);
+  for (auto it = part->keys.begin(); it != part->keys.end();) {
+    auto& entries = it->second;
+    auto base = FindAt(entries, floor_ssid);
+    if (base != entries.end()) {
+      // Drop everything older than the base version; a base tombstone means
+      // "absent at the floor", so the tombstone itself is obsolete too.
+      size_t drop = static_cast<size_t>(base - entries.begin());
+      if (base->tombstone) drop += 1;
+      if (drop > 0) {
+        removed += drop;
+        entries.erase(entries.begin(), entries.begin() + drop);
+      }
+    }
+    if (entries.empty()) {
+      it = part->keys.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+size_t SnapshotTable::Compact(int64_t floor_ssid) {
+  size_t removed = 0;
+  for (auto& part : partitions_) {
+    removed += CompactPartition(part.get(), floor_ssid);
+  }
+  for (auto& replica : backups_) {
+    for (auto& part : replica) {
+      CompactPartition(part.get(), floor_ssid);
+    }
+  }
+  return removed;
+}
+
+size_t SnapshotTable::EntryCount() const {
+  size_t total = 0;
+  for (const auto& part : partitions_) {
+    std::lock_guard<std::mutex> lock(part->mu);
+    for (const auto& [key, entries] : part->keys) {
+      total += entries.size();
+    }
+  }
+  return total;
+}
+
+size_t SnapshotTable::KeyCount() const {
+  size_t total = 0;
+  for (const auto& part : partitions_) {
+    std::lock_guard<std::mutex> lock(part->mu);
+    total += part->keys.size();
+  }
+  return total;
+}
+
+size_t SnapshotTable::ByteSize() const {
+  size_t total = 0;
+  for (const auto& part : partitions_) {
+    std::lock_guard<std::mutex> lock(part->mu);
+    for (const auto& [key, entries] : part->keys) {
+      total += key.ByteSize();
+      for (const auto& entry : entries) {
+        total += sizeof(Entry) + entry.value.ByteSize();
+      }
+    }
+  }
+  return total;
+}
+
+void SnapshotTable::Clear() {
+  for (auto& part : partitions_) {
+    std::lock_guard<std::mutex> lock(part->mu);
+    part->keys.clear();
+  }
+  for (auto& replica : backups_) {
+    for (auto& part : replica) {
+      std::lock_guard<std::mutex> lock(part->mu);
+      part->keys.clear();
+    }
+  }
+}
+
+void SnapshotTable::FailPartitionPrimary(int32_t partition) {
+  {
+    PartitionData& part = *partitions_[partition];
+    std::lock_guard<std::mutex> lock(part.mu);
+    part.keys.clear();
+  }
+  if (backups_.empty()) return;
+  PartitionData& backup = *backups_[0][partition];
+  PartitionData& primary = *partitions_[partition];
+  std::scoped_lock lock(backup.mu, primary.mu);
+  primary.keys = backup.keys;
+}
+
+}  // namespace sq::kv

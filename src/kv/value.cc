@@ -1,0 +1,138 @@
+#include "kv/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sq::kv {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+double Value::AsDouble() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return static_cast<double>(int64_value());
+    case ValueType::kDouble:
+      return double_value();
+    case ValueType::kBool:
+      return bool_value() ? 1.0 : 0.0;
+    default:
+      return 0.0;
+  }
+}
+
+int64_t Value::AsInt64() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return int64_value();
+    case ValueType::kDouble:
+      return static_cast<int64_t>(double_value());
+    case ValueType::kBool:
+      return bool_value() ? 1 : 0;
+    default:
+      return 0;
+  }
+}
+
+bool Value::Truthy() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kBool:
+      return bool_value();
+    case ValueType::kInt64:
+      return int64_value() != 0;
+    case ValueType::kDouble:
+      return double_value() != 0.0;
+    case ValueType::kString:
+      return !string_value().empty();
+  }
+  return false;
+}
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kBool:
+      return HashInt64(bool_value() ? 1 : 0) ^ 0x1;
+    case ValueType::kInt64:
+      return HashInt64(int64_value());
+    case ValueType::kDouble: {
+      const double d = double_value();
+      // Make 2.0 (double) hash like 2 (int64) so numeric equality and hash
+      // agree, as required by hash-join and group-by key semantics.
+      if (d == std::floor(d) && std::abs(d) < 9.2e18) {
+        return HashInt64(static_cast<int64_t>(d));
+      }
+      int64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return HashInt64(bits);
+    }
+    case ValueType::kString:
+      return HashString(string_value());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return bool_value() ? "true" : "false";
+    case ValueType::kInt64:
+      return std::to_string(int64_value());
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", double_value());
+      return buf;
+    }
+    case ValueType::kString:
+      return string_value();
+  }
+  return "?";
+}
+
+size_t Value::ByteSize() const {
+  size_t base = sizeof(Value);
+  if (is_string()) base += string_value().capacity();
+  return base;
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.is_numeric() && b.is_numeric()) {
+    if (a.is_int64() && b.is_int64()) {
+      return a.int64_value() == b.int64_value();
+    }
+    return a.AsDouble() == b.AsDouble();
+  }
+  return a.data_ == b.data_;
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.is_numeric() && b.is_numeric()) {
+    if (a.is_int64() && b.is_int64()) {
+      return a.int64_value() < b.int64_value();
+    }
+    return a.AsDouble() < b.AsDouble();
+  }
+  if (a.type() != b.type()) return a.type() < b.type();
+  return a.data_ < b.data_;
+}
+
+}  // namespace sq::kv

@@ -1,0 +1,88 @@
+#ifndef SQUERY_KV_VALUE_H_
+#define SQUERY_KV_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/hash.h"
+
+namespace sq::kv {
+
+enum class ValueType { kNull = 0, kBool, kInt64, kDouble, kString };
+
+const char* ValueTypeToString(ValueType type);
+
+/// Dynamically typed scalar: the unit of both operator-state keys and the
+/// fields of state objects, and the cell type of SQL result rows.
+///
+/// Ordering follows SQL-ish semantics: NULL sorts first; numeric types
+/// compare by value across int64/double; other cross-type comparisons fall
+/// back to type order. Equality between int64 and double is numeric.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  explicit Value(bool v) : data_(v) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(int v) : data_(static_cast<int64_t>(v)) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(data_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_bool() const { return type() == ValueType::kBool; }
+  bool is_int64() const { return type() == ValueType::kInt64; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_numeric() const { return is_int64() || is_double(); }
+
+  bool bool_value() const { return std::get<bool>(data_); }
+  int64_t int64_value() const { return std::get<int64_t>(data_); }
+  double double_value() const { return std::get<double>(data_); }
+  const std::string& string_value() const {
+    return std::get<std::string>(data_);
+  }
+
+  /// Numeric value widened to double (0.0 for non-numeric).
+  double AsDouble() const;
+
+  /// Numeric value narrowed to int64 (0 for NULL/strings; doubles
+  /// truncated; bools 0/1). The lenient accessor for "counter defaults to
+  /// zero" state-update code.
+  int64_t AsInt64() const;
+
+  /// Truthiness for WHERE evaluation: NULL/false/0/"" are false.
+  bool Truthy() const;
+
+  /// Stable hash compatible with operator==.
+  uint64_t Hash() const;
+
+  std::string ToString() const;
+
+  /// Rough in-memory footprint in bytes (used for the dataset-size numbers
+  /// reported alongside Fig. 13).
+  size_t ByteSize() const;
+
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  /// Total order (see class comment). Used by ORDER BY and map keys.
+  friend bool operator<(const Value& a, const Value& b);
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> data_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const {
+    return static_cast<size_t>(v.Hash());
+  }
+};
+
+}  // namespace sq::kv
+
+#endif  // SQUERY_KV_VALUE_H_

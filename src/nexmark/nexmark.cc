@@ -1,0 +1,269 @@
+#include "nexmark/nexmark.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "dataflow/operators.h"
+#include "dataflow/window.h"
+
+namespace sq::nexmark {
+
+namespace {
+
+using dataflow::OperatorContext;
+using dataflow::Record;
+using kv::Object;
+using kv::Value;
+
+/// Tracks the highest bid per auction; when all bids of an auction have
+/// arrived (count-based, so the result is independent of arrival order
+/// across parallel sources) it emits the selling price keyed by seller and
+/// drops the auction state — exercising state deletions/tombstones too.
+class WinningBidsOperator : public dataflow::Operator {
+ public:
+  explicit WinningBidsOperator(int32_t bids_per_auction)
+      : bids_per_auction_(bids_per_auction) {}
+
+  Status ProcessRecord(const Record& r, OperatorContext* ctx) override {
+    Object state = ctx->GetState(r.key).value_or(Object());
+    const int64_t seen = state.Get("bids").AsInt64() + 1;
+    const int64_t price = r.payload.Get("price").AsInt64();
+    const int64_t best = std::max(state.Get("maxPrice").AsInt64(), price);
+    if (seen >= bids_per_auction_) {
+      // Auction closed: the winning bid is the selling price.
+      ctx->RemoveState(r.key);
+      Object out;
+      out.Set("price", Value(best));
+      out.Set("auction", r.key);
+      ctx->Emit(Record::Data(r.payload.Get("seller"), std::move(out),
+                             r.source_nanos));
+      return Status::OK();
+    }
+    state.Set("bids", Value(seen));
+    state.Set("maxPrice", Value(best));
+    state.Set("seller", r.payload.Get("seller"));
+    ctx->PutState(r.key, std::move(state));
+    return Status::OK();
+  }
+
+ private:
+  int32_t bids_per_auction_;
+};
+
+/// Keeps the last `window` selling prices per seller as a ring buffer plus
+/// the running average — Beam's NEXMark query 6 state.
+class Q6AverageOperator : public dataflow::Operator {
+ public:
+  explicit Q6AverageOperator(int32_t window) : window_(window) {}
+
+  Status ProcessRecord(const Record& r, OperatorContext* ctx) override {
+    Object state = ctx->GetState(r.key).value_or(Object());
+    const int64_t price = r.payload.Get("price").AsInt64();
+    int64_t count = state.Get("count").AsInt64();
+    int64_t next = state.Get("next").AsInt64();
+    state.Set("p" + std::to_string(next), Value(price));
+    next = (next + 1) % window_;
+    count = std::min<int64_t>(count + 1, window_);
+    double sum = 0.0;
+    for (int64_t i = 0; i < count; ++i) {
+      sum += state.Get("p" + std::to_string(i)).AsDouble();
+    }
+    const double average = sum / static_cast<double>(count);
+    state.Set("count", Value(count));
+    state.Set("next", Value(next));
+    state.Set("average", Value(average));
+    state.Set("seller", r.key);
+    ctx->PutState(r.key, state);
+    Object out;
+    out.Set("seller", r.key);
+    out.Set("average", Value(average));
+    ctx->Emit(Record::Data(r.key, std::move(out), r.source_nanos));
+    return Status::OK();
+  }
+
+ private:
+  int32_t window_;
+};
+
+}  // namespace
+
+Bid BidAt(const NexmarkConfig& config, int64_t offset) {
+  Bid bid;
+  bid.auction_id = offset / config.bids_per_auction;
+  bid.seller_id = bid.auction_id % config.num_sellers;
+  bid.price =
+      100 + static_cast<int64_t>(
+                CombineHashes(config.seed, HashInt64(offset)) % 10000);
+  bid.closes_auction =
+      offset % config.bids_per_auction == config.bids_per_auction - 1;
+  return bid;
+}
+
+dataflow::Record BidToRecord(const Bid& bid, int64_t now_nanos) {
+  Object payload;
+  payload.Set("price", Value(bid.price));
+  payload.Set("seller", Value(bid.seller_id));
+  return Record::Data(Value(bid.auction_id), std::move(payload), now_nanos);
+}
+
+dataflow::JobGraph BuildQ6Graph(const NexmarkConfig& config,
+                                int32_t source_parallelism,
+                                int32_t operator_parallelism,
+                                Histogram* latency) {
+  dataflow::JobGraph graph;
+  dataflow::GeneratorSource::Options source_options;
+  source_options.total_records = config.total_events;
+  source_options.target_rate = config.target_rate;
+  source_options.linger = config.linger;
+  const int32_t src = graph.AddSource(
+      kSourceVertex, source_parallelism,
+      dataflow::MakeGeneratorSourceFactory(
+          source_options,
+          [config](int64_t offset, OperatorContext* ctx) {
+            return BidToRecord(BidAt(config, offset), ctx->NowNanos());
+          }));
+  const int32_t winning = graph.AddOperator(
+      kWinningBidsVertex, operator_parallelism,
+      [config](int32_t /*instance*/) {
+        return std::make_unique<WinningBidsOperator>(
+            config.bids_per_auction);
+      });
+  const int32_t average = graph.AddOperator(
+      kAverageVertex, operator_parallelism, [config](int32_t /*instance*/) {
+        return std::make_unique<Q6AverageOperator>(config.window_size);
+      });
+  dataflow::OperatorFactory sink_factory =
+      latency != nullptr
+          ? dataflow::MakeLatencySinkFactory(latency)
+          : dataflow::MakeLambdaOperatorFactory(
+                [](const Record&, OperatorContext*) { return Status::OK(); });
+  const int32_t sink = graph.AddSink(kSinkVertex, 1, std::move(sink_factory));
+  (void)graph.Connect(src, winning, dataflow::EdgeKind::kKeyed);
+  (void)graph.Connect(winning, average, dataflow::EdgeKind::kKeyed);
+  (void)graph.Connect(average, sink, dataflow::EdgeKind::kForward);
+  return graph;
+}
+
+namespace {
+
+int32_t MakeBidSource(dataflow::JobGraph* graph, const NexmarkConfig& config,
+                      bool with_event_time) {
+  dataflow::GeneratorSource::Options source_options;
+  source_options.total_records = config.total_events;
+  source_options.target_rate = config.target_rate;
+  source_options.linger = config.linger;
+  return graph->AddSource(
+      kSourceVertex, 1,
+      dataflow::MakeGeneratorSourceFactory(
+          source_options,
+          [config, with_event_time](int64_t offset, OperatorContext* ctx) {
+            Record r = BidToRecord(BidAt(config, offset), ctx->NowNanos());
+            if (with_event_time) {
+              // Deterministic event time: one bid per microsecond.
+              r.payload.Set("eventTime", Value(offset));
+            }
+            return r;
+          }));
+}
+
+int32_t AddSink(dataflow::JobGraph* graph, Histogram* latency) {
+  dataflow::OperatorFactory sink_factory =
+      latency != nullptr
+          ? dataflow::MakeLatencySinkFactory(latency)
+          : dataflow::MakeLambdaOperatorFactory(
+                [](const Record&, OperatorContext*) { return Status::OK(); });
+  return graph->AddSink(kSinkVertex, 1, std::move(sink_factory));
+}
+
+}  // namespace
+
+dataflow::JobGraph BuildQ1Graph(const NexmarkConfig& config,
+                                int32_t operator_parallelism,
+                                Histogram* latency) {
+  dataflow::JobGraph graph;
+  const int32_t src = MakeBidSource(&graph, config, /*with_event_time=*/false);
+  const int32_t convert = graph.AddOperator(
+      "q1convert", operator_parallelism,
+      dataflow::MakeLambdaOperatorFactory(
+          [](const Record& r, OperatorContext* ctx) {
+            Object out = r.payload;
+            // NEXMark q1's canonical dollar→euro rate.
+            out.Set("priceEur",
+                    Value(r.payload.Get("price").AsDouble() * 0.908));
+            ctx->Emit(Record::Data(r.key, std::move(out), r.source_nanos));
+            return Status::OK();
+          }),
+      /*stateful=*/false);
+  const int32_t sink = AddSink(&graph, latency);
+  (void)graph.Connect(src, convert, dataflow::EdgeKind::kKeyed);
+  (void)graph.Connect(convert, sink, dataflow::EdgeKind::kForward);
+  return graph;
+}
+
+dataflow::JobGraph BuildQ2Graph(const NexmarkConfig& config, int64_t modulo,
+                                int32_t operator_parallelism,
+                                Histogram* latency) {
+  dataflow::JobGraph graph;
+  const int32_t src = MakeBidSource(&graph, config, /*with_event_time=*/false);
+  const int32_t filter = graph.AddOperator(
+      "q2filter", operator_parallelism,
+      dataflow::MakeLambdaOperatorFactory(
+          [modulo](const Record& r, OperatorContext* ctx) {
+            if (r.key.AsInt64() % modulo == 0) {
+              ctx->Emit(Record::Data(r.key, r.payload, r.source_nanos));
+            }
+            return Status::OK();
+          }),
+      /*stateful=*/false);
+  const int32_t sink = AddSink(&graph, latency);
+  (void)graph.Connect(src, filter, dataflow::EdgeKind::kKeyed);
+  (void)graph.Connect(filter, sink, dataflow::EdgeKind::kForward);
+  return graph;
+}
+
+dataflow::JobGraph BuildQ5Graph(const NexmarkConfig& config,
+                                int64_t window_micros,
+                                int32_t operator_parallelism,
+                                Histogram* latency) {
+  dataflow::JobGraph graph;
+  const int32_t src = MakeBidSource(&graph, config, /*with_event_time=*/true);
+  dataflow::TumblingWindowOperator::Options window_options;
+  window_options.window_size_micros = window_micros;
+  window_options.time_field = "eventTime";
+  window_options.value_field = "price";
+  const int32_t window = graph.AddOperator(
+      kQ5WindowVertex, operator_parallelism,
+      dataflow::MakeTumblingWindowFactory(window_options));
+  const int32_t sink = AddSink(&graph, latency);
+  (void)graph.Connect(src, window, dataflow::EdgeKind::kKeyed);
+  (void)graph.Connect(window, sink, dataflow::EdgeKind::kForward);
+  return graph;
+}
+
+std::map<int64_t, Q6SellerState> ComputeQ6Reference(
+    const NexmarkConfig& config, int64_t total_events) {
+  std::map<int64_t, int64_t> auction_best;
+  std::map<int64_t, int64_t> auction_bids;
+  std::map<int64_t, Q6SellerState> sellers;
+  for (int64_t offset = 0; offset < total_events; ++offset) {
+    const Bid bid = BidAt(config, offset);
+    auto& best = auction_best[bid.auction_id];
+    best = std::max(best, bid.price);
+    if (++auction_bids[bid.auction_id] >= config.bids_per_auction) {
+      Q6SellerState& seller = sellers[bid.seller_id];
+      seller.last_prices.push_back(best);
+      if (static_cast<int32_t>(seller.last_prices.size()) >
+          config.window_size) {
+        seller.last_prices.erase(seller.last_prices.begin());
+      }
+      double sum = 0.0;
+      for (int64_t p : seller.last_prices) sum += static_cast<double>(p);
+      seller.average = sum / static_cast<double>(seller.last_prices.size());
+      auction_best.erase(bid.auction_id);
+      auction_bids.erase(bid.auction_id);
+    }
+  }
+  return sellers;
+}
+
+}  // namespace sq::nexmark

@@ -1,0 +1,116 @@
+#ifndef SQUERY_NEXMARK_NEXMARK_H_
+#define SQUERY_NEXMARK_NEXMARK_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "dataflow/job_graph.h"
+#include "dataflow/operator.h"
+#include "dataflow/record.h"
+#include "kv/object.h"
+#include "kv/value.h"
+
+namespace sq::nexmark {
+
+/// NEXMark workload parameters, mirroring the paper's overhead experiments:
+/// query 6 over an auction/bid stream with 10K sellers, 1-second
+/// checkpoints (Section IX-A).
+struct NexmarkConfig {
+  /// Distinct sellers (the keyed-state cardinality of the q6 operator).
+  int64_t num_sellers = 10000;
+  /// Bids per auction; the last bid closes the auction and determines the
+  /// selling price (the winning bid).
+  int32_t bids_per_auction = 5;
+  /// Selling prices averaged per seller (Beam's q6 uses the last 10).
+  int32_t window_size = 10;
+  /// Total bid events; -1 = unbounded.
+  int64_t total_events = -1;
+  /// Target ingest rate (events/s across all source instances); 0 = max.
+  double target_rate = 0.0;
+  /// Keep sources alive after a bounded stream is exhausted.
+  bool linger = false;
+  /// Deterministic seed for prices.
+  uint64_t seed = 42;
+};
+
+/// One NEXMark bid, derived deterministically from the stream offset.
+struct Bid {
+  int64_t auction_id = 0;
+  int64_t seller_id = 0;
+  int64_t price = 0;
+  bool closes_auction = false;  // last bid of its auction
+};
+
+/// Computes the bid at stream offset `offset` (pure function: the stream is
+/// replayable, as the engine's recovery requires).
+Bid BidAt(const NexmarkConfig& config, int64_t offset);
+
+/// Converts a bid to the engine record (keyed by auction id).
+dataflow::Record BidToRecord(const Bid& bid, int64_t now_nanos);
+
+/// Vertex names used by the q6 pipeline; the corresponding S-QUERY tables
+/// are "winningbids"/"snapshot_winningbids" and "q6avg"/"snapshot_q6avg".
+inline constexpr char kSourceVertex[] = "bids";
+inline constexpr char kWinningBidsVertex[] = "winningbids";
+inline constexpr char kAverageVertex[] = "q6avg";
+inline constexpr char kSinkVertex[] = "sink";
+
+/// Builds NEXMark query 1 (currency conversion): every bid's price is
+/// converted dollar→euro by a stateless map operator. Latency-benchmark
+/// shape: source → map → sink.
+dataflow::JobGraph BuildQ1Graph(const NexmarkConfig& config,
+                                int32_t operator_parallelism,
+                                Histogram* latency);
+
+/// Builds NEXMark query 2 (selection): keeps only bids on auctions whose id
+/// is divisible by `modulo`.
+dataflow::JobGraph BuildQ2Graph(const NexmarkConfig& config, int64_t modulo,
+                                int32_t operator_parallelism,
+                                Histogram* latency);
+
+/// Builds a NEXMark query-5-style pipeline (hot items): tumbling event-time
+/// windows (size `window_micros`, event time = offset microseconds) count
+/// bids per auction. The per-window counts land in the `q5window` operator
+/// state, so "the hottest auction of the last window" is an S-QUERY SQL
+/// query over `snapshot_q5window` instead of a dedicated topology stage.
+dataflow::JobGraph BuildQ5Graph(const NexmarkConfig& config,
+                                int64_t window_micros,
+                                int32_t operator_parallelism,
+                                Histogram* latency);
+
+/// Vertex name of the q5 window operator.
+inline constexpr char kQ5WindowVertex[] = "q5window";
+
+/// Builds the NEXMark query-6 pipeline:
+///
+///   bids --keyed(auction)--> winningbids --keyed(seller)--> q6avg --> sink
+///
+/// `winningbids` tracks the max bid per auction and emits the selling price
+/// when the auction closes; `q6avg` keeps the last `window_size` selling
+/// prices per seller plus their running average (the state the paper's
+/// scalability experiment queries with 10 joins/s). `latency` (may be null)
+/// receives source→sink latencies.
+///
+/// Parallelism: `source_parallelism` source instances and
+/// `operator_parallelism` instances for each stateful vertex.
+dataflow::JobGraph BuildQ6Graph(const NexmarkConfig& config,
+                                int32_t source_parallelism,
+                                int32_t operator_parallelism,
+                                Histogram* latency);
+
+/// Reference (oracle) computation of the q6 state after `total_events`
+/// events: seller id -> (prices window, average). Used by tests to validate
+/// the pipeline end to end.
+struct Q6SellerState {
+  std::vector<int64_t> last_prices;  // oldest first, size <= window_size
+  double average = 0.0;
+};
+std::map<int64_t, Q6SellerState> ComputeQ6Reference(
+    const NexmarkConfig& config, int64_t total_events);
+
+}  // namespace sq::nexmark
+
+#endif  // SQUERY_NEXMARK_NEXMARK_H_

@@ -1,0 +1,197 @@
+#include "query/query_service.h"
+
+#include <string_view>
+
+#include "state/squery_state_store.h"
+
+namespace sq::query {
+
+namespace {
+
+constexpr std::string_view kSnapshotPrefix = "snapshot_";
+constexpr std::string_view kVersionsSuffix = "__versions";
+
+bool IsSnapshotTableName(std::string_view name) {
+  return name.substr(0, kSnapshotPrefix.size()) == kSnapshotPrefix;
+}
+
+bool HasVersionsSuffix(std::string_view name) {
+  return name.size() > kVersionsSuffix.size() &&
+         name.substr(name.size() - kVersionsSuffix.size()) ==
+             kVersionsSuffix;
+}
+
+kv::Object MakeTuple(const kv::Value& key, const kv::Object& value,
+                     std::optional<int64_t> ssid) {
+  kv::Object tuple = value;
+  tuple.Set("key", key);
+  tuple.Set("partitionKey", key);
+  if (ssid.has_value()) {
+    tuple.Set("ssid", kv::Value(*ssid));
+  }
+  return tuple;
+}
+
+/// Binds per-call options to the resolver interface so concurrent Execute
+/// calls do not share mutable state.
+class BoundResolver : public sql::TableResolver {
+ public:
+  BoundResolver(QueryService* service, const QueryOptions& options,
+                Result<std::vector<kv::Object>> (QueryService::*scan)(
+                    const std::string&, std::optional<int64_t>,
+                    const QueryOptions&))
+      : service_(service), options_(options), scan_(scan) {}
+
+  Result<std::vector<kv::Object>> ScanTable(
+      const std::string& table,
+      std::optional<int64_t> requested_ssid) override {
+    return (service_->*scan_)(table, requested_ssid, options_);
+  }
+
+ private:
+  QueryService* service_;
+  QueryOptions options_;
+  Result<std::vector<kv::Object>> (QueryService::*scan_)(
+      const std::string&, std::optional<int64_t>, const QueryOptions&);
+};
+
+}  // namespace
+
+QueryService::QueryService(kv::Grid* grid, state::SnapshotRegistry* registry,
+                           Clock* clock)
+    : grid_(grid),
+      registry_(registry),
+      clock_(clock != nullptr ? clock : SystemClock::Default()) {}
+
+Result<sql::ResultSet> QueryService::Execute(const std::string& sql,
+                                             const QueryOptions& options) {
+  BoundResolver resolver(this, options, &QueryService::ScanTableImpl);
+  sql::ExecOptions exec_options;
+  exec_options.local_timestamp_micros = UnixMicros();
+  return sql::ExecuteSql(sql, &resolver, exec_options);
+}
+
+Result<std::vector<kv::Object>> QueryService::ScanTable(
+    const std::string& table, std::optional<int64_t> requested_ssid) {
+  return ScanTableImpl(table, requested_ssid, QueryOptions{});
+}
+
+Result<int64_t> QueryService::ResolveSsid(std::optional<int64_t> requested,
+                                          const QueryOptions& options) {
+  const int64_t start = clock_->NowNanos();
+  Result<int64_t> resolved =
+      registry_->Resolve(requested.has_value() ? requested
+                                               : options.snapshot_id);
+  last_resolve_nanos_.store(clock_->NowNanos() - start);
+  return resolved;
+}
+
+Result<std::vector<kv::Object>> QueryService::ScanTableImpl(
+    const std::string& table, std::optional<int64_t> requested_ssid,
+    const QueryOptions& options) {
+  std::vector<kv::Object> tuples;
+  if (IsSnapshotTableName(table)) {
+    std::string base = table;
+    const bool all_versions = HasVersionsSuffix(table);
+    if (all_versions) {
+      base = table.substr(0, table.size() - kVersionsSuffix.size());
+    }
+    kv::SnapshotTable* snap = grid_->GetSnapshotTable(base);
+    if (snap == nullptr) {
+      return Status::NotFound("no snapshot table named " + base);
+    }
+    if (all_versions) {
+      // One reconstructed view per retained version; `ssid` column tells
+      // versions apart.
+      for (int64_t version : registry_->RetainedVersions()) {
+        snap->ScanAt(version, [&tuples, version](const kv::Value& key,
+                                                 int64_t /*entry_ssid*/,
+                                                 const kv::Object& value) {
+          tuples.push_back(MakeTuple(key, value, version));
+        });
+      }
+      return tuples;
+    }
+    SQ_ASSIGN_OR_RETURN(const int64_t ssid,
+                        ResolveSsid(requested_ssid, options));
+    snap->ScanAt(ssid, [&tuples, ssid](const kv::Value& key,
+                                       int64_t /*entry_ssid*/,
+                                       const kv::Object& value) {
+      tuples.push_back(MakeTuple(key, value, ssid));
+    });
+    return tuples;
+  }
+
+  // Live table.
+  if (state::ReadsSnapshots(options.isolation)) {
+    return Status::InvalidArgument(
+        "live table \"" + table + "\" cannot be read at isolation level '" +
+        state::IsolationLevelToString(options.isolation) +
+        "'; query snapshot_" + table +
+        " instead, or lower the isolation level");
+  }
+  kv::LiveMap* live = grid_->GetLiveMap(table);
+  if (live == nullptr) {
+    return Status::NotFound("no live table named " + table);
+  }
+  live->ForEach([&tuples](const kv::Value& key, const kv::Object& value) {
+    tuples.push_back(MakeTuple(key, value, std::nullopt));
+  });
+  return tuples;
+}
+
+Result<std::vector<std::pair<kv::Value, kv::Object>>>
+QueryService::GetLiveObjects(const std::string& operator_name,
+                             const std::vector<kv::Value>& keys) {
+  kv::LiveMap* live =
+      grid_->GetLiveMap(state::LiveTableName(operator_name));
+  if (live == nullptr) {
+    return Status::NotFound("no live table for operator " + operator_name);
+  }
+  std::vector<std::pair<kv::Value, kv::Object>> out;
+  out.reserve(keys.size());
+  for (const kv::Value& key : keys) {
+    if (auto value = live->Get(key); value.has_value()) {
+      out.emplace_back(key, std::move(*value));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<kv::Value, kv::Object>>>
+QueryService::GetSnapshotObjects(const std::string& operator_name,
+                                 const std::vector<kv::Value>& keys,
+                                 std::optional<int64_t> ssid) {
+  kv::SnapshotTable* snap =
+      grid_->GetSnapshotTable(state::SnapshotTableName(operator_name));
+  if (snap == nullptr) {
+    return Status::NotFound("no snapshot table for operator " +
+                            operator_name);
+  }
+  SQ_ASSIGN_OR_RETURN(const int64_t resolved,
+                      ResolveSsid(ssid, QueryOptions{}));
+  std::vector<std::pair<kv::Value, kv::Object>> out;
+  out.reserve(keys.size());
+  for (const kv::Value& key : keys) {
+    if (auto value = snap->GetAt(key, resolved); value.has_value()) {
+      out.emplace_back(key, std::move(*value));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<kv::Value, kv::Object>>>
+QueryService::ScanLiveObjects(const std::string& operator_name) {
+  kv::LiveMap* live =
+      grid_->GetLiveMap(state::LiveTableName(operator_name));
+  if (live == nullptr) {
+    return Status::NotFound("no live table for operator " + operator_name);
+  }
+  std::vector<std::pair<kv::Value, kv::Object>> out;
+  live->ForEach([&out](const kv::Value& key, const kv::Object& value) {
+    out.emplace_back(key, value);
+  });
+  return out;
+}
+
+}  // namespace sq::query

@@ -1,0 +1,94 @@
+#ifndef SQUERY_QUERY_QUERY_SERVICE_H_
+#define SQUERY_QUERY_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "kv/grid.h"
+#include "sql/executor.h"
+#include "sql/result_set.h"
+#include "state/isolation.h"
+#include "state/snapshot_registry.h"
+
+namespace sq::query {
+
+/// Per-query options.
+struct QueryOptions {
+  /// Requested isolation level. Snapshot/serializable queries may only touch
+  /// `snapshot_*` tables; read-uncommitted/read-committed queries may touch
+  /// live tables (and snapshot tables, which are always consistent).
+  state::IsolationLevel isolation = state::IsolationLevel::kSerializable;
+  /// Pins all snapshot scans to this version (time travel / auditing).
+  /// Overridden by an explicit `ssid = n` WHERE conjunct; defaults to the
+  /// latest committed snapshot.
+  std::optional<int64_t> snapshot_id;
+};
+
+/// The query subsystem of Fig. 1: the entry point external applications use
+/// to query stream-processor state, via SQL or the direct object interface.
+///
+/// Table namespace:
+///   `<operator>`                    live state (Table I)
+///   `snapshot_<operator>`           committed snapshot view (Table II)
+///   `snapshot_<operator>__versions` every retained version of every key,
+///                                   with the `ssid` column telling versions
+///                                   apart (Section VI-A, multi-version
+///                                   result sets)
+class QueryService : public sql::TableResolver {
+ public:
+  QueryService(kv::Grid* grid, state::SnapshotRegistry* registry,
+               Clock* clock = nullptr);
+
+  /// Runs a SQL SELECT. The result's LOCALTIMESTAMP is bound once at query
+  /// start.
+  Result<sql::ResultSet> Execute(const std::string& sql,
+                                 const QueryOptions& options = {});
+
+  /// Direct object interface, live state: point lookups through key-level
+  /// locks (read committed under no failures). Missing keys are skipped.
+  Result<std::vector<std::pair<kv::Value, kv::Object>>> GetLiveObjects(
+      const std::string& operator_name, const std::vector<kv::Value>& keys);
+
+  /// Direct object interface, snapshot state at `ssid` (nullopt = latest).
+  Result<std::vector<std::pair<kv::Value, kv::Object>>> GetSnapshotObjects(
+      const std::string& operator_name, const std::vector<kv::Value>& keys,
+      std::optional<int64_t> ssid = std::nullopt);
+
+  /// Full live-state scan of one operator via the direct interface.
+  Result<std::vector<std::pair<kv::Value, kv::Object>>> ScanLiveObjects(
+      const std::string& operator_name);
+
+  /// Nanoseconds spent resolving the snapshot id in the most recent
+  /// snapshot-table access ("snapshot ID retrieval time", Section IX-D).
+  int64_t last_ssid_resolve_nanos() const {
+    return last_resolve_nanos_.load();
+  }
+
+  // sql::TableResolver (scans with default options; Execute() binds per-call
+  // options through an internal resolver so concurrent queries are safe):
+  Result<std::vector<kv::Object>> ScanTable(
+      const std::string& table,
+      std::optional<int64_t> requested_ssid) override;
+
+ private:
+  Result<std::vector<kv::Object>> ScanTableImpl(
+      const std::string& table, std::optional<int64_t> requested_ssid,
+      const QueryOptions& options);
+  Result<int64_t> ResolveSsid(std::optional<int64_t> requested,
+                              const QueryOptions& options);
+
+  kv::Grid* grid_;
+  state::SnapshotRegistry* registry_;
+  Clock* clock_;
+  std::atomic<int64_t> last_resolve_nanos_{0};
+};
+
+}  // namespace sq::query
+
+#endif  // SQUERY_QUERY_QUERY_SERVICE_H_

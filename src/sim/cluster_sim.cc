@@ -1,0 +1,100 @@
+#include "sim/cluster_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace sq::sim {
+
+int32_t Dop(const ClusterConfig& config) {
+  return config.nodes * config.workers_per_node;
+}
+
+void SimulateRun(const ClusterConfig& config, double events_per_sec,
+                 double duration_s, SimOutcome* out) {
+  SimOutcome& outcome = *out;
+  outcome.latency_ns.Reset();
+  outcome.offered_rate = events_per_sec;
+
+  const int32_t dop = Dop(config);
+  const double worker_rate = events_per_sec / dop;  // arrivals/s per worker
+  const double service_s =
+      (config.service_time_us + config.squery_per_event_us) * 1e-6;
+  const double pause_s =
+      (config.snapshot_pause_ms + config.query_pause_ms) * 1e-3;
+  const double base_s = config.base_latency_ms * 1e-3;
+
+  // Workers are iid; simulate one representative worker and read the
+  // cluster-wide distribution off it. M/D/1 with deterministic service and
+  // periodic full pauses at every checkpoint.
+  Rng rng(config.seed);
+  double now = 0.0;          // next arrival time
+  double server_free = 0.0;  // earliest time the worker can start new work
+  double busy = 0.0;
+  double paused = 0.0;
+  double next_ckpt = config.snapshot_interval_s;
+  double worst_backlog = 0.0;
+
+  while (true) {
+    // Exponential inter-arrival (Poisson arrivals).
+    now += -std::log(1.0 - rng.NextDouble()) / worker_rate;
+    if (now >= duration_s) break;
+
+    double start = std::max(now, server_free);
+    // Apply any checkpoint pauses scheduled before this event starts: the
+    // worker stops processing records while its snapshot is written
+    // (alignment + phase-1 write).
+    while (next_ckpt <= start) {
+      server_free = std::max(server_free, next_ckpt) + pause_s;
+      paused += pause_s;
+      next_ckpt += config.snapshot_interval_s;
+      start = std::max(now, server_free);
+    }
+    const double done = start + service_s;
+    server_free = done;
+    busy += service_s;
+    worst_backlog = std::max(worst_backlog, server_free - now);
+    outcome.latency_ns.Record(
+        static_cast<int64_t>((done - now + base_s) * 1e9));
+  }
+
+  outcome.utilization = busy / duration_s;
+  // Sustainable = the queue never built up beyond a second of work and the
+  // worker (including its checkpoint pauses) is not saturated.
+  const double final_backlog = std::max(0.0, server_free - duration_s);
+  outcome.sustainable = worst_backlog < 1.0 && final_backlog < 0.25 &&
+                        (busy + paused) / duration_s < 0.98;
+}
+
+namespace {
+bool Sustainable(const ClusterConfig& config, double rate, double duration_s) {
+  SimOutcome outcome;
+  SimulateRun(config, rate, duration_s, &outcome);
+  return outcome.sustainable;
+}
+}  // namespace
+
+double MaxSustainableThroughput(const ClusterConfig& config,
+                                double hi_guess_events_per_sec,
+                                double duration_s) {
+  double lo = 0.0;
+  double hi = hi_guess_events_per_sec;
+  // Grow the bracket if the guess itself is sustainable.
+  while (Sustainable(config, hi, duration_s)) {
+    lo = hi;
+    hi *= 2.0;
+    if (hi > 1e9) break;
+  }
+  for (int iter = 0; iter < 18; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    if (Sustainable(config, mid, duration_s)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace sq::sim

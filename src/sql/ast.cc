@@ -1,0 +1,161 @@
+#include "sql/ast.h"
+
+namespace sq::sql {
+
+const char* BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "!=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+bool IsAggregateFunction(const std::string& upper_name) {
+  return upper_name == "COUNT" || upper_name == "SUM" ||
+         upper_name == "AVG" || upper_name == "MIN" || upper_name == "MAX";
+}
+
+std::unique_ptr<Expr> Expr::MakeColumn(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeLiteral(kv::Value value) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(value);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeUnary(UnaryOp op,
+                                      std::unique_ptr<Expr> operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->unary_op = op;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeBinary(BinaryOp op, std::unique_ptr<Expr> lhs,
+                                       std::unique_ptr<Expr> rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->binary_op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeCall(std::string func,
+                                     std::vector<std::unique_ptr<Expr>> args,
+                                     bool star) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFuncCall;
+  e->column = std::move(func);
+  e->children = std::move(args);
+  e->star = star;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->table = table;
+  e->column = column;
+  e->literal = literal;
+  e->unary_op = unary_op;
+  e->binary_op = binary_op;
+  e->star = star;
+  e->distinct_arg = distinct_arg;
+  e->children.reserve(children.size());
+  for (const auto& child : children) {
+    e->children.push_back(child->Clone());
+  }
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kColumnRef:
+      return table.empty() ? column : table + "." + column;
+    case ExprKind::kLiteral:
+      return literal.is_string() ? "'" + literal.ToString() + "'"
+                                 : literal.ToString();
+    case ExprKind::kUnary:
+      switch (unary_op) {
+        case UnaryOp::kNot:
+          return "NOT " + children[0]->ToString();
+        case UnaryOp::kNeg:
+          return "-" + children[0]->ToString();
+        case UnaryOp::kIsNull:
+          return children[0]->ToString() + " IS NULL";
+        case UnaryOp::kIsNotNull:
+          return children[0]->ToString() + " IS NOT NULL";
+      }
+      return "?";
+    case ExprKind::kBinary:
+      return "(" + children[0]->ToString() + " " +
+             BinaryOpToString(binary_op) + " " + children[1]->ToString() +
+             ")";
+    case ExprKind::kFuncCall: {
+      std::string out = column + "(";
+      if (star) {
+        out += "*";
+      } else {
+        if (distinct_arg) out += "DISTINCT ";
+        for (size_t i = 0; i < children.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += children[i]->ToString();
+        }
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+bool Expr::ContainsAggregate() const {
+  if (kind == ExprKind::kFuncCall && IsAggregateFunction(column)) {
+    return true;
+  }
+  for (const auto& child : children) {
+    if (child->ContainsAggregate()) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> SelectStatement::ReferencedTables() const {
+  std::vector<std::string> tables;
+  tables.push_back(from.name);
+  for (const auto& join : joins) {
+    tables.push_back(join.table.name);
+  }
+  return tables;
+}
+
+}  // namespace sq::sql

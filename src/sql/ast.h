@@ -1,0 +1,131 @@
+#ifndef SQUERY_SQL_AST_H_
+#define SQUERY_SQL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kv/value.h"
+
+namespace sq::sql {
+
+enum class ExprKind {
+  kColumnRef,
+  kLiteral,
+  kUnary,
+  kBinary,
+  kFuncCall,
+};
+
+enum class BinaryOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+};
+
+enum class UnaryOp { kNot, kNeg, kIsNull, kIsNotNull };
+
+const char* BinaryOpToString(BinaryOp op);
+
+/// Expression tree node. A closed set of kinds with a discriminant, rather
+/// than RTTI-based dispatch, per the style guide.
+struct Expr {
+  ExprKind kind;
+
+  // kColumnRef
+  std::string table;   // optional qualifier
+  std::string column;  // also the function name for kFuncCall
+
+  // kLiteral
+  kv::Value literal;
+
+  // kUnary / kBinary / kFuncCall
+  UnaryOp unary_op = UnaryOp::kNot;
+  BinaryOp binary_op = BinaryOp::kEq;
+  std::vector<std::unique_ptr<Expr>> children;
+  bool star = false;          // COUNT(*)
+  bool distinct_arg = false;  // COUNT(DISTINCT x) / SUM(DISTINCT x) / ...
+
+  static std::unique_ptr<Expr> MakeColumn(std::string table,
+                                          std::string column);
+  static std::unique_ptr<Expr> MakeLiteral(kv::Value value);
+  static std::unique_ptr<Expr> MakeUnary(UnaryOp op,
+                                         std::unique_ptr<Expr> operand);
+  static std::unique_ptr<Expr> MakeBinary(BinaryOp op,
+                                          std::unique_ptr<Expr> lhs,
+                                          std::unique_ptr<Expr> rhs);
+  static std::unique_ptr<Expr> MakeCall(std::string func,
+                                        std::vector<std::unique_ptr<Expr>> args,
+                                        bool star);
+
+  /// Deep copy.
+  std::unique_ptr<Expr> Clone() const;
+
+  /// Canonical text rendering (used for result column names).
+  std::string ToString() const;
+
+  /// True if this subtree contains an aggregate function call.
+  bool ContainsAggregate() const;
+};
+
+/// One item of the SELECT list.
+struct SelectItem {
+  std::unique_ptr<Expr> expr;
+  std::string alias;  // empty = derive from expr
+
+  std::string OutputName() const {
+    return alias.empty() ? expr->ToString() : alias;
+  }
+};
+
+struct TableRef {
+  std::string name;
+  std::string alias;  // empty = name
+
+  const std::string& effective_name() const {
+    return alias.empty() ? name : alias;
+  }
+};
+
+struct JoinClause {
+  TableRef table;
+  /// JOIN ... USING(column): equi-join on a shared column name. The paper's
+  /// queries join operator states on `partitionKey`.
+  std::string using_column;
+};
+
+/// Parsed SELECT statement (the only statement kind S-QUERY serves).
+struct SelectStatement {
+  bool select_star = false;
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  TableRef from;
+  std::vector<JoinClause> joins;
+  std::unique_ptr<Expr> where;                       // may be null
+  std::vector<std::unique_ptr<Expr>> group_by;       // may be empty
+  std::unique_ptr<Expr> having;                      // may be null
+  std::vector<std::pair<std::unique_ptr<Expr>, bool>> order_by;  // expr, desc
+  int64_t limit = -1;  // -1 = unlimited
+
+  /// All table names referenced (FROM + JOINs).
+  std::vector<std::string> ReferencedTables() const;
+};
+
+/// True if `name` is one of the aggregate functions (COUNT/SUM/AVG/MIN/MAX).
+bool IsAggregateFunction(const std::string& upper_name);
+
+}  // namespace sq::sql
+
+#endif  // SQUERY_SQL_AST_H_

@@ -1,0 +1,30 @@
+#ifndef SQUERY_SQL_EVAL_H_
+#define SQUERY_SQL_EVAL_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "kv/object.h"
+#include "sql/ast.h"
+
+namespace sq::sql {
+
+/// Per-query evaluation environment.
+struct EvalContext {
+  /// Value of LOCALTIMESTAMP, fixed once per query so all rows see the same
+  /// timestamp. Unix microseconds.
+  int64_t local_timestamp_micros = 0;
+};
+
+/// Evaluates a scalar (non-aggregate) expression against one tuple. Column
+/// references resolve against the tuple's fields: a qualified reference
+/// `t.c` first tries the field "t.c" (kept on join-name conflicts), then
+/// "c". Unknown columns evaluate to NULL.
+Result<kv::Value> EvalScalar(const Expr& expr, const kv::Object& tuple,
+                             const EvalContext& ctx);
+
+/// SQL three-valued logic is simplified to two-valued here: NULL compares
+/// false, arithmetic on NULL yields NULL.
+}  // namespace sq::sql
+
+#endif  // SQUERY_SQL_EVAL_H_

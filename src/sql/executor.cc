@@ -1,0 +1,421 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "sql/eval.h"
+#include "sql/parser.h"
+
+namespace sq::sql {
+
+namespace {
+
+using kv::Object;
+using kv::Value;
+
+/// Collects `ssid = <int literal>` equality conjuncts from the WHERE tree:
+/// unqualified ones apply to every snapshot table; `t.ssid = n` applies to
+/// table (alias) `t`. Only top-level AND conjuncts are considered — an OR
+/// over ssids is not a version pin.
+void CollectSsidFilters(const Expr* where,
+                        std::map<std::string, int64_t>* per_table,
+                        std::optional<int64_t>* global) {
+  if (where == nullptr) return;
+  if (where->kind == ExprKind::kBinary &&
+      where->binary_op == BinaryOp::kAnd) {
+    CollectSsidFilters(where->children[0].get(), per_table, global);
+    CollectSsidFilters(where->children[1].get(), per_table, global);
+    return;
+  }
+  if (where->kind != ExprKind::kBinary ||
+      where->binary_op != BinaryOp::kEq) {
+    return;
+  }
+  const Expr* lhs = where->children[0].get();
+  const Expr* rhs = where->children[1].get();
+  if (lhs->kind != ExprKind::kColumnRef) std::swap(lhs, rhs);
+  if (lhs->kind != ExprKind::kColumnRef ||
+      rhs->kind != ExprKind::kLiteral || !rhs->literal.is_int64()) {
+    return;
+  }
+  if (lhs->column != "ssid") return;
+  if (lhs->table.empty()) {
+    *global = rhs->literal.int64_value();
+  } else {
+    (*per_table)[lhs->table] = rhs->literal.int64_value();
+  }
+}
+
+/// Merges a joined tuple: right-side fields are added; on a name conflict
+/// the left value wins and the right value is preserved under
+/// "<right alias>.<field>".
+Object MergeTuples(const Object& left, const Object& right,
+                   const std::string& right_name) {
+  Object out = left;
+  for (const auto& [name, value] : right.fields()) {
+    if (out.Has(name)) {
+      out.Set(right_name + "." + name, value);
+    } else {
+      out.Set(name, value);
+    }
+  }
+  return out;
+}
+
+struct AggregateSpec {
+  const Expr* call = nullptr;  // points into the statement
+  std::string id;              // canonical text, used as substitution key
+};
+
+/// Finds all aggregate calls in an expression tree.
+void CollectAggregates(const Expr* expr, std::vector<AggregateSpec>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind == ExprKind::kFuncCall && IsAggregateFunction(expr->column)) {
+    const std::string id = expr->ToString();
+    for (const auto& spec : *out) {
+      if (spec.id == id) return;
+    }
+    out->push_back(AggregateSpec{expr, id});
+    return;  // aggregates do not nest
+  }
+  for (const auto& child : expr->children) {
+    CollectAggregates(child.get(), out);
+  }
+}
+
+/// Computes one aggregate over the rows of a group.
+Result<Value> ComputeAggregate(const AggregateSpec& spec,
+                               const std::vector<const Object*>& rows,
+                               const EvalContext& ctx) {
+  const Expr& call = *spec.call;
+  if (call.column == "COUNT") {
+    if (call.star) return Value(static_cast<int64_t>(rows.size()));
+    if (call.children.empty()) {
+      return Status::InvalidArgument("COUNT requires an argument or *");
+    }
+    int64_t count = 0;
+    std::set<Value> seen_distinct;
+    for (const Object* row : rows) {
+      SQ_ASSIGN_OR_RETURN(Value v, EvalScalar(*call.children[0], *row, ctx));
+      if (v.is_null()) continue;
+      if (call.distinct_arg && !seen_distinct.insert(v).second) continue;
+      ++count;
+    }
+    return Value(count);
+  }
+  if (call.children.size() != 1) {
+    return Status::InvalidArgument(call.column + " requires one argument");
+  }
+  bool first = true;
+  bool all_int = true;
+  double sum = 0.0;
+  int64_t isum = 0;
+  int64_t count = 0;
+  Value best;
+  std::set<Value> seen_distinct;
+  for (const Object* row : rows) {
+    SQ_ASSIGN_OR_RETURN(Value v, EvalScalar(*call.children[0], *row, ctx));
+    if (v.is_null()) continue;
+    if (call.distinct_arg && !seen_distinct.insert(v).second) continue;
+    ++count;
+    if (call.column == "MIN" || call.column == "MAX") {
+      if (first || (call.column == "MIN" ? v < best : best < v)) best = v;
+      first = false;
+      continue;
+    }
+    if (!v.is_numeric()) {
+      return Status::InvalidArgument(call.column + " over non-numeric value");
+    }
+    if (v.is_int64()) {
+      isum += v.int64_value();
+    } else {
+      all_int = false;
+    }
+    sum += v.AsDouble();
+  }
+  if (call.column == "MIN" || call.column == "MAX") {
+    return first ? Value::Null() : best;
+  }
+  if (count == 0) return Value::Null();
+  if (call.column == "SUM") {
+    return all_int ? Value(isum) : Value(sum);
+  }
+  if (call.column == "AVG") {
+    return Value(sum / static_cast<double>(count));
+  }
+  return Status::Internal("unhandled aggregate " + call.column);
+}
+
+/// Evaluates an expression where aggregate subtrees are replaced by their
+/// precomputed values (keyed by canonical text).
+Result<Value> EvalWithAggregates(
+    const Expr& expr, const Object& tuple,
+    const std::unordered_map<std::string, Value>& agg_values,
+    const EvalContext& ctx) {
+  if (expr.kind == ExprKind::kFuncCall && IsAggregateFunction(expr.column)) {
+    auto it = agg_values.find(expr.ToString());
+    if (it == agg_values.end()) {
+      return Status::Internal("aggregate not precomputed: " +
+                              expr.ToString());
+    }
+    return it->second;
+  }
+  if (expr.children.empty()) {
+    return EvalScalar(expr, tuple, ctx);
+  }
+  // Rebuild the node with aggregate children replaced by literals, then
+  // evaluate normally.
+  auto clone = expr.Clone();
+  for (auto& child : clone->children) {
+    SQ_ASSIGN_OR_RETURN(Value v,
+                        EvalWithAggregates(*child, tuple, agg_values, ctx));
+    child = Expr::MakeLiteral(std::move(v));
+  }
+  // All children are now literals; EvalScalar handles the rest.
+  return EvalScalar(*clone, tuple, ctx);
+}
+
+struct GroupKeyHash {
+  size_t operator()(const std::vector<Value>& key) const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (const Value& v : key) {
+      h = sq::CombineHashes(h, v.Hash());
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
+Result<ResultSet> ExecuteSelect(const SelectStatement& stmt,
+                                TableResolver* resolver,
+                                const ExecOptions& options) {
+  EvalContext ctx;
+  ctx.local_timestamp_micros = options.local_timestamp_micros;
+
+  // --- Resolve snapshot-version pins from the WHERE clause.
+  std::map<std::string, int64_t> ssid_by_table;
+  std::optional<int64_t> global_ssid;
+  CollectSsidFilters(stmt.where.get(), &ssid_by_table, &global_ssid);
+  auto ssid_for = [&](const TableRef& ref) -> std::optional<int64_t> {
+    auto it = ssid_by_table.find(ref.effective_name());
+    if (it != ssid_by_table.end()) return it->second;
+    return global_ssid;
+  };
+
+  // --- Scan + joins.
+  SQ_ASSIGN_OR_RETURN(std::vector<Object> tuples,
+                      resolver->ScanTable(stmt.from.name, ssid_for(stmt.from)));
+  for (const JoinClause& join : stmt.joins) {
+    SQ_ASSIGN_OR_RETURN(
+        std::vector<Object> right,
+        resolver->ScanTable(join.table.name, ssid_for(join.table)));
+    // Build side: hash the (smaller, typically right) input on the USING
+    // column; S-QUERY's extension of the IMDG SQL interface (Section VI-A).
+    std::unordered_map<Value, std::vector<const Object*>, kv::ValueHash>
+        index;
+    index.reserve(right.size());
+    for (const Object& tuple : right) {
+      const Value& key = tuple.Get(join.using_column);
+      if (key.is_null()) continue;
+      index[key].push_back(&tuple);
+    }
+    std::vector<Object> joined;
+    joined.reserve(tuples.size());
+    for (const Object& left : tuples) {
+      const Value& key = left.Get(join.using_column);
+      if (key.is_null()) continue;
+      auto it = index.find(key);
+      if (it == index.end()) continue;
+      for (const Object* match : it->second) {
+        joined.push_back(
+            MergeTuples(left, *match, join.table.effective_name()));
+      }
+    }
+    tuples = std::move(joined);
+  }
+
+  // --- Filter.
+  if (stmt.where != nullptr) {
+    std::vector<Object> kept;
+    kept.reserve(tuples.size());
+    for (Object& tuple : tuples) {
+      SQ_ASSIGN_OR_RETURN(Value pass, EvalScalar(*stmt.where, tuple, ctx));
+      if (pass.Truthy()) kept.push_back(std::move(tuple));
+    }
+    tuples = std::move(kept);
+  }
+
+  // --- Aggregation analysis.
+  std::vector<AggregateSpec> aggregates;
+  for (const SelectItem& item : stmt.items) {
+    CollectAggregates(item.expr.get(), &aggregates);
+  }
+  for (const auto& [expr, desc] : stmt.order_by) {
+    CollectAggregates(expr.get(), &aggregates);
+  }
+  CollectAggregates(stmt.having.get(), &aggregates);
+  const bool aggregating = !aggregates.empty() || !stmt.group_by.empty();
+  if (stmt.having != nullptr && !aggregating) {
+    return Status::InvalidArgument("HAVING requires aggregation");
+  }
+  if (aggregating && stmt.select_star) {
+    return Status::InvalidArgument("SELECT * cannot be combined with "
+                                   "aggregation");
+  }
+
+  // --- Build output column list.
+  std::vector<std::string> columns;
+  if (stmt.select_star) {
+    std::set<std::string> names;
+    for (const Object& tuple : tuples) {
+      for (const auto& [name, value] : tuple.fields()) {
+        names.insert(name);
+      }
+    }
+    columns.assign(names.begin(), names.end());
+  } else {
+    for (const SelectItem& item : stmt.items) {
+      columns.push_back(item.OutputName());
+    }
+  }
+
+  struct OutRow {
+    Row values;
+    std::vector<Value> sort_key;
+  };
+  std::vector<OutRow> out_rows;
+
+  auto emit_row = [&](const Object& tuple,
+                      const std::unordered_map<std::string, Value>& aggs)
+      -> Status {
+    OutRow out;
+    if (stmt.select_star) {
+      out.values.reserve(columns.size());
+      for (const std::string& name : columns) {
+        out.values.push_back(tuple.Get(name));
+      }
+    } else {
+      for (const SelectItem& item : stmt.items) {
+        SQ_ASSIGN_OR_RETURN(
+            Value v, EvalWithAggregates(*item.expr, tuple, aggs, ctx));
+        out.values.push_back(std::move(v));
+      }
+    }
+    for (const auto& [expr, desc] : stmt.order_by) {
+      // ORDER BY an output alias refers to the projected value; otherwise
+      // evaluate against the tuple.
+      if (expr->kind == ExprKind::kColumnRef && expr->table.empty()) {
+        bool found = false;
+        for (size_t c = 0; c < columns.size(); ++c) {
+          if (columns[c] == expr->column) {
+            out.sort_key.push_back(out.values[c]);
+            found = true;
+            break;
+          }
+        }
+        if (found) continue;
+      }
+      SQ_ASSIGN_OR_RETURN(Value v,
+                          EvalWithAggregates(*expr, tuple, aggs, ctx));
+      out.sort_key.push_back(std::move(v));
+    }
+    out_rows.push_back(std::move(out));
+    return Status::OK();
+  };
+
+  if (!aggregating) {
+    for (const Object& tuple : tuples) {
+      SQ_RETURN_IF_ERROR(emit_row(tuple, {}));
+    }
+  } else {
+    // Group rows by the GROUP BY key (single group if none).
+    std::unordered_map<std::vector<Value>, std::vector<const Object*>,
+                       GroupKeyHash>
+        groups;
+    if (stmt.group_by.empty()) {
+      groups[{}] = {};
+      for (const Object& tuple : tuples) {
+        groups[{}].push_back(&tuple);
+      }
+    } else {
+      for (const Object& tuple : tuples) {
+        std::vector<Value> key;
+        key.reserve(stmt.group_by.size());
+        for (const auto& expr : stmt.group_by) {
+          SQ_ASSIGN_OR_RETURN(Value v, EvalScalar(*expr, tuple, ctx));
+          key.push_back(std::move(v));
+        }
+        groups[std::move(key)].push_back(&tuple);
+      }
+    }
+    for (const auto& [key, rows] : groups) {
+      std::unordered_map<std::string, Value> agg_values;
+      for (const AggregateSpec& spec : aggregates) {
+        SQ_ASSIGN_OR_RETURN(Value v, ComputeAggregate(spec, rows, ctx));
+        agg_values[spec.id] = std::move(v);
+      }
+      static const Object kEmpty;
+      const Object& representative = rows.empty() ? kEmpty : *rows.front();
+      if (stmt.having != nullptr) {
+        SQ_ASSIGN_OR_RETURN(
+            Value keep,
+            EvalWithAggregates(*stmt.having, representative, agg_values, ctx));
+        if (!keep.Truthy()) continue;
+      }
+      SQ_RETURN_IF_ERROR(emit_row(representative, agg_values));
+    }
+  }
+
+  // --- DISTINCT.
+  if (stmt.distinct) {
+    std::set<Row> seen;
+    std::vector<OutRow> unique;
+    unique.reserve(out_rows.size());
+    for (OutRow& row : out_rows) {
+      if (seen.insert(row.values).second) {
+        unique.push_back(std::move(row));
+      }
+    }
+    out_rows = std::move(unique);
+  }
+
+  // --- ORDER BY.
+  if (!stmt.order_by.empty()) {
+    std::stable_sort(out_rows.begin(), out_rows.end(),
+                     [&stmt](const OutRow& a, const OutRow& b) {
+                       for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+                         const bool desc = stmt.order_by[i].second;
+                         const Value& x = a.sort_key[i];
+                         const Value& y = b.sort_key[i];
+                         if (x < y) return !desc;
+                         if (y < x) return desc;
+                       }
+                       return false;
+                     });
+  }
+
+  // --- LIMIT.
+  if (stmt.limit >= 0 &&
+      out_rows.size() > static_cast<size_t>(stmt.limit)) {
+    out_rows.resize(static_cast<size_t>(stmt.limit));
+  }
+
+  ResultSet result;
+  result.columns = std::move(columns);
+  result.rows.reserve(out_rows.size());
+  for (OutRow& row : out_rows) {
+    result.rows.push_back(std::move(row.values));
+  }
+  return result;
+}
+
+Result<ResultSet> ExecuteSql(const std::string& sql, TableResolver* resolver,
+                             const ExecOptions& options) {
+  SQ_ASSIGN_OR_RETURN(auto stmt, ParseSelect(sql));
+  return ExecuteSelect(*stmt, resolver, options);
+}
+
+}  // namespace sq::sql

@@ -1,0 +1,51 @@
+#ifndef SQUERY_SQL_EXECUTOR_H_
+#define SQUERY_SQL_EXECUTOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "kv/object.h"
+#include "sql/ast.h"
+#include "sql/result_set.h"
+
+namespace sq::sql {
+
+/// Supplies base-table scans to the executor. The query layer implements
+/// this over the KV grid: live tables scan the LiveMap (key-level locked
+/// reads), snapshot tables scan the SnapshotTable view at a version resolved
+/// through the SnapshotRegistry.
+///
+/// Returned tuples must already carry the pseudo-columns the paper's schema
+/// exposes: `key` and `partitionKey` (the state key) and, for snapshot
+/// tables, `ssid`.
+class TableResolver {
+ public:
+  virtual ~TableResolver() = default;
+
+  /// Scans `table`. `requested_ssid` is the version extracted from an
+  /// `ssid = <n>` WHERE conjunct, if any (nullopt = latest committed).
+  virtual Result<std::vector<kv::Object>> ScanTable(
+      const std::string& table, std::optional<int64_t> requested_ssid) = 0;
+};
+
+struct ExecOptions {
+  /// Value of LOCALTIMESTAMP for this query (Unix micros).
+  int64_t local_timestamp_micros = 0;
+};
+
+/// Executes a parsed SELECT against the resolver: scan → hash join (USING)
+/// → filter → group/aggregate → project → distinct → order → limit.
+Result<ResultSet> ExecuteSelect(const SelectStatement& stmt,
+                                TableResolver* resolver,
+                                const ExecOptions& options);
+
+/// Convenience: parse + execute.
+Result<ResultSet> ExecuteSql(const std::string& sql, TableResolver* resolver,
+                             const ExecOptions& options);
+
+}  // namespace sq::sql
+
+#endif  // SQUERY_SQL_EXECUTOR_H_

@@ -1,0 +1,146 @@
+#include "sql/lexer.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdlib>
+
+namespace sq::sql {
+
+namespace {
+
+constexpr std::array kKeywords = {
+    "SELECT", "FROM",  "WHERE",  "JOIN",   "INNER", "LEFT",  "ON",
+    "USING",  "GROUP", "BY",     "ORDER",  "ASC",   "DESC",  "LIMIT",
+    "AND",    "OR",    "NOT",    "AS",     "TRUE",  "FALSE", "NULL",
+    "LOCALTIMESTAMP",  "IN",     "DISTINCT", "IS", "HAVING", "BETWEEN",
+};
+
+bool IsKeywordWord(const std::string& upper) {
+  return std::find(kKeywords.begin(), kKeywords.end(), upper) !=
+         kKeywords.end();
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    // Comments: -- to end of line.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(sql[j])) ++j;
+      std::string word = sql.substr(i, j - i);
+      std::string upper = word;
+      std::transform(upper.begin(), upper.end(), upper.begin(), ::toupper);
+      if (IsKeywordWord(upper)) {
+        token.type = TokenType::kKeyword;
+        token.text = upper;
+      } else {
+        token.type = TokenType::kIdentifier;
+        token.text = word;
+      }
+      i = j;
+    } else if (c == '"') {
+      // Quoted identifier.
+      size_t j = i + 1;
+      std::string name;
+      while (j < n && sql[j] != '"') name.push_back(sql[j++]);
+      if (j >= n) {
+        return Status::ParseError("unterminated quoted identifier at byte " +
+                                  std::to_string(i));
+      }
+      token.type = TokenType::kIdentifier;
+      token.text = name;
+      i = j + 1;
+    } else if (c == '\'') {
+      // String literal with '' escaping.
+      size_t j = i + 1;
+      std::string text;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {
+            text.push_back('\'');
+            j += 2;
+            continue;
+          }
+          break;
+        }
+        text.push_back(sql[j++]);
+      }
+      if (j >= n) {
+        return Status::ParseError("unterminated string literal at byte " +
+                                  std::to_string(i));
+      }
+      token.type = TokenType::kString;
+      token.text = text;
+      i = j + 1;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '.')) {
+        if (sql[j] == '.') is_float = true;
+        ++j;
+      }
+      const std::string num = sql.substr(i, j - i);
+      if (is_float) {
+        token.type = TokenType::kFloat;
+        token.double_value = std::strtod(num.c_str(), nullptr);
+      } else {
+        token.type = TokenType::kInteger;
+        token.int_value = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      token.text = num;
+      i = j;
+    } else {
+      // Symbols, including two-character comparison operators.
+      token.type = TokenType::kSymbol;
+      if (i + 1 < n) {
+        const std::string two = sql.substr(i, 2);
+        if (two == "!=" || two == "<>" || two == "<=" || two == ">=") {
+          token.text = two == "<>" ? "!=" : two;
+          i += 2;
+          tokens.push_back(std::move(token));
+          continue;
+        }
+      }
+      static const std::string kSingle = "()*,;=<>+-/.";
+      if (kSingle.find(c) == std::string::npos) {
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at byte " + std::to_string(i));
+      }
+      token.text = std::string(1, c);
+      ++i;
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace sq::sql

@@ -1,0 +1,47 @@
+#ifndef SQUERY_SQL_LEXER_H_
+#define SQUERY_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace sq::sql {
+
+enum class TokenType {
+  kIdentifier,   // bare or "quoted" identifier
+  kKeyword,      // uppercased reserved word
+  kInteger,      // 123
+  kFloat,        // 1.5
+  kString,       // 'text'
+  kSymbol,       // ( ) , ; * . = != <> < <= > >=  + - /
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  /// Keyword/symbol text (canonical form: keywords uppercased), identifier
+  /// name (quotes stripped, case preserved), or literal text.
+  std::string text;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t position = 0;  // byte offset in the input, for error messages
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(const char* sym) const {
+    return type == TokenType::kSymbol && text == sym;
+  }
+};
+
+/// Splits a SQL string into tokens. Recognizes the dialect of the paper's
+/// queries: quoted identifiers ("snapshot_orderinfo"), string literals with
+/// '' escaping, and the reserved words listed in lexer.cc.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace sq::sql
+
+#endif  // SQUERY_SQL_LEXER_H_

@@ -1,0 +1,384 @@
+#include "sql/parser.h"
+
+#include <algorithm>
+
+#include "sql/lexer.h"
+
+namespace sq::sql {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<SelectStatement>> Parse() {
+    SQ_ASSIGN_OR_RETURN(auto stmt, ParseSelectStatement());
+    if (Peek().IsSymbol(";")) Advance();
+    if (Peek().type != TokenType::kEnd) {
+      return Unexpected("end of statement");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  bool ConsumeKeyword(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeSymbol(const char* sym) {
+    if (Peek().IsSymbol(sym)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(bool ok, const std::string& what) {
+    if (ok) return Status::OK();
+    return Unexpected(what);
+  }
+
+  Status Unexpected(const std::string& expected) const {
+    return Status::ParseError("expected " + expected + " but found '" +
+                              (Peek().type == TokenType::kEnd ? "<end>"
+                                                              : Peek().text) +
+                              "' at byte " + std::to_string(Peek().position));
+  }
+
+  Result<std::unique_ptr<SelectStatement>> ParseSelectStatement() {
+    SQ_RETURN_IF_ERROR(Expect(ConsumeKeyword("SELECT"), "SELECT"));
+    auto stmt = std::make_unique<SelectStatement>();
+    stmt->distinct = ConsumeKeyword("DISTINCT");
+
+    if (Peek().IsSymbol("*")) {
+      Advance();
+      stmt->select_star = true;
+    } else {
+      do {
+        SelectItem item;
+        SQ_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (ConsumeKeyword("AS")) {
+          SQ_RETURN_IF_ERROR(
+              Expect(Peek().type == TokenType::kIdentifier, "alias"));
+          item.alias = Advance().text;
+        } else if (Peek().type == TokenType::kIdentifier &&
+                   !Peek(1).IsSymbol("(") && !Peek(1).IsSymbol(".")) {
+          // Bare alias (SELECT x total FROM ...). Only when it cannot start
+          // a function call or qualified reference.
+          item.alias = Advance().text;
+        }
+        stmt->items.push_back(std::move(item));
+      } while (ConsumeSymbol(","));
+    }
+
+    SQ_RETURN_IF_ERROR(Expect(ConsumeKeyword("FROM"), "FROM"));
+    SQ_ASSIGN_OR_RETURN(stmt->from, ParseTableRef());
+
+    while (true) {
+      const bool inner = ConsumeKeyword("INNER");
+      const bool left = !inner && ConsumeKeyword("LEFT");
+      if (Peek().IsKeyword("JOIN")) {
+        Advance();
+        if (left) {
+          return Status::Unimplemented(
+              "LEFT JOIN is not supported; S-QUERY queries use inner "
+              "JOIN ... USING");
+        }
+        JoinClause join;
+        SQ_ASSIGN_OR_RETURN(join.table, ParseTableRef());
+        SQ_RETURN_IF_ERROR(Expect(ConsumeKeyword("USING"), "USING"));
+        SQ_RETURN_IF_ERROR(Expect(ConsumeSymbol("("), "("));
+        SQ_RETURN_IF_ERROR(
+            Expect(Peek().type == TokenType::kIdentifier, "column name"));
+        join.using_column = Advance().text;
+        SQ_RETURN_IF_ERROR(Expect(ConsumeSymbol(")"), ")"));
+        stmt->joins.push_back(std::move(join));
+        continue;
+      }
+      if (inner || left) return Unexpected("JOIN");
+      break;
+    }
+
+    if (ConsumeKeyword("WHERE")) {
+      SQ_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    if (ConsumeKeyword("GROUP")) {
+      SQ_RETURN_IF_ERROR(Expect(ConsumeKeyword("BY"), "BY"));
+      do {
+        SQ_ASSIGN_OR_RETURN(auto expr, ParseExpr());
+        stmt->group_by.push_back(std::move(expr));
+      } while (ConsumeSymbol(","));
+    }
+    if (ConsumeKeyword("HAVING")) {
+      SQ_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+    }
+    if (ConsumeKeyword("ORDER")) {
+      SQ_RETURN_IF_ERROR(Expect(ConsumeKeyword("BY"), "BY"));
+      do {
+        SQ_ASSIGN_OR_RETURN(auto expr, ParseExpr());
+        bool desc = false;
+        if (ConsumeKeyword("DESC")) {
+          desc = true;
+        } else {
+          ConsumeKeyword("ASC");
+        }
+        stmt->order_by.emplace_back(std::move(expr), desc);
+      } while (ConsumeSymbol(","));
+    }
+    if (ConsumeKeyword("LIMIT")) {
+      SQ_RETURN_IF_ERROR(
+          Expect(Peek().type == TokenType::kInteger, "LIMIT count"));
+      stmt->limit = Advance().int_value;
+    }
+    return stmt;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    SQ_RETURN_IF_ERROR(
+        Expect(Peek().type == TokenType::kIdentifier, "table name"));
+    TableRef ref;
+    ref.name = Advance().text;
+    if (ConsumeKeyword("AS")) {
+      SQ_RETURN_IF_ERROR(
+          Expect(Peek().type == TokenType::kIdentifier, "table alias"));
+      ref.alias = Advance().text;
+    } else if (Peek().type == TokenType::kIdentifier) {
+      ref.alias = Advance().text;
+    }
+    return ref;
+  }
+
+  // Precedence climbing: OR < AND < NOT < comparison < additive <
+  // multiplicative < unary minus < primary.
+  Result<std::unique_ptr<Expr>> ParseExpr() { return ParseOr(); }
+
+  Result<std::unique_ptr<Expr>> ParseOr() {
+    SQ_ASSIGN_OR_RETURN(auto lhs, ParseAnd());
+    while (ConsumeKeyword("OR")) {
+      SQ_ASSIGN_OR_RETURN(auto rhs, ParseAnd());
+      lhs = Expr::MakeBinary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAnd() {
+    SQ_ASSIGN_OR_RETURN(auto lhs, ParseNot());
+    while (ConsumeKeyword("AND")) {
+      SQ_ASSIGN_OR_RETURN(auto rhs, ParseNot());
+      lhs = Expr::MakeBinary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseNot() {
+    if (ConsumeKeyword("NOT")) {
+      SQ_ASSIGN_OR_RETURN(auto operand, ParseNot());
+      return Expr::MakeUnary(UnaryOp::kNot, std::move(operand));
+    }
+    return ParseComparison();
+  }
+
+  Result<std::unique_ptr<Expr>> ParseComparison() {
+    SQ_ASSIGN_OR_RETURN(auto lhs, ParseAdditive());
+    static constexpr std::pair<const char*, BinaryOp> kOps[] = {
+        {"=", BinaryOp::kEq},  {"!=", BinaryOp::kNe}, {"<=", BinaryOp::kLe},
+        {">=", BinaryOp::kGe}, {"<", BinaryOp::kLt},  {">", BinaryOp::kGt},
+    };
+    for (const auto& [sym, op] : kOps) {
+      if (Peek().IsSymbol(sym)) {
+        Advance();
+        SQ_ASSIGN_OR_RETURN(auto rhs, ParseAdditive());
+        return Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+      }
+    }
+    // x IS [NOT] NULL
+    if (ConsumeKeyword("IS")) {
+      const bool negated = ConsumeKeyword("NOT");
+      SQ_RETURN_IF_ERROR(Expect(ConsumeKeyword("NULL"), "NULL"));
+      return Expr::MakeUnary(
+          negated ? UnaryOp::kIsNotNull : UnaryOp::kIsNull, std::move(lhs));
+    }
+    // x [NOT] IN (e1, e2, ...)  — desugared to an OR chain of equalities.
+    // x [NOT] BETWEEN lo AND hi — desugared to a >=/<= conjunction.
+    const bool negated = Peek().IsKeyword("NOT") &&
+                         (Peek(1).IsKeyword("IN") || Peek(1).IsKeyword("BETWEEN"));
+    if (negated) Advance();
+    if (ConsumeKeyword("IN")) {
+      SQ_RETURN_IF_ERROR(Expect(ConsumeSymbol("("), "("));
+      std::unique_ptr<Expr> chain;
+      do {
+        SQ_ASSIGN_OR_RETURN(auto item, ParseExpr());
+        auto eq = Expr::MakeBinary(BinaryOp::kEq, lhs->Clone(),
+                                   std::move(item));
+        chain = chain == nullptr
+                    ? std::move(eq)
+                    : Expr::MakeBinary(BinaryOp::kOr, std::move(chain),
+                                       std::move(eq));
+      } while (ConsumeSymbol(","));
+      SQ_RETURN_IF_ERROR(Expect(ConsumeSymbol(")"), ")"));
+      if (negated) {
+        return Expr::MakeUnary(UnaryOp::kNot, std::move(chain));
+      }
+      return chain;
+    }
+    if (ConsumeKeyword("BETWEEN")) {
+      SQ_ASSIGN_OR_RETURN(auto lo, ParseAdditive());
+      SQ_RETURN_IF_ERROR(Expect(ConsumeKeyword("AND"), "AND"));
+      SQ_ASSIGN_OR_RETURN(auto hi, ParseAdditive());
+      // Clone before building: argument evaluation order is unspecified.
+      auto lhs_copy = lhs->Clone();
+      auto range = Expr::MakeBinary(
+          BinaryOp::kAnd,
+          Expr::MakeBinary(BinaryOp::kGe, std::move(lhs_copy), std::move(lo)),
+          Expr::MakeBinary(BinaryOp::kLe, std::move(lhs), std::move(hi)));
+      if (negated) {
+        return Expr::MakeUnary(UnaryOp::kNot, std::move(range));
+      }
+      return range;
+    }
+    if (negated) return Unexpected("IN or BETWEEN after NOT");
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAdditive() {
+    SQ_ASSIGN_OR_RETURN(auto lhs, ParseMultiplicative());
+    while (true) {
+      if (ConsumeSymbol("+")) {
+        SQ_ASSIGN_OR_RETURN(auto rhs, ParseMultiplicative());
+        lhs = Expr::MakeBinary(BinaryOp::kAdd, std::move(lhs), std::move(rhs));
+      } else if (ConsumeSymbol("-")) {
+        SQ_ASSIGN_OR_RETURN(auto rhs, ParseMultiplicative());
+        lhs = Expr::MakeBinary(BinaryOp::kSub, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<std::unique_ptr<Expr>> ParseMultiplicative() {
+    SQ_ASSIGN_OR_RETURN(auto lhs, ParseUnary());
+    while (true) {
+      if (ConsumeSymbol("*")) {
+        SQ_ASSIGN_OR_RETURN(auto rhs, ParseUnary());
+        lhs = Expr::MakeBinary(BinaryOp::kMul, std::move(lhs), std::move(rhs));
+      } else if (ConsumeSymbol("/")) {
+        SQ_ASSIGN_OR_RETURN(auto rhs, ParseUnary());
+        lhs = Expr::MakeBinary(BinaryOp::kDiv, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<std::unique_ptr<Expr>> ParseUnary() {
+    if (ConsumeSymbol("-")) {
+      SQ_ASSIGN_OR_RETURN(auto operand, ParseUnary());
+      return Expr::MakeUnary(UnaryOp::kNeg, std::move(operand));
+    }
+    return ParsePrimary();
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePrimary() {
+    const Token& token = Peek();
+    switch (token.type) {
+      case TokenType::kInteger:
+        Advance();
+        return Expr::MakeLiteral(kv::Value(token.int_value));
+      case TokenType::kFloat:
+        Advance();
+        return Expr::MakeLiteral(kv::Value(token.double_value));
+      case TokenType::kString:
+        Advance();
+        return Expr::MakeLiteral(kv::Value(token.text));
+      case TokenType::kKeyword:
+        if (token.text == "TRUE") {
+          Advance();
+          return Expr::MakeLiteral(kv::Value(true));
+        }
+        if (token.text == "FALSE") {
+          Advance();
+          return Expr::MakeLiteral(kv::Value(false));
+        }
+        if (token.text == "NULL") {
+          Advance();
+          return Expr::MakeLiteral(kv::Value::Null());
+        }
+        if (token.text == "LOCALTIMESTAMP") {
+          Advance();
+          // Rendered as a zero-argument call, bound at execution time.
+          return Expr::MakeCall("LOCALTIMESTAMP", {}, /*star=*/false);
+        }
+        return Unexpected("expression");
+      case TokenType::kSymbol:
+        if (token.IsSymbol("(")) {
+          Advance();
+          SQ_ASSIGN_OR_RETURN(auto inner, ParseExpr());
+          SQ_RETURN_IF_ERROR(Expect(ConsumeSymbol(")"), ")"));
+          return inner;
+        }
+        return Unexpected("expression");
+      case TokenType::kIdentifier: {
+        std::string name = Advance().text;
+        if (Peek().IsSymbol("(")) {
+          // Function call: COUNT(*), SUM(x), ...
+          Advance();
+          std::string upper = name;
+          std::transform(upper.begin(), upper.end(), upper.begin(),
+                         ::toupper);
+          std::vector<std::unique_ptr<Expr>> args;
+          bool star = false;
+          bool distinct_arg = false;
+          if (Peek().IsSymbol("*")) {
+            Advance();
+            star = true;
+          } else if (!Peek().IsSymbol(")")) {
+            distinct_arg = ConsumeKeyword("DISTINCT");
+            do {
+              SQ_ASSIGN_OR_RETURN(auto arg, ParseExpr());
+              args.push_back(std::move(arg));
+            } while (ConsumeSymbol(","));
+          }
+          SQ_RETURN_IF_ERROR(Expect(ConsumeSymbol(")"), ")"));
+          auto call = Expr::MakeCall(std::move(upper), std::move(args), star);
+          call->distinct_arg = distinct_arg;
+          return call;
+        }
+        if (Peek().IsSymbol(".")) {
+          Advance();
+          SQ_RETURN_IF_ERROR(
+              Expect(Peek().type == TokenType::kIdentifier, "column name"));
+          std::string column = Advance().text;
+          return Expr::MakeColumn(std::move(name), std::move(column));
+        }
+        return Expr::MakeColumn("", std::move(name));
+      }
+      case TokenType::kEnd:
+        return Unexpected("expression");
+    }
+    return Unexpected("expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SelectStatement>> ParseSelect(const std::string& sql) {
+  SQ_ASSIGN_OR_RETURN(auto tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace sq::sql

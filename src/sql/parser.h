@@ -1,0 +1,20 @@
+#ifndef SQUERY_SQL_PARSER_H_
+#define SQUERY_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace sq::sql {
+
+/// Parses a single SELECT statement in S-QUERY's dialect. Supports the
+/// paper's query shapes: projections and aggregates, JOIN ... USING, WHERE
+/// boolean expressions with LOCALTIMESTAMP, GROUP BY, ORDER BY, LIMIT,
+/// DISTINCT, quoted identifiers.
+Result<std::unique_ptr<SelectStatement>> ParseSelect(const std::string& sql);
+
+}  // namespace sq::sql
+
+#endif  // SQUERY_SQL_PARSER_H_

@@ -1,0 +1,70 @@
+#include "sql/result_set.h"
+
+#include <algorithm>
+
+namespace sq::sql {
+
+namespace {
+const kv::Value kNull{};
+}  // namespace
+
+int ResultSet::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const kv::Value& ResultSet::At(size_t row, const std::string& column) const {
+  const int col = ColumnIndex(column);
+  if (col < 0 || row >= rows.size() ||
+      static_cast<size_t>(col) >= rows[row].size()) {
+    return kNull;
+  }
+  return rows[row][col];
+}
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  std::vector<size_t> widths(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) {
+    widths[c] = columns[c].size();
+  }
+  const size_t shown = std::min(max_rows, rows.size());
+  std::vector<std::vector<std::string>> cells(shown);
+  for (size_t r = 0; r < shown; ++r) {
+    cells[r].resize(columns.size());
+    for (size_t c = 0; c < columns.size() && c < rows[r].size(); ++c) {
+      cells[r][c] = rows[r][c].ToString();
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  auto append_row = [&](std::string* out,
+                        const std::vector<std::string>& row) {
+    *out += "|";
+    for (size_t c = 0; c < columns.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      *out += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    *out += "\n";
+  };
+  std::string sep = "+";
+  for (size_t c = 0; c < columns.size(); ++c) {
+    sep += std::string(widths[c] + 2, '-') + "+";
+  }
+  sep += "\n";
+
+  std::string out = sep;
+  append_row(&out, columns);
+  out += sep;
+  for (size_t r = 0; r < shown; ++r) {
+    append_row(&out, cells[r]);
+  }
+  out += sep;
+  if (rows.size() > shown) {
+    out += "(" + std::to_string(rows.size() - shown) + " more rows)\n";
+  }
+  out += std::to_string(rows.size()) + " row(s)\n";
+  return out;
+}
+
+}  // namespace sq::sql

@@ -1,0 +1,32 @@
+#ifndef SQUERY_SQL_RESULT_SET_H_
+#define SQUERY_SQL_RESULT_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "kv/value.h"
+
+namespace sq::sql {
+
+using Row = std::vector<kv::Value>;
+
+/// Materialized query result: named columns plus rows of Values.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+
+  size_t RowCount() const { return rows.size(); }
+
+  /// Index of a column by name, or -1.
+  int ColumnIndex(const std::string& name) const;
+
+  /// Cell accessor; returns NULL for out-of-range/unknown columns.
+  const kv::Value& At(size_t row, const std::string& column) const;
+
+  /// ASCII table rendering (examples and debugging).
+  std::string ToString(size_t max_rows = 50) const;
+};
+
+}  // namespace sq::sql
+
+#endif  // SQUERY_SQL_RESULT_SET_H_

@@ -1,0 +1,19 @@
+#include "state/isolation.h"
+
+namespace sq::state {
+
+const char* IsolationLevelToString(IsolationLevel level) {
+  switch (level) {
+    case IsolationLevel::kReadUncommitted:
+      return "read uncommitted";
+    case IsolationLevel::kReadCommittedNoFailures:
+      return "read committed (no failures)";
+    case IsolationLevel::kSnapshotIsolation:
+      return "snapshot isolation";
+    case IsolationLevel::kSerializable:
+      return "serializable";
+  }
+  return "?";
+}
+
+}  // namespace sq::state

@@ -1,0 +1,42 @@
+#ifndef SQUERY_STATE_ISOLATION_H_
+#define SQUERY_STATE_ISOLATION_H_
+
+namespace sq::state {
+
+/// Isolation levels offered by S-QUERY (paper Section VII). The level is a
+/// property of *how a query reads*, because stream-side updates are
+/// single-writer per partition by construction.
+enum class IsolationLevel {
+  /// Queries read the live state as it evolves. A failure rolls the stream
+  /// back to the last checkpoint, so values observed between checkpoints may
+  /// retroactively become "never happened" — dirty reads (Fig. 5).
+  kReadUncommitted,
+
+  /// Live reads through key-level locks. Under a no-failure assumption every
+  /// observed value is final, matching read committed; S-QUERY could reach
+  /// this unconditionally with hot-standby replication (Section VII-B).
+  kReadCommittedNoFailures,
+
+  /// Queries run against the latest *committed* snapshot id, published
+  /// atomically at checkpoint phase 2 — consistent cross-operator cuts,
+  /// no phantoms (Fig. 6).
+  kSnapshotIsolation,
+
+  /// Same read path as snapshot isolation. Because live updates are
+  /// single-writer per disjoint partition and snapshots crystallize the
+  /// whole distributed state atomically, there are no write conflicts to
+  /// order: the schedule is equivalent to a serial one (Section VII-B).
+  kSerializable,
+};
+
+/// True if the level reads from committed snapshots rather than live state.
+constexpr bool ReadsSnapshots(IsolationLevel level) {
+  return level == IsolationLevel::kSnapshotIsolation ||
+         level == IsolationLevel::kSerializable;
+}
+
+const char* IsolationLevelToString(IsolationLevel level);
+
+}  // namespace sq::state
+
+#endif  // SQUERY_STATE_ISOLATION_H_

@@ -1,0 +1,135 @@
+#include "state/snapshot_registry.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace sq::state {
+
+SnapshotRegistry::SnapshotRegistry(kv::Grid* grid, Options options)
+    : grid_(grid), options_(options) {
+  SQ_CHECK(options_.retained_versions >= 1)
+      << "must retain at least one snapshot version";
+  if (options_.async_prune) {
+    pruner_ = std::thread([this] { RunPruner(); });
+  }
+}
+
+SnapshotRegistry::~SnapshotRegistry() {
+  {
+    std::lock_guard<std::mutex> lock(prune_mu_);
+    prune_stop_ = true;
+    prune_cv_.notify_all();
+  }
+  if (pruner_.joinable()) pruner_.join();
+}
+
+void SnapshotRegistry::OnCheckpointCommitted(int64_t checkpoint_id) {
+  int64_t floor_to_prune = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    retained_.push_back(checkpoint_id);
+    while (static_cast<int>(retained_.size()) > options_.retained_versions) {
+      retained_.pop_front();
+    }
+    // Publication is a single atomic store: every subsequent "latest"
+    // resolution cluster-wide sees the new id — the 2PC commit point.
+    latest_committed_.store(checkpoint_id, std::memory_order_release);
+    floor_to_prune = retained_.front();
+    commit_cv_.notify_all();
+  }
+  if (floor_to_prune > 0) {
+    if (options_.async_prune) {
+      std::lock_guard<std::mutex> lock(prune_mu_);
+      prune_queue_.push_back(floor_to_prune);
+      prune_idle_ = false;
+      prune_cv_.notify_all();
+    } else {
+      PruneTo(floor_to_prune);
+    }
+  }
+}
+
+void SnapshotRegistry::OnCheckpointAborted(int64_t checkpoint_id) {
+  // Phase-1 data of the aborted checkpoint must never become visible.
+  for (const std::string& name : grid_->SnapshotTableNames()) {
+    if (kv::SnapshotTable* table = grid_->GetSnapshotTable(name)) {
+      table->DropSnapshot(checkpoint_id);
+    }
+  }
+}
+
+std::vector<int64_t> SnapshotRegistry::RetainedVersions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {retained_.begin(), retained_.end()};
+}
+
+bool SnapshotRegistry::IsQueryable(int64_t ssid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::find(retained_.begin(), retained_.end(), ssid) !=
+         retained_.end();
+}
+
+Result<int64_t> SnapshotRegistry::Resolve(
+    std::optional<int64_t> requested) const {
+  if (!requested.has_value()) {
+    const int64_t latest = latest_committed_.load(std::memory_order_acquire);
+    if (latest == 0) {
+      return Status::Unavailable("no snapshot has been committed yet");
+    }
+    return latest;
+  }
+  if (!IsQueryable(*requested)) {
+    return Status::NotFound("snapshot " + std::to_string(*requested) +
+                            " is not committed or fell out of retention");
+  }
+  return *requested;
+}
+
+bool SnapshotRegistry::WaitForCommit(int64_t min_id, int64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return commit_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                             [this, min_id] {
+                               return latest_committed_.load() >= min_id;
+                             });
+}
+
+void SnapshotRegistry::FlushPruning() {
+  if (!options_.async_prune) return;
+  std::unique_lock<std::mutex> lock(prune_mu_);
+  prune_cv_.wait(lock, [this] { return prune_queue_.empty() && prune_idle_; });
+}
+
+void SnapshotRegistry::PruneTo(int64_t floor_ssid) {
+  for (const std::string& name : grid_->SnapshotTableNames()) {
+    if (kv::SnapshotTable* table = grid_->GetSnapshotTable(name)) {
+      table->Compact(floor_ssid);
+    }
+  }
+}
+
+void SnapshotRegistry::RunPruner() {
+  std::unique_lock<std::mutex> lock(prune_mu_);
+  while (true) {
+    prune_cv_.wait(lock, [this] { return prune_stop_ || !prune_queue_.empty(); });
+    if (prune_queue_.empty()) {
+      if (prune_stop_) return;
+      continue;
+    }
+    // Only the newest floor matters; collapse the queue.
+    const int64_t floor_ssid = prune_queue_.back();
+    prune_queue_.clear();
+    prune_idle_ = false;
+    lock.unlock();
+    PruneTo(floor_ssid);
+    lock.lock();
+    if (prune_queue_.empty()) {
+      prune_idle_ = true;
+      prune_cv_.notify_all();
+    }
+    if (prune_stop_ && prune_queue_.empty()) return;
+  }
+}
+
+}  // namespace sq::state

@@ -1,0 +1,93 @@
+#ifndef SQUERY_STATE_SNAPSHOT_REGISTRY_H_
+#define SQUERY_STATE_SNAPSHOT_REGISTRY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dataflow/checkpoint.h"
+#include "kv/grid.h"
+
+namespace sq::state {
+
+/// Cluster-wide snapshot version authority. Subscribed as the engine's
+/// CheckpointListener, it:
+///
+///  * publishes the latest committed snapshot id *atomically* at checkpoint
+///    phase 2 — every query issued afterwards resolves "latest" to the new
+///    id at once, which is what rules out phantom reads (Section VII-B);
+///  * maintains the retention window (default: the two most recent
+///    versions — constant memory, always one queryable version, Section
+///    VI-A) and prunes/compacts snapshot tables that fall out of it;
+///  * discards snapshot data of aborted checkpoints during recovery.
+class SnapshotRegistry : public dataflow::CheckpointListener {
+ public:
+  struct Options {
+    /// Committed versions kept queryable. Must be >= 1.
+    int retained_versions = 2;
+    /// Run pruning on a background thread so the commit path (whose latency
+    /// is the paper's Fig. 10 measurement) only flips the version pointer.
+    /// Disable for deterministic tests.
+    bool async_prune = true;
+  };
+
+  SnapshotRegistry(kv::Grid* grid, Options options);
+  ~SnapshotRegistry() override;
+
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
+  // CheckpointListener:
+  void OnCheckpointCommitted(int64_t checkpoint_id) override;
+  void OnCheckpointAborted(int64_t checkpoint_id) override;
+
+  /// Latest committed snapshot id; 0 if none committed yet.
+  int64_t latest_committed() const { return latest_committed_.load(); }
+
+  /// Committed ids currently inside the retention window, oldest first.
+  std::vector<int64_t> RetainedVersions() const;
+
+  /// True if `ssid` can be queried (committed and retained).
+  bool IsQueryable(int64_t ssid) const;
+
+  /// Resolves a user-requested snapshot id: nullopt means "latest". Fails
+  /// if nothing is committed yet or the id fell out of retention.
+  Result<int64_t> Resolve(std::optional<int64_t> requested) const;
+
+  /// Blocks until a snapshot with id >= `min_id` commits (test helper).
+  bool WaitForCommit(int64_t min_id, int64_t timeout_ms);
+
+  /// Drains the background pruning queue (test determinism).
+  void FlushPruning();
+
+ private:
+  void PruneTo(int64_t floor_ssid);
+  void RunPruner();
+
+  kv::Grid* grid_;
+  Options options_;
+
+  std::atomic<int64_t> latest_committed_{0};
+  mutable std::mutex mu_;
+  std::condition_variable commit_cv_;
+  std::deque<int64_t> retained_;  // committed, oldest first
+
+  // Background pruning.
+  std::mutex prune_mu_;
+  std::condition_variable prune_cv_;
+  std::deque<int64_t> prune_queue_;
+  bool prune_stop_ = false;
+  bool prune_idle_ = true;
+  std::thread pruner_;
+};
+
+}  // namespace sq::state
+
+#endif  // SQUERY_STATE_SNAPSHOT_REGISTRY_H_

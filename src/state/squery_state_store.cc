@@ -1,0 +1,228 @@
+#include "state/squery_state_store.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace sq::state {
+
+std::string LiveTableName(const std::string& operator_name) {
+  std::string out;
+  out.reserve(operator_name.size());
+  for (char c : operator_name) {
+    if (c != ' ') out.push_back(c);
+  }
+  return out;
+}
+
+std::string SnapshotTableName(const std::string& operator_name) {
+  return "snapshot_" + LiveTableName(operator_name);
+}
+
+SQueryStateStore::SQueryStateStore(kv::Grid* grid, std::string operator_name,
+                                   int32_t instance, SQueryConfig config,
+                                   SQueryStateStats* stats)
+    : grid_(grid),
+      operator_name_(std::move(operator_name)),
+      instance_(instance),
+      config_(config),
+      stats_(stats) {
+  if (config_.live_enabled) {
+    live_map_ = grid_->GetOrCreateLiveMap(LiveTableName(operator_name_));
+  }
+  if (config_.snapshot_enabled) {
+    snap_table_ =
+        grid_->GetOrCreateSnapshotTable(SnapshotTableName(operator_name_));
+  }
+}
+
+namespace {
+
+// Busy-waits for `ns` nanoseconds (sub-microsecond sleeps are not reliable).
+void SpinFor(int64_t ns) {
+  const auto end = std::chrono::steady_clock::now() +
+                   std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < end) {
+  }
+}
+
+}  // namespace
+
+void SQueryStateStore::Put(const kv::Value& key, kv::Object value) {
+  if (live_map_ != nullptr) {
+    if (config_.live_write_penalty_ns > 0) {
+      SpinFor(config_.live_write_penalty_ns);
+    }
+    live_map_->Put(key, value);
+    if (stats_ != nullptr) stats_->live_puts.fetch_add(1);
+  }
+  deleted_.erase(key);
+  dirty_.insert(key);
+  local_[key] = std::move(value);
+}
+
+std::optional<kv::Object> SQueryStateStore::Get(const kv::Value& key) const {
+  auto it = local_.find(key);
+  if (it == local_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool SQueryStateStore::Remove(const kv::Value& key) {
+  if (live_map_ != nullptr) {
+    if (config_.live_write_penalty_ns > 0) {
+      SpinFor(config_.live_write_penalty_ns);
+    }
+    live_map_->Remove(key);
+    if (stats_ != nullptr) stats_->live_removes.fetch_add(1);
+  }
+  const bool existed = local_.erase(key) > 0;
+  if (existed) {
+    dirty_.erase(key);
+    deleted_.insert(key);
+  }
+  return existed;
+}
+
+void SQueryStateStore::ForEach(
+    const std::function<void(const kv::Value&, const kv::Object&)>& fn)
+    const {
+  for (const auto& [key, value] : local_) fn(key, value);
+}
+
+size_t SQueryStateStore::Size() const { return local_.size(); }
+
+Status SQueryStateStore::SnapshotTo(int64_t checkpoint_id) {
+  // Private recovery copy (what plain Jet would write as a blob).
+  internal_snapshots_[checkpoint_id] = local_;
+  while (static_cast<int>(internal_snapshots_.size()) >
+         config_.retained_versions) {
+    internal_snapshots_.erase(internal_snapshots_.begin());
+  }
+
+  last_snapshot_entries_ = 0;
+  if (snap_table_ != nullptr) {
+    if (config_.incremental) {
+      // Delta only: keys changed since the previous checkpoint, plus
+      // tombstones for deletions. Queries reconstruct older values via the
+      // backward differential read in SnapshotTable::ScanAt.
+      for (const kv::Value& key : dirty_) {
+        auto it = local_.find(key);
+        if (it == local_.end()) continue;  // deleted after dirtying
+        snap_table_->Write(checkpoint_id, key, it->second);
+        ++last_snapshot_entries_;
+      }
+      for (const kv::Value& key : deleted_) {
+        snap_table_->WriteTombstone(checkpoint_id, key);
+        if (stats_ != nullptr) {
+          stats_->snapshot_tombstones_written.fetch_add(1);
+        }
+      }
+    } else {
+      // Full snapshot: rewrite the complete state under this id; deletions
+      // still need tombstones so backward reads do not resurrect keys.
+      for (const auto& [key, value] : local_) {
+        snap_table_->Write(checkpoint_id, key, value);
+        ++last_snapshot_entries_;
+      }
+      for (const kv::Value& key : deleted_) {
+        snap_table_->WriteTombstone(checkpoint_id, key);
+        if (stats_ != nullptr) {
+          stats_->snapshot_tombstones_written.fetch_add(1);
+        }
+      }
+    }
+    if (stats_ != nullptr) {
+      stats_->snapshot_entries_written.fetch_add(
+          static_cast<int64_t>(last_snapshot_entries_));
+      stats_->snapshots_taken.fetch_add(1);
+    }
+  }
+  dirty_.clear();
+  deleted_.clear();
+  return Status::OK();
+}
+
+Status SQueryStateStore::RestoreFrom(int64_t checkpoint_id) {
+  StateMap restored;
+  if (checkpoint_id != 0) {
+    // Greatest internal snapshot <= checkpoint_id (an instance that did not
+    // participate in the last checkpoints simply kept its older state).
+    auto it = internal_snapshots_.upper_bound(checkpoint_id);
+    if (it == internal_snapshots_.begin()) {
+      return Status::NotFound(operator_name_ + "[" +
+                              std::to_string(instance_) +
+                              "]: no internal snapshot <= " +
+                              std::to_string(checkpoint_id));
+    }
+    --it;
+    restored = it->second;
+    internal_snapshots_.erase(internal_snapshots_.upper_bound(checkpoint_id),
+                              internal_snapshots_.end());
+  } else {
+    internal_snapshots_.clear();
+  }
+
+  // Re-align the live table with the rolled-back state: this instance owns
+  // its keys exclusively, so removing its current keys and re-inserting the
+  // restored ones cannot race with other instances.
+  if (live_map_ != nullptr) {
+    for (const auto& [key, value] : local_) {
+      live_map_->Remove(key);
+    }
+    for (const auto& [key, value] : restored) {
+      live_map_->Put(key, value);
+    }
+  }
+  local_ = std::move(restored);
+  dirty_.clear();
+  deleted_.clear();
+  return Status::OK();
+}
+
+Status SQueryStateStore::RestoreFromTable(int64_t checkpoint_id) {
+  if (snap_table_ == nullptr) {
+    return Status::FailedPrecondition(
+        "snapshot table disabled for " + operator_name_);
+  }
+  StateMap restored;
+  const int32_t partitions = grid_->partitioner().partition_count();
+  for (int32_t p = instance_; p < partitions; p += config_.parallelism) {
+    snap_table_->ScanPartitionAt(
+        p, checkpoint_id,
+        [&restored](const kv::Value& key, int64_t /*entry_ssid*/,
+                    const kv::Object& value) { restored[key] = value; });
+  }
+  if (live_map_ != nullptr) {
+    for (const auto& [key, value] : local_) {
+      live_map_->Remove(key);
+    }
+    for (const auto& [key, value] : restored) {
+      live_map_->Put(key, value);
+    }
+  }
+  local_ = std::move(restored);
+  dirty_.clear();
+  deleted_.clear();
+  return Status::OK();
+}
+
+void SQueryStateStore::Clear() {
+  if (live_map_ != nullptr) {
+    for (const auto& [key, value] : local_) {
+      live_map_->Remove(key);
+    }
+  }
+  local_.clear();
+  dirty_.clear();
+  deleted_.clear();
+}
+
+dataflow::StateStoreFactory MakeSQueryStateStoreFactory(
+    kv::Grid* grid, SQueryConfig config, SQueryStateStats* stats) {
+  return [grid, config, stats](const std::string& vertex_name,
+                               int32_t instance) {
+    return std::make_unique<SQueryStateStore>(grid, vertex_name, instance,
+                                              config, stats);
+  };
+}
+
+}  // namespace sq::state

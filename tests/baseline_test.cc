@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "baseline/tspoon.h"
+#include "dataflow/execution.h"
+#include "dataflow/job_graph.h"
+#include "dataflow/operators.h"
+
+namespace sq::baseline {
+namespace {
+
+using dataflow::EdgeKind;
+using dataflow::OperatorContext;
+using dataflow::Record;
+using kv::Object;
+using kv::Value;
+
+dataflow::OperatorFactory KeyedStoreOperator() {
+  return dataflow::MakeLambdaOperatorFactory(
+      [](const Record& r, OperatorContext* ctx) {
+        ctx->PutState(r.key, r.payload);
+        return Status::OK();
+      });
+}
+
+TEST(TSpoonTest, QueriesAreServedThroughTheStream) {
+  constexpr int64_t kKeys = 64;
+  constexpr int32_t kParallelism = 2;
+  kv::Partitioner partitioner(24);
+  TSpoonMailbox mailbox(kParallelism);
+
+  dataflow::JobGraph graph;
+  dataflow::GeneratorSource::Options options;
+  options.total_records = -1;  // unbounded stream keeps serving queries
+  const int32_t src = graph.AddSource(
+      "src", 1,
+      dataflow::MakeGeneratorSourceFactory(
+          options, [](int64_t offset, OperatorContext* ctx) {
+            Object payload;
+            payload.Set("v", Value(offset));
+            return Record::Data(Value(offset % kKeys), std::move(payload),
+                                ctx->NowNanos());
+          }));
+  const int32_t op = graph.AddOperator(
+      "state", kParallelism,
+      MakeTSpoonQueryableFactory(KeyedStoreOperator(), &mailbox));
+  ASSERT_TRUE(graph.Connect(src, op, EdgeKind::kKeyed).ok());
+
+  dataflow::JobConfig config;
+  config.checkpoint_interval_ms = 0;
+  config.partitioner = &partitioner;
+  auto job = dataflow::Job::Create(graph, std::move(config));
+  ASSERT_TRUE(job.ok()) << job.status();
+  ASSERT_TRUE((*job)->Start().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  TSpoonClient client(&mailbox, &partitioner);
+  // Point lookup.
+  auto one = client.Get({Value(int64_t{5})});
+  ASSERT_TRUE(one.ok()) << one.status();
+  ASSERT_EQ(one->size(), 1u);
+  EXPECT_EQ((*one)[0].first.AsInt64(), 5);
+  EXPECT_EQ((*one)[0].second.Get("v").AsInt64() % kKeys, 5);
+
+  // Multi-key spanning both instances.
+  std::vector<Value> keys;
+  for (int64_t k = 0; k < kKeys; ++k) keys.emplace_back(k);
+  auto all = client.Get(keys);
+  ASSERT_TRUE(all.ok()) << all.status();
+  EXPECT_EQ(all->size(), static_cast<size_t>(kKeys));
+
+  // Missing keys are omitted.
+  auto missing = client.Get({Value(int64_t{kKeys + 100})});
+  ASSERT_TRUE(missing.ok());
+  EXPECT_TRUE(missing->empty());
+
+  ASSERT_TRUE((*job)->Stop().ok());
+  mailbox.Close();
+}
+
+TEST(TSpoonTest, TimesOutWhenStreamStops) {
+  kv::Partitioner partitioner(8);
+  TSpoonMailbox mailbox(1);
+  TSpoonClient client(&mailbox, &partitioner);
+  // No operator is draining the mailbox.
+  auto result = client.Get({Value(int64_t{1})}, /*timeout_ms=*/50);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsTimeout());
+}
+
+TEST(TSpoonTest, ClosedMailboxFailsFast) {
+  kv::Partitioner partitioner(8);
+  TSpoonMailbox mailbox(1);
+  mailbox.Close();
+  TSpoonClient client(&mailbox, &partitioner);
+  auto result = client.Get({Value(int64_t{1})}, 50);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsUnavailable());
+}
+
+}  // namespace
+}  // namespace sq::baseline

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/hash.h"
+#include "common/histogram.h"
+#include "common/queue.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace sq {
+namespace {
+
+TEST(StatusTest, OkIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing table");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.ToString(), "not found: missing table");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::Internal("boom").WithContext("while snapshotting");
+  EXPECT_EQ(s.message(), "while snapshotting: boom");
+  EXPECT_TRUE(Status::OK().WithContext("x").ok());
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("non-positive");
+  return v;
+}
+
+Result<int> Doubled(int v) {
+  SQ_ASSIGN_OR_RETURN(int x, ParsePositive(v));
+  return x * 2;
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> ok = Doubled(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> err = Doubled(-1);
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsInvalidArgument());
+  EXPECT_EQ(err.ValueOr(7), 7);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.ValueAtPercentile(50), 0);
+}
+
+TEST(HistogramTest, ExactForSmallValues) {
+  Histogram h;
+  for (int i = 0; i < 64; ++i) h.Record(i);
+  EXPECT_EQ(h.count(), 64);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 63);
+  EXPECT_EQ(h.ValueAtPercentile(0), 0);
+  EXPECT_EQ(h.ValueAtPercentile(100), 63);
+  EXPECT_EQ(h.ValueAtPercentile(50), 31);
+}
+
+TEST(HistogramTest, PercentilesWithinRelativeError) {
+  Histogram h;
+  Rng rng(7);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 100000; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.NextBounded(50'000'000)) + 1;
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double p : {50.0, 90.0, 99.0, 99.9, 99.99}) {
+    const int64_t exact =
+        values[static_cast<size_t>(p / 100.0 * values.size()) - 1];
+    const int64_t approx = h.ValueAtPercentile(p);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                0.05 * static_cast<double>(exact))
+        << "p" << p;
+  }
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a;
+  Histogram b;
+  a.Record(10);
+  b.Record(1000);
+  b.Record(2000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 2000);
+}
+
+TEST(HistogramTest, ConcurrentRecordsAreAllCounted) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.Record(i);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    const int64_t v = rng.NextInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  Rng rng(3);
+  ZipfGenerator zipf(1000, 1.0);
+  int64_t rank0 = 0;
+  int64_t tail = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t v = zipf.Next(&rng);
+    ASSERT_LT(v, 1000u);
+    if (v == 0) ++rank0;
+    if (v >= 500) ++tail;
+  }
+  EXPECT_GT(rank0, 10000);  // ~13% expected at s=1, n=1000
+  EXPECT_LT(tail, 10000);
+}
+
+TEST(ZipfTest, ZeroSkewIsRoughlyUniform) {
+  Rng rng(5);
+  ZipfGenerator zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Next(&rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, 10000, 600);
+  }
+}
+
+TEST(BlockingQueueTest, FifoOrder) {
+  BlockingQueue<int> q(4);
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+}
+
+TEST(BlockingQueueTest, TryPushRespectsCapacity) {
+  BlockingQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+}
+
+TEST(BlockingQueueTest, CloseUnblocksAndDrains) {
+  BlockingQueue<int> q(8);
+  EXPECT_TRUE(q.Push(1));
+  q.Close();
+  EXPECT_FALSE(q.Push(2));
+  EXPECT_EQ(q.Pop().value(), 1);  // drains remaining
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BlockingQueueTest, ProducerConsumerUnderContention) {
+  BlockingQueue<int> q(16);
+  constexpr int kItems = 50000;
+  int64_t sum = 0;
+  std::thread consumer([&q, &sum] {
+    while (auto v = q.Pop()) sum += *v;
+  });
+  std::thread producer([&q] {
+    for (int i = 1; i <= kItems; ++i) q.Push(i);
+    q.Close();
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(sum, static_cast<int64_t>(kItems) * (kItems + 1) / 2);
+}
+
+TEST(ClockTest, SystemClockAdvances) {
+  Clock* clock = SystemClock::Default();
+  const int64_t a = clock->NowNanos();
+  clock->SleepForNanos(1'000'000);
+  EXPECT_GE(clock->NowNanos() - a, 900'000);
+}
+
+TEST(ClockTest, VirtualClockIsManual) {
+  VirtualClock clock(100);
+  EXPECT_EQ(clock.NowNanos(), 100);
+  clock.SleepForNanos(50);  // advances instead of blocking
+  EXPECT_EQ(clock.NowNanos(), 150);
+  clock.SetNanos(1000);
+  EXPECT_EQ(clock.NowNanos(), 1000);
+}
+
+TEST(HashTest, StableAndSpread) {
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+  EXPECT_NE(HashInt64(1), HashInt64(2));
+  // Sequential ids should not collide modulo small partition counts.
+  std::vector<int> buckets(16, 0);
+  for (int64_t i = 0; i < 1600; ++i) ++buckets[HashInt64(i) % 16];
+  for (int b : buckets) EXPECT_GT(b, 50);
+}
+
+}  // namespace
+}  // namespace sq

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "dataflow/execution.h"
+#include "dataflow/operators.h"
+#include "kv/grid.h"
+#include "nexmark/nexmark.h"
+#include "query/query_service.h"
+#include "state/snapshot_registry.h"
+#include "state/squery_state_store.h"
+
+namespace sq::nexmark {
+namespace {
+
+using kv::Value;
+
+TEST(NexmarkGeneratorTest, DeterministicBids) {
+  NexmarkConfig config;
+  const Bid a = BidAt(config, 12345);
+  const Bid b = BidAt(config, 12345);
+  EXPECT_EQ(a.auction_id, b.auction_id);
+  EXPECT_EQ(a.price, b.price);
+  EXPECT_EQ(a.seller_id, a.auction_id % config.num_sellers);
+}
+
+TEST(NexmarkGeneratorTest, AuctionsCloseOnLastBid) {
+  NexmarkConfig config;
+  config.bids_per_auction = 4;
+  for (int64_t offset = 0; offset < 40; ++offset) {
+    EXPECT_EQ(BidAt(config, offset).closes_auction, offset % 4 == 3)
+        << offset;
+  }
+}
+
+TEST(NexmarkGeneratorTest, PricesInRange) {
+  NexmarkConfig config;
+  for (int64_t offset = 0; offset < 10000; ++offset) {
+    const Bid bid = BidAt(config, offset);
+    EXPECT_GE(bid.price, 100);
+    EXPECT_LT(bid.price, 10100);
+  }
+}
+
+TEST(NexmarkReferenceTest, WindowIsBounded) {
+  NexmarkConfig config;
+  config.num_sellers = 3;
+  config.bids_per_auction = 2;
+  config.window_size = 10;
+  auto ref = ComputeQ6Reference(config, 3 * 2 * 25);  // 25 auctions/seller
+  ASSERT_EQ(ref.size(), 3u);
+  for (const auto& [seller, state] : ref) {
+    EXPECT_EQ(state.last_prices.size(), 10u);
+    EXPECT_GT(state.average, 0.0);
+  }
+}
+
+// End-to-end: the q6 pipeline's snapshot state must equal the oracle.
+TEST(NexmarkPipelineTest, Q6StateMatchesReference) {
+  NexmarkConfig config;
+  config.num_sellers = 40;
+  config.bids_per_auction = 5;
+  config.total_events = 40 * 5 * 8;  // 8 auctions per seller (< window)
+
+  kv::Grid grid(kv::GridConfig{.node_count = 3, .partition_count = 24,
+                               .backup_count = 0});
+  state::SnapshotRegistry registry(&grid, {.retained_versions = 2,
+                                           .async_prune = false});
+  query::QueryService service(&grid, &registry);
+
+  Histogram latency;
+  dataflow::JobGraph graph =
+      BuildQ6Graph(config, /*source_parallelism=*/1,
+                   /*operator_parallelism=*/2, &latency);
+  state::SQueryConfig state_config;
+  state_config.parallelism = 2;
+  dataflow::JobConfig job_config;
+  job_config.checkpoint_interval_ms = 25;
+  job_config.partitioner = &grid.partitioner();
+  job_config.listener = &registry;
+  job_config.state_store_factory =
+      state::MakeSQueryStateStoreFactory(&grid, state_config);
+  auto job = dataflow::Job::Create(graph, std::move(job_config));
+  ASSERT_TRUE(job.ok()) << job.status();
+  ASSERT_TRUE((*job)->Start().ok());
+  ASSERT_TRUE((*job)->AwaitCompletion().ok());
+  // One last checkpoint cannot be taken (job finished); the live table holds
+  // the final state.
+  auto live = service.ScanLiveObjects(kAverageVertex);
+  ASSERT_TRUE(live.ok()) << live.status();
+
+  const auto reference = ComputeQ6Reference(config, config.total_events);
+  ASSERT_EQ(live->size(), reference.size());
+  for (const auto& [key, obj] : *live) {
+    const auto it = reference.find(key.AsInt64());
+    ASSERT_NE(it, reference.end()) << key.ToString();
+    EXPECT_NEAR(obj.Get("average").AsDouble(), it->second.average, 1e-9)
+        << "seller " << key.ToString();
+    EXPECT_EQ(obj.Get("count").AsInt64(),
+              static_cast<int64_t>(it->second.last_prices.size()));
+  }
+  // All auctions closed, so the winning-bids operator state drained to zero.
+  auto winning = service.ScanLiveObjects(kWinningBidsVertex);
+  ASSERT_TRUE(winning.ok());
+  EXPECT_EQ(winning->size(), 0u);
+  EXPECT_GT(latency.count(), 0);
+}
+
+// With checkpoints + a crash, the q6 state is still exact (exactly-once).
+TEST(NexmarkPipelineTest, Q6SurvivesFailure) {
+  NexmarkConfig config;
+  config.num_sellers = 20;
+  config.bids_per_auction = 5;
+  config.total_events = 20 * 5 * 6;
+  config.target_rate = 20000.0;
+
+  kv::Grid grid(kv::GridConfig{.node_count = 2, .partition_count = 16,
+                               .backup_count = 0});
+  state::SnapshotRegistry registry(&grid, {.retained_versions = 2,
+                                           .async_prune = false});
+  query::QueryService service(&grid, &registry);
+
+  dataflow::JobGraph graph = BuildQ6Graph(config, 1, 2, nullptr);
+  state::SQueryConfig state_config;
+  state_config.parallelism = 2;
+  dataflow::JobConfig job_config;
+  job_config.checkpoint_interval_ms = 20;
+  job_config.partitioner = &grid.partitioner();
+  job_config.listener = &registry;
+  job_config.state_store_factory =
+      state::MakeSQueryStateStoreFactory(&grid, state_config);
+  auto job = dataflow::Job::Create(graph, std::move(job_config));
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE((*job)->Start().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE((*job)->InjectFailureAndRecover().ok());
+  ASSERT_TRUE((*job)->AwaitCompletion().ok());
+
+  const auto reference = ComputeQ6Reference(config, config.total_events);
+  auto live = service.ScanLiveObjects(kAverageVertex);
+  ASSERT_TRUE(live.ok());
+  ASSERT_EQ(live->size(), reference.size());
+  for (const auto& [key, obj] : *live) {
+    EXPECT_NEAR(obj.Get("average").AsDouble(),
+                reference.at(key.AsInt64()).average, 1e-9);
+  }
+}
+
+TEST(NexmarkQ1Test, ConvertsEveryBid) {
+  NexmarkConfig config;
+  config.total_events = 2000;
+  dataflow::CollectingSink::Collector collector;
+  dataflow::JobGraph graph = BuildQ1Graph(config, 2, nullptr);
+  // Swap the sink for a collector (rebuild with collector sink).
+  dataflow::JobGraph g2;
+  const int32_t src = g2.AddSource(
+      kSourceVertex, 1,
+      dataflow::MakeGeneratorSourceFactory(
+          dataflow::GeneratorSource::Options{.total_records = 2000},
+          [config](int64_t offset, dataflow::OperatorContext* ctx) {
+            return BidToRecord(BidAt(config, offset), ctx->NowNanos());
+          }));
+  const int32_t convert = g2.AddOperator(
+      "q1convert", 2,
+      dataflow::MakeLambdaOperatorFactory(
+          [](const dataflow::Record& r, dataflow::OperatorContext* ctx) {
+            kv::Object out = r.payload;
+            out.Set("priceEur",
+                    kv::Value(r.payload.Get("price").AsDouble() * 0.908));
+            ctx->Emit(dataflow::Record::Data(r.key, std::move(out),
+                                             r.source_nanos));
+            return Status::OK();
+          }),
+      false);
+  const int32_t sink =
+      g2.AddSink("sink", 1, dataflow::MakeCollectingSinkFactory(&collector));
+  ASSERT_TRUE(g2.Connect(src, convert, dataflow::EdgeKind::kKeyed).ok());
+  ASSERT_TRUE(g2.Connect(convert, sink, dataflow::EdgeKind::kForward).ok());
+  dataflow::JobConfig job_config;
+  job_config.checkpoint_interval_ms = 0;
+  auto job = dataflow::Job::Create(g2, std::move(job_config));
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE((*job)->Start().ok());
+  ASSERT_TRUE((*job)->AwaitCompletion().ok());
+  const auto records = collector.Snapshot();
+  ASSERT_EQ(records.size(), 2000u);
+  for (const auto& r : records) {
+    EXPECT_NEAR(r.payload.Get("priceEur").AsDouble(),
+                r.payload.Get("price").AsDouble() * 0.908, 1e-9);
+  }
+}
+
+TEST(NexmarkQ5Test, WindowedBidCountsAreQueryable) {
+  NexmarkConfig config;
+  config.num_sellers = 10;
+  config.bids_per_auction = 4;
+  config.total_events = 4000;
+  config.linger = true;
+
+  kv::Grid grid(kv::GridConfig{.node_count = 2, .partition_count = 16,
+                               .backup_count = 0});
+  state::SnapshotRegistry registry(&grid, {.retained_versions = 2,
+                                           .async_prune = false});
+  query::QueryService service(&grid, &registry);
+
+  // 500us windows over 1-bid-per-us event time: 8 windows of 500 bids.
+  dataflow::JobGraph graph = BuildQ5Graph(config, 500, 2, nullptr);
+  state::SQueryConfig state_config;
+  state_config.parallelism = 2;
+  dataflow::JobConfig job_config;
+  job_config.checkpoint_interval_ms = 0;
+  job_config.partitioner = &grid.partitioner();
+  job_config.listener = &registry;
+  job_config.state_store_factory =
+      state::MakeSQueryStateStoreFactory(&grid, state_config);
+  auto job = dataflow::Job::Create(graph, std::move(job_config));
+  ASSERT_TRUE(job.ok()) << job.status();
+  ASSERT_TRUE((*job)->Start().ok());
+  while ((*job)->ProcessedCount(kQ5WindowVertex) < config.total_events) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_TRUE((*job)->IsRunning());
+  }
+  ASSERT_TRUE((*job)->TriggerCheckpoint().ok());
+
+  // Only the last window [3500,4000) is still open (watermark at 3999):
+  // 500 bids over auctions 875..999 → 125 open auction-window states.
+  auto open = service.Execute(
+      "SELECT COUNT(*) AS n, SUM(count) AS bids FROM snapshot_q5window");
+  ASSERT_TRUE(open.ok()) << open.status();
+  EXPECT_EQ(open->At(0, "n").AsInt64(), 125);
+  EXPECT_EQ(open->At(0, "bids").AsInt64(), 500);
+
+  // "Hot items" of the open window via plain SQL: every auction has exactly
+  // 4 bids in its window here, so the max count is 4.
+  auto hot = service.Execute(
+      "SELECT key, count FROM snapshot_q5window ORDER BY count DESC, key "
+      "LIMIT 3");
+  ASSERT_TRUE(hot.ok()) << hot.status();
+  ASSERT_EQ(hot->RowCount(), 3u);
+  EXPECT_EQ(hot->At(0, "count").AsInt64(), 4);
+  ASSERT_TRUE((*job)->Stop().ok());
+}
+
+}  // namespace
+}  // namespace sq::nexmark

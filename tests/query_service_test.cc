@@ -1,0 +1,147 @@
+// QueryService unit tests against a hand-populated grid (no engine):
+// version pinning via options, retention errors, __versions semantics,
+// isolation gating, and resolver behavior.
+
+#include <gtest/gtest.h>
+
+#include "kv/grid.h"
+#include "query/query_service.h"
+#include "state/snapshot_registry.h"
+#include "state/squery_state_store.h"
+
+namespace sq::query {
+namespace {
+
+using kv::Object;
+using kv::Value;
+
+class QueryServiceTest : public ::testing::Test {
+ protected:
+  QueryServiceTest()
+      : grid_(kv::GridConfig{.node_count = 2, .partition_count = 8,
+                             .backup_count = 0}),
+        registry_(&grid_, {.retained_versions = 2, .async_prune = false}),
+        service_(&grid_, &registry_),
+        store_(&grid_, "counts", 0,
+               state::SQueryConfig{.parallelism = 1}) {
+    // Three committed snapshots of a two-key state.
+    for (int64_t ckpt = 1; ckpt <= 3; ++ckpt) {
+      for (int64_t key = 0; key < 2; ++key) {
+        Object o;
+        o.Set("v", Value(ckpt * 10 + key));
+        store_.Put(Value(key), std::move(o));
+      }
+      EXPECT_TRUE(store_.SnapshotTo(ckpt).ok());
+      registry_.OnCheckpointCommitted(ckpt);
+    }
+  }
+
+  kv::Grid grid_;
+  state::SnapshotRegistry registry_;
+  QueryService service_;
+  state::SQueryStateStore store_;
+};
+
+TEST_F(QueryServiceTest, DefaultsToLatestCommitted) {
+  auto result = service_.Execute(
+      "SELECT SUM(v) AS s FROM snapshot_counts");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->At(0, "s").AsInt64(), 30 + 31);
+}
+
+TEST_F(QueryServiceTest, OptionsPinSnapshotId) {
+  QueryOptions options;
+  options.snapshot_id = 2;
+  auto result =
+      service_.Execute("SELECT SUM(v) AS s FROM snapshot_counts", options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->At(0, "s").AsInt64(), 20 + 21);
+}
+
+TEST_F(QueryServiceTest, WhereSsidOverridesOptions) {
+  QueryOptions options;
+  options.snapshot_id = 2;
+  auto result = service_.Execute(
+      "SELECT SUM(v) AS s FROM snapshot_counts WHERE ssid=3", options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->At(0, "s").AsInt64(), 30 + 31);
+}
+
+TEST_F(QueryServiceTest, OutOfRetentionVersionIsRejected) {
+  // retained_versions=2: only {2, 3} remain queryable.
+  auto result =
+      service_.Execute("SELECT v FROM snapshot_counts WHERE ssid=1");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+  QueryOptions options;
+  options.snapshot_id = 99;
+  auto future =
+      service_.Execute("SELECT v FROM snapshot_counts", options);
+  EXPECT_FALSE(future.ok());
+}
+
+TEST_F(QueryServiceTest, VersionsTableListsRetainedOnly) {
+  auto result = service_.Execute(
+      "SELECT ssid, COUNT(*) AS n FROM snapshot_counts__versions "
+      "GROUP BY ssid ORDER BY ssid");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->RowCount(), 2u);  // versions 2 and 3
+  EXPECT_EQ(result->At(0, "ssid").AsInt64(), 2);
+  EXPECT_EQ(result->At(0, "n").AsInt64(), 2);
+  EXPECT_EQ(result->At(1, "ssid").AsInt64(), 3);
+}
+
+TEST_F(QueryServiceTest, UnknownTablesAreNotFound) {
+  EXPECT_TRUE(service_.Execute("SELECT * FROM snapshot_nope")
+                  .status()
+                  .IsNotFound());
+  QueryOptions live;
+  live.isolation = state::IsolationLevel::kReadUncommitted;
+  EXPECT_TRUE(
+      service_.Execute("SELECT * FROM nope", live).status().IsNotFound());
+}
+
+TEST_F(QueryServiceTest, IsolationGateOnLiveTables) {
+  // Snapshot isolation and serializable refuse live tables...
+  for (auto level : {state::IsolationLevel::kSnapshotIsolation,
+                     state::IsolationLevel::kSerializable}) {
+    QueryOptions options;
+    options.isolation = level;
+    EXPECT_TRUE(service_.Execute("SELECT * FROM counts", options)
+                    .status()
+                    .IsInvalidArgument());
+  }
+  // ...while both live levels allow them.
+  for (auto level : {state::IsolationLevel::kReadUncommitted,
+                     state::IsolationLevel::kReadCommittedNoFailures}) {
+    QueryOptions options;
+    options.isolation = level;
+    auto result = service_.Execute("SELECT COUNT(*) AS n FROM counts",
+                                   options);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->At(0, "n").AsInt64(), 2);
+  }
+}
+
+TEST_F(QueryServiceTest, MixedLiveAndSnapshotJoinUnderLiveIsolation) {
+  QueryOptions live;
+  live.isolation = state::IsolationLevel::kReadUncommitted;
+  auto result = service_.Execute(
+      "SELECT COUNT(*) AS n FROM counts JOIN snapshot_counts "
+      "USING(partitionKey)",
+      live);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->At(0, "n").AsInt64(), 2);
+}
+
+TEST_F(QueryServiceTest, DirectSnapshotAccessHonorsVersions) {
+  auto v2 = service_.GetSnapshotObjects("counts", {Value(int64_t{0})}, 2);
+  ASSERT_TRUE(v2.ok()) << v2.status();
+  ASSERT_EQ(v2->size(), 1u);
+  EXPECT_EQ((*v2)[0].second.Get("v").AsInt64(), 20);
+  EXPECT_FALSE(
+      service_.GetSnapshotObjects("counts", {Value(int64_t{0})}, 1).ok());
+}
+
+}  // namespace
+}  // namespace sq::query

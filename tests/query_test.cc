@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "dataflow/execution.h"
+#include "dataflow/job_graph.h"
+#include "dataflow/operators.h"
+#include "kv/grid.h"
+#include "query/query_service.h"
+#include "state/snapshot_registry.h"
+#include "common/rng.h"
+#include "state/squery_state_store.h"
+
+namespace sq::query {
+namespace {
+
+using dataflow::EdgeKind;
+using dataflow::GeneratorSource;
+using dataflow::Job;
+using dataflow::JobConfig;
+using dataflow::JobGraph;
+using dataflow::MakeGeneratorSourceFactory;
+using dataflow::MakeLambdaOperatorFactory;
+using dataflow::OperatorContext;
+using dataflow::Record;
+using kv::Object;
+using kv::Value;
+using state::IsolationLevel;
+
+// Keyed counting operator that forwards the input record downstream.
+dataflow::OperatorFactory CountAndForward() {
+  return MakeLambdaOperatorFactory(
+      [](const Record& r, OperatorContext* ctx) {
+        Object state = ctx->GetState(r.key).value_or(Object());
+        state.Set("count", Value(state.Get("count").AsInt64() + 1));
+        ctx->PutState(r.key, state);
+        ctx->Emit(Record::Data(r.key, r.payload, r.source_nanos));
+        return Status::OK();
+      });
+}
+
+dataflow::OperatorFactory CountOnly() {
+  return MakeLambdaOperatorFactory(
+      [](const Record& r, OperatorContext* ctx) {
+        Object state = ctx->GetState(r.key).value_or(Object());
+        state.Set("count", Value(state.Get("count").AsInt64() + 1));
+        ctx->PutState(r.key, state);
+        return Status::OK();
+      });
+}
+
+/// Shared harness: source → countA (forwards) → countB, all S-QUERY-backed.
+class QueryIntegrationTest : public ::testing::Test {
+ protected:
+  QueryIntegrationTest()
+      : grid_(kv::GridConfig{.node_count = 3, .partition_count = 24,
+                             .backup_count = 1}),
+        registry_(&grid_, {.retained_versions = 2, .async_prune = false}),
+        service_(&grid_, &registry_) {}
+
+  void StartJob(int64_t total_records, double rate, bool incremental = false,
+                int64_t checkpoint_interval_ms = 0) {
+    JobGraph graph;
+    GeneratorSource::Options options;
+    options.total_records = total_records;
+    options.target_rate = rate;
+    const int32_t src = graph.AddSource(
+        "src", 1,
+        MakeGeneratorSourceFactory(
+            options, [](int64_t offset, OperatorContext* ctx) {
+              Object payload;
+              payload.Set("n", Value(offset));
+              return Record::Data(Value(offset % 10), std::move(payload),
+                                  ctx->NowNanos());
+            }));
+    const int32_t a = graph.AddOperator("countA", 2, CountAndForward());
+    const int32_t b = graph.AddOperator("countB", 2, CountOnly());
+    EXPECT_TRUE(graph.Connect(src, a, EdgeKind::kKeyed).ok());
+    EXPECT_TRUE(graph.Connect(a, b, EdgeKind::kKeyed).ok());
+
+    state::SQueryConfig state_config;
+    state_config.incremental = incremental;
+    state_config.parallelism = 2;
+    JobConfig config;
+    config.checkpoint_interval_ms = checkpoint_interval_ms;
+    config.partitioner = &grid_.partitioner();
+    config.listener = &registry_;
+    config.state_store_factory =
+        state::MakeSQueryStateStoreFactory(&grid_, state_config, &stats_);
+    auto job = Job::Create(graph, std::move(config));
+    ASSERT_TRUE(job.ok()) << job.status();
+    job_ = std::move(*job);
+    ASSERT_TRUE(job_->Start().ok());
+  }
+
+  kv::Grid grid_;
+  state::SnapshotRegistry registry_;
+  QueryService service_;
+  state::SQueryStateStats stats_;
+  std::unique_ptr<Job> job_;
+};
+
+TEST_F(QueryIntegrationTest, LiveStateQueryableWhileRunning) {
+  StartJob(/*total_records=*/200000, /*rate=*/100000.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  QueryOptions live;
+  live.isolation = IsolationLevel::kReadUncommitted;
+  auto result = service_.Execute(
+      "SELECT COUNT(*) AS keys, SUM(count) AS records FROM countA", live);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->RowCount(), 1u);
+  EXPECT_EQ(result->At(0, "keys").AsInt64(), 10);
+  EXPECT_GT(result->At(0, "records").AsInt64(), 0);
+  ASSERT_TRUE(job_->Stop().ok());
+}
+
+TEST_F(QueryIntegrationTest, SnapshotQueriesRequireACommit) {
+  StartJob(50000, 100000.0);
+  auto result = service_.Execute("SELECT COUNT(*) FROM snapshot_countA");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsUnavailable());
+  ASSERT_TRUE(job_->Stop().ok());
+}
+
+TEST_F(QueryIntegrationTest, LiveTablesRejectSnapshotIsolation) {
+  StartJob(50000, 100000.0);
+  auto result = service_.Execute("SELECT COUNT(*) FROM countA");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  ASSERT_TRUE(job_->Stop().ok());
+}
+
+// The paper's central consistency argument (Section VII-B, Fig. 6): a
+// snapshot query sees a cut where every operator observed the same prefix
+// of the stream. countA and countB must agree exactly inside a snapshot,
+// even though their live states drift apart while records are in flight.
+TEST_F(QueryIntegrationTest, SnapshotCutIsConsistentAcrossOperators) {
+  StartJob(/*total_records=*/400000, /*rate=*/200000.0);
+  for (int round = 0; round < 5; ++round) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    auto ckpt = job_->TriggerCheckpoint();
+    ASSERT_TRUE(ckpt.ok()) << ckpt.status();
+    auto result = service_.Execute(
+        "SELECT a.count AS ca, b.count AS cb FROM snapshot_countA a JOIN "
+        "snapshot_countB b USING(partitionKey)");
+    // Alias-qualified fields resolve via the join conflict rule; count is
+    // ambiguous, so compare through the qualified names.
+    ASSERT_TRUE(result.ok()) << result.status();
+    ASSERT_EQ(result->RowCount(), 10u) << "round " << round;
+    auto sums = service_.Execute(
+        "SELECT SUM(count) AS total FROM snapshot_countA");
+    ASSERT_TRUE(sums.ok());
+    auto sums_b = service_.Execute(
+        "SELECT SUM(count) AS total FROM snapshot_countB");
+    ASSERT_TRUE(sums_b.ok());
+    EXPECT_EQ(sums->At(0, "total").AsInt64(),
+              sums_b->At(0, "total").AsInt64())
+        << "round " << round;
+  }
+  ASSERT_TRUE(job_->Stop().ok());
+}
+
+// Fig. 6: a query pinned to snapshot N returns the same answer forever,
+// even after later checkpoints and failures.
+TEST_F(QueryIntegrationTest, PinnedSnapshotIsRepeatable) {
+  StartJob(400000, 200000.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  auto ckpt = job_->TriggerCheckpoint();
+  ASSERT_TRUE(ckpt.ok());
+  const std::string sql = "SELECT SUM(count) AS total FROM snapshot_countA "
+                          "WHERE ssid=" + std::to_string(*ckpt);
+  auto first = service_.Execute(sql);
+  ASSERT_TRUE(first.ok()) << first.status();
+  const int64_t pinned = first->At(0, "total").AsInt64();
+  EXPECT_GT(pinned, 0);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  auto second_ckpt = job_->TriggerCheckpoint();
+  ASSERT_TRUE(second_ckpt.ok());
+  ASSERT_TRUE(job_->InjectFailureAndRecover().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  auto again = service_.Execute(sql);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again->At(0, "total").AsInt64(), pinned);
+  // And "latest" moved on: totals at the second snapshot are larger.
+  auto latest = service_.Execute(
+      "SELECT SUM(count) AS total FROM snapshot_countA");
+  ASSERT_TRUE(latest.ok());
+  EXPECT_GE(latest->At(0, "total").AsInt64(), pinned);
+  ASSERT_TRUE(job_->Stop().ok());
+}
+
+// Fig. 5: live reads are dirty — a crash makes observed values retroactively
+// invalid. After recovery the live count regresses to the snapshot value.
+TEST_F(QueryIntegrationTest, LiveReadsAreDirtyAcrossFailure) {
+  StartJob(800000, 150000.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  ASSERT_TRUE(job_->TriggerCheckpoint().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  QueryOptions live;
+  live.isolation = IsolationLevel::kReadUncommitted;
+  auto before = service_.Execute(
+      "SELECT SUM(count) AS total FROM countA", live);
+  ASSERT_TRUE(before.ok()) << before.status();
+  const int64_t observed_before = before->At(0, "total").AsInt64();
+
+  auto committed = service_.Execute(
+      "SELECT SUM(count) AS total FROM snapshot_countA");
+  ASSERT_TRUE(committed.ok());
+  const int64_t committed_total = committed->At(0, "total").AsInt64();
+  ASSERT_GT(observed_before, committed_total)
+      << "live state should be ahead of the last checkpoint";
+
+  ASSERT_TRUE(job_->InjectFailureAndRecover().ok());
+  auto after = service_.Execute(
+      "SELECT SUM(count) AS total FROM countA", live);
+  ASSERT_TRUE(after.ok()) << after.status();
+  // Directly after recovery the live state equals the checkpoint again:
+  // everything read beyond it was a dirty read. (The job is running, so
+  // allow it to have re-processed a little.)
+  EXPECT_LT(after->At(0, "total").AsInt64(), observed_before);
+  ASSERT_TRUE(job_->Stop().ok());
+}
+
+TEST_F(QueryIntegrationTest, VersionsTableExposesRetainedVersions) {
+  StartJob(400000, 200000.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  ASSERT_TRUE(job_->TriggerCheckpoint().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  ASSERT_TRUE(job_->TriggerCheckpoint().ok());
+  auto result = service_.Execute(
+      "SELECT ssid, SUM(count) AS total FROM snapshot_countA__versions "
+      "GROUP BY ssid ORDER BY ssid");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->RowCount(), 2u);
+  EXPECT_EQ(result->At(0, "ssid").AsInt64(), 1);
+  EXPECT_EQ(result->At(1, "ssid").AsInt64(), 2);
+  EXPECT_LE(result->At(0, "total").AsInt64(),
+            result->At(1, "total").AsInt64());
+  ASSERT_TRUE(job_->Stop().ok());
+}
+
+TEST_F(QueryIntegrationTest, DirectObjectInterface) {
+  StartJob(200000, 150000.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  ASSERT_TRUE(job_->TriggerCheckpoint().ok());
+
+  auto live = service_.GetLiveObjects(
+      "countA", {Value(int64_t{0}), Value(int64_t{1}), Value(int64_t{999})});
+  ASSERT_TRUE(live.ok()) << live.status();
+  EXPECT_EQ(live->size(), 2u);  // key 999 never existed
+  for (const auto& [key, obj] : *live) {
+    EXPECT_GT(obj.Get("count").AsInt64(), 0);
+  }
+
+  auto snap = service_.GetSnapshotObjects(
+      "countA", {Value(int64_t{0}), Value(int64_t{1})});
+  ASSERT_TRUE(snap.ok()) << snap.status();
+  EXPECT_EQ(snap->size(), 2u);
+  EXPECT_GE(service_.last_ssid_resolve_nanos(), 0);
+
+  auto all = service_.ScanLiveObjects("countA");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 10u);
+
+  EXPECT_FALSE(service_.GetLiveObjects("nosuch", {Value(int64_t{0})}).ok());
+  ASSERT_TRUE(job_->Stop().ok());
+}
+
+TEST_F(QueryIntegrationTest, IncrementalModeMatchesFullModeResults) {
+  StartJob(120000, 0.0, /*incremental=*/true);
+  ASSERT_TRUE(job_->AwaitCompletion().ok());
+  // All records processed; take a final snapshot over the finished state is
+  // not possible (job finished), so restart a fresh job for checkpointing.
+  // Instead verify via a second pipeline below.
+  SUCCEED();
+}
+
+// Property: for a random workload with periodic checkpoints, the snapshot
+// view under incremental snapshots equals the view under full snapshots.
+TEST(IncrementalEquivalenceTest, ViewsMatchFullSnapshots) {
+  for (const bool incremental : {false, true}) {
+    kv::Grid grid(kv::GridConfig{.node_count = 2, .partition_count = 8,
+                                 .backup_count = 0});
+    state::SQueryConfig config;
+    config.incremental = incremental;
+    state::SQueryStateStore store(&grid, "op", 0, config);
+    sq::Rng rng(1234);  // same seed for both modes
+    std::map<int64_t, int64_t> reference;
+    std::map<int64_t, std::map<int64_t, int64_t>> view_at;  // ssid -> state
+    for (int64_t ckpt = 1; ckpt <= 6; ++ckpt) {
+      for (int i = 0; i < 500; ++i) {
+        const int64_t key = static_cast<int64_t>(rng.NextBounded(60));
+        if (rng.NextBool(0.15)) {
+          store.Remove(Value(key));
+          reference.erase(key);
+        } else {
+          const int64_t v = static_cast<int64_t>(rng.NextBounded(1000));
+          Object o;
+          o.Set("v", Value(v));
+          store.Put(Value(key), std::move(o));
+          reference[key] = v;
+        }
+      }
+      ASSERT_TRUE(store.SnapshotTo(ckpt).ok());
+      view_at[ckpt] = reference;
+    }
+    kv::SnapshotTable* table = grid.GetSnapshotTable("snapshot_op");
+    for (const auto& [ssid, expected] : view_at) {
+      std::map<int64_t, int64_t> actual;
+      table->ScanAt(ssid, [&actual](const Value& key, int64_t,
+                                    const Object& value) {
+        actual[key.AsInt64()] = value.Get("v").AsInt64();
+      });
+      EXPECT_EQ(actual, expected)
+          << "ssid " << ssid << " incremental=" << incremental;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sq::query

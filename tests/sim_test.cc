@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "sim/cluster_sim.h"
+
+namespace sq::sim {
+namespace {
+
+TEST(ClusterSimTest, DopIsNodesTimesWorkers) {
+  ClusterConfig config;
+  config.nodes = 7;
+  config.workers_per_node = 12;
+  EXPECT_EQ(Dop(config), 84);
+}
+
+TEST(ClusterSimTest, LowLoadIsSustainableAndFast) {
+  ClusterConfig config;
+  SimOutcome outcome;
+  SimulateRun(config, /*events_per_sec=*/100000.0, /*duration_s=*/5.0,
+              &outcome);
+  EXPECT_TRUE(outcome.sustainable);
+  EXPECT_LT(outcome.utilization, 0.1);
+  // Latency ≈ base + service at low load.
+  EXPECT_LT(outcome.latency_ns.ValueAtPercentile(50), 5'000'000);
+  EXPECT_GT(outcome.latency_ns.count(), 0);
+}
+
+TEST(ClusterSimTest, OverloadIsDetected) {
+  ClusterConfig config;
+  SimOutcome outcome;
+  // Far beyond 1/service_time per worker.
+  SimulateRun(config, 50'000'000.0, 3.0, &outcome);
+  EXPECT_FALSE(outcome.sustainable);
+}
+
+TEST(ClusterSimTest, LatencyGrowsWithLoad) {
+  ClusterConfig config;
+  SimOutcome low;
+  SimOutcome high;
+  SimulateRun(config, 1'000'000.0, 5.0, &low);
+  SimulateRun(config, 8'000'000.0, 5.0, &high);
+  EXPECT_GE(high.latency_ns.ValueAtPercentile(99),
+            low.latency_ns.ValueAtPercentile(99));
+}
+
+TEST(ClusterSimTest, SQueryOverheadShowsInTail) {
+  ClusterConfig plain;
+  ClusterConfig squery = plain;
+  squery.squery_per_event_us = 0.4;
+  squery.snapshot_pause_ms = plain.snapshot_pause_ms * 1.5;
+  SimOutcome a;
+  SimOutcome b;
+  SimulateRun(plain, 5'000'000.0, 5.0, &a);
+  SimulateRun(squery, 5'000'000.0, 5.0, &b);
+  EXPECT_GE(b.latency_ns.ValueAtPercentile(99.9),
+            a.latency_ns.ValueAtPercentile(99.9));
+}
+
+TEST(ClusterSimTest, ThroughputScalesLinearlyWithDop) {
+  ClusterConfig config;
+  config.workers_per_node = 12;
+  config.nodes = 3;
+  const double t3 = MaxSustainableThroughput(config, 5e6, 2.0);
+  config.nodes = 7;
+  const double t7 = MaxSustainableThroughput(config, 5e6, 2.0);
+  EXPECT_GT(t3, 0.0);
+  // 7 nodes ≈ 7/3 × the 3-node throughput (±15%).
+  EXPECT_NEAR(t7 / t3, 7.0 / 3.0, 0.35);
+}
+
+TEST(ClusterSimTest, ShorterSnapshotIntervalCostsThroughput) {
+  ClusterConfig config;
+  // A large state makes the per-checkpoint pause significant, so the
+  // cadence effect dominates binary-search noise.
+  config.snapshot_pause_ms = 40.0;
+  config.snapshot_interval_s = 2.0;
+  const double slow_cadence = MaxSustainableThroughput(config, 5e6, 2.0);
+  config.snapshot_interval_s = 0.5;
+  const double fast_cadence = MaxSustainableThroughput(config, 5e6, 2.0);
+  EXPECT_LT(fast_cadence, slow_cadence);
+  // The effect is small (a few percent), as in Fig. 15.
+  EXPECT_GT(fast_cadence, 0.9 * slow_cadence);
+}
+
+TEST(ClusterSimTest, DeterministicForSeed) {
+  ClusterConfig config;
+  SimOutcome a;
+  SimOutcome b;
+  SimulateRun(config, 2'000'000.0, 2.0, &a);
+  SimulateRun(config, 2'000'000.0, 2.0, &b);
+  EXPECT_EQ(a.latency_ns.count(), b.latency_ns.count());
+  EXPECT_EQ(a.latency_ns.ValueAtPercentile(99),
+            b.latency_ns.ValueAtPercentile(99));
+}
+
+}  // namespace
+}  // namespace sq::sim

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <thread>
+
+#include "dataflow/execution.h"
+#include "dataflow/job_graph.h"
+#include "dataflow/operators.h"
+#include "dataflow/window.h"
+#include "kv/grid.h"
+#include "query/query_service.h"
+#include "state/snapshot_registry.h"
+#include "state/squery_state_store.h"
+
+namespace sq::dataflow {
+namespace {
+
+using kv::Object;
+using kv::Value;
+
+// Source: value = offset, event time = offset * 100us, keyed by offset % 2.
+OperatorFactory TimedSource(int64_t n, double rate = 0.0) {
+  GeneratorSource::Options options;
+  options.total_records = n;
+  options.target_rate = rate;
+  return MakeGeneratorSourceFactory(
+      options, [](int64_t offset, OperatorContext* ctx) {
+        Object payload;
+        payload.Set("eventTime", Value(offset * 100));
+        payload.Set("value", Value(offset));
+        return Record::Data(Value(offset % 2), std::move(payload),
+                            ctx->NowNanos());
+      });
+}
+
+struct WindowResult {
+  int64_t count = 0;
+  double sum = 0.0;
+  int64_t min = 0;
+  int64_t max = 0;
+};
+
+std::map<std::pair<int64_t, int64_t>, WindowResult> CollectWindows(
+    const std::vector<Record>& records) {
+  std::map<std::pair<int64_t, int64_t>, WindowResult> out;
+  for (const Record& r : records) {
+    WindowResult& w = out[{r.key.AsInt64(),
+                           r.payload.Get("windowStart").AsInt64()}];
+    w.count = r.payload.Get("count").AsInt64();
+    w.sum = r.payload.Get("sum").AsDouble();
+    w.min = r.payload.Get("min").AsInt64();
+    w.max = r.payload.Get("max").AsInt64();
+  }
+  return out;
+}
+
+TEST(WindowTest, TumblingWindowsAggregateCorrectly) {
+  constexpr int64_t kRecords = 200;  // event times 0..19900us
+  JobGraph graph;
+  CollectingSink::Collector collector;
+  const int32_t src = graph.AddSource("src", 1, TimedSource(kRecords));
+  TumblingWindowOperator::Options options;
+  options.window_size_micros = 1000;  // 10 records per (window, both keys)
+  const int32_t window =
+      graph.AddOperator("window", 2, MakeTumblingWindowFactory(options));
+  const int32_t sink =
+      graph.AddSink("sink", 1, MakeCollectingSinkFactory(&collector));
+  ASSERT_TRUE(graph.Connect(src, window, EdgeKind::kKeyed).ok());
+  ASSERT_TRUE(graph.Connect(window, sink, EdgeKind::kForward).ok());
+
+  JobConfig config;
+  config.checkpoint_interval_ms = 0;
+  auto job = Job::Create(graph, std::move(config));
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE((*job)->Start().ok());
+  ASSERT_TRUE((*job)->AwaitCompletion().ok());
+
+  const auto windows = CollectWindows(collector.Snapshot());
+  // 20 windows (event times 0..19900us, 1ms windows) × 2 keys.
+  ASSERT_EQ(windows.size(), 40u);
+  for (const auto& [key_and_start, w] : windows) {
+    const auto& [key, start] = key_and_start;
+    EXPECT_EQ(w.count, 5) << "key " << key << " window " << start;
+    // Offsets in the window: start/100 .. start/100+9, filtered by parity.
+    const int64_t first = start / 100 + (start / 100 % 2 == key ? 0 : 1);
+    EXPECT_EQ(w.min, first);
+    EXPECT_EQ(w.max, first + 8);
+    EXPECT_DOUBLE_EQ(w.sum, static_cast<double>(first * 5 + 2 + 4 + 6 + 8));
+  }
+}
+
+TEST(WindowTest, LateRecordsAreDroppedAfterWatermark) {
+  // Custom source emitting out-of-order times with one very late record.
+  JobGraph graph;
+  CollectingSink::Collector collector;
+  GeneratorSource::Options options;
+  options.total_records = 4;
+  const int32_t src = graph.AddSource(
+      "src", 1,
+      MakeGeneratorSourceFactory(
+          options, [](int64_t offset, OperatorContext* ctx) {
+            // times: 100, 5000, 150 (late: window [0,1000) fired), 5100.
+            static constexpr int64_t kTimes[] = {100, 5000, 150, 5100};
+            Object payload;
+            payload.Set("eventTime", Value(kTimes[offset]));
+            payload.Set("value", Value(int64_t{1}));
+            return Record::Data(Value(int64_t{0}), std::move(payload),
+                                ctx->NowNanos());
+          }));
+  TumblingWindowOperator::Options window_options;
+  window_options.window_size_micros = 1000;
+  const int32_t window =
+      graph.AddOperator("window", 1, MakeTumblingWindowFactory(window_options));
+  const int32_t sink =
+      graph.AddSink("sink", 1, MakeCollectingSinkFactory(&collector));
+  ASSERT_TRUE(graph.Connect(src, window, EdgeKind::kKeyed).ok());
+  ASSERT_TRUE(graph.Connect(window, sink, EdgeKind::kForward).ok());
+  JobConfig config;
+  config.checkpoint_interval_ms = 0;
+  auto job = Job::Create(graph, std::move(config));
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE((*job)->Start().ok());
+  ASSERT_TRUE((*job)->AwaitCompletion().ok());
+  const auto windows = CollectWindows(collector.Snapshot());
+  ASSERT_EQ(windows.size(), 2u);  // [0,1000) and [5000,6000)
+  EXPECT_EQ(windows.at({0, 0}).count, 1);     // late 150 dropped
+  EXPECT_EQ(windows.at({0, 5000}).count, 2);  // 5000 + 5100
+}
+
+TEST(WindowTest, AllowedLatenessAcceptsStragglers) {
+  JobGraph graph;
+  CollectingSink::Collector collector;
+  GeneratorSource::Options options;
+  options.total_records = 3;
+  const int32_t src = graph.AddSource(
+      "src", 1,
+      MakeGeneratorSourceFactory(
+          options, [](int64_t offset, OperatorContext* ctx) {
+            static constexpr int64_t kTimes[] = {100, 1500, 200};
+            Object payload;
+            payload.Set("eventTime", Value(kTimes[offset]));
+            payload.Set("value", Value(int64_t{1}));
+            return Record::Data(Value(int64_t{0}), std::move(payload),
+                                ctx->NowNanos());
+          }));
+  TumblingWindowOperator::Options window_options;
+  window_options.window_size_micros = 1000;
+  window_options.allowed_lateness_micros = 1000;  // watermark lags 1ms
+  const int32_t window = graph.AddOperator(
+      "window", 1, MakeTumblingWindowFactory(window_options));
+  const int32_t sink =
+      graph.AddSink("sink", 1, MakeCollectingSinkFactory(&collector));
+  ASSERT_TRUE(graph.Connect(src, window, EdgeKind::kKeyed).ok());
+  ASSERT_TRUE(graph.Connect(window, sink, EdgeKind::kForward).ok());
+  JobConfig config;
+  config.checkpoint_interval_ms = 0;
+  auto job = Job::Create(graph, std::move(config));
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE((*job)->Start().ok());
+  ASSERT_TRUE((*job)->AwaitCompletion().ok());
+  const auto windows = CollectWindows(collector.Snapshot());
+  // With lateness 1ms the watermark never passes window [0,1000) until
+  // close, so the straggler at t=200 is included.
+  EXPECT_EQ(windows.at({0, 0}).count, 2);
+}
+
+// Open windows are ordinary keyed state: queryable via S-QUERY, and they
+// survive crash + recovery exactly.
+TEST(WindowTest, OpenWindowsAreQueryableAndSurviveRecovery) {
+  kv::Grid grid(kv::GridConfig{.node_count = 2, .partition_count = 16,
+                               .backup_count = 0});
+  state::SnapshotRegistry registry(&grid, {.retained_versions = 2,
+                                           .async_prune = false});
+  query::QueryService service(&grid, &registry);
+
+  JobGraph graph;
+  CollectingSink::Collector collector;
+  const int32_t src =
+      graph.AddSource("src", 1, TimedSource(400000, /*rate=*/50000.0));
+  TumblingWindowOperator::Options window_options;
+  window_options.window_size_micros = 100 * 100000;  // far future: stay open
+  const int32_t window = graph.AddOperator(
+      "window", 2, MakeTumblingWindowFactory(window_options));
+  const int32_t sink =
+      graph.AddSink("sink", 1, MakeCollectingSinkFactory(&collector));
+  ASSERT_TRUE(graph.Connect(src, window, EdgeKind::kKeyed).ok());
+  ASSERT_TRUE(graph.Connect(window, sink, EdgeKind::kForward).ok());
+
+  state::SQueryConfig state_config;
+  state_config.parallelism = 2;
+  JobConfig config;
+  config.checkpoint_interval_ms = 25;
+  config.partitioner = &grid.partitioner();
+  config.listener = &registry;
+  config.state_store_factory =
+      state::MakeSQueryStateStoreFactory(&grid, state_config);
+  auto job = Job::Create(graph, std::move(config));
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE((*job)->Start().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // Query the *open* windows via SQL while the job runs.
+  ASSERT_TRUE(registry.WaitForCommit(1, 2000));
+  auto open = service.Execute(
+      "SELECT COUNT(*) AS open_windows, SUM(count) AS buffered "
+      "FROM snapshot_window");
+  ASSERT_TRUE(open.ok()) << open.status();
+  EXPECT_GE(open->At(0, "open_windows").AsInt64(), 1);
+  EXPECT_GT(open->At(0, "buffered").AsInt64(), 0);
+
+  // Crash + recover mid-window, then let the bounded stream finish: the
+  // final per-window aggregates must be exact (no loss, no double count).
+  ASSERT_TRUE((*job)->InjectFailureAndRecover().ok());
+  ASSERT_TRUE((*job)->AwaitCompletion().ok());
+  const auto windows = CollectWindows(collector.Snapshot());
+  int64_t total = 0;
+  for (const auto& [key_and_start, w] : windows) total += w.count;
+  EXPECT_EQ(total, 400000);
+}
+
+}  // namespace
+}  // namespace sq::dataflow
