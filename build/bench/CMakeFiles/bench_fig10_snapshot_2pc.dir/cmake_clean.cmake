@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_snapshot_2pc.dir/bench_fig10_snapshot_2pc.cc.o"
+  "CMakeFiles/bench_fig10_snapshot_2pc.dir/bench_fig10_snapshot_2pc.cc.o.d"
+  "bench_fig10_snapshot_2pc"
+  "bench_fig10_snapshot_2pc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_snapshot_2pc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

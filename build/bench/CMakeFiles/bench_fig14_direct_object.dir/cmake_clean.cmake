@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_direct_object.dir/bench_fig14_direct_object.cc.o"
+  "CMakeFiles/bench_fig14_direct_object.dir/bench_fig14_direct_object.cc.o.d"
+  "bench_fig14_direct_object"
+  "bench_fig14_direct_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_direct_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_env.dir/bench_table3_env.cc.o"
+  "CMakeFiles/bench_table3_env.dir/bench_table3_env.cc.o.d"
+  "bench_table3_env"
+  "bench_table3_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delivery_monitor.dir/delivery_monitor.cpp.o"
+  "CMakeFiles/delivery_monitor.dir/delivery_monitor.cpp.o.d"
+  "delivery_monitor"
+  "delivery_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delivery_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdpr_audit.dir/gdpr_audit.cpp.o"
+  "CMakeFiles/gdpr_audit.dir/gdpr_audit.cpp.o.d"
+  "gdpr_audit"
+  "gdpr_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdpr_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gdpr_audit.
+# This may be replaced when dependencies are built.

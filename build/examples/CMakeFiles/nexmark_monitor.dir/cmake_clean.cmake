@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexmark_monitor.dir/nexmark_monitor.cpp.o"
+  "CMakeFiles/nexmark_monitor.dir/nexmark_monitor.cpp.o.d"
+  "nexmark_monitor"
+  "nexmark_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexmark_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/time_travel_debug.cpp" "examples/CMakeFiles/time_travel_debug.dir/time_travel_debug.cpp.o" "gcc" "examples/CMakeFiles/time_travel_debug.dir/time_travel_debug.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/sq_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/state/CMakeFiles/sq_state.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/sq_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/nexmark/CMakeFiles/sq_nexmark.dir/DependInfo.cmake"
+  "/root/repo/build/src/dh/CMakeFiles/sq_dh.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/sq_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/sq_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/sq_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_travel_debug.dir/time_travel_debug.cpp.o"
+  "CMakeFiles/time_travel_debug.dir/time_travel_debug.cpp.o.d"
+  "time_travel_debug"
+  "time_travel_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_travel_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

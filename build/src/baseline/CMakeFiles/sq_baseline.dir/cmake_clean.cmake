@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sq_baseline.dir/tspoon.cc.o"
+  "CMakeFiles/sq_baseline.dir/tspoon.cc.o.d"
+  "libsq_baseline.a"
+  "libsq_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sq_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sq_common.dir/clock.cc.o"
+  "CMakeFiles/sq_common.dir/clock.cc.o.d"
+  "CMakeFiles/sq_common.dir/histogram.cc.o"
+  "CMakeFiles/sq_common.dir/histogram.cc.o.d"
+  "CMakeFiles/sq_common.dir/logging.cc.o"
+  "CMakeFiles/sq_common.dir/logging.cc.o.d"
+  "CMakeFiles/sq_common.dir/rng.cc.o"
+  "CMakeFiles/sq_common.dir/rng.cc.o.d"
+  "CMakeFiles/sq_common.dir/status.cc.o"
+  "CMakeFiles/sq_common.dir/status.cc.o.d"
+  "libsq_common.a"
+  "libsq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/execution.cc" "src/dataflow/CMakeFiles/sq_dataflow.dir/execution.cc.o" "gcc" "src/dataflow/CMakeFiles/sq_dataflow.dir/execution.cc.o.d"
+  "/root/repo/src/dataflow/job_graph.cc" "src/dataflow/CMakeFiles/sq_dataflow.dir/job_graph.cc.o" "gcc" "src/dataflow/CMakeFiles/sq_dataflow.dir/job_graph.cc.o.d"
+  "/root/repo/src/dataflow/operators.cc" "src/dataflow/CMakeFiles/sq_dataflow.dir/operators.cc.o" "gcc" "src/dataflow/CMakeFiles/sq_dataflow.dir/operators.cc.o.d"
+  "/root/repo/src/dataflow/record.cc" "src/dataflow/CMakeFiles/sq_dataflow.dir/record.cc.o" "gcc" "src/dataflow/CMakeFiles/sq_dataflow.dir/record.cc.o.d"
+  "/root/repo/src/dataflow/state_store.cc" "src/dataflow/CMakeFiles/sq_dataflow.dir/state_store.cc.o" "gcc" "src/dataflow/CMakeFiles/sq_dataflow.dir/state_store.cc.o.d"
+  "/root/repo/src/dataflow/window.cc" "src/dataflow/CMakeFiles/sq_dataflow.dir/window.cc.o" "gcc" "src/dataflow/CMakeFiles/sq_dataflow.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/sq_kv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sq_dataflow.dir/execution.cc.o"
+  "CMakeFiles/sq_dataflow.dir/execution.cc.o.d"
+  "CMakeFiles/sq_dataflow.dir/job_graph.cc.o"
+  "CMakeFiles/sq_dataflow.dir/job_graph.cc.o.d"
+  "CMakeFiles/sq_dataflow.dir/operators.cc.o"
+  "CMakeFiles/sq_dataflow.dir/operators.cc.o.d"
+  "CMakeFiles/sq_dataflow.dir/record.cc.o"
+  "CMakeFiles/sq_dataflow.dir/record.cc.o.d"
+  "CMakeFiles/sq_dataflow.dir/state_store.cc.o"
+  "CMakeFiles/sq_dataflow.dir/state_store.cc.o.d"
+  "CMakeFiles/sq_dataflow.dir/window.cc.o"
+  "CMakeFiles/sq_dataflow.dir/window.cc.o.d"
+  "libsq_dataflow.a"
+  "libsq_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sq_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sq_dh.dir/delivery.cc.o"
+  "CMakeFiles/sq_dh.dir/delivery.cc.o.d"
+  "libsq_dh.a"
+  "libsq_dh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sq_dh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

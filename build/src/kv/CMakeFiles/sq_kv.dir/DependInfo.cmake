@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/grid.cc" "src/kv/CMakeFiles/sq_kv.dir/grid.cc.o" "gcc" "src/kv/CMakeFiles/sq_kv.dir/grid.cc.o.d"
+  "/root/repo/src/kv/map_store.cc" "src/kv/CMakeFiles/sq_kv.dir/map_store.cc.o" "gcc" "src/kv/CMakeFiles/sq_kv.dir/map_store.cc.o.d"
+  "/root/repo/src/kv/object.cc" "src/kv/CMakeFiles/sq_kv.dir/object.cc.o" "gcc" "src/kv/CMakeFiles/sq_kv.dir/object.cc.o.d"
+  "/root/repo/src/kv/snapshot_table.cc" "src/kv/CMakeFiles/sq_kv.dir/snapshot_table.cc.o" "gcc" "src/kv/CMakeFiles/sq_kv.dir/snapshot_table.cc.o.d"
+  "/root/repo/src/kv/value.cc" "src/kv/CMakeFiles/sq_kv.dir/value.cc.o" "gcc" "src/kv/CMakeFiles/sq_kv.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sq_kv.dir/grid.cc.o"
+  "CMakeFiles/sq_kv.dir/grid.cc.o.d"
+  "CMakeFiles/sq_kv.dir/map_store.cc.o"
+  "CMakeFiles/sq_kv.dir/map_store.cc.o.d"
+  "CMakeFiles/sq_kv.dir/object.cc.o"
+  "CMakeFiles/sq_kv.dir/object.cc.o.d"
+  "CMakeFiles/sq_kv.dir/snapshot_table.cc.o"
+  "CMakeFiles/sq_kv.dir/snapshot_table.cc.o.d"
+  "CMakeFiles/sq_kv.dir/value.cc.o"
+  "CMakeFiles/sq_kv.dir/value.cc.o.d"
+  "libsq_kv.a"
+  "libsq_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sq_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sq_nexmark.dir/nexmark.cc.o"
+  "CMakeFiles/sq_nexmark.dir/nexmark.cc.o.d"
+  "libsq_nexmark.a"
+  "libsq_nexmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sq_nexmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sq_query.dir/query_service.cc.o"
+  "CMakeFiles/sq_query.dir/query_service.cc.o.d"
+  "libsq_query.a"
+  "libsq_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sq_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

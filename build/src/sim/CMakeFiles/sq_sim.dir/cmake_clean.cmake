@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sq_sim.dir/cluster_sim.cc.o"
+  "CMakeFiles/sq_sim.dir/cluster_sim.cc.o.d"
+  "libsq_sim.a"
+  "libsq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

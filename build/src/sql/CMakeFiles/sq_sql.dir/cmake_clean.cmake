@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sq_sql.dir/ast.cc.o"
+  "CMakeFiles/sq_sql.dir/ast.cc.o.d"
+  "CMakeFiles/sq_sql.dir/eval.cc.o"
+  "CMakeFiles/sq_sql.dir/eval.cc.o.d"
+  "CMakeFiles/sq_sql.dir/executor.cc.o"
+  "CMakeFiles/sq_sql.dir/executor.cc.o.d"
+  "CMakeFiles/sq_sql.dir/lexer.cc.o"
+  "CMakeFiles/sq_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/sq_sql.dir/parser.cc.o"
+  "CMakeFiles/sq_sql.dir/parser.cc.o.d"
+  "CMakeFiles/sq_sql.dir/result_set.cc.o"
+  "CMakeFiles/sq_sql.dir/result_set.cc.o.d"
+  "libsq_sql.a"
+  "libsq_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sq_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sq_state.dir/isolation.cc.o"
+  "CMakeFiles/sq_state.dir/isolation.cc.o.d"
+  "CMakeFiles/sq_state.dir/snapshot_registry.cc.o"
+  "CMakeFiles/sq_state.dir/snapshot_registry.cc.o.d"
+  "CMakeFiles/sq_state.dir/squery_state_store.cc.o"
+  "CMakeFiles/sq_state.dir/squery_state_store.cc.o.d"
+  "libsq_state.a"
+  "libsq_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sq_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

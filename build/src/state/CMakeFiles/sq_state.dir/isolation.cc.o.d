@@ -1,0 +1,3 @@
+src/state/CMakeFiles/sq_state.dir/isolation.cc.o: \
+ /root/repo/src/state/isolation.cc /usr/include/stdc-predef.h \
+ /root/repo/src/state/isolation.h

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dh_test.dir/dh_test.cc.o"
+  "CMakeFiles/dh_test.dir/dh_test.cc.o.d"
+  "dh_test"
+  "dh_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
