@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "common/histogram.h"
+#include "common/metrics.h"
 #include "dataflow/execution.h"
 #include "dh/delivery.h"
 #include "kv/grid.h"
@@ -57,6 +58,7 @@ struct DeliveryHarness {
   std::unique_ptr<state::SnapshotRegistry> registry;
   std::unique_ptr<dataflow::Job> job;
   state::SQueryStateStats stats;
+  MetricsRegistry metrics;  // job instrumentation (checkpoint phase timings)
 
   ~DeliveryHarness() {
     if (job != nullptr) {
@@ -103,6 +105,7 @@ inline std::unique_ptr<DeliveryHarness> StartDeliveryHarness(
   job_config.checkpoint_interval_ms = checkpoint_interval_ms;
   job_config.partitioner = &harness->grid->partitioner();
   job_config.listener = harness->registry.get();
+  job_config.metrics = &harness->metrics;
   if (squery) {
     state::SQueryConfig state_config;
     state_config.incremental = incremental;

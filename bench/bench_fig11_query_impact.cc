@@ -19,8 +19,9 @@ void RunConfig(const char* label, int64_t keys, bool with_queries,
                                       /*incremental=*/false,
                                       /*checkpoint_interval_ms=*/0);
   query::QueryService service(harness->grid.get(), harness->registry.get());
+  Histogram* phase2 = harness->metrics.GetHistogram("checkpoint.phase2_nanos");
   (void)harness->job->TriggerCheckpoint();  // make a snapshot queryable
-  harness->job->mutable_checkpoint_stats()->phase2_latency.Reset();
+  phase2->Reset();
 
   std::atomic<bool> stop{false};
   std::atomic<int64_t> queries_run{0};
@@ -44,8 +45,7 @@ void RunConfig(const char* label, int64_t keys, bool with_queries,
   char full_label[96];
   std::snprintf(full_label, sizeof(full_label), "%s (%lld q)", label,
                 static_cast<long long>(queries_run.load()));
-  PrintLatencyRow(with_queries ? full_label : label,
-                  harness->job->checkpoint_stats().phase2_latency);
+  PrintLatencyRow(with_queries ? full_label : label, *phase2);
 }
 
 }  // namespace

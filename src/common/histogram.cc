@@ -118,8 +118,11 @@ int64_t Histogram::ValueAtPercentile(double p) const {
   for (size_t i = 0; i < buckets_.size(); ++i) {
     running += buckets_[i];
     if (static_cast<double>(running) >= target) {
-      return std::min(
-          max_, std::max(min_, BucketLowerBound(static_cast<int>(i))));
+      // Report the highest value equivalent to this bucket (next bucket's
+      // lower bound - 1): the lower bound systematically underestimates
+      // tail percentiles, which skews every latency plot's p99+ columns.
+      const int64_t highest = BucketLowerBound(static_cast<int>(i) + 1) - 1;
+      return std::min(max_, std::max(min_, highest));
     }
   }
   return max_;

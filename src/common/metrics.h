@@ -1,0 +1,90 @@
+#ifndef SQUERY_COMMON_METRICS_H_
+#define SQUERY_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace sq {
+
+/// Monotonic event counter. Increments are relaxed atomic adds; callers on
+/// hot paths obtain the pointer once from the registry and cache it.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time level (queue depth, entry count, ratio): set/add semantics.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// One metric as read by `Collect` (and rendered by the `__metrics` system
+/// table): counters/gauges carry `value`; histograms carry a full summary
+/// with `value` set to the sample count.
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  int64_t value = 0;
+  Histogram::Summary summary;  // histograms only
+};
+
+const char* MetricKindToString(MetricSample::Kind kind);
+
+/// Process-local registry of named metrics — the engine's measurement
+/// substrate. Lookup takes a short mutex and returns a stable pointer;
+/// recording through the returned Counter/Gauge/Histogram never touches the
+/// registry lock again, so instrumentation on record-at-a-time paths stays
+/// cheap. Names are dotted paths ("checkpoint.phase2_nanos"); a name denotes
+/// one metric of one kind (looking it up as a different kind fails a check
+/// in debug builds and returns a distinct metric otherwise — don't).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the metric. Pointers remain valid for the registry's
+  /// lifetime.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Reads every registered metric, sorted by name (kinds interleaved).
+  std::vector<MetricSample> Collect() const;
+
+  /// Process-wide fallback registry for code without an injected one.
+  static MetricsRegistry* Default();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace sq
+
+#endif  // SQUERY_COMMON_METRICS_H_

@@ -20,14 +20,24 @@ class Job::ContextImpl : public OperatorContext {
   int32_t parallelism() const override { return worker_->parallelism; }
 
   void PutState(const kv::Value& key, kv::Object value) override {
-    if (worker_->state) worker_->state->Put(key, std::move(value));
+    if (worker_->state) {
+      worker_->state->Put(key, std::move(value));
+      // Size() runs on the owning worker thread; the atomic mirror is what
+      // introspection threads read.
+      worker_->state_entries.store(worker_->state->Size(),
+                                   std::memory_order_relaxed);
+    }
   }
   std::optional<kv::Object> GetState(const kv::Value& key) const override {
     if (!worker_->state) return std::nullopt;
     return worker_->state->Get(key);
   }
   bool RemoveState(const kv::Value& key) override {
-    return worker_->state ? worker_->state->Remove(key) : false;
+    if (!worker_->state) return false;
+    const bool removed = worker_->state->Remove(key);
+    worker_->state_entries.store(worker_->state->Size(),
+                                 std::memory_order_relaxed);
+    return removed;
   }
   void ForEachState(
       const std::function<void(const kv::Value&, const kv::Object&)>& fn)
@@ -51,12 +61,26 @@ Job::Job(const JobGraph& graph, JobConfig config)
   if (config_.partitioner != nullptr) {
     partitioner_ = config_.partitioner;
   } else {
-    owned_partitioner_ = std::make_unique<kv::Partitioner>(271);
+    owned_partitioner_ =
+        std::make_unique<kv::Partitioner>(kv::kDefaultPartitionCount);
     partitioner_ = owned_partitioner_.get();
   }
   clock_ = config_.clock != nullptr ? config_.clock : SystemClock::Default();
   if (!config_.state_store_factory) {
     config_.state_store_factory = InMemoryStateStoreFactory();
+  }
+  if (config_.metrics != nullptr) {
+    m_records_in_ = config_.metrics->GetCounter("dataflow.records_in");
+    m_records_out_ = config_.metrics->GetCounter("dataflow.records_out");
+    m_channel_depth_ =
+        config_.metrics->GetHistogram("dataflow.channel_depth");
+    m_align_nanos_ = config_.metrics->GetHistogram("checkpoint.align_nanos");
+    m_phase1_nanos_ =
+        config_.metrics->GetHistogram("checkpoint.phase1_nanos");
+    m_phase2_nanos_ =
+        config_.metrics->GetHistogram("checkpoint.phase2_nanos");
+    m_committed_ = config_.metrics->GetCounter("checkpoint.committed");
+    m_aborted_ = config_.metrics->GetCounter("checkpoint.aborted");
   }
 
   // Materialize workers.
@@ -104,6 +128,24 @@ Job::Job(const JobGraph& graph, JobConfig config)
 Result<std::unique_ptr<Job>> Job::Create(const JobGraph& graph,
                                          JobConfig config) {
   SQ_RETURN_IF_ERROR(graph.Validate());
+  // Colocation guard: a state store that externalizes state into a
+  // partitioned grid must hash with the same partitioner as the job's keyed
+  // edges, or live/snapshot tables silently end up on the wrong partitions.
+  if (config.state_store_factory &&
+      config.state_store_factory.partitioner != nullptr) {
+    const kv::Partitioner fallback(kv::kDefaultPartitionCount);
+    const kv::Partitioner* effective =
+        config.partitioner != nullptr ? config.partitioner : &fallback;
+    if (*effective != *config.state_store_factory.partitioner) {
+      return Status::InvalidArgument(
+          "state-store factory partitions state into " +
+          std::to_string(
+              config.state_store_factory.partitioner->partition_count()) +
+          " partitions but the job's keyed edges use " +
+          std::to_string(effective->partition_count()) +
+          "; share the grid's partitioner via JobConfig::partitioner");
+    }
+  }
   return std::unique_ptr<Job>(new Job(graph, std::move(config)));
 }
 
@@ -175,6 +217,12 @@ int64_t Job::ProcessedCount(const std::string& vertex) const {
 
 void Job::EmitFrom(Worker* w, Record record) {
   record.from_instance = w->id;
+  const int64_t n_emit = w->emitted.fetch_add(1, std::memory_order_relaxed);
+  if (m_records_out_ != nullptr) m_records_out_->Increment();
+  // Sampled channel-occupancy probe: every 256th emit records the depth of
+  // the destination queue (backpressure visibility without a per-push cost).
+  const bool probe_depth =
+      m_channel_depth_ != nullptr && (n_emit & 255) == 0;
   const size_t n_out = w->outputs.size();
   for (size_t e = 0; e < n_out; ++e) {
     const OutEdge& edge = w->outputs[e];
@@ -186,6 +234,10 @@ void Job::EmitFrom(Worker* w, Record record) {
             edge.dest_worker_ids[static_cast<size_t>(w->instance) %
                                  edge.dest_worker_ids.size()];
         queues_[dest]->Push(std::move(r));
+        if (probe_depth) {
+          m_channel_depth_->Record(
+              static_cast<int64_t>(queues_[dest]->size()));
+        }
         break;
       }
       case EdgeKind::kKeyed: {
@@ -194,6 +246,10 @@ void Job::EmitFrom(Worker* w, Record record) {
             edge.dest_worker_ids[static_cast<size_t>(p) %
                                  edge.dest_worker_ids.size()];
         queues_[dest]->Push(std::move(r));
+        if (probe_depth) {
+          m_channel_depth_->Record(
+              static_cast<int64_t>(queues_[dest]->size()));
+        }
         break;
       }
       case EdgeKind::kBroadcast: {
@@ -282,12 +338,19 @@ void Job::RunConsumer(Worker* w, ContextImpl* ctx) {
   BlockingQueue<Record>* input = queues_[w->id].get();
   std::unordered_set<int32_t> active = w->upstream_ids;
   int64_t aligning = 0;  // checkpoint id currently aligning, 0 = none
+  int64_t align_start_nanos = 0;
   std::unordered_set<int32_t> aligned;
   std::vector<Record> buffered;
 
   auto process = [&](const Record& r) {
-    w->processed.fetch_add(1, std::memory_order_relaxed);
+    const int64_t n = w->processed.fetch_add(1, std::memory_order_relaxed);
+    if (m_records_in_ != nullptr) m_records_in_->Increment();
+    // Sampled processing-latency probe: time 1 in 64 records (two clock
+    // reads per sample) so `__operators` can report per-vertex percentiles.
+    const bool timed = (n & 63) == 0;
+    const int64_t t0 = timed ? clock_->NowNanos() : 0;
     Status s = w->op->ProcessRecord(r, ctx);
+    if (timed) w->proc_latency.Record(clock_->NowNanos() - t0);
     if (!s.ok()) {
       SQ_LOG(Error) << w->vertex_name << "[" << w->instance
                     << "] ProcessRecord failed: " << s;
@@ -301,6 +364,9 @@ void Job::RunConsumer(Worker* w, ContextImpl* ctx) {
     if (aligning == 0) return;
     for (int32_t u : active) {
       if (!aligned.contains(u)) return;
+    }
+    if (m_align_nanos_ != nullptr) {
+      m_align_nanos_->Record(clock_->NowNanos() - align_start_nanos);
     }
     PerformSnapshot(w, ctx, aligning);
     BroadcastControl(w, Record::Marker(aligning));
@@ -321,6 +387,9 @@ void Job::RunConsumer(Worker* w, ContextImpl* ctx) {
         break;
       case RecordKind::kMarker:
         if (r->checkpoint_id <= latest_committed_.load()) break;  // stale
+        if (aligning != r->checkpoint_id) {
+          align_start_nanos = clock_->NowNanos();  // first marker of this id
+        }
         aligning = r->checkpoint_id;
         aligned.insert(r->from_instance);
         maybe_complete_alignment();
@@ -338,6 +407,44 @@ void Job::RunConsumer(Worker* w, ContextImpl* ctx) {
   }
   // If we exit with unreplayed buffered records (abort path), they are
   // dropped; recovery will replay from the last committed checkpoint.
+}
+
+void Job::AppendCheckpointRowLocked(CheckpointRow row) {
+  // Bounded history: enough for dashboards without growing with job age.
+  constexpr size_t kMaxCheckpointRows = 128;
+  checkpoint_history_.push_back(row);
+  if (checkpoint_history_.size() > kMaxCheckpointRows) {
+    checkpoint_history_.pop_front();
+  }
+}
+
+std::vector<OperatorStats> Job::CollectOperatorStats() const {
+  std::vector<OperatorStats> out;
+  out.reserve(workers_.size());
+  // ckpt_mu_ also guards the queue array against the swap in
+  // InjectFailureAndRecover, so introspection may run during recovery.
+  std::lock_guard<std::mutex> lock(ckpt_mu_);
+  for (const auto& w : workers_) {
+    OperatorStats s;
+    s.vertex = w->vertex_name;
+    s.instance = w->instance;
+    s.worker_id = w->id;
+    s.finished = w->finished.load();
+    s.records_in = w->processed.load(std::memory_order_relaxed);
+    s.records_out = w->emitted.load(std::memory_order_relaxed);
+    s.queue_depth = queues_[w->id]->size();
+    s.queue_capacity = queues_[w->id]->capacity();
+    s.state_entries = w->state_entries.load(std::memory_order_relaxed);
+    s.p50_nanos = w->proc_latency.ValueAtPercentile(50);
+    s.p99_nanos = w->proc_latency.ValueAtPercentile(99);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<CheckpointRow> Job::RecentCheckpoints() const {
+  std::lock_guard<std::mutex> lock(ckpt_mu_);
+  return {checkpoint_history_.begin(), checkpoint_history_.end()};
 }
 
 void Job::AckPrepared(int32_t worker_id, int64_t checkpoint_id) {
@@ -384,6 +491,7 @@ Result<int64_t> Job::TriggerCheckpoint() {
   const int64_t id = ++next_checkpoint_id_;
   pending_checkpoint_ = id;
   prepared_workers_.clear();
+  const int64_t started_micros = UnixMicros();
   const int64_t t0 = clock_->NowNanos();
   // Phase 1: inject markers at the sources; they flow through the DAG and
   // every instance writes its snapshot after alignment.
@@ -398,6 +506,13 @@ Result<int64_t> Job::TriggerCheckpoint() {
   if (!prepared || abort_.load()) {
     pending_checkpoint_ = 0;
     stats_.aborted.fetch_add(1);
+    if (m_aborted_ != nullptr) m_aborted_->Increment();
+    AppendCheckpointRowLocked(CheckpointRow{
+        .id = id,
+        .committed = false,
+        .phase1_nanos = clock_->NowNanos() - t0,
+        .phase2_nanos = 0,
+        .started_unix_micros = started_micros});
     lock.unlock();
     if (config_.listener != nullptr) {
       config_.listener->OnCheckpointAborted(id);
@@ -407,6 +522,7 @@ Result<int64_t> Job::TriggerCheckpoint() {
   }
   const int64_t t1 = clock_->NowNanos();
   stats_.phase1_latency.Record(t1 - t0);
+  if (m_phase1_nanos_ != nullptr) m_phase1_nanos_->Record(t1 - t0);
   if (config_.listener != nullptr) {
     config_.listener->OnCheckpointPrepared(id);
   }
@@ -418,7 +534,15 @@ Result<int64_t> Job::TriggerCheckpoint() {
   }
   const int64_t t2 = clock_->NowNanos();
   stats_.phase2_latency.Record(t2 - t0);
+  if (m_phase2_nanos_ != nullptr) m_phase2_nanos_->Record(t2 - t0);
   stats_.committed.fetch_add(1);
+  if (m_committed_ != nullptr) m_committed_->Increment();
+  AppendCheckpointRowLocked(CheckpointRow{.id = id,
+                                          .committed = true,
+                                          .phase1_nanos = t1 - t0,
+                                          .phase2_nanos = t2 - t0,
+                                          .started_unix_micros =
+                                              started_micros});
   pending_checkpoint_ = 0;
   ckpt_cv_.notify_all();
   return id;
@@ -467,6 +591,13 @@ Status Job::InjectFailureAndRecover() {
         config_.listener->OnCheckpointAborted(id);
       }
       stats_.aborted.fetch_add(1);
+      if (m_aborted_ != nullptr) m_aborted_->Increment();
+      AppendCheckpointRowLocked(CheckpointRow{
+          .id = id,
+          .committed = false,
+          .phase1_nanos = 0,
+          .phase2_nanos = 0,
+          .started_unix_micros = UnixMicros()});
     }
     next_checkpoint_id_ = committed;
     pending_checkpoint_ = 0;
@@ -485,12 +616,16 @@ Status Job::InjectFailureAndRecover() {
           w->state->RestoreFrom(committed)
               .WithContext("restoring " + w->vertex_name + "[" +
                            std::to_string(w->instance) + "]"));
+      w->state_entries.store(w->state->Size(), std::memory_order_relaxed);
     }
     w->op = factories_[w->vertex](w->instance);
   }
-  for (size_t i = 0; i < queues_.size(); ++i) {
-    queues_[i] =
-        std::make_unique<BlockingQueue<Record>>(config_.channel_capacity);
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    for (size_t i = 0; i < queues_.size(); ++i) {
+      queues_[i] =
+          std::make_unique<BlockingQueue<Record>>(config_.channel_capacity);
+    }
   }
   abort_.store(false);
   for (auto& w : workers_) {

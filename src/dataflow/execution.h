@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -12,6 +13,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/queue.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -43,6 +45,37 @@ struct JobConfig {
   CheckpointListener* listener = nullptr;
   /// Phase-1 wait budget before a checkpoint is aborted.
   int64_t checkpoint_timeout_ms = 30000;
+  /// Sink for engine instrumentation (records in/out, channel depths,
+  /// checkpoint phase timings). May be null: the job then keeps only its
+  /// per-worker counters and CheckpointStats.
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// Live statistics of one worker (operator instance), as exposed by the
+/// `__operators` system table. Latency percentiles come from a sampled
+/// per-record processing-time histogram (1 in 64 records timed).
+struct OperatorStats {
+  std::string vertex;
+  int32_t instance = 0;
+  int32_t worker_id = 0;
+  bool finished = false;
+  int64_t records_in = 0;
+  int64_t records_out = 0;
+  size_t queue_depth = 0;
+  size_t queue_capacity = 0;
+  size_t state_entries = 0;
+  int64_t p50_nanos = 0;
+  int64_t p99_nanos = 0;
+};
+
+/// One finished checkpoint attempt, as exposed by the `__checkpoints`
+/// system table (bounded history, newest last).
+struct CheckpointRow {
+  int64_t id = 0;
+  bool committed = false;
+  int64_t phase1_nanos = 0;
+  int64_t phase2_nanos = 0;
+  int64_t started_unix_micros = 0;
 };
 
 /// A running (or runnable) instantiation of a JobGraph: worker threads,
@@ -98,6 +131,12 @@ class Job {
   /// Number of data records delivered to workers of `vertex` (monitoring).
   int64_t ProcessedCount(const std::string& vertex) const;
 
+  /// Snapshot of every worker's live statistics (the `__operators` rows).
+  std::vector<OperatorStats> CollectOperatorStats() const;
+
+  /// Recent checkpoint attempts, oldest first (the `__checkpoints` rows).
+  std::vector<CheckpointRow> RecentCheckpoints() const;
+
  private:
   struct OutEdge {
     EdgeKind kind = EdgeKind::kForward;
@@ -122,6 +161,9 @@ class Job {
     std::atomic<bool> finished{false};
     std::atomic<int64_t> requested_checkpoint{0};  // sources only
     std::atomic<int64_t> processed{0};
+    std::atomic<int64_t> emitted{0};
+    std::atomic<size_t> state_entries{0};  // maintained by the worker thread
+    Histogram proc_latency;                // sampled ProcessRecord nanos
   };
 
   class ContextImpl;
@@ -137,6 +179,7 @@ class Job {
   void BroadcastControl(Worker* w, const Record& record);
   void AckPrepared(int32_t worker_id, int64_t checkpoint_id);
   void NotifyWorkerFinished(int32_t worker_id);
+  void AppendCheckpointRowLocked(CheckpointRow row);
   bool AllPreparedLocked() const;
   void JoinAllWorkers();
   void RunCoordinator();
@@ -154,13 +197,25 @@ class Job {
   std::atomic<bool> abort_{false};
   std::atomic<int64_t> latest_committed_{0};
 
-  // Checkpoint coordination.
-  std::mutex ckpt_mu_;
+  // Checkpoint coordination (also guards checkpoint_history_ and the queue
+  // array swap during recovery, so const introspection methods lock it too).
+  mutable std::mutex ckpt_mu_;
   std::condition_variable ckpt_cv_;
   int64_t next_checkpoint_id_ = 0;
   int64_t pending_checkpoint_ = 0;  // 0 = none in flight
   std::unordered_set<int32_t> prepared_workers_;
   CheckpointStats stats_;
+  std::deque<CheckpointRow> checkpoint_history_;  // under ckpt_mu_
+
+  // Cached metric handles (null when config_.metrics is null).
+  Counter* m_records_in_ = nullptr;
+  Counter* m_records_out_ = nullptr;
+  Histogram* m_channel_depth_ = nullptr;
+  Histogram* m_align_nanos_ = nullptr;
+  Histogram* m_phase1_nanos_ = nullptr;
+  Histogram* m_phase2_nanos_ = nullptr;
+  Counter* m_committed_ = nullptr;
+  Counter* m_aborted_ = nullptr;
   std::thread coordinator_thread_;
   std::atomic<bool> coordinator_stop_{false};
 };

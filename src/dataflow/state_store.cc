@@ -55,10 +55,12 @@ Status InMemoryStateStore::RestoreFrom(int64_t checkpoint_id) {
 void InMemoryStateStore::Clear() { live_.clear(); }
 
 StateStoreFactory InMemoryStateStoreFactory(int retained_snapshots) {
-  return [retained_snapshots](const std::string& /*vertex_name*/,
-                              int32_t /*instance*/) {
-    return std::make_unique<InMemoryStateStore>(retained_snapshots);
-  };
+  return StateStoreFactory(
+      [retained_snapshots](const std::string& /*vertex_name*/,
+                           int32_t /*instance*/)
+          -> std::unique_ptr<StateStore> {
+        return std::make_unique<InMemoryStateStore>(retained_snapshots);
+      });
 }
 
 }  // namespace sq::dataflow

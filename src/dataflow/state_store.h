@@ -11,6 +11,7 @@
 
 #include "common/status.h"
 #include "kv/object.h"
+#include "kv/partitioner.h"
 #include "kv/value.h"
 
 namespace sq::dataflow {
@@ -60,8 +61,31 @@ class StateStore {
 /// instance. `vertex_name` identifies the operator in the DAG and doubles as
 /// the external table name for queryable implementations; `instance` is the
 /// operator-instance index.
-using StateStoreFactory = std::function<std::unique_ptr<StateStore>(
-    const std::string& vertex_name, int32_t instance)>;
+///
+/// A factory whose stores externalize state into a partitioned grid also
+/// declares that grid's partitioner, letting `Job::Create` reject a job
+/// whose keyed edges would hash records to different partitions than the
+/// state store — a silent break of the colocation invariant otherwise.
+struct StateStoreFactory {
+  using CreateFn = std::function<std::unique_ptr<StateStore>(
+      const std::string& vertex_name, int32_t instance)>;
+
+  StateStoreFactory() = default;
+  StateStoreFactory(CreateFn fn,  // NOLINT(google-explicit-constructor)
+                    const kv::Partitioner* p = nullptr)
+      : create(std::move(fn)), partitioner(p) {}
+
+  std::unique_ptr<StateStore> operator()(const std::string& vertex_name,
+                                         int32_t instance) const {
+    return create(vertex_name, instance);
+  }
+  explicit operator bool() const { return static_cast<bool>(create); }
+
+  CreateFn create;
+  /// Partitioner the produced stores hash external state with; nullptr for
+  /// private (partitioner-agnostic) stores such as InMemoryStateStore.
+  const kv::Partitioner* partitioner = nullptr;
+};
 
 /// Default private state store: live state in a hash map, snapshots as
 /// internal copies keyed by checkpoint id (bounded retention). Models the

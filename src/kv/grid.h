@@ -21,7 +21,7 @@ struct GridConfig {
   /// Simulated cluster nodes; partition ownership is spread across them.
   int32_t node_count = 3;
   /// Total partitions shared by the KV store and the stream partitioner.
-  int32_t partition_count = 32;
+  int32_t partition_count = kDefaultPartitionCount;
   /// Synchronous backup replicas per partition.
   int32_t backup_count = 1;
 };

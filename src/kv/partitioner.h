@@ -7,6 +7,13 @@
 
 namespace sq::kv {
 
+/// Partition count used whenever no explicit count is configured. The KV
+/// grid and the dataflow engine's fallback partitioner both derive from this
+/// one constant so that default-configured jobs hash state to the same
+/// partitions as the grid (the colocation invariant of Section II); the
+/// value is Hazelcast's classic default.
+inline constexpr int32_t kDefaultPartitionCount = 271;
+
 /// Maps keys to partitions. The *same* partitioner instance (same partition
 /// count) is shared by the KV grid and the dataflow engine's keyed edges —
 /// this is the colocation design decision of the paper (Section II): the
@@ -27,6 +34,9 @@ class Partitioner {
 
   friend bool operator==(const Partitioner& a, const Partitioner& b) {
     return a.partition_count_ == b.partition_count_;
+  }
+  friend bool operator!=(const Partitioner& a, const Partitioner& b) {
+    return !(a == b);
   }
 
  private:

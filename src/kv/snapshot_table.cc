@@ -254,14 +254,18 @@ void SnapshotTable::Clear() {
 }
 
 void SnapshotTable::FailPartitionPrimary(int32_t partition) {
-  {
-    PartitionData& part = *partitions_[partition];
-    std::lock_guard<std::mutex> lock(part.mu);
-    part.keys.clear();
-  }
-  if (backups_.empty()) return;
-  PartitionData& backup = *backups_[0][partition];
   PartitionData& primary = *partitions_[partition];
+  if (backups_.empty()) {
+    // No replica to promote: the partition's data is simply lost.
+    std::lock_guard<std::mutex> lock(primary.mu);
+    primary.keys.clear();
+    return;
+  }
+  // Promote the backup in one critical section. Clearing the primary first
+  // under a separate lock would expose an empty partition to concurrent
+  // readers — a snapshot-isolation violation (keys transiently missing from
+  // a committed snapshot).
+  PartitionData& backup = *backups_[0][partition];
   std::scoped_lock lock(backup.mu, primary.mu);
   primary.keys = backup.keys;
 }

@@ -1,7 +1,10 @@
 #include "query/query_service.h"
 
+#include <cctype>
 #include <string_view>
+#include <utility>
 
+#include "dataflow/execution.h"
 #include "state/squery_state_store.h"
 
 namespace sq::query {
@@ -19,6 +22,18 @@ bool HasVersionsSuffix(std::string_view name) {
   return name.size() > kVersionsSuffix.size() &&
          name.substr(name.size() - kVersionsSuffix.size()) ==
              kVersionsSuffix;
+}
+
+// Metric-name fragment for an isolation level: lowercased, spaces collapsed
+// to '_' ("read committed*" -> "read_committed").
+std::string IsolationSlug(state::IsolationLevel level) {
+  std::string slug;
+  for (char c : std::string_view(state::IsolationLevelToString(level))) {
+    slug.push_back(c == ' ' ? '_'
+                            : static_cast<char>(std::tolower(
+                                  static_cast<unsigned char>(c))));
+  }
+  return slug;
 }
 
 kv::Object MakeTuple(const kv::Value& key, const kv::Object& value,
@@ -58,17 +73,113 @@ class BoundResolver : public sql::TableResolver {
 }  // namespace
 
 QueryService::QueryService(kv::Grid* grid, state::SnapshotRegistry* registry,
-                           Clock* clock)
+                           Clock* clock, MetricsRegistry* metrics)
     : grid_(grid),
       registry_(registry),
-      clock_(clock != nullptr ? clock : SystemClock::Default()) {}
+      clock_(clock != nullptr ? clock : SystemClock::Default()),
+      metrics_(metrics) {}
 
 Result<sql::ResultSet> QueryService::Execute(const std::string& sql,
                                              const QueryOptions& options) {
+  const int64_t start_nanos = clock_->NowNanos();
   BoundResolver resolver(this, options, &QueryService::ScanTableImpl);
   sql::ExecOptions exec_options;
   exec_options.local_timestamp_micros = UnixMicros();
-  return sql::ExecuteSql(sql, &resolver, exec_options);
+  Result<sql::ResultSet> result =
+      sql::ExecuteSql(sql, &resolver, exec_options);
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("query.count")->Increment();
+    if (!result.ok()) metrics_->GetCounter("query.errors")->Increment();
+    metrics_
+        ->GetHistogram("query.latency_nanos." +
+                       IsolationSlug(options.isolation))
+        ->Record(clock_->NowNanos() - start_nanos);
+  }
+  return result;
+}
+
+void QueryService::RegisterEngineIntrospection(dataflow::Job* job,
+                                               MetricsRegistry* metrics) {
+  if (metrics == nullptr) metrics = metrics_;
+  if (metrics != nullptr) {
+    catalog_.RegisterVirtualTable(
+        "__metrics", [metrics]() -> Result<std::vector<kv::Object>> {
+          std::vector<kv::Object> rows;
+          for (const MetricSample& s : metrics->Collect()) {
+            kv::Object row;
+            row.Set("key", kv::Value(s.name));
+            row.Set("partitionKey", kv::Value(s.name));
+            row.Set("name", kv::Value(s.name));
+            row.Set("kind", kv::Value(MetricKindToString(s.kind)));
+            row.Set("value", kv::Value(s.value));
+            row.Set("count", kv::Value(s.summary.count));
+            row.Set("mean", kv::Value(s.summary.mean));
+            row.Set("p50", kv::Value(s.summary.p50));
+            row.Set("p90", kv::Value(s.summary.p90));
+            row.Set("p99", kv::Value(s.summary.p99));
+            row.Set("p999", kv::Value(s.summary.p999));
+            row.Set("max", kv::Value(s.summary.max));
+            rows.push_back(std::move(row));
+          }
+          return rows;
+        });
+  }
+  if (job != nullptr) {
+    catalog_.RegisterVirtualTable(
+        "__operators", [job]() -> Result<std::vector<kv::Object>> {
+          std::vector<kv::Object> rows;
+          for (const dataflow::OperatorStats& s :
+               job->CollectOperatorStats()) {
+            kv::Object row;
+            const kv::Value key(s.vertex + "[" + std::to_string(s.instance) +
+                                "]");
+            row.Set("key", key);
+            row.Set("partitionKey", key);
+            row.Set("vertex", kv::Value(s.vertex));
+            row.Set("instance", kv::Value(static_cast<int64_t>(s.instance)));
+            row.Set("worker_id",
+                    kv::Value(static_cast<int64_t>(s.worker_id)));
+            row.Set("finished", kv::Value(s.finished));
+            row.Set("records_in", kv::Value(s.records_in));
+            row.Set("records_out", kv::Value(s.records_out));
+            row.Set("queue_depth",
+                    kv::Value(static_cast<int64_t>(s.queue_depth)));
+            row.Set("queue_capacity",
+                    kv::Value(static_cast<int64_t>(s.queue_capacity)));
+            row.Set("state_entries",
+                    kv::Value(static_cast<int64_t>(s.state_entries)));
+            row.Set("p50_nanos", kv::Value(s.p50_nanos));
+            row.Set("p99_nanos", kv::Value(s.p99_nanos));
+            rows.push_back(std::move(row));
+          }
+          return rows;
+        });
+    catalog_.RegisterVirtualTable(
+        "__checkpoints", [job]() -> Result<std::vector<kv::Object>> {
+          std::vector<kv::Object> rows;
+          for (const dataflow::CheckpointRow& c : job->RecentCheckpoints()) {
+            kv::Object row;
+            // Column is `id`, not `ssid`: an `ssid = n` WHERE conjunct would
+            // be captured by the executor's snapshot-pinning logic instead
+            // of filtering rows.
+            row.Set("key", kv::Value(c.id));
+            row.Set("partitionKey", kv::Value(c.id));
+            row.Set("id", kv::Value(c.id));
+            row.Set("state", kv::Value(c.committed ? "committed" : "aborted"));
+            row.Set("committed", kv::Value(c.committed));
+            row.Set("phase1_nanos", kv::Value(c.phase1_nanos));
+            row.Set("phase2_nanos", kv::Value(c.phase2_nanos));
+            row.Set("started_micros", kv::Value(c.started_unix_micros));
+            rows.push_back(std::move(row));
+          }
+          return rows;
+        });
+  }
+}
+
+Result<std::vector<kv::Object>> QueryService::ScanSystemObjects(
+    const std::string& table) {
+  return catalog_.ScanVirtualTable(table);
 }
 
 Result<std::vector<kv::Object>> QueryService::ScanTable(
@@ -89,6 +200,12 @@ Result<int64_t> QueryService::ResolveSsid(std::optional<int64_t> requested,
 Result<std::vector<kv::Object>> QueryService::ScanTableImpl(
     const std::string& table, std::optional<int64_t> requested_ssid,
     const QueryOptions& options) {
+  // System tables first: engine introspection is observational (not stream
+  // state), so it is readable at every isolation level.
+  if (catalog_.HasVirtualTable(table)) {
+    return catalog_.ScanVirtualTable(table);
+  }
+
   std::vector<kv::Object> tuples;
   if (IsSnapshotTableName(table)) {
     std::string base = table;

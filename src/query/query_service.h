@@ -9,12 +9,18 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "kv/grid.h"
+#include "sql/catalog.h"
 #include "sql/executor.h"
 #include "sql/result_set.h"
 #include "state/isolation.h"
 #include "state/snapshot_registry.h"
+
+namespace sq::dataflow {
+class Job;
+}  // namespace sq::dataflow
 
 namespace sq::query {
 
@@ -40,10 +46,14 @@ struct QueryOptions {
 ///                                   with the `ssid` column telling versions
 ///                                   apart (Section VI-A, multi-version
 ///                                   result sets)
+///   `__metrics`/`__operators`/`__checkpoints`
+///                                   virtual system tables over the engine's
+///                                   own internals (after
+///                                   RegisterEngineIntrospection)
 class QueryService : public sql::TableResolver {
  public:
   QueryService(kv::Grid* grid, state::SnapshotRegistry* registry,
-               Clock* clock = nullptr);
+               Clock* clock = nullptr, MetricsRegistry* metrics = nullptr);
 
   /// Runs a SQL SELECT. The result's LOCALTIMESTAMP is bound once at query
   /// start.
@@ -63,6 +73,27 @@ class QueryService : public sql::TableResolver {
   /// Full live-state scan of one operator via the direct interface.
   Result<std::vector<std::pair<kv::Value, kv::Object>>> ScanLiveObjects(
       const std::string& operator_name);
+
+  /// Registers the engine-introspection system tables in this service's
+  /// catalog, backed by live engine structures:
+  ///   `__metrics`      every metric in `metrics` (name, kind, value, count,
+  ///                    mean, p50/p90/p99/p999, max)
+  ///   `__operators`    per-worker stats of `job` (records in/out, queue
+  ///                    depth/capacity, state entries, latency percentiles)
+  ///   `__checkpoints`  the job's recent checkpoint attempts (id, state,
+  ///                    phase timings)
+  /// `metrics` defaults to the registry passed at construction; either
+  /// argument may be null, skipping the tables it backs. Rows are computed
+  /// at scan time, so every query sees current values.
+  void RegisterEngineIntrospection(dataflow::Job* job,
+                                   MetricsRegistry* metrics = nullptr);
+
+  /// Direct object interface to system tables: the rows `SELECT * FROM
+  /// <table>` would return, bypassing SQL (cheap programmatic monitoring).
+  Result<std::vector<kv::Object>> ScanSystemObjects(const std::string& table);
+
+  /// The virtual-table catalog (system tables; extensible by embedders).
+  sql::Catalog* catalog() { return &catalog_; }
 
   /// Nanoseconds spent resolving the snapshot id in the most recent
   /// snapshot-table access ("snapshot ID retrieval time", Section IX-D).
@@ -86,6 +117,8 @@ class QueryService : public sql::TableResolver {
   kv::Grid* grid_;
   state::SnapshotRegistry* registry_;
   Clock* clock_;
+  MetricsRegistry* metrics_;
+  sql::Catalog catalog_;
   std::atomic<int64_t> last_resolve_nanos_{0};
 };
 

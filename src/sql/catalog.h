@@ -1,0 +1,52 @@
+#ifndef SQUERY_SQL_CATALOG_H_
+#define SQUERY_SQL_CATALOG_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "kv/object.h"
+
+namespace sq::sql {
+
+/// Produces the current rows of a virtual table. Called once per scan, on
+/// the querying thread; implementations must be safe to call concurrently
+/// with the engine running (read from atomics / under their own locks).
+using VirtualTableScanFn = std::function<Result<std::vector<kv::Object>>()>;
+
+/// Registry of virtual (computed) tables — the engine's introspection
+/// surface. System tables such as `__metrics`, `__operators` and
+/// `__checkpoints` register a scan function here; the query layer consults
+/// the catalog before falling back to KV-grid tables, so the same SQL
+/// executor serves state queries and engine self-observation alike.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers (or replaces) the virtual table `name`.
+  void RegisterVirtualTable(const std::string& name, VirtualTableScanFn fn);
+
+  /// True if `name` is a registered virtual table.
+  bool HasVirtualTable(const std::string& name) const;
+
+  /// Runs the scan function of `name`. NotFound if it is not registered.
+  Result<std::vector<kv::Object>> ScanVirtualTable(
+      const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> VirtualTableNames() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, VirtualTableScanFn> tables_;
+};
+
+}  // namespace sq::sql
+
+#endif  // SQUERY_SQL_CATALOG_H_

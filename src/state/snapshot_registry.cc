@@ -11,6 +11,12 @@ SnapshotRegistry::SnapshotRegistry(kv::Grid* grid, Options options)
     : grid_(grid), options_(options) {
   SQ_CHECK(options_.retained_versions >= 1)
       << "must retain at least one snapshot version";
+  if (options_.metrics != nullptr) {
+    m_prunes_ = options_.metrics->GetCounter("state.prune_runs");
+    m_pruned_entries_ = options_.metrics->GetCounter("state.pruned_entries");
+    m_aborted_drops_ =
+        options_.metrics->GetCounter("state.aborted_snapshot_drops");
+  }
   if (options_.async_prune) {
     pruner_ = std::thread([this] { RunPruner(); });
   }
@@ -58,6 +64,7 @@ void SnapshotRegistry::OnCheckpointAborted(int64_t checkpoint_id) {
       table->DropSnapshot(checkpoint_id);
     }
   }
+  if (m_aborted_drops_ != nullptr) m_aborted_drops_->Increment();
 }
 
 std::vector<int64_t> SnapshotRegistry::RetainedVersions() const {
@@ -102,10 +109,15 @@ void SnapshotRegistry::FlushPruning() {
 }
 
 void SnapshotRegistry::PruneTo(int64_t floor_ssid) {
+  size_t removed = 0;
   for (const std::string& name : grid_->SnapshotTableNames()) {
     if (kv::SnapshotTable* table = grid_->GetSnapshotTable(name)) {
-      table->Compact(floor_ssid);
+      removed += table->Compact(floor_ssid);
     }
+  }
+  if (m_prunes_ != nullptr) {
+    m_prunes_->Increment();
+    m_pruned_entries_->Increment(static_cast<int64_t>(removed));
   }
 }
 

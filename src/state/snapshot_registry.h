@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "dataflow/checkpoint.h"
@@ -36,6 +37,9 @@ class SnapshotRegistry : public dataflow::CheckpointListener {
     /// is the paper's Fig. 10 measurement) only flips the version pointer.
     /// Disable for deterministic tests.
     bool async_prune = true;
+    /// Sink for retention instrumentation (prune runs, pruned entries,
+    /// dropped aborted-snapshot runs). May be null.
+    MetricsRegistry* metrics = nullptr;
   };
 
   SnapshotRegistry(kv::Grid* grid, Options options);
@@ -73,6 +77,11 @@ class SnapshotRegistry : public dataflow::CheckpointListener {
 
   kv::Grid* grid_;
   Options options_;
+
+  // Cached metric handles (null when options_.metrics is null).
+  Counter* m_prunes_ = nullptr;
+  Counter* m_pruned_entries_ = nullptr;
+  Counter* m_aborted_drops_ = nullptr;
 
   std::atomic<int64_t> latest_committed_{0};
   mutable std::mutex mu_;

@@ -33,6 +33,15 @@ SQueryStateStore::SQueryStateStore(kv::Grid* grid, std::string operator_name,
     snap_table_ =
         grid_->GetOrCreateSnapshotTable(SnapshotTableName(operator_name_));
   }
+  if (config_.metrics != nullptr) {
+    m_entries_ = config_.metrics->GetCounter("state.snapshot_entries");
+    m_bytes_ = config_.metrics->GetCounter("state.snapshot_bytes");
+    m_tombstones_ = config_.metrics->GetCounter("state.snapshot_tombstones");
+    m_entries_per_snapshot_ =
+        config_.metrics->GetHistogram("state.snapshot_entries_per_snapshot");
+    m_delta_ratio_pct_ =
+        config_.metrics->GetHistogram("state.snapshot_delta_ratio_pct");
+  }
 }
 
 namespace {
@@ -100,6 +109,8 @@ Status SQueryStateStore::SnapshotTo(int64_t checkpoint_id) {
 
   last_snapshot_entries_ = 0;
   if (snap_table_ != nullptr) {
+    int64_t bytes_written = 0;
+    int64_t tombstones = 0;
     if (config_.incremental) {
       // Delta only: keys changed since the previous checkpoint, plus
       // tombstones for deletions. Queries reconstruct older values via the
@@ -109,12 +120,14 @@ Status SQueryStateStore::SnapshotTo(int64_t checkpoint_id) {
         if (it == local_.end()) continue;  // deleted after dirtying
         snap_table_->Write(checkpoint_id, key, it->second);
         ++last_snapshot_entries_;
+        if (m_bytes_ != nullptr) {
+          bytes_written += static_cast<int64_t>(key.ByteSize() +
+                                                it->second.ByteSize());
+        }
       }
       for (const kv::Value& key : deleted_) {
         snap_table_->WriteTombstone(checkpoint_id, key);
-        if (stats_ != nullptr) {
-          stats_->snapshot_tombstones_written.fetch_add(1);
-        }
+        ++tombstones;
       }
     } else {
       // Full snapshot: rewrite the complete state under this id; deletions
@@ -122,18 +135,35 @@ Status SQueryStateStore::SnapshotTo(int64_t checkpoint_id) {
       for (const auto& [key, value] : local_) {
         snap_table_->Write(checkpoint_id, key, value);
         ++last_snapshot_entries_;
+        if (m_bytes_ != nullptr) {
+          bytes_written +=
+              static_cast<int64_t>(key.ByteSize() + value.ByteSize());
+        }
       }
       for (const kv::Value& key : deleted_) {
         snap_table_->WriteTombstone(checkpoint_id, key);
-        if (stats_ != nullptr) {
-          stats_->snapshot_tombstones_written.fetch_add(1);
-        }
+        ++tombstones;
       }
     }
     if (stats_ != nullptr) {
       stats_->snapshot_entries_written.fetch_add(
           static_cast<int64_t>(last_snapshot_entries_));
+      stats_->snapshot_tombstones_written.fetch_add(tombstones);
       stats_->snapshots_taken.fetch_add(1);
+    }
+    if (config_.metrics != nullptr) {
+      m_entries_->Increment(static_cast<int64_t>(last_snapshot_entries_));
+      m_bytes_->Increment(bytes_written);
+      m_tombstones_->Increment(tombstones);
+      m_entries_per_snapshot_->Record(
+          static_cast<int64_t>(last_snapshot_entries_));
+      if (!local_.empty()) {
+        // Delta ratio: share of the state rewritten this checkpoint (100 for
+        // full snapshots; the Fig. 12 savings metric for incremental ones).
+        m_delta_ratio_pct_->Record(
+            static_cast<int64_t>(100 * last_snapshot_entries_ /
+                                 local_.size()));
+      }
     }
   }
   dirty_.clear();
@@ -218,11 +248,14 @@ void SQueryStateStore::Clear() {
 
 dataflow::StateStoreFactory MakeSQueryStateStoreFactory(
     kv::Grid* grid, SQueryConfig config, SQueryStateStats* stats) {
-  return [grid, config, stats](const std::string& vertex_name,
-                               int32_t instance) {
-    return std::make_unique<SQueryStateStore>(grid, vertex_name, instance,
-                                              config, stats);
-  };
+  return dataflow::StateStoreFactory(
+      [grid, config, stats](const std::string& vertex_name, int32_t instance)
+          -> std::unique_ptr<dataflow::StateStore> {
+        return std::make_unique<SQueryStateStore>(grid, vertex_name,
+                                                  instance, config, stats);
+      },
+      // Declaring the grid's partitioner lets Job::Create verify colocation.
+      &grid->partitioner());
 }
 
 }  // namespace sq::state

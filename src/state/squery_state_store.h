@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "dataflow/state_store.h"
 #include "kv/grid.h"
@@ -39,6 +40,9 @@ struct SQueryConfig {
   /// Parallelism of the vertex, required by RestoreFromTable's
   /// partition→instance ownership computation.
   int32_t parallelism = 1;
+  /// Sink for snapshot-write instrumentation (entries/bytes per snapshot,
+  /// delta ratio). May be null; the aggregate SQueryStateStats still works.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Statistics shared by all store instances of one job (benchmark hooks).
@@ -103,6 +107,13 @@ class SQueryStateStore : public dataflow::StateStore {
 
   kv::LiveMap* live_map_ = nullptr;          // if live_enabled
   kv::SnapshotTable* snap_table_ = nullptr;  // if snapshot_enabled
+
+  // Cached metric handles (null when config_.metrics is null).
+  Counter* m_entries_ = nullptr;
+  Counter* m_bytes_ = nullptr;
+  Counter* m_tombstones_ = nullptr;
+  Histogram* m_entries_per_snapshot_ = nullptr;
+  Histogram* m_delta_ratio_pct_ = nullptr;
 
   StateMap local_;
   // Incremental-snapshot change tracking since the last checkpoint.

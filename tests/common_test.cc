@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <thread>
 #include <vector>
@@ -7,6 +8,7 @@
 #include "common/clock.h"
 #include "common/hash.h"
 #include "common/histogram.h"
+#include "common/metrics.h"
 #include "common/queue.h"
 #include "common/result.h"
 #include "common/rng.h"
@@ -89,6 +91,66 @@ TEST(HistogramTest, PercentilesWithinRelativeError) {
                 0.05 * static_cast<double>(exact))
         << "p" << p;
   }
+}
+
+// Regression: ValueAtPercentile used to return the *lower* bound of the
+// matched bucket, systematically under-reporting tail percentiles by up to
+// one bucket width (~3%). It must report the highest equivalent value,
+// clamped to the recorded max.
+TEST(HistogramTest, PercentileReportsHighestEquivalentValue) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(100000);
+  // One distinct value: every percentile is exactly that value. The old
+  // lower-bound code returned 98304 here.
+  EXPECT_EQ(h.ValueAtPercentile(50), 100000);
+  EXPECT_EQ(h.ValueAtPercentile(99), 100000);
+  EXPECT_EQ(h.ValueAtPercentile(99.99), 100000);
+}
+
+TEST(HistogramTest, PercentileMatchesSortedReferenceWithinOneBucket) {
+  Histogram h;
+  Rng rng(11);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 200000; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.NextBounded(80'000'000)) + 1;
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double p : {10.0, 50.0, 90.0, 99.0, 99.9, 99.99}) {
+    const int64_t exact =
+        values[static_cast<size_t>(p / 100.0 * values.size()) - 1];
+    const int64_t approx = h.ValueAtPercentile(p);
+    // One log-linear bucket spans at most value/32; the reported value must
+    // sit within one bucket width of the exact order statistic...
+    const int64_t bucket_width = exact / 32 + 1;
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                static_cast<double>(bucket_width))
+        << "p" << p;
+    // ...and, with highest-equivalent semantics, never *below* the bucket
+    // holding it (the old bias was a full bucket width low).
+    EXPECT_GE(approx, exact - bucket_width / 2) << "p" << p;
+  }
+}
+
+TEST(HistogramTest, MergeIntoEmptyAdoptsMinMax) {
+  Histogram a;
+  Histogram b;
+  b.Record(500);
+  b.Record(700);
+  a.Merge(b);
+  // An empty destination must adopt the source's min/max instead of keeping
+  // its zero-initialized min (which would fabricate a min of 0).
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.min(), 500);
+  EXPECT_EQ(a.max(), 700);
+  EXPECT_EQ(a.ValueAtPercentile(0), 500);
+  // Merging an empty histogram must not disturb the destination.
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.min(), 500);
+  EXPECT_EQ(a.max(), 700);
 }
 
 TEST(HistogramTest, MergeAddsCounts) {
@@ -201,6 +263,100 @@ TEST(BlockingQueueTest, ProducerConsumerUnderContention) {
   producer.join();
   consumer.join();
   EXPECT_EQ(sum, static_cast<int64_t>(kItems) * (kItems + 1) / 2);
+}
+
+TEST(BlockingQueueTest, PopWithTimeoutTimesOutOnEmptyOpenQueue) {
+  BlockingQueue<int> q(4);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.PopWithTimeout(50).has_value());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            45);
+  // Timing out does not close the queue.
+  EXPECT_FALSE(q.closed());
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_EQ(q.PopWithTimeout(1000).value(), 1);
+}
+
+TEST(BlockingQueueTest, PopWithTimeoutReturnsItemDeliveredWhileWaiting) {
+  BlockingQueue<int> q(4);
+  std::thread producer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.Push(42);
+  });
+  // Far longer than the delivery delay: must return the item, not wait out
+  // the full timeout.
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(q.PopWithTimeout(10000).value(), 42);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000);
+  producer.join();
+}
+
+TEST(BlockingQueueTest, PopWithTimeoutUnblocksPromptlyOnClose) {
+  BlockingQueue<int> q(4);
+  std::thread closer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.Close();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.PopWithTimeout(10000).has_value());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  // Closing must wake the waiter immediately — distinguishable from a
+  // timeout, which would have kept it blocked for the full 10s.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000);
+  closer.join();
+}
+
+TEST(BlockingQueueTest, PopWithTimeoutDrainsClosedQueueBeforeNullopt) {
+  BlockingQueue<int> q(4);
+  EXPECT_TRUE(q.Push(7));
+  q.Close();
+  EXPECT_EQ(q.PopWithTimeout(1000).value(), 7);
+  EXPECT_FALSE(q.PopWithTimeout(1000).has_value());
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndNamesUnify) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("a.count");
+  c->Increment();
+  c->Increment(4);
+  EXPECT_EQ(registry.GetCounter("a.count"), c);  // same metric, same pointer
+  EXPECT_EQ(c->Value(), 5);
+  registry.GetGauge("b.depth")->Set(17);
+  registry.GetHistogram("c.nanos")->Record(1000);
+  const std::vector<MetricSample> samples = registry.Collect();
+  ASSERT_EQ(samples.size(), 3u);  // sorted by name
+  EXPECT_EQ(samples[0].name, "a.count");
+  EXPECT_EQ(samples[0].kind, MetricSample::Kind::kCounter);
+  EXPECT_EQ(samples[0].value, 5);
+  EXPECT_EQ(samples[1].name, "b.depth");
+  EXPECT_EQ(samples[1].value, 17);
+  EXPECT_EQ(samples[2].name, "c.nanos");
+  EXPECT_EQ(samples[2].kind, MetricSample::Kind::kHistogram);
+  EXPECT_EQ(samples[2].value, 1);  // histogram `value` = sample count
+  EXPECT_EQ(samples[2].summary.count, 1);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      Counter* c = registry.GetCounter("hot.counter");
+      for (int i = 0; i < kPerThread; ++i) c->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("hot.counter")->Value(),
+            kThreads * kPerThread);
 }
 
 TEST(ClockTest, SystemClockAdvances) {

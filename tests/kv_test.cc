@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <set>
 #include <thread>
 #include <vector>
@@ -325,6 +327,70 @@ TEST(GridTest, FailoverPromotesBackupData) {
   EXPECT_FALSE(grid.KillNode(1).ok());  // already dead
   ASSERT_TRUE(grid.ReviveNode(1).ok());
   EXPECT_TRUE(grid.IsNodeAlive(1));
+}
+
+// Regression: FailPartitionPrimary used to clear the primary copy under one
+// lock and only then copy the backup in under a second one, leaving a window
+// where concurrent readers observed an *empty* partition — committed
+// snapshot keys transiently vanishing, a snapshot-isolation violation. The
+// promotion must be atomic with respect to readers.
+TEST(SnapshotTableTest, FailoverNeverExposesEmptyPartitionToReaders) {
+  const Partitioner partitioner(8);
+  SnapshotTable table("snapshot_hammer", &partitioner, /*backup_count=*/1);
+  constexpr int64_t kKeys = 256;
+  Object o;
+  o.Set("v", Value(int64_t{1}));
+  for (int64_t i = 0; i < kKeys; ++i) table.Write(1, Value(i), o);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> missing{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        for (int64_t i = 0; i < kKeys; ++i) {
+          if (!table.GetAt(Value(i), 1).has_value()) missing.fetch_add(1);
+        }
+      }
+    });
+  }
+  readers.emplace_back([&] {
+    while (!stop.load()) {
+      int64_t seen = 0;
+      table.ScanAt(1, [&seen](const Value&, int64_t, const Object&) {
+        ++seen;
+      });
+      if (seen != kKeys) missing.fetch_add(kKeys - seen);
+    }
+  });
+
+  // Hammer every partition's primary with repeated failovers while the
+  // readers run.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(500);
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (int32_t p = 0; p < partitioner.partition_count(); ++p) {
+      table.FailPartitionPrimary(p);
+    }
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(missing.load(), 0)
+      << "readers observed keys missing from a committed snapshot";
+  // The data itself survived all the promotions.
+  for (int64_t i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(table.GetAt(Value(i), 1).has_value()) << "key " << i;
+  }
+}
+
+TEST(SnapshotTableTest, FailoverWithoutBackupLosesPartitionData) {
+  const Partitioner partitioner(4);
+  SnapshotTable table("snapshot_nobackup", &partitioner, /*backup_count=*/0);
+  Object o;
+  o.Set("v", Value(int64_t{1}));
+  for (int64_t i = 0; i < 64; ++i) table.Write(1, Value(i), o);
+  for (int32_t p = 0; p < 4; ++p) table.FailPartitionPrimary(p);
+  EXPECT_EQ(table.KeyCount(), 0u);
 }
 
 TEST(GridTest, RefusesToKillLastNode) {
