@@ -11,11 +11,14 @@
 
 #include "common/histogram.h"
 #include "common/metrics.h"
+#include "dataflow/checkpoint.h"
 #include "dataflow/execution.h"
 #include "dh/delivery.h"
 #include "kv/grid.h"
 #include "state/snapshot_registry.h"
 #include "state/squery_state_store.h"
+#include "storage/durable_listener.h"
+#include "storage/snapshot_log.h"
 
 namespace sq::bench {
 
@@ -56,6 +59,10 @@ inline void PrintLatencyRow(const std::string& label,
 struct DeliveryHarness {
   std::unique_ptr<kv::Grid> grid;
   std::unique_ptr<state::SnapshotRegistry> registry;
+  // Durable-snapshot chain (populated only when a durable dir is given).
+  std::unique_ptr<storage::SnapshotLog> log;
+  std::unique_ptr<storage::DurableSnapshotListener> durable_listener;
+  dataflow::CheckpointListenerChain listener_chain;
   std::unique_ptr<dataflow::Job> job;
   state::SQueryStateStats stats;
   MetricsRegistry metrics;  // job instrumentation (checkpoint phase timings)
@@ -74,10 +81,13 @@ struct DeliveryHarness {
 /// With `churn_rate` > 0 the sources keep updating state at that rate
 /// (events/s per source) instead of lingering idle — keeps per-checkpoint
 /// deltas non-empty for the incremental-snapshot experiments.
+/// A non-empty `durable_dir` opens a snapshot log there and chains a
+/// DurableSnapshotListener ahead of the registry, so every checkpoint is
+/// fsynced to disk (the recovery benchmark's durability-on configuration).
 inline std::unique_ptr<DeliveryHarness> StartDeliveryHarness(
     int64_t num_orders, bool squery, bool incremental,
     int64_t checkpoint_interval_ms, double churn_rate = 0.0,
-    int retained_versions = 2) {
+    int retained_versions = 2, const std::string& durable_dir = "") {
   auto harness = std::make_unique<DeliveryHarness>();
   harness->grid = std::make_unique<kv::Grid>(
       kv::GridConfig{.node_count = 3, .partition_count = 24,
@@ -104,7 +114,24 @@ inline std::unique_ptr<DeliveryHarness> StartDeliveryHarness(
   dataflow::JobConfig job_config;
   job_config.checkpoint_interval_ms = checkpoint_interval_ms;
   job_config.partitioner = &harness->grid->partitioner();
-  job_config.listener = harness->registry.get();
+  if (!durable_dir.empty()) {
+    auto log = storage::SnapshotLog::Open(storage::StorageOptions{
+        .dir = durable_dir, .metrics = &harness->metrics});
+    if (!log.ok()) {
+      std::fprintf(stderr, "snapshot log open failed: %s\n",
+                   log.status().ToString().c_str());
+      std::exit(1);
+    }
+    harness->log = std::move(*log);
+    harness->durable_listener =
+        std::make_unique<storage::DurableSnapshotListener>(
+            harness->grid.get(), harness->log.get());
+    harness->listener_chain.Add(harness->durable_listener.get());
+    harness->listener_chain.Add(harness->registry.get());
+    job_config.listener = &harness->listener_chain;
+  } else {
+    job_config.listener = harness->registry.get();
+  }
   job_config.metrics = &harness->metrics;
   if (squery) {
     state::SQueryConfig state_config;

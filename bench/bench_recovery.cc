@@ -1,0 +1,218 @@
+// Durable-snapshot recovery benchmark (no paper figure — the durability
+// subsystem is this reproduction's extension beyond the in-memory window):
+//
+//  1. commit-path overhead — snapshot 2PC latency with the durable log off,
+//     on without fsync, and on with fsync, across state sizes;
+//  2. cold recovery — time to rebuild the grid's snapshot tables from the
+//     log (`ReplayInto`) vs state size, with the resulting durable floor;
+//  3. modeled kill-and-restart downtime — the cluster simulator's view of
+//     replay-from-source vs reload-from-local-log recovery.
+//
+// Emits BENCH_recovery.json next to the binary's working directory.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "sim/cluster_sim.h"
+
+namespace sq::bench {
+namespace {
+
+struct CommitRow {
+  int64_t keys = 0;
+  std::string mode;
+  int64_t p50_nanos = 0;
+  int64_t p99_nanos = 0;
+  int64_t persisted_bytes = 0;
+};
+
+struct RecoveryRow {
+  int64_t keys = 0;
+  int64_t replay_ms = 0;
+  int64_t records = 0;
+  int64_t entries_rebuilt = 0;
+};
+
+std::string MakeTempDir() {
+  std::string tmpl = "/tmp/sq_bench_recovery_XXXXXX";
+  char* dir = ::mkdtemp(tmpl.data());
+  if (dir == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    std::exit(1);
+  }
+  return dir;
+}
+
+CommitRow RunCommitConfig(int64_t keys, const char* mode, int checkpoints) {
+  const bool durable = std::string(mode) != "off";
+  const std::string dir = durable ? MakeTempDir() : "";
+  auto harness =
+      StartDeliveryHarness(keys, /*squery=*/true, /*incremental=*/false,
+                           /*checkpoint_interval_ms=*/0, /*churn_rate=*/0.0,
+                           /*retained_versions=*/2, dir);
+  Histogram* phase2 = harness->metrics.GetHistogram("checkpoint.phase2_nanos");
+  (void)harness->job->TriggerCheckpoint();  // warm-up
+  phase2->Reset();
+  for (int i = 0; i < checkpoints; ++i) {
+    auto result = harness->job->TriggerCheckpoint();
+    if (!result.ok()) {
+      std::fprintf(stderr, "checkpoint failed: %s\n",
+                   result.status().ToString().c_str());
+      break;
+    }
+  }
+  const Histogram::Summary s = phase2->Summarize();
+  CommitRow row;
+  row.keys = keys;
+  row.mode = mode;
+  row.p50_nanos = s.p50;
+  row.p99_nanos = s.p99;
+  if (harness->log != nullptr) {
+    row.persisted_bytes = harness->log->Stats().persisted_bytes;
+  }
+  char label[64];
+  std::snprintf(label, sizeof(label), "%ldk keys, durability %s",
+                static_cast<long>(keys / 1000), mode);
+  PrintLatencyRow(label, *phase2);
+  harness = nullptr;
+  if (!dir.empty()) std::filesystem::remove_all(dir);
+  return row;
+}
+
+RecoveryRow RunColdRecovery(int64_t keys, int checkpoints) {
+  const std::string dir = MakeTempDir();
+  {
+    auto harness =
+        StartDeliveryHarness(keys, /*squery=*/true, /*incremental=*/false,
+                             /*checkpoint_interval_ms=*/0, /*churn_rate=*/0.0,
+                             /*retained_versions=*/2, dir);
+    for (int i = 0; i < checkpoints; ++i) {
+      (void)harness->job->TriggerCheckpoint();
+    }
+  }  // harness destroyed: "the node died"
+
+  RecoveryRow row;
+  row.keys = keys;
+  const auto start = std::chrono::steady_clock::now();
+  auto log = storage::SnapshotLog::Open(storage::StorageOptions{.dir = dir});
+  if (!log.ok()) {
+    std::fprintf(stderr, "reopen failed: %s\n",
+                 log.status().ToString().c_str());
+    std::exit(1);
+  }
+  kv::Grid grid(kv::GridConfig{.node_count = 3, .partition_count = 24,
+                               .backup_count = 0});
+  auto info = (*log)->ReplayInto(&grid, /*retained_versions=*/2);
+  if (!info.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n",
+                 info.status().ToString().c_str());
+    std::exit(1);
+  }
+  row.replay_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  row.records = info->records_scanned;
+  row.entries_rebuilt = static_cast<int64_t>(grid.TotalSnapshotEntries());
+  std::printf(
+      "%-28s open+replay=%6lld ms  records=%-9lld entries=%-9lld "
+      "latest_committed=%lld\n",
+      (std::to_string(keys / 1000) + "k keys").c_str(),
+      static_cast<long long>(row.replay_ms),
+      static_cast<long long>(row.records),
+      static_cast<long long>(row.entries_rebuilt),
+      static_cast<long long>(info->latest_committed));
+  std::filesystem::remove_all(dir);
+  return row;
+}
+
+void WriteJson(const std::vector<CommitRow>& commits,
+               const std::vector<RecoveryRow>& recoveries,
+               double downtime_replay_s, double downtime_durable_s) {
+  std::FILE* f = std::fopen("BENCH_recovery.json", "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\n  \"commit_overhead\": [\n");
+  for (size_t i = 0; i < commits.size(); ++i) {
+    const CommitRow& r = commits[i];
+    std::fprintf(f,
+                 "    {\"keys\": %lld, \"mode\": \"%s\", \"p50_nanos\": %lld, "
+                 "\"p99_nanos\": %lld, \"persisted_bytes\": %lld}%s\n",
+                 static_cast<long long>(r.keys), r.mode.c_str(),
+                 static_cast<long long>(r.p50_nanos),
+                 static_cast<long long>(r.p99_nanos),
+                 static_cast<long long>(r.persisted_bytes),
+                 i + 1 < commits.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"cold_recovery\": [\n");
+  for (size_t i = 0; i < recoveries.size(); ++i) {
+    const RecoveryRow& r = recoveries[i];
+    std::fprintf(f,
+                 "    {\"keys\": %lld, \"replay_ms\": %lld, \"records\": "
+                 "%lld, \"entries_rebuilt\": %lld}%s\n",
+                 static_cast<long long>(r.keys),
+                 static_cast<long long>(r.replay_ms),
+                 static_cast<long long>(r.records),
+                 static_cast<long long>(r.entries_rebuilt),
+                 i + 1 < recoveries.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"modeled_downtime_s\": {\"replay_from_source\": "
+               "%.3f, \"durable_log\": %.3f}\n}\n",
+               downtime_replay_s, downtime_durable_s);
+  std::fclose(f);
+  std::printf("\nwrote BENCH_recovery.json\n");
+}
+
+}  // namespace
+}  // namespace sq::bench
+
+int main() {
+  const double scale = sq::bench::BenchScale();
+  const int checkpoints = static_cast<int>(10 * scale) + 3;
+
+  sq::bench::PrintHeader(
+      "Recovery 1/3",
+      "snapshot 2PC latency: durable log off vs on (fsync on commit)");
+  std::vector<sq::bench::CommitRow> commits;
+  for (const int64_t keys : {int64_t{1000}, int64_t{10000},
+                             static_cast<int64_t>(50000 * scale) + 1000}) {
+    commits.push_back(sq::bench::RunCommitConfig(keys, "off", checkpoints));
+    commits.push_back(sq::bench::RunCommitConfig(keys, "on", checkpoints));
+  }
+
+  sq::bench::PrintHeader(
+      "Recovery 2/3",
+      "cold recovery: reopen the log and rebuild snapshot tables");
+  std::vector<sq::bench::RecoveryRow> recoveries;
+  for (const int64_t keys : {int64_t{1000}, int64_t{10000},
+                             static_cast<int64_t>(50000 * scale) + 1000}) {
+    recoveries.push_back(sq::bench::RunColdRecovery(keys, checkpoints));
+  }
+
+  sq::bench::PrintHeader(
+      "Recovery 3/3",
+      "modeled kill-and-restart downtime (cluster simulator)");
+  sq::sim::ClusterConfig cluster;
+  sq::sim::FailureScenario scenario;
+  scenario.state_gb = 1.0;
+  scenario.durable = false;
+  sq::sim::KillRestartOutcome replay_outcome;
+  sq::sim::SimulateKillRestart(cluster, scenario, 1e6, 60.0, &replay_outcome);
+  scenario.durable = true;
+  sq::sim::KillRestartOutcome durable_outcome;
+  sq::sim::SimulateKillRestart(cluster, scenario, 1e6, 60.0,
+                               &durable_outcome);
+  std::printf(
+      "replay-from-source: downtime=%.2fs drain=%.2fs  |  durable log: "
+      "downtime=%.2fs drain=%.2fs\n",
+      replay_outcome.downtime_s, replay_outcome.drain_s,
+      durable_outcome.downtime_s, durable_outcome.drain_s);
+
+  sq::bench::WriteJson(commits, recoveries, replay_outcome.downtime_s,
+                       durable_outcome.downtime_s);
+  return 0;
+}

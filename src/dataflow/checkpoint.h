@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <vector>
 
 #include "common/histogram.h"
 
@@ -33,6 +34,40 @@ class CheckpointListener {
   virtual void OnCheckpointAborted(int64_t checkpoint_id) {
     (void)checkpoint_id;
   }
+};
+
+/// Fans each checkpoint event out to several listeners in registration
+/// order. Lets the durable snapshot log observe the 2PC as a sibling of the
+/// SnapshotRegistry: register the log's listener *before* the registry so a
+/// snapshot is on disk before queries can see it as the latest committed id.
+class CheckpointListenerChain : public CheckpointListener {
+ public:
+  CheckpointListenerChain() = default;
+  explicit CheckpointListenerChain(
+      std::vector<CheckpointListener*> listeners)
+      : listeners_(std::move(listeners)) {}
+
+  /// Appends `listener` (not owned; may not be null).
+  void Add(CheckpointListener* listener) { listeners_.push_back(listener); }
+
+  void OnCheckpointPrepared(int64_t checkpoint_id) override {
+    for (CheckpointListener* l : listeners_) {
+      l->OnCheckpointPrepared(checkpoint_id);
+    }
+  }
+  void OnCheckpointCommitted(int64_t checkpoint_id) override {
+    for (CheckpointListener* l : listeners_) {
+      l->OnCheckpointCommitted(checkpoint_id);
+    }
+  }
+  void OnCheckpointAborted(int64_t checkpoint_id) override {
+    for (CheckpointListener* l : listeners_) {
+      l->OnCheckpointAborted(checkpoint_id);
+    }
+  }
+
+ private:
+  std::vector<CheckpointListener*> listeners_;  // not owned
 };
 
 /// Latency instrumentation of the snapshot 2PC, measured at the coordinator

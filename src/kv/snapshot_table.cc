@@ -167,6 +167,21 @@ void SnapshotTable::ScanAllVersions(
   }
 }
 
+void SnapshotTable::ForEachEntryAt(
+    int64_t ssid,
+    const std::function<void(int32_t, const Value&, const Entry&)>& fn)
+    const {
+  for (int32_t p = 0; p < partitioner_->partition_count(); ++p) {
+    const PartitionData& part = *partitions_[p];
+    std::lock_guard<std::mutex> lock(part.mu);
+    for (const auto& [key, entries] : part.keys) {
+      auto entry = FindAt(entries, ssid);
+      if (entry == entries.end() || entry->ssid != ssid) continue;
+      fn(p, key, *entry);
+    }
+  }
+}
+
 size_t SnapshotTable::CompactPartition(PartitionData* part,
                                        int64_t floor_ssid) {
   size_t removed = 0;

@@ -85,6 +85,15 @@ class SnapshotTable {
       const std::function<void(const Value&, int64_t, const Object&)>& fn)
       const;
 
+  /// Visits, partition-major, every entry written *at* exactly `ssid` —
+  /// tombstones included. This is the checkpoint's delta as stored (what the
+  /// durable snapshot log persists in phase 1); contrast with `ScanAt`,
+  /// which reconstructs the merged view.
+  void ForEachEntryAt(
+      int64_t ssid,
+      const std::function<void(int32_t partition, const Value& key,
+                               const Entry& entry)>& fn) const;
+
   /// Prunes obsolete state: for every key, drops all entries strictly older
   /// than the newest entry with ssid <= `floor_ssid` (that newest one is the
   /// base the retained versions still need), and drops base tombstones.

@@ -1,11 +1,13 @@
 #include "query/query_service.h"
 
+#include <algorithm>
 #include <cctype>
 #include <string_view>
 #include <utility>
 
 #include "dataflow/execution.h"
 #include "state/squery_state_store.h"
+#include "storage/snapshot_log.h"
 
 namespace sq::query {
 
@@ -155,8 +157,10 @@ void QueryService::RegisterEngineIntrospection(dataflow::Job* job,
           return rows;
         });
     catalog_.RegisterVirtualTable(
-        "__checkpoints", [job]() -> Result<std::vector<kv::Object>> {
+        "__checkpoints", [this, job]() -> Result<std::vector<kv::Object>> {
           std::vector<kv::Object> rows;
+          storage::LogStats log_stats;
+          if (durable_log_ != nullptr) log_stats = durable_log_->Stats();
           for (const dataflow::CheckpointRow& c : job->RecentCheckpoints()) {
             kv::Object row;
             // Column is `id`, not `ssid`: an `ssid = n` WHERE conjunct would
@@ -170,6 +174,14 @@ void QueryService::RegisterEngineIntrospection(dataflow::Job* job,
             row.Set("phase1_nanos", kv::Value(c.phase1_nanos));
             row.Set("phase2_nanos", kv::Value(c.phase2_nanos));
             row.Set("started_micros", kv::Value(c.started_unix_micros));
+            if (durable_log_ != nullptr) {
+              row.Set("durable", kv::Value(durable_log_->IsDurable(c.id)));
+              row.Set("persisted_bytes",
+                      kv::Value(durable_log_->PersistedBytes(c.id)));
+              row.Set("segments", kv::Value(log_stats.segments));
+              row.Set("fsync_p99_nanos",
+                      kv::Value(log_stats.fsync_p99_nanos));
+            }
             rows.push_back(std::move(row));
           }
           return rows;
@@ -214,10 +226,10 @@ Result<std::vector<kv::Object>> QueryService::ScanTableImpl(
       base = table.substr(0, table.size() - kVersionsSuffix.size());
     }
     kv::SnapshotTable* snap = grid_->GetSnapshotTable(base);
-    if (snap == nullptr) {
-      return Status::NotFound("no snapshot table named " + base);
-    }
     if (all_versions) {
+      if (snap == nullptr) {
+        return Status::NotFound("no snapshot table named " + base);
+      }
       // One reconstructed view per retained version; `ssid` column tells
       // versions apart.
       for (int64_t version : registry_->RetainedVersions()) {
@@ -229,8 +241,28 @@ Result<std::vector<kv::Object>> QueryService::ScanTableImpl(
       }
       return tuples;
     }
-    SQ_ASSIGN_OR_RETURN(const int64_t ssid,
-                        ResolveSsid(requested_ssid, options));
+    Result<int64_t> resolved = ResolveSsid(requested_ssid, options);
+    if (!resolved.ok()) {
+      // Time travel beyond the in-memory retention window: an explicitly
+      // requested id the registry no longer retains can still be served
+      // from the durable snapshot log.
+      const std::optional<int64_t> explicit_id =
+          requested_ssid.has_value() ? requested_ssid : options.snapshot_id;
+      if (durable_log_ != nullptr && explicit_id.has_value() &&
+          durable_log_->IsDurable(*explicit_id)) {
+        return ScanDurable(base, *explicit_id);
+      }
+      return resolved.status();
+    }
+    if (snap == nullptr) {
+      // Cold restart before replay: the grid lost the table but the log may
+      // still hold the resolved snapshot.
+      if (durable_log_ != nullptr && durable_log_->IsDurable(*resolved)) {
+        return ScanDurable(base, *resolved);
+      }
+      return Status::NotFound("no snapshot table named " + base);
+    }
+    const int64_t ssid = *resolved;
     snap->ScanAt(ssid, [&tuples, ssid](const kv::Value& key,
                                        int64_t /*entry_ssid*/,
                                        const kv::Object& value) {
@@ -279,22 +311,57 @@ Result<std::vector<std::pair<kv::Value, kv::Object>>>
 QueryService::GetSnapshotObjects(const std::string& operator_name,
                                  const std::vector<kv::Value>& keys,
                                  std::optional<int64_t> ssid) {
-  kv::SnapshotTable* snap =
-      grid_->GetSnapshotTable(state::SnapshotTableName(operator_name));
-  if (snap == nullptr) {
+  const std::string table = state::SnapshotTableName(operator_name);
+  kv::SnapshotTable* snap = grid_->GetSnapshotTable(table);
+  Result<int64_t> resolved = ResolveSsid(ssid, QueryOptions{});
+  if (!resolved.ok() || snap == nullptr) {
+    // Same fall-through as SQL scans: an id outside the in-memory window
+    // (or a lost table) is served from the durable log if present there.
+    const std::optional<int64_t> durable_id =
+        resolved.ok() ? std::optional<int64_t>(*resolved) : ssid;
+    if (durable_log_ != nullptr && durable_id.has_value() &&
+        durable_log_->IsDurable(*durable_id)) {
+      if (metrics_ != nullptr) {
+        metrics_->GetCounter("query.durable_fallbacks")->Increment();
+      }
+      std::vector<std::pair<kv::Value, kv::Object>> out;
+      SQ_RETURN_IF_ERROR(durable_log_->ScanSnapshot(
+          table, *durable_id,
+          [&out, &keys](int32_t /*partition*/, const kv::Value& key,
+                        int64_t /*entry_ssid*/, const kv::Object& value) {
+            if (std::find(keys.begin(), keys.end(), key) != keys.end()) {
+              out.emplace_back(key, value);
+            }
+          }));
+      return out;
+    }
+    if (!resolved.ok()) return resolved.status();
     return Status::NotFound("no snapshot table for operator " +
                             operator_name);
   }
-  SQ_ASSIGN_OR_RETURN(const int64_t resolved,
-                      ResolveSsid(ssid, QueryOptions{}));
   std::vector<std::pair<kv::Value, kv::Object>> out;
   out.reserve(keys.size());
   for (const kv::Value& key : keys) {
-    if (auto value = snap->GetAt(key, resolved); value.has_value()) {
+    if (auto value = snap->GetAt(key, *resolved); value.has_value()) {
       out.emplace_back(key, std::move(*value));
     }
   }
   return out;
+}
+
+Result<std::vector<kv::Object>> QueryService::ScanDurable(
+    const std::string& table, int64_t ssid) {
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("query.durable_fallbacks")->Increment();
+  }
+  std::vector<kv::Object> tuples;
+  SQ_RETURN_IF_ERROR(durable_log_->ScanSnapshot(
+      table, ssid,
+      [&tuples, ssid](int32_t /*partition*/, const kv::Value& key,
+                      int64_t /*entry_ssid*/, const kv::Object& value) {
+        tuples.push_back(MakeTuple(key, value, ssid));
+      }));
+  return tuples;
 }
 
 Result<std::vector<std::pair<kv::Value, kv::Object>>>

@@ -22,6 +22,10 @@ namespace sq::dataflow {
 class Job;
 }  // namespace sq::dataflow
 
+namespace sq::storage {
+class SnapshotLog;
+}  // namespace sq::storage
+
 namespace sq::query {
 
 /// Per-query options.
@@ -92,6 +96,15 @@ class QueryService : public sql::TableResolver {
   /// <table>` would return, bypassing SQL (cheap programmatic monitoring).
   Result<std::vector<kv::Object>> ScanSystemObjects(const std::string& table);
 
+  /// Attaches the durable snapshot log (not owned; may be null to detach).
+  /// With a log attached:
+  ///  * snapshot queries for an explicit id that fell out of the in-memory
+  ///    retention window (or whose table the grid lost) fall through to the
+  ///    log — time travel beyond `retained_versions`;
+  ///  * `__checkpoints` gains durability columns (`durable`,
+  ///    `persisted_bytes`, `segments`, `fsync_p99_nanos`).
+  void AttachDurableStorage(storage::SnapshotLog* log) { durable_log_ = log; }
+
   /// The virtual-table catalog (system tables; extensible by embedders).
   sql::Catalog* catalog() { return &catalog_; }
 
@@ -114,11 +127,16 @@ class QueryService : public sql::TableResolver {
   Result<int64_t> ResolveSsid(std::optional<int64_t> requested,
                               const QueryOptions& options);
 
+  /// Scans `table` at `ssid` from the durable log into result tuples.
+  Result<std::vector<kv::Object>> ScanDurable(const std::string& table,
+                                              int64_t ssid);
+
   kv::Grid* grid_;
   state::SnapshotRegistry* registry_;
   Clock* clock_;
   MetricsRegistry* metrics_;
   sql::Catalog catalog_;
+  storage::SnapshotLog* durable_log_ = nullptr;
   std::atomic<int64_t> last_resolve_nanos_{0};
 };
 

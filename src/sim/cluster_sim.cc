@@ -67,6 +67,74 @@ void SimulateRun(const ClusterConfig& config, double events_per_sec,
                         (busy + paused) / duration_s < 0.98;
 }
 
+void SimulateKillRestart(const ClusterConfig& config,
+                         const FailureScenario& scenario,
+                         double events_per_sec, double duration_s,
+                         KillRestartOutcome* out) {
+  KillRestartOutcome& outcome = *out;
+  outcome.latency_ns.Reset();
+
+  const double reconstruct_rate = scenario.durable
+                                      ? scenario.rebuild_gb_per_s
+                                      : scenario.replay_gb_per_s;
+  outcome.downtime_s =
+      scenario.detection_ms * 1e-3 + scenario.state_gb / reconstruct_rate;
+
+  const int32_t dop = Dop(config);
+  const double worker_rate = events_per_sec / dop;
+  const double service_s =
+      (config.service_time_us + config.squery_per_event_us) * 1e-6;
+  const double pause_s =
+      (config.snapshot_pause_ms + config.query_pause_ms) * 1e-3;
+  const double base_s = config.base_latency_ms * 1e-3;
+  const double recover_at = scenario.kill_at_s + outcome.downtime_s;
+
+  // One representative worker of the killed node: it stalls over
+  // [kill_at, kill_at + downtime] while arrivals keep queueing, then works
+  // the backlog off.
+  Rng rng(config.seed);
+  double now = 0.0;
+  double server_free = 0.0;
+  double next_ckpt = config.snapshot_interval_s;
+  bool stalled = false;
+  double drained_at = recover_at;
+
+  while (true) {
+    now += -std::log(1.0 - rng.NextDouble()) / worker_rate;
+    if (now >= duration_s) break;
+
+    double start = std::max(now, server_free);
+    if (!stalled && start >= scenario.kill_at_s) {
+      server_free = std::max(server_free, recover_at);
+      stalled = true;
+      start = std::max(now, server_free);
+    }
+    while (next_ckpt <= start) {
+      // No checkpoints complete during the outage (the 2PC aborts).
+      if (next_ckpt >= scenario.kill_at_s && next_ckpt < recover_at) {
+        next_ckpt += config.snapshot_interval_s;
+        continue;
+      }
+      server_free = std::max(server_free, next_ckpt) + pause_s;
+      next_ckpt += config.snapshot_interval_s;
+      start = std::max(now, server_free);
+    }
+    const double done = start + service_s;
+    server_free = done;
+    const double delay = done - now;
+    outcome.peak_delay_s = std::max(outcome.peak_delay_s, delay);
+    if (stalled && now > recover_at && drained_at == recover_at &&
+        delay <= 2 * service_s + pause_s) {
+      drained_at = now;  // first event after the outage with steady latency
+    }
+    outcome.latency_ns.Record(static_cast<int64_t>((delay + base_s) * 1e9));
+  }
+
+  outcome.recovered =
+      stalled && std::max(0.0, server_free - duration_s) < 0.25;
+  outcome.drain_s = std::max(0.0, drained_at - recover_at);
+}
+
 namespace {
 bool Sustainable(const ClusterConfig& config, double rate, double duration_s) {
   SimOutcome outcome;

@@ -64,6 +64,47 @@ double MaxSustainableThroughput(const ClusterConfig& config,
                                 double hi_guess_events_per_sec,
                                 double duration_s = 5.0);
 
+/// Kill-and-restart scenario: one node is SIGKILLed mid-run and its work
+/// resumes after detection plus state reconstruction. The reconstruction
+/// rate is the discriminator the recovery benchmark measures:
+///  * `durable = false` — state is rebuilt by replaying the source stream
+///    from the last full checkpoint (`replay_gb_per_s`, typically slow:
+///    bounded by reprocessing throughput);
+///  * `durable = true`  — state is reloaded from the local snapshot log
+///    (`rebuild_gb_per_s`, sequential disk read + table inserts).
+struct FailureScenario {
+  double kill_at_s = 5.0;
+  /// Failure-detector latency (heartbeat timeout) before recovery starts.
+  double detection_ms = 500.0;
+  /// Operator state resident on the killed node.
+  double state_gb = 1.0;
+  bool durable = false;
+  double replay_gb_per_s = 0.05;
+  double rebuild_gb_per_s = 0.8;
+};
+
+struct KillRestartOutcome {
+  /// Detection + state reconstruction: the window during which the killed
+  /// node's partitions answer no queries and process no events.
+  double downtime_s = 0.0;
+  /// Additional time after restart until the backlog accumulated during the
+  /// outage is drained (latency back to steady state).
+  double drain_s = 0.0;
+  /// Source→sink latency across the whole run, outage included (ns).
+  Histogram latency_ns;
+  /// Worst queueing delay any event saw (seconds).
+  double peak_delay_s = 0.0;
+  bool recovered = false;
+};
+
+/// Simulates `duration_s` at `events_per_sec` with `scenario` injected:
+/// the affected worker stalls for the whole downtime window, then drains.
+/// (Out-param because Histogram is not movable.)
+void SimulateKillRestart(const ClusterConfig& config,
+                         const FailureScenario& scenario,
+                         double events_per_sec, double duration_s,
+                         KillRestartOutcome* outcome);
+
 }  // namespace sq::sim
 
 #endif  // SQUERY_SIM_CLUSTER_SIM_H_

@@ -94,6 +94,19 @@ Result<int64_t> SnapshotRegistry::Resolve(
   return *requested;
 }
 
+void SnapshotRegistry::RestoreCommitted(
+    const std::vector<int64_t>& committed_ids) {
+  std::lock_guard<std::mutex> lock(mu_);
+  retained_.clear();
+  const size_t keep = std::min(committed_ids.size(),
+                               static_cast<size_t>(options_.retained_versions));
+  retained_.assign(committed_ids.end() - static_cast<ptrdiff_t>(keep),
+                   committed_ids.end());
+  latest_committed_.store(retained_.empty() ? 0 : retained_.back(),
+                          std::memory_order_release);
+  commit_cv_.notify_all();
+}
+
 bool SnapshotRegistry::WaitForCommit(int64_t min_id, int64_t timeout_ms) {
   std::unique_lock<std::mutex> lock(mu_);
   return commit_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),

@@ -68,6 +68,14 @@ class SnapshotRegistry : public dataflow::CheckpointListener {
   /// Blocks until a snapshot with id >= `min_id` commits (test helper).
   bool WaitForCommit(int64_t min_id, int64_t timeout_ms);
 
+  /// Seeds the registry from snapshot ids recovered off the durable log
+  /// after a restart: the newest `retained_versions` of `committed_ids`
+  /// (ascending) become the retention window and the newest becomes the
+  /// latest committed id. Must be called before the registry observes live
+  /// checkpoints. No pruning is triggered — the replay path compacts tables
+  /// itself.
+  void RestoreCommitted(const std::vector<int64_t>& committed_ids);
+
   /// Drains the background pruning queue (test determinism).
   void FlushPruning();
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "storage/snapshot_log.h"
+
 namespace sq::state {
 
 std::string LiveTableName(const std::string& operator_name) {
@@ -220,6 +222,20 @@ Status SQueryStateStore::RestoreFromTable(int64_t checkpoint_id) {
         p, checkpoint_id,
         [&restored](const kv::Value& key, int64_t /*entry_ssid*/,
                     const kv::Object& value) { restored[key] = value; });
+  }
+  if (restored.empty() && config_.durable_log != nullptr &&
+      config_.durable_log->IsDurable(checkpoint_id)) {
+    // Cold restart: the in-memory table has nothing for this snapshot (the
+    // grid itself was lost), so rebuild this instance's partitions from the
+    // snapshot log.
+    SQ_RETURN_IF_ERROR(config_.durable_log->ScanSnapshot(
+        SnapshotTableName(operator_name_), checkpoint_id,
+        [&](int32_t partition, const kv::Value& key, int64_t /*entry_ssid*/,
+            const kv::Object& value) {
+          if (partition % config_.parallelism == instance_) {
+            restored[key] = value;
+          }
+        }));
   }
   if (live_map_ != nullptr) {
     for (const auto& [key, value] : local_) {

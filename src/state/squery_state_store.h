@@ -15,6 +15,10 @@
 #include "dataflow/state_store.h"
 #include "kv/grid.h"
 
+namespace sq::storage {
+class SnapshotLog;
+}  // namespace sq::storage
+
 namespace sq::state {
 
 /// Per-job S-QUERY configuration: which of the paper's Fig. 8 configurations
@@ -43,6 +47,11 @@ struct SQueryConfig {
   /// Sink for snapshot-write instrumentation (entries/bytes per snapshot,
   /// delta ratio). May be null; the aggregate SQueryStateStats still works.
   MetricsRegistry* metrics = nullptr;
+  /// Durable snapshot log to fall back to when `RestoreFromTable` finds no
+  /// rows in the in-memory snapshot table — the cold-restart path, where the
+  /// grid came up empty and state must be read back off disk. Not owned; may
+  /// be null (no fallback).
+  storage::SnapshotLog* durable_log = nullptr;
 };
 
 /// Statistics shared by all store instances of one job (benchmark hooks).

@@ -1,0 +1,35 @@
+#ifndef SQUERY_STORAGE_CRC32C_H_
+#define SQUERY_STORAGE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sq::storage {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+/// checksum RocksDB/LevelDB use for log records. Software slice-by-one table
+/// implementation; fast enough for the snapshot-commit path here (the fsync
+/// dominates by orders of magnitude).
+
+/// Extends `crc` (a previous Crc32c result, or 0 for a fresh run) with
+/// `size` bytes at `data`.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size);
+
+inline uint32_t Crc32c(const void* data, size_t size) {
+  return Crc32cExtend(0, data, size);
+}
+
+inline uint32_t Crc32c(std::string_view data) {
+  return Crc32cExtend(0, data.data(), data.size());
+}
+
+/// Masked CRC in the style of LevelDB: storing the raw CRC of data that
+/// itself contains CRCs is error-prone, so persisted checksums are rotated
+/// and offset.
+uint32_t MaskCrc(uint32_t crc);
+uint32_t UnmaskCrc(uint32_t masked);
+
+}  // namespace sq::storage
+
+#endif  // SQUERY_STORAGE_CRC32C_H_

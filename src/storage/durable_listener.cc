@@ -1,0 +1,62 @@
+#include "storage/durable_listener.h"
+
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "kv/snapshot_table.h"
+
+namespace sq::storage {
+
+void DurableSnapshotListener::OnCheckpointPrepared(int64_t checkpoint_id) {
+  for (const std::string& table : grid_->SnapshotTableNames()) {
+    const kv::SnapshotTable* snap = grid_->GetSnapshotTable(table);
+    if (snap == nullptr) continue;
+    // Gather the delta partition-major and append one record per partition,
+    // matching how RestoreFromTable re-reads it.
+    int32_t current_partition = -1;
+    std::vector<SnapshotLog::DeltaEntry> entries;
+    auto flush = [&] {
+      if (entries.empty()) return;
+      Status s =
+          log_->AppendDelta(table, checkpoint_id, current_partition, entries);
+      if (!s.ok()) {
+        write_failures_.fetch_add(1, std::memory_order_relaxed);
+        SQ_LOG(Warning) << "durable snapshot append failed for " << table
+                        << " partition " << current_partition << ": " << s;
+      }
+      entries.clear();
+    };
+    snap->ForEachEntryAt(
+        checkpoint_id, [&](int32_t partition, const kv::Value& key,
+                           const kv::SnapshotTable::Entry& entry) {
+          if (partition != current_partition) {
+            flush();
+            current_partition = partition;
+          }
+          entries.push_back(
+              SnapshotLog::DeltaEntry{key, entry.tombstone, entry.value});
+        });
+    flush();
+  }
+}
+
+void DurableSnapshotListener::OnCheckpointCommitted(int64_t checkpoint_id) {
+  Status s = log_->Commit(checkpoint_id);
+  if (!s.ok()) {
+    write_failures_.fetch_add(1, std::memory_order_relaxed);
+    SQ_LOG(Warning) << "durable snapshot commit of " << checkpoint_id
+                    << " failed: " << s;
+  }
+}
+
+void DurableSnapshotListener::OnCheckpointAborted(int64_t checkpoint_id) {
+  Status s = log_->Abort(checkpoint_id);
+  if (!s.ok()) {
+    write_failures_.fetch_add(1, std::memory_order_relaxed);
+    SQ_LOG(Warning) << "durable snapshot abort of " << checkpoint_id
+                    << " failed: " << s;
+  }
+}
+
+}  // namespace sq::storage

@@ -1,0 +1,173 @@
+#include "storage/serde.h"
+
+#include <cstring>
+
+namespace sq::storage {
+
+void PutU8(std::string* buf, uint8_t v) {
+  buf->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* buf, uint32_t v) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  buf->append(bytes, 4);
+}
+
+void PutU64(std::string* buf, uint64_t v) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  buf->append(bytes, 8);
+}
+
+void PutI64(std::string* buf, int64_t v) {
+  PutU64(buf, static_cast<uint64_t>(v));
+}
+
+void PutString(std::string* buf, std::string_view s) {
+  PutU32(buf, static_cast<uint32_t>(s.size()));
+  buf->append(s.data(), s.size());
+}
+
+void PutValue(std::string* buf, const kv::Value& v) {
+  PutU8(buf, static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case kv::ValueType::kNull:
+      break;
+    case kv::ValueType::kBool:
+      PutU8(buf, v.bool_value() ? 1 : 0);
+      break;
+    case kv::ValueType::kInt64:
+      PutI64(buf, v.int64_value());
+      break;
+    case kv::ValueType::kDouble: {
+      uint64_t bits = 0;
+      const double d = v.double_value();
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutU64(buf, bits);
+      break;
+    }
+    case kv::ValueType::kString:
+      PutString(buf, v.string_value());
+      break;
+  }
+}
+
+void PutObject(std::string* buf, const kv::Object& o) {
+  PutU32(buf, static_cast<uint32_t>(o.size()));
+  for (const auto& [name, value] : o.fields()) {
+    PutString(buf, name);
+    PutValue(buf, value);
+  }
+}
+
+bool Reader::Take(size_t n, const char** out) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *out = data_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool Reader::ReadU8(uint8_t* out) {
+  const char* p = nullptr;
+  if (!Take(1, &p)) return false;
+  *out = static_cast<uint8_t>(*p);
+  return true;
+}
+
+bool Reader::ReadU32(uint32_t* out) {
+  const char* p = nullptr;
+  if (!Take(4, &p)) return false;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  *out = v;
+  return true;
+}
+
+bool Reader::ReadU64(uint64_t* out) {
+  const char* p = nullptr;
+  if (!Take(8, &p)) return false;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  *out = v;
+  return true;
+}
+
+bool Reader::ReadI64(int64_t* out) {
+  uint64_t v = 0;
+  if (!ReadU64(&v)) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool Reader::ReadString(std::string* out) {
+  uint32_t len = 0;
+  if (!ReadU32(&len)) return false;
+  const char* p = nullptr;
+  if (!Take(len, &p)) return false;
+  out->assign(p, len);
+  return true;
+}
+
+bool Reader::ReadValue(kv::Value* out) {
+  uint8_t type = 0;
+  if (!ReadU8(&type)) return false;
+  switch (static_cast<kv::ValueType>(type)) {
+    case kv::ValueType::kNull:
+      *out = kv::Value::Null();
+      return true;
+    case kv::ValueType::kBool: {
+      uint8_t b = 0;
+      if (!ReadU8(&b)) return false;
+      *out = kv::Value(b != 0);
+      return true;
+    }
+    case kv::ValueType::kInt64: {
+      int64_t v = 0;
+      if (!ReadI64(&v)) return false;
+      *out = kv::Value(v);
+      return true;
+    }
+    case kv::ValueType::kDouble: {
+      uint64_t bits = 0;
+      if (!ReadU64(&bits)) return false;
+      double d = 0.0;
+      std::memcpy(&d, &bits, sizeof(d));
+      *out = kv::Value(d);
+      return true;
+    }
+    case kv::ValueType::kString: {
+      std::string s;
+      if (!ReadString(&s)) return false;
+      *out = kv::Value(std::move(s));
+      return true;
+    }
+  }
+  ok_ = false;  // unknown type tag: corrupt input
+  return false;
+}
+
+bool Reader::ReadObject(kv::Object* out) {
+  uint32_t count = 0;
+  if (!ReadU32(&count)) return false;
+  // A field is at least 5 bytes (empty name + type tag); reject counts that
+  // cannot fit in the remaining input before allocating.
+  if (count > remaining()) {
+    ok_ = false;
+    return false;
+  }
+  kv::Object obj;
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    kv::Value value;
+    if (!ReadString(&name) || !ReadValue(&value)) return false;
+    obj.Set(name, std::move(value));
+  }
+  *out = std::move(obj);
+  return true;
+}
+
+}  // namespace sq::storage

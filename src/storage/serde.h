@@ -1,0 +1,56 @@
+#ifndef SQUERY_STORAGE_SERDE_H_
+#define SQUERY_STORAGE_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "kv/object.h"
+#include "kv/value.h"
+
+namespace sq::storage {
+
+/// Binary encoding of the KV layer's dynamic types for the snapshot log.
+/// Fixed-width little-endian integers (the log is written and read by the
+/// same process architecture; simplicity over compactness), length-prefixed
+/// strings, type-tagged Values, field-count-prefixed Objects.
+
+void PutU8(std::string* buf, uint8_t v);
+void PutU32(std::string* buf, uint32_t v);
+void PutU64(std::string* buf, uint64_t v);
+void PutI64(std::string* buf, int64_t v);
+void PutString(std::string* buf, std::string_view s);
+void PutValue(std::string* buf, const kv::Value& v);
+void PutObject(std::string* buf, const kv::Object& o);
+
+/// Bounds-checked forward cursor over an encoded buffer. Every Read* returns
+/// false (and poisons the reader) on truncated or malformed input — a failed
+/// read never touches out-of-bounds memory, which is what lets recovery
+/// treat arbitrary torn bytes as data.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool ReadU8(uint8_t* out);
+  bool ReadU32(uint32_t* out);
+  bool ReadU64(uint64_t* out);
+  bool ReadI64(int64_t* out);
+  bool ReadString(std::string* out);
+  bool ReadValue(kv::Value* out);
+  bool ReadObject(kv::Object* out);
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return remaining() == 0; }
+
+ private:
+  bool Take(size_t n, const char** out);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace sq::storage
+
+#endif  // SQUERY_STORAGE_SERDE_H_

@@ -261,6 +261,117 @@ TEST(SnapshotTableTest, CompactDropsDeadTombstones) {
   EXPECT_EQ(table.KeyCount(), 0u);
 }
 
+TEST(SnapshotTableTest, CompactWithTombstoneBaseKeepsNewerVersionsCorrect) {
+  // Chain [write@1, tombstone@3, write@5], floor 4: the base "entry" at the
+  // floor is the tombstone. It carries no data, so compaction may drop it —
+  // but views at and above the floor must still read as deleted until the
+  // ssid-5 rewrite.
+  Partitioner part(2);
+  SnapshotTable table("t", &part);
+  Object v;
+  v.Set("x", Value(int64_t{7}));
+  table.Write(1, Value(int64_t{1}), v);
+  table.WriteTombstone(3, Value(int64_t{1}));
+  table.Write(5, Value(int64_t{1}), v);
+  table.Compact(4);
+  EXPECT_EQ(table.EntryCount(), 1u);  // only the ssid-5 write survives
+  EXPECT_FALSE(table.GetAt(Value(int64_t{1}), 4).has_value());
+  EXPECT_TRUE(table.GetAt(Value(int64_t{1}), 5).has_value());
+}
+
+TEST(SnapshotTableTest, CompactKeepsSoleOldEntryAsBase) {
+  // A key written once, far below the floor: its entry is the base every
+  // retained version still reads through — it must survive compaction with
+  // its original ssid.
+  Partitioner part(2);
+  SnapshotTable table("t", &part);
+  Object v;
+  v.Set("x", Value(int64_t{42}));
+  table.Write(1, Value(int64_t{1}), v);
+  const size_t removed = table.Compact(10);
+  EXPECT_EQ(removed, 0u);
+  EXPECT_EQ(table.EntryCount(), 1u);
+  int64_t entry_ssid = 0;
+  table.ScanAt(10, [&entry_ssid](const Value&, int64_t ssid, const Object&) {
+    entry_ssid = ssid;
+  });
+  EXPECT_EQ(entry_ssid, 1);
+  EXPECT_EQ(table.GetAt(Value(int64_t{1}), 10)->Get("x").AsInt64(), 42);
+}
+
+TEST(SnapshotTableTest, CompactIsSafeAgainstConcurrentReads) {
+  // Hammer: one writer committing new versions and compacting behind the
+  // retention floor while readers reconstruct views of committed ssids.
+  // Exercised for data races under TSan/ASan; the assertion is that every
+  // read of a committed ssid sees a complete, plausible view.
+  constexpr int64_t kKeys = 64;
+  constexpr int64_t kSnapshots = 40;
+  Partitioner part(4);
+  SnapshotTable table("t", &part);
+  std::atomic<int64_t> committed{0};
+  std::atomic<bool> failed{false};
+
+  // Seed version 1 so readers always have something committed.
+  for (int64_t k = 0; k < kKeys; ++k) {
+    Object v;
+    v.Set("x", Value(int64_t{1}));
+    table.Write(1, Value(k), v);
+  }
+  committed.store(1);
+
+  std::thread writer([&table, &committed] {
+    for (int64_t ssid = 2; ssid <= kSnapshots; ++ssid) {
+      for (int64_t k = 0; k < kKeys; ++k) {
+        Object v;
+        v.Set("x", Value(ssid));
+        table.Write(ssid, Value(k), v);
+      }
+      committed.store(ssid);
+      if (ssid > 2) table.Compact(ssid - 1);
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&table, &committed, &failed] {
+      while (committed.load() < kSnapshots) {
+        const int64_t ssid = committed.load();
+        size_t rows = 0;
+        bool bad_entry = false;
+        table.ScanAt(ssid, [&](const Value&, int64_t entry_ssid,
+                               const Object& value) {
+          ++rows;
+          const int64_t x = value.Get("x").AsInt64();
+          // The entry must be a version some writer actually produced, no
+          // newer than the snapshot being read.
+          if (entry_ssid > ssid || x != entry_ssid || x < 1) {
+            bad_entry = true;
+          }
+        });
+        bool missing = false;
+        for (int64_t k = 0; k < kKeys; k += 7) {
+          if (!table.GetAt(Value(k), ssid).has_value()) missing = true;
+        }
+        // The writer compacts to floor committed-1; if it advanced past our
+        // ssid mid-read, an incomplete view is expected retention behavior,
+        // not a bug — only validate reads that stayed inside the window.
+        if (ssid >= committed.load() - 1) {
+          if (bad_entry || missing || rows != static_cast<size_t>(kKeys)) {
+            failed.store(true);
+          }
+        }
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_FALSE(failed.load());
+  // Final view after all racing is the full latest snapshot.
+  size_t rows = 0;
+  table.ScanAt(kSnapshots,
+               [&rows](const Value&, int64_t, const Object&) { ++rows; });
+  EXPECT_EQ(rows, static_cast<size_t>(kKeys));
+}
+
 TEST(SnapshotTableTest, ScanAllVersionsExposesEveryVersion) {
   Partitioner part(2);
   SnapshotTable table("t", &part);

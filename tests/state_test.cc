@@ -255,6 +255,48 @@ TEST_F(RegistryTest, WaitForCommitAndAsyncPruneFlush) {
   EXPECT_EQ(registry.RetainedVersions(), (std::vector<int64_t>{2}));
 }
 
+TEST_F(RegistryTest, AsyncPrunerShutsDownCleanlyMidPrune) {
+  // Destroy the registry while prune work is still queued/running: the
+  // destructor must stop and join the pruner without touching freed state
+  // (run under ASan/TSan in CI). Several rounds to vary the timing.
+  SQueryConfig config;
+  SQueryStateStore store(&grid_, "op", 0, config);
+  for (int round = 0; round < 10; ++round) {
+    SnapshotRegistry registry(&grid_, {.retained_versions = 1,
+                                       .async_prune = true});
+    const int64_t base = round * 8;
+    for (int64_t i = 1; i <= 8; ++i) {
+      for (int64_t k = 0; k < 200; ++k) store.Put(Value(k), Obj(base + i));
+      ASSERT_TRUE(store.SnapshotTo(base + i).ok());
+      registry.OnCheckpointCommitted(base + i);
+    }
+    // Registry destructor runs here with up to 7 prunes still in flight.
+  }
+  kv::SnapshotTable* table = grid_.GetSnapshotTable("snapshot_op");
+  ASSERT_NE(table, nullptr);
+  // Whatever was pruned, the latest version must be fully readable.
+  EXPECT_EQ(table->GetAt(Value(int64_t{0}), 80)->Get("v").AsInt64(), 80);
+}
+
+TEST_F(RegistryTest, RestoreCommittedSeedsRetentionAndLatest) {
+  SnapshotRegistry registry(&grid_, {.retained_versions = 2,
+                                     .async_prune = false});
+  registry.RestoreCommitted({1, 2, 3, 4, 5});
+  EXPECT_EQ(registry.latest_committed(), 5);
+  EXPECT_EQ(registry.RetainedVersions(), (std::vector<int64_t>{4, 5}));
+  EXPECT_TRUE(registry.IsQueryable(5));
+  EXPECT_TRUE(registry.IsQueryable(4));
+  EXPECT_FALSE(registry.IsQueryable(3));
+  // WaitForCommit observes the restored frontier immediately.
+  EXPECT_TRUE(registry.WaitForCommit(5, 0));
+  // Restoring fewer ids than the retention window keeps them all.
+  SnapshotRegistry small(&grid_, {.retained_versions = 3,
+                                  .async_prune = false});
+  small.RestoreCommitted({7});
+  EXPECT_EQ(small.latest_committed(), 7);
+  EXPECT_EQ(small.RetainedVersions(), (std::vector<int64_t>{7}));
+}
+
 TEST(IsolationTest, LevelPredicatesAndNames) {
   EXPECT_FALSE(ReadsSnapshots(IsolationLevel::kReadUncommitted));
   EXPECT_FALSE(ReadsSnapshots(IsolationLevel::kReadCommittedNoFailures));
