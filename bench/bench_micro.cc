@@ -11,8 +11,10 @@
 #include "kv/grid.h"
 #include "kv/map_store.h"
 #include "kv/snapshot_table.h"
+#include "query/query_service.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
+#include "state/snapshot_registry.h"
 #include "state/squery_state_store.h"
 
 namespace sq {
@@ -195,6 +197,84 @@ void BM_PartitionerHash(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PartitionerHash);
+
+// --- Partition-parallel query execution. One shared 100k-key grid so the
+// per-benchmark setup cost is paid once.
+struct ParallelQueryFixture {
+  kv::Grid grid{kv::GridConfig{.node_count = 3, .partition_count = 271,
+                               .backup_count = 0}};
+  state::SnapshotRegistry registry{
+      &grid, {.retained_versions = 2, .async_prune = false}};
+  query::QueryService service{&grid, &registry};
+
+  ParallelQueryFixture() {
+    state::SQueryStateStore store(&grid, "orders", 0,
+                                  state::SQueryConfig{.parallelism = 1});
+    for (int64_t key = 0; key < 100000; ++key) {
+      kv::Object o;
+      o.Set("v", kv::Value(key * 2654435761 % 1000));
+      o.Set("g", kv::Value(key % 16));
+      store.Put(kv::Value(key), std::move(o));
+    }
+    (void)store.SnapshotTo(1);
+    registry.OnCheckpointCommitted(1);
+  }
+
+  static ParallelQueryFixture& Get() {
+    static ParallelQueryFixture fixture;
+    return fixture;
+  }
+};
+
+// Arg = parallelism. Full-scan partial aggregate (the core-scaling case).
+void BM_QueryParallelScanAggregate(benchmark::State& state) {
+  auto& fixture = ParallelQueryFixture::Get();
+  query::QueryOptions options;
+  options.isolation = state::IsolationLevel::kReadCommittedNoFailures;
+  options.parallelism = static_cast<int32_t>(state.range(0));
+  for (auto _ : state) {
+    auto result = fixture.service.Execute(
+        "SELECT g, COUNT(*) AS n, SUM(v) AS s FROM orders GROUP BY g",
+        options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_QueryParallelScanAggregate)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Arg = pushdown (0/1). Selective filter: pushdown evaluates the predicate
+// inside the scan, off materializes all 100k rows first.
+void BM_QueryPredicatePushdown(benchmark::State& state) {
+  auto& fixture = ParallelQueryFixture::Get();
+  query::QueryOptions options;
+  options.isolation = state::IsolationLevel::kReadCommittedNoFailures;
+  options.parallelism = 4;
+  options.pushdown = state.range(0) != 0;
+  for (auto _ : state) {
+    auto result = fixture.service.Execute(
+        "SELECT key, v FROM orders WHERE v > 990 AND g = 3", options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_QueryPredicatePushdown)->Arg(0)->Arg(1);
+
+// Key pushdown routes `key = <literal>` to a single point lookup instead of
+// a 271-partition sweep.
+void BM_QueryKeyEqualityPointLookup(benchmark::State& state) {
+  auto& fixture = ParallelQueryFixture::Get();
+  query::QueryOptions options;
+  options.isolation = state::IsolationLevel::kReadCommittedNoFailures;
+  int64_t i = 0;
+  for (auto _ : state) {
+    auto result = fixture.service.Execute(
+        "SELECT v FROM orders WHERE key = " + std::to_string(i++ % 100000),
+        options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueryKeyEqualityPointLookup);
 
 }  // namespace
 }  // namespace sq

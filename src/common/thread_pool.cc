@@ -1,0 +1,66 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace sq {
+
+ThreadPool::ThreadPool(int32_t threads) {
+  if (threads <= 0) {
+    threads = static_cast<int32_t>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 4;
+  }
+  workers_.reserve(threads);
+  for (int32_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  queue_.Close();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Drive(const std::shared_ptr<Batch>& batch) {
+  while (true) {
+    const int32_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch->count) return;
+    (*batch->fn)(i);
+    if (batch->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        batch->count) {
+      std::lock_guard<std::mutex> lock(batch->mu);
+      batch->cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  while (auto batch = queue_.Pop()) {
+    Drive(*batch);
+  }
+}
+
+void ThreadPool::ParallelFor(int32_t count, int32_t max_workers,
+                             const std::function<void(int32_t)>& fn) {
+  if (count <= 0) return;
+  const int32_t helpers =
+      std::min({max_workers - 1, count - 1, thread_count()});
+  if (helpers <= 0) {
+    for (int32_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->count = count;
+  batch->fn = &fn;
+  for (int32_t i = 0; i < helpers; ++i) {
+    if (!queue_.TryPush(batch)) break;  // queue full: caller still drives
+  }
+  Drive(batch);
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->cv.wait(lock, [&batch] {
+    return batch->done.load(std::memory_order_acquire) == batch->count;
+  });
+}
+
+}  // namespace sq

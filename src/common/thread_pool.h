@@ -1,0 +1,65 @@
+#ifndef SQUERY_COMMON_THREAD_POOL_H_
+#define SQUERY_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/queue.h"
+
+namespace sq {
+
+/// Fixed-size worker pool for partition-parallel scans. Deliberately
+/// work-stealing-free: a ParallelFor hands out indices through one shared
+/// atomic counter, which is load-balanced enough for partition scans (many
+/// more partitions than workers) and keeps the pool auditable.
+///
+/// The calling thread always participates as one of the executors, so a
+/// ParallelFor makes progress even when every pool worker is busy with other
+/// batches (e.g. concurrent queries) and degrades to a plain sequential loop
+/// when the pool has no workers at all.
+class ThreadPool {
+ public:
+  /// `threads` <= 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(int32_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int32_t thread_count() const {
+    return static_cast<int32_t>(workers_.size());
+  }
+
+  /// Runs fn(i) for every i in [0, count), with at most `max_workers`
+  /// threads (including the caller) executing concurrently. Blocks until
+  /// every index has completed. `fn` must not call back into the pool.
+  void ParallelFor(int32_t count, int32_t max_workers,
+                   const std::function<void(int32_t)>& fn);
+
+ private:
+  struct Batch {
+    std::atomic<int32_t> next{0};
+    std::atomic<int32_t> done{0};
+    int32_t count = 0;
+    const std::function<void(int32_t)>* fn = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+
+  /// Claims indices from `batch` until none remain.
+  static void Drive(const std::shared_ptr<Batch>& batch);
+
+  void WorkerLoop();
+
+  BlockingQueue<std::shared_ptr<Batch>> queue_{1 << 16};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sq
+
+#endif  // SQUERY_COMMON_THREAD_POOL_H_

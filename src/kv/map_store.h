@@ -82,6 +82,7 @@ class LiveMap {
 
   const std::string& name() const { return name_; }
   int32_t partition_count() const { return partitioner_->partition_count(); }
+  const Partitioner& partitioner() const { return *partitioner_; }
 
   void Put(const Value& key, Object value);
   std::optional<Object> Get(const Value& key) const;
@@ -91,7 +92,12 @@ class LiveMap {
   void ForEach(
       const std::function<void(const Value&, const Object&)>& fn) const;
 
-  /// Scans one partition only (used by partition-parallel query execution).
+  /// Scans one partition only. Partition-parallel query execution fans a
+  /// full scan out as one ForEachInPartition per partition: the partitioner
+  /// routes every key to exactly one partition, so the per-partition scans
+  /// jointly cover the same keyspace as ForEach, with no overlaps. Distinct
+  /// partitions may be scanned concurrently (each partition has its own
+  /// stripe locks).
   void ForEachInPartition(
       int32_t partition,
       const std::function<void(const Value&, const Object&)>& fn) const;

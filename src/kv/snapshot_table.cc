@@ -156,14 +156,35 @@ void SnapshotTable::ScanPartitionAt(
 void SnapshotTable::ScanAllVersions(
     const std::function<void(const Value&, int64_t, const Object&)>& fn)
     const {
-  for (const auto& part : partitions_) {
-    std::lock_guard<std::mutex> lock(part->mu);
-    for (const auto& [key, entries] : part->keys) {
-      for (const auto& entry : entries) {
-        if (entry.tombstone) continue;
-        fn(key, entry.ssid, entry.value);
-      }
+  for (int32_t p = 0; p < partitioner_->partition_count(); ++p) {
+    ScanAllVersionsInPartition(p, fn);
+  }
+}
+
+void SnapshotTable::ScanAllVersionsInPartition(
+    int32_t partition,
+    const std::function<void(const Value&, int64_t, const Object&)>& fn)
+    const {
+  const PartitionData& part = *partitions_[partition];
+  std::lock_guard<std::mutex> lock(part.mu);
+  for (const auto& [key, entries] : part.keys) {
+    for (const auto& entry : entries) {
+      if (entry.tombstone) continue;
+      fn(key, entry.ssid, entry.value);
     }
+  }
+}
+
+void SnapshotTable::ForEachVersionOfKey(
+    const Value& key,
+    const std::function<void(int64_t, const Object&)>& fn) const {
+  const PartitionData& part = PartitionFor(key);
+  std::lock_guard<std::mutex> lock(part.mu);
+  auto it = part.keys.find(key);
+  if (it == part.keys.end()) return;
+  for (const auto& entry : it->second) {
+    if (entry.tombstone) continue;
+    fn(entry.ssid, entry.value);
   }
 }
 

@@ -44,6 +44,8 @@ class SnapshotTable {
   SnapshotTable& operator=(const SnapshotTable&) = delete;
 
   const std::string& name() const { return name_; }
+  int32_t partition_count() const { return partitioner_->partition_count(); }
+  const Partitioner& partitioner() const { return *partitioner_; }
 
   /// Writes the value of `key` as of snapshot `ssid`. Used both by full
   /// snapshots (all keys) and incremental snapshots (changed keys only).
@@ -84,6 +86,19 @@ class SnapshotTable {
   void ScanAllVersions(
       const std::function<void(const Value&, int64_t, const Object&)>& fn)
       const;
+
+  /// Scans every retained version of every key in one partition. Distinct
+  /// partitions may be scanned concurrently.
+  void ScanAllVersionsInPartition(
+      int32_t partition,
+      const std::function<void(const Value&, int64_t, const Object&)>& fn)
+      const;
+
+  /// Visits every retained (non-tombstone) version of `key`, oldest first.
+  /// Point-lookup counterpart of ScanAllVersions.
+  void ForEachVersionOfKey(
+      const Value& key,
+      const std::function<void(int64_t, const Object&)>& fn) const;
 
   /// Visits, partition-major, every entry written *at* exactly `ssid` —
   /// tombstones included. This is the checkpoint's delta as stored (what the

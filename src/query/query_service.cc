@@ -49,15 +49,141 @@ kv::Object MakeTuple(const kv::Value& key, const kv::Object& value,
   return tuple;
 }
 
+/// Partition-addressable scan over a live map. Live scans carry no ssid
+/// column; point lookups go through the key-level locks, exactly like the
+/// direct object interface.
+class LiveTableSource : public sql::TableSource {
+ public:
+  explicit LiveTableSource(const kv::LiveMap* live) : live_(live) {}
+
+  int32_t partition_count() const override {
+    return live_->partition_count();
+  }
+
+  void ScanPartition(int32_t partition, const RowFn& fn) const override {
+    live_->ForEachInPartition(
+        partition, [&fn](const kv::Value& key, const kv::Object& value) {
+          fn(key, /*ssid=*/nullptr, value);
+        });
+  }
+
+  void ScanKeys(const std::vector<kv::Value>& keys,
+                const RowFn& fn) const override {
+    for (const kv::Value& key : keys) {
+      if (auto value = live_->Get(key); value.has_value()) {
+        fn(key, /*ssid=*/nullptr, *value);
+      }
+    }
+  }
+
+  int32_t PartitionOfKey(const kv::Value& key) const override {
+    return live_->partitioner().PartitionOf(key);
+  }
+
+ private:
+  const kv::LiveMap* live_;
+};
+
+/// Partition-addressable scan of the reconstructed snapshot view at one
+/// resolved version. Every row reports the *resolved* ssid (not the possibly
+/// older entry that supplied the value), matching the materializing scan.
+class SnapshotTableSource : public sql::TableSource {
+ public:
+  SnapshotTableSource(const kv::SnapshotTable* snap, int64_t ssid)
+      : snap_(snap), ssid_(ssid), ssid_value_(ssid) {}
+
+  int32_t partition_count() const override {
+    return snap_->partition_count();
+  }
+
+  void ScanPartition(int32_t partition, const RowFn& fn) const override {
+    snap_->ScanPartitionAt(
+        partition, ssid_,
+        [this, &fn](const kv::Value& key, int64_t /*entry_ssid*/,
+                    const kv::Object& value) { fn(key, &ssid_value_, value); });
+  }
+
+  void ScanKeys(const std::vector<kv::Value>& keys,
+                const RowFn& fn) const override {
+    for (const kv::Value& key : keys) {
+      if (auto value = snap_->GetAt(key, ssid_); value.has_value()) {
+        fn(key, &ssid_value_, *value);
+      }
+    }
+  }
+
+  int32_t PartitionOfKey(const kv::Value& key) const override {
+    return snap_->partitioner().PartitionOf(key);
+  }
+
+ private:
+  const kv::SnapshotTable* snap_;
+  const int64_t ssid_;
+  const kv::Value ssid_value_;
+};
+
+/// Partition-addressable scan of `snapshot_<op>__versions`: one reconstructed
+/// view per retained version, the `ssid` column telling versions apart. The
+/// version list is pinned at open so every partition scans the same set.
+class VersionsTableSource : public sql::TableSource {
+ public:
+  VersionsTableSource(const kv::SnapshotTable* snap,
+                      std::vector<int64_t> versions)
+      : snap_(snap) {
+    version_values_.reserve(versions.size());
+    for (int64_t version : versions) {
+      version_values_.emplace_back(version);
+    }
+  }
+
+  int32_t partition_count() const override {
+    return snap_->partition_count();
+  }
+
+  void ScanPartition(int32_t partition, const RowFn& fn) const override {
+    for (const kv::Value& version : version_values_) {
+      snap_->ScanPartitionAt(
+          partition, version.int64_value(),
+          [&fn, &version](const kv::Value& key, int64_t /*entry_ssid*/,
+                          const kv::Object& value) {
+            fn(key, &version, value);
+          });
+    }
+  }
+
+  void ScanKeys(const std::vector<kv::Value>& keys,
+                const RowFn& fn) const override {
+    for (const kv::Value& version : version_values_) {
+      for (const kv::Value& key : keys) {
+        if (auto value = snap_->GetAt(key, version.int64_value());
+            value.has_value()) {
+          fn(key, &version, *value);
+        }
+      }
+    }
+  }
+
+  int32_t PartitionOfKey(const kv::Value& key) const override {
+    return snap_->partitioner().PartitionOf(key);
+  }
+
+ private:
+  const kv::SnapshotTable* snap_;
+  std::vector<kv::Value> version_values_;
+};
+
 /// Binds per-call options to the resolver interface so concurrent Execute
 /// calls do not share mutable state.
 class BoundResolver : public sql::TableResolver {
  public:
+  using ScanFn = Result<std::vector<kv::Object>> (QueryService::*)(
+      const std::string&, std::optional<int64_t>, const QueryOptions&);
+  using OpenFn = Result<std::unique_ptr<sql::TableSource>> (QueryService::*)(
+      const std::string&, std::optional<int64_t>, const QueryOptions&);
+
   BoundResolver(QueryService* service, const QueryOptions& options,
-                Result<std::vector<kv::Object>> (QueryService::*scan)(
-                    const std::string&, std::optional<int64_t>,
-                    const QueryOptions&))
-      : service_(service), options_(options), scan_(scan) {}
+                ScanFn scan, OpenFn open)
+      : service_(service), options_(options), scan_(scan), open_(open) {}
 
   Result<std::vector<kv::Object>> ScanTable(
       const std::string& table,
@@ -65,11 +191,17 @@ class BoundResolver : public sql::TableResolver {
     return (service_->*scan_)(table, requested_ssid, options_);
   }
 
+  Result<std::unique_ptr<sql::TableSource>> OpenTableSource(
+      const std::string& table,
+      std::optional<int64_t> requested_ssid) override {
+    return (service_->*open_)(table, requested_ssid, options_);
+  }
+
  private:
   QueryService* service_;
   QueryOptions options_;
-  Result<std::vector<kv::Object>> (QueryService::*scan_)(
-      const std::string&, std::optional<int64_t>, const QueryOptions&);
+  ScanFn scan_;
+  OpenFn open_;
 };
 
 }  // namespace
@@ -81,12 +213,29 @@ QueryService::QueryService(kv::Grid* grid, state::SnapshotRegistry* registry,
       clock_(clock != nullptr ? clock : SystemClock::Default()),
       metrics_(metrics) {}
 
+ThreadPool* QueryService::Pool() {
+  std::call_once(pool_once_,
+                 [this] { pool_ = std::make_unique<ThreadPool>(); });
+  return pool_.get();
+}
+
 Result<sql::ResultSet> QueryService::Execute(const std::string& sql,
                                              const QueryOptions& options) {
   const int64_t start_nanos = clock_->NowNanos();
-  BoundResolver resolver(this, options, &QueryService::ScanTableImpl);
+  BoundResolver resolver(this, options, &QueryService::ScanTableImpl,
+                         &QueryService::OpenTableSourceImpl);
   sql::ExecOptions exec_options;
   exec_options.local_timestamp_micros = UnixMicros();
+  exec_options.enable_pushdown = options.pushdown;
+  sql::ExecStats stats;
+  exec_options.stats = &stats;
+  if (options.parallelism != 1) {
+    // The pool is shared across queries; each scan is capped separately.
+    exec_options.pool = Pool();
+    exec_options.parallelism = options.parallelism <= 0
+                                   ? exec_options.pool->thread_count()
+                                   : options.parallelism;
+  }
   Result<sql::ResultSet> result =
       sql::ExecuteSql(sql, &resolver, exec_options);
   if (metrics_ != nullptr) {
@@ -96,6 +245,21 @@ Result<sql::ResultSet> QueryService::Execute(const std::string& sql,
         ->GetHistogram("query.latency_nanos." +
                        IsolationSlug(options.isolation))
         ->Record(clock_->NowNanos() - start_nanos);
+    metrics_->GetCounter("query.rows_scanned")->Increment(stats.rows_scanned);
+    metrics_->GetCounter("query.rows_returned")
+        ->Increment(stats.rows_returned);
+    if (stats.used_pushdown) {
+      metrics_->GetCounter("query.pushdown_scans")->Increment();
+    }
+    if (stats.used_point_lookup) {
+      metrics_->GetCounter("query.point_lookup_scans")->Increment();
+    }
+    metrics_->GetHistogram("query.scan_parallelism")
+        ->Record(stats.parallelism);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    last_stats_ = stats;
   }
   return result;
 }
@@ -197,6 +361,44 @@ Result<std::vector<kv::Object>> QueryService::ScanSystemObjects(
 Result<std::vector<kv::Object>> QueryService::ScanTable(
     const std::string& table, std::optional<int64_t> requested_ssid) {
   return ScanTableImpl(table, requested_ssid, QueryOptions{});
+}
+
+Result<std::unique_ptr<sql::TableSource>> QueryService::OpenTableSource(
+    const std::string& table, std::optional<int64_t> requested_ssid) {
+  return OpenTableSourceImpl(table, requested_ssid, QueryOptions{});
+}
+
+Result<std::unique_ptr<sql::TableSource>> QueryService::OpenTableSourceImpl(
+    const std::string& table, std::optional<int64_t> requested_ssid,
+    const QueryOptions& options) {
+  // Null means "not partition-scannable here": the executor falls back to
+  // ScanTable, which owns the virtual-table, durable-log-fallback, and
+  // error paths. Sources cover exactly the in-memory grid tables.
+  std::unique_ptr<sql::TableSource> none;
+  if (catalog_.HasVirtualTable(table)) return none;
+
+  if (IsSnapshotTableName(table)) {
+    std::string base = table;
+    const bool all_versions = HasVersionsSuffix(table);
+    if (all_versions) {
+      base = table.substr(0, table.size() - kVersionsSuffix.size());
+    }
+    kv::SnapshotTable* snap = grid_->GetSnapshotTable(base);
+    if (snap == nullptr) return none;
+    if (all_versions) {
+      return std::unique_ptr<sql::TableSource>(new VersionsTableSource(
+          snap, registry_->RetainedVersions()));
+    }
+    Result<int64_t> resolved = ResolveSsid(requested_ssid, options);
+    if (!resolved.ok()) return none;  // durable fallback / error path
+    return std::unique_ptr<sql::TableSource>(
+        new SnapshotTableSource(snap, *resolved));
+  }
+
+  if (state::ReadsSnapshots(options.isolation)) return none;
+  kv::LiveMap* live = grid_->GetLiveMap(table);
+  if (live == nullptr) return none;
+  return std::unique_ptr<sql::TableSource>(new LiveTableSource(live));
 }
 
 Result<int64_t> QueryService::ResolveSsid(std::optional<int64_t> requested,

@@ -3,12 +3,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/thread_pool.h"
 #include "common/metrics.h"
 #include "common/result.h"
 #include "kv/grid.h"
@@ -38,6 +41,15 @@ struct QueryOptions {
   /// Overridden by an explicit `ssid = n` WHERE conjunct; defaults to the
   /// latest committed snapshot.
   std::optional<int64_t> snapshot_id;
+  /// Maximum concurrent workers (including the calling thread) per base-table
+  /// scan: 0 = one per hardware thread, 1 = fully sequential on the calling
+  /// thread, n = at most n. Workers come from a pool shared by all queries of
+  /// this service.
+  int32_t parallelism = 0;
+  /// Evaluate the WHERE clause of join-free statements inside the scan (rows
+  /// that fail are never copied) and route `key = <literal>` / IN-list
+  /// restrictions to point lookups. Off = materialize-then-filter.
+  bool pushdown = true;
 };
 
 /// The query subsystem of Fig. 1: the entry point external applications use
@@ -114,9 +126,20 @@ class QueryService : public sql::TableResolver {
     return last_resolve_nanos_.load();
   }
 
+  /// Scan instrumentation of the most recent Execute() call: rows visited vs
+  /// materialized, partitions touched, workers used, whether pushdown / point
+  /// lookups engaged. (Most recent overall under concurrent Execute calls.)
+  sql::ExecStats last_exec_stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return last_stats_;
+  }
+
   // sql::TableResolver (scans with default options; Execute() binds per-call
   // options through an internal resolver so concurrent queries are safe):
   Result<std::vector<kv::Object>> ScanTable(
+      const std::string& table,
+      std::optional<int64_t> requested_ssid) override;
+  Result<std::unique_ptr<sql::TableSource>> OpenTableSource(
       const std::string& table,
       std::optional<int64_t> requested_ssid) override;
 
@@ -124,8 +147,14 @@ class QueryService : public sql::TableResolver {
   Result<std::vector<kv::Object>> ScanTableImpl(
       const std::string& table, std::optional<int64_t> requested_ssid,
       const QueryOptions& options);
+  Result<std::unique_ptr<sql::TableSource>> OpenTableSourceImpl(
+      const std::string& table, std::optional<int64_t> requested_ssid,
+      const QueryOptions& options);
   Result<int64_t> ResolveSsid(std::optional<int64_t> requested,
                               const QueryOptions& options);
+
+  /// The scan worker pool, created on first parallel query.
+  ThreadPool* Pool();
 
   /// Scans `table` at `ssid` from the durable log into result tuples.
   Result<std::vector<kv::Object>> ScanDurable(const std::string& table,
@@ -138,6 +167,12 @@ class QueryService : public sql::TableResolver {
   sql::Catalog catalog_;
   storage::SnapshotLog* durable_log_ = nullptr;
   std::atomic<int64_t> last_resolve_nanos_{0};
+
+  std::once_flag pool_once_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex stats_mu_;
+  sql::ExecStats last_stats_;
 };
 
 }  // namespace sq::query

@@ -1,0 +1,100 @@
+#include "sql/aggregate.h"
+
+namespace sq::sql {
+
+namespace {
+
+using kv::Value;
+
+/// Folds a non-null, non-duplicate value into the running counters. Shared
+/// by direct accumulation and the finalize pass over a DISTINCT set.
+Status Fold(const Expr& call, const Value& v, AggState* state) {
+  ++state->count;
+  if (call.column == "MIN" || call.column == "MAX") {
+    if (!state->has_best ||
+        (call.column == "MIN" ? v < state->best : state->best < v)) {
+      state->best = v;
+    }
+    state->has_best = true;
+    return Status::OK();
+  }
+  if (call.column == "COUNT") return Status::OK();
+  if (!v.is_numeric()) {
+    return Status::InvalidArgument(call.column + " over non-numeric value");
+  }
+  if (v.is_int64()) {
+    state->isum += v.int64_value();
+  } else {
+    state->all_int = false;
+  }
+  state->sum += v.AsDouble();
+  return Status::OK();
+}
+
+}  // namespace
+
+Status AccumulateAggregate(const Expr& call, const Value& value,
+                           AggState* state) {
+  if (call.column == "COUNT" && call.star) {
+    ++state->count;
+    return Status::OK();
+  }
+  if (call.column == "COUNT" && call.children.empty()) {
+    return Status::InvalidArgument("COUNT requires an argument or *");
+  }
+  if (call.column != "COUNT" && call.children.size() != 1) {
+    return Status::InvalidArgument(call.column + " requires one argument");
+  }
+  if (value.is_null()) return Status::OK();
+  if (call.distinct_arg) {
+    state->distinct.insert(value);
+    return Status::OK();
+  }
+  return Fold(call, value, state);
+}
+
+void MergeAggregate(const Expr& call, const AggState& src, AggState* dst) {
+  if (call.distinct_arg) {
+    dst->distinct.insert(src.distinct.begin(), src.distinct.end());
+    return;
+  }
+  dst->count += src.count;
+  dst->isum += src.isum;
+  dst->sum += src.sum;
+  dst->all_int = dst->all_int && src.all_int;
+  if (src.has_best) {
+    // dst is the earlier partition: on ties it wins, like the first row of
+    // a sequential scan.
+    if (!dst->has_best ||
+        (call.column == "MIN" ? src.best < dst->best
+                              : dst->best < src.best)) {
+      dst->best = src.best;
+    }
+    dst->has_best = true;
+  }
+}
+
+Result<Value> FinalizeAggregate(const Expr& call, const AggState& state) {
+  AggState folded;
+  const AggState* s = &state;
+  if (call.distinct_arg) {
+    for (const Value& v : state.distinct) {
+      SQ_RETURN_IF_ERROR(Fold(call, v, &folded));
+    }
+    s = &folded;
+  }
+  if (call.column == "COUNT") return Value(s->count);
+  if (call.column == "MIN" || call.column == "MAX") {
+    return s->has_best ? s->best : Value::Null();
+  }
+  if (s->count == 0) return Value::Null();
+  if (call.column == "SUM") {
+    return s->all_int ? Value(s->isum) : Value(s->sum);
+  }
+  if (call.column == "AVG") {
+    return Value(s->sum / static_cast<double>(s->count));
+  }
+  return Status::Internal("unhandled aggregate " + call.column);
+}
+
+}  // namespace sq::sql

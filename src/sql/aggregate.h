@@ -1,0 +1,46 @@
+#ifndef SQUERY_SQL_AGGREGATE_H_
+#define SQUERY_SQL_AGGREGATE_H_
+
+#include <cstdint>
+#include <set>
+
+#include "common/result.h"
+#include "kv/value.h"
+#include "sql/ast.h"
+
+namespace sq::sql {
+
+/// Partial state of one aggregate call over a subset of a group's rows.
+/// The executor keeps one per (group, aggregate) pair; per-partition partials
+/// built by parallel scan workers merge associatively on the coordinating
+/// thread, which is what lets full-scan aggregates scale with cores.
+///
+/// DISTINCT aggregates accumulate the value set only; arithmetic happens at
+/// finalize over the (sorted) set, so sequential and partition-parallel
+/// execution produce bit-identical results.
+struct AggState {
+  int64_t count = 0;  // non-null rows accumulated (COUNT / AVG divisor)
+  bool all_int = true;
+  int64_t isum = 0;
+  double sum = 0.0;
+  bool has_best = false;
+  kv::Value best;                 // running MIN/MAX
+  std::set<kv::Value> distinct;   // DISTINCT aggregates only
+};
+
+/// Folds one already-evaluated argument value into `state`. For COUNT(*),
+/// pass a non-null dummy value per row. NULLs are ignored per SQL semantics.
+Status AccumulateAggregate(const Expr& call, const kv::Value& value,
+                           AggState* state);
+
+/// Merges `src` into `dst` (same aggregate call). Associative; merge order
+/// is partition order so MIN/MAX tie-breaking and float addition match the
+/// sequential scan.
+void MergeAggregate(const Expr& call, const AggState& src, AggState* dst);
+
+/// Produces the final aggregate value.
+Result<kv::Value> FinalizeAggregate(const Expr& call, const AggState& state);
+
+}  // namespace sq::sql
+
+#endif  // SQUERY_SQL_AGGREGATE_H_

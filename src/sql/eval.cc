@@ -66,9 +66,10 @@ Result<Value> Arithmetic(BinaryOp op, const Value& lhs, const Value& rhs) {
   return Status::Internal("unhandled arithmetic operator");
 }
 
-}  // namespace
-
-Result<kv::Value> EvalScalar(const Expr& expr, const kv::Object& tuple,
+// Shared over the materialized tuple (Object) and the scan-row view; both
+// expose Get/Has with identical resolution semantics.
+template <typename TupleT>
+Result<Value> EvalScalarImpl(const Expr& expr, const TupleT& tuple,
                              const EvalContext& ctx) {
   switch (expr.kind) {
     case ExprKind::kLiteral:
@@ -82,7 +83,7 @@ Result<kv::Value> EvalScalar(const Expr& expr, const kv::Object& tuple,
     }
     case ExprKind::kUnary: {
       SQ_ASSIGN_OR_RETURN(Value operand,
-                          EvalScalar(*expr.children[0], tuple, ctx));
+                          EvalScalarImpl(*expr.children[0], tuple, ctx));
       if (expr.unary_op == UnaryOp::kNot) {
         return Value(!operand.Truthy());
       }
@@ -101,24 +102,24 @@ Result<kv::Value> EvalScalar(const Expr& expr, const kv::Object& tuple,
       // Short-circuit boolean connectives.
       if (expr.binary_op == BinaryOp::kAnd) {
         SQ_ASSIGN_OR_RETURN(Value lhs,
-                            EvalScalar(*expr.children[0], tuple, ctx));
+                            EvalScalarImpl(*expr.children[0], tuple, ctx));
         if (!lhs.Truthy()) return Value(false);
         SQ_ASSIGN_OR_RETURN(Value rhs,
-                            EvalScalar(*expr.children[1], tuple, ctx));
+                            EvalScalarImpl(*expr.children[1], tuple, ctx));
         return Value(rhs.Truthy());
       }
       if (expr.binary_op == BinaryOp::kOr) {
         SQ_ASSIGN_OR_RETURN(Value lhs,
-                            EvalScalar(*expr.children[0], tuple, ctx));
+                            EvalScalarImpl(*expr.children[0], tuple, ctx));
         if (lhs.Truthy()) return Value(true);
         SQ_ASSIGN_OR_RETURN(Value rhs,
-                            EvalScalar(*expr.children[1], tuple, ctx));
+                            EvalScalarImpl(*expr.children[1], tuple, ctx));
         return Value(rhs.Truthy());
       }
       SQ_ASSIGN_OR_RETURN(Value lhs,
-                          EvalScalar(*expr.children[0], tuple, ctx));
+                          EvalScalarImpl(*expr.children[0], tuple, ctx));
       SQ_ASSIGN_OR_RETURN(Value rhs,
-                          EvalScalar(*expr.children[1], tuple, ctx));
+                          EvalScalarImpl(*expr.children[1], tuple, ctx));
       switch (expr.binary_op) {
         case BinaryOp::kEq:
         case BinaryOp::kNe:
@@ -145,6 +146,18 @@ Result<kv::Value> EvalScalar(const Expr& expr, const kv::Object& tuple,
     }
   }
   return Status::Internal("unhandled expression kind");
+}
+
+}  // namespace
+
+Result<kv::Value> EvalScalar(const Expr& expr, const kv::Object& tuple,
+                             const EvalContext& ctx) {
+  return EvalScalarImpl(expr, tuple, ctx);
+}
+
+Result<kv::Value> EvalScalar(const Expr& expr, const ScanRowView& row,
+                             const EvalContext& ctx) {
+  return EvalScalarImpl(expr, row, ctx);
 }
 
 }  // namespace sq::sql

@@ -23,8 +23,35 @@ struct EvalContext {
 Result<kv::Value> EvalScalar(const Expr& expr, const kv::Object& tuple,
                              const EvalContext& ctx);
 
-/// SQL three-valued logic is simplified to two-valued here: NULL compares
+/// A scan-time row: the raw state object plus the pseudo-columns (`key`,
+/// `partitionKey`, and for snapshot scans `ssid`) resolved by reference,
+/// without building the merged tuple. Field resolution mirrors the tuple the
+/// query layer materializes (pseudo-columns shadow same-named object fields),
+/// so a predicate pushed down to the scan sees exactly what a
+/// post-materialization filter would — rows it rejects are never copied.
+struct ScanRowView {
+  const kv::Value* key = nullptr;    // also `partitionKey`
+  const kv::Value* ssid = nullptr;   // null on live-table scans
+  const kv::Object* value = nullptr;
+
+  const kv::Value& Get(std::string_view name) const {
+    if (name == "key" || name == "partitionKey") return *key;
+    if (ssid != nullptr && name == "ssid") return *ssid;
+    return value->Get(name);
+  }
+  bool Has(std::string_view name) const {
+    if (name == "key" || name == "partitionKey") return true;
+    if (ssid != nullptr && name == "ssid") return true;
+    return value->Has(name);
+  }
+};
+
+/// EvalScalar over an unmaterialized scan row (predicate pushdown). SQL
+/// three-valued logic is simplified to two-valued here: NULL compares
 /// false, arithmetic on NULL yields NULL.
+Result<kv::Value> EvalScalar(const Expr& expr, const ScanRowView& row,
+                             const EvalContext& ctx);
+
 }  // namespace sq::sql
 
 #endif  // SQUERY_SQL_EVAL_H_

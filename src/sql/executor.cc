@@ -4,9 +4,13 @@
 #include <map>
 #include <set>
 #include <unordered_map>
+#include <utility>
 
+#include "common/hash.h"
+#include "sql/aggregate.h"
 #include "sql/eval.h"
 #include "sql/parser.h"
+#include "sql/plan.h"
 
 namespace sq::sql {
 
@@ -64,6 +68,19 @@ Object MergeTuples(const Object& left, const Object& right,
   return out;
 }
 
+/// The tuple a scan row materializes to: the state object plus the
+/// pseudo-columns. Must stay in lockstep with ScanRowView's resolution.
+Object MaterializeRow(const Value& key, const Value* ssid,
+                      const Object& value) {
+  Object tuple = value;
+  tuple.Set("key", key);
+  tuple.Set("partitionKey", key);
+  if (ssid != nullptr) {
+    tuple.Set("ssid", *ssid);
+  }
+  return tuple;
+}
+
 struct AggregateSpec {
   const Expr* call = nullptr;  // points into the statement
   std::string id;              // canonical text, used as substitution key
@@ -83,69 +100,6 @@ void CollectAggregates(const Expr* expr, std::vector<AggregateSpec>* out) {
   for (const auto& child : expr->children) {
     CollectAggregates(child.get(), out);
   }
-}
-
-/// Computes one aggregate over the rows of a group.
-Result<Value> ComputeAggregate(const AggregateSpec& spec,
-                               const std::vector<const Object*>& rows,
-                               const EvalContext& ctx) {
-  const Expr& call = *spec.call;
-  if (call.column == "COUNT") {
-    if (call.star) return Value(static_cast<int64_t>(rows.size()));
-    if (call.children.empty()) {
-      return Status::InvalidArgument("COUNT requires an argument or *");
-    }
-    int64_t count = 0;
-    std::set<Value> seen_distinct;
-    for (const Object* row : rows) {
-      SQ_ASSIGN_OR_RETURN(Value v, EvalScalar(*call.children[0], *row, ctx));
-      if (v.is_null()) continue;
-      if (call.distinct_arg && !seen_distinct.insert(v).second) continue;
-      ++count;
-    }
-    return Value(count);
-  }
-  if (call.children.size() != 1) {
-    return Status::InvalidArgument(call.column + " requires one argument");
-  }
-  bool first = true;
-  bool all_int = true;
-  double sum = 0.0;
-  int64_t isum = 0;
-  int64_t count = 0;
-  Value best;
-  std::set<Value> seen_distinct;
-  for (const Object* row : rows) {
-    SQ_ASSIGN_OR_RETURN(Value v, EvalScalar(*call.children[0], *row, ctx));
-    if (v.is_null()) continue;
-    if (call.distinct_arg && !seen_distinct.insert(v).second) continue;
-    ++count;
-    if (call.column == "MIN" || call.column == "MAX") {
-      if (first || (call.column == "MIN" ? v < best : best < v)) best = v;
-      first = false;
-      continue;
-    }
-    if (!v.is_numeric()) {
-      return Status::InvalidArgument(call.column + " over non-numeric value");
-    }
-    if (v.is_int64()) {
-      isum += v.int64_value();
-    } else {
-      all_int = false;
-    }
-    sum += v.AsDouble();
-  }
-  if (call.column == "MIN" || call.column == "MAX") {
-    return first ? Value::Null() : best;
-  }
-  if (count == 0) return Value::Null();
-  if (call.column == "SUM") {
-    return all_int ? Value(isum) : Value(sum);
-  }
-  if (call.column == "AVG") {
-    return Value(sum / static_cast<double>(count));
-  }
-  return Status::Internal("unhandled aggregate " + call.column);
 }
 
 /// Evaluates an expression where aggregate subtrees are replaced by their
@@ -187,6 +141,284 @@ struct GroupKeyHash {
   }
 };
 
+/// One group's partial state: the first row seen (scan order) as the
+/// representative for non-aggregate expressions, plus one AggState per
+/// aggregate call.
+struct GroupData {
+  std::vector<Value> key;
+  Object representative;
+  std::vector<AggState> aggs;
+};
+
+/// Groups in first-seen order (kept deterministic so parallel and
+/// sequential execution emit rows identically), with a hash index.
+struct GroupTable {
+  std::unordered_map<std::vector<Value>, size_t, GroupKeyHash> index;
+  std::vector<GroupData> groups;
+};
+
+/// Folds one row into `table`: evaluates the group key and every aggregate
+/// argument against the (possibly unmaterialized) row. `materialize` is
+/// called once, on the first row of a new group.
+template <typename TupleT, typename MaterializeFn>
+Status AccumulateRow(const SelectStatement& stmt,
+                     const std::vector<AggregateSpec>& aggregates,
+                     const TupleT& row, const MaterializeFn& materialize,
+                     const EvalContext& ctx, GroupTable* table) {
+  std::vector<Value> key;
+  key.reserve(stmt.group_by.size());
+  for (const auto& expr : stmt.group_by) {
+    SQ_ASSIGN_OR_RETURN(Value v, EvalScalar(*expr, row, ctx));
+    key.push_back(std::move(v));
+  }
+  auto [it, inserted] = table->index.try_emplace(key, table->groups.size());
+  if (inserted) {
+    GroupData group;
+    group.key = std::move(key);
+    group.representative = materialize();
+    group.aggs.resize(aggregates.size());
+    table->groups.push_back(std::move(group));
+  }
+  GroupData& group = table->groups[it->second];
+  static const Value kCountStarArg(int64_t{1});
+  for (size_t a = 0; a < aggregates.size(); ++a) {
+    const Expr& call = *aggregates[a].call;
+    if (call.star || call.children.empty()) {
+      SQ_RETURN_IF_ERROR(
+          AccumulateAggregate(call, kCountStarArg, &group.aggs[a]));
+      continue;
+    }
+    SQ_ASSIGN_OR_RETURN(Value v, EvalScalar(*call.children[0], row, ctx));
+    SQ_RETURN_IF_ERROR(AccumulateAggregate(call, v, &group.aggs[a]));
+  }
+  return Status::OK();
+}
+
+/// Merges per-partition group tables into `dst` in partition order, so
+/// representatives and MIN/MAX ties resolve exactly as a sequential
+/// partition-major scan would.
+void MergeGroupTables(const std::vector<AggregateSpec>& aggregates,
+                      GroupTable&& src, GroupTable* dst) {
+  for (GroupData& group : src.groups) {
+    auto [it, inserted] = dst->index.try_emplace(group.key,
+                                                 dst->groups.size());
+    if (inserted) {
+      dst->groups.push_back(std::move(group));
+      continue;
+    }
+    GroupData& into = dst->groups[it->second];
+    for (size_t a = 0; a < aggregates.size(); ++a) {
+      MergeAggregate(*aggregates[a].call, group.aggs[a], &into.aggs[a]);
+    }
+  }
+}
+
+/// Concurrent executors for a fan-out over `partitions`.
+int32_t ScanWorkers(const ExecOptions& options, int32_t partitions) {
+  if (options.pool == nullptr || options.parallelism <= 1) return 1;
+  return std::min(options.parallelism, partitions);
+}
+
+/// Runs `task(p)` for every partition, parallel when configured.
+void RunPartitioned(const ExecOptions& options, int32_t partitions,
+                    int32_t workers, const std::function<void(int32_t)>& task) {
+  if (workers > 1) {
+    options.pool->ParallelFor(partitions, workers, task);
+  } else {
+    for (int32_t p = 0; p < partitions; ++p) task(p);
+  }
+}
+
+/// Per-partition scan outcome shared by the materialize and aggregate scans.
+struct PartitionOutcome {
+  Status status;
+  int64_t scanned = 0;
+  int64_t returned = 0;
+};
+
+Status FirstError(const std::vector<PartitionOutcome>& outcomes,
+                  ExecStats* stats) {
+  for (const PartitionOutcome& outcome : outcomes) {
+    stats->rows_scanned += outcome.scanned;
+    stats->rows_returned += outcome.returned;
+    if (!outcome.status.ok()) return outcome.status;
+  }
+  return Status::OK();
+}
+
+/// Point-lookup scan (pushed-down key equalities): visits only `keys`,
+/// still applying the pushed predicate so the result matches a full scan
+/// exactly.
+template <typename RowConsumer>
+Status ScanByKeys(const TableSource& source, const std::vector<Value>& keys,
+                  const Expr* predicate, const EvalContext& ctx,
+                  ExecStats* stats, const RowConsumer& consume) {
+  Status status;
+  std::set<int32_t> partitions;
+  source.ScanKeys(keys, [&](const Value& key, const Value* ssid,
+                            const Object& value) {
+    if (!status.ok()) return;
+    ++stats->rows_scanned;
+    partitions.insert(source.PartitionOfKey(key));
+    const ScanRowView row{&key, ssid, &value};
+    if (predicate != nullptr) {
+      Result<Value> pass = EvalScalar(*predicate, row, ctx);
+      if (!pass.ok()) {
+        status = pass.status();
+        return;
+      }
+      if (!pass->Truthy()) return;
+    }
+    ++stats->rows_returned;
+    status = consume(row);
+  });
+  stats->partitions_scanned += static_cast<int32_t>(partitions.size());
+  stats->used_point_lookup = true;
+  stats->used_pushdown = stats->used_pushdown || predicate != nullptr;
+  return status;
+}
+
+/// Partition-parallel materializing scan with predicate/key pushdown. Rows
+/// rejected by the pushed predicate are never copied out of the store.
+Result<std::vector<Object>> MaterializeFromSource(
+    const TableSource& source, const Expr* predicate,
+    const std::vector<Value>* keys, const EvalContext& ctx,
+    const ExecOptions& options, ExecStats* stats) {
+  std::vector<Object> tuples;
+  if (keys != nullptr) {
+    SQ_RETURN_IF_ERROR(ScanByKeys(
+        source, *keys, predicate, ctx, stats,
+        [&tuples](const ScanRowView& row) {
+          tuples.push_back(MaterializeRow(*row.key, row.ssid, *row.value));
+          return Status::OK();
+        }));
+    return tuples;
+  }
+  const int32_t partitions = source.partition_count();
+  const int32_t workers = ScanWorkers(options, partitions);
+  std::vector<std::vector<Object>> per_partition(partitions);
+  std::vector<PartitionOutcome> outcomes(partitions);
+  RunPartitioned(options, partitions, workers, [&](int32_t p) {
+    PartitionOutcome& outcome = outcomes[p];
+    std::vector<Object>& local = per_partition[p];
+    source.ScanPartition(p, [&](const Value& key, const Value* ssid,
+                                const Object& value) {
+      if (!outcome.status.ok()) return;
+      ++outcome.scanned;
+      if (predicate != nullptr) {
+        const ScanRowView row{&key, ssid, &value};
+        Result<Value> pass = EvalScalar(*predicate, row, ctx);
+        if (!pass.ok()) {
+          outcome.status = pass.status();
+          return;
+        }
+        if (!pass->Truthy()) return;
+      }
+      ++outcome.returned;
+      local.push_back(MaterializeRow(key, ssid, value));
+    });
+  });
+  stats->partitions_scanned += partitions;
+  stats->parallelism = std::max(stats->parallelism, workers);
+  stats->used_pushdown = stats->used_pushdown || predicate != nullptr;
+  SQ_RETURN_IF_ERROR(FirstError(outcomes, stats));
+  size_t total = 0;
+  for (const auto& local : per_partition) total += local.size();
+  tuples.reserve(total);
+  for (auto& local : per_partition) {
+    for (Object& tuple : local) tuples.push_back(std::move(tuple));
+  }
+  return tuples;
+}
+
+/// Fused scan + partial aggregation: each worker filters and folds its
+/// partitions into a local group table; partials merge on the coordinating
+/// thread. Rows are never materialized (except one representative per
+/// group), so full-scan aggregates scale with cores.
+Status ScanAggregate(const TableSource& source, const Expr* predicate,
+                     const std::vector<Value>* keys,
+                     const SelectStatement& stmt,
+                     const std::vector<AggregateSpec>& aggregates,
+                     const EvalContext& ctx, const ExecOptions& options,
+                     ExecStats* stats, GroupTable* out) {
+  if (keys != nullptr) {
+    return ScanByKeys(source, *keys, predicate, ctx, stats,
+                      [&](const ScanRowView& row) {
+                        return AccumulateRow(
+                            stmt, aggregates, row,
+                            [&row] {
+                              return MaterializeRow(*row.key, row.ssid,
+                                                    *row.value);
+                            },
+                            ctx, out);
+                      });
+  }
+  const int32_t partitions = source.partition_count();
+  const int32_t workers = ScanWorkers(options, partitions);
+  std::vector<GroupTable> per_partition(partitions);
+  std::vector<PartitionOutcome> outcomes(partitions);
+  RunPartitioned(options, partitions, workers, [&](int32_t p) {
+    PartitionOutcome& outcome = outcomes[p];
+    GroupTable& local = per_partition[p];
+    source.ScanPartition(p, [&](const Value& key, const Value* ssid,
+                                const Object& value) {
+      if (!outcome.status.ok()) return;
+      ++outcome.scanned;
+      const ScanRowView row{&key, ssid, &value};
+      if (predicate != nullptr) {
+        Result<Value> pass = EvalScalar(*predicate, row, ctx);
+        if (!pass.ok()) {
+          outcome.status = pass.status();
+          return;
+        }
+        if (!pass->Truthy()) return;
+      }
+      ++outcome.returned;
+      outcome.status = AccumulateRow(
+          stmt, aggregates, row,
+          [&key, ssid, &value] { return MaterializeRow(key, ssid, value); },
+          ctx, &local);
+    });
+  });
+  stats->partitions_scanned += partitions;
+  stats->parallelism = std::max(stats->parallelism, workers);
+  stats->used_pushdown = stats->used_pushdown || predicate != nullptr;
+  SQ_RETURN_IF_ERROR(FirstError(outcomes, stats));
+  for (GroupTable& local : per_partition) {
+    MergeGroupTables(aggregates, std::move(local), out);
+  }
+  return Status::OK();
+}
+
+/// Materializes one table: through a TableSource when the resolver offers
+/// one (partition-parallel), else via the legacy full-copy ScanTable.
+Result<std::vector<Object>> MaterializeTable(
+    TableResolver* resolver, const std::string& table,
+    std::optional<int64_t> requested_ssid, const Expr* predicate,
+    const std::vector<Value>* keys, const EvalContext& ctx,
+    const ExecOptions& options, ExecStats* stats) {
+  SQ_ASSIGN_OR_RETURN(std::unique_ptr<TableSource> source,
+                      resolver->OpenTableSource(table, requested_ssid));
+  if (source != nullptr) {
+    return MaterializeFromSource(*source, predicate, keys, ctx, options,
+                                 stats);
+  }
+  SQ_ASSIGN_OR_RETURN(std::vector<Object> tuples,
+                      resolver->ScanTable(table, requested_ssid));
+  stats->rows_scanned += static_cast<int64_t>(tuples.size());
+  if (predicate != nullptr) {
+    std::vector<Object> kept;
+    kept.reserve(tuples.size());
+    for (Object& tuple : tuples) {
+      SQ_ASSIGN_OR_RETURN(Value pass, EvalScalar(*predicate, tuple, ctx));
+      if (pass.Truthy()) kept.push_back(std::move(tuple));
+    }
+    tuples = std::move(kept);
+  }
+  stats->rows_returned += static_cast<int64_t>(tuples.size());
+  return tuples;
+}
+
 }  // namespace
 
 Result<ResultSet> ExecuteSelect(const SelectStatement& stmt,
@@ -194,6 +426,9 @@ Result<ResultSet> ExecuteSelect(const SelectStatement& stmt,
                                 const ExecOptions& options) {
   EvalContext ctx;
   ctx.local_timestamp_micros = options.local_timestamp_micros;
+  ExecStats local_stats;
+  ExecStats* stats = options.stats != nullptr ? options.stats : &local_stats;
+  *stats = ExecStats{};
 
   // --- Resolve snapshot-version pins from the WHERE clause.
   std::map<std::string, int64_t> ssid_by_table;
@@ -205,13 +440,68 @@ Result<ResultSet> ExecuteSelect(const SelectStatement& stmt,
     return global_ssid;
   };
 
-  // --- Scan + joins.
-  SQ_ASSIGN_OR_RETURN(std::vector<Object> tuples,
-                      resolver->ScanTable(stmt.from.name, ssid_for(stmt.from)));
+  // --- Aggregation analysis.
+  std::vector<AggregateSpec> aggregates;
+  for (const SelectItem& item : stmt.items) {
+    CollectAggregates(item.expr.get(), &aggregates);
+  }
+  for (const auto& [expr, desc] : stmt.order_by) {
+    CollectAggregates(expr.get(), &aggregates);
+  }
+  CollectAggregates(stmt.having.get(), &aggregates);
+  const bool aggregating = !aggregates.empty() || !stmt.group_by.empty();
+  if (stmt.having != nullptr && !aggregating) {
+    return Status::InvalidArgument("HAVING requires aggregation");
+  }
+  if (aggregating && stmt.select_star) {
+    return Status::InvalidArgument("SELECT * cannot be combined with "
+                                   "aggregation");
+  }
+
+  // --- Pushdown plan (join-free statements only).
+  const ScanPlan plan = BuildScanPlan(stmt, options.enable_pushdown);
+
+  // --- Scan + joins. The FROM scan goes through a TableSource when the
+  // resolver offers one: partitions fan out over the pool, the pushed-down
+  // predicate filters rows before they are copied, and pushed-down key
+  // equalities route to point lookups. Aggregating join-free statements
+  // fuse the scan with per-partition partial aggregation.
+  GroupTable groups;
+  std::vector<Object> tuples;
+  bool where_applied = false;
+  bool partial_aggregated = false;
+
+  {
+    SQ_ASSIGN_OR_RETURN(
+        std::unique_ptr<TableSource> source,
+        resolver->OpenTableSource(stmt.from.name, ssid_for(stmt.from)));
+    const Expr* pushed = source != nullptr ? plan.predicate : nullptr;
+    const std::vector<Value>* keys =
+        (source != nullptr && plan.keys.has_value()) ? &*plan.keys : nullptr;
+    if (aggregating && stmt.joins.empty() && source != nullptr &&
+        (stmt.where == nullptr || pushed != nullptr)) {
+      SQ_RETURN_IF_ERROR(ScanAggregate(*source, pushed, keys, stmt,
+                                       aggregates, ctx, options, stats,
+                                       &groups));
+      where_applied = true;
+      partial_aggregated = true;
+    } else if (source != nullptr) {
+      SQ_ASSIGN_OR_RETURN(tuples,
+                          MaterializeFromSource(*source, pushed, keys, ctx,
+                                                options, stats));
+      where_applied = pushed != nullptr;
+    } else {
+      SQ_ASSIGN_OR_RETURN(
+          tuples, MaterializeTable(resolver, stmt.from.name,
+                                   ssid_for(stmt.from), nullptr, nullptr,
+                                   ctx, options, stats));
+    }
+  }
   for (const JoinClause& join : stmt.joins) {
     SQ_ASSIGN_OR_RETURN(
         std::vector<Object> right,
-        resolver->ScanTable(join.table.name, ssid_for(join.table)));
+        MaterializeTable(resolver, join.table.name, ssid_for(join.table),
+                         nullptr, nullptr, ctx, options, stats));
     // Build side: hash the (smaller, typically right) input on the USING
     // column; S-QUERY's extension of the IMDG SQL interface (Section VI-A).
     std::unordered_map<Value, std::vector<const Object*>, kv::ValueHash>
@@ -237,8 +527,8 @@ Result<ResultSet> ExecuteSelect(const SelectStatement& stmt,
     tuples = std::move(joined);
   }
 
-  // --- Filter.
-  if (stmt.where != nullptr) {
+  // --- Filter (unless already evaluated inside the scan).
+  if (stmt.where != nullptr && !where_applied) {
     std::vector<Object> kept;
     kept.reserve(tuples.size());
     for (Object& tuple : tuples) {
@@ -246,24 +536,6 @@ Result<ResultSet> ExecuteSelect(const SelectStatement& stmt,
       if (pass.Truthy()) kept.push_back(std::move(tuple));
     }
     tuples = std::move(kept);
-  }
-
-  // --- Aggregation analysis.
-  std::vector<AggregateSpec> aggregates;
-  for (const SelectItem& item : stmt.items) {
-    CollectAggregates(item.expr.get(), &aggregates);
-  }
-  for (const auto& [expr, desc] : stmt.order_by) {
-    CollectAggregates(expr.get(), &aggregates);
-  }
-  CollectAggregates(stmt.having.get(), &aggregates);
-  const bool aggregating = !aggregates.empty() || !stmt.group_by.empty();
-  if (stmt.having != nullptr && !aggregating) {
-    return Status::InvalidArgument("HAVING requires aggregation");
-  }
-  if (aggregating && stmt.select_star) {
-    return Status::InvalidArgument("SELECT * cannot be combined with "
-                                   "aggregation");
   }
 
   // --- Build output column list.
@@ -285,6 +557,7 @@ Result<ResultSet> ExecuteSelect(const SelectStatement& stmt,
   struct OutRow {
     Row values;
     std::vector<Value> sort_key;
+    size_t seq = 0;  // input order, the ORDER BY tiebreak (stability)
   };
   std::vector<OutRow> out_rows;
 
@@ -322,6 +595,7 @@ Result<ResultSet> ExecuteSelect(const SelectStatement& stmt,
                           EvalWithAggregates(*expr, tuple, aggs, ctx));
       out.sort_key.push_back(std::move(v));
     }
+    out.seq = out_rows.size();
     out_rows.push_back(std::move(out));
     return Status::OK();
   };
@@ -331,41 +605,33 @@ Result<ResultSet> ExecuteSelect(const SelectStatement& stmt,
       SQ_RETURN_IF_ERROR(emit_row(tuple, {}));
     }
   } else {
-    // Group rows by the GROUP BY key (single group if none).
-    std::unordered_map<std::vector<Value>, std::vector<const Object*>,
-                       GroupKeyHash>
-        groups;
-    if (stmt.group_by.empty()) {
-      groups[{}] = {};
+    if (!partial_aggregated) {
       for (const Object& tuple : tuples) {
-        groups[{}].push_back(&tuple);
-      }
-    } else {
-      for (const Object& tuple : tuples) {
-        std::vector<Value> key;
-        key.reserve(stmt.group_by.size());
-        for (const auto& expr : stmt.group_by) {
-          SQ_ASSIGN_OR_RETURN(Value v, EvalScalar(*expr, tuple, ctx));
-          key.push_back(std::move(v));
-        }
-        groups[std::move(key)].push_back(&tuple);
+        SQ_RETURN_IF_ERROR(AccumulateRow(
+            stmt, aggregates, tuple, [&tuple] { return tuple; }, ctx,
+            &groups));
       }
     }
-    for (const auto& [key, rows] : groups) {
+    // An aggregate without GROUP BY yields one row even over no input.
+    if (stmt.group_by.empty() && groups.groups.empty()) {
+      GroupData empty;
+      empty.aggs.resize(aggregates.size());
+      groups.groups.push_back(std::move(empty));
+    }
+    for (GroupData& group : groups.groups) {
       std::unordered_map<std::string, Value> agg_values;
-      for (const AggregateSpec& spec : aggregates) {
-        SQ_ASSIGN_OR_RETURN(Value v, ComputeAggregate(spec, rows, ctx));
-        agg_values[spec.id] = std::move(v);
+      for (size_t a = 0; a < aggregates.size(); ++a) {
+        SQ_ASSIGN_OR_RETURN(
+            Value v, FinalizeAggregate(*aggregates[a].call, group.aggs[a]));
+        agg_values[aggregates[a].id] = std::move(v);
       }
-      static const Object kEmpty;
-      const Object& representative = rows.empty() ? kEmpty : *rows.front();
       if (stmt.having != nullptr) {
         SQ_ASSIGN_OR_RETURN(
-            Value keep,
-            EvalWithAggregates(*stmt.having, representative, agg_values, ctx));
+            Value keep, EvalWithAggregates(*stmt.having, group.representative,
+                                           agg_values, ctx));
         if (!keep.Truthy()) continue;
       }
-      SQ_RETURN_IF_ERROR(emit_row(representative, agg_values));
+      SQ_RETURN_IF_ERROR(emit_row(group.representative, agg_values));
     }
   }
 
@@ -382,19 +648,28 @@ Result<ResultSet> ExecuteSelect(const SelectStatement& stmt,
     out_rows = std::move(unique);
   }
 
-  // --- ORDER BY.
+  // --- ORDER BY (+ bounded top-K under LIMIT). The seq tiebreak makes the
+  // comparator a total order, so partial_sort/sort reproduce a stable sort.
   if (!stmt.order_by.empty()) {
-    std::stable_sort(out_rows.begin(), out_rows.end(),
-                     [&stmt](const OutRow& a, const OutRow& b) {
-                       for (size_t i = 0; i < stmt.order_by.size(); ++i) {
-                         const bool desc = stmt.order_by[i].second;
-                         const Value& x = a.sort_key[i];
-                         const Value& y = b.sort_key[i];
-                         if (x < y) return !desc;
-                         if (y < x) return desc;
-                       }
-                       return false;
-                     });
+    const auto before = [&stmt](const OutRow& a, const OutRow& b) {
+      for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+        const bool desc = stmt.order_by[i].second;
+        const Value& x = a.sort_key[i];
+        const Value& y = b.sort_key[i];
+        if (x < y) return !desc;
+        if (y < x) return desc;
+      }
+      return a.seq < b.seq;
+    };
+    if (stmt.limit >= 0 &&
+        static_cast<size_t>(stmt.limit) < out_rows.size()) {
+      std::partial_sort(out_rows.begin(),
+                        out_rows.begin() + static_cast<size_t>(stmt.limit),
+                        out_rows.end(), before);
+      out_rows.resize(static_cast<size_t>(stmt.limit));
+    } else {
+      std::sort(out_rows.begin(), out_rows.end(), before);
+    }
   }
 
   // --- LIMIT.

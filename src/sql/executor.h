@@ -2,16 +2,52 @@
 #define SQUERY_SQL_EXECUTOR_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "kv/object.h"
+#include "kv/value.h"
 #include "sql/ast.h"
 #include "sql/result_set.h"
 
 namespace sq::sql {
+
+/// Partition-addressable access to one base table, opened for one scan. The
+/// executor fans partitions out over a thread pool, evaluates pushed-down
+/// predicates inside the row callbacks (rows that fail are never copied),
+/// and routes pushed-down key equalities to point lookups.
+class TableSource {
+ public:
+  virtual ~TableSource() = default;
+
+  /// Row callback: the state key, the snapshot version the row is served at
+  /// (null on live-table scans), and the stored object. The references are
+  /// only valid for the duration of the call; the row is copied only if it
+  /// survives the pushed-down filter.
+  using RowFn = std::function<void(const kv::Value& key,
+                                   const kv::Value* ssid,
+                                   const kv::Object& value)>;
+
+  /// Number of scannable partitions.
+  virtual int32_t partition_count() const = 0;
+
+  /// Scans one partition. Thread-safe: distinct partitions may be scanned
+  /// concurrently.
+  virtual void ScanPartition(int32_t partition, const RowFn& fn) const = 0;
+
+  /// Point lookups for pushed-down `key = <literal>` / IN-list conjuncts.
+  /// Emits at most one row per (key, version); missing keys are skipped.
+  virtual void ScanKeys(const std::vector<kv::Value>& keys,
+                        const RowFn& fn) const = 0;
+
+  /// Partition a key routes to (scan metrics only).
+  virtual int32_t PartitionOfKey(const kv::Value& key) const = 0;
+};
 
 /// Supplies base-table scans to the executor. The query layer implements
 /// this over the KV grid: live tables scan the LiveMap (key-level locked
@@ -29,15 +65,59 @@ class TableResolver {
   /// `ssid = <n>` WHERE conjunct, if any (nullopt = latest committed).
   virtual Result<std::vector<kv::Object>> ScanTable(
       const std::string& table, std::optional<int64_t> requested_ssid) = 0;
+
+  /// Opens partition-addressable access to `table` for one scan, or null if
+  /// the table is not partition-scannable (virtual tables, durable-log
+  /// fallback, errors) — the executor then falls back to ScanTable. The
+  /// default implementation never offers a source.
+  virtual Result<std::unique_ptr<TableSource>> OpenTableSource(
+      const std::string& table, std::optional<int64_t> requested_ssid) {
+    (void)table;
+    (void)requested_ssid;
+    return std::unique_ptr<TableSource>();
+  }
+};
+
+/// Per-query scan instrumentation, filled in by the executor (the paper's
+/// query-impact story needs "how much state did this query actually touch").
+struct ExecStats {
+  /// Rows visited by base-table scans (before pushed-down filters).
+  int64_t rows_scanned = 0;
+  /// Rows surviving pushed-down filters (for non-aggregated scans these are
+  /// exactly the rows materialized; fused aggregation folds them without
+  /// materializing).
+  int64_t rows_returned = 0;
+  /// Partitions swept by fan-out scans, or partitions hit by point lookups.
+  int32_t partitions_scanned = 0;
+  /// Concurrent workers used by the widest scan of the query.
+  int32_t parallelism = 1;
+  /// True if a WHERE predicate was evaluated inside the scan.
+  bool used_pushdown = false;
+  /// True if a key-equality restriction routed to point lookups.
+  bool used_point_lookup = false;
 };
 
 struct ExecOptions {
   /// Value of LOCALTIMESTAMP for this query (Unix micros).
   int64_t local_timestamp_micros = 0;
+
+  /// Worker pool shared across queries; null = scan sequentially.
+  ThreadPool* pool = nullptr;
+  /// Maximum workers (including the calling thread) per scan; <= 1 keeps
+  /// the scan on the calling thread.
+  int32_t parallelism = 1;
+  /// Push the WHERE clause (and key equalities) into base-table scans of
+  /// join-free statements. Off = filter after materialization, as before.
+  bool enable_pushdown = true;
+
+  /// Optional out-param for scan instrumentation.
+  ExecStats* stats = nullptr;
 };
 
-/// Executes a parsed SELECT against the resolver: scan → hash join (USING)
-/// → filter → group/aggregate → project → distinct → order → limit.
+/// Executes a parsed SELECT against the resolver: scan (partition-parallel,
+/// with predicate/key pushdown and per-partition partial aggregation where
+/// the resolver offers a TableSource) → hash join (USING) → filter →
+/// group/aggregate → project → distinct → order → limit.
 Result<ResultSet> ExecuteSelect(const SelectStatement& stmt,
                                 TableResolver* resolver,
                                 const ExecOptions& options);

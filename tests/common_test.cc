@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <thread>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/thread_pool.h"
 #include "common/hash.h"
 #include "common/histogram.h"
 #include "common/metrics.h"
@@ -373,6 +375,51 @@ TEST(ClockTest, VirtualClockIsManual) {
   EXPECT_EQ(clock.NowNanos(), 150);
   clock.SetNanos(1000);
   EXPECT_EQ(clock.NowNanos(), 1000);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(1000);
+  pool.ParallelFor(1000, 8, [&visits](int32_t i) {
+    visits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPoolTest, SequentialWhenOneWorkerRequested) {
+  ThreadPool pool(4);
+  const auto main_thread = std::this_thread::get_id();
+  std::vector<int32_t> order;
+  pool.ParallelFor(16, 1, [&](int32_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), main_thread);
+    order.push_back(i);
+  });
+  for (int32_t i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForsFromManyThreads) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 6; ++t) {
+    callers.emplace_back([&pool, &total] {
+      for (int round = 0; round < 20; ++round) {
+        pool.ParallelFor(50, 4, [&total](int32_t) {
+          total.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& caller : callers) caller.join();
+  EXPECT_EQ(total.load(), 6 * 20 * 50);
+}
+
+TEST(ThreadPoolTest, ZeroAndNegativeCountsAreNoOps) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, 4, [&called](int32_t) { called = true; });
+  pool.ParallelFor(-3, 4, [&called](int32_t) { called = true; });
+  EXPECT_FALSE(called);
 }
 
 TEST(HashTest, StableAndSpread) {

@@ -511,5 +511,74 @@ TEST(GridTest, RefusesToKillLastNode) {
   EXPECT_FALSE(grid.KillNode(1).ok());
 }
 
+// Partition-parallel query execution fans one ForEachInPartition out per
+// partition and assumes the union covers exactly ForEach's keyspace: every
+// key visited once, in the partition the partitioner routes it to.
+TEST(LiveMapTest, PerPartitionScansCoverExactlyTheFullKeyspace) {
+  const Partitioner partitioner(7);
+  LiveMap map("m", &partitioner);
+  Object o;
+  o.Set("v", Value(int64_t{1}));
+  for (int64_t i = 0; i < 500; ++i) map.Put(Value(i), o);
+  map.Put(Value("str-key"), o);
+  map.Put(Value(2.5), o);
+
+  std::set<Value> full;
+  map.ForEach([&full](const Value& key, const Object&) {
+    EXPECT_TRUE(full.insert(key).second) << key.ToString();
+  });
+
+  std::set<Value> partitioned;
+  for (int32_t p = 0; p < partitioner.partition_count(); ++p) {
+    map.ForEachInPartition(p, [&](const Value& key, const Object&) {
+      EXPECT_EQ(map.partitioner().PartitionOf(key), p) << key.ToString();
+      EXPECT_TRUE(partitioned.insert(key).second) << key.ToString();
+    });
+  }
+  EXPECT_EQ(partitioned, full);
+  EXPECT_EQ(partitioned.size(), map.Size());
+}
+
+TEST(SnapshotTableTest, PerPartitionScansCoverExactlyTheFullView) {
+  const Partitioner partitioner(7);
+  SnapshotTable table("snapshot_m", &partitioner);
+  Object o;
+  o.Set("v", Value(int64_t{1}));
+  for (int64_t i = 0; i < 300; ++i) table.Write(1, Value(i), o);
+  for (int64_t i = 0; i < 300; i += 3) table.Write(2, Value(i), o);
+  for (int64_t i = 0; i < 300; i += 50) table.WriteTombstone(2, Value(i));
+
+  for (int64_t ssid : {int64_t{1}, int64_t{2}}) {
+    std::set<std::pair<Value, int64_t>> full;
+    table.ScanAt(ssid, [&full](const Value& key, int64_t entry_ssid,
+                               const Object&) {
+      EXPECT_TRUE(full.insert({key, entry_ssid}).second);
+    });
+    std::set<std::pair<Value, int64_t>> partitioned;
+    for (int32_t p = 0; p < partitioner.partition_count(); ++p) {
+      table.ScanPartitionAt(
+          p, ssid, [&](const Value& key, int64_t entry_ssid, const Object&) {
+            EXPECT_EQ(table.partitioner().PartitionOf(key), p);
+            EXPECT_TRUE(partitioned.insert({key, entry_ssid}).second);
+          });
+    }
+    EXPECT_EQ(partitioned, full) << "ssid " << ssid;
+  }
+
+  std::set<std::pair<Value, int64_t>> all_versions;
+  table.ScanAllVersions([&all_versions](const Value& key, int64_t ssid,
+                                        const Object&) {
+    EXPECT_TRUE(all_versions.insert({key, ssid}).second);
+  });
+  std::set<std::pair<Value, int64_t>> partitioned_versions;
+  for (int32_t p = 0; p < partitioner.partition_count(); ++p) {
+    table.ScanAllVersionsInPartition(
+        p, [&](const Value& key, int64_t ssid, const Object&) {
+          EXPECT_TRUE(partitioned_versions.insert({key, ssid}).second);
+        });
+  }
+  EXPECT_EQ(partitioned_versions, all_versions);
+}
+
 }  // namespace
 }  // namespace sq::kv

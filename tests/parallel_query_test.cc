@@ -1,0 +1,300 @@
+// Differential tests for partition-parallel query execution: every query in
+// the matrix must produce identical results at parallelism 1 / 2 / 8, with
+// pushdown on and off, and (where comparable) through a resolver that only
+// offers the legacy whole-table ScanTable fallback. Also covers the pushdown
+// instrumentation (rows_scanned / point lookups) and a concurrent
+// writer+query hammer for the sanitizer jobs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kv/grid.h"
+#include "query/query_service.h"
+#include "sql/executor.h"
+#include "state/isolation.h"
+#include "state/snapshot_registry.h"
+#include "state/squery_state_store.h"
+
+namespace sq::query {
+namespace {
+
+using kv::Object;
+using kv::Value;
+
+constexpr int32_t kPartitions = 32;
+constexpr int64_t kKeys = 3000;
+
+/// Rows ordered for multiset comparison. SQL row order without ORDER BY is
+/// unspecified (and the legacy scan, the parallel scan, and the hash-grouping
+/// paths genuinely order differently), so unordered queries compare sorted.
+std::vector<sql::Row> SortedRows(const sql::ResultSet& result) {
+  std::vector<sql::Row> rows = result.rows;
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+bool HasOrderBy(const std::string& sql) {
+  return sql.find("ORDER BY") != std::string::npos;
+}
+
+class ParallelQueryTest : public ::testing::Test {
+ protected:
+  ParallelQueryTest()
+      : grid_(kv::GridConfig{.node_count = 2,
+                             .partition_count = kPartitions,
+                             .backup_count = 0}),
+        registry_(&grid_, {.retained_versions = 3, .async_prune = false}),
+        service_(&grid_, &registry_),
+        store_(&grid_, "metrics", 0, state::SQueryConfig{.parallelism = 1}),
+        dims_(&grid_, "dims", 0, state::SQueryConfig{.parallelism = 1}) {
+    // Deterministic pseudo-random table: integer columns only, so SUM/AVG
+    // are exact under every accumulation order.
+    std::mt19937_64 rng(20260806);
+    for (int64_t ckpt = 1; ckpt <= 2; ++ckpt) {
+      for (int64_t key = 0; key < kKeys; ++key) {
+        Object o;
+        o.Set("v", Value(static_cast<int64_t>(rng() % 1000)));
+        o.Set("g", Value(key % 8));
+        o.Set("zone", Value("zone-" + std::to_string(key % 5)));
+        store_.Put(Value(key), std::move(o));
+      }
+      EXPECT_TRUE(store_.SnapshotTo(ckpt).ok());
+      registry_.OnCheckpointCommitted(ckpt);
+    }
+    for (int64_t g = 0; g < 8; ++g) {
+      Object o;
+      o.Set("g", Value(g));
+      o.Set("name", Value("group-" + std::to_string(g)));
+      dims_.Put(Value(g), std::move(o));
+    }
+  }
+
+  sql::ResultSet MustExecute(const std::string& sql,
+                             const QueryOptions& options) {
+    auto result = service_.Execute(sql, options);
+    EXPECT_TRUE(result.ok()) << sql << ": " << result.status();
+    return result.ok() ? *result : sql::ResultSet{};
+  }
+
+  /// Runs `sql` across the whole execution matrix and checks every variant
+  /// against the (parallelism=1, pushdown=on) baseline.
+  void CheckDifferential(const std::string& sql,
+                         state::IsolationLevel isolation) {
+    QueryOptions base;
+    base.isolation = isolation;
+    base.parallelism = 1;
+    const sql::ResultSet expected = MustExecute(sql, base);
+    const bool ordered = HasOrderBy(sql);
+    const auto expected_rows = SortedRows(expected);
+    for (int32_t parallelism : {1, 2, 8}) {
+      for (bool pushdown : {true, false}) {
+        QueryOptions options = base;
+        options.parallelism = parallelism;
+        options.pushdown = pushdown;
+        const sql::ResultSet got = MustExecute(sql, options);
+        ASSERT_EQ(got.columns, expected.columns)
+            << sql << " [parallelism=" << parallelism
+            << " pushdown=" << pushdown << "]";
+        if (ordered) {
+          ASSERT_EQ(got.rows, expected.rows)
+              << sql << " [parallelism=" << parallelism
+              << " pushdown=" << pushdown << "]";
+        } else {
+          ASSERT_EQ(SortedRows(got), expected_rows)
+              << sql << " [parallelism=" << parallelism
+              << " pushdown=" << pushdown << "]";
+        }
+      }
+    }
+  }
+
+  kv::Grid grid_;
+  state::SnapshotRegistry registry_;
+  QueryService service_;
+  state::SQueryStateStore store_;
+  state::SQueryStateStore dims_;
+};
+
+TEST_F(ParallelQueryTest, LiveQueriesMatchAcrossMatrix) {
+  const std::vector<std::string> queries = {
+      "SELECT key, v FROM metrics",
+      "SELECT key, v, zone FROM metrics WHERE v > 500 AND g = 3",
+      "SELECT v FROM metrics WHERE key = 42",
+      "SELECT v FROM metrics WHERE key IN (1, 5, 9, 2999, 7777)",
+      "SELECT key FROM metrics WHERE key IN (1, 2, 3) AND key IN (2, 3, 4)",
+      "SELECT COUNT(*) AS n, SUM(v) AS s, MIN(v) AS mn, MAX(v) AS mx, "
+      "AVG(v) AS a FROM metrics",
+      "SELECT COUNT(*) AS n, SUM(v) AS s FROM metrics WHERE v > 250",
+      "SELECT g, COUNT(*) AS n, SUM(v) AS s FROM metrics GROUP BY g",
+      "SELECT zone, COUNT(DISTINCT v) AS d FROM metrics GROUP BY zone",
+      "SELECT DISTINCT g FROM metrics",
+      "SELECT key, v FROM metrics ORDER BY v DESC, key LIMIT 10",
+      "SELECT g, SUM(v) AS s FROM metrics GROUP BY g "
+      "HAVING COUNT(*) > 10 ORDER BY s LIMIT 3",
+      "SELECT m.key, m.v, d.name FROM metrics AS m JOIN dims AS d USING(g) "
+      "WHERE m.v < 100",
+  };
+  for (const auto& level : {state::IsolationLevel::kReadUncommitted,
+                            state::IsolationLevel::kReadCommittedNoFailures}) {
+    for (const std::string& sql : queries) {
+      CheckDifferential(sql, level);
+    }
+  }
+}
+
+TEST_F(ParallelQueryTest, SnapshotQueriesMatchAcrossMatrix) {
+  const std::vector<std::string> queries = {
+      "SELECT key, v, ssid FROM snapshot_metrics",
+      "SELECT SUM(v) AS s FROM snapshot_metrics WHERE ssid = 1",
+      "SELECT v FROM snapshot_metrics WHERE key = 7",
+      "SELECT g, COUNT(*) AS n FROM snapshot_metrics WHERE v > 300 "
+      "GROUP BY g ORDER BY g",
+      "SELECT ssid, COUNT(*) AS n FROM snapshot_metrics__versions "
+      "GROUP BY ssid ORDER BY ssid",
+      "SELECT v, ssid FROM snapshot_metrics__versions WHERE key = 11",
+  };
+  for (const auto& level : {state::IsolationLevel::kSnapshotIsolation,
+                            state::IsolationLevel::kSerializable}) {
+    for (const std::string& sql : queries) {
+      CheckDifferential(sql, level);
+    }
+  }
+}
+
+/// The executor must behave identically when the resolver cannot offer
+/// partition-addressable sources at all (legacy fallback path).
+TEST_F(ParallelQueryTest, ScanTableOnlyResolverMatchesSourceScan) {
+  class ScanOnlyResolver : public sql::TableResolver {
+   public:
+    explicit ScanOnlyResolver(QueryService* service) : service_(service) {}
+    Result<std::vector<Object>> ScanTable(
+        const std::string& table,
+        std::optional<int64_t> requested_ssid) override {
+      return service_->ScanTable(table, requested_ssid);
+    }
+    // OpenTableSource deliberately not overridden: always null.
+   private:
+    QueryService* service_;
+  };
+  ScanOnlyResolver legacy(&service_);
+  for (const std::string& sql : {
+           std::string("SELECT key, v, ssid FROM snapshot_metrics"),
+           std::string("SELECT SUM(v) AS s, COUNT(*) AS n "
+                       "FROM snapshot_metrics WHERE v > 500"),
+           std::string("SELECT v FROM snapshot_metrics WHERE key = 42"),
+       }) {
+    sql::ExecOptions exec;
+    auto via_fallback = sql::ExecuteSql(sql, &legacy, exec);
+    ASSERT_TRUE(via_fallback.ok()) << via_fallback.status();
+    QueryOptions options;
+    options.parallelism = 8;
+    const sql::ResultSet via_source = MustExecute(sql, options);
+    EXPECT_EQ(via_source.columns, via_fallback->columns) << sql;
+    EXPECT_EQ(SortedRows(via_source), SortedRows(*via_fallback)) << sql;
+  }
+}
+
+TEST_F(ParallelQueryTest, KeyPushdownScansOnlyMatchingPartitions) {
+  QueryOptions options;
+  options.isolation = state::IsolationLevel::kReadCommittedNoFailures;
+  auto result =
+      service_.Execute("SELECT v FROM metrics WHERE key = 42", options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const sql::ExecStats stats = service_.last_exec_stats();
+  EXPECT_TRUE(stats.used_point_lookup);
+  EXPECT_TRUE(stats.used_pushdown);
+  EXPECT_EQ(stats.rows_scanned, 1);
+  EXPECT_EQ(stats.partitions_scanned, 1);
+
+  // Full scan for contrast: every partition, every row.
+  result = service_.Execute("SELECT COUNT(*) AS n FROM metrics", options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const sql::ExecStats full = service_.last_exec_stats();
+  EXPECT_FALSE(full.used_point_lookup);
+  EXPECT_EQ(full.rows_scanned, kKeys);
+  EXPECT_EQ(full.partitions_scanned, kPartitions);
+}
+
+TEST_F(ParallelQueryTest, PredicatePushdownSkipsMaterialization) {
+  QueryOptions options;
+  options.isolation = state::IsolationLevel::kReadCommittedNoFailures;
+  auto result = service_.Execute(
+      "SELECT key FROM metrics WHERE v > 900 AND g = 1", options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const sql::ExecStats stats = service_.last_exec_stats();
+  EXPECT_TRUE(stats.used_pushdown);
+  EXPECT_EQ(stats.rows_scanned, kKeys);
+  EXPECT_EQ(stats.rows_returned, static_cast<int64_t>(result->RowCount()));
+  EXPECT_LT(stats.rows_returned, stats.rows_scanned);
+
+  options.pushdown = false;
+  result = service_.Execute(
+      "SELECT key FROM metrics WHERE v > 900 AND g = 1", options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const sql::ExecStats off = service_.last_exec_stats();
+  EXPECT_FALSE(off.used_pushdown);
+  EXPECT_EQ(off.rows_returned, off.rows_scanned);  // everything materialized
+}
+
+TEST_F(ParallelQueryTest, ParallelismIsReportedAndCapped) {
+  QueryOptions options;
+  options.isolation = state::IsolationLevel::kReadCommittedNoFailures;
+  options.parallelism = 4;
+  ASSERT_TRUE(
+      service_.Execute("SELECT COUNT(*) AS n FROM metrics", options).ok());
+  EXPECT_EQ(service_.last_exec_stats().parallelism, 4);
+  options.parallelism = 1;
+  ASSERT_TRUE(
+      service_.Execute("SELECT COUNT(*) AS n FROM metrics", options).ok());
+  EXPECT_EQ(service_.last_exec_stats().parallelism, 1);
+}
+
+/// Aggregate errors must propagate deterministically out of parallel workers.
+TEST_F(ParallelQueryTest, ErrorsPropagateFromParallelScan) {
+  QueryOptions options;
+  options.isolation = state::IsolationLevel::kReadCommittedNoFailures;
+  options.parallelism = 8;
+  auto result = service_.Execute("SELECT SUM(zone) AS s FROM metrics",
+                                 options);
+  EXPECT_FALSE(result.ok());
+}
+
+/// Sanitizer target: queries race against live writes. Results are not
+/// asserted (live scans are intentionally not point-in-time); the invariant
+/// under test is the absence of data races.
+TEST_F(ParallelQueryTest, ConcurrentWritesAndParallelQueries) {
+  std::atomic<bool> stop{false};
+  std::thread writer([this, &stop] {
+    std::mt19937_64 rng(7);
+    int64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      Object o;
+      o.Set("v", Value(static_cast<int64_t>(rng() % 1000)));
+      o.Set("g", Value(i % 8));
+      o.Set("zone", Value("zone-" + std::to_string(i % 5)));
+      store_.Put(Value(i % kKeys), std::move(o));
+      ++i;
+    }
+  });
+  QueryOptions options;
+  options.isolation = state::IsolationLevel::kReadCommittedNoFailures;
+  options.parallelism = 8;
+  for (int iter = 0; iter < 25; ++iter) {
+    auto result = service_.Execute(
+        "SELECT g, COUNT(*) AS n, SUM(v) AS s FROM metrics "
+        "WHERE v >= 0 GROUP BY g",
+        options);
+    ASSERT_TRUE(result.ok()) << result.status();
+  }
+  stop.store(true);
+  writer.join();
+}
+
+}  // namespace
+}  // namespace sq::query
