@@ -114,7 +114,8 @@ int main() {
 
   auto live_now = query.Execute(
       "SELECT key, purchases FROM customerprofile WHERE key=5",
-      {.isolation = sq::state::IsolationLevel::kReadUncommitted});
+      {.isolation = sq::state::IsolationLevel::kReadUncommitted,
+       .snapshot_id = std::nullopt});
   if (live_now.ok()) {
     std::printf("\nlive view of customer 5 right now:\n%s",
                 live_now->ToString().c_str());

@@ -32,7 +32,7 @@ int64_t Histogram::BucketLowerBound(int index) {
 void Histogram::Record(int64_t value) {
   if (value < 0) value = 0;
   const int index = BucketIndex(value);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (static_cast<size_t>(index) >= buckets_.size()) {
     buckets_.resize(index + 1, 0);
   }
@@ -54,7 +54,7 @@ void Histogram::Merge(const Histogram& other) {
   int64_t other_max;
   double other_sum;
   {
-    std::lock_guard<std::mutex> lock(other.mu_);
+    MutexLock lock(&other.mu_);
     other_buckets = other.buckets_;
     other_count = other.count_;
     other_min = other.min_;
@@ -62,7 +62,7 @@ void Histogram::Merge(const Histogram& other) {
     other_sum = other.sum_;
   }
   if (other_count == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (other_buckets.size() > buckets_.size()) {
     buckets_.resize(other_buckets.size(), 0);
   }
@@ -81,7 +81,7 @@ void Histogram::Merge(const Histogram& other) {
 }
 
 void Histogram::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;
   min_ = max_ = 0;
@@ -89,27 +89,26 @@ void Histogram::Reset() {
 }
 
 int64_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return count_;
 }
 
 int64_t Histogram::min() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return min_;
 }
 
 int64_t Histogram::max() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return max_;
 }
 
 double Histogram::Mean() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
-int64_t Histogram::ValueAtPercentile(double p) const {
-  std::lock_guard<std::mutex> lock(mu_);
+int64_t Histogram::ValueAtPercentileLocked(double p) const {
   if (count_ == 0) return 0;
   if (p <= 0.0) return min_;
   if (p >= 100.0) return max_;
@@ -128,17 +127,27 @@ int64_t Histogram::ValueAtPercentile(double p) const {
   return max_;
 }
 
+int64_t Histogram::ValueAtPercentile(double p) const {
+  MutexLock lock(&mu_);
+  return ValueAtPercentileLocked(p);
+}
+
 Histogram::Summary Histogram::Summarize() const {
+  // One critical section for all fields. Taking the lock once per field
+  // (the previous implementation) produced torn summaries under concurrent
+  // Record calls: p99 computed over more samples than `count`, or even
+  // percentiles above `max`.
+  MutexLock lock(&mu_);
   Summary s;
-  s.count = count();
-  s.p0 = ValueAtPercentile(0);
-  s.p50 = ValueAtPercentile(50);
-  s.p90 = ValueAtPercentile(90);
-  s.p99 = ValueAtPercentile(99);
-  s.p999 = ValueAtPercentile(99.9);
-  s.p9999 = ValueAtPercentile(99.99);
-  s.max = max();
-  s.mean = Mean();
+  s.count = count_;
+  s.p0 = ValueAtPercentileLocked(0);
+  s.p50 = ValueAtPercentileLocked(50);
+  s.p90 = ValueAtPercentileLocked(90);
+  s.p99 = ValueAtPercentileLocked(99);
+  s.p999 = ValueAtPercentileLocked(99.9);
+  s.p9999 = ValueAtPercentileLocked(99.99);
+  s.max = max_;
+  s.mean = count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
   return s;
 }
 

@@ -2,9 +2,11 @@
 #define SQUERY_COMMON_HISTOGRAM_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace sq {
 
@@ -55,6 +57,10 @@ class Histogram {
     int64_t max = 0;
     double mean = 0.0;
   };
+
+  /// Computes all summary fields under one critical section, so the result
+  /// is internally consistent (p50 <= p99 <= max, count matches) even while
+  /// other threads Record concurrently.
   Summary Summarize() const;
 
   /// Renders a summary line with values scaled by `scale` (e.g. 1e6 to print
@@ -65,12 +71,14 @@ class Histogram {
   static int BucketIndex(int64_t value);
   static int64_t BucketLowerBound(int index);
 
-  mutable std::mutex mu_;
-  std::vector<int64_t> buckets_;
-  int64_t count_ = 0;
-  int64_t min_ = 0;
-  int64_t max_ = 0;
-  double sum_ = 0.0;
+  int64_t ValueAtPercentileLocked(double p) const SQ_REQUIRES(mu_);
+
+  mutable Mutex mu_{lockrank::kHistogram, "histogram"};
+  std::vector<int64_t> buckets_ SQ_GUARDED_BY(mu_);
+  int64_t count_ SQ_GUARDED_BY(mu_) = 0;
+  int64_t min_ SQ_GUARDED_BY(mu_) = 0;
+  int64_t max_ SQ_GUARDED_BY(mu_) = 0;
+  double sum_ SQ_GUARDED_BY(mu_) = 0.0;
 };
 
 }  // namespace sq

@@ -4,7 +4,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace sq {
 
@@ -12,8 +13,10 @@ namespace {
 
 std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
 
-std::mutex& EmitMutex() {
-  static std::mutex* mu = new std::mutex();
+// Near-leaf rank: any subsystem may log while holding its own locks, so the
+// emit mutex must rank above all of them.
+Mutex& EmitMutex() {
+  static Mutex* mu = new Mutex(lockrank::kLogging, "logging.emit");
   return *mu;
 }
 
@@ -53,7 +56,7 @@ LogMessage::~LogMessage() {
   const int64_t ms =
       std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
   {
-    std::lock_guard<std::mutex> lock(EmitMutex());
+    MutexLock lock(&EmitMutex());
     std::fprintf(stderr, "[%lld.%03lld %s %s:%d] %s\n",
                  static_cast<long long>(ms / 1000),
                  static_cast<long long>(ms % 1000), LevelName(level_),

@@ -17,21 +17,21 @@ const char* MetricKindToString(MetricSample::Kind kind) {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
@@ -39,7 +39,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
 
 std::vector<MetricSample> MetricsRegistry::Collect() const {
   std::vector<MetricSample> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   out.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, counter] : counters_) {
     MetricSample s;

@@ -5,11 +5,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace sq {
 
@@ -79,10 +80,11 @@ class MetricsRegistry {
   static MetricsRegistry* Default();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_{lockrank::kMetricsRegistry, "metrics.registry"};
+  std::map<std::string, std::unique_ptr<Counter>> counters_ SQ_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ SQ_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      SQ_GUARDED_BY(mu_);
 };
 
 }  // namespace sq

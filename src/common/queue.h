@@ -1,94 +1,103 @@
 #ifndef SQUERY_COMMON_QUEUE_H_
 #define SQUERY_COMMON_QUEUE_H_
 
-#include <condition_variable>
+#include <chrono>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace sq {
 
 /// Bounded blocking MPMC queue. Used for the dataflow channels and for the
 /// query-service request paths. Closing the queue wakes all blocked callers:
 /// pushes after close fail, pops drain remaining items then return nullopt.
+///
+/// Wait predicates are spelled as explicit loops (not lambda predicates)
+/// because Clang's thread-safety analysis cannot see guarded state through a
+/// lambda body.
 template <typename T>
 class BlockingQueue {
  public:
-  explicit BlockingQueue(size_t capacity) : capacity_(capacity) {}
+  explicit BlockingQueue(size_t capacity, int rank = lockrank::kQueue)
+      : capacity_(capacity), mu_(rank, "queue") {}
 
   BlockingQueue(const BlockingQueue&) = delete;
   BlockingQueue& operator=(const BlockingQueue&) = delete;
 
   /// Blocks until there is room. Returns false if the queue was closed.
   bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
+    MutexLock lock(&mu_);
+    while (!closed_ && items_.size() >= capacity_) not_full_.Wait(mu_);
     if (closed_) return false;
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Non-blocking push. Returns false when full or closed.
   bool TryPush(T item) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (closed_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Blocks until an item is available. Returns nullopt once the queue is
   /// closed and drained.
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    MutexLock lock(&mu_);
+    while (!closed_ && items_.empty()) not_empty_.Wait(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   /// Non-blocking pop.
   std::optional<T> TryPop() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   /// Blocks for at most `timeout_ms`; nullopt on timeout or closed+drained.
   std::optional<T> PopWithTimeout(int64_t timeout_ms) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                        [this] { return closed_ || !items_.empty(); });
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    MutexLock lock(&mu_);
+    while (!closed_ && items_.empty()) {
+      if (not_empty_.WaitUntil(mu_, deadline)) break;
+    }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   void Close() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     closed_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return closed_;
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return items_.size();
   }
 
@@ -96,11 +105,11 @@ class BlockingQueue {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ SQ_GUARDED_BY(mu_);
+  bool closed_ SQ_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace sq

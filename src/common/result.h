@@ -12,8 +12,10 @@ namespace sq {
 /// Either a value of type `T` or an error `Status`, in the style of
 /// `arrow::Result`. An OK-status Result without a value is invalid and
 /// asserted against in debug builds.
+/// Marked [[nodiscard]] class-wide (see Status): dropping a Result silently
+/// drops the error path too.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (the common success path).
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}

@@ -31,7 +31,12 @@ const char* StatusCodeToString(StatusCode code);
 /// `Result<T>`); exceptions are not used anywhere in this codebase.
 ///
 /// The OK status carries no allocation; error statuses own their message.
-class Status {
+///
+/// Marked [[nodiscard]] class-wide: every function returning a Status by
+/// value must have its result consumed (checked, propagated, or explicitly
+/// `(void)`-discarded with a reason). The build enforces this with
+/// `-Werror=unused-result`.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -29,8 +29,8 @@ void ThreadPool::Drive(const std::shared_ptr<Batch>& batch) {
     (*batch->fn)(i);
     if (batch->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         batch->count) {
-      std::lock_guard<std::mutex> lock(batch->mu);
-      batch->cv.notify_all();
+      MutexLock lock(&batch->mu);
+      batch->cv.NotifyAll();
     }
   }
 }
@@ -57,10 +57,10 @@ void ThreadPool::ParallelFor(int32_t count, int32_t max_workers,
     if (!queue_.TryPush(batch)) break;  // queue full: caller still drives
   }
   Drive(batch);
-  std::unique_lock<std::mutex> lock(batch->mu);
-  batch->cv.wait(lock, [&batch] {
-    return batch->done.load(std::memory_order_acquire) == batch->count;
-  });
+  MutexLock lock(&batch->mu);
+  while (batch->done.load(std::memory_order_acquire) != batch->count) {
+    batch->cv.Wait(batch->mu);
+  }
 }
 
 }  // namespace sq

@@ -2,13 +2,13 @@
 #define SQUERY_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/queue.h"
 
 namespace sq {
@@ -47,8 +47,10 @@ class ThreadPool {
     std::atomic<int32_t> done{0};
     int32_t count = 0;
     const std::function<void(int32_t)>* fn = nullptr;
-    std::mutex mu;
-    std::condition_variable cv;
+    // Guards nothing directly (progress lives in the atomics); pairs with cv
+    // for the completion handoff in ParallelFor.
+    Mutex mu{lockrank::kThreadPoolBatch, "pool.batch"};
+    CondVar cv;
   };
 
   /// Claims indices from `batch` until none remain.

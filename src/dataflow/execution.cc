@@ -151,7 +151,9 @@ Result<std::unique_ptr<Job>> Job::Create(const JobGraph& graph,
 
 Job::~Job() {
   if (started_.load()) {
-    Stop();
+    // Destructors cannot propagate errors; Stop() failures here would also
+    // mean the job was already torn down.
+    (void)Stop();
   }
 }
 
@@ -184,8 +186,8 @@ Status Job::Stop() {
   coordinator_stop_.store(true);
   abort_.store(true);
   {
-    std::lock_guard<std::mutex> lock(ckpt_mu_);
-    ckpt_cv_.notify_all();
+    MutexLock lock(&ckpt_mu_);
+    ckpt_cv_.NotifyAll();
   }
   for (auto& q : queues_) q->Close();
   if (coordinator_thread_.joinable()) coordinator_thread_.join();
@@ -423,7 +425,7 @@ std::vector<OperatorStats> Job::CollectOperatorStats() const {
   out.reserve(workers_.size());
   // ckpt_mu_ also guards the queue array against the swap in
   // InjectFailureAndRecover, so introspection may run during recovery.
-  std::lock_guard<std::mutex> lock(ckpt_mu_);
+  MutexLock lock(&ckpt_mu_);
   for (const auto& w : workers_) {
     OperatorStats s;
     s.vertex = w->vertex_name;
@@ -443,21 +445,21 @@ std::vector<OperatorStats> Job::CollectOperatorStats() const {
 }
 
 std::vector<CheckpointRow> Job::RecentCheckpoints() const {
-  std::lock_guard<std::mutex> lock(ckpt_mu_);
+  MutexLock lock(&ckpt_mu_);
   return {checkpoint_history_.begin(), checkpoint_history_.end()};
 }
 
 void Job::AckPrepared(int32_t worker_id, int64_t checkpoint_id) {
-  std::lock_guard<std::mutex> lock(ckpt_mu_);
+  MutexLock lock(&ckpt_mu_);
   if (checkpoint_id != pending_checkpoint_) return;  // aborted or stale
   prepared_workers_.insert(worker_id);
-  ckpt_cv_.notify_all();
+  ckpt_cv_.NotifyAll();
 }
 
 void Job::NotifyWorkerFinished(int32_t worker_id) {
   workers_[worker_id]->finished.store(true);
-  std::lock_guard<std::mutex> lock(ckpt_mu_);
-  ckpt_cv_.notify_all();
+  MutexLock lock(&ckpt_mu_);
+  ckpt_cv_.NotifyAll();
 }
 
 bool Job::AllPreparedLocked() const {
@@ -473,7 +475,7 @@ Result<int64_t> Job::TriggerCheckpoint() {
   if (!started_.load() || abort_.load()) {
     return Status::FailedPrecondition("job is not running");
   }
-  std::unique_lock<std::mutex> lock(ckpt_mu_);
+  MutexLock lock(&ckpt_mu_);
   if (pending_checkpoint_ != 0) {
     return Status::FailedPrecondition("a checkpoint is already in flight");
   }
@@ -500,9 +502,13 @@ Result<int64_t> Job::TriggerCheckpoint() {
       w->requested_checkpoint.store(id, std::memory_order_release);
     }
   }
-  const bool prepared = ckpt_cv_.wait_for(
-      lock, std::chrono::milliseconds(config_.checkpoint_timeout_ms),
-      [this] { return abort_.load() || AllPreparedLocked(); });
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(config_.checkpoint_timeout_ms);
+  while (!abort_.load() && !AllPreparedLocked()) {
+    if (ckpt_cv_.WaitUntil(ckpt_mu_, deadline)) break;
+  }
+  const bool prepared = abort_.load() || AllPreparedLocked();
   if (!prepared || abort_.load()) {
     pending_checkpoint_ = 0;
     stats_.aborted.fetch_add(1);
@@ -513,7 +519,7 @@ Result<int64_t> Job::TriggerCheckpoint() {
         .phase1_nanos = clock_->NowNanos() - t0,
         .phase2_nanos = 0,
         .started_unix_micros = started_micros});
-    lock.unlock();
+    lock.Unlock();
     if (config_.listener != nullptr) {
       config_.listener->OnCheckpointAborted(id);
     }
@@ -544,7 +550,7 @@ Result<int64_t> Job::TriggerCheckpoint() {
                                           .started_unix_micros =
                                               started_micros});
   pending_checkpoint_ = 0;
-  ckpt_cv_.notify_all();
+  ckpt_cv_.NotifyAll();
   return id;
 }
 
@@ -576,15 +582,15 @@ Status Job::InjectFailureAndRecover() {
   // uncommitted state progress.
   abort_.store(true);
   {
-    std::lock_guard<std::mutex> lock(ckpt_mu_);
-    ckpt_cv_.notify_all();
+    MutexLock lock(&ckpt_mu_);
+    ckpt_cv_.NotifyAll();
   }
   for (auto& q : queues_) q->Close();
   JoinAllWorkers();
 
   const int64_t committed = latest_committed_.load();
   {
-    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    MutexLock lock(&ckpt_mu_);
     // Discard snapshots of checkpoints that never committed.
     for (int64_t id = committed + 1; id <= next_checkpoint_id_; ++id) {
       if (config_.listener != nullptr) {
@@ -621,7 +627,7 @@ Status Job::InjectFailureAndRecover() {
     w->op = factories_[w->vertex](w->instance);
   }
   {
-    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    MutexLock lock(&ckpt_mu_);
     for (size_t i = 0; i < queues_.size(); ++i) {
       queues_[i] =
           std::make_unique<BlockingQueue<Record>>(config_.channel_capacity);

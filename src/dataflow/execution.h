@@ -2,11 +2,9 @@
 #define SQUERY_DATAFLOW_EXECUTION_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
@@ -14,9 +12,11 @@
 
 #include "common/clock.h"
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "common/queue.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "dataflow/checkpoint.h"
 #include "dataflow/job_graph.h"
 #include "dataflow/operator.h"
@@ -170,7 +170,6 @@ class Job {
 
   Job(const JobGraph& graph, JobConfig config);
 
-  Status StartLocked();
   void RunWorker(Worker* w);
   void RunSource(Worker* w, ContextImpl* ctx);
   void RunConsumer(Worker* w, ContextImpl* ctx);
@@ -179,8 +178,8 @@ class Job {
   void BroadcastControl(Worker* w, const Record& record);
   void AckPrepared(int32_t worker_id, int64_t checkpoint_id);
   void NotifyWorkerFinished(int32_t worker_id);
-  void AppendCheckpointRowLocked(CheckpointRow row);
-  bool AllPreparedLocked() const;
+  void AppendCheckpointRowLocked(CheckpointRow row) SQ_REQUIRES(ckpt_mu_);
+  bool AllPreparedLocked() const SQ_REQUIRES(ckpt_mu_);
   void JoinAllWorkers();
   void RunCoordinator();
 
@@ -190,7 +189,12 @@ class Job {
   Clock* clock_ = nullptr;
 
   std::vector<std::unique_ptr<Worker>> workers_;
-  std::vector<std::unique_ptr<BlockingQueue<Record>>> queues_;  // by worker id
+  // By worker id. Deliberately NOT SQ_GUARDED_BY(ckpt_mu_): worker threads
+  // read the array lock-free on the emit hot path. That is safe because the
+  // only mutation (the swap in InjectFailureAndRecover) happens after every
+  // worker joined; ckpt_mu_ is additionally held there only so concurrent
+  // introspection (CollectOperatorStats) never observes the swap mid-way.
+  std::vector<std::unique_ptr<BlockingQueue<Record>>> queues_;
   std::vector<OperatorFactory> factories_;  // by vertex index
 
   std::atomic<bool> started_{false};
@@ -199,13 +203,15 @@ class Job {
 
   // Checkpoint coordination (also guards checkpoint_history_ and the queue
   // array swap during recovery, so const introspection methods lock it too).
-  mutable std::mutex ckpt_mu_;
-  std::condition_variable ckpt_cv_;
-  int64_t next_checkpoint_id_ = 0;
-  int64_t pending_checkpoint_ = 0;  // 0 = none in flight
-  std::unordered_set<int32_t> prepared_workers_;
+  // Outermost rank: TriggerCheckpoint holds it across the whole 2PC,
+  // including listener callbacks into storage and the snapshot registry.
+  mutable Mutex ckpt_mu_{lockrank::kJobCheckpoint, "job.checkpoint"};
+  CondVar ckpt_cv_;
+  int64_t next_checkpoint_id_ SQ_GUARDED_BY(ckpt_mu_) = 0;
+  int64_t pending_checkpoint_ SQ_GUARDED_BY(ckpt_mu_) = 0;  // 0 = none
+  std::unordered_set<int32_t> prepared_workers_ SQ_GUARDED_BY(ckpt_mu_);
   CheckpointStats stats_;
-  std::deque<CheckpointRow> checkpoint_history_;  // under ckpt_mu_
+  std::deque<CheckpointRow> checkpoint_history_ SQ_GUARDED_BY(ckpt_mu_);
 
   // Cached metric handles (null when config_.metrics is null).
   Counter* m_records_in_ = nullptr;

@@ -110,7 +110,7 @@ Status LatencySink::ProcessRecord(const Record& record,
 Status CollectingSink::ProcessRecord(const Record& record,
                                      OperatorContext* ctx) {
   (void)ctx;
-  std::lock_guard<std::mutex> lock(collector_->mu);
+  MutexLock lock(&collector_->mu);
   collector_->records.push_back(record);
   return Status::OK();
 }

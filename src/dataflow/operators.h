@@ -3,11 +3,12 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "dataflow/operator.h"
 
 namespace sq::dataflow {
@@ -89,15 +90,17 @@ class LatencySink : public Operator {
 class CollectingSink : public Operator {
  public:
   struct Collector {
-    std::mutex mu;
-    std::vector<Record> records;
+    // Leaf rank: sink instances append under it and nothing else is
+    // acquired while it is held.
+    mutable Mutex mu{lockrank::kLeaf, "dataflow.collector"};
+    std::vector<Record> records SQ_GUARDED_BY(mu);
 
-    size_t Size() {
-      std::lock_guard<std::mutex> lock(mu);
+    size_t Size() const {
+      MutexLock lock(&mu);
       return records.size();
     }
-    std::vector<Record> Snapshot() {
-      std::lock_guard<std::mutex> lock(mu);
+    std::vector<Record> Snapshot() const {
+      MutexLock lock(&mu);
       return records;
     }
   };

@@ -15,44 +15,48 @@ Grid::Grid(GridConfig config)
 }
 
 LiveMap* Grid::GetOrCreateLiveMap(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = live_maps_.find(name);
-  if (it == live_maps_.end()) {
-    it = live_maps_
-             .emplace(name, std::make_unique<LiveMap>(name, &partitioner_,
-                                                      config_.backup_count))
-             .first;
+  {
+    ReaderMutexLock lock(&mu_);
+    auto it = live_maps_.find(name);
+    if (it != live_maps_.end()) return it->second.get();
   }
-  return it->second.get();
+  WriterMutexLock lock(&mu_);
+  auto& slot = live_maps_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<LiveMap>(name, &partitioner_, config_.backup_count);
+  }
+  return slot.get();
 }
 
 LiveMap* Grid::GetLiveMap(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   auto it = live_maps_.find(name);
   return it == live_maps_.end() ? nullptr : it->second.get();
 }
 
 SnapshotTable* Grid::GetOrCreateSnapshotTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = snapshot_tables_.find(name);
-  if (it == snapshot_tables_.end()) {
-    it = snapshot_tables_
-             .emplace(name,
-                      std::make_unique<SnapshotTable>(name, &partitioner_,
-                                                      config_.backup_count))
-             .first;
+  {
+    ReaderMutexLock lock(&mu_);
+    auto it = snapshot_tables_.find(name);
+    if (it != snapshot_tables_.end()) return it->second.get();
   }
-  return it->second.get();
+  WriterMutexLock lock(&mu_);
+  auto& slot = snapshot_tables_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<SnapshotTable>(name, &partitioner_,
+                                           config_.backup_count);
+  }
+  return slot.get();
 }
 
 SnapshotTable* Grid::GetSnapshotTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   auto it = snapshot_tables_.find(name);
   return it == snapshot_tables_.end() ? nullptr : it->second.get();
 }
 
 std::vector<std::string> Grid::LiveMapNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(live_maps_.size());
   for (const auto& [name, map] : live_maps_) names.push_back(name);
@@ -60,7 +64,7 @@ std::vector<std::string> Grid::LiveMapNames() const {
 }
 
 std::vector<std::string> Grid::SnapshotTableNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(snapshot_tables_.size());
   for (const auto& [name, table] : snapshot_tables_) names.push_back(name);
@@ -68,7 +72,7 @@ std::vector<std::string> Grid::SnapshotTableNames() const {
 }
 
 int32_t Grid::PrimaryNodeOf(int32_t partition) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   for (int32_t i = 0; i < config_.node_count; ++i) {
     const int32_t node = (PreferredNodeOf(partition) + i) % config_.node_count;
     if (node_alive_[node]) return node;
@@ -77,7 +81,7 @@ int32_t Grid::PrimaryNodeOf(int32_t partition) const {
 }
 
 int32_t Grid::BackupNodeOf(int32_t partition, int32_t replica) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   int32_t seen = -1;  // replica rank; rank 0 = primary
   for (int32_t i = 0; i < config_.node_count; ++i) {
     const int32_t node = (PreferredNodeOf(partition) + i) % config_.node_count;
@@ -89,28 +93,30 @@ int32_t Grid::BackupNodeOf(int32_t partition, int32_t replica) const {
 }
 
 bool Grid::IsNodeAlive(int32_t node) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return node >= 0 && node < config_.node_count && node_alive_[node];
 }
 
-int32_t Grid::AliveNodeCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+int32_t Grid::AliveNodeCountLocked() const {
   int32_t alive = 0;
   for (bool a : node_alive_) alive += a ? 1 : 0;
   return alive;
 }
 
+int32_t Grid::AliveNodeCount() const {
+  ReaderMutexLock lock(&mu_);
+  return AliveNodeCountLocked();
+}
+
 Status Grid::KillNode(int32_t node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   if (node < 0 || node >= config_.node_count) {
     return Status::InvalidArgument("no such node");
   }
   if (!node_alive_[node]) {
     return Status::FailedPrecondition("node already dead");
   }
-  int32_t alive = 0;
-  for (bool a : node_alive_) alive += a ? 1 : 0;
-  if (alive == 1) {
+  if (AliveNodeCountLocked() == 1) {
     return Status::FailedPrecondition("cannot kill the last alive node");
   }
   node_alive_[node] = false;
@@ -139,7 +145,7 @@ Status Grid::KillNode(int32_t node) {
 }
 
 Status Grid::ReviveNode(int32_t node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   if (node < 0 || node >= config_.node_count) {
     return Status::InvalidArgument("no such node");
   }
@@ -151,14 +157,14 @@ Status Grid::ReviveNode(int32_t node) {
 }
 
 size_t Grid::TotalLiveEntries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   size_t total = 0;
   for (const auto& [name, map] : live_maps_) total += map->Size();
   return total;
 }
 
 size_t Grid::TotalSnapshotEntries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   size_t total = 0;
   for (const auto& [name, table] : snapshot_tables_) {
     total += table->EntryCount();

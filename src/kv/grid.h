@@ -3,13 +3,14 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "kv/map_store.h"
 #include "kv/partitioner.h"
 #include "kv/snapshot_table.h"
@@ -86,11 +87,16 @@ class Grid {
   GridConfig config_;
   Partitioner partitioner_;
 
-  mutable std::mutex mu_;
-  std::vector<bool> node_alive_;
-  std::unordered_map<std::string, std::unique_ptr<LiveMap>> live_maps_;
+  int32_t AliveNodeCountLocked() const SQ_REQUIRES_SHARED(mu_);
+
+  // Read-mostly: lookups and membership reads take the shared side; only
+  // map/table creation and membership changes take the exclusive side.
+  mutable SharedMutex mu_{lockrank::kKvGrid, "kv.grid"};
+  std::vector<bool> node_alive_ SQ_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::unique_ptr<LiveMap>> live_maps_
+      SQ_GUARDED_BY(mu_);
   std::unordered_map<std::string, std::unique_ptr<SnapshotTable>>
-      snapshot_tables_;
+      snapshot_tables_ SQ_GUARDED_BY(mu_);
 };
 
 }  // namespace sq::kv

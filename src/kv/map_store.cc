@@ -4,13 +4,13 @@ namespace sq::kv {
 
 void MapPartition::Put(const Value& key, Object value) {
   Stripe& stripe = StripeFor(key);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexLock lock(&stripe.mu);
   stripe.entries[key] = std::move(value);
 }
 
 std::optional<Object> MapPartition::Get(const Value& key) const {
   const Stripe& stripe = StripeFor(key);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexLock lock(&stripe.mu);
   auto it = stripe.entries.find(key);
   if (it == stripe.entries.end()) return std::nullopt;
   return it->second;
@@ -18,14 +18,14 @@ std::optional<Object> MapPartition::Get(const Value& key) const {
 
 bool MapPartition::Remove(const Value& key) {
   Stripe& stripe = StripeFor(key);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexLock lock(&stripe.mu);
   return stripe.entries.erase(key) > 0;
 }
 
 void MapPartition::ForEach(
     const std::function<void(const Value&, const Object&)>& fn) const {
   for (const Stripe& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(&stripe.mu);
     for (const auto& [key, value] : stripe.entries) {
       fn(key, value);
     }
@@ -35,7 +35,7 @@ void MapPartition::ForEach(
 size_t MapPartition::Size() const {
   size_t total = 0;
   for (const Stripe& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(&stripe.mu);
     total += stripe.entries.size();
   }
   return total;
@@ -43,7 +43,7 @@ size_t MapPartition::Size() const {
 
 void MapPartition::Clear() {
   for (Stripe& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(&stripe.mu);
     stripe.entries.clear();
   }
 }
@@ -51,7 +51,7 @@ void MapPartition::Clear() {
 size_t MapPartition::ByteSize() const {
   size_t total = 0;
   for (const Stripe& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(&stripe.mu);
     for (const auto& [key, value] : stripe.entries) {
       total += key.ByteSize() + value.ByteSize();
     }

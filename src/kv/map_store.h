@@ -5,12 +5,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "kv/object.h"
 #include "kv/partitioner.h"
 #include "kv/value.h"
@@ -55,8 +56,8 @@ class MapPartition {
   static constexpr int kStripes = 16;
 
   struct Stripe {
-    mutable std::mutex mu;
-    std::unordered_map<Value, Object, ValueHash> entries;
+    mutable Mutex mu{lockrank::kKvPartition, "kv.map.stripe"};
+    std::unordered_map<Value, Object, ValueHash> entries SQ_GUARDED_BY(mu);
   };
 
   Stripe& StripeFor(const Value& key) const {

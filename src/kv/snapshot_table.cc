@@ -38,7 +38,7 @@ SnapshotTable::SnapshotTable(std::string name, const Partitioner* partitioner,
 void SnapshotTable::WriteInto(PartitionData* part, int64_t ssid,
                               const Value& key, Object value,
                               bool tombstone) {
-  std::lock_guard<std::mutex> lock(part->mu);
+  MutexLock lock(&part->mu);
   auto& entries = part->keys[key];
   // Checkpoints are produced in increasing ssid order, so the append fast
   // path almost always applies; a rewrite of the same ssid replaces it.
@@ -81,7 +81,7 @@ void SnapshotTable::WriteTombstone(int64_t ssid, const Value& key) {
 
 void SnapshotTable::DropSnapshotInPartition(PartitionData* part,
                                             int64_t ssid) {
-  std::lock_guard<std::mutex> lock(part->mu);
+  MutexLock lock(&part->mu);
   for (auto it = part->keys.begin(); it != part->keys.end();) {
     auto& entries = it->second;
     entries.erase(
@@ -110,7 +110,7 @@ void SnapshotTable::DropSnapshot(int64_t ssid) {
 std::optional<Object> SnapshotTable::GetAt(const Value& key,
                                            int64_t ssid) const {
   const PartitionData& part = PartitionFor(key);
-  std::lock_guard<std::mutex> lock(part.mu);
+  MutexLock lock(&part.mu);
   auto it = part.keys.find(key);
   if (it == part.keys.end()) return std::nullopt;
   auto entry = FindAt(it->second, ssid);
@@ -121,7 +121,7 @@ std::optional<Object> SnapshotTable::GetAt(const Value& key,
 std::optional<Object> SnapshotTable::GetExact(const Value& key,
                                               int64_t ssid) const {
   const PartitionData& part = PartitionFor(key);
-  std::lock_guard<std::mutex> lock(part.mu);
+  MutexLock lock(&part.mu);
   auto it = part.keys.find(key);
   if (it == part.keys.end()) return std::nullopt;
   auto entry = FindAt(it->second, ssid);
@@ -145,7 +145,7 @@ void SnapshotTable::ScanPartitionAt(
     const std::function<void(const Value&, int64_t, const Object&)>& fn)
     const {
   const PartitionData& part = *partitions_[partition];
-  std::lock_guard<std::mutex> lock(part.mu);
+  MutexLock lock(&part.mu);
   for (const auto& [key, entries] : part.keys) {
     auto entry = FindAt(entries, ssid);
     if (entry == entries.end() || entry->tombstone) continue;
@@ -166,7 +166,7 @@ void SnapshotTable::ScanAllVersionsInPartition(
     const std::function<void(const Value&, int64_t, const Object&)>& fn)
     const {
   const PartitionData& part = *partitions_[partition];
-  std::lock_guard<std::mutex> lock(part.mu);
+  MutexLock lock(&part.mu);
   for (const auto& [key, entries] : part.keys) {
     for (const auto& entry : entries) {
       if (entry.tombstone) continue;
@@ -179,7 +179,7 @@ void SnapshotTable::ForEachVersionOfKey(
     const Value& key,
     const std::function<void(int64_t, const Object&)>& fn) const {
   const PartitionData& part = PartitionFor(key);
-  std::lock_guard<std::mutex> lock(part.mu);
+  MutexLock lock(&part.mu);
   auto it = part.keys.find(key);
   if (it == part.keys.end()) return;
   for (const auto& entry : it->second) {
@@ -194,7 +194,7 @@ void SnapshotTable::ForEachEntryAt(
     const {
   for (int32_t p = 0; p < partitioner_->partition_count(); ++p) {
     const PartitionData& part = *partitions_[p];
-    std::lock_guard<std::mutex> lock(part.mu);
+    MutexLock lock(&part.mu);
     for (const auto& [key, entries] : part.keys) {
       auto entry = FindAt(entries, ssid);
       if (entry == entries.end() || entry->ssid != ssid) continue;
@@ -206,7 +206,7 @@ void SnapshotTable::ForEachEntryAt(
 size_t SnapshotTable::CompactPartition(PartitionData* part,
                                        int64_t floor_ssid) {
   size_t removed = 0;
-  std::lock_guard<std::mutex> lock(part->mu);
+  MutexLock lock(&part->mu);
   for (auto it = part->keys.begin(); it != part->keys.end();) {
     auto& entries = it->second;
     auto base = FindAt(entries, floor_ssid);
@@ -245,7 +245,7 @@ size_t SnapshotTable::Compact(int64_t floor_ssid) {
 size_t SnapshotTable::EntryCount() const {
   size_t total = 0;
   for (const auto& part : partitions_) {
-    std::lock_guard<std::mutex> lock(part->mu);
+    MutexLock lock(&part->mu);
     for (const auto& [key, entries] : part->keys) {
       total += entries.size();
     }
@@ -256,7 +256,7 @@ size_t SnapshotTable::EntryCount() const {
 size_t SnapshotTable::KeyCount() const {
   size_t total = 0;
   for (const auto& part : partitions_) {
-    std::lock_guard<std::mutex> lock(part->mu);
+    MutexLock lock(&part->mu);
     total += part->keys.size();
   }
   return total;
@@ -265,7 +265,7 @@ size_t SnapshotTable::KeyCount() const {
 size_t SnapshotTable::ByteSize() const {
   size_t total = 0;
   for (const auto& part : partitions_) {
-    std::lock_guard<std::mutex> lock(part->mu);
+    MutexLock lock(&part->mu);
     for (const auto& [key, entries] : part->keys) {
       total += key.ByteSize();
       for (const auto& entry : entries) {
@@ -278,12 +278,12 @@ size_t SnapshotTable::ByteSize() const {
 
 void SnapshotTable::Clear() {
   for (auto& part : partitions_) {
-    std::lock_guard<std::mutex> lock(part->mu);
+    MutexLock lock(&part->mu);
     part->keys.clear();
   }
   for (auto& replica : backups_) {
     for (auto& part : replica) {
-      std::lock_guard<std::mutex> lock(part->mu);
+      MutexLock lock(&part->mu);
       part->keys.clear();
     }
   }
@@ -293,7 +293,7 @@ void SnapshotTable::FailPartitionPrimary(int32_t partition) {
   PartitionData& primary = *partitions_[partition];
   if (backups_.empty()) {
     // No replica to promote: the partition's data is simply lost.
-    std::lock_guard<std::mutex> lock(primary.mu);
+    MutexLock lock(&primary.mu);
     primary.keys.clear();
     return;
   }
@@ -301,8 +301,12 @@ void SnapshotTable::FailPartitionPrimary(int32_t partition) {
   // under a separate lock would expose an empty partition to concurrent
   // readers — a snapshot-isolation violation (keys transiently missing from
   // a committed snapshot).
+  // Fixed backup-then-primary order (all promoters agree on it, so the
+  // deadlock avoidance std::scoped_lock used to provide is preserved; the
+  // lock-rank validator permits the equal-rank nesting).
   PartitionData& backup = *backups_[0][partition];
-  std::scoped_lock lock(backup.mu, primary.mu);
+  MutexLock backup_lock(&backup.mu);
+  MutexLock primary_lock(&primary.mu);
   primary.keys = backup.keys;
 }
 

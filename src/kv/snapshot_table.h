@@ -4,12 +4,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "kv/object.h"
 #include "kv/partitioner.h"
 #include "kv/value.h"
@@ -131,9 +132,10 @@ class SnapshotTable {
 
  private:
   struct PartitionData {
-    mutable std::mutex mu;
+    mutable Mutex mu{lockrank::kKvPartition, "kv.snapshot.partition"};
     // Versions per key, sorted by ascending ssid.
-    std::unordered_map<Value, std::vector<Entry>, ValueHash> keys;
+    std::unordered_map<Value, std::vector<Entry>, ValueHash> keys
+        SQ_GUARDED_BY(mu);
   };
 
   static void WriteInto(PartitionData* part, int64_t ssid, const Value& key,

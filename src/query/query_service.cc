@@ -258,7 +258,7 @@ Result<sql::ResultSet> QueryService::Execute(const std::string& sql,
         ->Record(stats.parallelism);
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     last_stats_ = stats;
   }
   return result;
@@ -323,8 +323,10 @@ void QueryService::RegisterEngineIntrospection(dataflow::Job* job,
     catalog_.RegisterVirtualTable(
         "__checkpoints", [this, job]() -> Result<std::vector<kv::Object>> {
           std::vector<kv::Object> rows;
+          storage::SnapshotLog* log =
+              durable_log_.load(std::memory_order_acquire);
           storage::LogStats log_stats;
-          if (durable_log_ != nullptr) log_stats = durable_log_->Stats();
+          if (log != nullptr) log_stats = log->Stats();
           for (const dataflow::CheckpointRow& c : job->RecentCheckpoints()) {
             kv::Object row;
             // Column is `id`, not `ssid`: an `ssid = n` WHERE conjunct would
@@ -338,10 +340,10 @@ void QueryService::RegisterEngineIntrospection(dataflow::Job* job,
             row.Set("phase1_nanos", kv::Value(c.phase1_nanos));
             row.Set("phase2_nanos", kv::Value(c.phase2_nanos));
             row.Set("started_micros", kv::Value(c.started_unix_micros));
-            if (durable_log_ != nullptr) {
-              row.Set("durable", kv::Value(durable_log_->IsDurable(c.id)));
+            if (log != nullptr) {
+              row.Set("durable", kv::Value(log->IsDurable(c.id)));
               row.Set("persisted_bytes",
-                      kv::Value(durable_log_->PersistedBytes(c.id)));
+                      kv::Value(log->PersistedBytes(c.id)));
               row.Set("segments", kv::Value(log_stats.segments));
               row.Set("fsync_p99_nanos",
                       kv::Value(log_stats.fsync_p99_nanos));
@@ -450,17 +452,19 @@ Result<std::vector<kv::Object>> QueryService::ScanTableImpl(
       // from the durable snapshot log.
       const std::optional<int64_t> explicit_id =
           requested_ssid.has_value() ? requested_ssid : options.snapshot_id;
-      if (durable_log_ != nullptr && explicit_id.has_value() &&
-          durable_log_->IsDurable(*explicit_id)) {
-        return ScanDurable(base, *explicit_id);
+      storage::SnapshotLog* log = durable_log_.load(std::memory_order_acquire);
+      if (log != nullptr && explicit_id.has_value() &&
+          log->IsDurable(*explicit_id)) {
+        return ScanDurable(log, base, *explicit_id);
       }
       return resolved.status();
     }
     if (snap == nullptr) {
       // Cold restart before replay: the grid lost the table but the log may
       // still hold the resolved snapshot.
-      if (durable_log_ != nullptr && durable_log_->IsDurable(*resolved)) {
-        return ScanDurable(base, *resolved);
+      storage::SnapshotLog* log = durable_log_.load(std::memory_order_acquire);
+      if (log != nullptr && log->IsDurable(*resolved)) {
+        return ScanDurable(log, base, *resolved);
       }
       return Status::NotFound("no snapshot table named " + base);
     }
@@ -521,13 +525,14 @@ QueryService::GetSnapshotObjects(const std::string& operator_name,
     // (or a lost table) is served from the durable log if present there.
     const std::optional<int64_t> durable_id =
         resolved.ok() ? std::optional<int64_t>(*resolved) : ssid;
-    if (durable_log_ != nullptr && durable_id.has_value() &&
-        durable_log_->IsDurable(*durable_id)) {
+    storage::SnapshotLog* log = durable_log_.load(std::memory_order_acquire);
+    if (log != nullptr && durable_id.has_value() &&
+        log->IsDurable(*durable_id)) {
       if (metrics_ != nullptr) {
         metrics_->GetCounter("query.durable_fallbacks")->Increment();
       }
       std::vector<std::pair<kv::Value, kv::Object>> out;
-      SQ_RETURN_IF_ERROR(durable_log_->ScanSnapshot(
+      SQ_RETURN_IF_ERROR(log->ScanSnapshot(
           table, *durable_id,
           [&out, &keys](int32_t /*partition*/, const kv::Value& key,
                         int64_t /*entry_ssid*/, const kv::Object& value) {
@@ -552,12 +557,12 @@ QueryService::GetSnapshotObjects(const std::string& operator_name,
 }
 
 Result<std::vector<kv::Object>> QueryService::ScanDurable(
-    const std::string& table, int64_t ssid) {
+    storage::SnapshotLog* log, const std::string& table, int64_t ssid) {
   if (metrics_ != nullptr) {
     metrics_->GetCounter("query.durable_fallbacks")->Increment();
   }
   std::vector<kv::Object> tuples;
-  SQ_RETURN_IF_ERROR(durable_log_->ScanSnapshot(
+  SQ_RETURN_IF_ERROR(log->ScanSnapshot(
       table, ssid,
       [&tuples, ssid](int32_t /*partition*/, const kv::Value& key,
                       int64_t /*entry_ssid*/, const kv::Object& value) {

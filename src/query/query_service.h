@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "common/metrics.h"
 #include "common/result.h"
@@ -115,7 +117,9 @@ class QueryService : public sql::TableResolver {
   ///    log — time travel beyond `retained_versions`;
   ///  * `__checkpoints` gains durability columns (`durable`,
   ///    `persisted_bytes`, `segments`, `fsync_p99_nanos`).
-  void AttachDurableStorage(storage::SnapshotLog* log) { durable_log_ = log; }
+  void AttachDurableStorage(storage::SnapshotLog* log) {
+    durable_log_.store(log, std::memory_order_release);
+  }
 
   /// The virtual-table catalog (system tables; extensible by embedders).
   sql::Catalog* catalog() { return &catalog_; }
@@ -130,7 +134,7 @@ class QueryService : public sql::TableResolver {
   /// materialized, partitions touched, workers used, whether pushdown / point
   /// lookups engaged. (Most recent overall under concurrent Execute calls.)
   sql::ExecStats last_exec_stats() const {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     return last_stats_;
   }
 
@@ -156,8 +160,9 @@ class QueryService : public sql::TableResolver {
   /// The scan worker pool, created on first parallel query.
   ThreadPool* Pool();
 
-  /// Scans `table` at `ssid` from the durable log into result tuples.
-  Result<std::vector<kv::Object>> ScanDurable(const std::string& table,
+  /// Scans `table` at `ssid` from `log` into result tuples.
+  Result<std::vector<kv::Object>> ScanDurable(storage::SnapshotLog* log,
+                                              const std::string& table,
                                               int64_t ssid);
 
   kv::Grid* grid_;
@@ -165,14 +170,20 @@ class QueryService : public sql::TableResolver {
   Clock* clock_;
   MetricsRegistry* metrics_;
   sql::Catalog catalog_;
-  storage::SnapshotLog* durable_log_ = nullptr;
+  // Atomic because AttachDurableStorage may race with in-flight queries
+  // (readers take one acquire load per operation and use that pointer
+  // throughout, so attach/detach mid-query is torn-free).
+  std::atomic<storage::SnapshotLog*> durable_log_{nullptr};
   std::atomic<int64_t> last_resolve_nanos_{0};
 
   std::once_flag pool_once_;
   std::unique_ptr<ThreadPool> pool_;
 
-  mutable std::mutex stats_mu_;
-  sql::ExecStats last_stats_;
+  // Publication of per-query instrumentation. Under concurrent Execute()
+  // calls the winner is whichever query publishes last ("most recent
+  // overall"), but each published snapshot is internally consistent.
+  mutable Mutex stats_mu_{lockrank::kQueryStats, "query.stats"};
+  sql::ExecStats last_stats_ SQ_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace sq::query

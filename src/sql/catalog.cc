@@ -6,12 +6,12 @@ namespace sq::sql {
 
 void Catalog::RegisterVirtualTable(const std::string& name,
                                    VirtualTableScanFn fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   tables_[name] = std::move(fn);
 }
 
 bool Catalog::HasVirtualTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return tables_.count(name) > 0;
 }
 
@@ -19,7 +19,7 @@ Result<std::vector<kv::Object>> Catalog::ScanVirtualTable(
     const std::string& name) const {
   VirtualTableScanFn fn;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ReaderMutexLock lock(&mu_);
     auto it = tables_.find(name);
     if (it == tables_.end()) {
       return Status::NotFound("no virtual table named " + name);
@@ -30,7 +30,7 @@ Result<std::vector<kv::Object>> Catalog::ScanVirtualTable(
 }
 
 std::vector<std::string> Catalog::VirtualTableNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, fn] : tables_) names.push_back(name);

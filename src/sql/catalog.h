@@ -3,11 +3,12 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "kv/object.h"
 
 namespace sq::sql {
@@ -43,8 +44,11 @@ class Catalog {
   std::vector<std::string> VirtualTableNames() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, VirtualTableScanFn> tables_;
+  // Read-mostly: registration happens at service wiring time, lookups on
+  // every query. Scan functions run outside the lock, so a virtual table
+  // scan may itself query the catalog without self-deadlock.
+  mutable SharedMutex mu_{lockrank::kSqlCatalog, "sql.catalog"};
+  std::map<std::string, VirtualTableScanFn> tables_ SQ_GUARDED_BY(mu_);
 };
 
 }  // namespace sq::sql

@@ -24,9 +24,9 @@ SnapshotRegistry::SnapshotRegistry(kv::Grid* grid, Options options)
 
 SnapshotRegistry::~SnapshotRegistry() {
   {
-    std::lock_guard<std::mutex> lock(prune_mu_);
+    MutexLock lock(&prune_mu_);
     prune_stop_ = true;
-    prune_cv_.notify_all();
+    prune_cv_.NotifyAll();
   }
   if (pruner_.joinable()) pruner_.join();
 }
@@ -34,7 +34,7 @@ SnapshotRegistry::~SnapshotRegistry() {
 void SnapshotRegistry::OnCheckpointCommitted(int64_t checkpoint_id) {
   int64_t floor_to_prune = -1;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     retained_.push_back(checkpoint_id);
     while (static_cast<int>(retained_.size()) > options_.retained_versions) {
       retained_.pop_front();
@@ -43,14 +43,14 @@ void SnapshotRegistry::OnCheckpointCommitted(int64_t checkpoint_id) {
     // resolution cluster-wide sees the new id — the 2PC commit point.
     latest_committed_.store(checkpoint_id, std::memory_order_release);
     floor_to_prune = retained_.front();
-    commit_cv_.notify_all();
+    commit_cv_.NotifyAll();
   }
   if (floor_to_prune > 0) {
     if (options_.async_prune) {
-      std::lock_guard<std::mutex> lock(prune_mu_);
+      MutexLock lock(&prune_mu_);
       prune_queue_.push_back(floor_to_prune);
       prune_idle_ = false;
-      prune_cv_.notify_all();
+      prune_cv_.NotifyAll();
     } else {
       PruneTo(floor_to_prune);
     }
@@ -68,12 +68,12 @@ void SnapshotRegistry::OnCheckpointAborted(int64_t checkpoint_id) {
 }
 
 std::vector<int64_t> SnapshotRegistry::RetainedVersions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return {retained_.begin(), retained_.end()};
 }
 
 bool SnapshotRegistry::IsQueryable(int64_t ssid) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return std::find(retained_.begin(), retained_.end(), ssid) !=
          retained_.end();
 }
@@ -96,7 +96,7 @@ Result<int64_t> SnapshotRegistry::Resolve(
 
 void SnapshotRegistry::RestoreCommitted(
     const std::vector<int64_t>& committed_ids) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   retained_.clear();
   const size_t keep = std::min(committed_ids.size(),
                                static_cast<size_t>(options_.retained_versions));
@@ -104,21 +104,23 @@ void SnapshotRegistry::RestoreCommitted(
                    committed_ids.end());
   latest_committed_.store(retained_.empty() ? 0 : retained_.back(),
                           std::memory_order_release);
-  commit_cv_.notify_all();
+  commit_cv_.NotifyAll();
 }
 
 bool SnapshotRegistry::WaitForCommit(int64_t min_id, int64_t timeout_ms) {
-  std::unique_lock<std::mutex> lock(mu_);
-  return commit_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                             [this, min_id] {
-                               return latest_committed_.load() >= min_id;
-                             });
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  MutexLock lock(&mu_);
+  while (latest_committed_.load() < min_id) {
+    if (commit_cv_.WaitUntil(mu_, deadline)) break;
+  }
+  return latest_committed_.load() >= min_id;
 }
 
 void SnapshotRegistry::FlushPruning() {
   if (!options_.async_prune) return;
-  std::unique_lock<std::mutex> lock(prune_mu_);
-  prune_cv_.wait(lock, [this] { return prune_queue_.empty() && prune_idle_; });
+  MutexLock lock(&prune_mu_);
+  while (!prune_queue_.empty() || !prune_idle_) prune_cv_.Wait(prune_mu_);
 }
 
 void SnapshotRegistry::PruneTo(int64_t floor_ssid) {
@@ -135,26 +137,27 @@ void SnapshotRegistry::PruneTo(int64_t floor_ssid) {
 }
 
 void SnapshotRegistry::RunPruner() {
-  std::unique_lock<std::mutex> lock(prune_mu_);
+  prune_mu_.Lock();
   while (true) {
-    prune_cv_.wait(lock, [this] { return prune_stop_ || !prune_queue_.empty(); });
+    while (!prune_stop_ && prune_queue_.empty()) prune_cv_.Wait(prune_mu_);
     if (prune_queue_.empty()) {
-      if (prune_stop_) return;
+      if (prune_stop_) break;
       continue;
     }
     // Only the newest floor matters; collapse the queue.
     const int64_t floor_ssid = prune_queue_.back();
     prune_queue_.clear();
     prune_idle_ = false;
-    lock.unlock();
+    prune_mu_.Unlock();
     PruneTo(floor_ssid);
-    lock.lock();
+    prune_mu_.Lock();
     if (prune_queue_.empty()) {
       prune_idle_ = true;
-      prune_cv_.notify_all();
+      prune_cv_.NotifyAll();
     }
-    if (prune_stop_ && prune_queue_.empty()) return;
+    if (prune_stop_ && prune_queue_.empty()) break;
   }
+  prune_mu_.Unlock();
 }
 
 }  // namespace sq::state

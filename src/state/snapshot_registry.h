@@ -2,15 +2,15 @@
 #define SQUERY_STATE_SNAPSHOT_REGISTRY_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "dataflow/checkpoint.h"
@@ -92,16 +92,17 @@ class SnapshotRegistry : public dataflow::CheckpointListener {
   Counter* m_aborted_drops_ = nullptr;
 
   std::atomic<int64_t> latest_committed_{0};
-  mutable std::mutex mu_;
-  std::condition_variable commit_cv_;
-  std::deque<int64_t> retained_;  // committed, oldest first
+  mutable Mutex mu_{lockrank::kStateRegistry, "state.registry"};
+  CondVar commit_cv_;
+  std::deque<int64_t> retained_ SQ_GUARDED_BY(mu_);  // committed, oldest first
 
-  // Background pruning.
-  std::mutex prune_mu_;
-  std::condition_variable prune_cv_;
-  std::deque<int64_t> prune_queue_;
-  bool prune_stop_ = false;
-  bool prune_idle_ = true;
+  // Background pruning. prune_mu_ ranks below the grid/partition locks the
+  // pruner descends into, and is never held together with mu_.
+  Mutex prune_mu_{lockrank::kStatePrune, "state.prune"};
+  CondVar prune_cv_;
+  std::deque<int64_t> prune_queue_ SQ_GUARDED_BY(prune_mu_);
+  bool prune_stop_ SQ_GUARDED_BY(prune_mu_) = false;
+  bool prune_idle_ SQ_GUARDED_BY(prune_mu_) = true;
   std::thread pruner_;
 };
 

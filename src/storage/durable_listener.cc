@@ -14,30 +14,32 @@ void DurableSnapshotListener::OnCheckpointPrepared(int64_t checkpoint_id) {
     if (snap == nullptr) continue;
     // Gather the delta partition-major and append one record per partition,
     // matching how RestoreFromTable re-reads it.
-    int32_t current_partition = -1;
-    std::vector<SnapshotLog::DeltaEntry> entries;
-    auto flush = [&] {
-      if (entries.empty()) return;
-      Status s =
-          log_->AppendDelta(table, checkpoint_id, current_partition, entries);
-      if (!s.ok()) {
-        write_failures_.fetch_add(1, std::memory_order_relaxed);
-        SQ_LOG(Warning) << "durable snapshot append failed for " << table
-                        << " partition " << current_partition << ": " << s;
-      }
-      entries.clear();
-    };
+    //
+    // The appends happen strictly *after* the scan: ForEachEntryAt holds the
+    // partition lock while it runs the callback, and SnapshotLog::AppendDelta
+    // takes the log mutex — appending from inside the callback would nest
+    // partition-then-log, the inverse of ReplayInto's log-then-partition
+    // order (a genuine deadlock window, and a lock-rank inversion).
+    std::vector<std::pair<int32_t, std::vector<SnapshotLog::DeltaEntry>>>
+        batches;
     snap->ForEachEntryAt(
         checkpoint_id, [&](int32_t partition, const kv::Value& key,
                            const kv::SnapshotTable::Entry& entry) {
-          if (partition != current_partition) {
-            flush();
-            current_partition = partition;
+          if (batches.empty() || batches.back().first != partition) {
+            batches.emplace_back(partition,
+                                 std::vector<SnapshotLog::DeltaEntry>());
           }
-          entries.push_back(
+          batches.back().second.push_back(
               SnapshotLog::DeltaEntry{key, entry.tombstone, entry.value});
         });
-    flush();
+    for (const auto& [partition, entries] : batches) {
+      Status s = log_->AppendDelta(table, checkpoint_id, partition, entries);
+      if (!s.ok()) {
+        write_failures_.fetch_add(1, std::memory_order_relaxed);
+        SQ_LOG(Warning) << "durable snapshot append failed for " << table
+                        << " partition " << partition << ": " << s;
+      }
+    }
   }
 }
 

@@ -204,12 +204,12 @@ SnapshotLog::SnapshotLog(StorageOptions options)
 
 SnapshotLog::~SnapshotLog() {
   {
-    std::lock_guard<std::mutex> lock(compact_mu_);
+    MutexLock lock(&compact_mu_);
     compact_stop_ = true;
-    compact_cv_.notify_all();
+    compact_cv_.NotifyAll();
   }
   if (compactor_.joinable()) compactor_.join();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (active_fd_ >= 0) {
     ::close(active_fd_);
     active_fd_ = -1;
@@ -237,7 +237,7 @@ Status SnapshotLog::OpenImpl() {
                             ec.message());
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<uint64_t> seqs;
   uint64_t next_seq = 1;
   if (!LoadManifest(&seqs, &next_seq).ok()) {
@@ -487,7 +487,7 @@ Status SnapshotLog::AppendDelta(const std::string& table, int64_t ssid,
     if (!entry.tombstone) PutObject(&payload, entry.value);
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (pending_ssid_ != 0 && pending_ssid_ != ssid) {
     return Status::FailedPrecondition(
         "snapshot " + std::to_string(pending_ssid_) +
@@ -525,7 +525,7 @@ Status SnapshotLog::SyncActiveLocked() {
 Status SnapshotLog::Commit(int64_t ssid) {
   int64_t compact_floor = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (pending_ssid_ != 0 && pending_ssid_ != ssid) {
       return Status::FailedPrecondition(
           "commit of " + std::to_string(ssid) + " while snapshot " +
@@ -572,10 +572,10 @@ Status SnapshotLog::Commit(int64_t ssid) {
   }
   if (compact_floor > 0) {
     if (options_.async_compact) {
-      std::lock_guard<std::mutex> lock(compact_mu_);
+      MutexLock lock(&compact_mu_);
       compact_queue_.push_back(compact_floor);
       compact_idle_ = false;
-      compact_cv_.notify_all();
+      compact_cv_.NotifyAll();
     } else {
       CompactTo(compact_floor);
     }
@@ -584,7 +584,7 @@ Status SnapshotLog::Commit(int64_t ssid) {
 }
 
 Status SnapshotLog::Abort(int64_t ssid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   batch_.clear();
   bytes_per_ssid_.erase(ssid);
   pending_ssid_ = 0;
@@ -611,28 +611,28 @@ Status SnapshotLog::RotateLocked() {
 }
 
 std::vector<int64_t> SnapshotLog::CommittedIds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return committed_;
 }
 
 int64_t SnapshotLog::LatestDurable() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return committed_.empty() ? 0 : committed_.back();
 }
 
 bool SnapshotLog::IsDurable(int64_t ssid) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return std::binary_search(committed_.begin(), committed_.end(), ssid);
 }
 
 int64_t SnapshotLog::PersistedBytes(int64_t ssid) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = bytes_per_ssid_.find(ssid);
   return it == bytes_per_ssid_.end() ? 0 : it->second;
 }
 
 std::vector<std::string> SnapshotLog::TableNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(table_latest_.size());
   for (const auto& [table, ssid] : table_latest_) names.push_back(table);
@@ -641,7 +641,7 @@ std::vector<std::string> SnapshotLog::TableNames() const {
 
 Status SnapshotLog::ScanSnapshot(const std::string& table, int64_t ssid,
                                  const ScanFn& fn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!std::binary_search(committed_.begin(), committed_.end(), ssid)) {
     return Status::NotFound("snapshot " + std::to_string(ssid) +
                             " is not durable in " + options_.dir);
@@ -689,7 +689,7 @@ Status SnapshotLog::ScanSnapshotLocked(const std::string& table, int64_t ssid,
 
 Result<RecoveryInfo> SnapshotLog::ReplayInto(kv::Grid* grid,
                                              int retained_versions) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   RecoveryInfo info = recovery_;
   info.records_scanned = 0;
   for (const Segment& segment : segments_) {
@@ -735,7 +735,7 @@ Result<RecoveryInfo> SnapshotLog::ReplayInto(kv::Grid* grid,
 }
 
 size_t SnapshotLog::CompactTo(int64_t floor_ssid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Candidates: sealed segments whose every entry is older than the floor.
   // The newest per-key entry among them is a base a retained snapshot may
   // still need for its backward differential read, so candidates are
@@ -868,36 +868,41 @@ size_t SnapshotLog::CompactTo(int64_t floor_ssid) {
 
 void SnapshotLog::FlushCompaction() {
   if (!options_.async_compact) return;
-  std::unique_lock<std::mutex> lock(compact_mu_);
-  compact_cv_.wait(lock,
-                   [this] { return compact_queue_.empty() && compact_idle_; });
+  MutexLock lock(&compact_mu_);
+  while (!compact_queue_.empty() || !compact_idle_) {
+    compact_cv_.Wait(compact_mu_);
+  }
 }
 
 void SnapshotLog::RunCompactor() {
-  std::unique_lock<std::mutex> lock(compact_mu_);
+  // Manual Lock/Unlock (not MutexLock) so the lock state at every loop
+  // back-edge is consistent for thread safety analysis.
+  compact_mu_.Lock();
   while (true) {
-    compact_cv_.wait(
-        lock, [this] { return compact_stop_ || !compact_queue_.empty(); });
+    while (!compact_stop_ && compact_queue_.empty()) {
+      compact_cv_.Wait(compact_mu_);
+    }
     if (compact_queue_.empty()) {
-      if (compact_stop_) return;
+      if (compact_stop_) break;
       continue;
     }
     const int64_t floor = compact_queue_.back();  // newest floor wins
     compact_queue_.clear();
     compact_idle_ = false;
-    lock.unlock();
+    compact_mu_.Unlock();
     CompactTo(floor);
-    lock.lock();
+    compact_mu_.Lock();
     if (compact_queue_.empty()) {
       compact_idle_ = true;
-      compact_cv_.notify_all();
+      compact_cv_.NotifyAll();
     }
-    if (compact_stop_ && compact_queue_.empty()) return;
+    if (compact_stop_ && compact_queue_.empty()) break;
   }
+  compact_mu_.Unlock();
 }
 
 LogStats SnapshotLog::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   LogStats stats;
   for (const Segment& segment : segments_) {
     stats.persisted_bytes += static_cast<int64_t>(segment.durable_bytes);

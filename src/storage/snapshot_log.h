@@ -1,13 +1,11 @@
 #ifndef SQUERY_STORAGE_SNAPSHOT_LOG_H_
 #define SQUERY_STORAGE_SNAPSHOT_LOG_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -15,8 +13,10 @@
 
 #include "common/histogram.h"
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "kv/grid.h"
 #include "kv/object.h"
 #include "kv/value.h"
@@ -181,36 +181,44 @@ class SnapshotLog {
 
   Status OpenImpl();
   Status LoadManifest(std::vector<uint64_t>* seqs, uint64_t* next_seq) const;
-  Status WriteManifestLocked();
-  Status ScanSegmentsLocked();
-  Status OpenActiveLocked(bool create_new);
-  Status FlushBatchLocked();
-  Status SyncActiveLocked();
-  Status RotateLocked();
+  Status WriteManifestLocked() SQ_REQUIRES(mu_);
+  Status ScanSegmentsLocked() SQ_REQUIRES(mu_);
+  Status OpenActiveLocked(bool create_new) SQ_REQUIRES(mu_);
+  Status FlushBatchLocked() SQ_REQUIRES(mu_);
+  Status SyncActiveLocked() SQ_REQUIRES(mu_);
+  Status RotateLocked() SQ_REQUIRES(mu_);
   void RunCompactor();
   Status ScanSnapshotLocked(const std::string& table, int64_t ssid,
-                            const ScanFn& fn) const;
+                            const ScanFn& fn) const SQ_REQUIRES(mu_);
 
   StorageOptions options_;
-  RecoveryInfo recovery_;
+  RecoveryInfo recovery_;  // immutable once OpenImpl returns
 
-  mutable std::mutex mu_;
-  std::vector<Segment> segments_;  // ascending seq; back() is active
-  uint64_t next_seq_ = 1;
-  int active_fd_ = -1;
-  uint64_t active_size_ = 0;  // durable + spilled-uncommitted bytes
-  std::string batch_;         // appended, not yet written to the file
-  int64_t pending_ssid_ = 0;  // ssid of the uncommitted appends (0 = none)
+  // The commit path holds mu_ while enqueueing to the compactor under
+  // compact_mu_, so kStorageLog must rank before kStorageCompact.
+  mutable Mutex mu_{lockrank::kStorageLog, "storage.log"};
+  // Ascending seq; back() is active.
+  std::vector<Segment> segments_ SQ_GUARDED_BY(mu_);
+  uint64_t next_seq_ SQ_GUARDED_BY(mu_) = 1;
+  int active_fd_ SQ_GUARDED_BY(mu_) = -1;
+  // Durable + spilled-uncommitted bytes.
+  uint64_t active_size_ SQ_GUARDED_BY(mu_) = 0;
+  // Appended, not yet written to the file.
+  std::string batch_ SQ_GUARDED_BY(mu_);
+  // Ssid of the uncommitted appends (0 = none).
+  int64_t pending_ssid_ SQ_GUARDED_BY(mu_) = 0;
 
-  std::vector<int64_t> committed_;              // ascending
-  std::map<int64_t, int64_t> bytes_per_ssid_;   // payload bytes per snapshot
-  std::map<std::string, int64_t> table_latest_; // per-operator latest ssid
+  std::vector<int64_t> committed_ SQ_GUARDED_BY(mu_);  // ascending
+  // Payload bytes per snapshot.
+  std::map<int64_t, int64_t> bytes_per_ssid_ SQ_GUARDED_BY(mu_);
+  // Per-operator latest ssid.
+  std::map<std::string, int64_t> table_latest_ SQ_GUARDED_BY(mu_);
 
-  Histogram fsync_nanos_;
-  int64_t commits_ = 0;
-  int64_t aborts_ = 0;
-  int64_t compactions_ = 0;
-  int64_t segments_deleted_ = 0;
+  Histogram fsync_nanos_;  // internally synchronized
+  int64_t commits_ SQ_GUARDED_BY(mu_) = 0;
+  int64_t aborts_ SQ_GUARDED_BY(mu_) = 0;
+  int64_t compactions_ SQ_GUARDED_BY(mu_) = 0;
+  int64_t segments_deleted_ SQ_GUARDED_BY(mu_) = 0;
 
   // Cached metric handles (null when options_.metrics is null).
   Counter* m_persisted_bytes_ = nullptr;
@@ -220,11 +228,11 @@ class SnapshotLog {
   Histogram* m_fsync_ = nullptr;
 
   // Background compaction.
-  std::mutex compact_mu_;
-  std::condition_variable compact_cv_;
-  std::deque<int64_t> compact_queue_;
-  bool compact_stop_ = false;
-  bool compact_idle_ = true;
+  Mutex compact_mu_{lockrank::kStorageCompact, "storage.compact"};
+  CondVar compact_cv_;
+  std::deque<int64_t> compact_queue_ SQ_GUARDED_BY(compact_mu_);
+  bool compact_stop_ SQ_GUARDED_BY(compact_mu_) = false;
+  bool compact_idle_ SQ_GUARDED_BY(compact_mu_) = true;
   std::thread compactor_;
 };
 

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "kv/grid.h"
 #include "query/query_service.h"
 #include "state/snapshot_registry.h"
@@ -132,6 +136,42 @@ TEST_F(QueryServiceTest, MixedLiveAndSnapshotJoinUnderLiveIsolation) {
       live);
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(result->At(0, "n").AsInt64(), 2);
+}
+
+// last_exec_stats() publishes the instrumentation of the most recent
+// Execute() *overall* under concurrency — whichever query finishes last
+// wins — but every published snapshot must be internally consistent: the
+// stats of one of the two query shapes issued here, never a blend.
+TEST_F(QueryServiceTest, LastExecStatsIsConsistentUnderConcurrentExecute) {
+  constexpr int kIterations = 50;
+  std::atomic<bool> failed{false};
+  auto run = [&](const char* sql) {
+    for (int i = 0; i < kIterations && !failed.load(); ++i) {
+      if (!service_.Execute(sql).ok()) failed.store(true);
+    }
+  };
+  // Shape A scans two rows; shape B's pushdown point lookup touches one.
+  std::thread a(run, "SELECT v FROM snapshot_counts");
+  std::thread b(run, "SELECT v FROM snapshot_counts WHERE key=1");
+  std::vector<sql::ExecStats> observed;
+  for (int i = 0; i < kIterations * 4; ++i) {
+    observed.push_back(service_.last_exec_stats());
+  }
+  a.join();
+  b.join();
+  ASSERT_FALSE(failed.load());
+  for (const sql::ExecStats& stats : observed) {
+    const bool shape_a =
+        stats.rows_returned == 2 && !stats.used_point_lookup;
+    const bool shape_b = stats.rows_returned == 1 && stats.used_point_lookup;
+    const bool initial = stats.rows_returned == 0;  // read before any publish
+    EXPECT_TRUE(shape_a || shape_b || initial)
+        << "torn stats: rows_returned=" << stats.rows_returned
+        << " point_lookup=" << stats.used_point_lookup;
+  }
+  const sql::ExecStats final_stats = service_.last_exec_stats();
+  EXPECT_TRUE(final_stats.rows_returned == 1 ||
+              final_stats.rows_returned == 2);
 }
 
 TEST_F(QueryServiceTest, DirectSnapshotAccessHonorsVersions) {
