@@ -1,10 +1,17 @@
 // Micro-benchmarks (google-benchmark): per-operation costs of the
 // substrates, used to calibrate the cluster simulator and as ablations for
 // the design decisions listed in DESIGN.md §6 (colocation, key-level
-// locking, incremental snapshots, SQL operator costs).
+// locking, incremental snapshots, SQL operator costs). A custom main adds a
+// trace-overhead section (off / sampled / full) that writes
+// BENCH_trace.json and a Perfetto-loadable sq_query.trace.json;
+// SQ_BENCH_TRACE_ONLY=1 runs just that section (the CI smoke run).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/clock.h"
 #include "common/histogram.h"
 #include "common/queue.h"
 #include "common/rng.h"
@@ -16,6 +23,7 @@
 #include "sql/parser.h"
 #include "state/snapshot_registry.h"
 #include "state/squery_state_store.h"
+#include "trace/trace.h"
 
 namespace sq {
 namespace {
@@ -276,7 +284,101 @@ void BM_QueryKeyEqualityPointLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_QueryKeyEqualityPointLookup);
 
+// --- Tracing overhead. The spans are default-on, so this section is the
+// guardrail: the full-tracing cost on the partition-parallel aggregate query
+// must stay marginal (CI asserts < 5%). Modes are interleaved round-robin so
+// thermal / scheduler drift hits all three equally; best-of-rounds absorbs
+// outliers.
+double MeasureTracedQueryNanos(query::QueryService* service,
+                               const std::string& sql, int iters) {
+  query::QueryOptions options;
+  options.isolation = state::IsolationLevel::kReadCommittedNoFailures;
+  options.parallelism = 4;
+  const int64_t t0 = SystemClock::Default()->NowNanos();
+  for (int i = 0; i < iters; ++i) {
+    auto result = service->Execute(sql, options);
+    benchmark::DoNotOptimize(result);
+  }
+  return static_cast<double>(SystemClock::Default()->NowNanos() - t0) /
+         iters;
+}
+
+void RunTraceOverheadSection() {
+  auto& fixture = ParallelQueryFixture::Get();
+  const std::string sql =
+      "SELECT g, COUNT(*) AS n, SUM(v) AS s FROM orders GROUP BY g";
+  const char* scale_env = std::getenv("SQ_BENCH_SCALE");
+  const double scale = scale_env != nullptr ? std::atof(scale_env) : 1.0;
+  const int iters = std::max(10, static_cast<int>(200 * scale));
+  const int rounds = 3;
+
+  trace::TraceConfig off;
+  off.enabled = false;
+  trace::TraceConfig sampled;  // 1-in-64 roots
+  sampled.sample_every.fill(64);
+  const trace::TraceConfig full;  // default: everything
+
+  // Warmup (also populates caches identically for all modes).
+  trace::SetConfig(off);
+  MeasureTracedQueryNanos(&fixture.service, sql, iters / 2 + 1);
+
+  double best[3] = {1e300, 1e300, 1e300};
+  const trace::TraceConfig* configs[3] = {&off, &sampled, &full};
+  for (int round = 0; round < rounds; ++round) {
+    for (int mode = 0; mode < 3; ++mode) {
+      trace::SetConfig(*configs[mode]);
+      const double nanos =
+          MeasureTracedQueryNanos(&fixture.service, sql, iters);
+      if (nanos < best[mode]) best[mode] = nanos;
+    }
+  }
+  trace::SetConfig(trace::TraceConfig{});
+
+  const double overhead_sampled = (best[1] - best[0]) / best[0] * 100.0;
+  const double overhead_full = (best[2] - best[0]) / best[0] * 100.0;
+  std::printf(
+      "\ntrace overhead on '%s' (%d queries x %d rounds):\n"
+      "  off:     %10.0f ns/query\n"
+      "  sampled: %10.0f ns/query (1 in 64 roots, %+.2f%%)\n"
+      "  full:    %10.0f ns/query (every span, %+.2f%%)\n",
+      sql.c_str(), iters, rounds, best[0], best[1], overhead_sampled,
+      best[2], overhead_full);
+
+  const Status exported = trace::ExportChromeJson("sq_query.trace.json");
+  if (exported.ok()) {
+    std::printf("wrote sq_query.trace.json (load in ui.perfetto.dev)\n");
+  } else {
+    std::printf("trace export failed: %s\n", exported.ToString().c_str());
+  }
+
+  std::FILE* f = std::fopen("BENCH_trace.json", "w");
+  if (f == nullptr) return;
+  std::fprintf(
+      f,
+      "{\n  \"trace_overhead\": {\n"
+      "    \"query\": \"%s\",\n"
+      "    \"iters\": %d,\n"
+      "    \"off_nanos\": %.0f,\n"
+      "    \"sampled_nanos\": %.0f,\n"
+      "    \"full_nanos\": %.0f,\n"
+      "    \"overhead_sampled_pct\": %.3f,\n"
+      "    \"overhead_full_pct\": %.3f\n  }\n}\n",
+      sql.c_str(), iters, best[0], best[1], best[2], overhead_sampled,
+      overhead_full);
+  std::fclose(f);
+  std::printf("wrote BENCH_trace.json\n");
+}
+
 }  // namespace
 }  // namespace sq
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (std::getenv("SQ_BENCH_TRACE_ONLY") == nullptr) {
+    ::benchmark::Initialize(&argc, argv);
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+  }
+  sq::RunTraceOverheadSection();
+  return 0;
+}

@@ -9,16 +9,25 @@
 //                  fsync_p99_nanos) fed by the on-disk snapshot log
 //   __metrics      every counter/gauge/histogram in the metrics registry
 //
+//   __spans        the end-to-end trace journal: every checkpoint phase,
+//                  query stage, kv lock wait, and storage fsync as a span
+//                  tree, queryable by trace id
+//
 // both through SQL and through the direct object interface — no external
-// monitoring stack required, the stream processor explains itself.
+// monitoring stack required, the stream processor explains itself. At the
+// end, the slowest checkpoint's span tree is printed as an ASCII flame
+// summary and the whole journal is exported as engine_monitor.trace.json
+// (load it in ui.perfetto.dev or chrome://tracing).
 //
 // Build & run:  ./build/examples/engine_monitor
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <map>
 #include <string>
 #include <thread>
 
@@ -32,6 +41,7 @@
 #include "state/squery_state_store.h"
 #include "storage/durable_listener.h"
 #include "storage/snapshot_log.h"
+#include "trace/trace.h"
 
 int main() {
   sq::MetricsRegistry metrics;
@@ -138,6 +148,59 @@ int main() {
   }
 
   std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  // Where did the slowest checkpoint spend its time? Rank checkpoints by
+  // phase-2 cost, then pull that checkpoint's span tree out of __spans (the
+  // trace id of a checkpoint IS its checkpoint id) and print it as a flame
+  // summary: indentation = tree depth, bar length = share of the root.
+  auto slowest = query.Execute(
+      "SELECT id, phase2_nanos FROM __checkpoints "
+      "WHERE state = 'committed' ORDER BY phase2_nanos DESC LIMIT 1");
+  if (slowest.ok() && !slowest->rows.empty()) {
+    const int64_t ckpt_id = slowest->rows[0][0].AsInt64();
+    auto spans = query.Execute(
+        "SELECT name, span_id, parent_id, duration_nanos, thread "
+        "FROM __spans WHERE category = 'checkpoint' AND trace_id = " +
+        std::to_string(ckpt_id) + " ORDER BY start_nanos");
+    if (spans.ok() && !spans->rows.empty()) {
+      std::printf("\nslowest checkpoint (id %lld) span tree:\n",
+                  static_cast<long long>(ckpt_id));
+      // depth by walking parent ids; root duration scales the bars.
+      std::map<int64_t, int64_t> parent_of;
+      int64_t root_nanos = 1;
+      for (const auto& row : spans->rows) {
+        parent_of[row[1].AsInt64()] = row[2].AsInt64();
+        if (row[2].AsInt64() == 0) root_nanos = std::max<int64_t>(
+            1, row[3].AsInt64());
+      }
+      for (const auto& row : spans->rows) {
+        int depth = 0;
+        for (int64_t p = row[2].AsInt64(); p != 0 && depth < 8;
+             p = parent_of.count(p) ? parent_of[p] : 0) {
+          ++depth;
+        }
+        const int64_t nanos = row[3].AsInt64();
+        const int bar = static_cast<int>(
+            std::min<int64_t>(40, 40 * nanos / root_nanos));
+        std::printf("  %*s%-16s %8.2f ms t%-2lld |%.*s\n", depth * 2, "",
+                    row[0].string_value().c_str(), nanos / 1e6,
+                    static_cast<long long>(row[4].AsInt64()), bar,
+                    "########################################");
+      }
+    }
+  }
+
+  // The whole journal — checkpoints, queries (including the ones this
+  // example just ran), lock waits, fsyncs — as one Perfetto trace.
+  const sq::Status exported =
+      sq::trace::ExportChromeJson("engine_monitor.trace.json");
+  if (exported.ok()) {
+    std::printf("\nwrote engine_monitor.trace.json "
+                "(open in ui.perfetto.dev)\n");
+  } else {
+    std::fprintf(stderr, "%s\n", exported.ToString().c_str());
+  }
+
   (void)(*job)->Stop();
   log->reset();
   std::filesystem::remove_all(log_dir);

@@ -27,4 +27,19 @@ int64_t UnixMicros() {
       .count();
 }
 
+const WallClockAnchor& ProcessWallAnchor() {
+  static const WallClockAnchor anchor = [] {
+    WallClockAnchor a;
+    a.steady_nanos = SystemClock::Default()->NowNanos();
+    a.unix_micros = UnixMicros();
+    return a;
+  }();
+  return anchor;
+}
+
+int64_t SteadyToUnixMicros(int64_t steady_nanos) {
+  const WallClockAnchor& a = ProcessWallAnchor();
+  return a.unix_micros + (steady_nanos - a.steady_nanos) / 1000;
+}
+
 }  // namespace sq

@@ -6,6 +6,26 @@
 
 namespace sq {
 
+/// ## The clock rule (one clock per purpose)
+///
+/// Every duration and every timestamp that may be *correlated with another
+/// timestamp* (trace spans, `__checkpoints` phase timings, snapshot-log
+/// records) is measured on the steady/monotonic timeline —
+/// `SystemClock::Default()->NowNanos()` (std::chrono::steady_clock), or a
+/// `Clock*` when the component is virtual-time capable. The wall clock is
+/// never read for these: it can step (NTP) and two reads from different
+/// clocks cannot be subtracted or ordered meaningfully.
+///
+/// Wall-clock presentation (log record timestamps, `__checkpoints.started`,
+/// Perfetto export `ts` fields) goes through ONE per-process anchor,
+/// `ProcessWallAnchor()`: a single (steady_nanos, unix_micros) pair captured
+/// at first use. `SteadyToUnixMicros(steady)` translates any steady reading
+/// to wall time through that anchor, so all exported timestamps share one
+/// offset and remain mutually consistent even if the wall clock steps
+/// mid-run. Calling `UnixMicros()` directly is reserved for *event-time*
+/// data (e.g. the NEXMark/Delivery Hero event timestamps and SQL
+/// LOCALTIMESTAMP), where the current civil time is the datum itself.
+
 /// Time source abstraction. The dataflow engine and the checkpoint
 /// coordinator take a `Clock*` so tests and the cluster simulator can run on
 /// virtual time while production code uses the monotonic system clock.
@@ -52,8 +72,25 @@ class VirtualClock : public Clock {
 
 /// Wall-clock timestamp in microseconds since the Unix epoch. Used for
 /// event-time fields such as the Delivery Hero `lateTimestamp` and the SQL
-/// LOCALTIMESTAMP function.
+/// LOCALTIMESTAMP function. For timestamps that must line up with steady
+/// durations (checkpoints, spans, log records), use
+/// `SteadyToUnixMicros(SystemClock::Default()->NowNanos())` instead — see
+/// the clock rule above.
 int64_t UnixMicros();
+
+/// The process's single steady→wall correspondence point (see the clock rule
+/// above). Captured once, on first use, from both clocks back to back.
+struct WallClockAnchor {
+  int64_t steady_nanos;  ///< SystemClock::Default()->NowNanos() at capture
+  int64_t unix_micros;   ///< UnixMicros() at the same instant
+};
+const WallClockAnchor& ProcessWallAnchor();
+
+/// Translates a steady-clock reading (SystemClock timeline) to wall-clock
+/// microseconds through the process anchor. All callers share the same
+/// offset, so translated timestamps can be compared and subtracted exactly
+/// like the steady readings they came from.
+int64_t SteadyToUnixMicros(int64_t steady_nanos);
 
 }  // namespace sq
 

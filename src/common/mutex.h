@@ -35,6 +35,11 @@ namespace sq {
 ///   pool.batch       ThreadPool batch completion
 ///   queue            BlockingQueue channels
 ///   histogram        leaf instrumentation
+///   trace.registry   trace ring-buffer registry; draining takes ring locks
+///   trace.ring       per-thread span ring consumer lock; spills to journal
+///   trace.journal    bounded global span journal (leaf of the trace plane —
+///                    any subsystem may record a span while holding its own
+///                    locks, so these rank below every data-plane lock)
 ///   logging          log-line emission (leaf; everything may log)
 ///   leaf             generic leaves (test collectors etc.)
 namespace lockrank {
@@ -52,6 +57,9 @@ inline constexpr int kMetricsRegistry = 700;
 inline constexpr int kThreadPoolBatch = 710;
 inline constexpr int kQueue = 720;
 inline constexpr int kHistogram = 730;
+inline constexpr int kTraceRegistry = 740;
+inline constexpr int kTraceRing = 745;
+inline constexpr int kTraceJournal = 750;
 inline constexpr int kLogging = 800;
 inline constexpr int kLeaf = 900;
 }  // namespace lockrank

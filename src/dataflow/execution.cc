@@ -275,8 +275,24 @@ void Job::BroadcastControl(Worker* w, const Record& record) {
   }
 }
 
+trace::SpanContext Job::CheckpointTraceParent(int64_t checkpoint_id) const {
+  if (trace_ckpt_id_.load(std::memory_order_acquire) != checkpoint_id) {
+    return trace::SpanContext{};  // stale or aborted: drop the span
+  }
+  const uint64_t root = trace_ckpt_root_.load(std::memory_order_relaxed);
+  if (root == 0) return trace::SpanContext{};  // root span unsampled
+  return trace::SpanContext{trace::CheckpointTraceId(checkpoint_id), root,
+                            false};
+}
+
 void Job::PerformSnapshot(Worker* w, ContextImpl* ctx,
                           int64_t checkpoint_id) {
+  // Per-operator delta capture, attached to the coordinator's checkpoint
+  // span across the thread boundary.
+  trace::ScopedSpan span(trace::Category::kCheckpoint, "phase1_capture",
+                         CheckpointTraceParent(checkpoint_id));
+  span.AddAttr("vertex", w->vertex_name);
+  span.AddAttr("instance", w->instance);
   // Order matters: OnCheckpoint may flush transient operator members into
   // keyed state (and emit pre-marker records), then the state store persists
   // phase-1 data, then we ack so the coordinator can commit.
@@ -341,6 +357,7 @@ void Job::RunConsumer(Worker* w, ContextImpl* ctx) {
   std::unordered_set<int32_t> active = w->upstream_ids;
   int64_t aligning = 0;  // checkpoint id currently aligning, 0 = none
   int64_t align_start_nanos = 0;
+  int64_t align_start_steady = 0;  // trace timeline (clock_ may be virtual)
   std::unordered_set<int32_t> aligned;
   std::vector<Record> buffered;
 
@@ -370,6 +387,15 @@ void Job::RunConsumer(Worker* w, ContextImpl* ctx) {
     if (m_align_nanos_ != nullptr) {
       m_align_nanos_->Record(clock_->NowNanos() - align_start_nanos);
     }
+    // Barrier-alignment stall: first marker seen → last marker seen. The
+    // dominant, hardest-to-attribute checkpoint cost (Carbone et al.).
+    trace::RecordSpan(trace::Category::kCheckpoint, "align_wait",
+                      CheckpointTraceParent(aligning), align_start_steady,
+                      trace::NowNanos(),
+                      {{"vertex", w->vertex_name},
+                       {"instance", w->instance},
+                       {"buffered_records",
+                        static_cast<int64_t>(buffered.size())}});
     PerformSnapshot(w, ctx, aligning);
     BroadcastControl(w, Record::Marker(aligning));
     aligning = 0;
@@ -391,6 +417,7 @@ void Job::RunConsumer(Worker* w, ContextImpl* ctx) {
         if (r->checkpoint_id <= latest_committed_.load()) break;  // stale
         if (aligning != r->checkpoint_id) {
           align_start_nanos = clock_->NowNanos();  // first marker of this id
+          align_start_steady = trace::NowNanos();
         }
         aligning = r->checkpoint_id;
         aligned.insert(r->from_instance);
@@ -493,8 +520,22 @@ Result<int64_t> Job::TriggerCheckpoint() {
   const int64_t id = ++next_checkpoint_id_;
   pending_checkpoint_ = id;
   prepared_workers_.clear();
-  const int64_t started_micros = UnixMicros();
+  // One span tree per checkpoint, keyed by the checkpoint id itself so
+  // `SELECT * FROM __spans WHERE trace_id = <id>` finds it directly. Span
+  // endpoints are always steady time (trace::NowNanos) even when the job
+  // runs on a virtual clock; phase metrics keep using clock_.
+  trace::ScopedSpan ckpt_span(
+      trace::Category::kCheckpoint, "checkpoint",
+      trace::RootContext(trace::CheckpointTraceId(id)));
+  ckpt_span.AddAttr("checkpoint_id", id);
+  const int64_t s0 = trace::NowNanos();
+  const int64_t started_micros = SteadyToUnixMicros(s0);
   const int64_t t0 = clock_->NowNanos();
+  // Publish the root so worker-side spans (align_wait, phase1_capture) can
+  // attach to this tree; must happen before the markers are injected.
+  trace_ckpt_root_.store(ckpt_span.context().span_id,
+                         std::memory_order_relaxed);
+  trace_ckpt_id_.store(id, std::memory_order_release);
   // Phase 1: inject markers at the sources; they flow through the DAG and
   // every instance writes its snapshot after alignment.
   for (auto& w : workers_) {
@@ -510,6 +551,11 @@ Result<int64_t> Job::TriggerCheckpoint() {
   }
   const bool prepared = abort_.load() || AllPreparedLocked();
   if (!prepared || abort_.load()) {
+    trace_ckpt_id_.store(0, std::memory_order_release);
+    trace::RecordSpan(trace::Category::kCheckpoint, "phase1",
+                      ckpt_span.context(), s0, trace::NowNanos(),
+                      {{"aborted", true}});
+    ckpt_span.AddAttr("aborted", true);
     pending_checkpoint_ = 0;
     stats_.aborted.fetch_add(1);
     if (m_aborted_ != nullptr) m_aborted_->Increment();
@@ -529,15 +575,25 @@ Result<int64_t> Job::TriggerCheckpoint() {
   const int64_t t1 = clock_->NowNanos();
   stats_.phase1_latency.Record(t1 - t0);
   if (m_phase1_nanos_ != nullptr) m_phase1_nanos_->Record(t1 - t0);
-  if (config_.listener != nullptr) {
-    config_.listener->OnCheckpointPrepared(id);
+  trace::RecordSpan(trace::Category::kCheckpoint, "phase1",
+                    ckpt_span.context(), s0, trace::NowNanos());
+  {
+    // The listener chain (durable log append, flush+fsync, registry commit)
+    // runs on this thread, so its storage spans nest under phase2 via the
+    // thread-local scope.
+    trace::ScopedSpan phase2_span(trace::Category::kCheckpoint, "phase2",
+                                  ckpt_span.context());
+    if (config_.listener != nullptr) {
+      config_.listener->OnCheckpointPrepared(id);
+    }
+    // Phase 2: atomically publish the new snapshot id (the commit point that
+    // makes the snapshot queryable everywhere at once).
+    latest_committed_.store(id);
+    if (config_.listener != nullptr) {
+      config_.listener->OnCheckpointCommitted(id);
+    }
   }
-  // Phase 2: atomically publish the new snapshot id (the commit point that
-  // makes the snapshot queryable everywhere at once).
-  latest_committed_.store(id);
-  if (config_.listener != nullptr) {
-    config_.listener->OnCheckpointCommitted(id);
-  }
+  trace_ckpt_id_.store(0, std::memory_order_release);
   const int64_t t2 = clock_->NowNanos();
   stats_.phase2_latency.Record(t2 - t0);
   if (m_phase2_nanos_ != nullptr) m_phase2_nanos_->Record(t2 - t0);
@@ -603,7 +659,7 @@ Status Job::InjectFailureAndRecover() {
           .committed = false,
           .phase1_nanos = 0,
           .phase2_nanos = 0,
-          .started_unix_micros = UnixMicros()});
+          .started_unix_micros = SteadyToUnixMicros(trace::NowNanos())});
     }
     next_checkpoint_id_ = committed;
     pending_checkpoint_ = 0;

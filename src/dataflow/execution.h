@@ -23,6 +23,7 @@
 #include "dataflow/record.h"
 #include "dataflow/state_store.h"
 #include "kv/partitioner.h"
+#include "trace/trace.h"
 
 namespace sq::dataflow {
 
@@ -182,6 +183,10 @@ class Job {
   bool AllPreparedLocked() const SQ_REQUIRES(ckpt_mu_);
   void JoinAllWorkers();
   void RunCoordinator();
+  /// Parent context for worker-side spans of checkpoint `checkpoint_id`
+  /// (align_wait, phase1_capture): the coordinator's published root span, or
+  /// all-zero (= don't record) when that root is stale or unsampled.
+  trace::SpanContext CheckpointTraceParent(int64_t checkpoint_id) const;
 
   JobConfig config_;
   std::unique_ptr<kv::Partitioner> owned_partitioner_;
@@ -200,6 +205,13 @@ class Job {
   std::atomic<bool> started_{false};
   std::atomic<bool> abort_{false};
   std::atomic<int64_t> latest_committed_{0};
+
+  // Root span of the in-flight checkpoint, published by TriggerCheckpoint
+  // before marker injection so worker threads can parent their spans without
+  // touching ckpt_mu_. Write order: root (relaxed), then id (release);
+  // readers load the id with acquire first.
+  std::atomic<uint64_t> trace_ckpt_root_{0};
+  std::atomic<int64_t> trace_ckpt_id_{0};
 
   // Checkpoint coordination (also guards checkpoint_history_ and the queue
   // array swap during recovery, so const introspection methods lock it too).

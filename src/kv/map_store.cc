@@ -1,16 +1,52 @@
 #include "kv/map_store.h"
 
+#include "trace/trace.h"
+
 namespace sq::kv {
+
+namespace {
+
+/// Key-lock wait probe for single-key operations. The uncontended path is
+/// one TryLock — no clock reads, no span. Only when the stripe is contended
+/// (the paper's key-level locking actually blocking someone) is the wait
+/// timed and recorded as a kv `lock_wait` span: a child of the active query
+/// or checkpoint span if one is on this thread, else its own sampled root.
+class SQ_SCOPED_CAPABILITY TimedStripeLock {
+ public:
+  explicit TimedStripeLock(Mutex* mu) SQ_ACQUIRE(mu) : mu_(mu) {
+    if (mu_->TryLock()) return;
+    if (!trace::CategoryEnabled(trace::Category::kKv)) {
+      mu_->Lock();
+      return;
+    }
+    const int64_t t0 = trace::NowNanos();
+    mu_->Lock();
+    const int64_t t1 = trace::NowNanos();
+    trace::SpanContext ctx = trace::CurrentContext();
+    if (ctx.trace_id == 0 && ctx.span_id == 0) {
+      ctx = trace::RootContext(trace::NewTraceId());
+    }
+    trace::RecordSpan(trace::Category::kKv, "lock_wait", ctx, t0, t1);
+  }
+  TimedStripeLock(const TimedStripeLock&) = delete;
+  TimedStripeLock& operator=(const TimedStripeLock&) = delete;
+  ~TimedStripeLock() SQ_RELEASE() { mu_->Unlock(); }
+
+ private:
+  Mutex* const mu_;
+};
+
+}  // namespace
 
 void MapPartition::Put(const Value& key, Object value) {
   Stripe& stripe = StripeFor(key);
-  MutexLock lock(&stripe.mu);
+  TimedStripeLock lock(&stripe.mu);
   stripe.entries[key] = std::move(value);
 }
 
 std::optional<Object> MapPartition::Get(const Value& key) const {
   const Stripe& stripe = StripeFor(key);
-  MutexLock lock(&stripe.mu);
+  TimedStripeLock lock(&stripe.mu);
   auto it = stripe.entries.find(key);
   if (it == stripe.entries.end()) return std::nullopt;
   return it->second;
@@ -18,7 +54,7 @@ std::optional<Object> MapPartition::Get(const Value& key) const {
 
 bool MapPartition::Remove(const Value& key) {
   Stripe& stripe = StripeFor(key);
-  MutexLock lock(&stripe.mu);
+  TimedStripeLock lock(&stripe.mu);
   return stripe.entries.erase(key) > 0;
 }
 

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <string_view>
+#include <unordered_map>
 #include <utility>
 
 #include "dataflow/execution.h"
+#include "sql/parser.h"
 #include "state/squery_state_store.h"
 #include "storage/snapshot_log.h"
+#include "trace/trace.h"
 
 namespace sq::query {
 
@@ -204,6 +208,67 @@ class BoundResolver : public sql::TableResolver {
   OpenFn open_;
 };
 
+/// One `plan` row per line (the shape EXPLAIN returns).
+sql::ResultSet PlanResultSet(std::vector<std::string> lines) {
+  sql::ResultSet rs;
+  rs.columns = {"plan"};
+  rs.rows.reserve(lines.size());
+  for (std::string& line : lines) {
+    rs.rows.push_back({kv::Value(std::move(line))});
+  }
+  return rs;
+}
+
+std::string FormatMicros(int64_t nanos) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", static_cast<double>(nanos) / 1e3);
+  return buf;
+}
+
+/// The measured-timings tail of EXPLAIN ANALYZE: this query's recorded spans
+/// as an indented tree with durations and attributes, capped so a wide
+/// fan-out cannot flood the result.
+void AppendSpanTimings(uint64_t trace_id, std::vector<std::string>* lines) {
+  std::vector<trace::TraceSpan> spans;
+  for (trace::TraceSpan& s : trace::SnapshotSpans()) {
+    if (s.trace_id == trace_id) spans.push_back(std::move(s));
+  }
+  lines->push_back("Trace: " + std::to_string(spans.size()) +
+                   " spans (trace_id=" + std::to_string(trace_id) + ")");
+  std::unordered_map<uint64_t, const trace::TraceSpan*> by_id;
+  for (const trace::TraceSpan& s : spans) by_id[s.span_id] = &s;
+  constexpr size_t kMaxLines = 16;
+  size_t shown = 0;
+  for (const trace::TraceSpan& s : spans) {
+    if (shown == kMaxLines) {
+      lines->push_back("  ... +" + std::to_string(spans.size() - shown) +
+                       " more spans (see __spans)");
+      break;
+    }
+    int depth = 1;
+    for (const trace::TraceSpan* p = &s;
+         p->parent_id != 0 && depth < 8;) {
+      auto it = by_id.find(p->parent_id);
+      if (it == by_id.end()) break;
+      p = it->second;
+      ++depth;
+    }
+    std::string line(static_cast<size_t>(depth) * 2, ' ');
+    line += s.name;
+    line += ": ";
+    line += FormatMicros(s.duration_nanos());
+    line += " us";
+    for (const trace::Attr& attr : s.attrs) {
+      line += " ";
+      line += attr.key;
+      line += "=";
+      line += attr.value;
+    }
+    lines->push_back(std::move(line));
+    ++shown;
+  }
+}
+
 }  // namespace
 
 QueryService::QueryService(kv::Grid* grid, state::SnapshotRegistry* registry,
@@ -211,7 +276,41 @@ QueryService::QueryService(kv::Grid* grid, state::SnapshotRegistry* registry,
     : grid_(grid),
       registry_(registry),
       clock_(clock != nullptr ? clock : SystemClock::Default()),
-      metrics_(metrics) {}
+      metrics_(metrics) {
+  // The span journal as a table: every retained span, engine-wide. Rows are
+  // computed at scan time (`SELECT * FROM __spans WHERE category = ...`).
+  catalog_.RegisterVirtualTable(
+      "__spans", []() -> Result<std::vector<kv::Object>> {
+        std::vector<kv::Object> rows;
+        for (const trace::TraceSpan& s : trace::SnapshotSpans()) {
+          kv::Object row;
+          const std::string key = std::to_string(s.trace_id) + "/" +
+                                  std::to_string(s.span_id);
+          row.Set("key", kv::Value(key));
+          row.Set("partitionKey", kv::Value(key));
+          row.Set("trace_id", kv::Value(static_cast<int64_t>(s.trace_id)));
+          row.Set("span_id", kv::Value(static_cast<int64_t>(s.span_id)));
+          row.Set("parent_id", kv::Value(static_cast<int64_t>(s.parent_id)));
+          row.Set("category",
+                  kv::Value(std::string(trace::CategoryToString(s.category))));
+          row.Set("name", kv::Value(std::string(s.name)));
+          row.Set("start_nanos", kv::Value(s.start_nanos));
+          row.Set("duration_nanos", kv::Value(s.duration_nanos()));
+          row.Set("start_micros", kv::Value(SteadyToUnixMicros(s.start_nanos)));
+          row.Set("thread", kv::Value(static_cast<int64_t>(s.tid)));
+          std::string attrs;
+          for (const trace::Attr& attr : s.attrs) {
+            if (!attrs.empty()) attrs += " ";
+            attrs += attr.key;
+            attrs += "=";
+            attrs += attr.value;
+          }
+          row.Set("attrs", kv::Value(std::move(attrs)));
+          rows.push_back(std::move(row));
+        }
+        return rows;
+      });
+}
 
 ThreadPool* QueryService::Pool() {
   std::call_once(pool_once_,
@@ -221,6 +320,12 @@ ThreadPool* QueryService::Pool() {
 
 Result<sql::ResultSet> QueryService::Execute(const std::string& sql,
                                              const QueryOptions& options) {
+  SQ_ASSIGN_OR_RETURN(QueryResult qr, ExecuteWithStats(sql, options));
+  return std::move(qr.result);
+}
+
+Result<QueryResult> QueryService::ExecuteWithStats(
+    const std::string& sql, const QueryOptions& options) {
   const int64_t start_nanos = clock_->NowNanos();
   BoundResolver resolver(this, options, &QueryService::ScanTableImpl,
                          &QueryService::OpenTableSourceImpl);
@@ -236,8 +341,51 @@ Result<sql::ResultSet> QueryService::Execute(const std::string& sql,
                                    ? exec_options.pool->thread_count()
                                    : options.parallelism;
   }
-  Result<sql::ResultSet> result =
-      sql::ExecuteSql(sql, &resolver, exec_options);
+
+  QueryResult out;
+  Result<sql::ResultSet> result = [&]() -> Result<sql::ResultSet> {
+    const int64_t parse_t0 = trace::NowNanos();
+    SQ_ASSIGN_OR_RETURN(sql::ParsedStatement parsed,
+                        sql::ParseStatement(sql));
+    const int64_t parse_t1 = trace::NowNanos();
+    if (parsed.explain && !parsed.analyze) {
+      // Plan only: probe the resolver for the scan strategy, execute nothing.
+      return PlanResultSet(
+          sql::ExplainPlanLines(*parsed.select, &resolver, exec_options));
+    }
+
+    // Root span of this query's trace. EXPLAIN ANALYZE forces recording
+    // regardless of sampling so its timing tail is never empty.
+    uint64_t trace_id = trace::NewTraceId();
+    Result<sql::ResultSet> exec = [&]() -> Result<sql::ResultSet> {
+      trace::ScopedSpan query_span(
+          trace::Category::kQuery, "query",
+          trace::RootContext(trace_id, /*forced=*/parsed.analyze));
+      if (!query_span.recording()) trace_id = 0;
+      query_span.AddAttr("isolation",
+                         state::IsolationLevelToString(options.isolation));
+      trace::RecordSpan(trace::Category::kQuery, "parse",
+                        query_span.context(), parse_t0, parse_t1);
+      Result<sql::ResultSet> r =
+          sql::ExecuteSelect(*parsed.select, &resolver, exec_options);
+      if (!r.ok()) query_span.AddAttr("error", true);
+      return r;
+    }();  // query_span closed: the full tree is recorded now.
+    out.trace_id = trace_id;
+    if (!parsed.analyze) return exec;
+    SQ_RETURN_IF_ERROR(exec.status());
+
+    std::vector<std::string> lines =
+        sql::ExplainPlanLines(*parsed.select, &resolver, exec_options);
+    lines.push_back("Execution: " + std::to_string(exec->rows.size()) +
+                    " rows, scanned " + std::to_string(stats.rows_scanned) +
+                    ", returned " + std::to_string(stats.rows_returned) +
+                    ", partitions " +
+                    std::to_string(stats.partitions_scanned) +
+                    ", parallelism " + std::to_string(stats.parallelism));
+    AppendSpanTimings(trace_id, &lines);
+    return PlanResultSet(std::move(lines));
+  }();
   if (metrics_ != nullptr) {
     metrics_->GetCounter("query.count")->Increment();
     if (!result.ok()) metrics_->GetCounter("query.errors")->Increment();
@@ -261,7 +409,10 @@ Result<sql::ResultSet> QueryService::Execute(const std::string& sql,
     MutexLock lock(&stats_mu_);
     last_stats_ = stats;
   }
-  return result;
+  SQ_RETURN_IF_ERROR(result.status());
+  out.result = *std::move(result);
+  out.stats = stats;
+  return out;
 }
 
 void QueryService::RegisterEngineIntrospection(dataflow::Job* job,

@@ -54,6 +54,18 @@ struct QueryOptions {
   bool pushdown = true;
 };
 
+/// Everything one Execute call produced: the rows plus that query's own scan
+/// instrumentation. Returned by value so concurrent queries cannot race on a
+/// shared slot (`last_exec_stats()` keeps the old single-slot behavior).
+struct QueryResult {
+  sql::ResultSet result;
+  /// Scan instrumentation of exactly this query.
+  sql::ExecStats stats;
+  /// Trace id of this query's root span (join against `__spans.trace_id`),
+  /// or 0 if the span was sampled out / tracing is disabled.
+  uint64_t trace_id = 0;
+};
+
 /// The query subsystem of Fig. 1: the entry point external applications use
 /// to query stream-processor state, via SQL or the direct object interface.
 ///
@@ -73,10 +85,21 @@ class QueryService : public sql::TableResolver {
   QueryService(kv::Grid* grid, state::SnapshotRegistry* registry,
                Clock* clock = nullptr, MetricsRegistry* metrics = nullptr);
 
-  /// Runs a SQL SELECT. The result's LOCALTIMESTAMP is bound once at query
-  /// start.
+  /// Runs a SQL statement. The result's LOCALTIMESTAMP is bound once at
+  /// query start. Besides plain SELECT, accepts:
+  ///   `EXPLAIN SELECT ...`          the plan as rows (one `plan` column),
+  ///                                 nothing executed;
+  ///   `EXPLAIN ANALYZE SELECT ...`  executes the statement (trace recording
+  ///                                 forced on for this query) and returns
+  ///                                 the plan annotated with measured span
+  ///                                 timings and scan counters.
   Result<sql::ResultSet> Execute(const std::string& sql,
                                  const QueryOptions& options = {});
+
+  /// Execute() plus this query's own ExecStats and trace id, returned
+  /// together so concurrent callers never read another query's numbers.
+  Result<QueryResult> ExecuteWithStats(const std::string& sql,
+                                       const QueryOptions& options = {});
 
   /// Direct object interface, live state: point lookups through key-level
   /// locks (read committed under no failures). Missing keys are skipped.
@@ -132,7 +155,12 @@ class QueryService : public sql::TableResolver {
 
   /// Scan instrumentation of the most recent Execute() call: rows visited vs
   /// materialized, partitions touched, workers used, whether pushdown / point
-  /// lookups engaged. (Most recent overall under concurrent Execute calls.)
+  /// lookups engaged.
+  ///
+  /// Deprecated: a single slot shared by all queries — under concurrent
+  /// Execute calls this returns whichever query published last, not
+  /// necessarily yours. Use ExecuteWithStats(), which returns the stats of
+  /// exactly the query you ran. Kept for existing monitoring callers.
   sql::ExecStats last_exec_stats() const {
     MutexLock lock(&stats_mu_);
     return last_stats_;

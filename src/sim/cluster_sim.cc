@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "trace/trace.h"
 
 namespace sq::sim {
 
@@ -13,6 +14,10 @@ int32_t Dop(const ClusterConfig& config) {
 
 void SimulateRun(const ClusterConfig& config, double events_per_sec,
                  double duration_s, SimOutcome* out) {
+  // Wall time of the simulation itself (the simulated clock is virtual).
+  trace::ScopedSpan span(trace::Category::kSim, "simulate_run");
+  span.AddAttr("rate", static_cast<int64_t>(events_per_sec));
+  span.AddAttr("nodes", config.nodes);
   SimOutcome& outcome = *out;
   outcome.latency_ns.Reset();
   outcome.offered_rate = events_per_sec;
@@ -71,6 +76,8 @@ void SimulateKillRestart(const ClusterConfig& config,
                          const FailureScenario& scenario,
                          double events_per_sec, double duration_s,
                          KillRestartOutcome* out) {
+  trace::ScopedSpan span(trace::Category::kSim, "simulate_kill_restart");
+  span.AddAttr("durable", scenario.durable);
   KillRestartOutcome& outcome = *out;
   outcome.latency_ns.Reset();
 
@@ -146,6 +153,8 @@ bool Sustainable(const ClusterConfig& config, double rate, double duration_s) {
 double MaxSustainableThroughput(const ClusterConfig& config,
                                 double hi_guess_events_per_sec,
                                 double duration_s) {
+  // Root span: the SimulateRun probes below nest under this search.
+  trace::ScopedSpan span(trace::Category::kSim, "max_sustainable_search");
   double lo = 0.0;
   double hi = hi_guess_events_per_sec;
   // Grow the bracket if the guess itself is sustainable.

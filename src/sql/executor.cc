@@ -11,6 +11,7 @@
 #include "sql/eval.h"
 #include "sql/parser.h"
 #include "sql/plan.h"
+#include "trace/trace.h"
 
 namespace sq::sql {
 
@@ -253,6 +254,8 @@ template <typename RowConsumer>
 Status ScanByKeys(const TableSource& source, const std::vector<Value>& keys,
                   const Expr* predicate, const EvalContext& ctx,
                   ExecStats* stats, const RowConsumer& consume) {
+  trace::ScopedSpan span(trace::Category::kQuery, "point_lookup");
+  span.AddAttr("keys", static_cast<int64_t>(keys.size()));
   Status status;
   std::set<int32_t> partitions;
   source.ScanKeys(keys, [&](const Value& key, const Value* ssid,
@@ -298,7 +301,11 @@ Result<std::vector<Object>> MaterializeFromSource(
   const int32_t workers = ScanWorkers(options, partitions);
   std::vector<std::vector<Object>> per_partition(partitions);
   std::vector<PartitionOutcome> outcomes(partitions);
+  // Captured before the fan-out: ParallelFor workers have no thread-local
+  // scope, so per-partition spans parent on the scan span explicitly.
+  const trace::SpanContext scan_ctx = trace::CurrentContext();
   RunPartitioned(options, partitions, workers, [&](int32_t p) {
+    const int64_t span_t0 = trace::NowNanos();
     PartitionOutcome& outcome = outcomes[p];
     std::vector<Object>& local = per_partition[p];
     source.ScanPartition(p, [&](const Value& key, const Value* ssid,
@@ -317,6 +324,11 @@ Result<std::vector<Object>> MaterializeFromSource(
       ++outcome.returned;
       local.push_back(MaterializeRow(key, ssid, value));
     });
+    trace::RecordSpan(trace::Category::kQuery, "partition_scan", scan_ctx,
+                      span_t0, trace::NowNanos(),
+                      {{"partition", p},
+                       {"scanned", outcome.scanned},
+                       {"returned", outcome.returned}});
   });
   stats->partitions_scanned += partitions;
   stats->parallelism = std::max(stats->parallelism, workers);
@@ -357,7 +369,9 @@ Status ScanAggregate(const TableSource& source, const Expr* predicate,
   const int32_t workers = ScanWorkers(options, partitions);
   std::vector<GroupTable> per_partition(partitions);
   std::vector<PartitionOutcome> outcomes(partitions);
+  const trace::SpanContext scan_ctx = trace::CurrentContext();
   RunPartitioned(options, partitions, workers, [&](int32_t p) {
+    const int64_t span_t0 = trace::NowNanos();
     PartitionOutcome& outcome = outcomes[p];
     GroupTable& local = per_partition[p];
     source.ScanPartition(p, [&](const Value& key, const Value* ssid,
@@ -379,13 +393,23 @@ Status ScanAggregate(const TableSource& source, const Expr* predicate,
           [&key, ssid, &value] { return MaterializeRow(key, ssid, value); },
           ctx, &local);
     });
+    trace::RecordSpan(trace::Category::kQuery, "partition_aggregate",
+                      scan_ctx, span_t0, trace::NowNanos(),
+                      {{"partition", p},
+                       {"scanned", outcome.scanned},
+                       {"returned", outcome.returned},
+                       {"groups", static_cast<int64_t>(local.groups.size())}});
   });
   stats->partitions_scanned += partitions;
   stats->parallelism = std::max(stats->parallelism, workers);
   stats->used_pushdown = stats->used_pushdown || predicate != nullptr;
   SQ_RETURN_IF_ERROR(FirstError(outcomes, stats));
-  for (GroupTable& local : per_partition) {
-    MergeGroupTables(aggregates, std::move(local), out);
+  {
+    trace::ScopedSpan merge_span(trace::Category::kQuery, "merge");
+    for (GroupTable& local : per_partition) {
+      MergeGroupTables(aggregates, std::move(local), out);
+    }
+    merge_span.AddAttr("groups", static_cast<int64_t>(out->groups.size()));
   }
   return Status::OK();
 }
@@ -459,7 +483,12 @@ Result<ResultSet> ExecuteSelect(const SelectStatement& stmt,
   }
 
   // --- Pushdown plan (join-free statements only).
+  const int64_t plan_t0 = trace::NowNanos();
   const ScanPlan plan = BuildScanPlan(stmt, options.enable_pushdown);
+  trace::RecordSpan(trace::Category::kQuery, "plan", trace::CurrentContext(),
+                    plan_t0, trace::NowNanos(),
+                    {{"pushdown", plan.predicate != nullptr},
+                     {"point_lookup", plan.keys.has_value()}});
 
   // --- Scan + joins. The FROM scan goes through a TableSource when the
   // resolver offers one: partitions fan out over the pool, the pushed-down
@@ -472,12 +501,16 @@ Result<ResultSet> ExecuteSelect(const SelectStatement& stmt,
   bool partial_aggregated = false;
 
   {
+    trace::ScopedSpan scan_span(trace::Category::kQuery, "scan");
+    scan_span.AddAttr("table", stmt.from.name);
     SQ_ASSIGN_OR_RETURN(
         std::unique_ptr<TableSource> source,
         resolver->OpenTableSource(stmt.from.name, ssid_for(stmt.from)));
     const Expr* pushed = source != nullptr ? plan.predicate : nullptr;
     const std::vector<Value>* keys =
         (source != nullptr && plan.keys.has_value()) ? &*plan.keys : nullptr;
+    scan_span.AddAttr("pushdown", pushed != nullptr);
+    scan_span.AddAttr("point_lookup", keys != nullptr);
     if (aggregating && stmt.joins.empty() && source != nullptr &&
         (stmt.where == nullptr || pushed != nullptr)) {
       SQ_RETURN_IF_ERROR(ScanAggregate(*source, pushed, keys, stmt,
@@ -495,9 +528,13 @@ Result<ResultSet> ExecuteSelect(const SelectStatement& stmt,
           tuples, MaterializeTable(resolver, stmt.from.name,
                                    ssid_for(stmt.from), nullptr, nullptr,
                                    ctx, options, stats));
+      scan_span.AddAttr("fallback", true);
     }
   }
   for (const JoinClause& join : stmt.joins) {
+    trace::ScopedSpan join_span(trace::Category::kQuery, "join");
+    join_span.AddAttr("table", join.table.name);
+    join_span.AddAttr("using", join.using_column);
     SQ_ASSIGN_OR_RETURN(
         std::vector<Object> right,
         MaterializeTable(resolver, join.table.name, ssid_for(join.table),
@@ -529,6 +566,8 @@ Result<ResultSet> ExecuteSelect(const SelectStatement& stmt,
 
   // --- Filter (unless already evaluated inside the scan).
   if (stmt.where != nullptr && !where_applied) {
+    trace::ScopedSpan filter_span(trace::Category::kQuery, "filter");
+    filter_span.AddAttr("input_rows", static_cast<int64_t>(tuples.size()));
     std::vector<Object> kept;
     kept.reserve(tuples.size());
     for (Object& tuple : tuples) {
@@ -536,6 +575,7 @@ Result<ResultSet> ExecuteSelect(const SelectStatement& stmt,
       if (pass.Truthy()) kept.push_back(std::move(tuple));
     }
     tuples = std::move(kept);
+    filter_span.AddAttr("output_rows", static_cast<int64_t>(tuples.size()));
   }
 
   // --- Build output column list.
@@ -605,6 +645,8 @@ Result<ResultSet> ExecuteSelect(const SelectStatement& stmt,
       SQ_RETURN_IF_ERROR(emit_row(tuple, {}));
     }
   } else {
+    trace::ScopedSpan agg_span(trace::Category::kQuery, "aggregate");
+    agg_span.AddAttr("fused", partial_aggregated);
     if (!partial_aggregated) {
       for (const Object& tuple : tuples) {
         SQ_RETURN_IF_ERROR(AccumulateRow(
@@ -633,6 +675,7 @@ Result<ResultSet> ExecuteSelect(const SelectStatement& stmt,
       }
       SQ_RETURN_IF_ERROR(emit_row(group.representative, agg_values));
     }
+    agg_span.AddAttr("groups", static_cast<int64_t>(groups.groups.size()));
   }
 
   // --- DISTINCT.
@@ -650,6 +693,8 @@ Result<ResultSet> ExecuteSelect(const SelectStatement& stmt,
 
   // --- ORDER BY (+ bounded top-K under LIMIT). The seq tiebreak makes the
   // comparator a total order, so partial_sort/sort reproduce a stable sort.
+  const int64_t sort_t0 = trace::NowNanos();
+  const size_t sort_input_rows = out_rows.size();
   if (!stmt.order_by.empty()) {
     const auto before = [&stmt](const OutRow& a, const OutRow& b) {
       for (size_t i = 0; i < stmt.order_by.size(); ++i) {
@@ -677,6 +722,12 @@ Result<ResultSet> ExecuteSelect(const SelectStatement& stmt,
       out_rows.size() > static_cast<size_t>(stmt.limit)) {
     out_rows.resize(static_cast<size_t>(stmt.limit));
   }
+  if (!stmt.order_by.empty() || stmt.limit >= 0) {
+    trace::RecordSpan(trace::Category::kQuery, "sort_limit",
+                      trace::CurrentContext(), sort_t0, trace::NowNanos(),
+                      {{"input_rows", static_cast<int64_t>(sort_input_rows)},
+                       {"output_rows", static_cast<int64_t>(out_rows.size())}});
+  }
 
   ResultSet result;
   result.columns = std::move(columns);
@@ -691,6 +742,109 @@ Result<ResultSet> ExecuteSql(const std::string& sql, TableResolver* resolver,
                              const ExecOptions& options) {
   SQ_ASSIGN_OR_RETURN(auto stmt, ParseSelect(sql));
   return ExecuteSelect(*stmt, resolver, options);
+}
+
+std::vector<std::string> ExplainPlanLines(const SelectStatement& stmt,
+                                          TableResolver* resolver,
+                                          const ExecOptions& options) {
+  std::vector<std::string> lines;
+
+  // Mirror ExecuteSelect's analysis exactly, without scanning anything.
+  std::map<std::string, int64_t> ssid_by_table;
+  std::optional<int64_t> global_ssid;
+  CollectSsidFilters(stmt.where.get(), &ssid_by_table, &global_ssid);
+  auto ssid_for = [&](const TableRef& ref) -> std::optional<int64_t> {
+    auto it = ssid_by_table.find(ref.effective_name());
+    if (it != ssid_by_table.end()) return it->second;
+    return global_ssid;
+  };
+
+  std::vector<AggregateSpec> aggregates;
+  for (const SelectItem& item : stmt.items) {
+    CollectAggregates(item.expr.get(), &aggregates);
+  }
+  for (const auto& [expr, desc] : stmt.order_by) {
+    CollectAggregates(expr.get(), &aggregates);
+  }
+  CollectAggregates(stmt.having.get(), &aggregates);
+  const bool aggregating = !aggregates.empty() || !stmt.group_by.empty();
+
+  const ScanPlan plan = BuildScanPlan(stmt, options.enable_pushdown);
+
+  std::unique_ptr<TableSource> source;
+  if (resolver != nullptr) {
+    Result<std::unique_ptr<TableSource>> probe =
+        resolver->OpenTableSource(stmt.from.name, ssid_for(stmt.from));
+    if (probe.ok()) source = std::move(*probe);
+  }
+  const bool pushed = source != nullptr && plan.predicate != nullptr;
+  const bool point = source != nullptr && plan.keys.has_value();
+  const bool fused = aggregating && stmt.joins.empty() &&
+                     source != nullptr && (stmt.where == nullptr || pushed);
+
+  std::string scan;
+  if (point) {
+    scan = "Scan: point lookup on " + stmt.from.name + " (" +
+           std::to_string(plan.keys->size()) + " keys";
+    const size_t shown = std::min<size_t>(plan.keys->size(), 4);
+    for (size_t i = 0; i < shown; ++i) {
+      scan += i == 0 ? ": " : ", ";
+      scan += (*plan.keys)[i].ToString();
+    }
+    if (plan.keys->size() > shown) scan += ", ...";
+    scan += ")";
+  } else if (source != nullptr) {
+    const int32_t partitions = source->partition_count();
+    const int32_t workers = ScanWorkers(options, partitions);
+    scan = "Scan: partitioned fan-out over " + stmt.from.name + " (" +
+           std::to_string(partitions) + " partitions, " +
+           std::to_string(workers) + " workers)";
+  } else {
+    scan = "Scan: materialize " + stmt.from.name + " (full copy)";
+  }
+  if (std::optional<int64_t> pin = ssid_for(stmt.from); pin.has_value()) {
+    scan += " @ ssid=" + std::to_string(*pin);
+  }
+  lines.push_back(std::move(scan));
+  if (fused) {
+    lines.push_back("  fused per-partition partial aggregation (" +
+                    std::to_string(aggregates.size()) + " aggregates)");
+  }
+  if (pushed) {
+    lines.push_back("  pushed filter: " + plan.predicate->ToString());
+  }
+
+  for (const JoinClause& join : stmt.joins) {
+    lines.push_back("Join: hash join " + join.table.name + " USING (" +
+                    join.using_column + ")");
+  }
+  if (stmt.where != nullptr && !pushed && !point) {
+    lines.push_back("Filter: " + stmt.where->ToString());
+  }
+  if (aggregating) {
+    std::string agg = "Aggregate: " + std::to_string(aggregates.size()) +
+                      " aggregates";
+    if (!stmt.group_by.empty()) {
+      agg += ", GROUP BY " + std::to_string(stmt.group_by.size()) + " exprs";
+    }
+    lines.push_back(std::move(agg));
+    if (stmt.having != nullptr) {
+      lines.push_back("  HAVING: " + stmt.having->ToString());
+    }
+  }
+  if (stmt.distinct) lines.push_back("Distinct");
+  if (!stmt.order_by.empty()) {
+    std::string order = "OrderBy: " + std::to_string(stmt.order_by.size()) +
+                        " keys";
+    if (stmt.limit >= 0) {
+      order += " (top-" + std::to_string(stmt.limit) + ")";
+    }
+    lines.push_back(std::move(order));
+  }
+  if (stmt.limit >= 0) {
+    lines.push_back("Limit: " + std::to_string(stmt.limit));
+  }
+  return lines;
 }
 
 }  // namespace sq::sql

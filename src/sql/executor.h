@@ -126,6 +126,15 @@ Result<ResultSet> ExecuteSelect(const SelectStatement& stmt,
 Result<ResultSet> ExecuteSql(const std::string& sql, TableResolver* resolver,
                              const ExecOptions& options);
 
+/// Renders the plan `ExecuteSelect` would pick for `stmt` as indented text
+/// lines (the body of `EXPLAIN`): scan strategy (partitioned fan-out vs
+/// materialize fallback), pushed-down predicate, point-lookup key set,
+/// parallelism, joins, aggregation, and tail operators. Read-only: probes
+/// `resolver->OpenTableSource` to learn the strategy but scans nothing.
+std::vector<std::string> ExplainPlanLines(const SelectStatement& stmt,
+                                          TableResolver* resolver,
+                                          const ExecOptions& options);
+
 }  // namespace sq::sql
 
 #endif  // SQUERY_SQL_EXECUTOR_H_

@@ -14,6 +14,7 @@ constexpr std::array kKeywords = {
     "USING",  "GROUP", "BY",     "ORDER",  "ASC",   "DESC",  "LIMIT",
     "AND",    "OR",    "NOT",    "AS",     "TRUE",  "FALSE", "NULL",
     "LOCALTIMESTAMP",  "IN",     "DISTINCT", "IS", "HAVING", "BETWEEN",
+    "EXPLAIN", "ANALYZE",
 };
 
 bool IsKeywordWord(const std::string& upper) {

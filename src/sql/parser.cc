@@ -22,6 +22,16 @@ class Parser {
     return stmt;
   }
 
+  Result<ParsedStatement> ParseTopLevel() {
+    ParsedStatement parsed;
+    if (ConsumeKeyword("EXPLAIN")) {
+      parsed.explain = true;
+      parsed.analyze = ConsumeKeyword("ANALYZE");
+    }
+    SQ_ASSIGN_OR_RETURN(parsed.select, Parse());
+    return parsed;
+  }
+
  private:
   const Token& Peek(size_t ahead = 0) const {
     const size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
@@ -379,6 +389,12 @@ Result<std::unique_ptr<SelectStatement>> ParseSelect(const std::string& sql) {
   SQ_ASSIGN_OR_RETURN(auto tokens, Tokenize(sql));
   Parser parser(std::move(tokens));
   return parser.Parse();
+}
+
+Result<ParsedStatement> ParseStatement(const std::string& sql) {
+  SQ_ASSIGN_OR_RETURN(auto tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseTopLevel();
 }
 
 }  // namespace sq::sql

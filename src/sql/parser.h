@@ -15,6 +15,17 @@ namespace sq::sql {
 /// DISTINCT, quoted identifiers.
 Result<std::unique_ptr<SelectStatement>> ParseSelect(const std::string& sql);
 
+/// A parsed top-level statement: a SELECT, optionally prefixed with
+/// `EXPLAIN` (plan only) or `EXPLAIN ANALYZE` (execute + per-stage timings).
+struct ParsedStatement {
+  bool explain = false;  ///< EXPLAIN or EXPLAIN ANALYZE prefix present
+  bool analyze = false;  ///< implies explain
+  std::unique_ptr<SelectStatement> select;
+};
+
+/// Parses `[EXPLAIN [ANALYZE]] SELECT ...`.
+Result<ParsedStatement> ParseStatement(const std::string& sql);
+
 }  // namespace sq::sql
 
 #endif  // SQUERY_SQL_PARSER_H_

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "trace/trace.h"
 
 namespace sq::state {
 
@@ -124,12 +125,17 @@ void SnapshotRegistry::FlushPruning() {
 }
 
 void SnapshotRegistry::PruneTo(int64_t floor_ssid) {
+  // Synchronous pruning runs on the coordinator thread inside the checkpoint
+  // span scope; the async pruner roots its own checkpoint-category trace.
+  trace::ScopedSpan span(trace::Category::kCheckpoint, "prune");
+  span.AddAttr("floor_ssid", floor_ssid);
   size_t removed = 0;
   for (const std::string& name : grid_->SnapshotTableNames()) {
     if (kv::SnapshotTable* table = grid_->GetSnapshotTable(name)) {
       removed += table->Compact(floor_ssid);
     }
   }
+  span.AddAttr("entries_removed", static_cast<int64_t>(removed));
   if (m_prunes_ != nullptr) {
     m_prunes_->Increment();
     m_pruned_entries_->Increment(static_cast<int64_t>(removed));

@@ -5,10 +5,17 @@
 
 #include "common/logging.h"
 #include "kv/snapshot_table.h"
+#include "trace/trace.h"
 
 namespace sq::storage {
 
 void DurableSnapshotListener::OnCheckpointPrepared(int64_t checkpoint_id) {
+  // Runs on the coordinator thread inside the checkpoint span scope, so this
+  // nests under the checkpoint's phase2 span.
+  trace::ScopedSpan span(trace::Category::kStorage, "log_append");
+  span.AddAttr("checkpoint_id", checkpoint_id);
+  int64_t total_entries = 0;
+  int64_t total_batches = 0;
   for (const std::string& table : grid_->SnapshotTableNames()) {
     const kv::SnapshotTable* snap = grid_->GetSnapshotTable(table);
     if (snap == nullptr) continue;
@@ -33,6 +40,8 @@ void DurableSnapshotListener::OnCheckpointPrepared(int64_t checkpoint_id) {
               SnapshotLog::DeltaEntry{key, entry.tombstone, entry.value});
         });
     for (const auto& [partition, entries] : batches) {
+      total_entries += static_cast<int64_t>(entries.size());
+      ++total_batches;
       Status s = log_->AppendDelta(table, checkpoint_id, partition, entries);
       if (!s.ok()) {
         write_failures_.fetch_add(1, std::memory_order_relaxed);
@@ -41,6 +50,8 @@ void DurableSnapshotListener::OnCheckpointPrepared(int64_t checkpoint_id) {
       }
     }
   }
+  span.AddAttr("entries", total_entries);
+  span.AddAttr("partition_batches", total_batches);
 }
 
 void DurableSnapshotListener::OnCheckpointCommitted(int64_t checkpoint_id) {

@@ -16,9 +16,11 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/clock.h"
 #include "common/logging.h"
 #include "storage/crc32c.h"
 #include "storage/serde.h"
+#include "trace/trace.h"
 
 namespace sq::storage {
 
@@ -183,9 +185,10 @@ bool DecodeCommit(std::string_view payload, int64_t* ssid) {
 }
 
 int64_t NowUnixMicros() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::system_clock::now().time_since_epoch())
-      .count();
+  // Anchored wall time (see the clock rule in common/clock.h): commit-record
+  // timestamps stay comparable with span/export timestamps even if the wall
+  // clock steps mid-run.
+  return SteadyToUnixMicros(SystemClock::Default()->NowNanos());
 }
 
 }  // namespace
@@ -512,17 +515,23 @@ Status SnapshotLog::FlushBatchLocked() {
 }
 
 Status SnapshotLog::SyncActiveLocked() {
-  const auto start = std::chrono::steady_clock::now();
+  const int64_t start = trace::NowNanos();
   SQ_RETURN_IF_ERROR(SyncFd(active_fd_));
-  const int64_t nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                            std::chrono::steady_clock::now() - start)
-                            .count();
+  const int64_t end = trace::NowNanos();
+  const int64_t nanos = end - start;
   fsync_nanos_.Record(nanos);
   if (m_fsync_ != nullptr) m_fsync_->Record(nanos);
+  // Reuse the already-measured interval as a span (child of log_commit).
+  trace::RecordSpan(trace::Category::kStorage, "fsync",
+                    trace::CurrentContext(), start, end);
   return Status::OK();
 }
 
 Status SnapshotLog::Commit(int64_t ssid) {
+  // Nests under the checkpoint's phase2 span when called from the durable
+  // listener chain (same thread); standalone commits root a storage trace.
+  trace::ScopedSpan span(trace::Category::kStorage, "log_commit");
+  span.AddAttr("ssid", ssid);
   int64_t compact_floor = 0;
   {
     MutexLock lock(&mu_);
@@ -735,6 +744,8 @@ Result<RecoveryInfo> SnapshotLog::ReplayInto(kv::Grid* grid,
 }
 
 size_t SnapshotLog::CompactTo(int64_t floor_ssid) {
+  trace::ScopedSpan span(trace::Category::kStorage, "compaction");
+  span.AddAttr("floor_ssid", floor_ssid);
   MutexLock lock(&mu_);
   // Candidates: sealed segments whose every entry is older than the floor.
   // The newest per-key entry among them is a base a retained snapshot may

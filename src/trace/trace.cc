@@ -1,0 +1,501 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "common/mutex.h"
+
+namespace sq::trace {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Category names
+
+constexpr const char* kCategoryNames[kCategoryCount] = {
+    "checkpoint", "query", "kv", "storage", "sim", "other"};
+
+// ---------------------------------------------------------------------------
+// Config: plain atomics so the hot-path checks are a couple of relaxed loads.
+
+std::atomic<bool> g_enabled{true};
+std::atomic<uint32_t> g_sample_every[kCategoryCount] = {{1}, {1}, {1},
+                                                        {1}, {1}, {1}};
+std::atomic<uint64_t> g_sample_counter[kCategoryCount] = {};
+
+std::atomic<uint64_t> g_next_span_id{1};
+// Query/export trace ids live above 1<<32 so they can never collide with
+// checkpoint trace ids (which are the checkpoint ids themselves).
+std::atomic<uint64_t> g_next_trace_id{(1ULL << 32) + 1};
+
+std::atomic<int32_t> g_next_tid{1};
+std::atomic<int64_t> g_dropped{0};
+
+int32_t ThisThreadOrdinal() {
+  thread_local int32_t tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread SPSC ring + bounded global journal.
+//
+// The producer (owning thread) is lock-free: write the slot, then publish it
+// with a release store of `head`. Consumers (SnapshotSpans / export, or the
+// producer itself when the ring fills) serialize on `drain_mu` and advance
+// `tail` with a release store the producer acquires before reusing a slot.
+// This is the textbook SPSC ring — no seqlock payload races, so it is clean
+// under ThreadSanitizer (trace_test hammers exactly this).
+
+struct ThreadRing {
+  static constexpr uint64_t kCapacity = 256;  // power of two
+
+  TraceSpan slots[kCapacity];
+  std::atomic<uint64_t> head{0};  ///< next slot the producer writes
+  std::atomic<uint64_t> tail{0};  ///< next slot a consumer reads
+  Mutex drain_mu{lockrank::kTraceRing, "trace.ring"};
+};
+
+struct Journal {
+  Mutex mu{lockrank::kTraceJournal, "trace.journal"};
+  std::deque<TraceSpan> spans SQ_GUARDED_BY(mu);
+  size_t capacity SQ_GUARDED_BY(mu) = 65536;
+};
+
+struct Registry {
+  Mutex mu{lockrank::kTraceRegistry, "trace.registry"};
+  // Rings are owned here and never freed: a drain may race a thread's exit,
+  // and the per-process ring count is bounded by peak thread count.
+  std::vector<std::unique_ptr<ThreadRing>> rings SQ_GUARDED_BY(mu);
+};
+
+struct Globals {
+  Registry registry;
+  Journal journal;
+  // Cached eagerly so ring/journal paths never call into MetricsRegistry
+  // (rank 700) while holding a trace lock (ranks 740–750).
+  Counter* dropped_counter;
+
+  Globals() {
+    dropped_counter =
+        MetricsRegistry::Default()->GetCounter("trace.dropped_spans");
+  }
+};
+
+Globals* G() {
+  static Globals* g = new Globals();
+  return g;
+}
+
+void NoteDropped(int64_t n) {
+  if (n <= 0) return;
+  g_dropped.fetch_add(n, std::memory_order_relaxed);
+  G()->dropped_counter->Increment(n);
+}
+
+// Appends `batch` to the journal, evicting oldest entries beyond capacity.
+void JournalAppend(std::vector<TraceSpan>&& batch) {
+  if (batch.empty()) return;
+  int64_t evicted = 0;
+  Globals* g = G();
+  {
+    MutexLock lock(&g->journal.mu);
+    for (TraceSpan& s : batch) {
+      g->journal.spans.push_back(std::move(s));
+    }
+    while (g->journal.spans.size() > g->journal.capacity) {
+      g->journal.spans.pop_front();
+      ++evicted;
+    }
+  }
+  NoteDropped(evicted);
+}
+
+// Moves every published span out of `ring`. Caller must not be racing other
+// consumers (serialize on ring->drain_mu).
+void DrainRingLocked(ThreadRing* ring, std::vector<TraceSpan>* out)
+    SQ_REQUIRES(ring->drain_mu) {
+  uint64_t t = ring->tail.load(std::memory_order_relaxed);
+  uint64_t h = ring->head.load(std::memory_order_acquire);
+  for (; t != h; ++t) {
+    out->push_back(std::move(ring->slots[t % ThreadRing::kCapacity]));
+  }
+  ring->tail.store(t, std::memory_order_release);
+}
+
+void DrainRing(ThreadRing* ring, std::vector<TraceSpan>* out) {
+  MutexLock lock(&ring->drain_mu);
+  DrainRingLocked(ring, out);
+}
+
+// Thread-exit flush: a short-lived thread's last spans would otherwise sit in
+// its ring until the next SnapshotSpans call; push them to the journal now.
+struct RingHandle {
+  ThreadRing* ring = nullptr;
+
+  ~RingHandle() {
+    if (ring == nullptr) return;
+    std::vector<TraceSpan> batch;
+    DrainRing(ring, &batch);
+    JournalAppend(std::move(batch));
+  }
+};
+
+ThreadRing* ThisThreadRing() {
+  thread_local RingHandle handle;
+  if (handle.ring == nullptr) {
+    auto ring = std::make_unique<ThreadRing>();
+    handle.ring = ring.get();
+    Globals* g = G();
+    MutexLock lock(&g->registry.mu);
+    g->registry.rings.push_back(std::move(ring));
+  }
+  return handle.ring;
+}
+
+void PushSpan(TraceSpan&& span) {
+  ThreadRing* ring = ThisThreadRing();
+  uint64_t h = ring->head.load(std::memory_order_relaxed);
+  if (h - ring->tail.load(std::memory_order_acquire) == ThreadRing::kCapacity) {
+    // Ring full: the producer becomes its own consumer and spills everything
+    // to the journal (which applies its own drop-oldest bound). Nothing is
+    // lost here; only journal eviction counts as a drop.
+    std::vector<TraceSpan> batch;
+    DrainRing(ring, &batch);
+    JournalAppend(std::move(batch));
+  }
+  ring->slots[h % ThreadRing::kCapacity] = std::move(span);
+  ring->head.store(h + 1, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local span scope. `suppressed` marks a live unsampled root so its
+// descendants are dropped with it instead of starting stray trees.
+
+struct ThreadScope {
+  SpanContext ctx;
+  bool suppressed = false;
+};
+
+thread_local ThreadScope g_scope;
+
+bool SampleRoot(Category category) {
+  uint32_t every =
+      g_sample_every[static_cast<size_t>(category)].load(
+          std::memory_order_relaxed);
+  if (every == 0) return false;
+  if (every == 1) return true;
+  uint64_t n = g_sample_counter[static_cast<size_t>(category)].fetch_add(
+      1, std::memory_order_relaxed);
+  return n % every == 0;
+}
+
+// Decides whether a span under `parent` records, and fills in its tree
+// identity. Returns false for "drop" (all parent shapes honor forced).
+bool AdmitSpan(Category category, SpanContext parent, TraceSpan* span) {
+  bool enabled = g_enabled.load(std::memory_order_relaxed) &&
+                 CategoryEnabled(category);
+  if (parent.span_id != 0) {
+    // Child of a recorded span: follow the tree unless the category was
+    // switched off since the root sampled.
+    if (!parent.forced && !enabled) return false;
+    span->trace_id = parent.trace_id;
+    span->parent_id = parent.span_id;
+    return true;
+  }
+  if (parent.trace_id != 0) {
+    // Root pinned to an external trace id (checkpoint id, query id).
+    if (!parent.forced && (!enabled || !SampleRoot(category))) return false;
+    span->trace_id = parent.trace_id;
+    span->parent_id = 0;
+    return true;
+  }
+  if (parent.forced) {
+    span->trace_id = NewTraceId();
+    span->parent_id = 0;
+    return true;
+  }
+  return false;  // all-zero parent: no active tree to join
+}
+
+}  // namespace
+
+const char* CategoryToString(Category category) {
+  size_t i = static_cast<size_t>(category);
+  return i < kCategoryCount ? kCategoryNames[i] : "other";
+}
+
+bool CategoryFromString(const std::string& name, Category* out) {
+  for (size_t i = 0; i < kCategoryCount; ++i) {
+    if (name == kCategoryNames[i]) {
+      *out = static_cast<Category>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+void SetConfig(const TraceConfig& config) {
+  g_enabled.store(config.enabled, std::memory_order_relaxed);
+  for (size_t i = 0; i < kCategoryCount; ++i) {
+    g_sample_every[i].store(config.sample_every[i], std::memory_order_relaxed);
+  }
+}
+
+TraceConfig GetConfig() {
+  TraceConfig config;
+  config.enabled = g_enabled.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kCategoryCount; ++i) {
+    config.sample_every[i] = g_sample_every[i].load(std::memory_order_relaxed);
+  }
+  return config;
+}
+
+bool CategoryEnabled(Category category) {
+  return g_enabled.load(std::memory_order_relaxed) &&
+         g_sample_every[static_cast<size_t>(category)].load(
+             std::memory_order_relaxed) != 0;
+}
+
+int64_t NowNanos() { return SystemClock::Default()->NowNanos(); }
+
+uint64_t NewTraceId() {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+SpanContext CurrentContext() {
+  return g_scope.suppressed ? SpanContext{} : g_scope.ctx;
+}
+
+void RecordSpan(Category category, const char* name, SpanContext parent,
+                int64_t start_nanos, int64_t end_nanos,
+                std::vector<Attr> attrs) {
+  TraceSpan span;
+  if (!AdmitSpan(category, parent, &span)) return;
+  span.span_id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  span.category = category;
+  span.name = name;
+  span.start_nanos = start_nanos;
+  span.end_nanos = end_nanos;
+  span.tid = ThisThreadOrdinal();
+  span.attrs = std::move(attrs);
+  PushSpan(std::move(span));
+}
+
+ScopedSpan::ScopedSpan(Category category, const char* name) {
+  if (g_scope.suppressed) {
+    // Inside an unsampled root: stay suppressed, don't start a stray tree.
+    return;
+  }
+  SpanContext parent = g_scope.ctx;
+  if (parent.span_id == 0 && parent.trace_id == 0) {
+    // No active scope: this span is a candidate new root. AdmitSpan makes
+    // the (single) sampling decision through the pinned-root branch.
+    if (!CategoryEnabled(category)) return;
+    Init(category, name, SpanContext{NewTraceId(), 0, false});
+    if (!recording_) {
+      // Sampled out (not disabled): suppress descendants so the tree is
+      // dropped whole rather than torn.
+      g_scope.suppressed = true;
+      suppressing_ = true;
+    }
+    return;
+  }
+  Init(category, name, parent);
+}
+
+ScopedSpan::ScopedSpan(Category category, const char* name,
+                       SpanContext parent) {
+  Init(category, name, parent);
+}
+
+void ScopedSpan::Init(Category category, const char* name,
+                      SpanContext parent) {
+  TraceSpan span;
+  if (!AdmitSpan(category, parent, &span)) return;
+  span_ = std::move(span);
+  span_.span_id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  span_.category = category;
+  span_.name = name;
+  span_.start_nanos = NowNanos();
+  recording_ = true;
+  forced_ = parent.forced;
+  saved_ = g_scope.ctx;
+  g_scope.ctx = SpanContext{span_.trace_id, span_.span_id, forced_};
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (suppressing_) {
+    g_scope.suppressed = false;
+  }
+  if (!recording_) return;
+  g_scope.ctx = saved_;
+  span_.end_nanos = NowNanos();
+  span_.tid = ThisThreadOrdinal();
+  PushSpan(std::move(span_));
+}
+
+void ScopedSpan::AddAttr(Attr attr) {
+  if (!recording_) return;
+  span_.attrs.push_back(std::move(attr));
+}
+
+SpanContext ScopedSpan::context() const {
+  if (!recording_) return SpanContext{};
+  return SpanContext{span_.trace_id, span_.span_id, forced_};
+}
+
+std::vector<TraceSpan> SnapshotSpans() {
+  Globals* g = G();
+  std::vector<TraceSpan> drained;
+  {
+    MutexLock lock(&g->registry.mu);
+    for (auto& ring : g->registry.rings) {
+      DrainRing(ring.get(), &drained);
+    }
+  }
+  JournalAppend(std::move(drained));
+  std::vector<TraceSpan> out;
+  {
+    MutexLock lock(&g->journal.mu);
+    out.assign(g->journal.spans.begin(), g->journal.spans.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceSpan& a, const TraceSpan& b) {
+                     return a.start_nanos < b.start_nanos;
+                   });
+  return out;
+}
+
+int64_t DroppedSpans() { return g_dropped.load(std::memory_order_relaxed); }
+
+namespace {
+
+void AppendJsonEscaped(const std::string& in, std::string* out) {
+  for (unsigned char c : in) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Status ExportChromeJson(const std::string& path) {
+  std::vector<TraceSpan> spans = SnapshotSpans();
+
+  std::string json;
+  json.reserve(spans.size() * 160 + 64);
+  json.append("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+  bool first = true;
+  char buf[64];
+  for (const TraceSpan& s : spans) {
+    if (!first) json.push_back(',');
+    first = false;
+    json.append("{\"name\":\"");
+    AppendJsonEscaped(s.name, &json);
+    json.append("\",\"cat\":\"");
+    json.append(CategoryToString(s.category));
+    // Complete-event timestamps are fractional microseconds on the wall
+    // clock, translated through the one process anchor (common/clock.h).
+    int64_t wall_start_nanos =
+        SteadyToUnixMicros(s.start_nanos) * 1000 +
+        (s.start_nanos - (s.start_nanos / 1000) * 1000);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%lld.%03lld,",
+                  s.tid, static_cast<long long>(wall_start_nanos / 1000),
+                  static_cast<long long>(wall_start_nanos % 1000));
+    json.append(buf);
+    int64_t dur = s.duration_nanos() < 0 ? 0 : s.duration_nanos();
+    std::snprintf(buf, sizeof(buf), "\"dur\":%lld.%03lld,",
+                  static_cast<long long>(dur / 1000),
+                  static_cast<long long>(dur % 1000));
+    json.append(buf);
+    std::snprintf(buf, sizeof(buf),
+                  "\"args\":{\"trace_id\":%llu,\"span_id\":%llu,"
+                  "\"parent_id\":%llu",
+                  static_cast<unsigned long long>(s.trace_id),
+                  static_cast<unsigned long long>(s.span_id),
+                  static_cast<unsigned long long>(s.parent_id));
+    json.append(buf);
+    for (const Attr& a : s.attrs) {
+      json.append(",\"");
+      AppendJsonEscaped(a.key, &json);
+      json.append("\":\"");
+      AppendJsonEscaped(a.value, &json);
+      json.append("\"");
+    }
+    json.append("}}");
+  }
+  json.append("]}\n");
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("trace export: cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::Internal("trace export: short write to " + path);
+  }
+  return Status::OK();
+}
+
+void SetJournalCapacityForTest(size_t capacity) {
+  Globals* g = G();
+  MutexLock lock(&g->journal.mu);
+  g->journal.capacity = capacity;
+}
+
+void ClearForTest() {
+  Globals* g = G();
+  std::vector<TraceSpan> discard;
+  {
+    MutexLock lock(&g->registry.mu);
+    for (auto& ring : g->registry.rings) {
+      DrainRing(ring.get(), &discard);
+    }
+  }
+  {
+    MutexLock lock(&g->journal.mu);
+    g->journal.spans.clear();
+  }
+  g_dropped.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace sq::trace

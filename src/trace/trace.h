@@ -1,0 +1,195 @@
+#ifndef SQUERY_TRACE_TRACE_H_
+#define SQUERY_TRACE_TRACE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sq::trace {
+
+/// Span categories — one per instrumented subsystem, used for per-category
+/// sampling and for filtering `__spans` / exported traces. DESIGN.md maps
+/// these onto the paper's checkpoint phases (Figs. 10/11).
+enum class Category : uint8_t {
+  kCheckpoint = 0,  ///< 2PC: inject → align → phase-1 capture → phase-2 → prune
+  kQuery = 1,       ///< SQL: parse → plan → scan/point-lookup → merge
+  kKv = 2,          ///< KV grid: key-lock waits
+  kStorage = 3,     ///< snapshot log: append/flush/fsync/commit/compaction
+  kSim = 4,         ///< cluster simulator timeline
+  kOther = 5,       ///< uncategorized (embedder spans)
+};
+inline constexpr size_t kCategoryCount = 6;
+
+const char* CategoryToString(Category category);
+/// False if `name` names no category.
+bool CategoryFromString(const std::string& name, Category* out);
+
+/// One key-value span annotation. Keys are static strings (the call sites
+/// all pass literals); values are formatted to text at record time.
+struct Attr {
+  const char* key = "";
+  std::string value;
+
+  Attr() = default;
+  Attr(const char* k, std::string v) : key(k), value(std::move(v)) {}
+  Attr(const char* k, const char* v) : key(k), value(v) {}
+  Attr(const char* k, int64_t v) : key(k), value(std::to_string(v)) {}
+  Attr(const char* k, int32_t v) : key(k), value(std::to_string(v)) {}
+  Attr(const char* k, uint64_t v) : key(k), value(std::to_string(v)) {}
+  Attr(const char* k, bool v) : key(k), value(v ? "true" : "false") {}
+};
+
+/// A completed span. Timestamps are steady-clock nanoseconds from
+/// `trace::NowNanos()` (see the clock rule in common/clock.h); export
+/// converts them to wall time through the process wall-clock anchor.
+struct TraceSpan {
+  uint64_t trace_id = 0;  ///< groups one checkpoint / one query
+  uint64_t span_id = 0;   ///< unique per process, never 0 for a recorded span
+  uint64_t parent_id = 0;  ///< 0 = root of its tree
+  Category category = Category::kOther;
+  const char* name = "";  ///< static string
+  int64_t start_nanos = 0;
+  int64_t end_nanos = 0;
+  int32_t tid = 0;  ///< small per-thread ordinal (not the OS tid)
+  std::vector<Attr> attrs;
+
+  int64_t duration_nanos() const { return end_nanos - start_nanos; }
+};
+
+/// Propagatable span identity. `span_id == 0` with a nonzero `trace_id`
+/// denotes "root of trace `trace_id`" (used to pin checkpoint trees to the
+/// checkpoint id); all-zero means "no active span" (a new root samples).
+struct SpanContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  /// Forced contexts record regardless of config/sampling — EXPLAIN ANALYZE
+  /// must produce timings even when tracing is globally off.
+  bool forced = false;
+};
+
+/// Per-category sampling configuration. Tracing is default-on: recording a
+/// span is two clock reads plus a lock-free ring push, cheap enough to leave
+/// enabled in production (bench_micro's trace section keeps this honest).
+struct TraceConfig {
+  bool enabled = true;
+  /// Record 1 in N new *root* spans of the category; children follow their
+  /// root's decision so trees are never torn. 0 disables the category
+  /// entirely (children included); 1 records everything.
+  std::array<uint32_t, kCategoryCount> sample_every = {1, 1, 1, 1, 1, 1};
+
+  uint32_t sample(Category c) const {
+    return sample_every[static_cast<size_t>(c)];
+  }
+};
+
+void SetConfig(const TraceConfig& config);
+TraceConfig GetConfig();
+
+/// True if spans of `category` can currently be recorded at all (config on
+/// and the category not disabled). Hot paths check this before doing any
+/// per-span work (e.g. the kv lock-wait probe's try-lock dance).
+bool CategoryEnabled(Category category);
+
+/// Steady-clock nanoseconds — THE span timestamp source. Same timeline as
+/// SystemClock::Default() so spans, `__checkpoints` phase timings, and log
+/// records agree (see common/clock.h).
+int64_t NowNanos();
+
+/// Allocates a trace id for a new query/export tree. Ids start above
+/// 1 << 32 so they never collide with checkpoint trace ids, which are the
+/// checkpoint ids themselves (see CheckpointTraceId).
+uint64_t NewTraceId();
+
+/// The trace id of checkpoint `checkpoint_id`'s span tree: the checkpoint id
+/// itself, so `SELECT * FROM __spans WHERE trace_id = <id>` needs no join
+/// against `__checkpoints`.
+inline uint64_t CheckpointTraceId(int64_t checkpoint_id) {
+  return static_cast<uint64_t>(checkpoint_id);
+}
+
+/// A root context for trace `trace_id` (span_id 0): spans created under it
+/// become roots of that trace. Sampling applies as for any root.
+inline SpanContext RootContext(uint64_t trace_id, bool forced = false) {
+  return SpanContext{trace_id, 0, forced};
+}
+
+/// The calling thread's innermost active span (all-zero outside any scope).
+/// Hand this to another thread (e.g. a ThreadPool worker) to parent its
+/// spans across the thread boundary.
+SpanContext CurrentContext();
+
+/// Records a span with explicitly measured endpoints, parented to `parent`
+/// (pass CurrentContext() to attach to the calling scope, or
+/// RootContext(id) to root a tree). An all-zero non-forced parent drops the
+/// span — "the tree this belonged to was not sampled" — which is what the
+/// cross-thread checkpoint probes rely on. Used where the interval is
+/// already being timed for other reasons (barrier alignment, fsync,
+/// per-partition scans).
+void RecordSpan(Category category, const char* name, SpanContext parent,
+                int64_t start_nanos, int64_t end_nanos,
+                std::vector<Attr> attrs = {});
+
+/// RAII span: starts timing at construction, records at destruction.
+/// The default constructor parents to the calling thread's current scope;
+/// pass a SpanContext to parent explicitly (cross-thread, or to root a
+/// tree). While alive — and if recording — the span is the thread's current
+/// context, so nested ScopedSpans build the tree automatically.
+class ScopedSpan {
+ public:
+  ScopedSpan(Category category, const char* name);
+  ScopedSpan(Category category, const char* name, SpanContext parent);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// No-ops when the span is not recording.
+  void AddAttr(Attr attr);
+  template <typename T>
+  void AddAttr(const char* key, T value) {
+    AddAttr(Attr(key, value));
+  }
+
+  /// False when suppressed by config/sampling (everything else no-ops).
+  bool recording() const { return recording_; }
+  /// This span's context (all-zero when not recording) — pass to workers.
+  SpanContext context() const;
+
+ private:
+  void Init(Category category, const char* name, SpanContext parent);
+
+  TraceSpan span_;
+  SpanContext saved_;  // restored on destruction
+  bool recording_ = false;
+  bool forced_ = false;       // propagated into child contexts
+  bool suppressing_ = false;  // this span opened a suppressed (unsampled) scope
+};
+
+/// Drains every thread's ring buffer into the bounded global journal and
+/// returns a copy of the journal's contents, ordered by start time. This is
+/// what the `__spans` virtual table and ExportChromeJson read.
+std::vector<TraceSpan> SnapshotSpans();
+
+/// Spans evicted from the bounded journal (drop-oldest) or lost to ring
+/// overflow since process start. Also exported as the
+/// `trace.dropped_spans` counter in MetricsRegistry::Default().
+int64_t DroppedSpans();
+
+/// Writes every currently journaled span as Chrome/Perfetto trace-event
+/// JSON ("traceEvents" array of complete "X" events), loadable in
+/// ui.perfetto.dev or chrome://tracing. Timestamps are wall-anchored
+/// microseconds via sq::SteadyToUnixMicros. Attribute values are
+/// JSON-escaped (control characters included).
+Status ExportChromeJson(const std::string& path);
+
+/// Test hooks: shrink the journal (to force drop-oldest) and wipe all
+/// recorded spans + the dropped counter.
+void SetJournalCapacityForTest(size_t capacity);
+void ClearForTest();
+
+}  // namespace sq::trace
+
+#endif  // SQUERY_TRACE_TRACE_H_
