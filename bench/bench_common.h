@@ -87,7 +87,9 @@ struct DeliveryHarness {
 inline std::unique_ptr<DeliveryHarness> StartDeliveryHarness(
     int64_t num_orders, bool squery, bool incremental,
     int64_t checkpoint_interval_ms, double churn_rate = 0.0,
-    int retained_versions = 2, const std::string& durable_dir = "") {
+    int retained_versions = 2, const std::string& durable_dir = "",
+    dataflow::CheckpointMode checkpoint_mode =
+        dataflow::CheckpointMode::kAligned) {
   auto harness = std::make_unique<DeliveryHarness>();
   harness->grid = std::make_unique<kv::Grid>(
       kv::GridConfig{.node_count = 3, .partition_count = 24,
@@ -113,6 +115,7 @@ inline std::unique_ptr<DeliveryHarness> StartDeliveryHarness(
 
   dataflow::JobConfig job_config;
   job_config.checkpoint_interval_ms = checkpoint_interval_ms;
+  job_config.checkpoint_mode = checkpoint_mode;
   job_config.partitioner = &harness->grid->partitioner();
   if (!durable_dir.empty()) {
     auto log = storage::SnapshotLog::Open(storage::StorageOptions{

@@ -79,9 +79,10 @@ ScanBenchRow MeasureQuery(query::QueryService* service,
   options.parallelism = parallelism;
   options.pushdown = pushdown;
   Histogram latency;
+  sql::ExecStats stats;
   for (int i = 0; i < queries; ++i) {
     const int64_t start = SystemClock::Default()->NowNanos();
-    auto result = service->Execute(sql, options);
+    auto result = service->ExecuteWithStats(sql, options);
     const int64_t end = SystemClock::Default()->NowNanos();
     if (!result.ok()) {
       std::fprintf(stderr, "query failed: %s\n",
@@ -89,8 +90,8 @@ ScanBenchRow MeasureQuery(query::QueryService* service,
       std::exit(1);
     }
     latency.Record(end - start);
+    stats = result->stats;
   }
-  const sql::ExecStats stats = service->last_exec_stats();
   ScanBenchRow row;
   row.label = label;
   row.parallelism = parallelism;

@@ -1,0 +1,132 @@
+#include "dataflow/aligner.h"
+
+namespace sq::dataflow {
+
+ChannelAligner::Outcome ChannelAligner::OnMarker(int32_t from,
+                                                int64_t checkpoint_id,
+                                                int64_t latest_committed) {
+  // Stale markers: an already-committed or already-aborted checkpoint's
+  // markers may still be draining through the DAG; they must not reopen a
+  // barrier that the coordinator has long since resolved.
+  if (checkpoint_id <= latest_committed || checkpoint_id <= max_aborted_) {
+    return Outcome{};
+  }
+  if (mode_ == CheckpointMode::kAligned) {
+    if (aligning_ == 0) return StartAligned(from, checkpoint_id);
+    if (checkpoint_id == aligning_) {
+      Outcome out;
+      aligned_.insert(from);
+      MaybeCompleteAligned(&out);
+      return out;
+    }
+    if (checkpoint_id > aligning_) {
+      // A newer checkpoint superseded the alignment in progress (the old one
+      // aborted at the coordinator, or this worker is lagging). The old
+      // `aligned` set and buffer belong to the dead alignment: carrying them
+      // over completes the new alignment prematurely and replays buffered
+      // records after the wrong snapshot. Drain first, then start fresh.
+      Outcome out = StartAligned(from, checkpoint_id);
+      out.drain_buffered_first = true;
+      return out;
+    }
+    return Outcome{};  // marker older than the alignment in progress
+  }
+
+  // Unaligned.
+  if (capturing_ == 0) return StartUnaligned(from, checkpoint_id);
+  if (checkpoint_id == capturing_) {
+    Outcome out;
+    pending_.erase(from);
+    MaybeCompleteUnaligned(&out);
+    return out;
+  }
+  if (checkpoint_id > capturing_) {
+    // Superseded capture: abandon it (AbortSnapshot + drop its channel log)
+    // and begin the newer one.
+    const int64_t abandoned = capturing_;
+    Outcome out = StartUnaligned(from, checkpoint_id);
+    out.abandoned_capture = abandoned;
+    return out;
+  }
+  return Outcome{};
+}
+
+ChannelAligner::Outcome ChannelAligner::StartAligned(int32_t from,
+                                                     int64_t checkpoint_id) {
+  Outcome out;
+  out.alignment_started = true;
+  aligning_ = checkpoint_id;
+  aligned_.clear();
+  aligned_.insert(from);
+  MaybeCompleteAligned(&out);
+  return out;
+}
+
+ChannelAligner::Outcome ChannelAligner::StartUnaligned(int32_t from,
+                                                       int64_t checkpoint_id) {
+  Outcome out;
+  out.alignment_started = true;
+  out.begin_capture = checkpoint_id;
+  capturing_ = checkpoint_id;
+  pending_ = active_;
+  pending_.erase(from);
+  MaybeCompleteUnaligned(&out);
+  return out;
+}
+
+void ChannelAligner::MaybeCompleteAligned(Outcome* out) {
+  for (int32_t upstream : active_) {
+    if (aligned_.count(upstream) == 0) return;
+  }
+  out->complete = aligning_;
+  aligning_ = 0;
+  aligned_.clear();
+}
+
+void ChannelAligner::MaybeCompleteUnaligned(Outcome* out) {
+  if (!pending_.empty()) return;
+  out->complete = capturing_;
+  capturing_ = 0;
+}
+
+ChannelAligner::Outcome ChannelAligner::OnEof(int32_t from) {
+  Outcome out;
+  active_.erase(from);
+  aligned_.erase(from);
+  pending_.erase(from);
+  // A finished upstream can no longer deliver its marker; if it was the
+  // last straggler, the barrier resolves now.
+  if (aligning_ != 0) MaybeCompleteAligned(&out);
+  if (capturing_ != 0) MaybeCompleteUnaligned(&out);
+  return out;
+}
+
+ChannelAligner::Outcome ChannelAligner::OnAbort(int64_t checkpoint_id) {
+  Outcome out;
+  if (checkpoint_id > max_aborted_) max_aborted_ = checkpoint_id;
+  // Ids are monotonic, so an alignment for an id <= the aborted one can
+  // never complete (its remaining markers are stale now) — release it.
+  if (aligning_ != 0 && aligning_ <= checkpoint_id) {
+    out.drain_buffered_first = true;
+    aligning_ = 0;
+    aligned_.clear();
+  }
+  if (capturing_ != 0 && capturing_ <= checkpoint_id) {
+    out.abandoned_capture = capturing_;
+    capturing_ = 0;
+    pending_.clear();
+  }
+  return out;
+}
+
+ChannelAligner::DataAction ChannelAligner::ActionForData(int32_t from) const {
+  if (mode_ == CheckpointMode::kAligned) {
+    return (aligning_ != 0 && aligned_.count(from) != 0) ? DataAction::kBuffer
+                                                         : DataAction::kProcess;
+  }
+  return (capturing_ != 0 && pending_.count(from) != 0)
+             ? DataAction::kProcessAndLog
+             : DataAction::kProcess;
+}
+
+}  // namespace sq::dataflow

@@ -3,11 +3,32 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/histogram.h"
+#include "dataflow/record.h"
 
 namespace sq::dataflow {
+
+/// How workers take the phase-1 cut of a checkpoint (paper Fig. 3 vs the
+/// Fig. 8 tail; see DESIGN.md "Aligned vs unaligned checkpoints").
+///
+///  * `kAligned` — classic Chandy-Lamport marker alignment: a worker blocks
+///    channels whose marker has arrived and snapshots only once every
+///    upstream's marker is in. In-flight data never enters the snapshot, but
+///    the barrier stall is the dominant term of the checkpoint latency tail.
+///  * `kUnaligned` — markers overtake in-flight data (Carbone et al.,
+///    "Lightweight Asynchronous Snapshots"): the worker begins a
+///    copy-on-write capture at the *first* marker, forwards the marker
+///    immediately, and keeps processing. Records that arrive on
+///    not-yet-marked channels are processed *and* logged into the
+///    checkpoint's channel log, which recovery replays after rollback.
+enum class CheckpointMode { kAligned, kUnaligned };
+
+inline const char* CheckpointModeToString(CheckpointMode mode) {
+  return mode == CheckpointMode::kAligned ? "aligned" : "unaligned";
+}
 
 /// Observers of the checkpoint lifecycle. The engine drives the two-phase
 /// protocol; the S-QUERY state layer implements this interface to publish
@@ -22,6 +43,20 @@ class CheckpointListener {
   /// under `checkpoint_id` (still invisible to queries).
   virtual void OnCheckpointPrepared(int64_t checkpoint_id) {
     (void)checkpoint_id;
+  }
+
+  /// Unaligned mode only, called once per worker that logged overtaken
+  /// in-flight records for `checkpoint_id`, just before
+  /// `OnCheckpointPrepared`. Durable implementations persist the records so
+  /// recovery can replay them; the default discards (in-process recovery
+  /// keeps its own copy inside `Job`).
+  virtual void OnChannelLog(int64_t checkpoint_id,
+                            const std::string& vertex_name, int32_t instance,
+                            const std::vector<Record>& records) {
+    (void)checkpoint_id;
+    (void)vertex_name;
+    (void)instance;
+    (void)records;
   }
 
   /// Phase 2 complete: `checkpoint_id` is the new latest committed snapshot.
@@ -53,6 +88,13 @@ class CheckpointListenerChain : public CheckpointListener {
   void OnCheckpointPrepared(int64_t checkpoint_id) override {
     for (CheckpointListener* l : listeners_) {
       l->OnCheckpointPrepared(checkpoint_id);
+    }
+  }
+  void OnChannelLog(int64_t checkpoint_id, const std::string& vertex_name,
+                    int32_t instance,
+                    const std::vector<Record>& records) override {
+    for (CheckpointListener* l : listeners_) {
+      l->OnChannelLog(checkpoint_id, vertex_name, instance, records);
     }
   }
   void OnCheckpointCommitted(int64_t checkpoint_id) override {

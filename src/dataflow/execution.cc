@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <iterator>
+#include <limits>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -81,6 +84,10 @@ Job::Job(const JobGraph& graph, JobConfig config)
         config_.metrics->GetHistogram("checkpoint.phase2_nanos");
     m_committed_ = config_.metrics->GetCounter("checkpoint.committed");
     m_aborted_ = config_.metrics->GetCounter("checkpoint.aborted");
+    m_overtaken_ =
+        config_.metrics->GetCounter("checkpoint.overtaken_records");
+    m_dropped_buffered_ =
+        config_.metrics->GetCounter("checkpoint.dropped_buffered");
   }
 
   // Materialize workers.
@@ -285,8 +292,8 @@ trace::SpanContext Job::CheckpointTraceParent(int64_t checkpoint_id) const {
                             false};
 }
 
-void Job::PerformSnapshot(Worker* w, ContextImpl* ctx,
-                          int64_t checkpoint_id) {
+Status Job::PerformSnapshot(Worker* w, ContextImpl* ctx,
+                            int64_t checkpoint_id) {
   // Per-operator delta capture, attached to the coordinator's checkpoint
   // span across the thread boundary.
   trace::ScopedSpan span(trace::Category::kCheckpoint, "phase1_capture",
@@ -295,20 +302,46 @@ void Job::PerformSnapshot(Worker* w, ContextImpl* ctx,
   span.AddAttr("instance", w->instance);
   // Order matters: OnCheckpoint may flush transient operator members into
   // keyed state (and emit pre-marker records), then the state store persists
-  // phase-1 data, then we ack so the coordinator can commit.
+  // phase-1 data, then the caller acks so the coordinator can commit. A
+  // failure in either step must reach the coordinator: acking it as
+  // prepared would commit a checkpoint silently missing this worker's
+  // state.
   Status s = w->op->OnCheckpoint(checkpoint_id, ctx);
+  if (s.ok() && w->state) s = w->state->SnapshotTo(checkpoint_id);
   if (!s.ok()) {
     SQ_LOG(Error) << w->vertex_name << "[" << w->instance
-                  << "] OnCheckpoint failed: " << s;
+                  << "] phase-1 capture failed: " << s;
   }
-  if (w->state) {
-    s = w->state->SnapshotTo(checkpoint_id);
-    if (!s.ok()) {
-      SQ_LOG(Error) << w->vertex_name << "[" << w->instance
-                    << "] snapshot failed: " << s;
-    }
+  return s.WithContext(w->vertex_name + "[" + std::to_string(w->instance) +
+                       "]");
+}
+
+Status Job::BeginCapture(Worker* w, ContextImpl* ctx, int64_t checkpoint_id) {
+  // Unaligned capture point: O(1) copy-on-write mark, so the marker can be
+  // forwarded before any snapshot write-out happens.
+  Status s = w->op->OnCheckpoint(checkpoint_id, ctx);
+  if (s.ok() && w->state) s = w->state->BeginSnapshot(checkpoint_id);
+  if (!s.ok()) {
+    SQ_LOG(Error) << w->vertex_name << "[" << w->instance
+                  << "] capture begin failed: " << s;
   }
-  AckPrepared(w->id, checkpoint_id);
+  return s.WithContext(w->vertex_name + "[" + std::to_string(w->instance) +
+                       "]");
+}
+
+Status Job::FinishCapture(Worker* w, int64_t checkpoint_id) {
+  if (!w->state) return Status::OK();
+  trace::ScopedSpan span(trace::Category::kCheckpoint, "phase1_capture",
+                         CheckpointTraceParent(checkpoint_id));
+  span.AddAttr("vertex", w->vertex_name);
+  span.AddAttr("instance", w->instance);
+  Status s = w->state->FinishSnapshot(checkpoint_id);
+  if (!s.ok()) {
+    SQ_LOG(Error) << w->vertex_name << "[" << w->instance
+                  << "] capture finish failed: " << s;
+  }
+  return s.WithContext(w->vertex_name + "[" + std::to_string(w->instance) +
+                       "]");
 }
 
 void Job::RunWorker(Worker* w) {
@@ -338,8 +371,20 @@ void Job::RunSource(Worker* w, ContextImpl* ctx) {
     const int64_t requested =
         w->requested_checkpoint.load(std::memory_order_acquire);
     if (requested > last_ckpt) {
-      PerformSnapshot(w, ctx, requested);
-      BroadcastControl(w, Record::Marker(requested));
+      if (config_.checkpoint_mode == CheckpointMode::kUnaligned) {
+        // Mark the capture point and let the marker leave *before* the
+        // write-out: downstream alignment windows open as early as
+        // possible, and the COW overlay protects the captured offset while
+        // this source keeps producing.
+        Status s = BeginCapture(w, ctx, requested);
+        BroadcastControl(w, Record::Marker(requested));
+        if (s.ok()) s = FinishCapture(w, requested);
+        AckPrepared(w->id, requested, std::move(s));
+      } else {
+        Status s = PerformSnapshot(w, ctx, requested);
+        AckPrepared(w->id, requested, std::move(s));
+        BroadcastControl(w, Record::Marker(requested));
+      }
       last_ckpt = requested;
     }
     auto* source = static_cast<SourceOperator*>(w->op.get());
@@ -354,12 +399,13 @@ void Job::RunSource(Worker* w, ContextImpl* ctx) {
 
 void Job::RunConsumer(Worker* w, ContextImpl* ctx) {
   BlockingQueue<Record>* input = queues_[w->id].get();
-  std::unordered_set<int32_t> active = w->upstream_ids;
-  int64_t aligning = 0;  // checkpoint id currently aligning, 0 = none
-  int64_t align_start_nanos = 0;
-  int64_t align_start_steady = 0;  // trace timeline (clock_ may be virtual)
-  std::unordered_set<int32_t> aligned;
-  std::vector<Record> buffered;
+  const CheckpointMode mode = config_.checkpoint_mode;
+  ChannelAligner aligner(mode, w->upstream_ids);
+  // The aligner decides; this loop owns the records it rules on:
+  std::vector<Record> buffered;   // aligned: blocked-channel records
+  std::vector<Record> overtaken;  // unaligned: the channel log being built
+  int64_t window_start_nanos = 0;
+  int64_t window_start_steady = 0;  // trace timeline (clock_ may be virtual)
 
   auto process = [&](const Record& r) {
     const int64_t n = w->processed.fetch_add(1, std::memory_order_relaxed);
@@ -376,66 +422,202 @@ void Job::RunConsumer(Worker* w, ContextImpl* ctx) {
     }
   };
 
-  // Completes the alignment phase if every still-active upstream delivered
-  // its marker (Fig. 3b/3c): snapshot, forward the marker, then replay the
-  // records buffered from already-aligned channels.
-  auto maybe_complete_alignment = [&] {
-    if (aligning == 0) return;
-    for (int32_t u : active) {
-      if (!aligned.contains(u)) return;
-    }
-    if (m_align_nanos_ != nullptr) {
-      m_align_nanos_->Record(clock_->NowNanos() - align_start_nanos);
-    }
-    // Barrier-alignment stall: first marker seen → last marker seen. The
-    // dominant, hardest-to-attribute checkpoint cost (Carbone et al.).
-    trace::RecordSpan(trace::Category::kCheckpoint, "align_wait",
-                      CheckpointTraceParent(aligning), align_start_steady,
-                      trace::NowNanos(),
-                      {{"vertex", w->vertex_name},
-                       {"instance", w->instance},
-                       {"buffered_records",
-                        static_cast<int64_t>(buffered.size())}});
-    PerformSnapshot(w, ctx, aligning);
-    BroadcastControl(w, Record::Marker(aligning));
-    aligning = 0;
-    aligned.clear();
+  auto drain_buffered = [&] {
     std::vector<Record> replay;
     replay.swap(buffered);
     for (const Record& r : replay) process(r);
   };
 
-  while (!active.empty() && !abort_.load(std::memory_order_relaxed)) {
-    std::optional<Record> r = input->Pop();
-    if (!r.has_value()) break;  // queue closed: shutdown/failure
+  // Chunked phase-1 write-out (unaligned): the capture whose window already
+  // closed but whose entries are still being persisted. Chunks of
+  // kCaptureChunk entries run preferentially in queue-idle gaps (sources
+  // emit in rate-limited bursts, so gaps are plentiful) and at worst every
+  // kRecordsPerForcedChunk records, so a large state neither stalls the
+  // data path in one long pause nor starves behind a saturated queue — the
+  // COW overlay keeps the captured values stable while new records mutate
+  // the live map.
+  constexpr size_t kCaptureChunk = 256;
+  constexpr int kRecordsPerForcedChunk = 64;
+  int64_t writeout_ckpt = 0;  // 0 = no write-out pending
+  Status writeout_status;
+  std::vector<Record> writeout_log;  // frozen channel log for the ack
+  int64_t writeout_start_steady = 0;
+  int records_since_chunk = 0;
+
+  auto writeout_step = [&](size_t budget) {
+    if (writeout_ckpt == 0) return true;
+    bool done = true;
+    if (w->state != nullptr && writeout_status.ok()) {
+      auto step = w->state->FinishSnapshotStep(writeout_ckpt, budget);
+      if (step.ok()) {
+        done = *step;
+      } else {
+        writeout_status = step.status().WithContext(
+            w->vertex_name + "[" + std::to_string(w->instance) + "]");
+        w->state->AbortSnapshot(writeout_ckpt);  // release the dead capture
+      }
+    }
+    if (!done) return false;
+    trace::RecordSpan(trace::Category::kCheckpoint, "phase1_capture",
+                      CheckpointTraceParent(writeout_ckpt),
+                      writeout_start_steady, trace::NowNanos(),
+                      {{"vertex", w->vertex_name},
+                       {"instance", w->instance}});
+    AckPrepared(w->id, writeout_ckpt, std::move(writeout_status),
+                std::move(writeout_log));
+    writeout_ckpt = 0;
+    writeout_status = Status::OK();
+    writeout_log.clear();
+    return true;
+  };
+
+  // Acts on one aligner ruling, in field order (see ChannelAligner::Outcome).
+  auto handle = [&](const ChannelAligner::Outcome& o) {
+    if (o.alignment_started) {
+      window_start_nanos = clock_->NowNanos();
+      window_start_steady = trace::NowNanos();
+    }
+    // Records buffered for a superseded/aborted alignment are pre-marker
+    // traffic of the *new* barrier: process them before any capture below.
+    if (o.drain_buffered_first) drain_buffered();
+    if (o.abandoned_capture != 0) {
+      if (w->state) w->state->AbortSnapshot(o.abandoned_capture);
+      overtaken.clear();
+    }
+    if (o.begin_capture != 0) {
+      // A previous checkpoint's write-out still pending? Flush it now: the
+      // store tracks one capture epoch at a time.
+      (void)writeout_step(std::numeric_limits<size_t>::max());
+      Status s = BeginCapture(w, ctx, o.begin_capture);
+      if (!s.ok()) AckPrepared(w->id, o.begin_capture, std::move(s));
+      // Forward the marker immediately — the unaligned overtake: downstream
+      // barriers open without waiting for this worker's write-out, so
+      // capture stalls do not cascade layer by layer.
+      BroadcastControl(w, Record::Marker(o.begin_capture));
+    }
+    if (o.complete != 0) {
+      if (mode == CheckpointMode::kAligned) {
+        if (m_align_nanos_ != nullptr) {
+          m_align_nanos_->Record(clock_->NowNanos() - window_start_nanos);
+        }
+        // Barrier-alignment stall: first marker seen → last marker seen. The
+        // dominant, hardest-to-attribute checkpoint cost (Carbone et al.).
+        trace::RecordSpan(trace::Category::kCheckpoint, "align_wait",
+                          CheckpointTraceParent(o.complete),
+                          window_start_steady, trace::NowNanos(),
+                          {{"vertex", w->vertex_name},
+                           {"instance", w->instance},
+                           {"buffered_records",
+                            static_cast<int64_t>(buffered.size())}});
+        Status s = PerformSnapshot(w, ctx, o.complete);
+        AckPrepared(w->id, o.complete, std::move(s));
+        BroadcastControl(w, Record::Marker(o.complete));
+        drain_buffered();
+      } else {
+        // The unaligned counterpart of align_wait: the capture window in
+        // which in-flight records overtook the barrier and were logged.
+        trace::RecordSpan(trace::Category::kCheckpoint, "channel_log",
+                          CheckpointTraceParent(o.complete),
+                          window_start_steady, trace::NowNanos(),
+                          {{"vertex", w->vertex_name},
+                           {"instance", w->instance},
+                           {"overtaken_records",
+                            static_cast<int64_t>(overtaken.size())}});
+        if (m_overtaken_ != nullptr && !overtaken.empty()) {
+          m_overtaken_->Increment(static_cast<int64_t>(overtaken.size()));
+        }
+        // Freeze the channel log and hand the write-out to the chunked
+        // pipeline; the ack happens when the last chunk lands.
+        writeout_ckpt = o.complete;
+        writeout_status = Status::OK();
+        writeout_log.swap(overtaken);
+        writeout_start_steady = trace::NowNanos();
+        records_since_chunk = 0;
+        (void)writeout_step(kCaptureChunk);
+      }
+    }
+  };
+
+  // Channel-log replay staged by recovery: the committed checkpoint's
+  // pre-barrier in-flight records, re-delivered before any new input.
+  {
+    std::vector<Record> replay;
+    replay.swap(w->pending_replay);
+    for (const Record& r : replay) process(r);
+  }
+
+  while (aligner.has_active_upstreams() &&
+         !abort_.load(std::memory_order_relaxed)) {
+    std::optional<Record> r;
+    if (writeout_ckpt != 0) {
+      // Never block while a write-out is pending: idle queue time turns
+      // into capture chunks instead.
+      r = input->TryPop();
+      if (!r.has_value()) {
+        (void)writeout_step(kCaptureChunk);
+        continue;
+      }
+    } else {
+      r = input->Pop();
+      if (!r.has_value()) break;  // queue closed: shutdown/failure
+    }
     switch (r->kind) {
       case RecordKind::kEof:
-        active.erase(r->from_instance);
-        maybe_complete_alignment();
+        handle(aligner.OnEof(r->from_instance));
         break;
       case RecordKind::kMarker:
-        if (r->checkpoint_id <= latest_committed_.load()) break;  // stale
-        if (aligning != r->checkpoint_id) {
-          align_start_nanos = clock_->NowNanos();  // first marker of this id
-          align_start_steady = trace::NowNanos();
+        handle(aligner.OnMarker(r->from_instance, r->checkpoint_id,
+                                latest_committed_.load()));
+        break;
+      case RecordKind::kAbort:
+        if (r->checkpoint_id == writeout_ckpt && writeout_ckpt != 0) {
+          // The coordinator gave up on the checkpoint whose write-out is
+          // still pending: abandon it instead of finishing dead work.
+          if (w->state != nullptr) w->state->AbortSnapshot(writeout_ckpt);
+          writeout_ckpt = 0;
+          writeout_status = Status::OK();
+          writeout_log.clear();
         }
-        aligning = r->checkpoint_id;
-        aligned.insert(r->from_instance);
-        maybe_complete_alignment();
+        handle(aligner.OnAbort(r->checkpoint_id));
         break;
       case RecordKind::kData:
-        if (aligning != 0 && aligned.contains(r->from_instance)) {
-          // Channel already delivered the marker: blocked until alignment
-          // completes (Fig. 3a).
-          buffered.push_back(std::move(*r));
-        } else {
-          process(*r);
+        switch (aligner.ActionForData(r->from_instance)) {
+          case ChannelAligner::DataAction::kBuffer:
+            // Channel already delivered the marker: blocked until alignment
+            // completes (Fig. 3a).
+            buffered.push_back(std::move(*r));
+            break;
+          case ChannelAligner::DataAction::kProcessAndLog:
+            // Pre-barrier in-flight record that the marker overtook: the
+            // upstream's capture excludes it and will not re-emit it after
+            // a rollback, so it must ride along in the checkpoint.
+            overtaken.push_back(*r);
+            process(*r);
+            break;
+          case ChannelAligner::DataAction::kProcess:
+            process(*r);
+            break;
         }
         break;
     }
+    // Under sustained load the idle-gap path above never fires; force a
+    // chunk every kRecordsPerForcedChunk records so the write-out still
+    // progresses without throttling the data path per record.
+    if (writeout_ckpt != 0 && ++records_since_chunk >= kRecordsPerForcedChunk) {
+      records_since_chunk = 0;
+      (void)writeout_step(kCaptureChunk);
+    }
   }
-  // If we exit with unreplayed buffered records (abort path), they are
-  // dropped; recovery will replay from the last committed checkpoint.
+  // Flush a write-out still pending at exit (EOF arrived mid-capture) so
+  // the coordinator is not left waiting on a worker that already drained
+  // its input.
+  (void)writeout_step(std::numeric_limits<size_t>::max());
+  // Exiting with records still held means shutdown/crash mid-alignment:
+  // they are dropped here (recovery re-delivers them from the sources), but
+  // the drop is counted instead of being silent.
+  if (!buffered.empty() && m_dropped_buffered_ != nullptr) {
+    m_dropped_buffered_->Increment(static_cast<int64_t>(buffered.size()));
+  }
 }
 
 void Job::AppendCheckpointRowLocked(CheckpointRow row) {
@@ -476,11 +658,36 @@ std::vector<CheckpointRow> Job::RecentCheckpoints() const {
   return {checkpoint_history_.begin(), checkpoint_history_.end()};
 }
 
-void Job::AckPrepared(int32_t worker_id, int64_t checkpoint_id) {
+void Job::AckPrepared(int32_t worker_id, int64_t checkpoint_id, Status status,
+                      std::vector<Record> channel_log) {
   MutexLock lock(&ckpt_mu_);
   if (checkpoint_id != pending_checkpoint_) return;  // aborted or stale
+  if (!status.ok()) {
+    // First failure wins; the coordinator aborts instead of committing a
+    // checkpoint that is silently missing this worker's state.
+    if (prepare_error_.ok()) prepare_error_ = std::move(status);
+    ckpt_cv_.NotifyAll();
+    return;
+  }
+  if (!channel_log.empty()) {
+    channel_logs_[checkpoint_id].emplace_back(worker_id,
+                                              std::move(channel_log));
+  }
   prepared_workers_.insert(worker_id);
   ckpt_cv_.NotifyAll();
+}
+
+void Job::BroadcastAbort(int64_t checkpoint_id) {
+  // Wake consumers stuck holding alignment buffers or an in-flight capture.
+  // ckpt_mu_ guards against the queue swap during recovery; TryPush (never
+  // blocks while the lock is held) makes delivery best-effort — a full or
+  // closed queue drops the notice, and the consumer instead releases its
+  // barrier when the *next* checkpoint's markers supersede it.
+  MutexLock lock(&ckpt_mu_);
+  for (const auto& w : workers_) {
+    if (w->is_source) continue;
+    (void)queues_[w->id]->TryPush(Record::Abort(checkpoint_id));
+  }
 }
 
 void Job::NotifyWorkerFinished(int32_t worker_id) {
@@ -520,6 +727,8 @@ Result<int64_t> Job::TriggerCheckpoint() {
   const int64_t id = ++next_checkpoint_id_;
   pending_checkpoint_ = id;
   prepared_workers_.clear();
+  prepare_error_ = Status::OK();
+  channel_logs_.erase(id);
   // One span tree per checkpoint, keyed by the checkpoint id itself so
   // `SELECT * FROM __spans WHERE trace_id = <id>` finds it directly. Span
   // endpoints are always steady time (trace::NowNanos) even when the job
@@ -546,17 +755,19 @@ Result<int64_t> Job::TriggerCheckpoint() {
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::milliseconds(config_.checkpoint_timeout_ms);
-  while (!abort_.load() && !AllPreparedLocked()) {
+  while (!abort_.load() && prepare_error_.ok() && !AllPreparedLocked()) {
     if (ckpt_cv_.WaitUntil(ckpt_mu_, deadline)) break;
   }
   const bool prepared = abort_.load() || AllPreparedLocked();
-  if (!prepared || abort_.load()) {
+  if (!prepared || abort_.load() || !prepare_error_.ok()) {
+    const Status worker_error = prepare_error_;
     trace_ckpt_id_.store(0, std::memory_order_release);
     trace::RecordSpan(trace::Category::kCheckpoint, "phase1",
                       ckpt_span.context(), s0, trace::NowNanos(),
                       {{"aborted", true}});
     ckpt_span.AddAttr("aborted", true);
     pending_checkpoint_ = 0;
+    channel_logs_.erase(id);
     stats_.aborted.fetch_add(1);
     if (m_aborted_ != nullptr) m_aborted_->Increment();
     AppendCheckpointRowLocked(CheckpointRow{
@@ -564,10 +775,19 @@ Result<int64_t> Job::TriggerCheckpoint() {
         .committed = false,
         .phase1_nanos = clock_->NowNanos() - t0,
         .phase2_nanos = 0,
-        .started_unix_micros = started_micros});
+        .started_unix_micros = started_micros,
+        .mode = config_.checkpoint_mode});
     lock.Unlock();
+    // Unwedge consumers first (alignment buffers, in-flight captures), then
+    // let listeners discard anything written under this id.
+    BroadcastAbort(id);
     if (config_.listener != nullptr) {
       config_.listener->OnCheckpointAborted(id);
+    }
+    if (!worker_error.ok()) {
+      return Status::Aborted("checkpoint " + std::to_string(id) +
+                             " aborted: phase-1 failure: " +
+                             worker_error.message());
     }
     return Status::Aborted("checkpoint " + std::to_string(id) +
                            (prepared ? " aborted" : " timed out"));
@@ -577,12 +797,26 @@ Result<int64_t> Job::TriggerCheckpoint() {
   if (m_phase1_nanos_ != nullptr) m_phase1_nanos_->Record(t1 - t0);
   trace::RecordSpan(trace::Category::kCheckpoint, "phase1",
                     ckpt_span.context(), s0, trace::NowNanos());
+  int64_t overtaken_total = 0;
   {
     // The listener chain (durable log append, flush+fsync, registry commit)
     // runs on this thread, so its storage spans nest under phase2 via the
     // thread-local scope.
     trace::ScopedSpan phase2_span(trace::Category::kCheckpoint, "phase2",
                                   ckpt_span.context());
+    // Channel logs first: the overtaken in-flight records are part of the
+    // checkpoint and must be durable before the prepared/commit records.
+    auto logs = channel_logs_.find(id);
+    if (logs != channel_logs_.end()) {
+      for (const auto& [worker_id, records] : logs->second) {
+        overtaken_total += static_cast<int64_t>(records.size());
+        if (config_.listener != nullptr) {
+          const Worker& w = *workers_[worker_id];
+          config_.listener->OnChannelLog(id, w.vertex_name, w.instance,
+                                         records);
+        }
+      }
+    }
     if (config_.listener != nullptr) {
       config_.listener->OnCheckpointPrepared(id);
     }
@@ -592,6 +826,11 @@ Result<int64_t> Job::TriggerCheckpoint() {
     if (config_.listener != nullptr) {
       config_.listener->OnCheckpointCommitted(id);
     }
+  }
+  // Only the newest committed checkpoint can be recovered to; older channel
+  // logs (and any stray aborted-id leftovers) are dead weight.
+  for (auto it = channel_logs_.begin(); it != channel_logs_.end();) {
+    it = it->first == id ? std::next(it) : channel_logs_.erase(it);
   }
   trace_ckpt_id_.store(0, std::memory_order_release);
   const int64_t t2 = clock_->NowNanos();
@@ -604,7 +843,10 @@ Result<int64_t> Job::TriggerCheckpoint() {
                                           .phase1_nanos = t1 - t0,
                                           .phase2_nanos = t2 - t0,
                                           .started_unix_micros =
-                                              started_micros});
+                                              started_micros,
+                                          .mode = config_.checkpoint_mode,
+                                          .overtaken_records =
+                                              overtaken_total});
   pending_checkpoint_ = 0;
   ckpt_cv_.NotifyAll();
   return id;
@@ -659,7 +901,9 @@ Status Job::InjectFailureAndRecover() {
           .committed = false,
           .phase1_nanos = 0,
           .phase2_nanos = 0,
-          .started_unix_micros = SteadyToUnixMicros(trace::NowNanos())});
+          .started_unix_micros = SteadyToUnixMicros(trace::NowNanos()),
+          .mode = config_.checkpoint_mode});
+      channel_logs_.erase(id);
     }
     next_checkpoint_id_ = committed;
     pending_checkpoint_ = 0;
@@ -673,6 +917,7 @@ Status Job::InjectFailureAndRecover() {
   for (auto& w : workers_) {
     w->finished.store(false);
     w->requested_checkpoint.store(0);
+    w->pending_replay.clear();
     if (w->state) {
       SQ_RETURN_IF_ERROR(
           w->state->RestoreFrom(committed)
@@ -688,6 +933,20 @@ Status Job::InjectFailureAndRecover() {
       queues_[i] =
           std::make_unique<BlockingQueue<Record>>(config_.channel_capacity);
     }
+    // Unaligned mode: the committed checkpoint excluded the in-flight
+    // records that overtook its markers; the sources will not re-emit them
+    // either (their captured offsets are *past* those records). Stage the
+    // channel log for replay before any new input — this, plus
+    // deterministic source re-emission, is what keeps unaligned recovery
+    // exactly-once on state. Staged as a copy: a second crash rolling back
+    // to the same checkpoint must replay the same log again.
+    auto logs = channel_logs_.find(committed);
+    if (logs != channel_logs_.end()) {
+      for (const auto& [worker_id, records] : logs->second) {
+        auto& dst = workers_[worker_id]->pending_replay;
+        dst.insert(dst.end(), records.begin(), records.end());
+      }
+    }
   }
   abort_.store(false);
   for (auto& w : workers_) {
@@ -695,6 +954,25 @@ Status Job::InjectFailureAndRecover() {
     raw->thread = std::thread([this, raw] { RunWorker(raw); });
   }
   return Status::OK();
+}
+
+Status Job::StageChannelLogReplay(const std::string& vertex_name,
+                                  int32_t instance,
+                                  std::vector<Record> records) {
+  if (started_.load()) {
+    return Status::FailedPrecondition(
+        "channel-log replay must be staged before Start()");
+  }
+  for (auto& w : workers_) {
+    if (w->vertex_name == vertex_name && w->instance == instance) {
+      w->pending_replay.insert(w->pending_replay.end(),
+                               std::make_move_iterator(records.begin()),
+                               std::make_move_iterator(records.end()));
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no worker " + vertex_name + "[" +
+                          std::to_string(instance) + "]");
 }
 
 }  // namespace sq::dataflow

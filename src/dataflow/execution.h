@@ -4,10 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
@@ -17,6 +19,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "dataflow/aligner.h"
 #include "dataflow/checkpoint.h"
 #include "dataflow/job_graph.h"
 #include "dataflow/operator.h"
@@ -46,6 +49,10 @@ struct JobConfig {
   CheckpointListener* listener = nullptr;
   /// Phase-1 wait budget before a checkpoint is aborted.
   int64_t checkpoint_timeout_ms = 30000;
+  /// Barrier protocol: classic marker alignment (the differential-testing
+  /// oracle) or unaligned capture with a channel log (the Fig. 8 tail
+  /// killer). See CheckpointMode.
+  CheckpointMode checkpoint_mode = CheckpointMode::kAligned;
   /// Sink for engine instrumentation (records in/out, channel depths,
   /// checkpoint phase timings). May be null: the job then keeps only its
   /// per-worker counters and CheckpointStats.
@@ -77,6 +84,10 @@ struct CheckpointRow {
   int64_t phase1_nanos = 0;
   int64_t phase2_nanos = 0;
   int64_t started_unix_micros = 0;
+  CheckpointMode mode = CheckpointMode::kAligned;
+  /// Unaligned mode: in-flight records logged into this checkpoint's
+  /// channel log across all workers (0 in aligned mode).
+  int64_t overtaken_records = 0;
 };
 
 /// A running (or runnable) instantiation of a JobGraph: worker threads,
@@ -138,6 +149,13 @@ class Job {
   /// Recent checkpoint attempts, oldest first (the `__checkpoints` rows).
   std::vector<CheckpointRow> RecentCheckpoints() const;
 
+  /// Cold-restart hook (unaligned mode): stages channel-log records —
+  /// typically read back from the durable snapshot log — for replay by the
+  /// matching worker before it consumes any new input. Only valid before
+  /// Start().
+  Status StageChannelLogReplay(const std::string& vertex_name,
+                               int32_t instance, std::vector<Record> records);
+
  private:
   struct OutEdge {
     EdgeKind kind = EdgeKind::kForward;
@@ -159,6 +177,10 @@ class Job {
     std::unordered_set<int32_t> upstream_ids;  // workers feeding this one
 
     std::thread thread;
+    /// Channel-log records to replay before consuming new input (set by
+    /// recovery while the worker thread is down; consumed at RunConsumer
+    /// start).
+    std::vector<Record> pending_replay;
     std::atomic<bool> finished{false};
     std::atomic<int64_t> requested_checkpoint{0};  // sources only
     std::atomic<int64_t> processed{0};
@@ -174,10 +196,23 @@ class Job {
   void RunWorker(Worker* w);
   void RunSource(Worker* w, ContextImpl* ctx);
   void RunConsumer(Worker* w, ContextImpl* ctx);
-  void PerformSnapshot(Worker* w, ContextImpl* ctx, int64_t checkpoint_id);
+  /// Aligned phase-1: OnCheckpoint + SnapshotTo, traced as phase1_capture.
+  Status PerformSnapshot(Worker* w, ContextImpl* ctx, int64_t checkpoint_id);
+  /// Unaligned phase-1 halves: BeginCapture is the O(1) capture-point mark
+  /// (OnCheckpoint + BeginSnapshot), FinishCapture the write-out
+  /// (FinishSnapshot, traced as phase1_capture).
+  Status BeginCapture(Worker* w, ContextImpl* ctx, int64_t checkpoint_id);
+  Status FinishCapture(Worker* w, int64_t checkpoint_id);
   void EmitFrom(Worker* w, Record record);
   void BroadcastControl(Worker* w, const Record& record);
-  void AckPrepared(int32_t worker_id, int64_t checkpoint_id);
+  /// Worker -> coordinator phase-1 vote. A non-OK status aborts the
+  /// checkpoint; `channel_log` carries the worker's overtaken records
+  /// (unaligned mode only).
+  void AckPrepared(int32_t worker_id, int64_t checkpoint_id, Status status,
+                   std::vector<Record> channel_log = {});
+  /// Pushes an abort notification for `checkpoint_id` into every consumer
+  /// queue so alignment buffers / in-flight captures are released.
+  void BroadcastAbort(int64_t checkpoint_id);
   void NotifyWorkerFinished(int32_t worker_id);
   void AppendCheckpointRowLocked(CheckpointRow row) SQ_REQUIRES(ckpt_mu_);
   bool AllPreparedLocked() const SQ_REQUIRES(ckpt_mu_);
@@ -222,6 +257,16 @@ class Job {
   int64_t next_checkpoint_id_ SQ_GUARDED_BY(ckpt_mu_) = 0;
   int64_t pending_checkpoint_ SQ_GUARDED_BY(ckpt_mu_) = 0;  // 0 = none
   std::unordered_set<int32_t> prepared_workers_ SQ_GUARDED_BY(ckpt_mu_);
+  /// First phase-1 failure of the pending checkpoint (OK = none so far).
+  /// Set by AckPrepared; makes TriggerCheckpoint abort instead of
+  /// committing a checkpoint that silently lost a worker's state.
+  Status prepare_error_ SQ_GUARDED_BY(ckpt_mu_);
+  /// Per-checkpoint channel logs (unaligned mode): worker id -> the records
+  /// that overtook that checkpoint's marker. Kept for the latest committed
+  /// id so in-process recovery can replay them; handed to listeners in
+  /// phase 2 for durable recovery.
+  std::map<int64_t, std::vector<std::pair<int32_t, std::vector<Record>>>>
+      channel_logs_ SQ_GUARDED_BY(ckpt_mu_);
   CheckpointStats stats_;
   std::deque<CheckpointRow> checkpoint_history_ SQ_GUARDED_BY(ckpt_mu_);
 
@@ -234,6 +279,8 @@ class Job {
   Histogram* m_phase2_nanos_ = nullptr;
   Counter* m_committed_ = nullptr;
   Counter* m_aborted_ = nullptr;
+  Counter* m_overtaken_ = nullptr;
+  Counter* m_dropped_buffered_ = nullptr;
   std::thread coordinator_thread_;
   std::atomic<bool> coordinator_stop_{false};
 };

@@ -11,6 +11,8 @@ std::string Record::ToString() const {
       return "Marker(" + std::to_string(checkpoint_id) + ")";
     case RecordKind::kEof:
       return "Eof";
+    case RecordKind::kAbort:
+      return "Abort(" + std::to_string(checkpoint_id) + ")";
   }
   return "?";
 }

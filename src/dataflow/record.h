@@ -11,8 +11,10 @@
 namespace sq::dataflow {
 
 /// What flows on channels: data records, checkpoint markers (the
-/// punctuations of Section IV), and end-of-stream signals.
-enum class RecordKind { kData, kMarker, kEof };
+/// punctuations of Section IV), end-of-stream signals, and checkpoint-abort
+/// notifications (pushed by the coordinator so consumers holding aligned
+/// buffers or an in-flight unaligned capture can release them).
+enum class RecordKind { kData, kMarker, kEof, kAbort };
 
 /// One unit of stream traffic. `from_instance` is a global worker id stamped
 /// by the edge router so downstream workers can perform per-upstream marker
@@ -49,6 +51,13 @@ struct Record {
   static Record Eof() {
     Record r;
     r.kind = RecordKind::kEof;
+    return r;
+  }
+
+  static Record Abort(int64_t checkpoint_id) {
+    Record r;
+    r.kind = RecordKind::kAbort;
+    r.checkpoint_id = checkpoint_id;
     return r;
   }
 

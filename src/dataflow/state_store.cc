@@ -29,13 +29,48 @@ size_t InMemoryStateStore::Size() const { return live_.size(); }
 
 Status InMemoryStateStore::SnapshotTo(int64_t checkpoint_id) {
   snapshots_[checkpoint_id] = live_;
-  while (static_cast<int>(snapshots_.size()) > retained_snapshots_) {
-    snapshots_.erase(snapshots_.begin());
-  }
+  TrimRetention();
   return Status::OK();
 }
 
+Status InMemoryStateStore::BeginSnapshot(int64_t checkpoint_id) {
+  if (capture_ckpt_ != 0) {
+    return Status::FailedPrecondition(
+        "capture already in flight for checkpoint " +
+        std::to_string(capture_ckpt_));
+  }
+  capture_ckpt_ = checkpoint_id;
+  capture_ = live_;  // plain copy: the baseline store has no COW machinery
+  return Status::OK();
+}
+
+Status InMemoryStateStore::FinishSnapshot(int64_t checkpoint_id) {
+  if (capture_ckpt_ != checkpoint_id) {
+    return Status::FailedPrecondition(
+        "no capture in flight for checkpoint " +
+        std::to_string(checkpoint_id));
+  }
+  snapshots_[checkpoint_id] = std::move(capture_);
+  capture_ = StateMap();
+  capture_ckpt_ = 0;
+  TrimRetention();
+  return Status::OK();
+}
+
+void InMemoryStateStore::AbortSnapshot(int64_t checkpoint_id) {
+  if (capture_ckpt_ != checkpoint_id) return;
+  capture_ = StateMap();
+  capture_ckpt_ = 0;
+}
+
+void InMemoryStateStore::TrimRetention() {
+  while (static_cast<int>(snapshots_.size()) > retained_snapshots_) {
+    snapshots_.erase(snapshots_.begin());
+  }
+}
+
 Status InMemoryStateStore::RestoreFrom(int64_t checkpoint_id) {
+  AbortSnapshot(capture_ckpt_);  // any in-flight capture is from a dead epoch
   auto it = snapshots_.find(checkpoint_id);
   if (it == snapshots_.end()) {
     if (checkpoint_id == 0) {
@@ -52,7 +87,10 @@ Status InMemoryStateStore::RestoreFrom(int64_t checkpoint_id) {
   return Status::OK();
 }
 
-void InMemoryStateStore::Clear() { live_.clear(); }
+void InMemoryStateStore::Clear() {
+  live_.clear();
+  AbortSnapshot(capture_ckpt_);
+}
 
 StateStoreFactory InMemoryStateStoreFactory(int retained_snapshots) {
   return StateStoreFactory(

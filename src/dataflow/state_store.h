@@ -9,6 +9,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "kv/object.h"
 #include "kv/partitioner.h"
@@ -49,6 +50,38 @@ class StateStore {
   /// Phase-1 work of a checkpoint: persist the current state under
   /// `checkpoint_id`. Called by the worker after marker alignment.
   virtual Status SnapshotTo(int64_t checkpoint_id) = 0;
+
+  /// Unaligned (asynchronous) capture protocol. `BeginSnapshot` marks the
+  /// capture point for `checkpoint_id` — every mutation after it must be
+  /// invisible to the snapshot; `FinishSnapshot` persists the captured view
+  /// (equivalent to `SnapshotTo` of the state as it was at Begin);
+  /// `AbortSnapshot` abandons an in-flight capture without persisting.
+  ///
+  /// The defaults give any implementation correct (if eager) semantics:
+  /// Begin takes the whole snapshot immediately and Finish/Abort are no-ops.
+  /// Copy-on-write implementations (SQueryStateStore) override all three so
+  /// Begin is O(1) and record processing proceeds during the capture window.
+  virtual Status BeginSnapshot(int64_t checkpoint_id) {
+    return SnapshotTo(checkpoint_id);
+  }
+  virtual Status FinishSnapshot(int64_t checkpoint_id) {
+    (void)checkpoint_id;
+    return Status::OK();
+  }
+  virtual void AbortSnapshot(int64_t checkpoint_id) { (void)checkpoint_id; }
+
+  /// Incremental variant of `FinishSnapshot`: persists at most `max_entries`
+  /// captured entries and returns true once the capture of `checkpoint_id`
+  /// is fully written out (false = call again). Unaligned workers interleave
+  /// these steps with record processing, so a large state never stalls the
+  /// data path in one long phase-1 pause. The default finishes in a single
+  /// step.
+  virtual Result<bool> FinishSnapshotStep(int64_t checkpoint_id,
+                                          size_t max_entries) {
+    (void)max_entries;
+    SQ_RETURN_IF_ERROR(FinishSnapshot(checkpoint_id));
+    return true;
+  }
 
   /// Rolls the authoritative state back to `checkpoint_id` (recovery).
   virtual Status RestoreFrom(int64_t checkpoint_id) = 0;
@@ -102,15 +135,24 @@ class InMemoryStateStore : public StateStore {
                    fn) const override;
   size_t Size() const override;
   Status SnapshotTo(int64_t checkpoint_id) override;
+  Status BeginSnapshot(int64_t checkpoint_id) override;
+  Status FinishSnapshot(int64_t checkpoint_id) override;
+  void AbortSnapshot(int64_t checkpoint_id) override;
   Status RestoreFrom(int64_t checkpoint_id) override;
   void Clear() override;
 
  private:
   using StateMap = std::unordered_map<kv::Value, kv::Object, kv::ValueHash>;
 
+  void TrimRetention();
+
   int retained_snapshots_;
   StateMap live_;
   std::map<int64_t, StateMap> snapshots_;  // ordered by checkpoint id
+  /// Pending unaligned capture: full copy taken at BeginSnapshot, published
+  /// into `snapshots_` at FinishSnapshot. 0 = no capture in flight.
+  int64_t capture_ckpt_ = 0;
+  StateMap capture_;
 };
 
 /// Factory producing `InMemoryStateStore`s.

@@ -405,10 +405,6 @@ Result<QueryResult> QueryService::ExecuteWithStats(
     metrics_->GetHistogram("query.scan_parallelism")
         ->Record(stats.parallelism);
   }
-  {
-    MutexLock lock(&stats_mu_);
-    last_stats_ = stats;
-  }
   SQ_RETURN_IF_ERROR(result.status());
   out.result = *std::move(result);
   out.stats = stats;
@@ -488,6 +484,9 @@ void QueryService::RegisterEngineIntrospection(dataflow::Job* job,
             row.Set("id", kv::Value(c.id));
             row.Set("state", kv::Value(c.committed ? "committed" : "aborted"));
             row.Set("committed", kv::Value(c.committed));
+            row.Set("mode",
+                    kv::Value(dataflow::CheckpointModeToString(c.mode)));
+            row.Set("overtaken_records", kv::Value(c.overtaken_records));
             row.Set("phase1_nanos", kv::Value(c.phase1_nanos));
             row.Set("phase2_nanos", kv::Value(c.phase2_nanos));
             row.Set("started_micros", kv::Value(c.started_unix_micros));

@@ -56,7 +56,7 @@ struct QueryOptions {
 
 /// Everything one Execute call produced: the rows plus that query's own scan
 /// instrumentation. Returned by value so concurrent queries cannot race on a
-/// shared slot (`last_exec_stats()` keeps the old single-slot behavior).
+/// shared slot.
 struct QueryResult {
   sql::ResultSet result;
   /// Scan instrumentation of exactly this query.
@@ -153,19 +153,6 @@ class QueryService : public sql::TableResolver {
     return last_resolve_nanos_.load();
   }
 
-  /// Scan instrumentation of the most recent Execute() call: rows visited vs
-  /// materialized, partitions touched, workers used, whether pushdown / point
-  /// lookups engaged.
-  ///
-  /// Deprecated: a single slot shared by all queries — under concurrent
-  /// Execute calls this returns whichever query published last, not
-  /// necessarily yours. Use ExecuteWithStats(), which returns the stats of
-  /// exactly the query you ran. Kept for existing monitoring callers.
-  sql::ExecStats last_exec_stats() const {
-    MutexLock lock(&stats_mu_);
-    return last_stats_;
-  }
-
   // sql::TableResolver (scans with default options; Execute() binds per-call
   // options through an internal resolver so concurrent queries are safe):
   Result<std::vector<kv::Object>> ScanTable(
@@ -206,12 +193,6 @@ class QueryService : public sql::TableResolver {
 
   std::once_flag pool_once_;
   std::unique_ptr<ThreadPool> pool_;
-
-  // Publication of per-query instrumentation. Under concurrent Execute()
-  // calls the winner is whichever query publishes last ("most recent
-  // overall"), but each published snapshot is internally consistent.
-  mutable Mutex stats_mu_{lockrank::kQueryStats, "query.stats"};
-  sql::ExecStats last_stats_ SQ_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace sq::query

@@ -12,6 +12,19 @@ int32_t Dop(const ClusterConfig& config) {
   return config.nodes * config.workers_per_node;
 }
 
+namespace {
+/// Per-checkpoint worker stall in seconds. Unaligned mode removes the
+/// alignment share of the pause (markers overtake the channels; the COW
+/// capture runs concurrently with processing), keeping only the write cost.
+double CheckpointPauseSeconds(const ClusterConfig& config) {
+  double snapshot_ms = config.snapshot_pause_ms;
+  if (config.unaligned_checkpoints) {
+    snapshot_ms *= 1.0 - config.align_share;
+  }
+  return (snapshot_ms + config.query_pause_ms) * 1e-3;
+}
+}  // namespace
+
 void SimulateRun(const ClusterConfig& config, double events_per_sec,
                  double duration_s, SimOutcome* out) {
   // Wall time of the simulation itself (the simulated clock is virtual).
@@ -26,8 +39,7 @@ void SimulateRun(const ClusterConfig& config, double events_per_sec,
   const double worker_rate = events_per_sec / dop;  // arrivals/s per worker
   const double service_s =
       (config.service_time_us + config.squery_per_event_us) * 1e-6;
-  const double pause_s =
-      (config.snapshot_pause_ms + config.query_pause_ms) * 1e-3;
+  const double pause_s = CheckpointPauseSeconds(config);
   const double base_s = config.base_latency_ms * 1e-3;
 
   // Workers are iid; simulate one representative worker and read the
@@ -91,8 +103,7 @@ void SimulateKillRestart(const ClusterConfig& config,
   const double worker_rate = events_per_sec / dop;
   const double service_s =
       (config.service_time_us + config.squery_per_event_us) * 1e-6;
-  const double pause_s =
-      (config.snapshot_pause_ms + config.query_pause_ms) * 1e-3;
+  const double pause_s = CheckpointPauseSeconds(config);
   const double base_s = config.base_latency_ms * 1e-3;
   const double recover_at = scenario.kill_at_s + outcome.downtime_s;
 

@@ -31,6 +31,14 @@ struct ClusterConfig {
   /// `snapshot_pause_ms` (state-size dependent: Fig. 10).
   double snapshot_interval_s = 1.0;
   double snapshot_pause_ms = 8.0;
+  /// Unaligned checkpoints (markers overtake channel data; phase 1 runs
+  /// copy-on-write concurrently with processing): the alignment share of
+  /// the pause disappears, leaving only the capture/write fraction.
+  bool unaligned_checkpoints = false;
+  /// Fraction of `snapshot_pause_ms` attributable to barrier alignment
+  /// (back-pressure stalls waiting for markers) rather than the snapshot
+  /// write itself — the part unaligned mode eliminates (Fig. 8's tail).
+  double align_share = 0.7;
   /// Extra per-interval pause caused by concurrent snapshot queries
   /// sharing the node (Fig. 11's effect).
   double query_pause_ms = 0.0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 
 #include "storage/snapshot_log.h"
 
@@ -66,6 +67,7 @@ void SQueryStateStore::Put(const kv::Value& key, kv::Object value) {
     live_map_->Put(key, value);
     if (stats_ != nullptr) stats_->live_puts.fetch_add(1);
   }
+  PreserveForCapture(key);
   deleted_.erase(key);
   dirty_.insert(key);
   local_[key] = std::move(value);
@@ -85,12 +87,24 @@ bool SQueryStateStore::Remove(const kv::Value& key) {
     live_map_->Remove(key);
     if (stats_ != nullptr) stats_->live_removes.fetch_add(1);
   }
+  PreserveForCapture(key);
   const bool existed = local_.erase(key) > 0;
   if (existed) {
     dirty_.erase(key);
     deleted_.insert(key);
   }
   return existed;
+}
+
+void SQueryStateStore::PreserveForCapture(const kv::Value& key) {
+  if (capture_ckpt_ == 0) return;
+  if (cow_overlay_.count(key) != 0 || cow_absent_.count(key) != 0) return;
+  auto it = local_.find(key);
+  if (it == local_.end()) {
+    cow_absent_.insert(key);
+  } else {
+    cow_overlay_.emplace(key, it->second);
+  }
 }
 
 void SQueryStateStore::ForEach(
@@ -102,51 +116,103 @@ void SQueryStateStore::ForEach(
 size_t SQueryStateStore::Size() const { return local_.size(); }
 
 Status SQueryStateStore::SnapshotTo(int64_t checkpoint_id) {
-  // Private recovery copy (what plain Jet would write as a blob).
-  internal_snapshots_[checkpoint_id] = local_;
+  // Aligned capture == an unaligned capture with an empty mutation window.
+  // Funnelling both modes through Begin/Finish keeps them on one code path,
+  // which is what makes the aligned-vs-unaligned differential test
+  // bit-exact by construction.
+  SQ_RETURN_IF_ERROR(BeginSnapshot(checkpoint_id));
+  return FinishSnapshot(checkpoint_id);
+}
+
+Status SQueryStateStore::BeginSnapshot(int64_t checkpoint_id) {
+  if (capture_ckpt_ != 0) {
+    return Status::FailedPrecondition(
+        operator_name_ + "[" + std::to_string(instance_) +
+        "]: capture already in flight for checkpoint " +
+        std::to_string(capture_ckpt_));
+  }
+  capture_ckpt_ = checkpoint_id;
+  // Freeze this epoch's delta; the live sets start tracking the next one.
+  capture_dirty_ = std::move(dirty_);
+  capture_deleted_ = std::move(deleted_);
+  dirty_.clear();
+  deleted_.clear();
+  // The capture cursor: exactly the keys that exist at the capture point.
+  // Keys created later are excluded here by construction; keys removed later
+  // stay resolvable through the COW overlay (Remove preserves the value).
+  capture_keys_.clear();
+  capture_keys_.reserve(local_.size());
+  for (const auto& [key, value] : local_) capture_keys_.push_back(key);
+  capture_pos_ = 0;
+  capture_build_.clear();
+  capture_build_.reserve(capture_keys_.size());
+  capture_table_entries_ = 0;
+  capture_bytes_ = 0;
+  return Status::OK();
+}
+
+Status SQueryStateStore::FinishSnapshot(int64_t checkpoint_id) {
+  auto done = FinishSnapshotStep(checkpoint_id,
+                                 std::numeric_limits<size_t>::max());
+  if (!done.ok()) return done.status();
+  return *done ? Status::OK()
+               : Status::Internal("unbounded capture step did not finish");
+}
+
+Result<bool> SQueryStateStore::FinishSnapshotStep(int64_t checkpoint_id,
+                                                  size_t max_entries) {
+  if (capture_ckpt_ != checkpoint_id) {
+    return Status::FailedPrecondition(
+        operator_name_ + "[" + std::to_string(instance_) +
+        "]: no capture in flight for checkpoint " +
+        std::to_string(checkpoint_id));
+  }
+  // Walk the cursor, reconstructing each key's value as of BeginSnapshot:
+  // the preserved pre-mutation value wins over the live one. A capture key
+  // missing from both maps cannot happen (Remove preserves before erasing).
+  size_t stepped = 0;
+  while (capture_pos_ < capture_keys_.size() && stepped < max_entries) {
+    const kv::Value& key = capture_keys_[capture_pos_++];
+    const kv::Object* value = nullptr;
+    if (auto ov = cow_overlay_.find(key); ov != cow_overlay_.end()) {
+      value = &ov->second;
+    } else if (auto it = local_.find(key); it != local_.end()) {
+      value = &it->second;
+    }
+    if (value == nullptr) continue;
+    capture_build_.emplace(key, *value);
+    if (snap_table_ != nullptr &&
+        (!config_.incremental || capture_dirty_.count(key) != 0)) {
+      // Incremental mode writes only the epoch's delta to the queryable
+      // table; full mode rewrites the complete captured state.
+      snap_table_->Write(checkpoint_id, key, *value);
+      ++capture_table_entries_;
+      if (m_bytes_ != nullptr) {
+        capture_bytes_ +=
+            static_cast<int64_t>(key.ByteSize() + value->ByteSize());
+      }
+    }
+    ++stepped;
+  }
+  if (capture_pos_ < capture_keys_.size()) return false;
+
+  // Cursor exhausted: seal the snapshot — tombstones (so backward reads do
+  // not resurrect deleted keys), the private recovery copy, then stats.
+  int64_t tombstones = 0;
+  if (snap_table_ != nullptr) {
+    for (const kv::Value& key : capture_deleted_) {
+      snap_table_->WriteTombstone(checkpoint_id, key);
+      ++tombstones;
+    }
+  }
+  const size_t captured_size = capture_build_.size();
+  internal_snapshots_[checkpoint_id] = std::move(capture_build_);
   while (static_cast<int>(internal_snapshots_.size()) >
          config_.retained_versions) {
     internal_snapshots_.erase(internal_snapshots_.begin());
   }
-
-  last_snapshot_entries_ = 0;
+  last_snapshot_entries_ = capture_table_entries_;
   if (snap_table_ != nullptr) {
-    int64_t bytes_written = 0;
-    int64_t tombstones = 0;
-    if (config_.incremental) {
-      // Delta only: keys changed since the previous checkpoint, plus
-      // tombstones for deletions. Queries reconstruct older values via the
-      // backward differential read in SnapshotTable::ScanAt.
-      for (const kv::Value& key : dirty_) {
-        auto it = local_.find(key);
-        if (it == local_.end()) continue;  // deleted after dirtying
-        snap_table_->Write(checkpoint_id, key, it->second);
-        ++last_snapshot_entries_;
-        if (m_bytes_ != nullptr) {
-          bytes_written += static_cast<int64_t>(key.ByteSize() +
-                                                it->second.ByteSize());
-        }
-      }
-      for (const kv::Value& key : deleted_) {
-        snap_table_->WriteTombstone(checkpoint_id, key);
-        ++tombstones;
-      }
-    } else {
-      // Full snapshot: rewrite the complete state under this id; deletions
-      // still need tombstones so backward reads do not resurrect keys.
-      for (const auto& [key, value] : local_) {
-        snap_table_->Write(checkpoint_id, key, value);
-        ++last_snapshot_entries_;
-        if (m_bytes_ != nullptr) {
-          bytes_written +=
-              static_cast<int64_t>(key.ByteSize() + value.ByteSize());
-        }
-      }
-      for (const kv::Value& key : deleted_) {
-        snap_table_->WriteTombstone(checkpoint_id, key);
-        ++tombstones;
-      }
-    }
     if (stats_ != nullptr) {
       stats_->snapshot_entries_written.fetch_add(
           static_cast<int64_t>(last_snapshot_entries_));
@@ -155,25 +221,51 @@ Status SQueryStateStore::SnapshotTo(int64_t checkpoint_id) {
     }
     if (config_.metrics != nullptr) {
       m_entries_->Increment(static_cast<int64_t>(last_snapshot_entries_));
-      m_bytes_->Increment(bytes_written);
+      m_bytes_->Increment(capture_bytes_);
       m_tombstones_->Increment(tombstones);
       m_entries_per_snapshot_->Record(
           static_cast<int64_t>(last_snapshot_entries_));
-      if (!local_.empty()) {
+      if (captured_size > 0) {
         // Delta ratio: share of the state rewritten this checkpoint (100 for
         // full snapshots; the Fig. 12 savings metric for incremental ones).
-        m_delta_ratio_pct_->Record(
-            static_cast<int64_t>(100 * last_snapshot_entries_ /
-                                 local_.size()));
+        m_delta_ratio_pct_->Record(static_cast<int64_t>(
+            100 * last_snapshot_entries_ / captured_size));
       }
     }
   }
-  dirty_.clear();
-  deleted_.clear();
-  return Status::OK();
+  DiscardCapture();
+  return true;
+}
+
+void SQueryStateStore::AbortSnapshot(int64_t checkpoint_id) {
+  if (capture_ckpt_ == 0 || capture_ckpt_ != checkpoint_id) return;
+  // Fold the aborted epoch's change tracking back into the live epoch so
+  // the next successful incremental snapshot still covers those keys. A key
+  // mutated again since Begin keeps its newer classification.
+  for (const kv::Value& key : capture_dirty_) {
+    if (deleted_.count(key) == 0) dirty_.insert(key);
+  }
+  for (const kv::Value& key : capture_deleted_) {
+    if (dirty_.count(key) == 0) deleted_.insert(key);
+  }
+  DiscardCapture();
+}
+
+void SQueryStateStore::DiscardCapture() {
+  capture_ckpt_ = 0;
+  cow_overlay_.clear();
+  cow_absent_.clear();
+  capture_dirty_.clear();
+  capture_deleted_.clear();
+  capture_keys_.clear();
+  capture_pos_ = 0;
+  capture_build_.clear();
+  capture_table_entries_ = 0;
+  capture_bytes_ = 0;
 }
 
 Status SQueryStateStore::RestoreFrom(int64_t checkpoint_id) {
+  DiscardCapture();  // any in-flight capture belongs to a dead epoch
   StateMap restored;
   if (checkpoint_id != 0) {
     // Greatest internal snapshot <= checkpoint_id (an instance that did not
@@ -215,6 +307,7 @@ Status SQueryStateStore::RestoreFromTable(int64_t checkpoint_id) {
     return Status::FailedPrecondition(
         "snapshot table disabled for " + operator_name_);
   }
+  DiscardCapture();
   StateMap restored;
   const int32_t partitions = grid_->partitioner().partition_count();
   for (int32_t p = instance_; p < partitions; p += config_.parallelism) {
@@ -260,6 +353,7 @@ void SQueryStateStore::Clear() {
   local_.clear();
   dirty_.clear();
   deleted_.clear();
+  DiscardCapture();
 }
 
 dataflow::StateStoreFactory MakeSQueryStateStoreFactory(

@@ -9,8 +9,10 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "common/metrics.h"
+#include "common/result.h"
 #include "common/status.h"
 #include "dataflow/state_store.h"
 #include "kv/grid.h"
@@ -89,6 +91,11 @@ class SQueryStateStore : public dataflow::StateStore {
                    fn) const override;
   size_t Size() const override;
   Status SnapshotTo(int64_t checkpoint_id) override;
+  Status BeginSnapshot(int64_t checkpoint_id) override;
+  Status FinishSnapshot(int64_t checkpoint_id) override;
+  Result<bool> FinishSnapshotStep(int64_t checkpoint_id,
+                                  size_t max_entries) override;
+  void AbortSnapshot(int64_t checkpoint_id) override;
   Status RestoreFrom(int64_t checkpoint_id) override;
   void Clear() override;
 
@@ -107,6 +114,12 @@ class SQueryStateStore : public dataflow::StateStore {
  private:
   using StateMap =
       std::unordered_map<kv::Value, kv::Object, kv::ValueHash>;
+  using KeySet = std::unordered_set<kv::Value, kv::ValueHash>;
+
+  /// Before a mutation of `key`, saves its capture-point value (or absence)
+  /// if an unaligned capture is in flight and the key is not yet preserved.
+  void PreserveForCapture(const kv::Value& key);
+  void DiscardCapture();
 
   kv::Grid* grid_;
   std::string operator_name_;
@@ -126,8 +139,28 @@ class SQueryStateStore : public dataflow::StateStore {
 
   StateMap local_;
   // Incremental-snapshot change tracking since the last checkpoint.
-  std::unordered_set<kv::Value, kv::ValueHash> dirty_;
-  std::unordered_set<kv::Value, kv::ValueHash> deleted_;
+  KeySet dirty_;
+  KeySet deleted_;
+
+  // Epoch-tagged copy-on-write capture (unaligned checkpoints). Between
+  // BeginSnapshot and the last FinishSnapshotStep, `cow_overlay_` holds the
+  // capture-point values of keys mutated since Begin and `cow_absent_` the
+  // keys that did not exist at the capture point but do now; the
+  // capture-epoch dirty/deleted sets are frozen aside so the live epoch
+  // starts tracking the *next* checkpoint's delta immediately. The cursor
+  // (`capture_keys_`/`capture_pos_`) lets the write-out proceed in bounded
+  // chunks interleaved with record processing; `capture_build_` accumulates
+  // the reconstructed capture-point state for the private recovery copy.
+  int64_t capture_ckpt_ = 0;  // 0 = no capture in flight
+  StateMap cow_overlay_;
+  KeySet cow_absent_;
+  KeySet capture_dirty_;
+  KeySet capture_deleted_;
+  std::vector<kv::Value> capture_keys_;
+  size_t capture_pos_ = 0;
+  StateMap capture_build_;
+  size_t capture_table_entries_ = 0;
+  int64_t capture_bytes_ = 0;
 
   // Private recovery snapshots (bounded retention).
   std::map<int64_t, StateMap> internal_snapshots_;

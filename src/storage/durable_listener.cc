@@ -9,6 +9,29 @@
 
 namespace sq::storage {
 
+void DurableSnapshotListener::OnChannelLog(
+    int64_t checkpoint_id, const std::string& vertex_name, int32_t instance,
+    const std::vector<dataflow::Record>& records) {
+  trace::ScopedSpan span(trace::Category::kStorage, "log_channel");
+  span.AddAttr("checkpoint_id", checkpoint_id);
+  span.AddAttr("vertex", vertex_name);
+  span.AddAttr("records", static_cast<int64_t>(records.size()));
+  std::vector<SnapshotLog::LoggedRecord> logged;
+  logged.reserve(records.size());
+  for (const dataflow::Record& record : records) {
+    logged.push_back(SnapshotLog::LoggedRecord{
+        record.key, record.payload, record.source_nanos,
+        record.from_instance});
+  }
+  Status s = log_->AppendChannelLog(checkpoint_id, vertex_name, instance,
+                                    logged);
+  if (!s.ok()) {
+    write_failures_.fetch_add(1, std::memory_order_relaxed);
+    SQ_LOG(Warning) << "channel log append failed for " << vertex_name << "["
+                    << instance << "]: " << s;
+  }
+}
+
 void DurableSnapshotListener::OnCheckpointPrepared(int64_t checkpoint_id) {
   // Runs on the coordinator thread inside the checkpoint span scope, so this
   // nests under the checkpoint's phase2 span.

@@ -2,8 +2,11 @@
 #define SQUERY_STORAGE_DURABLE_LISTENER_H_
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "dataflow/checkpoint.h"
+#include "dataflow/record.h"
 #include "kv/grid.h"
 #include "storage/snapshot_log.h"
 
@@ -31,6 +34,9 @@ class DurableSnapshotListener : public dataflow::CheckpointListener {
   DurableSnapshotListener(kv::Grid* grid, SnapshotLog* log)
       : grid_(grid), log_(log) {}
 
+  void OnChannelLog(int64_t checkpoint_id, const std::string& vertex_name,
+                    int32_t instance,
+                    const std::vector<dataflow::Record>& records) override;
   void OnCheckpointPrepared(int64_t checkpoint_id) override;
   void OnCheckpointCommitted(int64_t checkpoint_id) override;
   void OnCheckpointAborted(int64_t checkpoint_id) override;

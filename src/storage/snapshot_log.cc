@@ -38,6 +38,10 @@ constexpr char kManifestBanner[] = "squery-snapshot-log 1";
 enum RecordType : uint8_t {
   kDeltaRecord = 1,
   kCommitRecord = 2,
+  // Unaligned checkpoints: records that overtook the barrier at one
+  // consumer, logged so recovery can replay the in-flight data the
+  // rolled-back upstream will not re-emit.
+  kChannelLogRecord = 3,
 };
 
 std::string SegmentFileName(uint64_t seq) {
@@ -176,6 +180,39 @@ bool DecodeDelta(std::string_view payload, DecodedDelta* out) {
   return true;
 }
 
+struct DecodedChannelLog {
+  std::string vertex;
+  int32_t instance = 0;
+  int64_t ssid = 0;
+  std::vector<SnapshotLog::LoggedRecord> records;
+};
+
+bool DecodeChannelLog(std::string_view payload, DecodedChannelLog* out) {
+  Reader reader(payload);
+  uint8_t type = 0;
+  uint32_t instance = 0;
+  uint32_t count = 0;
+  if (!reader.ReadU8(&type) || type != kChannelLogRecord) return false;
+  if (!reader.ReadString(&out->vertex) || !reader.ReadU32(&instance) ||
+      !reader.ReadI64(&out->ssid) || !reader.ReadU32(&count)) {
+    return false;
+  }
+  out->instance = static_cast<int32_t>(instance);
+  out->records.clear();
+  out->records.reserve(std::min<size_t>(count, reader.remaining()));
+  for (uint32_t i = 0; i < count; ++i) {
+    SnapshotLog::LoggedRecord record;
+    uint32_t from = 0;
+    if (!reader.ReadI64(&record.source_nanos) || !reader.ReadU32(&from) ||
+        !reader.ReadValue(&record.key) || !reader.ReadObject(&record.payload)) {
+      return false;
+    }
+    record.from_instance = static_cast<int32_t>(from);
+    out->records.push_back(std::move(record));
+  }
+  return true;
+}
+
 bool DecodeCommit(std::string_view payload, int64_t* ssid) {
   Reader reader(payload);
   uint8_t type = 0;
@@ -283,6 +320,7 @@ Status SnapshotLog::ScanSegmentsLocked() {
   committed_.clear();
   bytes_per_ssid_.clear();
   table_latest_.clear();
+  recovery_.channel_log_records = 0;
   for (size_t i = 0; i < segments_.size(); ++i) {
     Segment& segment = segments_[i];
     const bool is_active = i + 1 == segments_.size();
@@ -311,6 +349,20 @@ Status SnapshotLog::ScanSegmentsLocked() {
               committed_.push_back(ssid);
               last_commit_end = end;
             }
+            return;
+          }
+          if (type == kChannelLogRecord) {
+            DecodedChannelLog channel_log;
+            if (!DecodeChannelLog(payload, &channel_log)) return;
+            bytes_per_ssid_[channel_log.ssid] +=
+                static_cast<int64_t>(payload.size());
+            // Compaction candidates are segments whose max_ssid is below the
+            // retention floor; counting the channel log here keeps a live
+            // log's segment out of that set (a rewrite keeps delta bases
+            // only and would silently drop it).
+            segment.max_ssid = std::max(segment.max_ssid, channel_log.ssid);
+            recovery_.channel_log_records +=
+                static_cast<int64_t>(channel_log.records.size());
             return;
           }
           if (type != kDeltaRecord) return;  // unknown types are skipped
@@ -496,6 +548,39 @@ Status SnapshotLog::AppendDelta(const std::string& table, int64_t ssid,
         "snapshot " + std::to_string(pending_ssid_) +
         " is still uncommitted; abort or commit it before appending " +
         std::to_string(ssid));
+  }
+  pending_ssid_ = ssid;
+  AppendRecord(&batch_, payload);
+  bytes_per_ssid_[ssid] += static_cast<int64_t>(payload.size());
+  if (batch_.size() >= options_.flush_bytes) {
+    SQ_RETURN_IF_ERROR(FlushBatchLocked());
+  }
+  return Status::OK();
+}
+
+Status SnapshotLog::AppendChannelLog(int64_t ssid, const std::string& vertex,
+                                     int32_t instance,
+                                     const std::vector<LoggedRecord>& records) {
+  if (records.empty()) return Status::OK();
+  std::string payload;
+  PutU8(&payload, kChannelLogRecord);
+  PutString(&payload, vertex);
+  PutU32(&payload, static_cast<uint32_t>(instance));
+  PutI64(&payload, ssid);
+  PutU32(&payload, static_cast<uint32_t>(records.size()));
+  for (const LoggedRecord& record : records) {
+    PutI64(&payload, record.source_nanos);
+    PutU32(&payload, static_cast<uint32_t>(record.from_instance));
+    PutValue(&payload, record.key);
+    PutObject(&payload, record.payload);
+  }
+
+  MutexLock lock(&mu_);
+  if (pending_ssid_ != 0 && pending_ssid_ != ssid) {
+    return Status::FailedPrecondition(
+        "snapshot " + std::to_string(pending_ssid_) +
+        " is still uncommitted; abort or commit it before appending the "
+        "channel log of " + std::to_string(ssid));
   }
   pending_ssid_ = ssid;
   AppendRecord(&batch_, payload);
@@ -696,11 +781,40 @@ Status SnapshotLog::ScanSnapshotLocked(const std::string& table, int64_t ssid,
   return Status::OK();
 }
 
+Status SnapshotLog::ScanChannelLog(int64_t ssid, const ChannelLogFn& fn) const {
+  MutexLock lock(&mu_);
+  if (!std::binary_search(committed_.begin(), committed_.end(), ssid)) {
+    return Status::NotFound("snapshot " + std::to_string(ssid) +
+                            " is not durable in " + options_.dir);
+  }
+  // Segments are visited in seq order and records within a segment in append
+  // order, so each consumer's records come back in the order it logged them
+  // (one consumer writes at most a handful of records per checkpoint, all in
+  // a single phase-2 append).
+  for (const Segment& segment : segments_) {
+    std::string data;
+    SQ_RETURN_IF_ERROR(ReadFileBytes(segment.path, &data));
+    const size_t limit = std::min<size_t>(data.size(), segment.durable_bytes);
+    ParseRecords(std::string_view(data).substr(0, limit), kSegmentHeaderSize,
+                 [&](uint8_t type, std::string_view payload, size_t) {
+                   if (type != kChannelLogRecord) return;
+                   DecodedChannelLog channel_log;
+                   if (!DecodeChannelLog(payload, &channel_log)) return;
+                   if (channel_log.ssid != ssid) return;
+                   for (const LoggedRecord& record : channel_log.records) {
+                     fn(channel_log.vertex, channel_log.instance, record);
+                   }
+                 });
+  }
+  return Status::OK();
+}
+
 Result<RecoveryInfo> SnapshotLog::ReplayInto(kv::Grid* grid,
                                              int retained_versions) const {
   MutexLock lock(&mu_);
   RecoveryInfo info = recovery_;
   info.records_scanned = 0;
+  info.channel_log_records = 0;
   for (const Segment& segment : segments_) {
     std::string data;
     SQ_RETURN_IF_ERROR(ReadFileBytes(segment.path, &data));
@@ -710,6 +824,14 @@ Result<RecoveryInfo> SnapshotLog::ReplayInto(kv::Grid* grid,
         std::string_view(data).substr(0, limit), kSegmentHeaderSize,
         [&](uint8_t type, std::string_view payload, size_t) {
           ++info.records_scanned;
+          if (type == kChannelLogRecord) {
+            DecodedChannelLog channel_log;
+            if (DecodeChannelLog(payload, &channel_log)) {
+              info.channel_log_records +=
+                  static_cast<int64_t>(channel_log.records.size());
+            }
+            return;
+          }
           if (type != kDeltaRecord) return;
           DecodedDelta delta;
           if (!DecodeDelta(payload, &delta)) return;

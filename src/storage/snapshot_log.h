@@ -63,6 +63,10 @@ struct RecoveryInfo {
   int64_t records_scanned = 0;
   int64_t torn_bytes_skipped = 0;
   int64_t torn_records_skipped = 0;
+  /// In-flight records logged by unaligned checkpoints (summed across all
+  /// durable channel-log records; the job replays the latest committed id's
+  /// share into its channels on recovery).
+  int64_t channel_log_records = 0;
 };
 
 /// Point-in-time counters of a log (the durability columns of the
@@ -103,10 +107,25 @@ class SnapshotLog {
     kv::Object value;
   };
 
+  /// One in-flight record overtaken by an unaligned checkpoint marker,
+  /// expressed in KV-layer types (this header stays dataflow-free; the
+  /// durable listener converts from `dataflow::Record`).
+  struct LoggedRecord {
+    kv::Value key;
+    kv::Object payload;
+    int64_t source_nanos = 0;
+    int32_t from_instance = 0;
+  };
+
   /// Receives reconstructed rows: partition, key, the ssid of the entry that
   /// supplied the value, and the value (tombstoned keys are not emitted).
   using ScanFn = std::function<void(int32_t, const kv::Value&, int64_t,
                                     const kv::Object&)>;
+
+  /// Receives one channel-log record: the consumer it was logged by (vertex
+  /// name + instance) and the record itself.
+  using ChannelLogFn = std::function<void(const std::string&, int32_t,
+                                          const LoggedRecord&)>;
 
   /// Opens (creating if necessary) the log in `options.dir` and recovers its
   /// state: segment list from the MANIFEST (or a directory scan if the
@@ -123,6 +142,13 @@ class SnapshotLog {
   /// Buffered; durable only after `Commit(ssid)`.
   Status AppendDelta(const std::string& table, int64_t ssid,
                      int32_t partition, const std::vector<DeltaEntry>& entries);
+
+  /// Appends the channel log of one consumer (unaligned mode): the records
+  /// that overtook checkpoint `ssid`'s marker at `vertex[instance]`. Shares
+  /// the delta batch and the same commit/abort boundary.
+  Status AppendChannelLog(int64_t ssid, const std::string& vertex,
+                          int32_t instance,
+                          const std::vector<LoggedRecord>& records);
 
   /// Makes everything appended under `ssid` durable: flushes the batch,
   /// appends the commit record, fsyncs, updates the MANIFEST, then rotates
@@ -150,6 +176,11 @@ class SnapshotLog {
   /// memory). Fails if `ssid` is not durable.
   Status ScanSnapshot(const std::string& table, int64_t ssid,
                       const ScanFn& fn) const;
+
+  /// Replays the channel log of snapshot `ssid` (records overtaken by the
+  /// unaligned barrier, in logged order per consumer). Fails if `ssid` is
+  /// not durable. Empty for aligned checkpoints.
+  Status ScanChannelLog(int64_t ssid, const ChannelLogFn& fn) const;
 
   /// Replays every durable delta into `grid`'s snapshot tables and compacts
   /// them to the floor implied by `retained_versions`, rebuilding the

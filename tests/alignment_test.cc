@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "dataflow/aligner.h"
+
+namespace sq::dataflow {
+namespace {
+
+using Outcome = ChannelAligner::Outcome;
+using DataAction = ChannelAligner::DataAction;
+
+TEST(AlignedTest, SingleUpstreamCompletesImmediately) {
+  ChannelAligner aligner(CheckpointMode::kAligned, {7});
+  const Outcome out = aligner.OnMarker(7, 1, /*latest_committed=*/0);
+  EXPECT_TRUE(out.alignment_started);
+  EXPECT_EQ(out.complete, 1);
+  EXPECT_EQ(aligner.pending_checkpoint(), 0);
+}
+
+TEST(AlignedTest, BuffersMarkedChannelsUntilAllMarkersArrive) {
+  ChannelAligner aligner(CheckpointMode::kAligned, {1, 2});
+  Outcome out = aligner.OnMarker(1, 1, 0);
+  EXPECT_TRUE(out.alignment_started);
+  EXPECT_EQ(out.complete, 0);
+  // The marked channel blocks; the unmarked one flows.
+  EXPECT_EQ(aligner.ActionForData(1), DataAction::kBuffer);
+  EXPECT_EQ(aligner.ActionForData(2), DataAction::kProcess);
+  out = aligner.OnMarker(2, 1, 0);
+  EXPECT_EQ(out.complete, 1);
+  EXPECT_EQ(aligner.ActionForData(1), DataAction::kProcess);
+}
+
+TEST(AlignedTest, IgnoresStaleMarkers) {
+  ChannelAligner aligner(CheckpointMode::kAligned, {1, 2});
+  // Already committed.
+  Outcome out = aligner.OnMarker(1, 3, /*latest_committed=*/3);
+  EXPECT_FALSE(out.alignment_started);
+  EXPECT_EQ(aligner.pending_checkpoint(), 0);
+  // Already aborted: the coordinator's abort broadcast overtook the marker.
+  aligner.OnAbort(5);
+  out = aligner.OnMarker(1, 5, 3);
+  EXPECT_FALSE(out.alignment_started);
+  EXPECT_EQ(aligner.pending_checkpoint(), 0);
+}
+
+// Regression for the two-concurrent-markers corruption: a newer checkpoint's
+// marker arriving while a different id is still aligning used to leave the
+// stale `aligned` set (and the worker's buffer) attached to the new
+// alignment — the new checkpoint then completed prematurely, snapshotting
+// state that already included post-marker records, and the buffer was
+// replayed after the wrong snapshot.
+TEST(AlignedTest, NewerMarkerSupersedesAlignmentInProgress) {
+  ChannelAligner aligner(CheckpointMode::kAligned, {1, 2});
+  // Checkpoint 1 starts aligning: channel 1 is marked and blocked.
+  ASSERT_TRUE(aligner.OnMarker(1, 1, 0).alignment_started);
+  EXPECT_EQ(aligner.ActionForData(1), DataAction::kBuffer);
+
+  // Checkpoint 2's marker arrives on channel 2 before checkpoint 1 ever
+  // finished. The old alignment is dead; its buffer must drain first, the
+  // aligned set must reset — and checkpoint 2 must NOT be complete (channel
+  // 1's marker for it has not arrived).
+  const Outcome out = aligner.OnMarker(2, 2, 0);
+  EXPECT_TRUE(out.alignment_started);
+  EXPECT_TRUE(out.drain_buffered_first);
+  EXPECT_EQ(out.complete, 0) << "stale aligned set completed checkpoint 2";
+  EXPECT_EQ(aligner.pending_checkpoint(), 2);
+  // Channel 1 (unmarked for checkpoint 2) flows; channel 2 blocks.
+  EXPECT_EQ(aligner.ActionForData(1), DataAction::kProcess);
+  EXPECT_EQ(aligner.ActionForData(2), DataAction::kBuffer);
+
+  // Checkpoint 1's remaining marker is stale and must not resurrect it.
+  EXPECT_EQ(aligner.OnMarker(2, 1, 0).complete, 0);
+  EXPECT_EQ(aligner.pending_checkpoint(), 2);
+
+  // Checkpoint 2 completes only once its own marker set is full.
+  EXPECT_EQ(aligner.OnMarker(1, 2, 0).complete, 2);
+}
+
+TEST(AlignedTest, AbortReleasesAlignmentAndBlocksItsMarkers) {
+  ChannelAligner aligner(CheckpointMode::kAligned, {1, 2});
+  ASSERT_TRUE(aligner.OnMarker(1, 4, 0).alignment_started);
+  EXPECT_EQ(aligner.ActionForData(1), DataAction::kBuffer);
+
+  const Outcome out = aligner.OnAbort(4);
+  EXPECT_TRUE(out.drain_buffered_first);
+  EXPECT_EQ(aligner.pending_checkpoint(), 0);
+  EXPECT_EQ(aligner.ActionForData(1), DataAction::kProcess);
+  // The aborted checkpoint's in-flight marker on the other channel must not
+  // reopen the barrier.
+  EXPECT_FALSE(aligner.OnMarker(2, 4, 0).alignment_started);
+}
+
+TEST(AlignedTest, EofFromLastStragglerCompletesAlignment) {
+  ChannelAligner aligner(CheckpointMode::kAligned, {1, 2});
+  ASSERT_TRUE(aligner.OnMarker(1, 1, 0).alignment_started);
+  const Outcome out = aligner.OnEof(2);
+  EXPECT_EQ(out.complete, 1);
+  EXPECT_TRUE(aligner.has_active_upstreams());
+  EXPECT_FALSE(aligner.OnEof(1).complete);
+  EXPECT_FALSE(aligner.has_active_upstreams());
+}
+
+TEST(UnalignedTest, FirstMarkerBeginsCaptureAndLogsUnmarkedChannels) {
+  ChannelAligner aligner(CheckpointMode::kUnaligned, {1, 2});
+  Outcome out = aligner.OnMarker(1, 1, 0);
+  EXPECT_TRUE(out.alignment_started);
+  EXPECT_EQ(out.begin_capture, 1);
+  EXPECT_EQ(out.complete, 0);
+  // No channel ever blocks; data racing the barrier on the unmarked channel
+  // is processed and logged.
+  EXPECT_EQ(aligner.ActionForData(1), DataAction::kProcess);
+  EXPECT_EQ(aligner.ActionForData(2), DataAction::kProcessAndLog);
+
+  out = aligner.OnMarker(2, 1, 0);
+  EXPECT_EQ(out.complete, 1);
+  EXPECT_EQ(aligner.ActionForData(2), DataAction::kProcess);
+}
+
+TEST(UnalignedTest, SingleUpstreamBeginsAndCompletesInOneOutcome) {
+  ChannelAligner aligner(CheckpointMode::kUnaligned, {3});
+  const Outcome out = aligner.OnMarker(3, 2, 0);
+  EXPECT_EQ(out.begin_capture, 2);
+  EXPECT_EQ(out.complete, 2);
+}
+
+TEST(UnalignedTest, NewerMarkerAbandonsCaptureInFlight) {
+  ChannelAligner aligner(CheckpointMode::kUnaligned, {1, 2});
+  ASSERT_EQ(aligner.OnMarker(1, 1, 0).begin_capture, 1);
+
+  const Outcome out = aligner.OnMarker(2, 2, 0);
+  EXPECT_EQ(out.abandoned_capture, 1);
+  EXPECT_EQ(out.begin_capture, 2);
+  EXPECT_EQ(out.complete, 0);
+  EXPECT_EQ(aligner.pending_checkpoint(), 2);
+  // Checkpoint 1's straggler marker is stale.
+  EXPECT_EQ(aligner.OnMarker(2, 1, 0).begin_capture, 0);
+  // Checkpoint 2 completes normally.
+  EXPECT_EQ(aligner.OnMarker(1, 2, 0).complete, 2);
+}
+
+TEST(UnalignedTest, AbortAbandonsCapture) {
+  ChannelAligner aligner(CheckpointMode::kUnaligned, {1, 2});
+  ASSERT_EQ(aligner.OnMarker(1, 3, 0).begin_capture, 3);
+  const Outcome out = aligner.OnAbort(3);
+  EXPECT_EQ(out.abandoned_capture, 3);
+  EXPECT_EQ(aligner.pending_checkpoint(), 0);
+  EXPECT_EQ(aligner.ActionForData(2), DataAction::kProcess);
+  EXPECT_EQ(aligner.OnMarker(2, 3, 0).begin_capture, 0);
+}
+
+TEST(UnalignedTest, EofFromLastPendingUpstreamCompletesCapture) {
+  ChannelAligner aligner(CheckpointMode::kUnaligned, {1, 2});
+  ASSERT_EQ(aligner.OnMarker(1, 1, 0).begin_capture, 1);
+  EXPECT_EQ(aligner.OnEof(2).complete, 1);
+}
+
+}  // namespace
+}  // namespace sq::dataflow

@@ -243,6 +243,60 @@ TEST(ExecutionTest, CheckpointTimesOutAndAborts) {
   ASSERT_TRUE((*job)->Stop().ok());
 }
 
+// Regression: a failing phase 1 must abort the checkpoint, not commit it.
+// PerformSnapshot used to acknowledge the worker as prepared even when
+// OnCheckpoint/SnapshotTo failed, so the coordinator committed a checkpoint
+// that silently lost that worker's state.
+TEST(ExecutionTest, FailedPhase1AbortsInsteadOfCommitting) {
+  struct AbortListener : public CheckpointListener {
+    std::atomic<int64_t> aborted{0};
+    std::atomic<int64_t> committed{0};
+    void OnCheckpointAborted(int64_t) override { aborted.fetch_add(1); }
+    void OnCheckpointCommitted(int64_t) override { committed.fetch_add(1); }
+  };
+  AbortListener listener;
+  auto faulty = std::make_shared<std::atomic<bool>>(true);
+
+  JobGraph graph;
+  const int32_t src = graph.AddSource("src", 1, NumbersSource(-1, 4, 2000.0));
+  const int32_t op = graph.AddOperator(
+      "faulty", 1,
+      MakeLambdaOperatorFactory(
+          [](const Record&, OperatorContext*) { return Status::OK(); },
+          [faulty](int64_t, OperatorContext*) {
+            return faulty->load() ? Status::Internal("injected snapshot fault")
+                                  : Status::OK();
+          }));
+  EXPECT_TRUE(graph.Connect(src, op, EdgeKind::kKeyed).ok());
+
+  JobConfig config;
+  config.checkpoint_interval_ms = 0;
+  config.listener = &listener;
+  auto job = Job::Create(graph, std::move(config));
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE((*job)->Start().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  auto first = (*job)->TriggerCheckpoint();
+  ASSERT_FALSE(first.ok());
+  EXPECT_TRUE(first.status().IsAborted()) << first.status();
+  EXPECT_NE(first.status().message().find("injected snapshot fault"),
+            std::string::npos)
+      << first.status();
+  EXPECT_EQ(listener.aborted.load(), 1);
+  EXPECT_EQ(listener.committed.load(), 0);
+  EXPECT_EQ((*job)->latest_committed_checkpoint(), 0);
+
+  // With the fault cleared the pipeline is still healthy: the next
+  // checkpoint commits (the abort released everything it held).
+  faulty->store(false);
+  auto second = (*job)->TriggerCheckpoint();
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(listener.committed.load(), 1);
+  EXPECT_EQ((*job)->latest_committed_checkpoint(), *second);
+  ASSERT_TRUE((*job)->Stop().ok());
+}
+
 TEST(ExecutionTest, StopInterruptsUnboundedJob) {
   JobGraph graph;
   CollectingSink::Collector collector;

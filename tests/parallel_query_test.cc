@@ -203,19 +203,20 @@ TEST_F(ParallelQueryTest, ScanTableOnlyResolverMatchesSourceScan) {
 TEST_F(ParallelQueryTest, KeyPushdownScansOnlyMatchingPartitions) {
   QueryOptions options;
   options.isolation = state::IsolationLevel::kReadCommittedNoFailures;
-  auto result =
-      service_.Execute("SELECT v FROM metrics WHERE key = 42", options);
+  auto result = service_.ExecuteWithStats(
+      "SELECT v FROM metrics WHERE key = 42", options);
   ASSERT_TRUE(result.ok()) << result.status();
-  const sql::ExecStats stats = service_.last_exec_stats();
+  const sql::ExecStats stats = result->stats;
   EXPECT_TRUE(stats.used_point_lookup);
   EXPECT_TRUE(stats.used_pushdown);
   EXPECT_EQ(stats.rows_scanned, 1);
   EXPECT_EQ(stats.partitions_scanned, 1);
 
   // Full scan for contrast: every partition, every row.
-  result = service_.Execute("SELECT COUNT(*) AS n FROM metrics", options);
+  result = service_.ExecuteWithStats("SELECT COUNT(*) AS n FROM metrics",
+                                     options);
   ASSERT_TRUE(result.ok()) << result.status();
-  const sql::ExecStats full = service_.last_exec_stats();
+  const sql::ExecStats full = result->stats;
   EXPECT_FALSE(full.used_point_lookup);
   EXPECT_EQ(full.rows_scanned, kKeys);
   EXPECT_EQ(full.partitions_scanned, kPartitions);
@@ -224,20 +225,21 @@ TEST_F(ParallelQueryTest, KeyPushdownScansOnlyMatchingPartitions) {
 TEST_F(ParallelQueryTest, PredicatePushdownSkipsMaterialization) {
   QueryOptions options;
   options.isolation = state::IsolationLevel::kReadCommittedNoFailures;
-  auto result = service_.Execute(
+  auto result = service_.ExecuteWithStats(
       "SELECT key FROM metrics WHERE v > 900 AND g = 1", options);
   ASSERT_TRUE(result.ok()) << result.status();
-  const sql::ExecStats stats = service_.last_exec_stats();
+  const sql::ExecStats stats = result->stats;
   EXPECT_TRUE(stats.used_pushdown);
   EXPECT_EQ(stats.rows_scanned, kKeys);
-  EXPECT_EQ(stats.rows_returned, static_cast<int64_t>(result->RowCount()));
+  EXPECT_EQ(stats.rows_returned,
+            static_cast<int64_t>(result->result.RowCount()));
   EXPECT_LT(stats.rows_returned, stats.rows_scanned);
 
   options.pushdown = false;
-  result = service_.Execute(
+  result = service_.ExecuteWithStats(
       "SELECT key FROM metrics WHERE v > 900 AND g = 1", options);
   ASSERT_TRUE(result.ok()) << result.status();
-  const sql::ExecStats off = service_.last_exec_stats();
+  const sql::ExecStats off = result->stats;
   EXPECT_FALSE(off.used_pushdown);
   EXPECT_EQ(off.rows_returned, off.rows_scanned);  // everything materialized
 }
@@ -246,13 +248,15 @@ TEST_F(ParallelQueryTest, ParallelismIsReportedAndCapped) {
   QueryOptions options;
   options.isolation = state::IsolationLevel::kReadCommittedNoFailures;
   options.parallelism = 4;
-  ASSERT_TRUE(
-      service_.Execute("SELECT COUNT(*) AS n FROM metrics", options).ok());
-  EXPECT_EQ(service_.last_exec_stats().parallelism, 4);
+  auto result =
+      service_.ExecuteWithStats("SELECT COUNT(*) AS n FROM metrics", options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->stats.parallelism, 4);
   options.parallelism = 1;
-  ASSERT_TRUE(
-      service_.Execute("SELECT COUNT(*) AS n FROM metrics", options).ok());
-  EXPECT_EQ(service_.last_exec_stats().parallelism, 1);
+  result =
+      service_.ExecuteWithStats("SELECT COUNT(*) AS n FROM metrics", options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->stats.parallelism, 1);
 }
 
 /// Aggregate errors must propagate deterministically out of parallel workers.

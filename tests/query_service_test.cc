@@ -138,40 +138,34 @@ TEST_F(QueryServiceTest, MixedLiveAndSnapshotJoinUnderLiveIsolation) {
   EXPECT_EQ(result->At(0, "n").AsInt64(), 2);
 }
 
-// last_exec_stats() publishes the instrumentation of the most recent
-// Execute() *overall* under concurrency — whichever query finishes last
-// wins — but every published snapshot must be internally consistent: the
-// stats of one of the two query shapes issued here, never a blend.
-TEST_F(QueryServiceTest, LastExecStatsIsConsistentUnderConcurrentExecute) {
+// ExecuteWithStats() returns the instrumentation of exactly the query that
+// was run: under concurrent callers each thread must always see its own
+// query shape's numbers, never the other thread's (the failure mode of the
+// old shared last-stats slot).
+TEST_F(QueryServiceTest, ExecuteWithStatsIsPerQueryUnderConcurrency) {
   constexpr int kIterations = 50;
   std::atomic<bool> failed{false};
-  auto run = [&](const char* sql) {
+  std::atomic<bool> mismatched{false};
+  auto run = [&](const char* sql, int64_t want_rows, bool want_point_lookup) {
     for (int i = 0; i < kIterations && !failed.load(); ++i) {
-      if (!service_.Execute(sql).ok()) failed.store(true);
+      auto result = service_.ExecuteWithStats(sql);
+      if (!result.ok()) {
+        failed.store(true);
+        return;
+      }
+      if (result->stats.rows_returned != want_rows ||
+          result->stats.used_point_lookup != want_point_lookup) {
+        mismatched.store(true);
+      }
     }
   };
   // Shape A scans two rows; shape B's pushdown point lookup touches one.
-  std::thread a(run, "SELECT v FROM snapshot_counts");
-  std::thread b(run, "SELECT v FROM snapshot_counts WHERE key=1");
-  std::vector<sql::ExecStats> observed;
-  for (int i = 0; i < kIterations * 4; ++i) {
-    observed.push_back(service_.last_exec_stats());
-  }
+  std::thread a(run, "SELECT v FROM snapshot_counts", 2, false);
+  std::thread b(run, "SELECT v FROM snapshot_counts WHERE key=1", 1, true);
   a.join();
   b.join();
   ASSERT_FALSE(failed.load());
-  for (const sql::ExecStats& stats : observed) {
-    const bool shape_a =
-        stats.rows_returned == 2 && !stats.used_point_lookup;
-    const bool shape_b = stats.rows_returned == 1 && stats.used_point_lookup;
-    const bool initial = stats.rows_returned == 0;  // read before any publish
-    EXPECT_TRUE(shape_a || shape_b || initial)
-        << "torn stats: rows_returned=" << stats.rows_returned
-        << " point_lookup=" << stats.used_point_lookup;
-  }
-  const sql::ExecStats final_stats = service_.last_exec_stats();
-  EXPECT_TRUE(final_stats.rows_returned == 1 ||
-              final_stats.rows_returned == 2);
+  EXPECT_FALSE(mismatched.load()) << "a query observed another query's stats";
 }
 
 TEST_F(QueryServiceTest, DirectSnapshotAccessHonorsVersions) {
