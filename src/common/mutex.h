@@ -45,6 +45,12 @@ namespace sq {
 namespace lockrank {
 inline constexpr int kUnranked = -1;  ///< Exempt from rank checking.
 inline constexpr int kJobCheckpoint = 100;
+/// Net layer: the server's connection registry and the client's per-peer
+/// connection locks are held across socket I/O that may descend into any
+/// storage/state/kv read path on the serving side, so they rank outermost
+/// after the checkpoint coordinator.
+inline constexpr int kNetServer = 150;
+inline constexpr int kNetClient = 160;
 inline constexpr int kStorageLog = 200;
 inline constexpr int kStorageCompact = 210;
 inline constexpr int kStateRegistry = 300;

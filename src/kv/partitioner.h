@@ -43,6 +43,50 @@ class Partitioner {
   int32_t partition_count_;
 };
 
+/// A contiguous half-open partition range `[begin, end)` — how cluster nodes
+/// divide the partition space (each node owns one range; ranges tile the
+/// space with no gaps or overlap, Hazelcast-style).
+struct PartitionRange {
+  int32_t begin = 0;
+  int32_t end = 0;
+
+  bool Contains(int32_t partition) const {
+    return partition >= begin && partition < end;
+  }
+  int32_t size() const { return end - begin; }
+};
+
+/// The range node `node` (0-based) owns when `node_count` nodes tile
+/// `partition_count` partitions: `[P*n/N, P*(n+1)/N)`. With N > P some nodes
+/// own empty ranges; every partition is owned by exactly one node.
+inline PartitionRange PartitionRangeOf(int32_t node, int32_t node_count,
+                                       int32_t partition_count) {
+  const auto p = static_cast<int64_t>(partition_count);
+  return PartitionRange{
+      static_cast<int32_t>(p * node / node_count),
+      static_cast<int32_t>(p * (node + 1) / node_count)};
+}
+
+/// Inverse of PartitionRangeOf: the node whose range contains `partition`.
+inline int32_t OwnerOfPartition(int32_t partition, int32_t node_count,
+                                int32_t partition_count) {
+  // Closed-form candidate, then nudge to be robust against rounding.
+  int32_t node = static_cast<int32_t>(
+      (static_cast<int64_t>(partition) * node_count + node_count - 1) /
+      partition_count);
+  if (node >= node_count) node = node_count - 1;
+  while (node > 0 &&
+         PartitionRangeOf(node, node_count, partition_count).begin > partition) {
+    --node;
+  }
+  while (node + 1 < node_count &&
+         PartitionRangeOf(node + 1, node_count, partition_count).begin <=
+             partition) {
+    ++node;
+  }
+  return node;
+}
+
 }  // namespace sq::kv
 
 #endif  // SQUERY_KV_PARTITIONER_H_

@@ -1,0 +1,435 @@
+#include "net/cluster_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "net/socket.h"
+
+namespace sq::net {
+
+// ---------------------------------------------------------------------------
+// ClusterTableSource
+
+namespace {
+
+/// The client half of distributed routing: a TableSource whose partitions
+/// live on remote nodes. The executor's partition fan-out calls
+/// ScanPartition / AggregatePartition from pool workers, so one slow node
+/// only stalls its own partitions; per-peer connection locks serialize RPCs
+/// to the same node and let distinct nodes proceed in parallel.
+class ClusterTableSource : public sql::TableSource {
+ public:
+  ClusterTableSource(ClusterClient* client, TableRead read)
+      : client_(client),
+        read_(std::move(read)),
+        // Captured once on the coordinating thread (the source is opened
+        // inside the query's span); worker-side RPCs parent here so the
+        // whole scatter joins the query's trace tree.
+        ctx_(trace::CurrentContext()) {}
+
+  int32_t partition_count() const override {
+    return client_->topology().partition_count;
+  }
+
+  int32_t PartitionOfKey(const kv::Value& key) const override {
+    return client_->partitioner().PartitionOf(key);
+  }
+
+  void BindPredicateHint(const std::string& predicate_sql,
+                         int64_t local_timestamp_micros) override {
+    predicate_sql_ = predicate_sql;
+    local_timestamp_micros_ = local_timestamp_micros;
+  }
+
+  Status ScanPartition(int32_t partition, const RowFn& fn) const override {
+    ScanPartitionRequest req;
+    req.read = read_;
+    req.partition = partition;
+    req.predicate_sql = predicate_sql_;
+    req.local_timestamp_micros = local_timestamp_micros_;
+    std::string body;
+    EncodeScanPartitionRequest(req, &body);
+    std::string reply_body;
+    SQ_RETURN_IF_ERROR(client_->Call(
+        client_->OwnerOfPartition(partition), MsgType::kScanPartition, body,
+        MsgType::kRows, &reply_body, ctx_, /*idempotent=*/true));
+    SQ_ASSIGN_OR_RETURN(RowsReply reply, DecodeRowsReply(reply_body));
+    EmitRows(reply.rows, fn);
+    return Status::OK();
+  }
+
+  Status ScanKeys(const std::vector<kv::Value>& keys,
+                  const RowFn& fn) const override {
+    // Scatter the key set by owning node, then replay replies in request-key
+    // order — the exact emission order of the local point-lookup path (keys
+    // outermost, versions innermost), so multi-version lookups stay
+    // bit-identical.
+    std::map<int32_t, PointLookupRequest> by_node;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const int32_t node =
+          client_->OwnerOfPartition(PartitionOfKey(keys[i]));
+      PointLookupRequest& req = by_node[node];
+      req.read = read_;
+      req.keys.push_back(keys[i]);
+    }
+    std::vector<std::pair<size_t, WireRow>> collected;
+    for (auto& [node, req] : by_node) {
+      std::string body;
+      EncodePointLookupRequest(req, &body);
+      std::string reply_body;
+      SQ_RETURN_IF_ERROR(client_->Call(node, MsgType::kPointLookup, body,
+                                       MsgType::kRows, &reply_body, ctx_,
+                                       /*idempotent=*/true));
+      SQ_ASSIGN_OR_RETURN(RowsReply reply, DecodeRowsReply(reply_body));
+      for (WireRow& row : reply.rows) {
+        size_t index = keys.size();
+        for (size_t i = 0; i < keys.size(); ++i) {
+          if (keys[i] == row.key) {
+            index = i;
+            break;
+          }
+        }
+        collected.emplace_back(index, std::move(row));
+      }
+    }
+    std::stable_sort(collected.begin(), collected.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    std::vector<WireRow> rows;
+    rows.reserve(collected.size());
+    for (auto& [index, row] : collected) rows.push_back(std::move(row));
+    EmitRows(rows, fn);
+    return Status::OK();
+  }
+
+  bool AggregatePartition(int32_t partition, const sql::RemoteAggregateSpec& spec,
+                          sql::RemotePartialResult* out,
+                          Status* error) const override {
+    AggregatePartitionRequest req;
+    req.read = read_;
+    req.partition = partition;
+    req.predicate_sql = spec.predicate_sql;
+    req.group_by_sql = spec.group_by_sql;
+    req.aggregate_sql = spec.aggregate_sql;
+    req.local_timestamp_micros = spec.local_timestamp_micros;
+    std::string body;
+    EncodeAggregatePartitionRequest(req, &body);
+    std::string reply_body;
+    Status s = client_->Call(client_->OwnerOfPartition(partition),
+                             MsgType::kAggregatePartition, body,
+                             MsgType::kAggregateReply, &reply_body, ctx_,
+                             /*idempotent=*/true);
+    if (s.code() == StatusCode::kUnimplemented) {
+      // The node cannot fold this shape remotely — stream rows instead.
+      return false;
+    }
+    if (!s.ok()) {
+      *error = std::move(s);
+      return true;
+    }
+    Result<AggregateReply> reply = DecodeAggregateReply(reply_body);
+    if (!reply.ok()) {
+      *error = reply.status();
+      return true;
+    }
+    out->rows_scanned = reply->rows_scanned;
+    out->rows_returned = reply->rows_returned;
+    out->groups.reserve(reply->groups.size());
+    for (WireGroup& group : reply->groups) {
+      out->groups.push_back(sql::RemotePartialGroup{
+          std::move(group.key), std::move(group.representative),
+          std::move(group.aggs)});
+    }
+    return true;
+  }
+
+ private:
+  void EmitRows(const std::vector<WireRow>& rows, const RowFn& fn) const {
+    for (const WireRow& row : rows) {
+      if (row.has_ssid) {
+        const kv::Value ssid(row.ssid);
+        fn(row.key, &ssid, row.value);
+      } else {
+        fn(row.key, nullptr, row.value);
+      }
+    }
+  }
+
+  ClusterClient* client_;
+  TableRead read_;
+  trace::SpanContext ctx_;
+  std::string predicate_sql_;
+  int64_t local_timestamp_micros_ = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ClusterClient
+
+ClusterClient::ClusterClient(ClusterTopology topology, RpcOptions rpc,
+                             MetricsRegistry* metrics)
+    : topology_(std::move(topology)),
+      rpc_(rpc),
+      partitioner_(topology_.partition_count),
+      metrics_(metrics) {
+  peers_.reserve(topology_.nodes.size());
+  for (size_t i = 0; i < topology_.nodes.size(); ++i) {
+    peers_.push_back(std::make_unique<Peer>());
+  }
+  if (metrics_ != nullptr) {
+    m_bytes_in_ = metrics_->GetCounter("net.client.bytes_in");
+    m_bytes_out_ = metrics_->GetCounter("net.client.bytes_out");
+    m_retries_ = metrics_->GetCounter("net.client.retries");
+    m_deadline_exceeded_ = metrics_->GetCounter("net.client.deadline_exceeded");
+    m_errors_ = metrics_->GetCounter("net.client.errors");
+  }
+}
+
+ClusterClient::~ClusterClient() { Disconnect(); }
+
+void ClusterClient::Disconnect() {
+  for (auto& peer : peers_) {
+    MutexLock lock(&peer->mu);
+    CloseFd(peer->fd);
+    peer->fd = -1;
+  }
+}
+
+int32_t ClusterClient::OwnerOfPartition(int32_t partition) const {
+  return kv::OwnerOfPartition(partition,
+                              static_cast<int32_t>(topology_.nodes.size()),
+                              topology_.partition_count);
+}
+
+Result<size_t> ClusterClient::IndexOfNode(int32_t node_id) const {
+  for (size_t i = 0; i < topology_.nodes.size(); ++i) {
+    if (topology_.nodes[i].node_id == node_id) return i;
+  }
+  return Status::NotFound("net: no node " + std::to_string(node_id) +
+                          " in the cluster topology");
+}
+
+Status ClusterClient::TryCall(Peer* peer, const NodeAddress& address,
+                              const Frame& request, MsgType expected_reply,
+                              std::string* reply_body,
+                              bool* transport_failed) {
+  *transport_failed = true;
+  const int64_t deadline =
+      trace::NowNanos() + rpc_.deadline_ms * 1000 * 1000;
+  MutexLock lock(&peer->mu);
+  if (peer->fd < 0) {
+    Result<int> fd = DialTcp(address.host, address.port, deadline);
+    if (!fd.ok()) return fd.status();
+    peer->fd = *fd;
+  }
+  int64_t bytes_in = 0;
+  int64_t bytes_out = 0;
+  Status s = SendFrame(peer->fd, request, deadline, &bytes_out);
+  Result<Frame> reply = s.ok() ? RecvFrame(peer->fd, deadline, &bytes_in)
+                               : Result<Frame>(s);
+  if (m_bytes_out_ != nullptr && bytes_out > 0) {
+    m_bytes_out_->Increment(bytes_out);
+  }
+  if (m_bytes_in_ != nullptr && bytes_in > 0) m_bytes_in_->Increment(bytes_in);
+  if (!reply.ok()) {
+    // The connection is in an unknown state (half-written request, torn
+    // reply) — drop it; a retry reconnects.
+    CloseFd(peer->fd);
+    peer->fd = -1;
+    return reply.status();
+  }
+  if (reply->request_id != request.request_id) {
+    CloseFd(peer->fd);
+    peer->fd = -1;
+    return Status::Internal("net: response id mismatch from node " +
+                            std::to_string(address.node_id));
+  }
+  *transport_failed = false;
+  if (reply->type == MsgType::kError) {
+    Status app_error = Status::OK();
+    SQ_RETURN_IF_ERROR(DecodeStatusBody(reply->body, &app_error));
+    return app_error;
+  }
+  if (reply->type != expected_reply) {
+    CloseFd(peer->fd);
+    peer->fd = -1;
+    return Status::Internal(
+        std::string("net: unexpected reply type ") +
+        MsgTypeToString(reply->type) + " (wanted " +
+        MsgTypeToString(expected_reply) + ") from node " +
+        std::to_string(address.node_id));
+  }
+  *reply_body = std::move(reply->body);
+  return Status::OK();
+}
+
+Status ClusterClient::Call(int32_t node_id, MsgType type,
+                           const std::string& body, MsgType expected_reply,
+                           std::string* reply_body, trace::SpanContext parent,
+                           bool idempotent) {
+  SQ_ASSIGN_OR_RETURN(size_t index, IndexOfNode(node_id));
+  const NodeAddress& address = topology_.nodes[index];
+  Peer* peer = peers_[index].get();
+
+  Frame request;
+  request.type = type;
+  request.trace_id = parent.trace_id;
+  request.body = body;
+
+  const int64_t t0 = trace::NowNanos();
+  Status status = Status::OK();
+  int32_t attempts = 0;
+  for (;;) {
+    ++attempts;
+    request.request_id =
+        next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    bool transport_failed = false;
+    status = TryCall(peer, address, request, expected_reply, reply_body,
+                     &transport_failed);
+    if (status.ok()) break;
+    if (status.IsTimeout() && m_deadline_exceeded_ != nullptr) {
+      m_deadline_exceeded_->Increment();
+    }
+    if (!transport_failed || !idempotent || attempts >= rpc_.max_attempts) {
+      break;
+    }
+    if (m_retries_ != nullptr) m_retries_->Increment();
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(rpc_.backoff_ms * attempts));
+  }
+  const int64_t t1 = trace::NowNanos();
+  if (!status.ok()) {
+    status = status.WithContext(std::string("rpc ") + MsgTypeToString(type) +
+                                " to node " + std::to_string(node_id));
+    if (m_errors_ != nullptr) m_errors_->Increment();
+  }
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetCounter(std::string("net.client.rpcs.") + MsgTypeToString(type))
+        ->Increment();
+    metrics_
+        ->GetHistogram(std::string("net.client.rpc_nanos.") +
+                       MsgTypeToString(type))
+        ->Record(t1 - t0);
+  }
+  trace::RecordSpan(trace::Category::kNet, "rpc.call", parent, t0, t1,
+                    {{"type", MsgTypeToString(type)},
+                     {"node", node_id},
+                     {"attempts", attempts},
+                     {"ok", status.ok()}});
+  return status;
+}
+
+Result<std::unique_ptr<sql::TableSource>> ClusterClient::OpenRemoteSource(
+    const std::string& table, std::optional<int64_t> resolved_ssid,
+    bool all_versions) {
+  if (topology_.nodes.empty()) {
+    return Status::FailedPrecondition("net: empty cluster topology");
+  }
+  TableRead read;
+  read.table = table;
+  if (resolved_ssid.has_value()) {
+    read.has_ssid = true;
+    read.ssid = *resolved_ssid;
+  }
+  read.all_versions = all_versions;
+  return std::unique_ptr<sql::TableSource>(
+      new ClusterTableSource(this, std::move(read)));
+}
+
+Result<int64_t> ClusterClient::ResolveSsid(std::optional<int64_t> requested) {
+  if (topology_.nodes.empty()) {
+    return Status::FailedPrecondition("net: empty cluster topology");
+  }
+  ResolveSsidRequest req;
+  if (requested.has_value()) {
+    req.has_requested = true;
+    req.requested = *requested;
+  }
+  std::string body;
+  EncodeResolveSsidRequest(req, &body);
+  // Any node can answer (the committed id is published cluster-wide at
+  // phase 2); walk the topology so a single dead node cannot block
+  // resolution.
+  Status last = Status::OK();
+  for (const NodeAddress& node : topology_.nodes) {
+    std::string reply_body;
+    last = Call(node.node_id, MsgType::kResolveSsid, body,
+                MsgType::kResolveSsidReply, &reply_body,
+                trace::CurrentContext(), /*idempotent=*/true);
+    if (last.ok()) {
+      SQ_ASSIGN_OR_RETURN(ResolveSsidReply reply,
+                          DecodeResolveSsidReply(reply_body));
+      return reply.ssid;
+    }
+    if (!last.IsUnavailable() && !last.IsTimeout()) break;
+  }
+  return last;
+}
+
+Result<HelloReply> ClusterClient::Hello(int32_t node_id) {
+  std::string reply_body;
+  SQ_RETURN_IF_ERROR(Call(node_id, MsgType::kHello, std::string(),
+                          MsgType::kHelloReply, &reply_body,
+                          trace::CurrentContext(), /*idempotent=*/true));
+  return DecodeHelloReply(reply_body);
+}
+
+Status ClusterClient::Apply(const std::string& table, int64_t ssid,
+                            const std::vector<DeltaEntry>& entries) {
+  std::map<int32_t, ReplicationDelta> by_node;
+  for (const DeltaEntry& entry : entries) {
+    const int32_t node =
+        OwnerOfPartition(partitioner_.PartitionOf(entry.key));
+    ReplicationDelta& delta = by_node[node];
+    delta.table = table;
+    delta.ssid = ssid;
+    delta.entries.push_back(entry);
+  }
+  for (const auto& [node, delta] : by_node) {
+    std::string body;
+    EncodeReplicationDelta(delta, &body);
+    std::string reply_body;
+    SQ_RETURN_IF_ERROR(Call(node, MsgType::kReplicationDelta, body,
+                            MsgType::kAck, &reply_body,
+                            trace::CurrentContext(), /*idempotent=*/false));
+  }
+  return Status::OK();
+}
+
+Status ClusterClient::RunCheckpoint(int64_t checkpoint_id) {
+  const auto broadcast = [this, checkpoint_id](CheckpointPhase phase,
+                                               Status* first_error) {
+    CheckpointMarker marker{phase, checkpoint_id};
+    std::string body;
+    EncodeCheckpointMarker(marker, &body);
+    for (const NodeAddress& node : topology_.nodes) {
+      std::string reply_body;
+      Status s = Call(node.node_id, MsgType::kCheckpointMarker, body,
+                      MsgType::kAck, &reply_body, trace::CurrentContext(),
+                      /*idempotent=*/false);
+      if (!s.ok() && first_error->ok()) *first_error = std::move(s);
+    }
+  };
+
+  Status prepare_error = Status::OK();
+  broadcast(CheckpointPhase::kPrepare, &prepare_error);
+  if (!prepare_error.ok()) {
+    Status ignored = Status::OK();
+    broadcast(CheckpointPhase::kAbort, &ignored);
+    (void)ignored;  // best-effort: abort is advisory on unreachable nodes
+    return Status::Aborted(
+        "checkpoint " + std::to_string(checkpoint_id) +
+        " aborted: " + prepare_error.ToString());
+  }
+  Status commit_error = Status::OK();
+  broadcast(CheckpointPhase::kCommit, &commit_error);
+  return commit_error;
+}
+
+}  // namespace sq::net

@@ -1,0 +1,131 @@
+#ifndef SQUERY_NET_CLUSTER_CLIENT_H_
+#define SQUERY_NET_CLUSTER_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/mutex.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "kv/partitioner.h"
+#include "net/wire.h"
+#include "query/query_service.h"
+#include "trace/trace.h"
+
+namespace sq::net {
+
+struct NodeAddress {
+  int32_t node_id = 0;
+  std::string host = "127.0.0.1";
+  int port = 0;
+};
+
+/// Static cluster membership. Nodes must be listed in node-id order; node
+/// `i` of `n` owns `kv::PartitionRangeOf(i, n, partition_count)` — the same
+/// contiguous-range assignment the node servers are started with.
+struct ClusterTopology {
+  int32_t partition_count = kv::kDefaultPartitionCount;
+  std::vector<NodeAddress> nodes;
+};
+
+struct RpcOptions {
+  /// Per-attempt deadline. A node that accepts but never answers costs at
+  /// most this long per attempt — a slow or dead node yields a typed error,
+  /// never a hang.
+  int64_t deadline_ms = 2000;
+  /// Attempts for idempotent (read) RPCs; mutations get exactly one.
+  int32_t max_attempts = 3;
+  /// Base backoff between retries (multiplied by the attempt number).
+  int64_t backoff_ms = 25;
+};
+
+/// TCP client side of the cluster: one cached connection per peer (guarded
+/// per-peer, so distinct nodes are called in parallel by the executor's
+/// partition fan-out), request-id matching, bounded retry with backoff for
+/// idempotent reads, and the `query::ClusterRouter` implementation that
+/// plugs distributed routing into a coordinator QueryService.
+class ClusterClient : public query::ClusterRouter {
+ public:
+  explicit ClusterClient(ClusterTopology topology, RpcOptions rpc = {},
+                         MetricsRegistry* metrics = nullptr);
+  ~ClusterClient() override;
+
+  ClusterClient(const ClusterClient&) = delete;
+  ClusterClient& operator=(const ClusterClient&) = delete;
+
+  // query::ClusterRouter:
+  Result<std::unique_ptr<sql::TableSource>> OpenRemoteSource(
+      const std::string& table, std::optional<int64_t> resolved_ssid,
+      bool all_versions) override;
+  Result<int64_t> ResolveSsid(std::optional<int64_t> requested) override;
+
+  /// Handshake with one node: identity and owned partition range.
+  Result<HelloReply> Hello(int32_t node_id);
+
+  /// Routes `entries` to their owning nodes as replication deltas (`ssid` 0
+  /// = live table; table names are grid names, e.g. "orders" /
+  /// "snapshot_orders"). The primary→backup replication path, and how
+  /// harnesses load a cluster.
+  Status Apply(const std::string& table, int64_t ssid,
+               const std::vector<DeltaEntry>& entries);
+
+  /// Two-phase checkpoint-marker exchange: prepare on every node, then
+  /// commit; any prepare failure broadcasts an abort and returns kAborted.
+  /// Markers are not idempotent, so each send gets exactly one attempt.
+  Status RunCheckpoint(int64_t checkpoint_id);
+
+  /// Closes every cached connection (next RPC reconnects).
+  void Disconnect();
+
+  const ClusterTopology& topology() const { return topology_; }
+  const kv::Partitioner& partitioner() const { return partitioner_; }
+
+  /// Node owning `partition` under the contiguous-range assignment.
+  int32_t OwnerOfPartition(int32_t partition) const;
+
+  /// One RPC to `node_id`: send `type`+`body`, await `expected_reply`.
+  /// kError replies decode to their typed Status (never retried); transport
+  /// failures retry with backoff when `idempotent`. `parent` propagates the
+  /// caller's trace (its trace_id rides the frame).
+  Status Call(int32_t node_id, MsgType type, const std::string& body,
+              MsgType expected_reply, std::string* reply_body,
+              trace::SpanContext parent, bool idempotent);
+
+ private:
+  struct Peer {
+    Mutex mu{lockrank::kNetClient, "net.client.peer"};
+    int fd SQ_GUARDED_BY(mu) = -1;
+  };
+
+  /// One attempt over the peer's cached connection. `transport_failed`
+  /// distinguishes retryable connection/timeout failures from typed
+  /// application errors the server answered with.
+  Status TryCall(Peer* peer, const NodeAddress& address, const Frame& request,
+                 MsgType expected_reply, std::string* reply_body,
+                 bool* transport_failed);
+
+  Result<size_t> IndexOfNode(int32_t node_id) const;
+
+  ClusterTopology topology_;
+  RpcOptions rpc_;
+  kv::Partitioner partitioner_;
+  std::vector<std::unique_ptr<Peer>> peers_;
+  std::atomic<uint64_t> next_request_id_{1};
+
+  MetricsRegistry* metrics_;
+  Counter* m_bytes_in_ = nullptr;
+  Counter* m_bytes_out_ = nullptr;
+  Counter* m_retries_ = nullptr;
+  Counter* m_deadline_exceeded_ = nullptr;
+  Counter* m_errors_ = nullptr;
+};
+
+}  // namespace sq::net
+
+#endif  // SQUERY_NET_CLUSTER_CLIENT_H_

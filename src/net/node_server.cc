@@ -1,0 +1,506 @@
+#include "net/node_server.h"
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "net/socket.h"
+#include "sql/eval.h"
+#include "sql/parser.h"
+#include "trace/trace.h"
+
+namespace sq::net {
+
+namespace {
+
+/// Reply send deadline: a client that stopped draining its socket must not
+/// pin a server thread forever.
+constexpr int64_t kSendDeadlineNanos = int64_t{30} * 1000 * 1000 * 1000;
+
+/// The tuple shape the executor materializes for group representatives —
+/// must stay identical to the local scan path (executor.cc MaterializeRow)
+/// so distributed aggregation projects non-aggregate expressions
+/// bit-identically.
+kv::Object MaterializeRow(const kv::Value& key, const kv::Value* ssid,
+                          const kv::Object& value) {
+  kv::Object tuple = value;
+  tuple.Set("key", key);
+  tuple.Set("partitionKey", key);
+  if (ssid != nullptr) {
+    tuple.Set("ssid", *ssid);
+  }
+  return tuple;
+}
+
+std::string JoinSql(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const std::string& part : parts) {
+    if (!out.empty()) out += ", ";
+    out += part;
+  }
+  return out;
+}
+
+}  // namespace
+
+NodeServer::NodeServer(NodeServerOptions options)
+    : options_(std::move(options)) {
+  if (MetricsRegistry* m = options_.metrics; m != nullptr) {
+    m_bytes_in_ = m->GetCounter("net.server.bytes_in");
+    m_bytes_out_ = m->GetCounter("net.server.bytes_out");
+    m_errors_ = m->GetCounter("net.server.errors");
+    m_connections_ = m->GetCounter("net.server.connections");
+    m_handle_nanos_ = m->GetHistogram("net.server.handle_nanos");
+  }
+}
+
+NodeServer::~NodeServer() { Stop(); }
+
+Status NodeServer::Start() {
+  if (options_.query == nullptr) {
+    return Status::InvalidArgument("net: NodeServer requires a QueryService");
+  }
+  if (listen_fd_ >= 0) {
+    return Status::FailedPrecondition("net: NodeServer already started");
+  }
+  SQ_ASSIGN_OR_RETURN(listen_fd_, ListenTcp(options_.host, options_.port));
+  SQ_ASSIGN_OR_RETURN(port_, LocalPort(listen_fd_));
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void NodeServer::Stop() {
+  if (stopping_.exchange(true)) {
+    // A second caller must still wait for the first stop to finish joining,
+    // but the destructor is the only second caller in practice.
+  }
+  if (listen_fd_ >= 0) {
+    ShutdownFd(listen_fd_);
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  std::vector<std::thread> to_join;
+  {
+    MutexLock lock(&mu_);
+    for (int fd : conn_fds_) {
+      ShutdownFd(fd);
+    }
+    to_join = std::move(conn_threads_);
+    conn_threads_.clear();
+  }
+  for (std::thread& t : to_join) {
+    if (t.joinable()) t.join();
+  }
+  {
+    MutexLock lock(&mu_);
+    for (int fd : conn_fds_) {
+      CloseFd(fd);
+    }
+    conn_fds_.clear();
+  }
+  CloseFd(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void NodeServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Result<int> fd = AcceptConn(listen_fd_);
+    if (!fd.ok()) {
+      // Shutdown wakes the accept; anything else on a healthy listener is
+      // transient (EMFILE under load) — keep serving.
+      if (stopping_.load(std::memory_order_acquire)) break;
+      continue;
+    }
+    if (m_connections_ != nullptr) m_connections_->Increment();
+    MutexLock lock(&mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      CloseFd(*fd);
+      break;
+    }
+    const size_t index = conn_fds_.size();
+    conn_fds_.push_back(*fd);
+    conn_threads_.emplace_back([this, index, conn = *fd] {
+      Serve(conn);
+      MutexLock conn_lock(&mu_);
+      if (index < conn_fds_.size() && conn_fds_[index] == conn) {
+        CloseFd(conn);
+        conn_fds_[index] = -1;
+      }
+    });
+  }
+}
+
+void NodeServer::Serve(int fd) {
+  int64_t bytes_in = 0;
+  int64_t bytes_out = 0;
+  for (;;) {
+    // Block without deadline between requests (peers hold idle connections);
+    // Stop() shuts the fd down to wake this.
+    Result<Frame> request = RecvFrame(fd, /*deadline_nanos=*/0, &bytes_in);
+    if (m_bytes_in_ != nullptr && bytes_in > 0) {
+      m_bytes_in_->Increment(bytes_in);
+      bytes_in = 0;
+    }
+    if (!request.ok()) break;
+    const Frame reply = Handle(*request);
+    const Status sent = SendFrame(fd, reply,
+                                  trace::NowNanos() + kSendDeadlineNanos,
+                                  &bytes_out);
+    if (m_bytes_out_ != nullptr && bytes_out > 0) {
+      m_bytes_out_->Increment(bytes_out);
+      bytes_out = 0;
+    }
+    if (!sent.ok()) break;
+  }
+}
+
+Frame NodeServer::Handle(const Frame& request) {
+  const int64_t t0 = trace::NowNanos();
+  Frame reply;
+  reply.request_id = request.request_id;
+  reply.trace_id = request.trace_id;
+  MsgType reply_type = MsgType::kError;
+  Result<std::string> body = Dispatch(request, &reply_type);
+  if (body.ok()) {
+    reply.type = reply_type;
+    reply.body = std::move(body).value();
+  } else {
+    reply.type = MsgType::kError;
+    EncodeStatusBody(body.status(), &reply.body);
+    if (m_errors_ != nullptr) m_errors_->Increment();
+  }
+  const int64_t t1 = trace::NowNanos();
+  if (m_handle_nanos_ != nullptr) m_handle_nanos_->Record(t1 - t0);
+  if (options_.metrics != nullptr) {
+    options_.metrics
+        ->GetCounter(std::string("net.server.rpcs.") +
+                     MsgTypeToString(request.type))
+        ->Increment();
+  }
+  if (request.trace_id != 0) {
+    trace::RecordSpan(trace::Category::kNet, "rpc.serve",
+                      trace::RootContext(request.trace_id), t0, t1,
+                      {{"type", MsgTypeToString(request.type)},
+                       {"node", options_.node_id},
+                       {"ok", body.ok()}});
+  }
+  return reply;
+}
+
+Result<std::string> NodeServer::Dispatch(const Frame& request,
+                                         MsgType* reply_type) {
+  switch (request.type) {
+    case MsgType::kHello: {
+      HelloReply hello;
+      hello.node_id = options_.node_id;
+      hello.partition_begin = options_.owned.begin;
+      hello.partition_end = options_.owned.end;
+      hello.partition_count = options_.partition_count;
+      std::string body;
+      EncodeHelloReply(hello, &body);
+      *reply_type = MsgType::kHelloReply;
+      return body;
+    }
+    case MsgType::kPointLookup:
+      *reply_type = MsgType::kRows;
+      return HandlePointLookup(request.body);
+    case MsgType::kScanPartition:
+      *reply_type = MsgType::kRows;
+      return HandleScanPartition(request.body);
+    case MsgType::kAggregatePartition:
+      *reply_type = MsgType::kAggregateReply;
+      return HandleAggregatePartition(request.body);
+    case MsgType::kReplicationDelta:
+      *reply_type = MsgType::kAck;
+      return HandleReplicationDelta(request.body);
+    case MsgType::kCheckpointMarker:
+      *reply_type = MsgType::kAck;
+      return HandleCheckpointMarker(request.body);
+    case MsgType::kResolveSsid:
+      *reply_type = MsgType::kResolveSsidReply;
+      return HandleResolveSsid(request.body);
+    default:
+      return Status::InvalidArgument(
+          std::string("net: not a request type: ") +
+          MsgTypeToString(request.type));
+  }
+}
+
+Status NodeServer::CheckOwned(int32_t partition) const {
+  if (partition < 0 || partition >= options_.partition_count) {
+    return Status::InvalidArgument("net: partition " +
+                                   std::to_string(partition) +
+                                   " outside the partition space");
+  }
+  if (!options_.owned.Contains(partition)) {
+    return Status::OutOfRange(
+        "net: partition " + std::to_string(partition) + " not owned by node " +
+        std::to_string(options_.node_id) + " (owns [" +
+        std::to_string(options_.owned.begin) + ", " +
+        std::to_string(options_.owned.end) + "))");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<sql::TableSource>> NodeServer::OpenSource(
+    const TableRead& read) {
+  query::QueryOptions qopts;
+  // Live tables must be servable: the *client* decided the isolation level
+  // and only routes live reads here when its level allows them.
+  qopts.isolation = state::IsolationLevel::kReadCommittedNoFailures;
+  std::optional<int64_t> requested;
+  if (read.has_ssid) {
+    requested = read.ssid;
+    qopts.snapshot_id = read.ssid;
+  }
+  SQ_ASSIGN_OR_RETURN(
+      std::unique_ptr<sql::TableSource> source,
+      options_.query->OpenTableSourceWithOptions(read.table, requested,
+                                                 qopts));
+  if (source == nullptr) {
+    return Status::NotFound("net: no partition-scannable table named \"" +
+                            read.table + "\" on node " +
+                            std::to_string(options_.node_id));
+  }
+  return source;
+}
+
+Result<std::string> NodeServer::HandlePointLookup(std::string_view body) {
+  SQ_ASSIGN_OR_RETURN(PointLookupRequest req, DecodePointLookupRequest(body));
+  SQ_ASSIGN_OR_RETURN(std::unique_ptr<sql::TableSource> source,
+                      OpenSource(req.read));
+  RowsReply reply;
+  SQ_RETURN_IF_ERROR(source->ScanKeys(
+      req.keys, [&reply](const kv::Value& key, const kv::Value* ssid,
+                         const kv::Object& value) {
+        WireRow row;
+        row.key = key;
+        if (ssid != nullptr) {
+          row.has_ssid = true;
+          row.ssid = ssid->AsInt64();
+        }
+        row.value = value;
+        reply.rows.push_back(std::move(row));
+      }));
+  reply.rows_scanned = static_cast<int64_t>(reply.rows.size());
+  std::string out;
+  EncodeRowsReply(reply, &out);
+  return out;
+}
+
+Result<std::string> NodeServer::HandleScanPartition(std::string_view body) {
+  SQ_ASSIGN_OR_RETURN(ScanPartitionRequest req,
+                      DecodeScanPartitionRequest(body));
+  SQ_RETURN_IF_ERROR(CheckOwned(req.partition));
+  SQ_ASSIGN_OR_RETURN(std::unique_ptr<sql::TableSource> source,
+                      OpenSource(req.read));
+  // The pushed-down predicate is a best-effort pre-filter: re-parse it and
+  // drop rows that provably fail. Parse or evaluation failures KEEP the row
+  // — the client re-evaluates every emitted row, so conservatism here can
+  // never change query results, only the bytes on the wire.
+  std::unique_ptr<sql::SelectStatement> stmt;
+  const sql::Expr* predicate = nullptr;
+  if (!req.predicate_sql.empty()) {
+    Result<std::unique_ptr<sql::SelectStatement>> parsed =
+        sql::ParseSelect("SELECT key FROM \"" + req.read.table + "\" WHERE " +
+                         req.predicate_sql);
+    if (parsed.ok()) {
+      stmt = std::move(parsed).value();
+      predicate = stmt->where.get();
+    }
+  }
+  const sql::EvalContext ctx{req.local_timestamp_micros};
+  RowsReply reply;
+  SQ_RETURN_IF_ERROR(source->ScanPartition(
+      req.partition,
+      [&](const kv::Value& key, const kv::Value* ssid,
+          const kv::Object& value) {
+        ++reply.rows_scanned;
+        if (predicate != nullptr) {
+          const sql::ScanRowView row{&key, ssid, &value};
+          Result<kv::Value> pass = sql::EvalScalar(*predicate, row, ctx);
+          if (pass.ok() && !pass->Truthy()) return;
+        }
+        WireRow row;
+        row.key = key;
+        if (ssid != nullptr) {
+          row.has_ssid = true;
+          row.ssid = ssid->AsInt64();
+        }
+        row.value = value;
+        reply.rows.push_back(std::move(row));
+      }));
+  std::string out;
+  EncodeRowsReply(reply, &out);
+  return out;
+}
+
+Result<std::string> NodeServer::HandleAggregatePartition(
+    std::string_view body) {
+  SQ_ASSIGN_OR_RETURN(AggregatePartitionRequest req,
+                      DecodeAggregatePartitionRequest(body));
+  SQ_RETURN_IF_ERROR(CheckOwned(req.partition));
+  if (req.aggregate_sql.empty()) {
+    return Status::Unimplemented("net: remote aggregate without aggregates");
+  }
+  // Reconstruct the fold as a statement and re-parse it. Every expression
+  // travelled as canonical Expr::ToString text, which round-trips; if
+  // anything fails to round-trip we answer kUnimplemented and the client
+  // falls back to streaming rows — slower, never wrong.
+  std::string sql = "SELECT " + JoinSql(req.aggregate_sql) + " FROM \"" +
+                    req.read.table + "\"";
+  if (!req.predicate_sql.empty()) sql += " WHERE " + req.predicate_sql;
+  if (!req.group_by_sql.empty()) {
+    sql += " GROUP BY " + JoinSql(req.group_by_sql);
+  }
+  Result<std::unique_ptr<sql::SelectStatement>> parsed =
+      sql::ParseSelect(sql);
+  if (!parsed.ok()) {
+    return Status::Unimplemented("net: remote aggregate does not reparse: " +
+                                 parsed.status().message());
+  }
+  const sql::SelectStatement& stmt = **parsed;
+  if (stmt.items.size() != req.aggregate_sql.size() ||
+      stmt.group_by.size() != req.group_by_sql.size()) {
+    return Status::Unimplemented("net: remote aggregate shape mismatch");
+  }
+  for (size_t a = 0; a < stmt.items.size(); ++a) {
+    if (stmt.items[a].expr->ToString() != req.aggregate_sql[a]) {
+      return Status::Unimplemented(
+          "net: remote aggregate does not round-trip: " +
+          req.aggregate_sql[a]);
+    }
+  }
+  SQ_ASSIGN_OR_RETURN(std::unique_ptr<sql::TableSource> source,
+                      OpenSource(req.read));
+  const sql::EvalContext ctx{req.local_timestamp_micros};
+  const sql::Expr* predicate = stmt.where.get();
+  AggregateReply reply;
+  std::map<std::vector<kv::Value>, size_t> index;
+  Status fold = Status::OK();
+  static const kv::Value kCountStarArg(int64_t{1});
+  SQ_RETURN_IF_ERROR(source->ScanPartition(
+      req.partition,
+      [&](const kv::Value& key, const kv::Value* ssid,
+          const kv::Object& value) {
+        if (!fold.ok()) return;
+        ++reply.rows_scanned;
+        const sql::ScanRowView row{&key, ssid, &value};
+        if (predicate != nullptr) {
+          Result<kv::Value> pass = sql::EvalScalar(*predicate, row, ctx);
+          if (!pass.ok()) {
+            fold = pass.status();
+            return;
+          }
+          if (!pass->Truthy()) return;
+        }
+        ++reply.rows_returned;
+        std::vector<kv::Value> group_key;
+        group_key.reserve(stmt.group_by.size());
+        for (const auto& expr : stmt.group_by) {
+          Result<kv::Value> v = sql::EvalScalar(*expr, row, ctx);
+          if (!v.ok()) {
+            fold = v.status();
+            return;
+          }
+          group_key.push_back(std::move(v).value());
+        }
+        auto [it, inserted] = index.try_emplace(group_key,
+                                                reply.groups.size());
+        if (inserted) {
+          WireGroup group;
+          group.key = std::move(group_key);
+          group.representative = MaterializeRow(key, ssid, value);
+          group.aggs.resize(stmt.items.size());
+          reply.groups.push_back(std::move(group));
+        }
+        WireGroup& group = reply.groups[it->second];
+        for (size_t a = 0; a < stmt.items.size(); ++a) {
+          const sql::Expr& call = *stmt.items[a].expr;
+          if (call.star || call.children.empty()) {
+            fold = sql::AccumulateAggregate(call, kCountStarArg,
+                                            &group.aggs[a]);
+          } else {
+            Result<kv::Value> v =
+                sql::EvalScalar(*call.children[0], row, ctx);
+            if (!v.ok()) {
+              fold = v.status();
+            } else {
+              fold = sql::AccumulateAggregate(call, *v, &group.aggs[a]);
+            }
+          }
+          if (!fold.ok()) return;
+        }
+      }));
+  SQ_RETURN_IF_ERROR(fold);
+  std::string out;
+  EncodeAggregateReply(reply, &out);
+  return out;
+}
+
+Result<std::string> NodeServer::HandleReplicationDelta(
+    std::string_view body) {
+  SQ_ASSIGN_OR_RETURN(ReplicationDelta delta, DecodeReplicationDelta(body));
+  if (options_.grid == nullptr) {
+    return Status::FailedPrecondition(
+        "net: node has no grid to apply replication deltas to");
+  }
+  if (delta.ssid == 0) {
+    kv::LiveMap* live = options_.grid->GetOrCreateLiveMap(delta.table);
+    for (DeltaEntry& entry : delta.entries) {
+      if (entry.tombstone) {
+        (void)live->Remove(entry.key);
+      } else {
+        live->Put(entry.key, std::move(entry.value));
+      }
+    }
+  } else {
+    kv::SnapshotTable* snap =
+        options_.grid->GetOrCreateSnapshotTable(delta.table);
+    for (DeltaEntry& entry : delta.entries) {
+      if (entry.tombstone) {
+        snap->WriteTombstone(delta.ssid, entry.key);
+      } else {
+        snap->Write(delta.ssid, entry.key, std::move(entry.value));
+      }
+    }
+  }
+  return std::string();
+}
+
+Result<std::string> NodeServer::HandleCheckpointMarker(
+    std::string_view body) {
+  SQ_ASSIGN_OR_RETURN(CheckpointMarker marker, DecodeCheckpointMarker(body));
+  if (dataflow::CheckpointListener* l = options_.checkpoint; l != nullptr) {
+    switch (marker.phase) {
+      case CheckpointPhase::kPrepare:
+        l->OnCheckpointPrepared(marker.checkpoint_id);
+        break;
+      case CheckpointPhase::kCommit:
+        l->OnCheckpointCommitted(marker.checkpoint_id);
+        break;
+      case CheckpointPhase::kAbort:
+        l->OnCheckpointAborted(marker.checkpoint_id);
+        break;
+    }
+  }
+  return std::string();
+}
+
+Result<std::string> NodeServer::HandleResolveSsid(std::string_view body) {
+  SQ_ASSIGN_OR_RETURN(ResolveSsidRequest req, DecodeResolveSsidRequest(body));
+  if (options_.registry == nullptr) {
+    return Status::FailedPrecondition(
+        "net: node has no snapshot registry to resolve ids against");
+  }
+  std::optional<int64_t> requested;
+  if (req.has_requested) requested = req.requested;
+  SQ_ASSIGN_OR_RETURN(int64_t ssid, options_.registry->Resolve(requested));
+  ResolveSsidReply reply{ssid};
+  std::string out;
+  EncodeResolveSsidReply(reply, &out);
+  return out;
+}
+
+}  // namespace sq::net

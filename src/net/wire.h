@@ -1,0 +1,215 @@
+#ifndef SQUERY_NET_WIRE_H_
+#define SQUERY_NET_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "kv/object.h"
+#include "kv/value.h"
+#include "sql/aggregate.h"
+
+namespace sq::net {
+
+/// The cluster wire protocol (DESIGN.md §9): length-prefixed, CRC-checked
+/// frames over TCP, encoded with the storage/serde machinery.
+///
+///   frame   := [u32 payload_len][u32 masked_crc32c(payload)][payload]
+///   payload := [u8 version][u8 msg_type][u64 request_id][u64 trace_id][body]
+///
+/// Integers are little-endian (serde's convention). The CRC is LevelDB-style
+/// masked CRC32C over the whole payload, so a frame of CRCs is not its own
+/// checksum. The version byte leads the payload: a peer speaking a newer
+/// protocol is rejected with a typed error before any body decoding.
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Frames above this are rejected before allocation — a corrupt or hostile
+/// length prefix must not OOM the receiver.
+inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Frame header bytes on the wire (length + masked CRC).
+inline constexpr size_t kFrameHeaderBytes = 8;
+/// Fixed payload prefix: version, type, request id, trace id.
+inline constexpr size_t kPayloadPrefixBytes = 1 + 1 + 8 + 8;
+
+enum class MsgType : uint8_t {
+  // Requests.
+  kHello = 1,              ///< who are you / which partitions do you own
+  kPointLookup = 2,        ///< rows for an explicit key set
+  kScanPartition = 3,      ///< stream one partition (predicate pushed down)
+  kAggregatePartition = 4, ///< fold one partition into partial aggregates
+  kReplicationDelta = 5,   ///< primary→backup entry batch (live or snapshot)
+  kCheckpointMarker = 6,   ///< 2PC marker exchange (prepare/commit/abort)
+  kResolveSsid = 7,        ///< resolve "latest"/explicit id cluster-wide
+
+  // Responses.
+  kHelloReply = 64,
+  kRows = 65,
+  kAggregateReply = 66,
+  kAck = 67,
+  kResolveSsidReply = 68,
+  kError = 69,
+};
+
+/// True for the type values actually defined above (frame decoding rejects
+/// everything else as corrupt).
+bool IsKnownMsgType(uint8_t type);
+const char* MsgTypeToString(MsgType type);
+
+/// One decoded frame. `request_id` matches a response to its request on a
+/// pipelined connection; `trace_id` propagates the caller's trace so RPC
+/// spans on both sides join one tree.
+struct Frame {
+  uint8_t version = kWireVersion;
+  MsgType type = MsgType::kError;
+  uint64_t request_id = 0;
+  uint64_t trace_id = 0;
+  std::string body;
+};
+
+/// Appends the encoded frame (header + payload) to `out`.
+void EncodeFrame(const Frame& frame, std::string* out);
+
+/// Decodes one complete frame from the start of `data`. Typed errors, never
+/// crashes or over-reads: truncated header/payload, zero or oversized
+/// length, checksum mismatch, unknown version or message type all fail
+/// cleanly. On success `*consumed` (if non-null) is the frame's full size.
+Result<Frame> DecodeFrame(std::string_view data, size_t* consumed = nullptr);
+
+// ---------------------------------------------------------------------------
+// Typed payloads. Each struct has Encode (appends to a body string) and
+// Decode (strict: trailing bytes after the body are rejected).
+
+struct HelloReply {
+  int32_t node_id = 0;
+  int32_t partition_begin = 0;  // owned range [begin, end)
+  int32_t partition_end = 0;
+  int32_t partition_count = 0;  // total cluster partition space
+};
+void EncodeHelloReply(const HelloReply& msg, std::string* body);
+Result<HelloReply> DecodeHelloReply(std::string_view body);
+
+/// Shared shape of the read requests: which table, at which resolved
+/// snapshot version (`has_ssid`), or every retained version (`all_versions`,
+/// the `__versions` view), or live (neither).
+struct TableRead {
+  std::string table;
+  bool has_ssid = false;
+  int64_t ssid = 0;
+  bool all_versions = false;
+};
+
+struct PointLookupRequest {
+  TableRead read;
+  std::vector<kv::Value> keys;
+};
+void EncodePointLookupRequest(const PointLookupRequest& msg,
+                              std::string* body);
+Result<PointLookupRequest> DecodePointLookupRequest(std::string_view body);
+
+struct ScanPartitionRequest {
+  TableRead read;
+  int32_t partition = 0;
+  /// Pushed-down predicate (canonical Expr text), or empty. Server-side
+  /// filtering is conservative: rows the server cannot evaluate are kept and
+  /// re-filtered by the client, so the hint can never drop a valid row.
+  std::string predicate_sql;
+  int64_t local_timestamp_micros = 0;
+};
+void EncodeScanPartitionRequest(const ScanPartitionRequest& msg,
+                                std::string* body);
+Result<ScanPartitionRequest> DecodeScanPartitionRequest(std::string_view body);
+
+struct AggregatePartitionRequest {
+  TableRead read;
+  int32_t partition = 0;
+  std::string predicate_sql;  // empty = unfiltered
+  std::vector<std::string> group_by_sql;
+  std::vector<std::string> aggregate_sql;
+  int64_t local_timestamp_micros = 0;
+};
+void EncodeAggregatePartitionRequest(const AggregatePartitionRequest& msg,
+                                     std::string* body);
+Result<AggregatePartitionRequest> DecodeAggregatePartitionRequest(
+    std::string_view body);
+
+struct WireRow {
+  kv::Value key;
+  bool has_ssid = false;
+  int64_t ssid = 0;
+  kv::Object value;
+};
+struct RowsReply {
+  std::vector<WireRow> rows;
+  int64_t rows_scanned = 0;  // pre-filter count, for client ExecStats
+};
+void EncodeRowsReply(const RowsReply& msg, std::string* body);
+Result<RowsReply> DecodeRowsReply(std::string_view body);
+
+struct WireGroup {
+  std::vector<kv::Value> key;
+  kv::Object representative;
+  std::vector<sql::AggState> aggs;
+};
+struct AggregateReply {
+  int64_t rows_scanned = 0;
+  int64_t rows_returned = 0;
+  std::vector<WireGroup> groups;  // first-seen scan order
+};
+void EncodeAggregateReply(const AggregateReply& msg, std::string* body);
+Result<AggregateReply> DecodeAggregateReply(std::string_view body);
+
+struct DeltaEntry {
+  kv::Value key;
+  bool tombstone = false;
+  kv::Object value;
+};
+/// Primary→backup replication batch: `ssid == 0` targets the live table
+/// (tombstone = remove), otherwise the snapshot table at that version.
+struct ReplicationDelta {
+  std::string table;
+  int64_t ssid = 0;
+  std::vector<DeltaEntry> entries;
+};
+void EncodeReplicationDelta(const ReplicationDelta& msg, std::string* body);
+Result<ReplicationDelta> DecodeReplicationDelta(std::string_view body);
+
+enum class CheckpointPhase : uint8_t {
+  kPrepare = 0,
+  kCommit = 1,
+  kAbort = 2,
+};
+struct CheckpointMarker {
+  CheckpointPhase phase = CheckpointPhase::kPrepare;
+  int64_t checkpoint_id = 0;
+};
+void EncodeCheckpointMarker(const CheckpointMarker& msg, std::string* body);
+Result<CheckpointMarker> DecodeCheckpointMarker(std::string_view body);
+
+struct ResolveSsidRequest {
+  bool has_requested = false;
+  int64_t requested = 0;
+};
+void EncodeResolveSsidRequest(const ResolveSsidRequest& msg,
+                              std::string* body);
+Result<ResolveSsidRequest> DecodeResolveSsidRequest(std::string_view body);
+
+struct ResolveSsidReply {
+  int64_t ssid = 0;
+};
+void EncodeResolveSsidReply(const ResolveSsidReply& msg, std::string* body);
+Result<ResolveSsidReply> DecodeResolveSsidReply(std::string_view body);
+
+/// A Status carried over the wire (the body of kError frames).
+void EncodeStatusBody(const Status& status, std::string* body);
+/// Decodes a kError body into `*out`. The return value is the decode
+/// outcome: a corrupt error body yields a ParseError, never a crash.
+Status DecodeStatusBody(std::string_view body, Status* out);
+
+}  // namespace sq::net
+
+#endif  // SQUERY_NET_WIRE_H_

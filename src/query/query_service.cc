@@ -64,20 +64,22 @@ class LiveTableSource : public sql::TableSource {
     return live_->partition_count();
   }
 
-  void ScanPartition(int32_t partition, const RowFn& fn) const override {
+  Status ScanPartition(int32_t partition, const RowFn& fn) const override {
     live_->ForEachInPartition(
         partition, [&fn](const kv::Value& key, const kv::Object& value) {
           fn(key, /*ssid=*/nullptr, value);
         });
+    return Status::OK();
   }
 
-  void ScanKeys(const std::vector<kv::Value>& keys,
-                const RowFn& fn) const override {
+  Status ScanKeys(const std::vector<kv::Value>& keys,
+                  const RowFn& fn) const override {
     for (const kv::Value& key : keys) {
       if (auto value = live_->Get(key); value.has_value()) {
         fn(key, /*ssid=*/nullptr, *value);
       }
     }
+    return Status::OK();
   }
 
   int32_t PartitionOfKey(const kv::Value& key) const override {
@@ -100,20 +102,22 @@ class SnapshotTableSource : public sql::TableSource {
     return snap_->partition_count();
   }
 
-  void ScanPartition(int32_t partition, const RowFn& fn) const override {
+  Status ScanPartition(int32_t partition, const RowFn& fn) const override {
     snap_->ScanPartitionAt(
         partition, ssid_,
         [this, &fn](const kv::Value& key, int64_t /*entry_ssid*/,
                     const kv::Object& value) { fn(key, &ssid_value_, value); });
+    return Status::OK();
   }
 
-  void ScanKeys(const std::vector<kv::Value>& keys,
-                const RowFn& fn) const override {
+  Status ScanKeys(const std::vector<kv::Value>& keys,
+                  const RowFn& fn) const override {
     for (const kv::Value& key : keys) {
       if (auto value = snap_->GetAt(key, ssid_); value.has_value()) {
         fn(key, &ssid_value_, *value);
       }
     }
+    return Status::OK();
   }
 
   int32_t PartitionOfKey(const kv::Value& key) const override {
@@ -144,7 +148,7 @@ class VersionsTableSource : public sql::TableSource {
     return snap_->partition_count();
   }
 
-  void ScanPartition(int32_t partition, const RowFn& fn) const override {
+  Status ScanPartition(int32_t partition, const RowFn& fn) const override {
     for (const kv::Value& version : version_values_) {
       snap_->ScanPartitionAt(
           partition, version.int64_value(),
@@ -153,10 +157,11 @@ class VersionsTableSource : public sql::TableSource {
             fn(key, &version, value);
           });
     }
+    return Status::OK();
   }
 
-  void ScanKeys(const std::vector<kv::Value>& keys,
-                const RowFn& fn) const override {
+  Status ScanKeys(const std::vector<kv::Value>& keys,
+                  const RowFn& fn) const override {
     for (const kv::Value& version : version_values_) {
       for (const kv::Value& key : keys) {
         if (auto value = snap_->GetAt(key, version.int64_value());
@@ -165,6 +170,7 @@ class VersionsTableSource : public sql::TableSource {
         }
       }
     }
+    return Status::OK();
   }
 
   int32_t PartitionOfKey(const kv::Value& key) const override {
@@ -175,6 +181,23 @@ class VersionsTableSource : public sql::TableSource {
   const kv::SnapshotTable* snap_;
   std::vector<kv::Value> version_values_;
 };
+
+/// Sequentially materializes every partition of a source into result tuples
+/// — the ScanTable-shaped fallback for cluster reads (e.g. join sides).
+Result<std::vector<kv::Object>> MaterializeSource(sql::TableSource& source) {
+  std::vector<kv::Object> tuples;
+  for (int32_t p = 0; p < source.partition_count(); ++p) {
+    SQ_RETURN_IF_ERROR(source.ScanPartition(
+        p, [&tuples](const kv::Value& key, const kv::Value* ssid,
+                     const kv::Object& value) {
+          tuples.push_back(MakeTuple(
+              key, value,
+              ssid != nullptr ? std::optional<int64_t>(ssid->int64_value())
+                              : std::nullopt));
+        }));
+  }
+  return tuples;
+}
 
 /// Binds per-call options to the resolver interface so concurrent Execute
 /// calls do not share mutable state.
@@ -416,12 +439,16 @@ void QueryService::RegisterEngineIntrospection(dataflow::Job* job,
   if (metrics == nullptr) metrics = metrics_;
   if (metrics != nullptr) {
     catalog_.RegisterVirtualTable(
-        "__metrics", [metrics]() -> Result<std::vector<kv::Object>> {
+        "__metrics", [this, metrics]() -> Result<std::vector<kv::Object>> {
+          // `node` is read at scan time so a later set_node_id (cluster
+          // join) is reflected without re-registering.
+          const int64_t node = node_id();
           std::vector<kv::Object> rows;
           for (const MetricSample& s : metrics->Collect()) {
             kv::Object row;
             row.Set("key", kv::Value(s.name));
             row.Set("partitionKey", kv::Value(s.name));
+            row.Set("node", kv::Value(node));
             row.Set("name", kv::Value(s.name));
             row.Set("kind", kv::Value(MetricKindToString(s.kind)));
             row.Set("value", kv::Value(s.value));
@@ -439,7 +466,8 @@ void QueryService::RegisterEngineIntrospection(dataflow::Job* job,
   }
   if (job != nullptr) {
     catalog_.RegisterVirtualTable(
-        "__operators", [job]() -> Result<std::vector<kv::Object>> {
+        "__operators", [this, job]() -> Result<std::vector<kv::Object>> {
+          const int64_t node = node_id();
           std::vector<kv::Object> rows;
           for (const dataflow::OperatorStats& s :
                job->CollectOperatorStats()) {
@@ -448,6 +476,7 @@ void QueryService::RegisterEngineIntrospection(dataflow::Job* job,
                                 "]");
             row.Set("key", key);
             row.Set("partitionKey", key);
+            row.Set("node", kv::Value(node));
             row.Set("vertex", kv::Value(s.vertex));
             row.Set("instance", kv::Value(static_cast<int64_t>(s.instance)));
             row.Set("worker_id",
@@ -529,6 +558,12 @@ Result<std::unique_ptr<sql::TableSource>> QueryService::OpenTableSourceImpl(
   std::unique_ptr<sql::TableSource> none;
   if (catalog_.HasVirtualTable(table)) return none;
 
+  // Cluster-attached: grid tables live on remote nodes, not here.
+  if (ClusterRouter* cluster = cluster_.load(std::memory_order_acquire);
+      cluster != nullptr) {
+    return OpenClusterSource(cluster, table, requested_ssid, options);
+  }
+
   if (IsSnapshotTableName(table)) {
     std::string base = table;
     const bool all_versions = HasVersionsSuffix(table);
@@ -553,6 +588,36 @@ Result<std::unique_ptr<sql::TableSource>> QueryService::OpenTableSourceImpl(
   return std::unique_ptr<sql::TableSource>(new LiveTableSource(live));
 }
 
+Result<std::unique_ptr<sql::TableSource>> QueryService::OpenClusterSource(
+    ClusterRouter* router, const std::string& table,
+    std::optional<int64_t> requested_ssid, const QueryOptions& options) {
+  if (IsSnapshotTableName(table)) {
+    if (HasVersionsSuffix(table)) {
+      return router->OpenRemoteSource(table, std::nullopt,
+                                      /*all_versions=*/true);
+    }
+    // Resolve once, coordinator-side, so every node serves the same version.
+    // The local registry answers when this process participates in
+    // checkpoints; a pure client asks the cluster.
+    Result<int64_t> resolved = ResolveSsid(requested_ssid, options);
+    if (!resolved.ok()) {
+      const std::optional<int64_t> wanted =
+          requested_ssid.has_value() ? requested_ssid : options.snapshot_id;
+      resolved = router->ResolveSsid(wanted);
+    }
+    SQ_RETURN_IF_ERROR(resolved.status());
+    return router->OpenRemoteSource(table, *resolved, /*all_versions=*/false);
+  }
+  if (state::ReadsSnapshots(options.isolation)) {
+    return Status::InvalidArgument(
+        "live table \"" + table + "\" cannot be read at isolation level '" +
+        state::IsolationLevelToString(options.isolation) +
+        "'; query snapshot_" + table +
+        " instead, or lower the isolation level");
+  }
+  return router->OpenRemoteSource(table, std::nullopt, /*all_versions=*/false);
+}
+
 Result<int64_t> QueryService::ResolveSsid(std::optional<int64_t> requested,
                                           const QueryOptions& options) {
   const int64_t start = clock_->NowNanos();
@@ -570,6 +635,20 @@ Result<std::vector<kv::Object>> QueryService::ScanTableImpl(
   // state), so it is readable at every isolation level.
   if (catalog_.HasVirtualTable(table)) {
     return catalog_.ScanVirtualTable(table);
+  }
+
+  // Cluster-attached: materialize through the remote source (errors — dead
+  // nodes, unresolvable snapshots, isolation violations — surface typed).
+  if (ClusterRouter* cluster = cluster_.load(std::memory_order_acquire);
+      cluster != nullptr) {
+    SQ_ASSIGN_OR_RETURN(
+        std::unique_ptr<sql::TableSource> source,
+        OpenClusterSource(cluster, table, requested_ssid, options));
+    if (source == nullptr) {
+      return Status::Unavailable("cluster router offered no source for " +
+                                 table);
+    }
+    return MaterializeSource(*source);
   }
 
   std::vector<kv::Object> tuples;

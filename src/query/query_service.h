@@ -54,6 +54,26 @@ struct QueryOptions {
   bool pushdown = true;
 };
 
+/// Distributed-routing hook, implemented by the cluster layer (`sq::net`).
+/// QueryService stays network-agnostic: when a router is attached it asks
+/// the router for partition-addressable sources over grid tables (which
+/// scatter scans/lookups to the owning nodes) and for cluster-wide snapshot
+/// id resolution when the local registry cannot resolve one.
+class ClusterRouter {
+ public:
+  virtual ~ClusterRouter() = default;
+
+  /// Opens a remote source for `table`. `resolved_ssid` pins single-version
+  /// snapshot reads (already resolved cluster-wide); `all_versions` selects
+  /// the `__versions` view; neither set means a live-table scan.
+  virtual Result<std::unique_ptr<sql::TableSource>> OpenRemoteSource(
+      const std::string& table, std::optional<int64_t> resolved_ssid,
+      bool all_versions) = 0;
+
+  /// Resolves `requested` (nullopt = latest committed) against the cluster.
+  virtual Result<int64_t> ResolveSsid(std::optional<int64_t> requested) = 0;
+};
+
 /// Everything one Execute call produced: the rows plus that query's own scan
 /// instrumentation. Returned by value so concurrent queries cannot race on a
 /// shared slot.
@@ -144,6 +164,32 @@ class QueryService : public sql::TableResolver {
     durable_log_.store(log, std::memory_order_release);
   }
 
+  /// Attaches a cluster router (not owned; null detaches). With a router
+  /// attached, every non-virtual table read routes to the owning nodes —
+  /// this service then acts as the cluster's query coordinator and its local
+  /// grid is not consulted. Atomic for the same reason as the durable log:
+  /// attach may race in-flight queries.
+  void AttachCluster(ClusterRouter* router) {
+    cluster_.store(router, std::memory_order_release);
+  }
+
+  /// Identity stamped onto `__metrics`/`__operators` rows (the `node`
+  /// column), so system tables stay attributable when many nodes' tables
+  /// are unioned cluster-wide. Defaults to 0 (single-process).
+  void set_node_id(int32_t node_id) {
+    node_id_.store(node_id, std::memory_order_release);
+  }
+  int32_t node_id() const { return node_id_.load(std::memory_order_acquire); }
+
+  /// OpenTableSource with explicit per-call options — the entry point node
+  /// servers use to serve remote scans (read-committed isolation so live
+  /// tables are servable, snapshot pins forwarded from the wire).
+  Result<std::unique_ptr<sql::TableSource>> OpenTableSourceWithOptions(
+      const std::string& table, std::optional<int64_t> requested_ssid,
+      const QueryOptions& options) {
+    return OpenTableSourceImpl(table, requested_ssid, options);
+  }
+
   /// The virtual-table catalog (system tables; extensible by embedders).
   sql::Catalog* catalog() { return &catalog_; }
 
@@ -172,6 +218,12 @@ class QueryService : public sql::TableResolver {
   Result<int64_t> ResolveSsid(std::optional<int64_t> requested,
                               const QueryOptions& options);
 
+  /// Cluster routing: opens a remote source for `table` through `router`
+  /// (snapshot ids resolved locally first, then cluster-wide).
+  Result<std::unique_ptr<sql::TableSource>> OpenClusterSource(
+      ClusterRouter* router, const std::string& table,
+      std::optional<int64_t> requested_ssid, const QueryOptions& options);
+
   /// The scan worker pool, created on first parallel query.
   ThreadPool* Pool();
 
@@ -189,6 +241,8 @@ class QueryService : public sql::TableResolver {
   // (readers take one acquire load per operation and use that pointer
   // throughout, so attach/detach mid-query is torn-free).
   std::atomic<storage::SnapshotLog*> durable_log_{nullptr};
+  std::atomic<ClusterRouter*> cluster_{nullptr};
+  std::atomic<int32_t> node_id_{0};
   std::atomic<int64_t> last_resolve_nanos_{0};
 
   std::once_flag pool_once_;

@@ -258,23 +258,25 @@ Status ScanByKeys(const TableSource& source, const std::vector<Value>& keys,
   span.AddAttr("keys", static_cast<int64_t>(keys.size()));
   Status status;
   std::set<int32_t> partitions;
-  source.ScanKeys(keys, [&](const Value& key, const Value* ssid,
-                            const Object& value) {
-    if (!status.ok()) return;
-    ++stats->rows_scanned;
-    partitions.insert(source.PartitionOfKey(key));
-    const ScanRowView row{&key, ssid, &value};
-    if (predicate != nullptr) {
-      Result<Value> pass = EvalScalar(*predicate, row, ctx);
-      if (!pass.ok()) {
-        status = pass.status();
-        return;
-      }
-      if (!pass->Truthy()) return;
-    }
-    ++stats->rows_returned;
-    status = consume(row);
-  });
+  Status scan_status =
+      source.ScanKeys(keys, [&](const Value& key, const Value* ssid,
+                                const Object& value) {
+        if (!status.ok()) return;
+        ++stats->rows_scanned;
+        partitions.insert(source.PartitionOfKey(key));
+        const ScanRowView row{&key, ssid, &value};
+        if (predicate != nullptr) {
+          Result<Value> pass = EvalScalar(*predicate, row, ctx);
+          if (!pass.ok()) {
+            status = pass.status();
+            return;
+          }
+          if (!pass->Truthy()) return;
+        }
+        ++stats->rows_returned;
+        status = consume(row);
+      });
+  if (status.ok() && !scan_status.ok()) status = std::move(scan_status);
   stats->partitions_scanned += static_cast<int32_t>(partitions.size());
   stats->used_point_lookup = true;
   stats->used_pushdown = stats->used_pushdown || predicate != nullptr;
@@ -308,22 +310,26 @@ Result<std::vector<Object>> MaterializeFromSource(
     const int64_t span_t0 = trace::NowNanos();
     PartitionOutcome& outcome = outcomes[p];
     std::vector<Object>& local = per_partition[p];
-    source.ScanPartition(p, [&](const Value& key, const Value* ssid,
-                                const Object& value) {
-      if (!outcome.status.ok()) return;
-      ++outcome.scanned;
-      if (predicate != nullptr) {
-        const ScanRowView row{&key, ssid, &value};
-        Result<Value> pass = EvalScalar(*predicate, row, ctx);
-        if (!pass.ok()) {
-          outcome.status = pass.status();
-          return;
-        }
-        if (!pass->Truthy()) return;
-      }
-      ++outcome.returned;
-      local.push_back(MaterializeRow(key, ssid, value));
-    });
+    Status scan_status =
+        source.ScanPartition(p, [&](const Value& key, const Value* ssid,
+                                    const Object& value) {
+          if (!outcome.status.ok()) return;
+          ++outcome.scanned;
+          if (predicate != nullptr) {
+            const ScanRowView row{&key, ssid, &value};
+            Result<Value> pass = EvalScalar(*predicate, row, ctx);
+            if (!pass.ok()) {
+              outcome.status = pass.status();
+              return;
+            }
+            if (!pass->Truthy()) return;
+          }
+          ++outcome.returned;
+          local.push_back(MaterializeRow(key, ssid, value));
+        });
+    if (outcome.status.ok() && !scan_status.ok()) {
+      outcome.status = std::move(scan_status);
+    }
     trace::RecordSpan(trace::Category::kQuery, "partition_scan", scan_ctx,
                       span_t0, trace::NowNanos(),
                       {{"partition", p},
@@ -370,29 +376,88 @@ Status ScanAggregate(const TableSource& source, const Expr* predicate,
   std::vector<GroupTable> per_partition(partitions);
   std::vector<PartitionOutcome> outcomes(partitions);
   const trace::SpanContext scan_ctx = trace::CurrentContext();
+  // Offered to sources that can fold a partition close to the data (cluster
+  // nodes); the row-streaming fold below stays the universal fallback.
+  RemoteAggregateSpec remote_spec;
+  remote_spec.local_timestamp_micros = ctx.local_timestamp_micros;
+  if (predicate != nullptr) remote_spec.predicate_sql = predicate->ToString();
+  for (const auto& expr : stmt.group_by) {
+    remote_spec.group_by_sql.push_back(expr->ToString());
+  }
+  for (const AggregateSpec& agg : aggregates) {
+    remote_spec.aggregate_sql.push_back(agg.id);
+  }
   RunPartitioned(options, partitions, workers, [&](int32_t p) {
     const int64_t span_t0 = trace::NowNanos();
     PartitionOutcome& outcome = outcomes[p];
     GroupTable& local = per_partition[p];
-    source.ScanPartition(p, [&](const Value& key, const Value* ssid,
-                                const Object& value) {
-      if (!outcome.status.ok()) return;
-      ++outcome.scanned;
-      const ScanRowView row{&key, ssid, &value};
-      if (predicate != nullptr) {
-        Result<Value> pass = EvalScalar(*predicate, row, ctx);
-        if (!pass.ok()) {
-          outcome.status = pass.status();
-          return;
+    RemotePartialResult partial;
+    Status remote_status;
+    if (source.AggregatePartition(p, remote_spec, &partial, &remote_status)) {
+      if (!remote_status.ok()) {
+        outcome.status = std::move(remote_status);
+      } else {
+        outcome.scanned = partial.rows_scanned;
+        outcome.returned = partial.rows_returned;
+        for (RemotePartialGroup& group : partial.groups) {
+          if (group.aggs.size() != aggregates.size()) {
+            outcome.status =
+                Status::Internal("remote partial aggregate arity mismatch");
+            break;
+          }
+          // Groups arrive in the remote scan's first-seen order; replaying
+          // that order into the local table makes the later partition-order
+          // merge identical to a local fold.
+          auto [it, inserted] =
+              local.index.try_emplace(group.key, local.groups.size());
+          if (inserted) {
+            local.groups.push_back(GroupData{std::move(group.key),
+                                             std::move(group.representative),
+                                             std::move(group.aggs)});
+            continue;
+          }
+          GroupData& into = local.groups[it->second];
+          for (size_t a = 0; a < aggregates.size(); ++a) {
+            MergeAggregate(*aggregates[a].call, group.aggs[a],
+                           &into.aggs[a]);
+          }
         }
-        if (!pass->Truthy()) return;
       }
-      ++outcome.returned;
-      outcome.status = AccumulateRow(
-          stmt, aggregates, row,
-          [&key, ssid, &value] { return MaterializeRow(key, ssid, value); },
-          ctx, &local);
-    });
+      trace::RecordSpan(trace::Category::kQuery, "partition_aggregate",
+                        scan_ctx, span_t0, trace::NowNanos(),
+                        {{"partition", p},
+                         {"remote", true},
+                         {"scanned", outcome.scanned},
+                         {"returned", outcome.returned},
+                         {"groups",
+                          static_cast<int64_t>(local.groups.size())}});
+      return;
+    }
+    Status scan_status =
+        source.ScanPartition(p, [&](const Value& key, const Value* ssid,
+                                    const Object& value) {
+          if (!outcome.status.ok()) return;
+          ++outcome.scanned;
+          const ScanRowView row{&key, ssid, &value};
+          if (predicate != nullptr) {
+            Result<Value> pass = EvalScalar(*predicate, row, ctx);
+            if (!pass.ok()) {
+              outcome.status = pass.status();
+              return;
+            }
+            if (!pass->Truthy()) return;
+          }
+          ++outcome.returned;
+          outcome.status = AccumulateRow(
+              stmt, aggregates, row,
+              [&key, ssid, &value] {
+                return MaterializeRow(key, ssid, value);
+              },
+              ctx, &local);
+        });
+    if (outcome.status.ok() && !scan_status.ok()) {
+      outcome.status = std::move(scan_status);
+    }
     trace::RecordSpan(trace::Category::kQuery, "partition_aggregate",
                       scan_ctx, span_t0, trace::NowNanos(),
                       {{"partition", p},
@@ -509,6 +574,10 @@ Result<ResultSet> ExecuteSelect(const SelectStatement& stmt,
     const Expr* pushed = source != nullptr ? plan.predicate : nullptr;
     const std::vector<Value>* keys =
         (source != nullptr && plan.keys.has_value()) ? &*plan.keys : nullptr;
+    if (pushed != nullptr) {
+      source->BindPredicateHint(pushed->ToString(),
+                                ctx.local_timestamp_micros);
+    }
     scan_span.AddAttr("pushdown", pushed != nullptr);
     scan_span.AddAttr("point_lookup", keys != nullptr);
     if (aggregating && stmt.joins.empty() && source != nullptr &&

@@ -20,6 +20,10 @@ void PutU64(std::string* buf, uint64_t v) {
   buf->append(bytes, 8);
 }
 
+void PutI32(std::string* buf, int32_t v) {
+  PutU32(buf, static_cast<uint32_t>(v));
+}
+
 void PutI64(std::string* buf, int64_t v) {
   PutU64(buf, static_cast<uint64_t>(v));
 }
@@ -93,6 +97,13 @@ bool Reader::ReadU64(uint64_t* out) {
   uint64_t v = 0;
   for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
   *out = v;
+  return true;
+}
+
+bool Reader::ReadI32(int32_t* out) {
+  uint32_t v = 0;
+  if (!ReadU32(&v)) return false;
+  *out = static_cast<int32_t>(v);
   return true;
 }
 

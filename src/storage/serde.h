@@ -18,6 +18,7 @@ namespace sq::storage {
 void PutU8(std::string* buf, uint8_t v);
 void PutU32(std::string* buf, uint32_t v);
 void PutU64(std::string* buf, uint64_t v);
+void PutI32(std::string* buf, int32_t v);
 void PutI64(std::string* buf, int64_t v);
 void PutString(std::string* buf, std::string_view s);
 void PutValue(std::string* buf, const kv::Value& v);
@@ -34,6 +35,7 @@ class Reader {
   bool ReadU8(uint8_t* out);
   bool ReadU32(uint32_t* out);
   bool ReadU64(uint64_t* out);
+  bool ReadI32(int32_t* out);
   bool ReadI64(int64_t* out);
   bool ReadString(std::string* out);
   bool ReadValue(kv::Value* out);

@@ -20,13 +20,13 @@ namespace {
 // Category names
 
 constexpr const char* kCategoryNames[kCategoryCount] = {
-    "checkpoint", "query", "kv", "storage", "sim", "other"};
+    "checkpoint", "query", "kv", "storage", "sim", "other", "net"};
 
 // ---------------------------------------------------------------------------
 // Config: plain atomics so the hot-path checks are a couple of relaxed loads.
 
 std::atomic<bool> g_enabled{true};
-std::atomic<uint32_t> g_sample_every[kCategoryCount] = {{1}, {1}, {1},
+std::atomic<uint32_t> g_sample_every[kCategoryCount] = {{1}, {1}, {1}, {1},
                                                         {1}, {1}, {1}};
 std::atomic<uint64_t> g_sample_counter[kCategoryCount] = {};
 

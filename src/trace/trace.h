@@ -20,8 +20,9 @@ enum class Category : uint8_t {
   kStorage = 3,     ///< snapshot log: append/flush/fsync/commit/compaction
   kSim = 4,         ///< cluster simulator timeline
   kOther = 5,       ///< uncategorized (embedder spans)
+  kNet = 6,         ///< cluster RPCs: client calls + server-side handling
 };
-inline constexpr size_t kCategoryCount = 6;
+inline constexpr size_t kCategoryCount = 7;
 
 const char* CategoryToString(Category category);
 /// False if `name` names no category.
@@ -78,7 +79,7 @@ struct TraceConfig {
   /// Record 1 in N new *root* spans of the category; children follow their
   /// root's decision so trees are never torn. 0 disables the category
   /// entirely (children included); 1 records everything.
-  std::array<uint32_t, kCategoryCount> sample_every = {1, 1, 1, 1, 1, 1};
+  std::array<uint32_t, kCategoryCount> sample_every = {1, 1, 1, 1, 1, 1, 1};
 
   uint32_t sample(Category c) const {
     return sample_every[static_cast<size_t>(c)];

@@ -1,0 +1,265 @@
+// Crash-injection tests for the multi-process cluster: real node processes
+// (fork per node, each running a NodeServer over its own grid + durable
+// snapshot log) are SIGKILLed under a live coordinator. The parent verifies
+//  * a query hitting the dead node comes back with a typed error in bounded
+//    time, never a hang;
+//  * a checkpoint round with a dead participant aborts cleanly and the
+//    surviving nodes' latest committed snapshot is unchanged;
+//  * a killed node rejoins by recovering its partition range from the
+//    durable snapshot log, after which snapshot queries return exactly the
+//    pre-kill rows.
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "dataflow/checkpoint.h"
+#include "kv/grid.h"
+#include "kv/object.h"
+#include "kv/partitioner.h"
+#include "kv/value.h"
+#include "net/cluster_client.h"
+#include "net/node_server.h"
+#include "query/query_service.h"
+#include "sql/result_set.h"
+#include "state/isolation.h"
+#include "state/snapshot_registry.h"
+#include "storage/durable_listener.h"
+#include "storage/snapshot_log.h"
+#include "trace/trace.h"
+
+namespace sq::net {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int32_t kNodes = 3;
+constexpr int32_t kPartitions = kv::kDefaultPartitionCount;
+constexpr int64_t kKeys = 120;
+
+kv::Object OrderValue(int64_t key) {
+  kv::Object o;
+  o.Set("total", kv::Value((key * 37) % 1000));
+  o.Set("region", kv::Value("r" + std::to_string(key % 4)));
+  return o;
+}
+
+std::string MakeTempDir() {
+  std::string tmpl = "/tmp/sq_cluster_crash_XXXXXX";
+  char* dir = ::mkdtemp(tmpl.data());
+  SQ_CHECK(dir != nullptr) << "mkdtemp failed";
+  return dir;
+}
+
+/// Child body: one cluster node over a durable snapshot log in `dir`.
+/// Recovers whatever the log holds (so the same body serves both cold start
+/// and rejoin), starts the server on an ephemeral port, reports the port
+/// over `port_fd`, then parks until killed.
+[[noreturn]] void RunNodeChild(int32_t node_id, const std::string& dir,
+                               int port_fd) {
+  kv::Grid grid(kv::GridConfig{.node_count = 1,
+                               .partition_count = kPartitions,
+                               .backup_count = 0});
+  auto log = storage::SnapshotLog::Open(
+      {.dir = dir, .flush_bytes = 1, .async_compact = false});
+  if (!log.ok()) _exit(2);
+  auto replayed = (*log)->ReplayInto(&grid, /*retained_versions=*/2);
+  if (!replayed.ok()) _exit(3);
+  state::SnapshotRegistry registry(
+      &grid, state::SnapshotRegistry::Options{.retained_versions = 2,
+                                              .async_prune = false,
+                                              .metrics = nullptr});
+  registry.RestoreCommitted((*log)->CommittedIds());
+  query::QueryService query(&grid, &registry);
+  query.set_node_id(node_id);
+  query.AttachDurableStorage(log->get());
+
+  // Same listener order as in-process: durability strictly before
+  // visibility, so a marker-committed snapshot is already fsynced when the
+  // registry starts answering "latest" with it.
+  storage::DurableSnapshotListener durable(&grid, log->get());
+  dataflow::CheckpointListenerChain chain({&durable, &registry});
+
+  NodeServerOptions opts;
+  opts.node_id = node_id;
+  opts.owned = kv::PartitionRangeOf(node_id, kNodes, kPartitions);
+  opts.partition_count = kPartitions;
+  opts.query = &query;
+  opts.grid = &grid;
+  opts.registry = &registry;
+  opts.checkpoint = &chain;
+  NodeServer server(opts);
+  if (!server.Start().ok()) _exit(4);
+  const int32_t port = server.port();
+  if (::write(port_fd, &port, sizeof(port)) != sizeof(port)) _exit(5);
+  ::close(port_fd);
+  for (;;) ::pause();
+}
+
+struct ChildNode {
+  pid_t pid = -1;
+  int port = 0;
+  std::string dir;
+};
+
+ChildNode SpawnNode(int32_t node_id, const std::string& dir) {
+  int pipe_fds[2];
+  SQ_CHECK(::pipe(pipe_fds) == 0);
+  const pid_t pid = ::fork();
+  SQ_CHECK(pid >= 0);
+  if (pid == 0) {
+    ::close(pipe_fds[0]);
+    RunNodeChild(node_id, dir, pipe_fds[1]);  // never returns
+  }
+  ::close(pipe_fds[1]);
+  int32_t port = 0;
+  size_t got = 0;
+  while (got < sizeof(port)) {
+    const ssize_t n = ::read(pipe_fds[0], reinterpret_cast<char*>(&port) + got,
+                             sizeof(port) - got);
+    SQ_CHECK(n > 0) << "node " << node_id << " died before reporting a port";
+    got += static_cast<size_t>(n);
+  }
+  ::close(pipe_fds[0]);
+  return ChildNode{pid, port, dir};
+}
+
+void KillNode(ChildNode* node) {
+  if (node->pid < 0) return;
+  SQ_CHECK(::kill(node->pid, SIGKILL) == 0);
+  int status = 0;
+  SQ_CHECK(::waitpid(node->pid, &status, 0) == node->pid);
+  EXPECT_TRUE(WIFSIGNALED(status));
+  node->pid = -1;
+}
+
+/// Fresh coordinator over the given child processes (rebuilt after a rejoin,
+/// when a node's port changes).
+struct Coordinator {
+  std::unique_ptr<kv::Grid> grid;
+  std::unique_ptr<state::SnapshotRegistry> registry;
+  std::unique_ptr<ClusterClient> client;
+  std::unique_ptr<query::QueryService> query;
+};
+
+Coordinator MakeCoordinator(const std::vector<ChildNode>& nodes) {
+  Coordinator c;
+  ClusterTopology topology;
+  topology.partition_count = kPartitions;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    topology.nodes.push_back(NodeAddress{static_cast<int32_t>(i), "127.0.0.1",
+                                         nodes[i].port});
+  }
+  c.grid = std::make_unique<kv::Grid>(kv::GridConfig{
+      .node_count = 1, .partition_count = kPartitions, .backup_count = 0});
+  c.registry = std::make_unique<state::SnapshotRegistry>(
+      c.grid.get(), state::SnapshotRegistry::Options{.retained_versions = 2,
+                                                     .async_prune = false,
+                                                     .metrics = nullptr});
+  c.client = std::make_unique<ClusterClient>(
+      topology,
+      RpcOptions{.deadline_ms = 5000, .max_attempts = 2, .backoff_ms = 10});
+  c.query = std::make_unique<query::QueryService>(c.grid.get(),
+                                                  c.registry.get());
+  c.query->AttachCluster(c.client.get());
+  return c;
+}
+
+TEST(ClusterCrashTest, KillRecoveryAndRejoin) {
+  std::vector<ChildNode> nodes;
+  for (int32_t i = 0; i < kNodes; ++i) {
+    nodes.push_back(SpawnNode(i, MakeTempDir()));
+  }
+
+  {
+    Coordinator coord = MakeCoordinator(nodes);
+
+    // Load live + snapshot state over the wire and commit snapshot 1 with a
+    // marker round; each child's durable listener fsyncs the deltas before
+    // its registry publishes the id.
+    std::vector<DeltaEntry> live;
+    std::vector<DeltaEntry> snap;
+    for (int64_t k = 0; k < kKeys; ++k) {
+      live.push_back(DeltaEntry{kv::Value(k), false, OrderValue(k)});
+      snap.push_back(DeltaEntry{kv::Value(k), false, OrderValue(k)});
+    }
+    ASSERT_TRUE(coord.client->Apply("orders", 0, live).ok());
+    ASSERT_TRUE(coord.client->Apply("snapshot_orders", 1, snap).ok());
+    ASSERT_TRUE(coord.client->RunCheckpoint(1).ok());
+
+    query::QueryOptions live_opts;
+    live_opts.isolation = state::IsolationLevel::kReadCommittedNoFailures;
+    auto live_before = coord.query->Execute(
+        "SELECT count(*), sum(total) FROM orders", live_opts);
+    ASSERT_TRUE(live_before.ok()) << live_before.status();
+
+    auto snap_before = coord.query->Execute(
+        "SELECT key, total FROM snapshot_orders ORDER BY key");
+    ASSERT_TRUE(snap_before.ok()) << snap_before.status();
+    ASSERT_EQ(snap_before->rows.size(), static_cast<size_t>(kKeys));
+
+    // --- Kill a node under a live coordinator. Queries that need its
+    // partitions must fail typed and bounded, not hang.
+    KillNode(&nodes[1]);
+    const int64_t t0 = trace::NowNanos();
+    auto during = coord.query->Execute(
+        "SELECT count(*), sum(total) FROM orders", live_opts);
+    const int64_t elapsed_ms = (trace::NowNanos() - t0) / 1'000'000;
+    ASSERT_FALSE(during.ok());
+    EXPECT_TRUE(during.status().IsUnavailable() ||
+                during.status().IsTimeout())
+        << during.status();
+    EXPECT_LT(elapsed_ms, 120'000);
+
+    // --- A checkpoint round with a dead participant aborts cleanly...
+    Status cp = coord.client->RunCheckpoint(2);
+    EXPECT_TRUE(cp.IsAborted()) << cp;
+
+    // ...and the survivors still serve snapshot 1 (their share of it).
+    auto resolved = coord.client->ResolveSsid(std::nullopt);
+    ASSERT_TRUE(resolved.ok()) << resolved.status();
+    EXPECT_EQ(*resolved, 1);
+
+    // --- Rejoin: a new process over the same durable directory recovers
+    // the partition range from the snapshot log.
+    nodes[1] = SpawnNode(1, nodes[1].dir);
+  }
+
+  {
+    Coordinator coord = MakeCoordinator(nodes);
+    auto snap_after = coord.query->Execute(
+        "SELECT key, total FROM snapshot_orders ORDER BY key");
+    ASSERT_TRUE(snap_after.ok()) << snap_after.status();
+    ASSERT_EQ(snap_after->rows.size(), static_cast<size_t>(kKeys));
+    for (int64_t k = 0; k < kKeys; ++k) {
+      EXPECT_EQ(snap_after->rows[static_cast<size_t>(k)][0], kv::Value(k));
+      EXPECT_EQ(snap_after->rows[static_cast<size_t>(k)][1],
+                kv::Value((k * 37) % 1000));
+    }
+    // A fresh checkpoint round succeeds again with all nodes back.
+    std::vector<DeltaEntry> delta;
+    delta.push_back(DeltaEntry{kv::Value(int64_t{0}), false, OrderValue(0)});
+    ASSERT_TRUE(coord.client->Apply("snapshot_orders", 2, delta).ok());
+    EXPECT_TRUE(coord.client->RunCheckpoint(2).ok());
+    auto resolved = coord.client->ResolveSsid(std::nullopt);
+    ASSERT_TRUE(resolved.ok()) << resolved.status();
+    EXPECT_EQ(*resolved, 2);
+  }
+
+  for (auto& node : nodes) {
+    KillNode(&node);
+    std::error_code ec;
+    fs::remove_all(node.dir, ec);
+  }
+}
+
+}  // namespace
+}  // namespace sq::net

@@ -1,0 +1,767 @@
+// Tests for the sq::net cluster layer, in three tiers:
+//
+//  1. Adversarial frame-codec tests: truncation at every prefix length,
+//     a flip of every single bit, zero/oversized length prefixes, unknown
+//     versions and message types, crafted huge element counts — all must
+//     yield typed Status errors, never a crash or over-read.
+//  2. Socket-level frame round trip over a real loopback connection.
+//  3. An in-process three-node cluster (three NodeServers, one coordinator
+//     QueryService with a ClusterClient attached) checked differentially
+//     against a single-process QueryService holding the same data: every
+//     query must come back bit-identical. Plus the failure modes: dead
+//     node, silent peer, checkpoint abort, misrouted partition.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "kv/grid.h"
+#include "kv/object.h"
+#include "kv/partitioner.h"
+#include "kv/value.h"
+#include "net/cluster_client.h"
+#include "net/node_server.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "query/query_service.h"
+#include "sql/result_set.h"
+#include "state/isolation.h"
+#include "state/snapshot_registry.h"
+#include "trace/trace.h"
+
+namespace sq::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wire codec.
+
+Frame SamplePointLookupFrame() {
+  Frame frame;
+  frame.type = MsgType::kPointLookup;
+  frame.request_id = 7;
+  frame.trace_id = 9;
+  PointLookupRequest req;
+  req.read.table = "orders";
+  req.read.has_ssid = true;
+  req.read.ssid = 3;
+  req.keys.push_back(kv::Value(int64_t{1}));
+  req.keys.push_back(kv::Value("alpha"));
+  req.keys.push_back(kv::Value(2.5));
+  req.keys.push_back(kv::Value(true));
+  req.keys.push_back(kv::Value::Null());
+  EncodePointLookupRequest(req, &frame.body);
+  return frame;
+}
+
+void OverwriteLe32(std::string* buf, size_t pos, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    (*buf)[pos + static_cast<size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+TEST(WireCodec, FrameRoundTrip) {
+  const Frame frame = SamplePointLookupFrame();
+  std::string encoded;
+  EncodeFrame(frame, &encoded);
+  ASSERT_GT(encoded.size(), kFrameHeaderBytes + kPayloadPrefixBytes);
+
+  size_t consumed = 0;
+  auto decoded = DecodeFrame(encoded, &consumed);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(consumed, encoded.size());
+  EXPECT_EQ(decoded->version, kWireVersion);
+  EXPECT_EQ(decoded->type, MsgType::kPointLookup);
+  EXPECT_EQ(decoded->request_id, 7u);
+  EXPECT_EQ(decoded->trace_id, 9u);
+
+  auto req = DecodePointLookupRequest(decoded->body);
+  ASSERT_TRUE(req.ok()) << req.status();
+  EXPECT_EQ(req->read.table, "orders");
+  EXPECT_TRUE(req->read.has_ssid);
+  EXPECT_EQ(req->read.ssid, 3);
+  EXPECT_FALSE(req->read.all_versions);
+  ASSERT_EQ(req->keys.size(), 5u);
+  EXPECT_EQ(req->keys[0], kv::Value(int64_t{1}));
+  EXPECT_EQ(req->keys[1], kv::Value("alpha"));
+  EXPECT_EQ(req->keys[2], kv::Value(2.5));
+  EXPECT_EQ(req->keys[3], kv::Value(true));
+  EXPECT_TRUE(req->keys[4].is_null());
+}
+
+TEST(WireCodec, DecodeConsumesOneFrameFromAStream) {
+  std::string stream;
+  EncodeFrame(SamplePointLookupFrame(), &stream);
+  const size_t first = stream.size();
+  Frame second = SamplePointLookupFrame();
+  second.request_id = 8;
+  EncodeFrame(second, &stream);
+
+  size_t consumed = 0;
+  auto a = DecodeFrame(stream, &consumed);
+  ASSERT_TRUE(a.ok()) << a.status();
+  EXPECT_EQ(a->request_id, 7u);
+  EXPECT_EQ(consumed, first);
+  auto b = DecodeFrame(std::string_view(stream).substr(consumed), &consumed);
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_EQ(b->request_id, 8u);
+}
+
+TEST(WireCodec, EveryTruncationFailsCleanly) {
+  std::string encoded;
+  EncodeFrame(SamplePointLookupFrame(), &encoded);
+  for (size_t n = 0; n < encoded.size(); ++n) {
+    auto decoded = DecodeFrame(std::string_view(encoded.data(), n));
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << n << " bytes decoded";
+  }
+}
+
+TEST(WireCodec, EverySingleBitFlipIsDetected) {
+  std::string encoded;
+  EncodeFrame(SamplePointLookupFrame(), &encoded);
+  for (size_t byte = 0; byte < encoded.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = encoded;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      auto decoded = DecodeFrame(corrupt);
+      EXPECT_FALSE(decoded.ok())
+          << "flip of byte " << byte << " bit " << bit << " went undetected";
+    }
+  }
+}
+
+TEST(WireCodec, ZeroLengthFrameRejected) {
+  std::string encoded;
+  EncodeFrame(SamplePointLookupFrame(), &encoded);
+  OverwriteLe32(&encoded, 0, 0);
+  auto decoded = DecodeFrame(encoded);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsInvalidArgument()) << decoded.status();
+}
+
+TEST(WireCodec, OversizedLengthRejectedBeforeAllocation) {
+  // Only the 8-byte header exists: a hostile length prefix must be rejected
+  // from the bounds alone, not by attempting to read (or allocate) 4 GiB.
+  std::string encoded;
+  EncodeFrame(SamplePointLookupFrame(), &encoded);
+  encoded.resize(kFrameHeaderBytes);
+  OverwriteLe32(&encoded, 0, 0xfffffffeu);
+  auto decoded = DecodeFrame(encoded);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsInvalidArgument()) << decoded.status();
+}
+
+TEST(WireCodec, UnknownVersionRejected) {
+  Frame frame = SamplePointLookupFrame();
+  frame.version = kWireVersion + 1;
+  std::string encoded;
+  EncodeFrame(frame, &encoded);
+  auto decoded = DecodeFrame(encoded);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kUnimplemented)
+      << decoded.status();
+}
+
+TEST(WireCodec, UnknownMessageTypeRejected) {
+  Frame frame = SamplePointLookupFrame();
+  frame.type = static_cast<MsgType>(200);
+  std::string encoded;
+  EncodeFrame(frame, &encoded);
+  auto decoded = DecodeFrame(encoded);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsParseError()) << decoded.status();
+}
+
+TEST(WireCodec, BodyTrailingBytesRejected) {
+  Frame frame = SamplePointLookupFrame();
+  frame.body.push_back('\0');
+  auto req = DecodePointLookupRequest(frame.body);
+  EXPECT_FALSE(req.ok());
+}
+
+TEST(WireCodec, HugeElementCountRejected) {
+  // A crafted count larger than the remaining bytes must fail the bounds
+  // check instead of looping (or reserving) four billion elements. The key
+  // count is the last 4 body bytes of a keyless request.
+  PointLookupRequest req;
+  req.read.table = "orders";
+  std::string body;
+  EncodePointLookupRequest(req, &body);
+  ASSERT_GE(body.size(), 4u);
+  OverwriteLe32(&body, body.size() - 4, 0xffffffffu);
+  auto decoded = DecodePointLookupRequest(body);
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(WireCodec, StatusBodyRoundTrip) {
+  std::string body;
+  EncodeStatusBody(Status::OutOfRange("partition 7 not owned"), &body);
+  Status decoded;
+  ASSERT_TRUE(DecodeStatusBody(body, &decoded).ok());
+  EXPECT_EQ(decoded.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(decoded.message(), "partition 7 not owned");
+
+  Status ignored;
+  EXPECT_FALSE(DecodeStatusBody(body.substr(0, 2), &ignored).ok());
+  std::string bad_code = body;
+  bad_code[0] = static_cast<char>(0xff);
+  EXPECT_FALSE(DecodeStatusBody(bad_code, &ignored).ok());
+}
+
+TEST(WireCodec, AggregateReplyRoundTripPreservesAggStateBits) {
+  AggregateReply reply;
+  reply.rows_scanned = 100;
+  reply.rows_returned = 42;
+  WireGroup group;
+  group.key.push_back(kv::Value("east"));
+  group.representative.Set("key", kv::Value(int64_t{5}));
+  group.representative.Set("region", kv::Value("east"));
+  sql::AggState st;
+  st.count = 3;
+  st.all_int = false;
+  st.isum = 4;
+  st.sum = 0.1 + 0.2;  // a value whose bits matter
+  st.has_best = true;
+  st.best = kv::Value("zz");
+  st.distinct.insert(kv::Value(int64_t{1}));
+  st.distinct.insert(kv::Value("a"));
+  group.aggs.push_back(st);
+  reply.groups.push_back(group);
+
+  std::string body;
+  EncodeAggregateReply(reply, &body);
+  auto decoded = DecodeAggregateReply(body);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->rows_scanned, 100);
+  EXPECT_EQ(decoded->rows_returned, 42);
+  ASSERT_EQ(decoded->groups.size(), 1u);
+  const WireGroup& g = decoded->groups[0];
+  EXPECT_EQ(g.key, group.key);
+  EXPECT_EQ(g.representative, group.representative);
+  ASSERT_EQ(g.aggs.size(), 1u);
+  EXPECT_EQ(g.aggs[0].count, 3);
+  EXPECT_FALSE(g.aggs[0].all_int);
+  EXPECT_EQ(g.aggs[0].isum, 4);
+  EXPECT_EQ(g.aggs[0].sum, st.sum);  // exact: bits travel via bit_cast
+  EXPECT_TRUE(g.aggs[0].has_best);
+  EXPECT_EQ(g.aggs[0].best, kv::Value("zz"));
+  EXPECT_EQ(g.aggs[0].distinct, st.distinct);
+}
+
+TEST(WireCodec, SmallPayloadRoundTrips) {
+  {
+    HelloReply msg{2, 90, 181, 271};
+    std::string body;
+    EncodeHelloReply(msg, &body);
+    auto decoded = DecodeHelloReply(body);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(decoded->node_id, 2);
+    EXPECT_EQ(decoded->partition_begin, 90);
+    EXPECT_EQ(decoded->partition_end, 181);
+    EXPECT_EQ(decoded->partition_count, 271);
+  }
+  {
+    ReplicationDelta msg;
+    msg.table = "snapshot_orders";
+    msg.ssid = 4;
+    msg.entries.push_back({kv::Value(int64_t{9}), false,
+                           kv::Object{{"total", kv::Value(int64_t{12})}}});
+    msg.entries.push_back({kv::Value(int64_t{10}), true, kv::Object{}});
+    std::string body;
+    EncodeReplicationDelta(msg, &body);
+    auto decoded = DecodeReplicationDelta(body);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(decoded->table, "snapshot_orders");
+    EXPECT_EQ(decoded->ssid, 4);
+    ASSERT_EQ(decoded->entries.size(), 2u);
+    EXPECT_FALSE(decoded->entries[0].tombstone);
+    EXPECT_EQ(decoded->entries[0].value.Get("total"), kv::Value(int64_t{12}));
+    EXPECT_TRUE(decoded->entries[1].tombstone);
+  }
+  {
+    CheckpointMarker msg{CheckpointPhase::kCommit, 17};
+    std::string body;
+    EncodeCheckpointMarker(msg, &body);
+    auto decoded = DecodeCheckpointMarker(body);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(decoded->phase, CheckpointPhase::kCommit);
+    EXPECT_EQ(decoded->checkpoint_id, 17);
+  }
+  {
+    ResolveSsidRequest msg{true, 5};
+    std::string body;
+    EncodeResolveSsidRequest(msg, &body);
+    auto decoded = DecodeResolveSsidRequest(body);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_TRUE(decoded->has_requested);
+    EXPECT_EQ(decoded->requested, 5);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Socket layer.
+
+TEST(Socket, FrameRoundTripOverLoopback) {
+  auto listen = ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listen.ok()) << listen.status();
+  auto port = LocalPort(*listen);
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  std::thread echo([fd = *listen] {
+    auto conn = AcceptConn(fd);
+    if (!conn.ok()) return;
+    auto frame = RecvFrame(*conn, 0);
+    if (frame.ok()) {
+      frame->request_id += 1;
+      (void)SendFrame(*conn, *frame, 0);
+    }
+    CloseFd(*conn);
+  });
+
+  const int64_t deadline = trace::NowNanos() + 5'000'000'000;
+  auto conn = DialTcp("127.0.0.1", *port, deadline);
+  ASSERT_TRUE(conn.ok()) << conn.status();
+  int64_t bytes_out = 0;
+  ASSERT_TRUE(
+      SendFrame(*conn, SamplePointLookupFrame(), deadline, &bytes_out).ok());
+  EXPECT_GT(bytes_out, 0);
+  int64_t bytes_in = 0;
+  auto reply = RecvFrame(*conn, deadline, &bytes_in);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->request_id, 8u);
+  EXPECT_EQ(bytes_in, bytes_out);
+  CloseFd(*conn);
+  echo.join();
+  CloseFd(*listen);
+}
+
+// ---------------------------------------------------------------------------
+// In-process cluster fixture.
+
+constexpr int32_t kClusterNodes = 3;
+constexpr int32_t kClusterPartitions = kv::kDefaultPartitionCount;
+constexpr int64_t kClusterKeys = 150;
+
+kv::Object OrderValue(int64_t key) {
+  kv::Object o;
+  o.Set("total", kv::Value((key * 37) % 1000));
+  o.Set("region", kv::Value("r" + std::to_string(key % 4)));
+  return o;
+}
+
+kv::Object OrderValueV2(int64_t key) {
+  kv::Object o = OrderValue(key);
+  o.Set("total", kv::Value(5000 + key));
+  return o;
+}
+
+struct ClusterNode {
+  std::unique_ptr<MetricsRegistry> metrics;
+  std::unique_ptr<kv::Grid> grid;
+  std::unique_ptr<state::SnapshotRegistry> registry;
+  std::unique_ptr<query::QueryService> query;
+  std::unique_ptr<NodeServer> server;
+};
+
+std::unique_ptr<ClusterNode> StartNode(int32_t id, int32_t node_count) {
+  auto n = std::make_unique<ClusterNode>();
+  n->metrics = std::make_unique<MetricsRegistry>();
+  n->grid = std::make_unique<kv::Grid>(kv::GridConfig{
+      .node_count = 1, .partition_count = kClusterPartitions,
+      .backup_count = 0});
+  n->registry = std::make_unique<state::SnapshotRegistry>(
+      n->grid.get(),
+      state::SnapshotRegistry::Options{.retained_versions = 2,
+                                       .async_prune = false,
+                                       .metrics = nullptr});
+  n->query = std::make_unique<query::QueryService>(
+      n->grid.get(), n->registry.get(), nullptr, n->metrics.get());
+  n->query->set_node_id(id);
+  NodeServerOptions opts;
+  opts.node_id = id;
+  opts.owned = kv::PartitionRangeOf(id, node_count, kClusterPartitions);
+  opts.partition_count = kClusterPartitions;
+  opts.query = n->query.get();
+  opts.grid = n->grid.get();
+  opts.registry = n->registry.get();
+  opts.checkpoint = n->registry.get();
+  opts.metrics = n->metrics.get();
+  n->server = std::make_unique<NodeServer>(opts);
+  SQ_CHECK(n->server->Start().ok()) << "node " << id << " failed to start";
+  return n;
+}
+
+/// Three node servers, a coordinator QueryService routing through a
+/// ClusterClient, and a single-process reference service holding the same
+/// data for differential assertions.
+struct TestCluster {
+  std::vector<std::unique_ptr<ClusterNode>> nodes;
+  std::unique_ptr<MetricsRegistry> coord_metrics;
+  std::unique_ptr<kv::Grid> coord_grid;
+  std::unique_ptr<state::SnapshotRegistry> coord_registry;
+  std::unique_ptr<ClusterClient> client;
+  std::unique_ptr<query::QueryService> coordinator;
+
+  std::unique_ptr<kv::Grid> ref_grid;
+  std::unique_ptr<state::SnapshotRegistry> ref_registry;
+  std::unique_ptr<query::QueryService> reference;
+
+  ~TestCluster() {
+    for (auto& n : nodes) {
+      if (n && n->server) n->server->Stop();
+    }
+  }
+};
+
+std::unique_ptr<TestCluster> StartCluster(RpcOptions rpc = {},
+                                          bool load_data = true) {
+  auto tc = std::make_unique<TestCluster>();
+  ClusterTopology topology;
+  topology.partition_count = kClusterPartitions;
+  for (int32_t i = 0; i < kClusterNodes; ++i) {
+    tc->nodes.push_back(StartNode(i, kClusterNodes));
+    topology.nodes.push_back(
+        NodeAddress{i, "127.0.0.1", tc->nodes.back()->server->port()});
+  }
+  tc->coord_metrics = std::make_unique<MetricsRegistry>();
+  tc->client = std::make_unique<ClusterClient>(topology, rpc,
+                                               tc->coord_metrics.get());
+  // The coordinator's own grid stays empty: with a router attached every
+  // table read must be answered by the nodes, which is exactly what the
+  // differential test wants to prove.
+  tc->coord_grid = std::make_unique<kv::Grid>(kv::GridConfig{
+      .node_count = 1, .partition_count = kClusterPartitions,
+      .backup_count = 0});
+  tc->coord_registry = std::make_unique<state::SnapshotRegistry>(
+      tc->coord_grid.get(),
+      state::SnapshotRegistry::Options{.retained_versions = 2,
+                                       .async_prune = false,
+                                       .metrics = nullptr});
+  tc->coordinator = std::make_unique<query::QueryService>(
+      tc->coord_grid.get(), tc->coord_registry.get(), nullptr,
+      tc->coord_metrics.get());
+  tc->coordinator->AttachCluster(tc->client.get());
+
+  tc->ref_grid = std::make_unique<kv::Grid>(kv::GridConfig{
+      .node_count = 1, .partition_count = kClusterPartitions,
+      .backup_count = 0});
+  tc->ref_registry = std::make_unique<state::SnapshotRegistry>(
+      tc->ref_grid.get(),
+      state::SnapshotRegistry::Options{.retained_versions = 2,
+                                       .async_prune = false,
+                                       .metrics = nullptr});
+  tc->reference = std::make_unique<query::QueryService>(
+      tc->ref_grid.get(), tc->ref_registry.get(), nullptr, nullptr);
+
+  if (!load_data) return tc;
+
+  // Cluster side loads over the wire (replication deltas + 2PC markers);
+  // reference side writes the same data directly.
+  std::vector<DeltaEntry> live;
+  std::vector<DeltaEntry> snap1;
+  std::vector<DeltaEntry> snap2;
+  for (int64_t k = 0; k < kClusterKeys; ++k) {
+    live.push_back(DeltaEntry{kv::Value(k), false, OrderValue(k)});
+    snap1.push_back(DeltaEntry{kv::Value(k), false, OrderValue(k)});
+    if (k % 3 == 0) {
+      snap2.push_back(DeltaEntry{kv::Value(k), false, OrderValueV2(k)});
+    }
+  }
+  SQ_CHECK(tc->client->Apply("orders", 0, live).ok());
+  SQ_CHECK(tc->client->Apply("snapshot_orders", 1, snap1).ok());
+  SQ_CHECK(tc->client->RunCheckpoint(1).ok());
+  SQ_CHECK(tc->client->Apply("snapshot_orders", 2, snap2).ok());
+  SQ_CHECK(tc->client->RunCheckpoint(2).ok());
+
+  auto* ref_live = tc->ref_grid->GetOrCreateLiveMap("orders");
+  auto* ref_snap = tc->ref_grid->GetOrCreateSnapshotTable("snapshot_orders");
+  for (int64_t k = 0; k < kClusterKeys; ++k) {
+    ref_live->Put(kv::Value(k), OrderValue(k));
+    ref_snap->Write(1, kv::Value(k), OrderValue(k));
+  }
+  tc->ref_registry->OnCheckpointCommitted(1);
+  for (int64_t k = 0; k < kClusterKeys; ++k) {
+    if (k % 3 == 0) ref_snap->Write(2, kv::Value(k), OrderValueV2(k));
+  }
+  tc->ref_registry->OnCheckpointCommitted(2);
+  return tc;
+}
+
+std::string RowsToString(const sql::ResultSet& rs) {
+  std::string out;
+  for (const auto& row : rs.rows) {
+    out += "[";
+    for (const auto& cell : row) out += cell.ToString() + ",";
+    out += "] ";
+  }
+  return out;
+}
+
+/// Runs `sql` on the cluster coordinator and the single-process reference
+/// and requires bit-identical results (columns, row order, cell values).
+void ExpectSameResults(TestCluster* tc, const std::string& sql,
+                       const query::QueryOptions& options) {
+  auto cluster = tc->coordinator->Execute(sql, options);
+  auto local = tc->reference->Execute(sql, options);
+  ASSERT_TRUE(local.ok()) << sql << ": " << local.status();
+  ASSERT_TRUE(cluster.ok()) << sql << ": " << cluster.status();
+  EXPECT_EQ(cluster->columns, local->columns) << sql;
+  EXPECT_EQ(cluster->rows, local->rows)
+      << sql << "\n  cluster: " << RowsToString(*cluster)
+      << "\n  local:   " << RowsToString(*local);
+}
+
+query::QueryOptions ReadCommitted() {
+  query::QueryOptions options;
+  options.isolation = state::IsolationLevel::kReadCommittedNoFailures;
+  return options;
+}
+
+TEST(ClusterNet, HelloReportsIdentityAndOwnedRange) {
+  auto tc = StartCluster({}, /*load_data=*/false);
+  for (int32_t i = 0; i < kClusterNodes; ++i) {
+    auto hello = tc->client->Hello(i);
+    ASSERT_TRUE(hello.ok()) << hello.status();
+    EXPECT_EQ(hello->node_id, i);
+    const kv::PartitionRange range =
+        kv::PartitionRangeOf(i, kClusterNodes, kClusterPartitions);
+    EXPECT_EQ(hello->partition_begin, range.begin);
+    EXPECT_EQ(hello->partition_end, range.end);
+    EXPECT_EQ(hello->partition_count, kClusterPartitions);
+  }
+}
+
+TEST(ClusterNet, DifferentialLiveQueries) {
+  auto tc = StartCluster();
+  ExpectSameResults(
+      tc.get(),
+      "SELECT count(*), sum(total), min(total), max(total), avg(total) "
+      "FROM orders",
+      ReadCommitted());
+  ExpectSameResults(tc.get(),
+                    "SELECT key, total FROM orders WHERE total > 300 "
+                    "ORDER BY key",
+                    ReadCommitted());
+  ExpectSameResults(tc.get(),
+                    "SELECT region, count(*), sum(total) FROM orders "
+                    "GROUP BY region ORDER BY region",
+                    ReadCommitted());
+  ExpectSameResults(tc.get(), "SELECT key, total FROM orders WHERE key = 7",
+                    ReadCommitted());
+  ExpectSameResults(tc.get(),
+                    "SELECT key, total FROM orders WHERE key IN (11, 3, 97)",
+                    ReadCommitted());
+}
+
+TEST(ClusterNet, DifferentialSnapshotQueries) {
+  auto tc = StartCluster();
+  for (auto& n : tc->nodes) {
+    EXPECT_EQ(n->registry->latest_committed(), 2);
+  }
+  const query::QueryOptions serializable;  // default isolation
+  ExpectSameResults(tc.get(),
+                    "SELECT count(*), sum(total) FROM snapshot_orders",
+                    serializable);
+  ExpectSameResults(tc.get(),
+                    "SELECT key, total FROM snapshot_orders "
+                    "WHERE total >= 5000 ORDER BY key",
+                    serializable);
+  ExpectSameResults(tc.get(),
+                    "SELECT region, count(*), sum(total) FROM snapshot_orders "
+                    "GROUP BY region ORDER BY region",
+                    serializable);
+  ExpectSameResults(tc.get(),
+                    "SELECT count(DISTINCT region) FROM snapshot_orders",
+                    serializable);
+  // Explicit version pins: the ssid conjunct and the option both must
+  // resolve over the wire (the coordinator's own registry is empty).
+  ExpectSameResults(tc.get(),
+                    "SELECT count(*), sum(total) FROM snapshot_orders "
+                    "WHERE ssid = 1",
+                    serializable);
+  query::QueryOptions pinned = serializable;
+  pinned.snapshot_id = 1;
+  ExpectSameResults(tc.get(), "SELECT sum(total) FROM snapshot_orders",
+                    pinned);
+  // The multi-version view.
+  ExpectSameResults(tc.get(),
+                    "SELECT key, ssid FROM snapshot_orders__versions "
+                    "ORDER BY key, ssid",
+                    serializable);
+}
+
+TEST(ClusterNet, LiveTableNeedsWeakIsolationOnBothPaths) {
+  auto tc = StartCluster();
+  const query::QueryOptions serializable;
+  auto cluster = tc->coordinator->Execute("SELECT count(*) FROM orders",
+                                          serializable);
+  auto local = tc->reference->Execute("SELECT count(*) FROM orders",
+                                      serializable);
+  EXPECT_FALSE(cluster.ok());
+  EXPECT_FALSE(local.ok());
+  EXPECT_EQ(cluster.status().code(), local.status().code());
+}
+
+TEST(ClusterNet, UnknownSnapshotIdFailsOnBothPaths) {
+  auto tc = StartCluster();
+  query::QueryOptions pinned;
+  pinned.snapshot_id = 99;
+  auto cluster = tc->coordinator->Execute(
+      "SELECT count(*) FROM snapshot_orders", pinned);
+  auto local = tc->reference->Execute(
+      "SELECT count(*) FROM snapshot_orders", pinned);
+  EXPECT_FALSE(cluster.ok());
+  EXPECT_FALSE(local.ok());
+}
+
+TEST(ClusterNet, ReplicationDeltaAppliesPutsAndTombstones) {
+  auto tc = StartCluster();
+  std::vector<DeltaEntry> delta;
+  delta.push_back(DeltaEntry{kv::Value(int64_t{5}), true, kv::Object{}});
+  delta.push_back(
+      DeltaEntry{kv::Value(int64_t{200}), false, OrderValue(200)});
+  ASSERT_TRUE(tc->client->Apply("orders", 0, delta).ok());
+  auto* ref_live = tc->ref_grid->GetOrCreateLiveMap("orders");
+  ref_live->Remove(kv::Value(int64_t{5}));
+  ref_live->Put(kv::Value(int64_t{200}), OrderValue(200));
+
+  ExpectSameResults(tc.get(), "SELECT count(*), sum(total) FROM orders",
+                    ReadCommitted());
+  ExpectSameResults(tc.get(), "SELECT key FROM orders WHERE key = 5",
+                    ReadCommitted());
+  ExpectSameResults(tc.get(), "SELECT total FROM orders WHERE key = 200",
+                    ReadCommitted());
+}
+
+TEST(ClusterNet, MisroutedPartitionGetsTypedOutOfRange) {
+  auto tc = StartCluster({}, /*load_data=*/false);
+  // A partition owned by node 2, asked of node 0: the server must refuse
+  // rather than silently read its own (wrong) share of the keyspace.
+  ScanPartitionRequest req;
+  req.read.table = "orders";
+  req.partition = tc->nodes[2]->server->options().owned.begin;
+  std::string body;
+  EncodeScanPartitionRequest(req, &body);
+  std::string reply;
+  Status s = tc->client->Call(0, MsgType::kScanPartition, body,
+                              MsgType::kRows, &reply, trace::SpanContext{},
+                              /*idempotent=*/true);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange) << s;
+}
+
+TEST(ClusterNet, DeadNodeYieldsTypedErrorNotAHang) {
+  auto tc =
+      StartCluster(RpcOptions{.deadline_ms = 250, .max_attempts = 2,
+                              .backoff_ms = 10});
+  tc->nodes[1]->server->Stop();
+  tc->client->Disconnect();
+  const int64_t t0 = trace::NowNanos();
+  auto result = tc->coordinator->Execute("SELECT count(*) FROM orders",
+                                         ReadCommitted());
+  const int64_t elapsed_ms = (trace::NowNanos() - t0) / 1'000'000;
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsUnavailable() || result.status().IsTimeout())
+      << result.status();
+  EXPECT_LT(elapsed_ms, 60'000);
+}
+
+TEST(ClusterNet, SilentPeerHitsDeadline) {
+  // A listener that accepts into its backlog but never answers: the RPC must
+  // come back kTimeout at the per-attempt deadline, not hang.
+  auto listen = ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listen.ok()) << listen.status();
+  auto port = LocalPort(*listen);
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  ClusterTopology topology;
+  topology.partition_count = kClusterPartitions;
+  topology.nodes.push_back(NodeAddress{0, "127.0.0.1", *port});
+  ClusterClient client(topology,
+                       RpcOptions{.deadline_ms = 150, .max_attempts = 1,
+                                  .backoff_ms = 1});
+  const int64_t t0 = trace::NowNanos();
+  auto hello = client.Hello(0);
+  const int64_t elapsed_ms = (trace::NowNanos() - t0) / 1'000'000;
+  ASSERT_FALSE(hello.ok());
+  EXPECT_TRUE(hello.status().IsTimeout()) << hello.status();
+  EXPECT_LT(elapsed_ms, 10'000);
+  CloseFd(*listen);
+}
+
+TEST(ClusterNet, CheckpointAbortsWhenANodeIsDown) {
+  auto tc =
+      StartCluster(RpcOptions{.deadline_ms = 250, .max_attempts = 2,
+                              .backoff_ms = 10});
+  tc->nodes[2]->server->Stop();
+  tc->client->Disconnect();
+  Status s = tc->client->RunCheckpoint(3);
+  EXPECT_TRUE(s.IsAborted()) << s;
+  // The surviving nodes saw the abort marker: their latest committed
+  // snapshot is unchanged and id 3 never becomes queryable.
+  EXPECT_EQ(tc->nodes[0]->registry->latest_committed(), 2);
+  EXPECT_EQ(tc->nodes[1]->registry->latest_committed(), 2);
+  EXPECT_FALSE(tc->nodes[0]->registry->IsQueryable(3));
+}
+
+TEST(ClusterNet, MetricsAndNodeColumn) {
+  auto tc = StartCluster();
+  auto result = tc->coordinator->Execute(
+      "SELECT count(*), sum(total) FROM orders", ReadCommitted());
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  // Client side: RPCs by type, bytes both ways.
+  EXPECT_GT(tc->coord_metrics->GetCounter("net.client.bytes_out")->Value(), 0);
+  EXPECT_GT(tc->coord_metrics->GetCounter("net.client.bytes_in")->Value(), 0);
+  const int64_t client_rpcs =
+      tc->coord_metrics->GetCounter("net.client.rpcs.aggregate_partition")
+          ->Value() +
+      tc->coord_metrics->GetCounter("net.client.rpcs.scan_partition")->Value();
+  EXPECT_GT(client_rpcs, 0);
+
+  // Server side on every node: the scan fanned out across all owned ranges.
+  for (auto& n : tc->nodes) {
+    EXPECT_GT(n->metrics->GetCounter("net.server.bytes_in")->Value(), 0);
+    EXPECT_GT(n->metrics->GetCounter("net.server.bytes_out")->Value(), 0);
+    EXPECT_GT(n->metrics->GetCounter("net.server.connections")->Value(), 0);
+    const int64_t server_rpcs =
+        n->metrics->GetCounter("net.server.rpcs.aggregate_partition")
+            ->Value() +
+        n->metrics->GetCounter("net.server.rpcs.scan_partition")->Value();
+    EXPECT_GT(server_rpcs, 0) << "node " << n->server->options().node_id;
+  }
+
+  // System tables stay attributable cluster-wide: every __metrics row of a
+  // node carries its node id.
+  ClusterNode* node1 = tc->nodes[1].get();
+  node1->query->RegisterEngineIntrospection(nullptr, node1->metrics.get());
+  auto rows = node1->query->ScanSystemObjects("__metrics");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_FALSE(rows->empty());
+  for (const auto& row : *rows) {
+    EXPECT_EQ(row.Get("node"), kv::Value(int64_t{1}));
+  }
+}
+
+TEST(ClusterNet, RetriesAreCountedAndRecoverAfterReconnect) {
+  auto tc = StartCluster();
+  // Kill the cached connections mid-flight: the next idempotent RPC sees a
+  // closed socket, retries on a fresh connection and still succeeds.
+  ASSERT_TRUE(tc->coordinator
+                  ->Execute("SELECT count(*) FROM orders", ReadCommitted())
+                  .ok());
+  tc->client->Disconnect();
+  auto result = tc->coordinator->Execute("SELECT count(*) FROM orders",
+                                         ReadCommitted());
+  ASSERT_TRUE(result.ok()) << result.status();
+}
+
+}  // namespace
+}  // namespace sq::net
