@@ -73,11 +73,13 @@ struct ScanBenchRow {
 
 ScanBenchRow MeasureQuery(query::QueryService* service,
                           const std::string& label, const std::string& sql,
-                          int32_t parallelism, bool pushdown, int queries) {
+                          int32_t parallelism, bool pushdown, int queries,
+                          bool force_row_scan = false) {
   query::QueryOptions options;
   options.isolation = state::IsolationLevel::kReadCommittedNoFailures;
   options.parallelism = parallelism;
   options.pushdown = pushdown;
+  options.force_row_scan = force_row_scan;
   Histogram latency;
   sql::ExecStats stats;
   for (int i = 0; i < queries; ++i) {
@@ -152,6 +154,15 @@ void RunParallelExecutionSection() {
         MeasureQuery(&service, "full-scan agg (snapshot)", agg_snapshot,
                      parallelism, true, queries));
   }
+  // Engine contrast: the same snapshot scan-aggregate with the vectorized
+  // engine forced off (row-at-a-time evaluation), at the scaling endpoints.
+  std::vector<ScanBenchRow> snapshot_row_engine;
+  for (int32_t parallelism : {1, 8}) {
+    snapshot_row_engine.push_back(
+        MeasureQuery(&service, "full-scan agg (snapshot, row engine)",
+                     agg_snapshot, parallelism, true, queries,
+                     /*force_row_scan=*/true));
+  }
 
   // (b) Predicate pushdown on/off: selective filter, rows never materialized
   // vs copy-everything-then-filter.
@@ -175,10 +186,18 @@ void RunParallelExecutionSection() {
       scaling_live.front().mean_ms / scaling_live.back().mean_ms;
   const double speedup_snapshot =
       scaling_snapshot.front().mean_ms / scaling_snapshot.back().mean_ms;
+  // The columnar engine's own contribution: row-engine time over vectorized
+  // time for the identical query and parallelism.
+  const double columnar_speedup_p1 =
+      snapshot_row_engine.front().mean_ms / scaling_snapshot.front().mean_ms;
+  const double columnar_speedup_p8 =
+      snapshot_row_engine.back().mean_ms / scaling_snapshot.back().mean_ms;
   std::printf(
       "\nspeedup @8 vs @1: live=%.2fx snapshot=%.2fx "
       "(bounded by available cores: %u)\n",
       speedup_live, speedup_snapshot, std::thread::hardware_concurrency());
+  std::printf("columnar vs row engine (snapshot agg): %.2fx @1, %.2fx @8\n",
+              columnar_speedup_p1, columnar_speedup_p8);
   std::printf("point lookup scanned %lld of %lld rows (%.5f of full scan; "
               "1/%d partitions)\n",
               static_cast<long long>(point.rows_scanned),
@@ -212,18 +231,22 @@ void RunParallelExecutionSection() {
                std::thread::hardware_concurrency());
   emit_rows("full_scan_aggregate_live", scaling_live);
   emit_rows("full_scan_aggregate_snapshot", scaling_snapshot);
+  emit_rows("full_scan_aggregate_snapshot_row_engine", snapshot_row_engine);
   emit_rows("predicate_pushdown", pushdown_rows);
   std::fprintf(
       f,
       "  \"point_lookup\": {\"rows_scanned\": %lld, "
       "\"full_scan_rows_scanned\": %lld, \"fraction\": %.6f},\n"
       "  \"speedup_8_vs_1_live\": %.3f,\n"
-      "  \"speedup_8_vs_1_snapshot\": %.3f\n}\n",
+      "  \"speedup_8_vs_1_snapshot\": %.3f,\n"
+      "  \"columnar_vs_row_snapshot_agg_p1\": %.3f,\n"
+      "  \"columnar_vs_row_snapshot_agg_p8\": %.3f\n}\n",
       static_cast<long long>(point.rows_scanned),
       static_cast<long long>(full.rows_scanned),
       static_cast<double>(point.rows_scanned) /
           static_cast<double>(full.rows_scanned),
-      speedup_live, speedup_snapshot);
+      speedup_live, speedup_snapshot, columnar_speedup_p1,
+      columnar_speedup_p8);
   std::fclose(f);
   std::printf("wrote BENCH_query.json\n");
 }

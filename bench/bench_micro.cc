@@ -1,15 +1,24 @@
 // Micro-benchmarks (google-benchmark): per-operation costs of the
 // substrates, used to calibrate the cluster simulator and as ablations for
 // the design decisions listed in DESIGN.md §6 (colocation, key-level
-// locking, incremental snapshots, SQL operator costs). A custom main adds a
-// trace-overhead section (off / sampled / full) that writes
-// BENCH_trace.json and a Perfetto-loadable sq_query.trace.json;
-// SQ_BENCH_TRACE_ONLY=1 runs just that section (the CI smoke run).
+// locking, incremental snapshots, SQL operator costs). A custom main adds
+// two sections with their own output files:
+//   * trace overhead (off / sampled / full), writing BENCH_trace.json and a
+//     Perfetto-loadable sq_query.trace.json; SQ_BENCH_TRACE_ONLY=1 runs
+//     just this section (the CI smoke run);
+//   * scan throughput (row vs columnar engine, filtered vs unfiltered,
+//     parallelism 1/8) in rows/sec, merged into BENCH_query.json;
+//     SQ_BENCH_SCAN_ONLY=1 runs just this section.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/histogram.h"
@@ -369,16 +378,149 @@ void RunTraceOverheadSection() {
   std::printf("wrote BENCH_trace.json\n");
 }
 
+// --- Scan throughput: the vectorized (columnar-batch) engine against the
+// row engine on the same snapshot table, fused filter+COUNT so the measured
+// cost is the scan itself, not result materialization. rows/sec over the
+// 100k-key fixture; the force-row knob selects the engine.
+
+struct ScanThroughputRow {
+  const char* scan;    // "unfiltered" | "filtered"
+  const char* engine;  // "columnar" | "row"
+  int32_t parallelism;
+  double mean_ms;
+  double rows_per_sec;
+};
+
+ScanThroughputRow MeasureScanThroughput(query::QueryService* service,
+                                        const char* scan, const char* engine,
+                                        const std::string& sql,
+                                        int32_t parallelism, int iters) {
+  query::QueryOptions options;
+  options.parallelism = parallelism;
+  options.force_row_scan = std::strcmp(engine, "row") == 0;
+  // Warm up: builds (and caches) the columnar partition views so both
+  // engines are measured over resident state.
+  for (int i = 0; i < 2; ++i) {
+    auto r = service->Execute(sql, options);
+    if (!r.ok()) {
+      std::fprintf(stderr, "scan bench failed: %s\n",
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  const int64_t t0 = SystemClock::Default()->NowNanos();
+  for (int i = 0; i < iters; ++i) {
+    auto r = service->Execute(sql, options);
+    benchmark::DoNotOptimize(r);
+  }
+  const double nanos =
+      static_cast<double>(SystemClock::Default()->NowNanos() - t0) / iters;
+  ScanThroughputRow row{scan, engine, parallelism, nanos / 1e6,
+                        100000.0 / (nanos / 1e9)};
+  std::printf(
+      "scan=%-10s engine=%-8s parallelism=%d  mean=%8.3f ms  %12.0f rows/s\n",
+      row.scan, row.engine, row.parallelism, row.mean_ms, row.rows_per_sec);
+  return row;
+}
+
+// Merges `payload` into BENCH_query.json under the "scan_throughput" key:
+// the file's closing brace is replaced by `, "scan_throughput": {...}}` so
+// the section composes with the series bench_fig13_query_latency wrote. A
+// missing file gets a fresh object.
+void MergeScanSection(const std::string& payload) {
+  std::string existing;
+  {
+    std::ifstream in("BENCH_query.json");
+    std::stringstream ss;
+    ss << in.rdbuf();
+    existing = ss.str();
+  }
+  const size_t brace = existing.find_last_of('}');
+  std::ofstream out("BENCH_query.json", std::ios::trunc);
+  if (brace == std::string::npos) {
+    out << "{\n" << payload << "\n}\n";
+  } else {
+    out << existing.substr(0, brace) << ",\n" << payload << "\n}\n";
+  }
+}
+
+void RunScanThroughputSection() {
+  const char* scale_env = std::getenv("SQ_BENCH_SCALE");
+  const double scale = scale_env != nullptr ? std::atof(scale_env) : 1.0;
+  const int iters = std::max(3, static_cast<int>(30 * scale));
+  auto& fixture = ParallelQueryFixture::Get();
+
+  const std::string unfiltered =
+      "SELECT COUNT(*) AS n FROM snapshot_orders";
+  const std::string filtered =
+      "SELECT COUNT(*) AS n FROM snapshot_orders WHERE v > 500";
+  std::printf("\nscan throughput (100000 keys, %d queries per cell):\n",
+              iters);
+  std::vector<ScanThroughputRow> rows;
+  for (int32_t parallelism : {1, 8}) {
+    for (const char* engine : {"row", "columnar"}) {
+      rows.push_back(MeasureScanThroughput(&fixture.service, "unfiltered",
+                                           engine, unfiltered, parallelism,
+                                           iters));
+      rows.push_back(MeasureScanThroughput(&fixture.service, "filtered",
+                                           engine, filtered, parallelism,
+                                           iters));
+    }
+  }
+
+  auto find = [&rows](const char* scan, const char* engine,
+                      int32_t parallelism) -> const ScanThroughputRow& {
+    for (const auto& r : rows) {
+      if (std::strcmp(r.scan, scan) == 0 &&
+          std::strcmp(r.engine, engine) == 0 &&
+          r.parallelism == parallelism) {
+        return r;
+      }
+    }
+    std::abort();
+  };
+  const double ratio_p1 = find("unfiltered", "columnar", 1).rows_per_sec /
+                          find("unfiltered", "row", 1).rows_per_sec;
+  const double ratio_p8 = find("unfiltered", "columnar", 8).rows_per_sec /
+                          find("unfiltered", "row", 8).rows_per_sec;
+  std::printf("columnar vs row, unfiltered scan: %.2fx @1, %.2fx @8\n",
+              ratio_p1, ratio_p8);
+
+  std::string payload = "  \"scan_throughput\": {\n    \"keys\": 100000,\n"
+                        "    \"series\": [\n";
+  char line[256];
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::snprintf(line, sizeof(line),
+                  "      {\"scan\": \"%s\", \"engine\": \"%s\", "
+                  "\"parallelism\": %d, \"mean_ms\": %.4f, "
+                  "\"rows_per_sec\": %.0f}%s\n",
+                  r.scan, r.engine, r.parallelism, r.mean_ms, r.rows_per_sec,
+                  i + 1 < rows.size() ? "," : "");
+    payload += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "    ],\n    \"columnar_vs_row_unfiltered_p1\": %.3f,\n"
+                "    \"columnar_vs_row_unfiltered_p8\": %.3f\n  }",
+                ratio_p1, ratio_p8);
+  payload += line;
+  MergeScanSection(payload);
+  std::printf("merged scan_throughput into BENCH_query.json\n");
+}
+
 }  // namespace
 }  // namespace sq
 
 int main(int argc, char** argv) {
-  if (std::getenv("SQ_BENCH_TRACE_ONLY") == nullptr) {
+  const bool trace_only = std::getenv("SQ_BENCH_TRACE_ONLY") != nullptr;
+  const bool scan_only = std::getenv("SQ_BENCH_SCAN_ONLY") != nullptr;
+  if (!trace_only && !scan_only) {
     ::benchmark::Initialize(&argc, argv);
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
     ::benchmark::RunSpecifiedBenchmarks();
     ::benchmark::Shutdown();
   }
-  sq::RunTraceOverheadSection();
+  if (!scan_only) sq::RunTraceOverheadSection();
+  if (!trace_only) sq::RunScanThroughputSection();
   return 0;
 }

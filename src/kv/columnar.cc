@@ -1,0 +1,237 @@
+#include "kv/columnar.h"
+
+#include <algorithm>
+
+namespace sq::kv {
+
+Value Column::At(size_t row) const {
+  if (present_[row] == 0) return Value::Null();
+  if (mixed_) return values_[row];
+  switch (type_) {
+    case ValueType::kBool:
+      return Value(bools_[row] != 0);
+    case ValueType::kInt64:
+      return Value(ints_[row]);
+    case ValueType::kDouble:
+      return Value(doubles_[row]);
+    case ValueType::kString:
+      return Value(strings_[row]);
+    case ValueType::kNull:
+      break;
+  }
+  return Value::Null();
+}
+
+void Column::Resize(size_t rows) {
+  present_.resize(rows, 0);
+  if (mixed_) {
+    values_.resize(rows);
+    return;
+  }
+  switch (type_) {
+    case ValueType::kBool:
+      bools_.resize(rows, 0);
+      break;
+    case ValueType::kInt64:
+      ints_.resize(rows, 0);
+      break;
+    case ValueType::kDouble:
+      doubles_.resize(rows, 0.0);
+      break;
+    case ValueType::kString:
+      strings_.resize(rows);
+      break;
+    case ValueType::kNull:
+      break;
+  }
+}
+
+void Column::DemoteToMixed() {
+  values_.assign(present_.size(), Value::Null());
+  for (size_t row = 0; row < present_.size(); ++row) {
+    if (present_[row] == 0) continue;
+    switch (type_) {
+      case ValueType::kBool:
+        values_[row] = Value(bools_[row] != 0);
+        break;
+      case ValueType::kInt64:
+        values_[row] = Value(ints_[row]);
+        break;
+      case ValueType::kDouble:
+        values_[row] = Value(doubles_[row]);
+        break;
+      case ValueType::kString:
+        values_[row] = Value(std::move(strings_[row]));
+        break;
+      case ValueType::kNull:
+        break;
+    }
+  }
+  bools_.clear();
+  bools_.shrink_to_fit();
+  ints_.clear();
+  ints_.shrink_to_fit();
+  doubles_.clear();
+  doubles_.shrink_to_fit();
+  strings_.clear();
+  strings_.shrink_to_fit();
+  mixed_ = true;
+}
+
+void Column::Set(size_t row, const Value& v) {
+  present_[row] = 1;
+  if (!mixed_) {
+    if (type_ == ValueType::kNull && !v.is_null()) {
+      // First present value fixes the typed representation.
+      type_ = v.type();
+      Resize(present_.size());
+    }
+    if (v.type() != type_ || v.is_null()) {
+      // Type conflict, or a present NULL (unrepresentable next to the
+      // presence bitmap): fall back to per-cell values.
+      DemoteToMixed();
+    }
+  }
+  if (mixed_) {
+    values_[row] = v;
+    return;
+  }
+  switch (type_) {
+    case ValueType::kBool:
+      bools_[row] = v.bool_value() ? 1 : 0;
+      break;
+    case ValueType::kInt64:
+      ints_[row] = v.int64_value();
+      break;
+    case ValueType::kDouble:
+      doubles_[row] = v.double_value();
+      break;
+    case ValueType::kString:
+      strings_[row] = v.string_value();
+      break;
+    case ValueType::kNull:
+      break;
+  }
+}
+
+void Column::SetFrom(size_t row, const Column& src, size_t src_row) {
+  if (src.present_[src_row] == 0) {
+    present_[row] = 0;
+    return;
+  }
+  if (!mixed_ && !src.mixed_ && type_ == src.type_ &&
+      type_ != ValueType::kNull) {
+    present_[row] = 1;
+    switch (type_) {
+      case ValueType::kBool:
+        bools_[row] = src.bools_[src_row];
+        return;
+      case ValueType::kInt64:
+        ints_[row] = src.ints_[src_row];
+        return;
+      case ValueType::kDouble:
+        doubles_[row] = src.doubles_[src_row];
+        return;
+      case ValueType::kString:
+        strings_[row] = src.strings_[src_row];
+        return;
+      case ValueType::kNull:
+        break;
+    }
+  }
+  Set(row, src.At(src_row));
+}
+
+size_t Column::ByteSize() const {
+  size_t total = sizeof(Column) + present_.capacity() + bools_.capacity() +
+                 ints_.capacity() * sizeof(int64_t) +
+                 doubles_.capacity() * sizeof(double);
+  for (const auto& s : strings_) total += sizeof(std::string) + s.capacity();
+  for (const auto& v : values_) total += v.ByteSize();
+  return total;
+}
+
+int ColumnBatch::FindColumn(std::string_view name) const {
+  auto it = std::lower_bound(names_.begin(), names_.end(), name);
+  if (it == names_.end() || *it != name) return -1;
+  return static_cast<int>(it - names_.begin());
+}
+
+size_t ColumnBatch::EnsureColumn(std::string_view name) {
+  auto it = std::lower_bound(names_.begin(), names_.end(), name);
+  if (it != names_.end() && *it == name) {
+    return static_cast<size_t>(it - names_.begin());
+  }
+  const size_t idx = static_cast<size_t>(it - names_.begin());
+  names_.insert(it, std::string(name));
+  Column col;
+  col.Resize(row_count());
+  columns_.insert(columns_.begin() + static_cast<ptrdiff_t>(idx),
+                  std::move(col));
+  return idx;
+}
+
+void ColumnBatch::SetCell(size_t col, size_t row, const Value& v) {
+  columns_[col].Set(row, v);
+}
+
+Object ColumnBatch::MaterializeRow(size_t row) const {
+  Object out;
+  // Dictionary order == Object field order (both sorted by name), so each
+  // Set appends at the end.
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (!columns_[i].present(row)) continue;
+    out.Set(names_[i], columns_[i].At(row));
+  }
+  return out;
+}
+
+void ColumnBatch::Reserve(size_t rows) {
+  keys_.reserve(rows);
+  ssids_.reserve(rows);
+  tombstones_.reserve(rows);
+}
+
+size_t ColumnBatch::StartRow(const Value& key, int64_t ssid, bool tombstone) {
+  const size_t row = keys_.size();
+  keys_.push_back(key);
+  ssids_.push_back(ssid);
+  tombstones_.push_back(tombstone ? 1 : 0);
+  if (tombstone) ++tombstone_count_;
+  for (auto& col : columns_) col.Resize(row + 1);
+  return row;
+}
+
+void ColumnBatch::AppendRow(const Value& key, int64_t ssid,
+                            const Object& value) {
+  const size_t row = StartRow(key, ssid, /*tombstone=*/false);
+  for (const auto& [name, v] : value.fields()) {
+    columns_[EnsureColumn(name)].Set(row, v);
+  }
+}
+
+void ColumnBatch::AppendTombstone(const Value& key, int64_t ssid) {
+  StartRow(key, ssid, /*tombstone=*/true);
+}
+
+void ColumnBatch::AppendRowFrom(const ColumnBatch& src, size_t src_row) {
+  const size_t row =
+      StartRow(src.keys_[src_row], src.ssids_[src_row],
+               src.tombstones_[src_row] != 0);
+  for (size_t i = 0; i < src.columns_.size(); ++i) {
+    if (!src.columns_[i].present(src_row)) continue;
+    columns_[EnsureColumn(src.names_[i])].SetFrom(row, src.columns_[i],
+                                                  src_row);
+  }
+}
+
+size_t ColumnBatch::ByteSize() const {
+  size_t total = sizeof(ColumnBatch) +
+                 ssids_.capacity() * sizeof(int64_t) + tombstones_.capacity();
+  for (const auto& k : keys_) total += k.ByteSize();
+  for (const auto& n : names_) total += sizeof(std::string) + n.capacity();
+  for (const auto& c : columns_) total += c.ByteSize();
+  return total;
+}
+
+}  // namespace sq::kv

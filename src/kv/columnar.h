@@ -1,0 +1,134 @@
+#ifndef SQUERY_KV_COLUMNAR_H_
+#define SQUERY_KV_COLUMNAR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kv/object.h"
+#include "kv/value.h"
+
+namespace sq::kv {
+
+/// One typed column chunk of a ColumnBatch.
+///
+/// A column holds one cell per batch row. Cells are either *absent* (the row's
+/// object has no such field; `present(row)` is false and the cell reads as
+/// NULL) or *present* with a value. While every present value shares one
+/// scalar type the column stays in its typed representation — a contiguous
+/// array (`ints()`, `doubles()`, `strings()`, `bools()`) that vectorized
+/// predicate and aggregate loops index directly. The first present value of a
+/// different type (or an explicit NULL field, which no typed array can
+/// represent next to the presence bitmap) demotes the column to the `mixed()`
+/// representation, a dense `Value` array; readers fall back to per-cell
+/// access, which is still cheaper than re-resolving field names per row.
+class Column {
+ public:
+  /// Scalar type of the typed representation; kNull until the first present
+  /// value arrives (or when the column is mixed).
+  ValueType type() const { return type_; }
+  bool mixed() const { return mixed_; }
+
+  size_t size() const { return present_.size(); }
+  bool present(size_t row) const { return present_[row] != 0; }
+  const std::vector<uint8_t>& presence() const { return present_; }
+
+  /// Cell value; NULL when absent.
+  Value At(size_t row) const;
+
+  /// Typed arrays, one slot per row (absent slots hold defaults). Only
+  /// meaningful when !mixed() and type() matches.
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+  const std::vector<uint8_t>& bools() const { return bools_; }
+  /// Dense cell values when mixed() (absent slots hold NULL).
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Pads the column with absent cells up to `rows`.
+  void Resize(size_t rows);
+  /// Marks `row` present with `v`, demoting to mixed on type conflict.
+  void Set(size_t row, const Value& v);
+  /// Copies one cell (including absence) from `src`; avoids materializing a
+  /// Value when both columns share a typed representation.
+  void SetFrom(size_t row, const Column& src, size_t src_row);
+
+  size_t ByteSize() const;
+
+ private:
+  void DemoteToMixed();
+
+  ValueType type_ = ValueType::kNull;
+  bool mixed_ = false;
+  std::vector<uint8_t> present_;
+  std::vector<uint8_t> bools_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  std::vector<Value> values_;
+};
+
+/// A columnar batch of scan rows: per-row state key, entry ssid and tombstone
+/// flag, plus one Column per distinct field name. Field names live in a
+/// per-batch dictionary sorted by name (the same order `Object` keeps its
+/// fields in), so `MaterializeRow` rebuilds the exact source object —
+/// byte-identical field order, types and values — which is what lets the
+/// columnar engine be differentially tested against the row engine.
+///
+/// Batches double as the unit of (a) cached merged snapshot views served to
+/// the vectorized executor and (b) the columnar delta records the durable
+/// snapshot log persists (where tombstone rows matter).
+class ColumnBatch {
+ public:
+  size_t row_count() const { return keys_.size(); }
+  size_t column_count() const { return names_.size(); }
+
+  /// Field-name dictionary, sorted ascending.
+  const std::vector<std::string>& names() const { return names_; }
+  /// Index of `name` in the dictionary, or -1.
+  int FindColumn(std::string_view name) const;
+  const Column& column(size_t idx) const { return columns_[idx]; }
+
+  const std::vector<Value>& keys() const { return keys_; }
+  /// Per-row ssid of the entry that supplied the row.
+  const std::vector<int64_t>& ssids() const { return ssids_; }
+  bool tombstone(size_t row) const { return tombstones_[row] != 0; }
+  const std::vector<uint8_t>& tombstones() const { return tombstones_; }
+  bool has_tombstones() const { return tombstone_count_ > 0; }
+
+  /// Rebuilds the row's state object exactly as stored.
+  Object MaterializeRow(size_t row) const;
+
+  void Reserve(size_t rows);
+
+  /// Appends a live row holding `value`.
+  void AppendRow(const Value& key, int64_t ssid, const Object& value);
+  /// Appends a tombstone row (deletion marker; all fields absent).
+  void AppendTombstone(const Value& key, int64_t ssid);
+  /// Appends a copy of `src`'s row `src_row` (cells copied column-to-column).
+  void AppendRowFrom(const ColumnBatch& src, size_t src_row);
+
+  /// Dictionary slot for `name`, inserting an all-absent column (padded to
+  /// the current row count) if missing. Invalidates prior indices.
+  size_t EnsureColumn(std::string_view name);
+  /// Cell write used by deserialization; `row` must be < row_count().
+  void SetCell(size_t col, size_t row, const Value& v);
+
+  size_t ByteSize() const;
+
+ private:
+  // Starts a row with every column absent; returns its index.
+  size_t StartRow(const Value& key, int64_t ssid, bool tombstone);
+
+  std::vector<std::string> names_;  // sorted; parallel to columns_
+  std::vector<Column> columns_;
+  std::vector<Value> keys_;
+  std::vector<int64_t> ssids_;
+  std::vector<uint8_t> tombstones_;
+  size_t tombstone_count_ = 0;
+};
+
+}  // namespace sq::kv
+
+#endif  // SQUERY_KV_COLUMNAR_H_

@@ -35,11 +35,27 @@ SnapshotTable::SnapshotTable(std::string name, const Partitioner* partitioner,
   }
 }
 
+void SnapshotTable::PruneKeyOrder(PartitionData* part) {
+  std::vector<Value> kept;
+  kept.reserve(part->keys.size());
+  for (const Value& key : part->key_order) {
+    if (part->keys.count(key) != 0) kept.push_back(key);
+  }
+  part->key_order = std::move(kept);
+}
+
 void SnapshotTable::WriteInto(PartitionData* part, int64_t ssid,
                               const Value& key, Object value,
                               bool tombstone) {
   MutexLock lock(&part->mu);
-  auto& entries = part->keys[key];
+  // A write at `ssid` can only change merged views at `ssid` and newer;
+  // older cached columnar views stay valid (that is what makes the next
+  // view buildable incrementally from them).
+  part->columnar.erase(part->columnar.lower_bound(ssid),
+                       part->columnar.end());
+  auto [key_it, inserted] = part->keys.try_emplace(key);
+  if (inserted) part->key_order.push_back(key);
+  auto& entries = key_it->second;
   // Checkpoints are produced in increasing ssid order, so the append fast
   // path almost always applies; a rewrite of the same ssid replaces it.
   if (!entries.empty() && entries.back().ssid == ssid) {
@@ -82,6 +98,9 @@ void SnapshotTable::WriteTombstone(int64_t ssid, const Value& key) {
 void SnapshotTable::DropSnapshotInPartition(PartitionData* part,
                                             int64_t ssid) {
   MutexLock lock(&part->mu);
+  part->columnar.erase(part->columnar.lower_bound(ssid),
+                       part->columnar.end());
+  bool erased_keys = false;
   for (auto it = part->keys.begin(); it != part->keys.end();) {
     auto& entries = it->second;
     entries.erase(
@@ -90,10 +109,12 @@ void SnapshotTable::DropSnapshotInPartition(PartitionData* part,
         entries.end());
     if (entries.empty()) {
       it = part->keys.erase(it);
+      erased_keys = true;
     } else {
       ++it;
     }
   }
+  if (erased_keys) PruneKeyOrder(part);
 }
 
 void SnapshotTable::DropSnapshot(int64_t ssid) {
@@ -146,11 +167,61 @@ void SnapshotTable::ScanPartitionAt(
     const {
   const PartitionData& part = *partitions_[partition];
   MutexLock lock(&part.mu);
-  for (const auto& [key, entries] : part.keys) {
+  for (const Value& key : part.key_order) {
+    const auto& entries = part.keys.find(key)->second;
     auto entry = FindAt(entries, ssid);
     if (entry == entries.end() || entry->tombstone) continue;
     fn(key, entry->ssid, entry->value);
   }
+}
+
+std::shared_ptr<const ColumnBatch> SnapshotTable::ColumnarPartitionAt(
+    int32_t partition, int64_t ssid) const {
+  const PartitionData& part = *partitions_[partition];
+  MutexLock lock(&part.mu);
+  auto hit = part.columnar.find(ssid);
+  if (hit != part.columnar.end()) return hit->second;
+
+  // Incremental build: start from the newest older cached view (still valid
+  // by the invalidation rules) and copy its rows straight across, decoding
+  // only entries written after it — the checkpoint delta. With no base the
+  // whole view is encoded from the version map.
+  std::shared_ptr<const ColumnBatch> base;
+  int64_t base_ssid = 0;
+  auto older = part.columnar.lower_bound(ssid);
+  if (older != part.columnar.begin()) {
+    --older;
+    base_ssid = older->first;
+    base = older->second;
+  }
+
+  auto batch = std::make_shared<ColumnBatch>();
+  batch->Reserve(part.key_order.size());
+  size_t base_row = 0;
+  for (const Value& key : part.key_order) {
+    const auto& entries = part.keys.find(key)->second;
+    // The base view lists its keys in this same order, so one cursor tells
+    // us whether it contains the current key.
+    const bool in_base = base != nullptr && base_row < base->row_count() &&
+                         base->keys()[base_row] == key;
+    auto entry = FindAt(entries, ssid);
+    if (entry != entries.end() && !entry->tombstone) {
+      if (in_base && entry->ssid <= base_ssid) {
+        // Unchanged since the base view; FindAt(base_ssid) returns the same
+        // entry, so the base row is exactly this row.
+        batch->AppendRowFrom(*base, base_row);
+      } else {
+        batch->AppendRow(key, entry->ssid, entry->value);
+      }
+    }
+    if (in_base) ++base_row;
+  }
+
+  part.columnar.emplace(ssid, batch);
+  while (part.columnar.size() > kMaxCachedViews) {
+    part.columnar.erase(part.columnar.begin());
+  }
+  return batch;
 }
 
 void SnapshotTable::ScanAllVersions(
@@ -167,8 +238,8 @@ void SnapshotTable::ScanAllVersionsInPartition(
     const {
   const PartitionData& part = *partitions_[partition];
   MutexLock lock(&part.mu);
-  for (const auto& [key, entries] : part.keys) {
-    for (const auto& entry : entries) {
+  for (const Value& key : part.key_order) {
+    for (const auto& entry : part.keys.find(key)->second) {
       if (entry.tombstone) continue;
       fn(key, entry.ssid, entry.value);
     }
@@ -195,7 +266,8 @@ void SnapshotTable::ForEachEntryAt(
   for (int32_t p = 0; p < partitioner_->partition_count(); ++p) {
     const PartitionData& part = *partitions_[p];
     MutexLock lock(&part.mu);
-    for (const auto& [key, entries] : part.keys) {
+    for (const Value& key : part.key_order) {
+      const auto& entries = part.keys.find(key)->second;
       auto entry = FindAt(entries, ssid);
       if (entry == entries.end() || entry->ssid != ssid) continue;
       fn(p, key, *entry);
@@ -207,6 +279,12 @@ size_t SnapshotTable::CompactPartition(PartitionData* part,
                                        int64_t floor_ssid) {
   size_t removed = 0;
   MutexLock lock(&part->mu);
+  // Compaction only drops entries a view at >= floor never serves, so cached
+  // views at the floor and newer survive; older ones would now read
+  // base-shifted results and must go.
+  part->columnar.erase(part->columnar.begin(),
+                       part->columnar.lower_bound(floor_ssid));
+  bool erased_keys = false;
   for (auto it = part->keys.begin(); it != part->keys.end();) {
     auto& entries = it->second;
     auto base = FindAt(entries, floor_ssid);
@@ -222,10 +300,12 @@ size_t SnapshotTable::CompactPartition(PartitionData* part,
     }
     if (entries.empty()) {
       it = part->keys.erase(it);
+      erased_keys = true;
     } else {
       ++it;
     }
   }
+  if (erased_keys) PruneKeyOrder(part);
   return removed;
 }
 
@@ -280,11 +360,15 @@ void SnapshotTable::Clear() {
   for (auto& part : partitions_) {
     MutexLock lock(&part->mu);
     part->keys.clear();
+    part->key_order.clear();
+    part->columnar.clear();
   }
   for (auto& replica : backups_) {
     for (auto& part : replica) {
       MutexLock lock(&part->mu);
       part->keys.clear();
+      part->key_order.clear();
+      part->columnar.clear();
     }
   }
 }
@@ -295,6 +379,8 @@ void SnapshotTable::FailPartitionPrimary(int32_t partition) {
     // No replica to promote: the partition's data is simply lost.
     MutexLock lock(&primary.mu);
     primary.keys.clear();
+    primary.key_order.clear();
+    primary.columnar.clear();
     return;
   }
   // Promote the backup in one critical section. Clearing the primary first
@@ -308,6 +394,10 @@ void SnapshotTable::FailPartitionPrimary(int32_t partition) {
   MutexLock backup_lock(&backup.mu);
   MutexLock primary_lock(&primary.mu);
   primary.keys = backup.keys;
+  // Replicas see the same writes in the same order, so their key order is
+  // the primary's; promoted data keeps the deterministic scan order.
+  primary.key_order = backup.key_order;
+  primary.columnar.clear();
 }
 
 }  // namespace sq::kv

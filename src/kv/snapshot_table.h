@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -11,6 +12,7 @@
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "kv/columnar.h"
 #include "kv/object.h"
 #include "kv/partitioner.h"
 #include "kv/value.h"
@@ -76,11 +78,26 @@ class SnapshotTable {
               const std::function<void(const Value&, int64_t, const Object&)>&
                   fn) const;
 
-  /// Scans one partition of the view at `ssid`.
+  /// Scans one partition of the view at `ssid`. Rows are emitted in
+  /// first-write key order — the deterministic scan order shared with the
+  /// columnar view, so the row and vectorized engines are bit-identical
+  /// (group first-seen order, representatives, ORDER BY tie-breaks).
   void ScanPartitionAt(
       int32_t partition, int64_t ssid,
       const std::function<void(const Value&, int64_t, const Object&)>& fn)
       const;
+
+  /// The merged view of one partition at snapshot `ssid` as a columnar batch:
+  /// same rows, same order as `ScanPartitionAt`, laid out as per-field typed
+  /// column chunks for the vectorized executor. Views are cached per
+  /// (partition, ssid) and built incrementally — a request for a new ssid
+  /// patches the newest older cached view with just the entries that changed
+  /// since (the checkpoint delta) instead of re-encoding every row. Writes at
+  /// ssid S invalidate only cached views at S and newer; compaction and drops
+  /// invalidate the partition's cache wholesale. The returned batch is
+  /// immutable and safe to use without holding any table lock.
+  std::shared_ptr<const ColumnBatch> ColumnarPartitionAt(int32_t partition,
+                                                         int64_t ssid) const;
 
   /// Scans every retained version of every key (for "result set integrates
   /// multiple snapshot versions" mode, Section VI-A "Snapshot Versions").
@@ -136,12 +153,25 @@ class SnapshotTable {
     // Versions per key, sorted by ascending ssid.
     std::unordered_map<Value, std::vector<Entry>, ValueHash> keys
         SQ_GUARDED_BY(mu);
+    // Keys in first-write order; invariant: contains exactly the keys of
+    // `keys`, each once. All scans iterate this so row and columnar reads
+    // agree on order.
+    std::vector<Value> key_order SQ_GUARDED_BY(mu);
+    // Cached merged columnar views by requested ssid.
+    mutable std::map<int64_t, std::shared_ptr<const ColumnBatch>> columnar
+        SQ_GUARDED_BY(mu);
   };
+
+  // Bounds the per-partition view cache (snapshot retention windows are a
+  // handful of versions; anything older is an explicit time-travel query).
+  static constexpr size_t kMaxCachedViews = 8;
 
   static void WriteInto(PartitionData* part, int64_t ssid, const Value& key,
                         Object value, bool tombstone);
   static size_t CompactPartition(PartitionData* part, int64_t floor_ssid);
   static void DropSnapshotInPartition(PartitionData* part, int64_t ssid);
+  // Rebuilds key_order after map erasures, preserving relative order.
+  static void PruneKeyOrder(PartitionData* part) SQ_REQUIRES(part->mu);
 
   PartitionData& PartitionFor(const Value& key) {
     return *partitions_[partitioner_->PartitionOf(key)];

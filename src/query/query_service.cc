@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
 
 #include "dataflow/execution.h"
+#include "kv/columnar.h"
 #include "sql/parser.h"
 #include "state/squery_state_store.h"
 #include "storage/snapshot_log.h"
@@ -53,6 +55,37 @@ kv::Object MakeTuple(const kv::Value& key, const kv::Object& value,
   return tuple;
 }
 
+/// True when SQ_FORCE_ROW_SCAN disables the vectorized engine process-wide
+/// (any non-empty value but "0"). Read once; the knob is for whole-run A/B
+/// comparisons, not per-query toggling (QueryOptions::force_row_scan is).
+bool ForceRowScanEnv() {
+  static const bool force = [] {
+    const char* v = std::getenv("SQ_FORCE_ROW_SCAN");
+    return v != nullptr && v[0] != '\0' &&
+           !(v[0] == '0' && v[1] == '\0');
+  }();
+  return force;
+}
+
+/// BatchReader over one prebuilt columnar view: yields it once, then ends.
+class SingleBatchReader : public sql::BatchReader {
+ public:
+  explicit SingleBatchReader(sql::ScanBatch batch)
+      : batch_(std::move(batch)) {}
+
+  Result<bool> NextBatch(sql::ScanBatch* out) override {
+    if (done_) return false;
+    done_ = true;
+    if (batch_.rows == nullptr) return false;
+    *out = std::move(batch_);
+    return true;
+  }
+
+ private:
+  sql::ScanBatch batch_;
+  bool done_ = false;
+};
+
 /// Partition-addressable scan over a live map. Live scans carry no ssid
 /// column; point lookups go through the key-level locks, exactly like the
 /// direct object interface.
@@ -85,6 +118,22 @@ class LiveTableSource : public sql::TableSource {
   int32_t PartitionOfKey(const kv::Value& key) const override {
     return live_->partitioner().PartitionOf(key);
   }
+
+  std::unique_ptr<sql::BatchReader> OpenBatchReader(
+      int32_t partition) const override {
+    // Live maps have no maintained columnar view (they mutate per record);
+    // the batch is built here, under the same partition iteration the row
+    // scan uses, so both engines see identical rows in identical order.
+    auto batch = std::make_shared<kv::ColumnBatch>();
+    live_->ForEachInPartition(
+        partition, [&batch](const kv::Value& key, const kv::Object& value) {
+          batch->AppendRow(key, /*ssid=*/0, value);
+        });
+    return std::make_unique<SingleBatchReader>(
+        sql::ScanBatch{std::move(batch), std::nullopt});
+  }
+
+  bool SupportsBatches() const override { return true; }
 
  private:
   const kv::LiveMap* live_;
@@ -123,6 +172,19 @@ class SnapshotTableSource : public sql::TableSource {
   int32_t PartitionOfKey(const kv::Value& key) const override {
     return snap_->partitioner().PartitionOf(key);
   }
+
+  std::unique_ptr<sql::BatchReader> OpenBatchReader(
+      int32_t partition) const override {
+    // The incrementally maintained columnar view of this partition at the
+    // resolved version (cached across queries; see SnapshotTable).
+    std::shared_ptr<const kv::ColumnBatch> view =
+        snap_->ColumnarPartitionAt(partition, ssid_);
+    if (view == nullptr) return nullptr;
+    return std::make_unique<SingleBatchReader>(
+        sql::ScanBatch{std::move(view), ssid_value_});
+  }
+
+  bool SupportsBatches() const override { return true; }
 
  private:
   const kv::SnapshotTable* snap_;
@@ -176,6 +238,39 @@ class VersionsTableSource : public sql::TableSource {
   int32_t PartitionOfKey(const kv::Value& key) const override {
     return snap_->partitioner().PartitionOf(key);
   }
+
+  std::unique_ptr<sql::BatchReader> OpenBatchReader(
+      int32_t partition) const override {
+    // One batch per retained version, in pinned version order — the same
+    // (version-major, key order) sequence the row scan emits.
+    class Reader : public sql::BatchReader {
+     public:
+      Reader(const kv::SnapshotTable* snap, int32_t partition,
+             const std::vector<kv::Value>* versions)
+          : snap_(snap), partition_(partition), versions_(versions) {}
+
+      Result<bool> NextBatch(sql::ScanBatch* out) override {
+        while (next_ < versions_->size()) {
+          const kv::Value& version = (*versions_)[next_++];
+          std::shared_ptr<const kv::ColumnBatch> view =
+              snap_->ColumnarPartitionAt(partition_, version.int64_value());
+          if (view == nullptr || view->row_count() == 0) continue;
+          *out = sql::ScanBatch{std::move(view), version};
+          return true;
+        }
+        return false;
+      }
+
+     private:
+      const kv::SnapshotTable* snap_;
+      const int32_t partition_;
+      const std::vector<kv::Value>* versions_;  // owned by the source
+      size_t next_ = 0;
+    };
+    return std::make_unique<Reader>(snap_, partition, &version_values_);
+  }
+
+  bool SupportsBatches() const override { return true; }
 
  private:
   const kv::SnapshotTable* snap_;
@@ -355,6 +450,8 @@ Result<QueryResult> QueryService::ExecuteWithStats(
   sql::ExecOptions exec_options;
   exec_options.local_timestamp_micros = UnixMicros();
   exec_options.enable_pushdown = options.pushdown;
+  exec_options.enable_vectorized =
+      !options.force_row_scan && !ForceRowScanEnv();
   sql::ExecStats stats;
   exec_options.stats = &stats;
   if (options.parallelism != 1) {
@@ -400,12 +497,20 @@ Result<QueryResult> QueryService::ExecuteWithStats(
 
     std::vector<std::string> lines =
         sql::ExplainPlanLines(*parsed.select, &resolver, exec_options);
-    lines.push_back("Execution: " + std::to_string(exec->rows.size()) +
-                    " rows, scanned " + std::to_string(stats.rows_scanned) +
-                    ", returned " + std::to_string(stats.rows_returned) +
-                    ", partitions " +
-                    std::to_string(stats.partitions_scanned) +
-                    ", parallelism " + std::to_string(stats.parallelism));
+    std::string execution =
+        "Execution: " + std::to_string(exec->rows.size()) + " rows, scanned " +
+        std::to_string(stats.rows_scanned) + ", returned " +
+        std::to_string(stats.rows_returned) + ", partitions " +
+        std::to_string(stats.partitions_scanned) + ", parallelism " +
+        std::to_string(stats.parallelism);
+    if (stats.used_vectorized) {
+      execution += ", engine vectorized (" +
+                   std::to_string(stats.batches_scanned) + " batches, " +
+                   std::to_string(stats.batch_rows) + " rows)";
+    } else {
+      execution += ", engine row";
+    }
+    lines.push_back(std::move(execution));
     AppendSpanTimings(trace_id, &lines);
     return PlanResultSet(std::move(lines));
   }();
@@ -425,6 +530,12 @@ Result<QueryResult> QueryService::ExecuteWithStats(
     if (stats.used_point_lookup) {
       metrics_->GetCounter("query.point_lookup_scans")->Increment();
     }
+    if (stats.used_vectorized) {
+      metrics_->GetCounter("query.vectorized_scans")->Increment();
+    }
+    metrics_->GetCounter("query.batches_scanned")
+        ->Increment(stats.batches_scanned);
+    metrics_->GetCounter("query.batch_rows")->Increment(stats.batch_rows);
     metrics_->GetHistogram("query.scan_parallelism")
         ->Record(stats.parallelism);
   }

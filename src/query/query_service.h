@@ -52,6 +52,11 @@ struct QueryOptions {
   /// that fail are never copied) and route `key = <literal>` / IN-list
   /// restrictions to point lookups. Off = materialize-then-filter.
   bool pushdown = true;
+  /// Disable the vectorized (columnar-batch) scan engine for this query and
+  /// stream rows instead. Results are identical either way; this is an
+  /// escape hatch for debugging and A/B measurement. The SQ_FORCE_ROW_SCAN
+  /// environment variable (any value but "0") forces it process-wide.
+  bool force_row_scan = false;
 };
 
 /// Distributed-routing hook, implemented by the cluster layer (`sq::net`).

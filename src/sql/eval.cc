@@ -2,11 +2,11 @@
 
 namespace sq::sql {
 
-namespace {
+namespace detail {
 
 using kv::Value;
 
-Value Compare(BinaryOp op, const Value& lhs, const Value& rhs) {
+Value CompareValues(BinaryOp op, const Value& lhs, const Value& rhs) {
   if (lhs.is_null() || rhs.is_null()) return Value(false);
   switch (op) {
     case BinaryOp::kEq:
@@ -26,7 +26,8 @@ Value Compare(BinaryOp op, const Value& lhs, const Value& rhs) {
   }
 }
 
-Result<Value> Arithmetic(BinaryOp op, const Value& lhs, const Value& rhs) {
+Result<Value> ArithmeticValues(BinaryOp op, const Value& lhs,
+                               const Value& rhs) {
   if (lhs.is_null() || rhs.is_null()) return Value::Null();
   if (!lhs.is_numeric() || !rhs.is_numeric()) {
     if (op == BinaryOp::kAdd && lhs.is_string() && rhs.is_string()) {
@@ -65,6 +66,12 @@ Result<Value> Arithmetic(BinaryOp op, const Value& lhs, const Value& rhs) {
   }
   return Status::Internal("unhandled arithmetic operator");
 }
+
+}  // namespace detail
+
+namespace {
+
+using kv::Value;
 
 // Shared over the materialized tuple (Object) and the scan-row view; both
 // expose Get/Has with identical resolution semantics.
@@ -127,9 +134,9 @@ Result<Value> EvalScalarImpl(const Expr& expr, const TupleT& tuple,
         case BinaryOp::kLe:
         case BinaryOp::kGt:
         case BinaryOp::kGe:
-          return Compare(expr.binary_op, lhs, rhs);
+          return detail::CompareValues(expr.binary_op, lhs, rhs);
         default:
-          return Arithmetic(expr.binary_op, lhs, rhs);
+          return detail::ArithmeticValues(expr.binary_op, lhs, rhs);
       }
     }
     case ExprKind::kFuncCall: {

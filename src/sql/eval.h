@@ -52,6 +52,19 @@ struct ScanRowView {
 Result<kv::Value> EvalScalar(const Expr& expr, const ScanRowView& row,
                              const EvalContext& ctx);
 
+namespace detail {
+
+/// The comparison and arithmetic kernels EvalScalar dispatches to, exposed
+/// so the vectorized executor's fused loops apply byte-identical semantics.
+/// CompareValues never errors (NULL on either side compares false);
+/// ArithmeticValues errors on non-numeric operands (except string + string).
+kv::Value CompareValues(BinaryOp op, const kv::Value& lhs,
+                        const kv::Value& rhs);
+Result<kv::Value> ArithmeticValues(BinaryOp op, const kv::Value& lhs,
+                                   const kv::Value& rhs);
+
+}  // namespace detail
+
 }  // namespace sq::sql
 
 #endif  // SQUERY_SQL_EVAL_H_

@@ -7,10 +7,13 @@
 #include <utility>
 
 #include "common/hash.h"
+#include "kv/columnar.h"
 #include "sql/aggregate.h"
 #include "sql/eval.h"
+#include "sql/group_table.h"
 #include "sql/parser.h"
 #include "sql/plan.h"
+#include "sql/vectorized.h"
 #include "trace/trace.h"
 
 namespace sq::sql {
@@ -132,32 +135,6 @@ Result<Value> EvalWithAggregates(
   return EvalScalar(*clone, tuple, ctx);
 }
 
-struct GroupKeyHash {
-  size_t operator()(const std::vector<Value>& key) const {
-    uint64_t h = 0x9e3779b97f4a7c15ULL;
-    for (const Value& v : key) {
-      h = sq::CombineHashes(h, v.Hash());
-    }
-    return static_cast<size_t>(h);
-  }
-};
-
-/// One group's partial state: the first row seen (scan order) as the
-/// representative for non-aggregate expressions, plus one AggState per
-/// aggregate call.
-struct GroupData {
-  std::vector<Value> key;
-  Object representative;
-  std::vector<AggState> aggs;
-};
-
-/// Groups in first-seen order (kept deterministic so parallel and
-/// sequential execution emit rows identically), with a hash index.
-struct GroupTable {
-  std::unordered_map<std::vector<Value>, size_t, GroupKeyHash> index;
-  std::vector<GroupData> groups;
-};
-
 /// Folds one row into `table`: evaluates the group key and every aggregate
 /// argument against the (possibly unmaterialized) row. `materialize` is
 /// called once, on the first row of a new group.
@@ -235,6 +212,8 @@ struct PartitionOutcome {
   Status status;
   int64_t scanned = 0;
   int64_t returned = 0;
+  int64_t batches = 0;     // columnar batches consumed (0 = row engine)
+  int64_t batch_rows = 0;  // rows those batches carried
 };
 
 Status FirstError(const std::vector<PartitionOutcome>& outcomes,
@@ -242,9 +221,42 @@ Status FirstError(const std::vector<PartitionOutcome>& outcomes,
   for (const PartitionOutcome& outcome : outcomes) {
     stats->rows_scanned += outcome.scanned;
     stats->rows_returned += outcome.returned;
+    stats->batches_scanned += outcome.batches;
+    stats->batch_rows += outcome.batch_rows;
+    if (outcome.batches > 0) stats->used_vectorized = true;
     if (!outcome.status.ok()) return outcome.status;
   }
   return Status::OK();
+}
+
+/// Drains one partition's batch reader through `consume_batch`. Returns
+/// false (leaving the outcome untouched) when the source declines to serve
+/// this partition as batches — the caller then streams rows instead.
+template <typename BatchConsumer>
+bool ScanPartitionBatches(const TableSource& source, int32_t partition,
+                          const ExecOptions& options,
+                          PartitionOutcome* outcome,
+                          const BatchConsumer& consume_batch) {
+  if (!options.enable_vectorized) return false;
+  std::unique_ptr<BatchReader> reader = source.OpenBatchReader(partition);
+  if (reader == nullptr) return false;
+  ScanBatch batch;
+  while (outcome->status.ok()) {
+    Result<bool> more = reader->NextBatch(&batch);
+    if (!more.ok()) {
+      outcome->status = more.status();
+      break;
+    }
+    if (!*more) break;
+    if (batch.rows == nullptr) continue;
+    const int64_t rows = static_cast<int64_t>(batch.rows->row_count());
+    outcome->scanned += rows;
+    ++outcome->batches;
+    outcome->batch_rows += rows;
+    outcome->status = consume_batch(batch);
+    batch = ScanBatch{};
+  }
+  return true;
 }
 
 /// Point-lookup scan (pushed-down key equalities): visits only `keys`,
@@ -252,7 +264,7 @@ Status FirstError(const std::vector<PartitionOutcome>& outcomes,
 /// exactly.
 template <typename RowConsumer>
 Status ScanByKeys(const TableSource& source, const std::vector<Value>& keys,
-                  const Expr* predicate, const EvalContext& ctx,
+                  const CompiledScan& scan, const EvalContext& ctx,
                   ExecStats* stats, const RowConsumer& consume) {
   trace::ScopedSpan span(trace::Category::kQuery, "point_lookup");
   span.AddAttr("keys", static_cast<int64_t>(keys.size()));
@@ -265,13 +277,13 @@ Status ScanByKeys(const TableSource& source, const std::vector<Value>& keys,
         ++stats->rows_scanned;
         partitions.insert(source.PartitionOfKey(key));
         const ScanRowView row{&key, ssid, &value};
-        if (predicate != nullptr) {
-          Result<Value> pass = EvalScalar(*predicate, row, ctx);
+        if (scan.has_predicate()) {
+          Result<bool> pass = scan.PredicatePasses(row, ctx);
           if (!pass.ok()) {
             status = pass.status();
             return;
           }
-          if (!pass->Truthy()) return;
+          if (!*pass) return;
         }
         ++stats->rows_returned;
         status = consume(row);
@@ -279,7 +291,7 @@ Status ScanByKeys(const TableSource& source, const std::vector<Value>& keys,
   if (status.ok() && !scan_status.ok()) status = std::move(scan_status);
   stats->partitions_scanned += static_cast<int32_t>(partitions.size());
   stats->used_point_lookup = true;
-  stats->used_pushdown = stats->used_pushdown || predicate != nullptr;
+  stats->used_pushdown = stats->used_pushdown || scan.has_predicate();
   return status;
 }
 
@@ -289,10 +301,13 @@ Result<std::vector<Object>> MaterializeFromSource(
     const TableSource& source, const Expr* predicate,
     const std::vector<Value>* keys, const EvalContext& ctx,
     const ExecOptions& options, ExecStats* stats) {
+  // Compiled once per scan, shared read-only by all workers: resolves the
+  // predicate's column references at plan time instead of per row.
+  const CompiledScan scan(predicate, {}, {});
   std::vector<Object> tuples;
   if (keys != nullptr) {
     SQ_RETURN_IF_ERROR(ScanByKeys(
-        source, *keys, predicate, ctx, stats,
+        source, *keys, scan, ctx, stats,
         [&tuples](const ScanRowView& row) {
           tuples.push_back(MaterializeRow(*row.key, row.ssid, *row.value));
           return Status::OK();
@@ -310,19 +325,32 @@ Result<std::vector<Object>> MaterializeFromSource(
     const int64_t span_t0 = trace::NowNanos();
     PartitionOutcome& outcome = outcomes[p];
     std::vector<Object>& local = per_partition[p];
+    if (ScanPartitionBatches(source, p, options, &outcome,
+                             [&](const ScanBatch& batch) {
+                               return scan.FilterBatch(batch, ctx, &local,
+                                                       &outcome.returned);
+                             })) {
+      trace::RecordSpan(trace::Category::kQuery, "partition_scan", scan_ctx,
+                        span_t0, trace::NowNanos(),
+                        {{"partition", p},
+                         {"columnar", true},
+                         {"scanned", outcome.scanned},
+                         {"returned", outcome.returned}});
+      return;
+    }
     Status scan_status =
         source.ScanPartition(p, [&](const Value& key, const Value* ssid,
                                     const Object& value) {
           if (!outcome.status.ok()) return;
           ++outcome.scanned;
-          if (predicate != nullptr) {
+          if (scan.has_predicate()) {
             const ScanRowView row{&key, ssid, &value};
-            Result<Value> pass = EvalScalar(*predicate, row, ctx);
+            Result<bool> pass = scan.PredicatePasses(row, ctx);
             if (!pass.ok()) {
               outcome.status = pass.status();
               return;
             }
-            if (!pass->Truthy()) return;
+            if (!*pass) return;
           }
           ++outcome.returned;
           local.push_back(MaterializeRow(key, ssid, value));
@@ -359,8 +387,19 @@ Status ScanAggregate(const TableSource& source, const Expr* predicate,
                      const std::vector<AggregateSpec>& aggregates,
                      const EvalContext& ctx, const ExecOptions& options,
                      ExecStats* stats, GroupTable* out) {
+  std::vector<const Expr*> group_by_exprs;
+  group_by_exprs.reserve(stmt.group_by.size());
+  for (const auto& expr : stmt.group_by) {
+    group_by_exprs.push_back(expr.get());
+  }
+  std::vector<const Expr*> aggregate_calls;
+  aggregate_calls.reserve(aggregates.size());
+  for (const AggregateSpec& agg : aggregates) {
+    aggregate_calls.push_back(agg.call);
+  }
+  const CompiledScan scan(predicate, group_by_exprs, aggregate_calls);
   if (keys != nullptr) {
-    return ScanByKeys(source, *keys, predicate, ctx, stats,
+    return ScanByKeys(source, *keys, scan, ctx, stats,
                       [&](const ScanRowView& row) {
                         return AccumulateRow(
                             stmt, aggregates, row,
@@ -433,19 +472,34 @@ Status ScanAggregate(const TableSource& source, const Expr* predicate,
                           static_cast<int64_t>(local.groups.size())}});
       return;
     }
+    if (ScanPartitionBatches(source, p, options, &outcome,
+                             [&](const ScanBatch& batch) {
+                               return scan.AccumulateBatch(batch, ctx, &local,
+                                                           &outcome.returned);
+                             })) {
+      trace::RecordSpan(trace::Category::kQuery, "partition_aggregate",
+                        scan_ctx, span_t0, trace::NowNanos(),
+                        {{"partition", p},
+                         {"columnar", true},
+                         {"scanned", outcome.scanned},
+                         {"returned", outcome.returned},
+                         {"groups",
+                          static_cast<int64_t>(local.groups.size())}});
+      return;
+    }
     Status scan_status =
         source.ScanPartition(p, [&](const Value& key, const Value* ssid,
                                     const Object& value) {
           if (!outcome.status.ok()) return;
           ++outcome.scanned;
           const ScanRowView row{&key, ssid, &value};
-          if (predicate != nullptr) {
-            Result<Value> pass = EvalScalar(*predicate, row, ctx);
+          if (scan.has_predicate()) {
+            Result<bool> pass = scan.PredicatePasses(row, ctx);
             if (!pass.ok()) {
               outcome.status = pass.status();
               return;
             }
-            if (!pass->Truthy()) return;
+            if (!*pass) return;
           }
           ++outcome.returned;
           outcome.status = AccumulateRow(
@@ -875,6 +929,10 @@ std::vector<std::string> ExplainPlanLines(const SelectStatement& stmt,
     scan += " @ ssid=" + std::to_string(*pin);
   }
   lines.push_back(std::move(scan));
+  if (source != nullptr && !point && options.enable_vectorized &&
+      source->SupportsBatches()) {
+    lines.push_back("  engine: vectorized (columnar batches)");
+  }
   if (fused) {
     lines.push_back("  fused per-partition partial aggregation (" +
                     std::to_string(aggregates.size()) + " aggregates)");

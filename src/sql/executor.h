@@ -17,6 +17,10 @@
 #include "sql/ast.h"
 #include "sql/result_set.h"
 
+namespace sq::kv {
+class ColumnBatch;
+}  // namespace sq::kv
+
 namespace sq::sql {
 
 /// A partial-aggregation request a TableSource may execute close to the
@@ -50,6 +54,32 @@ struct RemotePartialResult {
   int64_t rows_scanned = 0;
   int64_t rows_returned = 0;
   std::vector<RemotePartialGroup> groups;
+};
+
+/// One columnar batch of scan rows: the column-chunked rows plus how the
+/// `ssid` pseudo-column resolves for them. Live scans carry no ssid;
+/// snapshot (and versions) scans report one constant resolved version per
+/// batch, matching what the row callbacks would have passed per row.
+struct ScanBatch {
+  std::shared_ptr<const kv::ColumnBatch> rows;
+  /// The `ssid` pseudo-column value of every row, or nullopt for live scans
+  /// (the pseudo-column then falls through to a stored field of that name,
+  /// exactly like the row path).
+  std::optional<kv::Value> ssid;
+};
+
+/// Pull cursor over one partition's columnar batches. Obtained per partition
+/// from `TableSource::OpenBatchReader`; distinct partitions may be read
+/// concurrently.
+class BatchReader {
+ public:
+  virtual ~BatchReader() = default;
+
+  /// Fills `*out` with the next batch and returns true, or returns false at
+  /// end of partition. Batches must cover exactly the rows `ScanPartition`
+  /// would emit, in the same order — the vectorized engine's results are
+  /// differentially tested against the row engine row for row.
+  virtual Result<bool> NextBatch(ScanBatch* out) = 0;
 };
 
 /// Partition-addressable access to one base table, opened for one scan. The
@@ -94,6 +124,21 @@ class TableSource {
     (void)predicate_sql;
     (void)local_timestamp_micros;
   }
+
+  /// Optional capability: serve `partition` as columnar batches instead of
+  /// row callbacks. Null means this source (or this partition) cannot — the
+  /// executor then streams rows through `ScanPartition`, which stays the
+  /// universal fallback (virtual tables, joins, remote sources). Like
+  /// ScanPartition, readers for distinct partitions may run concurrently.
+  virtual std::unique_ptr<BatchReader> OpenBatchReader(
+      int32_t partition) const {
+    (void)partition;
+    return nullptr;
+  }
+
+  /// True if OpenBatchReader may return non-null (plan/EXPLAIN probing
+  /// without building a batch).
+  virtual bool SupportsBatches() const { return false; }
 
   /// Optional capability: fold `partition` remotely per `spec` instead of
   /// streaming its rows. Returns false if the source (or this particular
@@ -158,6 +203,12 @@ struct ExecStats {
   bool used_pushdown = false;
   /// True if a key-equality restriction routed to point lookups.
   bool used_point_lookup = false;
+  /// True if at least one partition was scanned as columnar batches.
+  bool used_vectorized = false;
+  /// Columnar batches consumed, and the rows they carried (those rows are
+  /// also counted in rows_scanned).
+  int64_t batches_scanned = 0;
+  int64_t batch_rows = 0;
 };
 
 struct ExecOptions {
@@ -172,6 +223,10 @@ struct ExecOptions {
   /// Push the WHERE clause (and key equalities) into base-table scans of
   /// join-free statements. Off = filter after materialization, as before.
   bool enable_pushdown = true;
+  /// Scan sources that offer columnar batches through the vectorized engine
+  /// (typed-column filter and aggregate loops). Off = row callbacks
+  /// everywhere; results are identical either way.
+  bool enable_vectorized = true;
 
   /// Optional out-param for scan instrumentation.
   ExecStats* stats = nullptr;

@@ -1,0 +1,47 @@
+#ifndef SQUERY_SQL_GROUP_TABLE_H_
+#define SQUERY_SQL_GROUP_TABLE_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "kv/object.h"
+#include "kv/value.h"
+#include "sql/aggregate.h"
+
+namespace sq::sql {
+
+/// Hash over a composite group key.
+struct GroupKeyHash {
+  size_t operator()(const std::vector<kv::Value>& key) const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (const kv::Value& v : key) {
+      h = sq::CombineHashes(h, v.Hash());
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// One group's partial state: the first row seen (scan order) as the
+/// representative for non-aggregate expressions, plus one AggState per
+/// aggregate call.
+struct GroupData {
+  std::vector<kv::Value> key;
+  kv::Object representative;
+  std::vector<AggState> aggs;
+};
+
+/// Groups in first-seen order (kept deterministic so parallel and
+/// sequential execution emit rows identically), with a hash index. Shared
+/// between the executor's row-at-a-time fold and the vectorized batch fold,
+/// which is what lets one partition mix both engines mid-scan and still
+/// merge bit-identically.
+struct GroupTable {
+  std::unordered_map<std::vector<kv::Value>, size_t, GroupKeyHash> index;
+  std::vector<GroupData> groups;
+};
+
+}  // namespace sq::sql
+
+#endif  // SQUERY_SQL_GROUP_TABLE_H_

@@ -1,0 +1,822 @@
+#include "sql/vectorized.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "kv/columnar.h"
+
+namespace sq::sql {
+
+namespace {
+
+using kv::Column;
+using kv::ColumnBatch;
+using kv::Object;
+using kv::Value;
+using kv::ValueType;
+
+/// In-place selection-vector compaction: keeps rows where `pass(r)` is true,
+/// preserving order. `pass` must be branch-predictable cheap; the compaction
+/// itself is branch-free.
+template <typename F>
+void FilterSel(std::vector<uint32_t>* sel, const F& pass) {
+  std::vector<uint32_t>& s = *sel;
+  size_t n = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    const uint32_t r = s[i];
+    s[n] = r;
+    n += static_cast<size_t>(pass(r));
+  }
+  s.resize(n);
+}
+
+/// Scalar comparison spelled exactly like eval's Value kernel (kLe as
+/// !(rhs < lhs) etc.), so typed loops and Value comparisons agree.
+template <typename T, typename U>
+bool CmpScalar(BinaryOp op, const T& x, const U& y) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return x == y;
+    case BinaryOp::kNe:
+      return x != y;
+    case BinaryOp::kLt:
+      return x < y;
+    case BinaryOp::kLe:
+      return !(y < x);
+    case BinaryOp::kGt:
+      return y < x;
+    case BinaryOp::kGe:
+      return !(x < y);
+    default:
+      return false;
+  }
+}
+
+/// Mirror-image op for `literal <op> column` conjuncts, so the fast path
+/// can always keep the column on the left.
+BinaryOp FlipComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return BinaryOp::kGt;
+    case BinaryOp::kLe:
+      return BinaryOp::kGe;
+    case BinaryOp::kGt:
+      return BinaryOp::kLt;
+    case BinaryOp::kGe:
+      return BinaryOp::kLe;
+    default:
+      return op;  // kEq / kNe are symmetric
+  }
+}
+
+bool IsComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+/// Compiled expression node: the Expr tree with column references resolved
+/// to RefInfo slots and function names pre-classified.
+struct CompiledScan::Node {
+  ExprKind kind = ExprKind::kLiteral;
+  Value literal;
+  int slot = -1;  // kColumnRef: index into CompiledScan::refs_
+  UnaryOp unary_op = UnaryOp::kNot;
+  BinaryOp binary_op = BinaryOp::kEq;
+  std::string func;  // kFuncCall
+  bool is_aggregate = false;
+  std::vector<std::unique_ptr<Node>> children;
+
+  /// One evaluator for both engines: `env.Resolve(slot)` supplies column
+  /// references, everything else mirrors EvalScalarImpl exactly (AND/OR
+  /// short-circuit, two-valued NULL comparison, error texts).
+  template <typename Env>
+  Result<Value> Eval(const Env& env, const EvalContext& ctx) const {
+    switch (kind) {
+      case ExprKind::kLiteral:
+        return literal;
+      case ExprKind::kColumnRef:
+        return env.Resolve(slot);
+      case ExprKind::kUnary: {
+        SQ_ASSIGN_OR_RETURN(Value operand, children[0]->Eval(env, ctx));
+        if (unary_op == UnaryOp::kNot) {
+          return Value(!operand.Truthy());
+        }
+        if (unary_op == UnaryOp::kIsNull) {
+          return Value(operand.is_null());
+        }
+        if (unary_op == UnaryOp::kIsNotNull) {
+          return Value(!operand.is_null());
+        }
+        if (operand.is_null()) return Value::Null();
+        if (operand.is_int64()) return Value(-operand.int64_value());
+        if (operand.is_double()) return Value(-operand.double_value());
+        return Status::InvalidArgument("negation of non-numeric value");
+      }
+      case ExprKind::kBinary: {
+        if (binary_op == BinaryOp::kAnd) {
+          SQ_ASSIGN_OR_RETURN(Value lhs, children[0]->Eval(env, ctx));
+          if (!lhs.Truthy()) return Value(false);
+          SQ_ASSIGN_OR_RETURN(Value rhs, children[1]->Eval(env, ctx));
+          return Value(rhs.Truthy());
+        }
+        if (binary_op == BinaryOp::kOr) {
+          SQ_ASSIGN_OR_RETURN(Value lhs, children[0]->Eval(env, ctx));
+          if (lhs.Truthy()) return Value(true);
+          SQ_ASSIGN_OR_RETURN(Value rhs, children[1]->Eval(env, ctx));
+          return Value(rhs.Truthy());
+        }
+        SQ_ASSIGN_OR_RETURN(Value lhs, children[0]->Eval(env, ctx));
+        SQ_ASSIGN_OR_RETURN(Value rhs, children[1]->Eval(env, ctx));
+        if (IsComparison(binary_op)) {
+          return detail::CompareValues(binary_op, lhs, rhs);
+        }
+        return detail::ArithmeticValues(binary_op, lhs, rhs);
+      }
+      case ExprKind::kFuncCall: {
+        if (func == "LOCALTIMESTAMP") {
+          return Value(ctx.local_timestamp_micros);
+        }
+        if (is_aggregate) {
+          return Status::InvalidArgument("aggregate function " + func +
+                                         " in scalar context");
+        }
+        return Status::Unimplemented("unknown function " + func);
+      }
+    }
+    return Status::Internal("unhandled expression kind");
+  }
+};
+
+/// Per-batch state: column ordinals for every reference slot, resolved once
+/// per batch, plus the batch's constant ssid pseudo-column (if any).
+struct CompiledScan::BatchCtx {
+  const CompiledScan* scan = nullptr;
+  const ColumnBatch* rows = nullptr;
+  const Value* ssid = nullptr;  // constant per-batch pseudo-column, or null
+  struct Ref {
+    int qual_col = -1;   // ordinal of the qualified stored field, or -1
+    int field_col = -1;  // ordinal of the bare stored field, or -1
+  };
+  std::vector<Ref> refs;
+
+  Result<Value> Resolve(int slot, size_t row) const {
+    const RefInfo& info = scan->refs_[slot];
+    const Ref& br = refs[slot];
+    if (br.qual_col >= 0 && rows->column(br.qual_col).present(row)) {
+      return rows->column(br.qual_col).At(row);
+    }
+    switch (info.kind) {
+      case RefInfo::Kind::kKey:
+        return rows->keys()[row];
+      case RefInfo::Kind::kSsid:
+        if (ssid != nullptr) return *ssid;
+        break;
+      case RefInfo::Kind::kField:
+        break;
+    }
+    if (br.field_col < 0) return Value::Null();
+    return rows->column(br.field_col).At(row);
+  }
+
+  Result<Value> Eval(const Node& node, size_t row,
+                     const EvalContext& ctx) const {
+    struct CellEnv {
+      const BatchCtx* b;
+      size_t row;
+      Result<Value> Resolve(int slot) const { return b->Resolve(slot, row); }
+    };
+    return node.Eval(CellEnv{this, row}, ctx);
+  }
+
+  /// The tuple a scan row materializes to — byte-identical to the row
+  /// engine's MaterializeRow (pseudo-columns shadow stored fields).
+  Object MaterializeTuple(size_t row) const {
+    Object tuple = rows->MaterializeRow(row);
+    tuple.Set("key", rows->keys()[row]);
+    tuple.Set("partitionKey", rows->keys()[row]);
+    if (ssid != nullptr) {
+      tuple.Set("ssid", *ssid);
+    }
+    return tuple;
+  }
+
+  /// `column <cmp> literal` over the selection vector as a tight typed loop.
+  /// Returns false when this conjunct needs the generic evaluator (per-row
+  /// qualified-field fallback, or a column/literal shape with no fast loop).
+  bool ApplyCmp(const Conjunct& c, std::vector<uint32_t>* sel) const {
+    const RefInfo& info = scan->refs_[c.cmp_slot];
+    const Ref& br = refs[c.cmp_slot];
+    // A qualified field that exists in this batch shadows the bare
+    // resolution per row; keep the generic path for exactness.
+    if (br.qual_col >= 0) return false;
+    const Value& lit = c.cmp_literal;
+    if (lit.is_null()) {
+      // NULL compares false on either side, for every row.
+      sel->clear();
+      return true;
+    }
+    int field_col = -1;
+    switch (info.kind) {
+      case RefInfo::Kind::kKey: {
+        const std::vector<Value>& keys = rows->keys();
+        FilterSel(sel, [&](uint32_t r) {
+          return detail::CompareValues(c.cmp_op, keys[r], lit).bool_value();
+        });
+        return true;
+      }
+      case RefInfo::Kind::kSsid:
+        if (ssid != nullptr) {
+          // Constant for the whole batch: keep all or drop all.
+          if (!detail::CompareValues(c.cmp_op, *ssid, lit).bool_value()) {
+            sel->clear();
+          }
+          return true;
+        }
+        field_col = br.field_col;
+        break;
+      case RefInfo::Kind::kField:
+        field_col = br.field_col;
+        break;
+    }
+    if (field_col < 0) {
+      sel->clear();  // every cell NULL -> comparison false
+      return true;
+    }
+    const Column& col = rows->column(field_col);
+    if (col.mixed()) {
+      const std::vector<Value>& vals = col.values();  // absent cells NULL
+      FilterSel(sel, [&](uint32_t r) {
+        return detail::CompareValues(c.cmp_op, vals[r], lit).bool_value();
+      });
+      return true;
+    }
+    const std::vector<uint8_t>& present = col.presence();
+    // A typed column whose type cannot numerically or identically compare
+    // with the literal compares by type order: value-independent, so the
+    // whole column keeps or drops its present cells at once.
+    const auto constant_by_type = [&](const Value& probe) {
+      if (detail::CompareValues(c.cmp_op, probe, lit).bool_value()) {
+        FilterSel(sel, [&](uint32_t r) { return present[r] != 0; });
+      } else {
+        sel->clear();
+      }
+    };
+    switch (col.type()) {
+      case ValueType::kNull:
+        sel->clear();  // no present cells
+        return true;
+      case ValueType::kInt64: {
+        const std::vector<int64_t>& v = col.ints();
+        if (lit.is_int64()) {
+          const int64_t x = lit.int64_value();
+          FilterSel(sel, [&](uint32_t r) {
+            return present[r] != 0 && CmpScalar(c.cmp_op, v[r], x);
+          });
+        } else if (lit.is_double()) {
+          const double x = lit.double_value();
+          FilterSel(sel, [&](uint32_t r) {
+            return present[r] != 0 &&
+                   CmpScalar(c.cmp_op, static_cast<double>(v[r]), x);
+          });
+        } else {
+          constant_by_type(Value(int64_t{0}));
+        }
+        return true;
+      }
+      case ValueType::kDouble: {
+        const std::vector<double>& v = col.doubles();
+        if (lit.is_numeric()) {
+          const double x = lit.AsDouble();
+          FilterSel(sel, [&](uint32_t r) {
+            return present[r] != 0 && CmpScalar(c.cmp_op, v[r], x);
+          });
+        } else {
+          constant_by_type(Value(0.0));
+        }
+        return true;
+      }
+      case ValueType::kString: {
+        const std::vector<std::string>& v = col.strings();
+        if (lit.is_string()) {
+          const std::string& x = lit.string_value();
+          FilterSel(sel, [&](uint32_t r) {
+            return present[r] != 0 && CmpScalar(c.cmp_op, v[r], x);
+          });
+        } else {
+          constant_by_type(Value(std::string()));
+        }
+        return true;
+      }
+      case ValueType::kBool: {
+        const std::vector<uint8_t>& v = col.bools();
+        if (lit.is_bool()) {
+          const bool x = lit.bool_value();
+          FilterSel(sel, [&](uint32_t r) {
+            return present[r] != 0 && CmpScalar(c.cmp_op, v[r] != 0, x);
+          });
+        } else {
+          constant_by_type(Value(false));
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+CompiledScan::CompiledScan(const Expr* predicate,
+                           const std::vector<const Expr*>& group_by,
+                           const std::vector<const Expr*>& aggregates) {
+  if (predicate != nullptr) {
+    // Flatten the top-level AND tree, preserving left-to-right order (the
+    // order short-circuit evaluation visits conjuncts in).
+    std::vector<const Expr*> flat;
+    const std::function<void(const Expr*)> collect = [&](const Expr* e) {
+      if (e->kind == ExprKind::kBinary && e->binary_op == BinaryOp::kAnd) {
+        collect(e->children[0].get());
+        collect(e->children[1].get());
+        return;
+      }
+      flat.push_back(e);
+    };
+    collect(predicate);
+    conjuncts_.reserve(flat.size());
+    for (const Expr* e : flat) {
+      Conjunct c;
+      bool can_error = false;
+      c.node = CompileNode(*e, &can_error);
+      c.can_error = can_error;
+      predicate_can_error_ = predicate_can_error_ || can_error;
+      // `column <cmp> literal` fast path, normalized to column-on-left.
+      if (e->kind == ExprKind::kBinary && IsComparison(e->binary_op)) {
+        const Expr* lhs = e->children[0].get();
+        const Expr* rhs = e->children[1].get();
+        if (lhs->kind == ExprKind::kColumnRef &&
+            rhs->kind == ExprKind::kLiteral) {
+          c.cmp_slot = c.node->children[0]->slot;
+          c.cmp_op = e->binary_op;
+          c.cmp_literal = rhs->literal;
+        } else if (rhs->kind == ExprKind::kColumnRef &&
+                   lhs->kind == ExprKind::kLiteral) {
+          c.cmp_slot = c.node->children[1]->slot;
+          c.cmp_op = FlipComparison(e->binary_op);
+          c.cmp_literal = lhs->literal;
+        }
+      }
+      conjuncts_.push_back(std::move(c));
+    }
+  }
+  group_by_.reserve(group_by.size());
+  for (const Expr* g : group_by) {
+    bool can_error = false;
+    group_by_.push_back(CompileNode(*g, &can_error));
+    group_by_can_error_ = group_by_can_error_ || can_error;
+  }
+  aggs_.reserve(aggregates.size());
+  for (const Expr* call : aggregates) {
+    Agg agg;
+    agg.call = call;
+    if (!call->star && !call->children.empty()) {
+      bool can_error = false;
+      agg.arg = CompileNode(*call->children[0], &can_error);
+      agg.arg_can_error = can_error;
+      if (agg.arg->kind == ExprKind::kColumnRef) {
+        agg.arg_slot = agg.arg->slot;
+      }
+    }
+    aggs_.push_back(std::move(agg));
+  }
+}
+
+CompiledScan::~CompiledScan() = default;
+
+std::unique_ptr<CompiledScan::Node> CompiledScan::CompileNode(
+    const Expr& expr, bool* can_error) {
+  auto node = std::make_unique<Node>();
+  node->kind = expr.kind;
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      node->literal = expr.literal;
+      break;
+    case ExprKind::kColumnRef: {
+      RefInfo info;
+      if (!expr.table.empty()) {
+        info.qualified = expr.table + "." + expr.column;
+      }
+      info.field = expr.column;
+      if (expr.column == "key" || expr.column == "partitionKey") {
+        info.kind = RefInfo::Kind::kKey;
+      } else if (expr.column == "ssid") {
+        info.kind = RefInfo::Kind::kSsid;
+      }
+      node->slot = static_cast<int>(refs_.size());
+      refs_.push_back(std::move(info));
+      break;
+    }
+    case ExprKind::kUnary:
+      node->unary_op = expr.unary_op;
+      node->children.push_back(CompileNode(*expr.children[0], can_error));
+      if (expr.unary_op == UnaryOp::kNeg) *can_error = true;
+      break;
+    case ExprKind::kBinary:
+      node->binary_op = expr.binary_op;
+      node->children.push_back(CompileNode(*expr.children[0], can_error));
+      node->children.push_back(CompileNode(*expr.children[1], can_error));
+      if (!IsComparison(expr.binary_op) &&
+          expr.binary_op != BinaryOp::kAnd &&
+          expr.binary_op != BinaryOp::kOr) {
+        *can_error = true;  // arithmetic errors on non-numeric operands
+      }
+      break;
+    case ExprKind::kFuncCall:
+      node->func = expr.column;
+      node->is_aggregate = IsAggregateFunction(expr.column);
+      if (expr.column != "LOCALTIMESTAMP") *can_error = true;
+      break;
+  }
+  return node;
+}
+
+Result<bool> CompiledScan::PredicatePasses(const ScanRowView& row,
+                                           const EvalContext& ctx) const {
+  // Eval environment over an unmaterialized scan row (the row engine's
+  // pushdown hot path): pseudo-column dispatch decided at compile time.
+  struct RowEnv {
+    const std::vector<RefInfo>* refs;
+    const ScanRowView* row;
+
+    Result<Value> Resolve(int slot) const {
+      const RefInfo& info = (*refs)[slot];
+      if (!info.qualified.empty() && row->value->Has(info.qualified)) {
+        return row->value->Get(info.qualified);
+      }
+      switch (info.kind) {
+        case RefInfo::Kind::kKey:
+          return *row->key;
+        case RefInfo::Kind::kSsid:
+          if (row->ssid != nullptr) return *row->ssid;
+          break;
+        case RefInfo::Kind::kField:
+          break;
+      }
+      return row->value->Get(info.field);
+    }
+  };
+  const RowEnv env{&refs_, &row};
+  for (const Conjunct& c : conjuncts_) {
+    SQ_ASSIGN_OR_RETURN(Value v, c.node->Eval(env, ctx));
+    if (!v.Truthy()) return false;
+  }
+  return true;
+}
+
+CompiledScan::BatchCtx CompiledScan::Bind(const ScanBatch& batch) const {
+  BatchCtx b;
+  b.scan = this;
+  b.rows = batch.rows.get();
+  b.ssid = batch.ssid.has_value() ? &*batch.ssid : nullptr;
+  b.refs.resize(refs_.size());
+  for (size_t i = 0; i < refs_.size(); ++i) {
+    const RefInfo& info = refs_[i];
+    if (!info.qualified.empty()) {
+      b.refs[i].qual_col = b.rows->FindColumn(info.qualified);
+    }
+    if (info.kind == RefInfo::Kind::kField ||
+        (info.kind == RefInfo::Kind::kSsid && b.ssid == nullptr)) {
+      b.refs[i].field_col = b.rows->FindColumn(info.field);
+    }
+  }
+  return b;
+}
+
+Status CompiledScan::FilterRows(const BatchCtx& b, const EvalContext& ctx,
+                                std::vector<uint32_t>* sel) const {
+  const ColumnBatch& rows = *b.rows;
+  const size_t n = rows.row_count();
+  sel->clear();
+  sel->reserve(n);
+  if (rows.has_tombstones()) {
+    // Scan batches from the query layer are tombstone-free (merged views);
+    // skip deletion markers defensively should a raw log batch arrive.
+    for (uint32_t r = 0; r < n; ++r) {
+      if (!rows.tombstone(r)) sel->push_back(r);
+    }
+  } else {
+    for (uint32_t r = 0; r < n; ++r) sel->push_back(r);
+  }
+  if (conjuncts_.empty()) return Status::OK();
+  if (predicate_can_error_) {
+    // A conjunct that can raise an error must see rows in scan order and
+    // only rows that passed the conjuncts before it, or the surfaced error
+    // could differ from the row engine's. Row-major short-circuit gives
+    // exactly that.
+    size_t kept = 0;
+    for (const uint32_t r : *sel) {
+      bool pass = true;
+      for (const Conjunct& c : conjuncts_) {
+        SQ_ASSIGN_OR_RETURN(Value v, b.Eval(*c.node, r, ctx));
+        if (!v.Truthy()) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) (*sel)[kept++] = r;
+    }
+    sel->resize(kept);
+    return Status::OK();
+  }
+  // Error-free predicate: conjunct-at-a-time over the shrinking selection
+  // vector. Evaluation order across rows does not matter without errors, so
+  // each conjunct may run as one tight loop.
+  for (const Conjunct& c : conjuncts_) {
+    if (sel->empty()) break;
+    if (c.cmp_slot >= 0 && b.ApplyCmp(c, sel)) continue;
+    size_t kept = 0;
+    for (const uint32_t r : *sel) {
+      Result<Value> v = b.Eval(*c.node, r, ctx);
+      if (!v.ok()) return v.status();  // unreachable: conjunct is error-free
+      if (v->Truthy()) (*sel)[kept++] = r;
+    }
+    sel->resize(kept);
+  }
+  return Status::OK();
+}
+
+Status CompiledScan::FoldRowMajor(const BatchCtx& b, const EvalContext& ctx,
+                                  const std::vector<uint32_t>& sel,
+                                  GroupTable* groups) const {
+  static const Value kCountStarArg(int64_t{1});
+  for (const uint32_t r : sel) {
+    std::vector<Value> key;
+    key.reserve(group_by_.size());
+    for (const auto& expr : group_by_) {
+      SQ_ASSIGN_OR_RETURN(Value v, b.Eval(*expr, r, ctx));
+      key.push_back(std::move(v));
+    }
+    auto [it, inserted] = groups->index.try_emplace(key,
+                                                    groups->groups.size());
+    if (inserted) {
+      GroupData group;
+      group.key = std::move(key);
+      group.representative = b.MaterializeTuple(r);
+      group.aggs.resize(aggs_.size());
+      groups->groups.push_back(std::move(group));
+    }
+    GroupData& group = groups->groups[it->second];
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      const Agg& agg = aggs_[a];
+      if (agg.call->star || agg.call->children.empty()) {
+        SQ_RETURN_IF_ERROR(
+            AccumulateAggregate(*agg.call, kCountStarArg, &group.aggs[a]));
+        continue;
+      }
+      SQ_ASSIGN_OR_RETURN(Value v, b.Eval(*agg.arg, r, ctx));
+      SQ_RETURN_IF_ERROR(AccumulateAggregate(*agg.call, v, &group.aggs[a]));
+    }
+  }
+  return Status::OK();
+}
+
+Status CompiledScan::FoldColumnMajor(const Agg& agg, const BatchCtx& b,
+                                     const EvalContext& ctx,
+                                     const std::vector<uint32_t>& sel,
+                                     AggState* state) const {
+  static const Value kCountStarArg(int64_t{1});
+  if (agg.call->star) {
+    state->count += static_cast<int64_t>(sel.size());
+    return Status::OK();
+  }
+  const std::string& fn = agg.call->column;
+  if (!agg.call->distinct_arg && agg.arg_slot >= 0) {
+    const RefInfo& info = refs_[agg.arg_slot];
+    const BatchCtx::Ref& br = b.refs[agg.arg_slot];
+    const bool bare_field =
+        br.qual_col < 0 &&
+        (info.kind == RefInfo::Kind::kField ||
+         (info.kind == RefInfo::Kind::kSsid && b.ssid == nullptr));
+    if (bare_field) {
+      if (br.field_col < 0) return Status::OK();  // all NULL: skipped
+      const Column& col = b.rows->column(br.field_col);
+      if (!col.mixed()) {
+        const std::vector<uint8_t>& present = col.presence();
+        if (col.type() == ValueType::kNull) return Status::OK();
+        if (fn == "COUNT") {
+          for (const uint32_t r : sel) {
+            state->count += present[r] != 0 ? 1 : 0;
+          }
+          return Status::OK();
+        }
+        if (col.type() == ValueType::kInt64) {
+          const std::vector<int64_t>& v = col.ints();
+          if (fn == "SUM" || fn == "AVG") {
+            for (const uint32_t r : sel) {
+              if (present[r] == 0) continue;
+              ++state->count;
+              state->isum += v[r];
+              state->sum += static_cast<double>(v[r]);
+            }
+            return Status::OK();
+          }
+          if (fn == "MIN" || fn == "MAX") {
+            const bool min = fn == "MIN";
+            bool has = false;
+            int64_t best = 0;
+            for (const uint32_t r : sel) {
+              if (present[r] == 0) continue;
+              ++state->count;
+              if (!has || (min ? v[r] < best : best < v[r])) {
+                best = v[r];
+                has = true;
+              }
+            }
+            if (has) {
+              const Value bv(best);
+              if (!state->has_best ||
+                  (min ? bv < state->best : state->best < bv)) {
+                state->best = bv;
+              }
+              state->has_best = true;
+            }
+            return Status::OK();
+          }
+        }
+        if (col.type() == ValueType::kDouble) {
+          const std::vector<double>& v = col.doubles();
+          if (fn == "SUM" || fn == "AVG") {
+            for (const uint32_t r : sel) {
+              if (present[r] == 0) continue;
+              ++state->count;
+              state->all_int = false;
+              state->sum += v[r];
+            }
+            return Status::OK();
+          }
+          if (fn == "MIN" || fn == "MAX") {
+            const bool min = fn == "MIN";
+            bool has = false;
+            double best = 0.0;
+            for (const uint32_t r : sel) {
+              if (present[r] == 0) continue;
+              ++state->count;
+              if (!has || (min ? v[r] < best : best < v[r])) {
+                best = v[r];
+                has = true;
+              }
+            }
+            if (has) {
+              const Value bv(best);
+              if (!state->has_best ||
+                  (min ? bv < state->best : state->best < bv)) {
+                state->best = bv;
+              }
+              state->has_best = true;
+            }
+            return Status::OK();
+          }
+        }
+        if (col.type() == ValueType::kString &&
+            (fn == "MIN" || fn == "MAX")) {
+          const std::vector<std::string>& v = col.strings();
+          const bool min = fn == "MIN";
+          bool has = false;
+          size_t best = 0;
+          for (const uint32_t r : sel) {
+            if (present[r] == 0) continue;
+            ++state->count;
+            if (!has || (min ? v[r] < v[best] : v[best] < v[r])) {
+              best = r;
+              has = true;
+            }
+          }
+          if (has) {
+            const Value bv(v[best]);
+            if (!state->has_best ||
+                (min ? bv < state->best : state->best < bv)) {
+              state->best = bv;
+            }
+            state->has_best = true;
+          }
+          return Status::OK();
+        }
+      }
+    }
+  }
+  // Generic cell loop (mixed columns, DISTINCT, computed arguments). Only
+  // reached for folds classified error-free; within-aggregate row order is
+  // preserved, which is what float summation and MIN/MAX ties need.
+  for (const uint32_t r : sel) {
+    Value v = kCountStarArg;
+    if (agg.arg != nullptr) {
+      SQ_ASSIGN_OR_RETURN(v, b.Eval(*agg.arg, r, ctx));
+    }
+    SQ_RETURN_IF_ERROR(AccumulateAggregate(*agg.call, v, state));
+  }
+  return Status::OK();
+}
+
+Status CompiledScan::AccumulateBatch(const ScanBatch& batch,
+                                     const EvalContext& ctx,
+                                     GroupTable* groups,
+                                     int64_t* rows_returned) const {
+  const BatchCtx b = Bind(batch);
+  std::vector<uint32_t> sel;
+  SQ_RETURN_IF_ERROR(FilterRows(b, ctx, &sel));
+  *rows_returned += static_cast<int64_t>(sel.size());
+  if (sel.empty()) return Status::OK();
+  // Column-major folds reorder evaluation across rows and aggregates, which
+  // is only safe when no fold can error (an error's row/aggregate position
+  // must match the row engine). GROUP BY always folds row-major: group
+  // assignment is inherently per-row.
+  bool row_major = !group_by_.empty() || group_by_can_error_;
+  for (const Agg& agg : aggs_) {
+    if (row_major) break;
+    if (agg.call->star) continue;
+    if (agg.call->children.empty() ||
+        (agg.call->column != "COUNT" && agg.call->children.size() != 1)) {
+      row_major = true;  // malformed call: per-row arity errors
+      break;
+    }
+    if (agg.arg_can_error) {
+      row_major = true;
+      break;
+    }
+    if ((agg.call->column == "SUM" || agg.call->column == "AVG") &&
+        !agg.call->distinct_arg) {
+      // SUM/AVG error on non-numeric input; prove the argument is
+      // numeric-or-NULL or fold row-major.
+      bool numeric = false;
+      if (agg.arg->kind == ExprKind::kLiteral) {
+        numeric = agg.arg->literal.is_null() || agg.arg->literal.is_numeric();
+      } else if (agg.arg_slot >= 0) {
+        const RefInfo& info = refs_[agg.arg_slot];
+        const BatchCtx::Ref& br = b.refs[agg.arg_slot];
+        if (br.qual_col < 0) {
+          if (info.kind == RefInfo::Kind::kSsid && b.ssid != nullptr) {
+            numeric = b.ssid->is_numeric();
+          } else if (info.kind == RefInfo::Kind::kField ||
+                     info.kind == RefInfo::Kind::kSsid) {
+            if (br.field_col < 0) {
+              numeric = true;  // all NULL: fold never runs
+            } else {
+              const Column& col = b.rows->column(br.field_col);
+              numeric = !col.mixed() && (col.type() == ValueType::kNull ||
+                                         col.type() == ValueType::kInt64 ||
+                                         col.type() == ValueType::kDouble);
+            }
+          }
+        }
+      }
+      if (!numeric) {
+        row_major = true;
+        break;
+      }
+    }
+  }
+  if (row_major) {
+    return FoldRowMajor(b, ctx, sel, groups);
+  }
+  auto [it, inserted] =
+      groups->index.try_emplace(std::vector<Value>{}, groups->groups.size());
+  if (inserted) {
+    GroupData group;
+    group.representative = b.MaterializeTuple(sel[0]);
+    group.aggs.resize(aggs_.size());
+    groups->groups.push_back(std::move(group));
+  }
+  GroupData& group = groups->groups[it->second];
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    SQ_RETURN_IF_ERROR(FoldColumnMajor(aggs_[a], b, ctx, sel,
+                                       &group.aggs[a]));
+  }
+  return Status::OK();
+}
+
+Status CompiledScan::FilterBatch(const ScanBatch& batch,
+                                 const EvalContext& ctx,
+                                 std::vector<kv::Object>* out,
+                                 int64_t* rows_returned) const {
+  const BatchCtx b = Bind(batch);
+  std::vector<uint32_t> sel;
+  SQ_RETURN_IF_ERROR(FilterRows(b, ctx, &sel));
+  *rows_returned += static_cast<int64_t>(sel.size());
+  out->reserve(out->size() + sel.size());
+  for (const uint32_t r : sel) {
+    out->push_back(b.MaterializeTuple(r));
+  }
+  return Status::OK();
+}
+
+}  // namespace sq::sql

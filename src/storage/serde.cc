@@ -161,6 +161,168 @@ bool Reader::ReadValue(kv::Value* out) {
   return false;
 }
 
+namespace {
+
+constexpr uint8_t kColumnBatchVersion = 1;
+
+// One byte per row (0/1) packed LSB-first into ceil(n/8) bytes.
+void PutBitmap(std::string* buf, const std::vector<uint8_t>& bits) {
+  for (size_t i = 0; i < bits.size(); i += 8) {
+    uint8_t packed = 0;
+    for (size_t j = 0; j < 8 && i + j < bits.size(); ++j) {
+      if (bits[i + j] != 0) packed |= static_cast<uint8_t>(1u << j);
+    }
+    PutU8(buf, packed);
+  }
+}
+
+bool ReadBitmap(Reader* reader, size_t n, std::vector<uint8_t>* out) {
+  out->assign(n, 0);
+  for (size_t i = 0; i < n; i += 8) {
+    uint8_t packed = 0;
+    if (!reader->ReadU8(&packed)) return false;
+    for (size_t j = 0; j < 8 && i + j < n; ++j) {
+      (*out)[i + j] = (packed >> j) & 1;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void PutColumnBatch(std::string* buf, const kv::ColumnBatch& batch) {
+  const size_t rows = batch.row_count();
+  PutU8(buf, kColumnBatchVersion);
+  PutU32(buf, static_cast<uint32_t>(rows));
+  PutU32(buf, static_cast<uint32_t>(batch.column_count()));
+  for (size_t r = 0; r < rows; ++r) PutValue(buf, batch.keys()[r]);
+  for (size_t r = 0; r < rows; ++r) PutI64(buf, batch.ssids()[r]);
+  PutBitmap(buf, batch.tombstones());
+  for (size_t c = 0; c < batch.column_count(); ++c) {
+    const kv::Column& col = batch.column(c);
+    PutString(buf, batch.names()[c]);
+    PutU8(buf, col.mixed() ? 1 : 0);
+    PutU8(buf, static_cast<uint8_t>(col.type()));
+    PutBitmap(buf, col.presence());
+    // Only the present cells travel; the bitmap restores their positions.
+    for (size_t r = 0; r < rows; ++r) {
+      if (!col.present(r)) continue;
+      if (col.mixed()) {
+        PutValue(buf, col.values()[r]);
+        continue;
+      }
+      switch (col.type()) {
+        case kv::ValueType::kBool:
+          PutU8(buf, col.bools()[r]);
+          break;
+        case kv::ValueType::kInt64:
+          PutI64(buf, col.ints()[r]);
+          break;
+        case kv::ValueType::kDouble: {
+          uint64_t bits = 0;
+          const double d = col.doubles()[r];
+          std::memcpy(&bits, &d, sizeof(bits));
+          PutU64(buf, bits);
+          break;
+        }
+        case kv::ValueType::kString:
+          PutString(buf, col.strings()[r]);
+          break;
+        case kv::ValueType::kNull:
+          break;
+      }
+    }
+  }
+}
+
+bool ReadColumnBatch(Reader* reader, kv::ColumnBatch* out) {
+  uint8_t version = 0;
+  uint32_t rows = 0;
+  uint32_t cols = 0;
+  if (!reader->ReadU8(&version) || version != kColumnBatchVersion) {
+    return false;
+  }
+  if (!reader->ReadU32(&rows) || !reader->ReadU32(&cols)) return false;
+  // A row costs at least one key byte and a column at least a name length;
+  // reject counts that cannot fit before allocating.
+  if (rows > reader->remaining() || cols > reader->remaining()) return false;
+
+  std::vector<kv::Value> keys(rows);
+  for (uint32_t r = 0; r < rows; ++r) {
+    if (!reader->ReadValue(&keys[r])) return false;
+  }
+  std::vector<int64_t> ssids(rows);
+  for (uint32_t r = 0; r < rows; ++r) {
+    if (!reader->ReadI64(&ssids[r])) return false;
+  }
+  std::vector<uint8_t> tombstones;
+  if (!ReadBitmap(reader, rows, &tombstones)) return false;
+  out->Reserve(rows);
+  for (uint32_t r = 0; r < rows; ++r) {
+    if (tombstones[r] != 0) {
+      out->AppendTombstone(keys[r], ssids[r]);
+    } else {
+      out->AppendRow(keys[r], ssids[r], kv::Object());
+    }
+  }
+
+  for (uint32_t c = 0; c < cols; ++c) {
+    std::string name;
+    uint8_t mixed = 0;
+    uint8_t type_tag = 0;
+    std::vector<uint8_t> present;
+    if (!reader->ReadString(&name) || !reader->ReadU8(&mixed) ||
+        !reader->ReadU8(&type_tag) || !ReadBitmap(reader, rows, &present)) {
+      return false;
+    }
+    const auto type = static_cast<kv::ValueType>(type_tag);
+    if (type_tag > static_cast<uint8_t>(kv::ValueType::kString)) return false;
+    const size_t idx = out->EnsureColumn(name);
+    for (uint32_t r = 0; r < rows; ++r) {
+      if (present[r] == 0) continue;
+      kv::Value v;
+      if (mixed != 0) {
+        if (!reader->ReadValue(&v)) return false;
+      } else {
+        switch (type) {
+          case kv::ValueType::kBool: {
+            uint8_t b = 0;
+            if (!reader->ReadU8(&b)) return false;
+            v = kv::Value(b != 0);
+            break;
+          }
+          case kv::ValueType::kInt64: {
+            int64_t i = 0;
+            if (!reader->ReadI64(&i)) return false;
+            v = kv::Value(i);
+            break;
+          }
+          case kv::ValueType::kDouble: {
+            uint64_t bits = 0;
+            if (!reader->ReadU64(&bits)) return false;
+            double d = 0.0;
+            std::memcpy(&d, &bits, sizeof(d));
+            v = kv::Value(d);
+            break;
+          }
+          case kv::ValueType::kString: {
+            std::string s;
+            if (!reader->ReadString(&s)) return false;
+            v = kv::Value(std::move(s));
+            break;
+          }
+          case kv::ValueType::kNull:
+            // A typed column never stores present NULLs (they demote it to
+            // mixed), so a present cell under a kNull tag is malformed.
+            return false;
+        }
+      }
+      out->SetCell(idx, r, v);
+    }
+  }
+  return true;
+}
+
 bool Reader::ReadObject(kv::Object* out) {
   uint32_t count = 0;
   if (!ReadU32(&count)) return false;

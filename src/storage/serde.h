@@ -5,6 +5,7 @@
 #include <string>
 #include <string_view>
 
+#include "kv/columnar.h"
 #include "kv/object.h"
 #include "kv/value.h"
 
@@ -23,6 +24,13 @@ void PutI64(std::string* buf, int64_t v);
 void PutString(std::string* buf, std::string_view s);
 void PutValue(std::string* buf, const kv::Value& v);
 void PutObject(std::string* buf, const kv::Object& o);
+
+/// Columnar batch encoding (the body of the snapshot log's columnar delta
+/// records): a one-byte encoding version, row metadata (keys, entry ssids,
+/// bit-packed tombstone bitmap), then per-column chunks — field name,
+/// representation tag, bit-packed presence bitmap, and the present cells as
+/// one contiguous typed run.
+void PutColumnBatch(std::string* buf, const kv::ColumnBatch& batch);
 
 /// Bounds-checked forward cursor over an encoded buffer. Every Read* returns
 /// false (and poisons the reader) on truncated or malformed input — a failed
@@ -52,6 +60,10 @@ class Reader {
   size_t pos_ = 0;
   bool ok_ = true;
 };
+
+/// Decodes a PutColumnBatch encoding into `out` (which must be empty).
+/// Returns false on truncated, malformed, or unknown-version input.
+bool ReadColumnBatch(Reader* reader, kv::ColumnBatch* out);
 
 }  // namespace sq::storage
 

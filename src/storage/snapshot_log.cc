@@ -42,7 +42,16 @@ enum RecordType : uint8_t {
   // consumer, logged so recovery can replay the in-flight data the
   // rolled-back upstream will not re-emit.
   kChannelLogRecord = 3,
+  // One partition's delta encoded as a column batch (serde PutColumnBatch,
+  // which carries its own encoding version). Semantically identical to
+  // kDeltaRecord; logs freely mix both — old row segments stay readable and
+  // readers that predate this type skip it as unknown.
+  kColumnarDeltaRecord = 4,
 };
+
+bool IsDeltaRecordType(uint8_t type) {
+  return type == kDeltaRecord || type == kColumnarDeltaRecord;
+}
 
 std::string SegmentFileName(uint64_t seq) {
   char buf[32];
@@ -178,6 +187,49 @@ bool DecodeDelta(std::string_view payload, DecodedDelta* out) {
     out->entries.push_back(std::move(entry));
   }
   return true;
+}
+
+bool DecodeColumnarDelta(std::string_view payload, DecodedDelta* out) {
+  Reader reader(payload);
+  uint8_t type = 0;
+  uint32_t partition = 0;
+  if (!reader.ReadU8(&type) || type != kColumnarDeltaRecord) return false;
+  if (!reader.ReadString(&out->table) || !reader.ReadU32(&partition)) {
+    return false;
+  }
+  out->partition = static_cast<int32_t>(partition);
+  kv::ColumnBatch batch;
+  if (!ReadColumnBatch(&reader, &batch)) return false;
+  out->entries.clear();
+  out->entries.reserve(batch.row_count());
+  for (size_t r = 0; r < batch.row_count(); ++r) {
+    DecodedEntry entry;
+    entry.ssid = batch.ssids()[r];
+    entry.tombstone = batch.tombstone(r);
+    entry.key = batch.keys()[r];
+    if (!entry.tombstone) entry.value = batch.MaterializeRow(r);
+    out->entries.push_back(std::move(entry));
+  }
+  return true;
+}
+
+// Decodes either delta representation into the row form the readers share.
+bool DecodeAnyDelta(uint8_t type, std::string_view payload,
+                    DecodedDelta* out) {
+  if (type == kDeltaRecord) return DecodeDelta(payload, out);
+  if (type == kColumnarDeltaRecord) return DecodeColumnarDelta(payload, out);
+  return false;
+}
+
+std::string EncodeColumnarDeltaPayload(const std::string& table,
+                                       int32_t partition,
+                                       const kv::ColumnBatch& batch) {
+  std::string payload;
+  PutU8(&payload, kColumnarDeltaRecord);
+  PutString(&payload, table);
+  PutU32(&payload, static_cast<uint32_t>(partition));
+  PutColumnBatch(&payload, batch);
+  return payload;
 }
 
 struct DecodedChannelLog {
@@ -365,9 +417,12 @@ Status SnapshotLog::ScanSegmentsLocked() {
                 static_cast<int64_t>(channel_log.records.size());
             return;
           }
-          if (type != kDeltaRecord) return;  // unknown types are skipped
+          if (!IsDeltaRecordType(type)) return;  // unknown types are skipped
           DecodedDelta delta;
-          if (!DecodeDelta(payload, &delta)) return;
+          if (!DecodeAnyDelta(type, payload, &delta) ||
+              delta.entries.empty()) {
+            return;
+          }
           for (const DecodedEntry& entry : delta.entries) {
             bytes_per_ssid_[entry.ssid] +=
                 static_cast<int64_t>(payload.size() / delta.entries.size());
@@ -531,15 +586,28 @@ Status SnapshotLog::AppendDelta(const std::string& table, int64_t ssid,
                                 const std::vector<DeltaEntry>& entries) {
   if (entries.empty()) return Status::OK();
   std::string payload;
-  PutU8(&payload, kDeltaRecord);
-  PutString(&payload, table);
-  PutU32(&payload, static_cast<uint32_t>(partition));
-  PutU32(&payload, static_cast<uint32_t>(entries.size()));
-  for (const DeltaEntry& entry : entries) {
-    PutI64(&payload, ssid);
-    PutU8(&payload, entry.tombstone ? 1 : 0);
-    PutValue(&payload, entry.key);
-    if (!entry.tombstone) PutObject(&payload, entry.value);
+  if (options_.columnar_segments) {
+    kv::ColumnBatch batch;
+    batch.Reserve(entries.size());
+    for (const DeltaEntry& entry : entries) {
+      if (entry.tombstone) {
+        batch.AppendTombstone(entry.key, ssid);
+      } else {
+        batch.AppendRow(entry.key, ssid, entry.value);
+      }
+    }
+    payload = EncodeColumnarDeltaPayload(table, partition, batch);
+  } else {
+    PutU8(&payload, kDeltaRecord);
+    PutString(&payload, table);
+    PutU32(&payload, static_cast<uint32_t>(partition));
+    PutU32(&payload, static_cast<uint32_t>(entries.size()));
+    for (const DeltaEntry& entry : entries) {
+      PutI64(&payload, ssid);
+      PutU8(&payload, entry.tombstone ? 1 : 0);
+      PutValue(&payload, entry.key);
+      if (!entry.tombstone) PutObject(&payload, entry.value);
+    }
   }
 
   MutexLock lock(&mu_);
@@ -759,9 +827,9 @@ Status SnapshotLog::ScanSnapshotLocked(const std::string& table, int64_t ssid,
         std::min<size_t>(data.size(), segment.durable_bytes);
     ParseRecords(std::string_view(data).substr(0, limit), kSegmentHeaderSize,
                  [&](uint8_t type, std::string_view payload, size_t) {
-                   if (type != kDeltaRecord) return;
+                   if (!IsDeltaRecordType(type)) return;
                    DecodedDelta delta;
-                   if (!DecodeDelta(payload, &delta)) return;
+                   if (!DecodeAnyDelta(type, payload, &delta)) return;
                    if (delta.table != table) return;
                    for (DecodedEntry& entry : delta.entries) {
                      if (entry.ssid > ssid) continue;
@@ -832,9 +900,9 @@ Result<RecoveryInfo> SnapshotLog::ReplayInto(kv::Grid* grid,
             }
             return;
           }
-          if (type != kDeltaRecord) return;
+          if (!IsDeltaRecordType(type)) return;
           DecodedDelta delta;
-          if (!DecodeDelta(payload, &delta)) return;
+          if (!DecodeAnyDelta(type, payload, &delta)) return;
           kv::SnapshotTable* snap_table =
               grid->GetOrCreateSnapshotTable(delta.table);
           for (DecodedEntry& entry : delta.entries) {
@@ -897,9 +965,9 @@ size_t SnapshotLog::CompactTo(int64_t floor_ssid) {
         std::min<size_t>(data.size(), segments_[i].durable_bytes);
     ParseRecords(std::string_view(data).substr(0, limit), kSegmentHeaderSize,
                  [&](uint8_t type, std::string_view payload, size_t) {
-                   if (type != kDeltaRecord) return;
+                   if (!IsDeltaRecordType(type)) return;
                    DecodedDelta delta;
-                   if (!DecodeDelta(payload, &delta)) return;
+                   if (!DecodeAnyDelta(type, payload, &delta)) return;
                    auto& table_bases = bases[delta.table];
                    for (DecodedEntry& entry : delta.entries) {
                      Base& base = table_bases[entry.key];
@@ -924,16 +992,27 @@ size_t SnapshotLog::CompactTo(int64_t floor_ssid) {
       by_partition[entry.second.partition].push_back(&entry);
     }
     for (const auto& [partition, rows] : by_partition) {
+      // Rewritten bases take the configured record format, so compaction
+      // also migrates old row segments to columnar over time.
       std::string payload;
-      PutU8(&payload, kDeltaRecord);
-      PutString(&payload, table);
-      PutU32(&payload, static_cast<uint32_t>(partition));
-      PutU32(&payload, static_cast<uint32_t>(rows.size()));
-      for (const auto* row : rows) {
-        PutI64(&payload, row->second.ssid);
-        PutU8(&payload, 0);
-        PutValue(&payload, row->first);
-        PutObject(&payload, row->second.value);
+      if (options_.columnar_segments) {
+        kv::ColumnBatch batch;
+        batch.Reserve(rows.size());
+        for (const auto* row : rows) {
+          batch.AppendRow(row->first, row->second.ssid, row->second.value);
+        }
+        payload = EncodeColumnarDeltaPayload(table, partition, batch);
+      } else {
+        PutU8(&payload, kDeltaRecord);
+        PutString(&payload, table);
+        PutU32(&payload, static_cast<uint32_t>(partition));
+        PutU32(&payload, static_cast<uint32_t>(rows.size()));
+        for (const auto* row : rows) {
+          PutI64(&payload, row->second.ssid);
+          PutU8(&payload, 0);
+          PutValue(&payload, row->first);
+          PutObject(&payload, row->second.value);
+        }
       }
       AppendRecord(&contents, payload);
     }

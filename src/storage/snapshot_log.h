@@ -48,6 +48,12 @@ struct StorageOptions {
   /// Run compaction on a background thread (disable for deterministic
   /// tests; compaction then runs inline on the commit path).
   bool async_compact = true;
+  /// Write new delta records in the columnar batch encoding (one typed
+  /// column chunk per field, bit-packed presence/tombstone bitmaps) instead
+  /// of row-at-a-time objects. Reading is format-agnostic either way: logs
+  /// may freely mix row and columnar segments, and compaction rewrites
+  /// surviving bases in the configured format.
+  bool columnar_segments = true;
   /// Sink for storage instrumentation (persisted bytes, fsync latency,
   /// segment count, compactions). May be null.
   MetricsRegistry* metrics = nullptr;

@@ -6,9 +6,11 @@
 // writer+query hammer for the sanitizer jobs.
 
 #include <gtest/gtest.h>
+#include <stdlib.h>
 
 #include <algorithm>
 #include <atomic>
+#include <filesystem>
 #include <random>
 #include <string>
 #include <thread>
@@ -20,6 +22,7 @@
 #include "state/isolation.h"
 #include "state/snapshot_registry.h"
 #include "state/squery_state_store.h"
+#include "storage/snapshot_log.h"
 
 namespace sq::query {
 namespace {
@@ -110,6 +113,20 @@ class ParallelQueryTest : public ::testing::Test {
               << sql << " [parallelism=" << parallelism
               << " pushdown=" << pushdown << "]";
         }
+        // Columnar/row differential: the same variant with the vectorized
+        // engine forced off must be *bit-identical*, row for row, unsorted —
+        // both engines share one deterministic scan order per partition, so
+        // representatives, group first-seen order and ORDER BY tie-breaks
+        // must all agree exactly.
+        QueryOptions row_options = options;
+        row_options.force_row_scan = true;
+        const sql::ResultSet row_engine = MustExecute(sql, row_options);
+        ASSERT_EQ(row_engine.columns, got.columns)
+            << sql << " [parallelism=" << parallelism
+            << " pushdown=" << pushdown << " row-engine]";
+        ASSERT_EQ(row_engine.rows, got.rows)
+            << sql << " [parallelism=" << parallelism
+            << " pushdown=" << pushdown << " row-engine]";
       }
     }
   }
@@ -198,6 +215,119 @@ TEST_F(ParallelQueryTest, ScanTableOnlyResolverMatchesSourceScan) {
     EXPECT_EQ(via_source.columns, via_fallback->columns) << sql;
     EXPECT_EQ(SortedRows(via_source), SortedRows(*via_fallback)) << sql;
   }
+}
+
+/// The vectorized engine must report itself, and the force-row knob must
+/// genuinely disable it.
+TEST_F(ParallelQueryTest, VectorizedEngineIsReportedAndCanBeForcedOff) {
+  QueryOptions options;
+  auto result = service_.ExecuteWithStats(
+      "SELECT COUNT(*) AS n FROM snapshot_metrics", options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->stats.used_vectorized);
+  EXPECT_GT(result->stats.batches_scanned, 0);
+  EXPECT_EQ(result->stats.batch_rows, kKeys);
+
+  options.force_row_scan = true;
+  result = service_.ExecuteWithStats(
+      "SELECT COUNT(*) AS n FROM snapshot_metrics", options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->stats.used_vectorized);
+  EXPECT_EQ(result->stats.batches_scanned, 0);
+  EXPECT_EQ(result->stats.batch_rows, 0);
+
+  // Live tables batch too.
+  options.force_row_scan = false;
+  options.isolation = state::IsolationLevel::kReadCommittedNoFailures;
+  result = service_.ExecuteWithStats("SELECT COUNT(*) AS n FROM metrics",
+                                     options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->stats.used_vectorized);
+}
+
+/// A snapshot table recovered from a durable log whose history spans the
+/// format upgrade — old segments hold row-at-a-time delta records, newer
+/// ones columnar records — must serve both engines with identical results.
+TEST(MixedSegmentQueryTest, RowAndColumnarSegmentsServeBothEngines) {
+  std::string tmpl = "/tmp/sq_mixed_segments_XXXXXX";
+  const std::string dir = ::mkdtemp(tmpl.data());
+  const auto entry = [](int64_t key, int64_t v, const std::string& zone) {
+    Object o;
+    o.Set("v", Value(v));
+    o.Set("zone", Value(zone));
+    return storage::SnapshotLog::DeltaEntry{Value(key), false, std::move(o)};
+  };
+  {
+    // Pre-upgrade writer: row-format segments.
+    auto log = storage::SnapshotLog::Open(
+        {.dir = dir, .segment_bytes = 1, .columnar_segments = false});
+    ASSERT_TRUE(log.ok());
+    std::vector<storage::SnapshotLog::DeltaEntry> delta;
+    for (int64_t k = 0; k < 100; ++k) {
+      delta.push_back(entry(k, k, "zone-" + std::to_string(k % 3)));
+    }
+    ASSERT_TRUE((*log)->AppendDelta("snapshot_mixed", 1, 0, delta).ok());
+    ASSERT_TRUE((*log)->Commit(1).ok());
+  }
+  kv::Grid grid(kv::GridConfig{});
+  state::SnapshotRegistry registry(
+      &grid, {.retained_versions = 3, .async_prune = false});
+  {
+    // Post-upgrade writer appends columnar segments to the same log.
+    auto log = storage::SnapshotLog::Open(
+        {.dir = dir, .segment_bytes = 1, .columnar_segments = true});
+    ASSERT_TRUE(log.ok());
+    std::vector<storage::SnapshotLog::DeltaEntry> delta;
+    for (int64_t k = 0; k < 100; k += 7) delta.push_back(entry(k, k + 1000, "hot"));
+    delta.push_back(entry(200, 42, "new"));
+    delta.push_back(storage::SnapshotLog::DeltaEntry{Value(int64_t{3}), true,
+                                                     Object()});
+    ASSERT_TRUE((*log)->AppendDelta("snapshot_mixed", 2, 0, delta).ok());
+    ASSERT_TRUE((*log)->Commit(2).ok());
+
+    ASSERT_TRUE((*log)->ReplayInto(&grid, /*retained_versions=*/3).ok());
+    registry.RestoreCommitted((*log)->CommittedIds());
+  }
+  ASSERT_EQ(registry.latest_committed(), 2);
+
+  QueryService service(&grid, &registry);
+  for (const std::string& sql : {
+           std::string("SELECT key, v, zone, ssid FROM snapshot_mixed"),
+           std::string("SELECT SUM(v) AS s, COUNT(*) AS n FROM "
+                       "snapshot_mixed"),
+           std::string("SELECT zone, COUNT(*) AS n FROM snapshot_mixed "
+                       "GROUP BY zone ORDER BY zone"),
+           std::string("SELECT key, v FROM snapshot_mixed WHERE v >= 1000"),
+           std::string("SELECT key, v, ssid FROM snapshot_mixed__versions"),
+           std::string("SELECT SUM(v) AS s FROM snapshot_mixed "
+                       "WHERE ssid = 1"),
+       }) {
+    for (int32_t parallelism : {1, 8}) {
+      QueryOptions columnar;
+      columnar.parallelism = parallelism;
+      auto vectorized = service.Execute(sql, columnar);
+      ASSERT_TRUE(vectorized.ok()) << sql << ": " << vectorized.status();
+      QueryOptions row = columnar;
+      row.force_row_scan = true;
+      auto rows = service.Execute(sql, row);
+      ASSERT_TRUE(rows.ok()) << sql << ": " << rows.status();
+      EXPECT_EQ(vectorized->columns, rows->columns) << sql;
+      EXPECT_EQ(vectorized->rows, rows->rows)
+          << sql << " [parallelism=" << parallelism << "]";
+    }
+  }
+  // Spot checks across the format boundary: count reflects the columnar
+  // insert and tombstone over the row-format base.
+  auto count = service.Execute("SELECT COUNT(*) AS n FROM snapshot_mixed", {});
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows[0][0], Value(int64_t{100}));  // 100 base +1 -1
+  auto hot = service.Execute(
+      "SELECT COUNT(*) AS n FROM snapshot_mixed WHERE zone = 'hot'", {});
+  ASSERT_TRUE(hot.ok());
+  EXPECT_EQ(hot->rows[0][0], Value(int64_t{15}));  // ceil(100/7), key 3 gone
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
 }
 
 TEST_F(ParallelQueryTest, KeyPushdownScansOnlyMatchingPartitions) {
