@@ -1,0 +1,153 @@
+#ifndef SQUERY_COMMON_METRIC_NAMES_H_
+#define SQUERY_COMMON_METRIC_NAMES_H_
+
+/// The project's metric-name registry: every name ever passed to
+/// MetricsRegistry::GetCounter/GetGauge/GetHistogram lives here, and only
+/// here. This is the single source of truth for the `__metrics` system
+/// table and the README metrics table (`sqlint --dump-metrics` regenerates
+/// the latter), and `tools/sqlint` pass 5 fails the build on any inline
+/// metric-name literal in `src/` or any registry entry no code references.
+///
+/// Entry grammar (parsed lexically by sqlint — keep it exact):
+///
+///   /// <kind> — <one-line description>
+///   inline constexpr char k<PascalName>[] = "<dotted.lowercase.name>";
+///
+/// where <kind> is `counter`, `gauge` or `histogram`. Names are dotted
+/// lowercase paths; the first segment is the owning subsystem.
+
+namespace sq::metric_names {
+
+// --- dataflow: the streaming engine's data path.
+
+/// counter — records dequeued into operator instances
+inline constexpr char kDataflowRecordsIn[] = "dataflow.records_in";
+/// counter — records emitted by operator instances
+inline constexpr char kDataflowRecordsOut[] = "dataflow.records_out";
+/// histogram — channel queue depth sampled at dequeue
+inline constexpr char kDataflowChannelDepth[] = "dataflow.channel_depth";
+
+// --- checkpoint: the 2PC snapshot protocol.
+
+/// histogram — marker alignment wait per operator instance (aligned mode)
+inline constexpr char kCheckpointAlignNanos[] = "checkpoint.align_nanos";
+/// histogram — phase-1 state capture + write-out per checkpoint
+inline constexpr char kCheckpointPhase1Nanos[] = "checkpoint.phase1_nanos";
+/// histogram — phase-2 commit (durability + registry publication)
+inline constexpr char kCheckpointPhase2Nanos[] = "checkpoint.phase2_nanos";
+/// counter — checkpoints committed
+inline constexpr char kCheckpointCommitted[] = "checkpoint.committed";
+/// counter — checkpoints aborted
+inline constexpr char kCheckpointAborted[] = "checkpoint.aborted";
+/// counter — records that overtook an unaligned marker into the channel log
+inline constexpr char kCheckpointOvertakenRecords[] =
+    "checkpoint.overtaken_records";
+/// counter — buffered records dropped by a checkpoint abort
+inline constexpr char kCheckpointDroppedBuffered[] =
+    "checkpoint.dropped_buffered";
+
+// --- query: the QueryService execution path.
+
+/// counter — queries executed
+inline constexpr char kQueryCount[] = "query.count";
+/// counter — queries that returned an error status
+inline constexpr char kQueryErrors[] = "query.errors";
+/// counter — rows visited by scans (pre-filter)
+inline constexpr char kQueryRowsScanned[] = "query.rows_scanned";
+/// counter — rows returned to clients (post filter/limit)
+inline constexpr char kQueryRowsReturned[] = "query.rows_returned";
+/// counter — scans that evaluated the WHERE clause inside the scan
+inline constexpr char kQueryPushdownScans[] = "query.pushdown_scans";
+/// counter — scans routed to point lookups by key pushdown
+inline constexpr char kQueryPointLookupScans[] = "query.point_lookup_scans";
+/// counter — scans served by the vectorized columnar engine
+inline constexpr char kQueryVectorizedScans[] = "query.vectorized_scans";
+/// counter — column batches scanned by the vectorized engine
+inline constexpr char kQueryBatchesScanned[] = "query.batches_scanned";
+/// counter — rows delivered in column batches
+inline constexpr char kQueryBatchRows[] = "query.batch_rows";
+/// histogram — worker parallelism actually used per scan
+inline constexpr char kQueryScanParallelism[] = "query.scan_parallelism";
+/// histogram — end-to-end query latency; name prefix, completed with the
+/// isolation slug (read_uncommitted / read_committed / snapshot /
+/// serializable)
+inline constexpr char kQueryLatencyNanosPrefix[] = "query.latency_nanos.";
+/// counter — snapshot reads served from the durable log past the
+/// in-memory retention window
+inline constexpr char kQueryDurableFallbacks[] = "query.durable_fallbacks";
+
+// --- state: the S-QUERY state backend and snapshot registry.
+
+/// counter — retention pruning runs
+inline constexpr char kStatePruneRuns[] = "state.prune_runs";
+/// counter — snapshot entries removed by retention pruning
+inline constexpr char kStatePrunedEntries[] = "state.pruned_entries";
+/// counter — snapshot versions dropped by checkpoint aborts
+inline constexpr char kStateAbortedSnapshotDrops[] =
+    "state.aborted_snapshot_drops";
+/// counter — entries written into snapshot tables
+inline constexpr char kStateSnapshotEntries[] = "state.snapshot_entries";
+/// counter — approximate bytes written into snapshot tables
+inline constexpr char kStateSnapshotBytes[] = "state.snapshot_bytes";
+/// counter — tombstones written into snapshot tables
+inline constexpr char kStateSnapshotTombstones[] =
+    "state.snapshot_tombstones";
+/// histogram — entries captured per snapshot
+inline constexpr char kStateSnapshotEntriesPerSnapshot[] =
+    "state.snapshot_entries_per_snapshot";
+/// histogram — incremental snapshot delta size as % of full state
+inline constexpr char kStateSnapshotDeltaRatioPct[] =
+    "state.snapshot_delta_ratio_pct";
+
+// --- storage: the durable snapshot log.
+
+/// counter — payload bytes made durable
+inline constexpr char kStoragePersistedBytes[] = "storage.persisted_bytes";
+/// counter — snapshot commits fsynced
+inline constexpr char kStorageCommits[] = "storage.commits";
+/// counter — background compactions completed
+inline constexpr char kStorageCompactions[] = "storage.compactions";
+/// gauge — live segment files
+inline constexpr char kStorageSegments[] = "storage.segments";
+/// histogram — commit fsync latency
+inline constexpr char kStorageFsyncNanos[] = "storage.fsync_nanos";
+
+// --- net: the cluster wire layer.
+
+/// counter — bytes received by ClusterClient connections
+inline constexpr char kNetClientBytesIn[] = "net.client.bytes_in";
+/// counter — bytes sent by ClusterClient connections
+inline constexpr char kNetClientBytesOut[] = "net.client.bytes_out";
+/// counter — idempotent RPC retries after transport failures
+inline constexpr char kNetClientRetries[] = "net.client.retries";
+/// counter — RPCs that exhausted their deadline
+inline constexpr char kNetClientDeadlineExceeded[] =
+    "net.client.deadline_exceeded";
+/// counter — RPCs that returned an error status
+inline constexpr char kNetClientErrors[] = "net.client.errors";
+/// counter — RPCs issued; name prefix, completed with the MsgType name
+inline constexpr char kNetClientRpcsPrefix[] = "net.client.rpcs.";
+/// histogram — per-RPC round-trip latency; name prefix, completed with the
+/// MsgType name
+inline constexpr char kNetClientRpcNanosPrefix[] = "net.client.rpc_nanos.";
+/// counter — bytes received by NodeServer connections
+inline constexpr char kNetServerBytesIn[] = "net.server.bytes_in";
+/// counter — bytes sent by NodeServer connections
+inline constexpr char kNetServerBytesOut[] = "net.server.bytes_out";
+/// counter — requests that produced an error reply
+inline constexpr char kNetServerErrors[] = "net.server.errors";
+/// counter — connections accepted
+inline constexpr char kNetServerConnections[] = "net.server.connections";
+/// histogram — server-side request handling latency
+inline constexpr char kNetServerHandleNanos[] = "net.server.handle_nanos";
+/// counter — requests handled; name prefix, completed with the MsgType name
+inline constexpr char kNetServerRpcsPrefix[] = "net.server.rpcs.";
+
+// --- trace: the span tracer.
+
+/// counter — spans evicted from the bounded journal before being read
+inline constexpr char kTraceDroppedSpans[] = "trace.dropped_spans";
+
+}  // namespace sq::metric_names
+
+#endif  // SQUERY_COMMON_METRIC_NAMES_H_

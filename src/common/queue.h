@@ -105,6 +105,7 @@ class BlockingQueue {
 
  private:
   const size_t capacity_;
+  // sq-lint: unranked-ok(rank injected via constructor, default kQueue)
   mutable Mutex mu_;
   CondVar not_empty_;
   CondVar not_full_;

@@ -45,6 +45,7 @@ class ThreadPool {
   struct Batch {
     std::atomic<int32_t> next{0};
     std::atomic<int32_t> done{0};
+    // sq-lint: unguarded-ok(set once before publication; progress is atomic)
     int32_t count = 0;
     const std::function<void(int32_t)>* fn = nullptr;
     // Guards nothing directly (progress lives in the atomics); pairs with cv

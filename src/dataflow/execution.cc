@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/metric_names.h"
 
 namespace sq::dataflow {
 
@@ -73,21 +74,25 @@ Job::Job(const JobGraph& graph, JobConfig config)
     config_.state_store_factory = InMemoryStateStoreFactory();
   }
   if (config_.metrics != nullptr) {
-    m_records_in_ = config_.metrics->GetCounter("dataflow.records_in");
-    m_records_out_ = config_.metrics->GetCounter("dataflow.records_out");
+    m_records_in_ =
+        config_.metrics->GetCounter(metric_names::kDataflowRecordsIn);
+    m_records_out_ =
+        config_.metrics->GetCounter(metric_names::kDataflowRecordsOut);
     m_channel_depth_ =
-        config_.metrics->GetHistogram("dataflow.channel_depth");
-    m_align_nanos_ = config_.metrics->GetHistogram("checkpoint.align_nanos");
+        config_.metrics->GetHistogram(metric_names::kDataflowChannelDepth);
+    m_align_nanos_ =
+        config_.metrics->GetHistogram(metric_names::kCheckpointAlignNanos);
     m_phase1_nanos_ =
-        config_.metrics->GetHistogram("checkpoint.phase1_nanos");
+        config_.metrics->GetHistogram(metric_names::kCheckpointPhase1Nanos);
     m_phase2_nanos_ =
-        config_.metrics->GetHistogram("checkpoint.phase2_nanos");
-    m_committed_ = config_.metrics->GetCounter("checkpoint.committed");
-    m_aborted_ = config_.metrics->GetCounter("checkpoint.aborted");
+        config_.metrics->GetHistogram(metric_names::kCheckpointPhase2Nanos);
+    m_committed_ =
+        config_.metrics->GetCounter(metric_names::kCheckpointCommitted);
+    m_aborted_ = config_.metrics->GetCounter(metric_names::kCheckpointAborted);
     m_overtaken_ =
-        config_.metrics->GetCounter("checkpoint.overtaken_records");
+        config_.metrics->GetCounter(metric_names::kCheckpointOvertakenRecords);
     m_dropped_buffered_ =
-        config_.metrics->GetCounter("checkpoint.dropped_buffered");
+        config_.metrics->GetCounter(metric_names::kCheckpointDroppedBuffered);
   }
 
   // Materialize workers.
@@ -533,6 +538,8 @@ void Job::RunConsumer(Worker* w, ContextImpl* ctx) {
         writeout_log.swap(overtaken);
         writeout_start_steady = trace::NowNanos();
         records_since_chunk = 0;
+        // Completion is detected by the writeout_ckpt reset inside the
+        // step, not by this call's progress report.
         (void)writeout_step(kCaptureChunk);
       }
     }
@@ -554,6 +561,8 @@ void Job::RunConsumer(Worker* w, ContextImpl* ctx) {
       // into capture chunks instead.
       r = input->TryPop();
       if (!r.has_value()) {
+        // Idle turn: make capture progress; completion is detected by the
+        // writeout_ckpt reset inside the step.
         (void)writeout_step(kCaptureChunk);
         continue;
       }
@@ -605,6 +614,8 @@ void Job::RunConsumer(Worker* w, ContextImpl* ctx) {
     // progresses without throttling the data path per record.
     if (writeout_ckpt != 0 && ++records_since_chunk >= kRecordsPerForcedChunk) {
       records_since_chunk = 0;
+      // Forced progress on the data path; completion is detected by the
+      // writeout_ckpt reset inside the step.
       (void)writeout_step(kCaptureChunk);
     }
   }
@@ -686,6 +697,8 @@ void Job::BroadcastAbort(int64_t checkpoint_id) {
   MutexLock lock(&ckpt_mu_);
   for (const auto& w : workers_) {
     if (w->is_source) continue;
+    // Best effort: a full queue means the worker is draining records and
+    // will learn of the abort from the atomic flag instead.
     (void)queues_[w->id]->TryPush(Record::Abort(checkpoint_id));
   }
 }

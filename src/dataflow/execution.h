@@ -223,18 +223,24 @@ class Job {
   /// all-zero (= don't record) when that root is stale or unsampled.
   trace::SpanContext CheckpointTraceParent(int64_t checkpoint_id) const;
 
+  // sq-lint: unguarded-ok(set in the constructor, immutable once Start runs)
   JobConfig config_;
+  // sq-lint: unguarded-ok(set in the constructor, immutable once Start runs)
   std::unique_ptr<kv::Partitioner> owned_partitioner_;
   const kv::Partitioner* partitioner_ = nullptr;
+  // sq-lint: unguarded-ok(set in the constructor, immutable once Start runs)
   Clock* clock_ = nullptr;
 
+  // sq-lint: unguarded-ok(built in Start before workers spawn; see below)
   std::vector<std::unique_ptr<Worker>> workers_;
   // By worker id. Deliberately NOT SQ_GUARDED_BY(ckpt_mu_): worker threads
   // read the array lock-free on the emit hot path. That is safe because the
   // only mutation (the swap in InjectFailureAndRecover) happens after every
   // worker joined; ckpt_mu_ is additionally held there only so concurrent
   // introspection (CollectOperatorStats) never observes the swap mid-way.
+  // sq-lint: unguarded-ok(lock-free by design, see rationale above)
   std::vector<std::unique_ptr<BlockingQueue<Record>>> queues_;
+  // sq-lint: unguarded-ok(built in Start before workers spawn)
   std::vector<OperatorFactory> factories_;  // by vertex index
 
   std::atomic<bool> started_{false};
@@ -267,6 +273,7 @@ class Job {
   /// phase 2 for durable recovery.
   std::map<int64_t, std::vector<std::pair<int32_t, std::vector<Record>>>>
       channel_logs_ SQ_GUARDED_BY(ckpt_mu_);
+  // sq-lint: unguarded-ok(internally synchronized: atomics and histograms)
   CheckpointStats stats_;
   std::deque<CheckpointRow> checkpoint_history_ SQ_GUARDED_BY(ckpt_mu_);
 
@@ -281,6 +288,7 @@ class Job {
   Counter* m_aborted_ = nullptr;
   Counter* m_overtaken_ = nullptr;
   Counter* m_dropped_buffered_ = nullptr;
+  // sq-lint: unguarded-ok(started in Start, joined in Stop; never raced)
   std::thread coordinator_thread_;
   std::atomic<bool> coordinator_stop_{false};
 };

@@ -189,6 +189,7 @@ dataflow::JobGraph BuildDeliveryGraph(const DeliveryConfig& config,
                 [](const Record&, OperatorContext*) { return Status::OK(); });
   const int32_t sink = graph.AddSink("sink", 1, std::move(sink_factory));
 
+  // Connect only fails on dangling vertex ids; these are all fresh.
   (void)graph.Connect(info_src, info_op, dataflow::EdgeKind::kKeyed);
   (void)graph.Connect(status_src, state_op, dataflow::EdgeKind::kKeyed);
   (void)graph.Connect(rider_src, rider_op, dataflow::EdgeKind::kKeyed);

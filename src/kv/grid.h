@@ -85,6 +85,7 @@ class Grid {
   }
 
   GridConfig config_;
+  // sq-lint: unguarded-ok(set in the constructor, immutable afterwards)
   Partitioner partitioner_;
 
   int32_t AliveNodeCountLocked() const SQ_REQUIRES_SHARED(mu_);

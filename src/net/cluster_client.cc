@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/metric_names.h"
 #include "net/socket.h"
 
 namespace sq::net {
@@ -182,11 +183,11 @@ ClusterClient::ClusterClient(ClusterTopology topology, RpcOptions rpc,
     peers_.push_back(std::make_unique<Peer>());
   }
   if (metrics_ != nullptr) {
-    m_bytes_in_ = metrics_->GetCounter("net.client.bytes_in");
-    m_bytes_out_ = metrics_->GetCounter("net.client.bytes_out");
-    m_retries_ = metrics_->GetCounter("net.client.retries");
-    m_deadline_exceeded_ = metrics_->GetCounter("net.client.deadline_exceeded");
-    m_errors_ = metrics_->GetCounter("net.client.errors");
+    m_bytes_in_ = metrics_->GetCounter(metric_names::kNetClientBytesIn);
+    m_bytes_out_ = metrics_->GetCounter(metric_names::kNetClientBytesOut);
+    m_retries_ = metrics_->GetCounter(metric_names::kNetClientRetries);
+    m_deadline_exceeded_ = metrics_->GetCounter(metric_names::kNetClientDeadlineExceeded);
+    m_errors_ = metrics_->GetCounter(metric_names::kNetClientErrors);
   }
 }
 
@@ -310,10 +311,11 @@ Status ClusterClient::Call(int32_t node_id, MsgType type,
   }
   if (metrics_ != nullptr) {
     metrics_
-        ->GetCounter(std::string("net.client.rpcs.") + MsgTypeToString(type))
+        ->GetCounter(std::string(metric_names::kNetClientRpcsPrefix) +
+                     MsgTypeToString(type))
         ->Increment();
     metrics_
-        ->GetHistogram(std::string("net.client.rpc_nanos.") +
+        ->GetHistogram(std::string(metric_names::kNetClientRpcNanosPrefix) +
                        MsgTypeToString(type))
         ->Record(t1 - t0);
   }

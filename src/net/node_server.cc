@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "common/metric_names.h"
 #include "net/socket.h"
 #include "sql/eval.h"
 #include "sql/parser.h"
@@ -46,11 +47,11 @@ std::string JoinSql(const std::vector<std::string>& parts) {
 NodeServer::NodeServer(NodeServerOptions options)
     : options_(std::move(options)) {
   if (MetricsRegistry* m = options_.metrics; m != nullptr) {
-    m_bytes_in_ = m->GetCounter("net.server.bytes_in");
-    m_bytes_out_ = m->GetCounter("net.server.bytes_out");
-    m_errors_ = m->GetCounter("net.server.errors");
-    m_connections_ = m->GetCounter("net.server.connections");
-    m_handle_nanos_ = m->GetHistogram("net.server.handle_nanos");
+    m_bytes_in_ = m->GetCounter(metric_names::kNetServerBytesIn);
+    m_bytes_out_ = m->GetCounter(metric_names::kNetServerBytesOut);
+    m_errors_ = m->GetCounter(metric_names::kNetServerErrors);
+    m_connections_ = m->GetCounter(metric_names::kNetServerConnections);
+    m_handle_nanos_ = m->GetHistogram(metric_names::kNetServerHandleNanos);
   }
 }
 
@@ -174,7 +175,7 @@ Frame NodeServer::Handle(const Frame& request) {
   if (m_handle_nanos_ != nullptr) m_handle_nanos_->Record(t1 - t0);
   if (options_.metrics != nullptr) {
     options_.metrics
-        ->GetCounter(std::string("net.server.rpcs.") +
+        ->GetCounter(std::string(metric_names::kNetServerRpcsPrefix) +
                      MsgTypeToString(request.type))
         ->Increment();
   }
@@ -450,6 +451,7 @@ Result<std::string> NodeServer::HandleReplicationDelta(
     kv::LiveMap* live = options_.grid->GetOrCreateLiveMap(delta.table);
     for (DeltaEntry& entry : delta.entries) {
       if (entry.tombstone) {
+        // Removing an absent key is a no-op, not an error worth surfacing.
         (void)live->Remove(entry.key);
       } else {
         live->Put(entry.key, std::move(entry.value));

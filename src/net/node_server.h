@@ -90,10 +90,14 @@ class NodeServer {
   Status CheckOwned(int32_t partition) const;
   Result<std::unique_ptr<sql::TableSource>> OpenSource(const TableRead& read);
 
+  // sq-lint: unguarded-ok(set in Start before the accept thread spawns)
   NodeServerOptions options_;
+  // sq-lint: unguarded-ok(set in Start before the accept thread spawns)
   int listen_fd_ = -1;
+  // sq-lint: unguarded-ok(set in Start before the accept thread spawns)
   int port_ = 0;
   std::atomic<bool> stopping_{false};
+  // sq-lint: unguarded-ok(started in Start, joined in Stop; never raced)
   std::thread accept_thread_;
 
   Mutex mu_{lockrank::kNetServer, "net.server"};

@@ -114,6 +114,8 @@ Result<int> ListenTcp(const std::string& host, int port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Errno("socket");
   int one = 1;
+  // Best effort: without REUSEADDR the bind below just fails, which is the
+  // error path we already report.
   (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     Status s = Errno("bind");
@@ -195,6 +197,7 @@ void CloseFd(int fd) {
 
 void ShutdownFd(int fd) {
   if (fd < 0) return;
+  // Best effort: ENOTCONN from an already-reset peer is fine here.
   (void)::shutdown(fd, SHUT_RDWR);
 }
 

@@ -138,6 +138,7 @@ dataflow::JobGraph BuildQ6Graph(const NexmarkConfig& config,
           : dataflow::MakeLambdaOperatorFactory(
                 [](const Record&, OperatorContext*) { return Status::OK(); });
   const int32_t sink = graph.AddSink(kSinkVertex, 1, std::move(sink_factory));
+  // Connect only fails on dangling vertex ids; these are all fresh.
   (void)graph.Connect(src, winning, dataflow::EdgeKind::kKeyed);
   (void)graph.Connect(winning, average, dataflow::EdgeKind::kKeyed);
   (void)graph.Connect(average, sink, dataflow::EdgeKind::kForward);
@@ -195,6 +196,7 @@ dataflow::JobGraph BuildQ1Graph(const NexmarkConfig& config,
           }),
       /*stateful=*/false);
   const int32_t sink = AddSink(&graph, latency);
+  // Connect only fails on dangling vertex ids; these are all fresh.
   (void)graph.Connect(src, convert, dataflow::EdgeKind::kKeyed);
   (void)graph.Connect(convert, sink, dataflow::EdgeKind::kForward);
   return graph;
@@ -216,6 +218,7 @@ dataflow::JobGraph BuildQ2Graph(const NexmarkConfig& config, int64_t modulo,
           }),
       /*stateful=*/false);
   const int32_t sink = AddSink(&graph, latency);
+  // Connect only fails on dangling vertex ids; these are all fresh.
   (void)graph.Connect(src, filter, dataflow::EdgeKind::kKeyed);
   (void)graph.Connect(filter, sink, dataflow::EdgeKind::kForward);
   return graph;
@@ -235,6 +238,7 @@ dataflow::JobGraph BuildQ5Graph(const NexmarkConfig& config,
       kQ5WindowVertex, operator_parallelism,
       dataflow::MakeTumblingWindowFactory(window_options));
   const int32_t sink = AddSink(&graph, latency);
+  // Connect only fails on dangling vertex ids; these are all fresh.
   (void)graph.Connect(src, window, dataflow::EdgeKind::kKeyed);
   (void)graph.Connect(window, sink, dataflow::EdgeKind::kForward);
   return graph;

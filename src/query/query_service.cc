@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/metric_names.h"
 #include "dataflow/execution.h"
 #include "kv/columnar.h"
 #include "sql/parser.h"
@@ -353,6 +354,7 @@ void AppendSpanTimings(uint64_t trace_id, std::vector<std::string>* lines) {
   }
   lines->push_back("Trace: " + std::to_string(spans.size()) +
                    " spans (trace_id=" + std::to_string(trace_id) + ")");
+  // sq-lint: unordered-ok(lookup-only depth walk; output follows spans vec)
   std::unordered_map<uint64_t, const trace::TraceSpan*> by_id;
   for (const trace::TraceSpan& s : spans) by_id[s.span_id] = &s;
   constexpr size_t kMaxLines = 16;
@@ -515,28 +517,28 @@ Result<QueryResult> QueryService::ExecuteWithStats(
     return PlanResultSet(std::move(lines));
   }();
   if (metrics_ != nullptr) {
-    metrics_->GetCounter("query.count")->Increment();
-    if (!result.ok()) metrics_->GetCounter("query.errors")->Increment();
+    metrics_->GetCounter(metric_names::kQueryCount)->Increment();
+    if (!result.ok()) metrics_->GetCounter(metric_names::kQueryErrors)->Increment();
     metrics_
-        ->GetHistogram("query.latency_nanos." +
+        ->GetHistogram(std::string(metric_names::kQueryLatencyNanosPrefix) +
                        IsolationSlug(options.isolation))
         ->Record(clock_->NowNanos() - start_nanos);
-    metrics_->GetCounter("query.rows_scanned")->Increment(stats.rows_scanned);
-    metrics_->GetCounter("query.rows_returned")
+    metrics_->GetCounter(metric_names::kQueryRowsScanned)->Increment(stats.rows_scanned);
+    metrics_->GetCounter(metric_names::kQueryRowsReturned)
         ->Increment(stats.rows_returned);
     if (stats.used_pushdown) {
-      metrics_->GetCounter("query.pushdown_scans")->Increment();
+      metrics_->GetCounter(metric_names::kQueryPushdownScans)->Increment();
     }
     if (stats.used_point_lookup) {
-      metrics_->GetCounter("query.point_lookup_scans")->Increment();
+      metrics_->GetCounter(metric_names::kQueryPointLookupScans)->Increment();
     }
     if (stats.used_vectorized) {
-      metrics_->GetCounter("query.vectorized_scans")->Increment();
+      metrics_->GetCounter(metric_names::kQueryVectorizedScans)->Increment();
     }
-    metrics_->GetCounter("query.batches_scanned")
+    metrics_->GetCounter(metric_names::kQueryBatchesScanned)
         ->Increment(stats.batches_scanned);
-    metrics_->GetCounter("query.batch_rows")->Increment(stats.batch_rows);
-    metrics_->GetHistogram("query.scan_parallelism")
+    metrics_->GetCounter(metric_names::kQueryBatchRows)->Increment(stats.batch_rows);
+    metrics_->GetHistogram(metric_names::kQueryScanParallelism)
         ->Record(stats.parallelism);
   }
   SQ_RETURN_IF_ERROR(result.status());
@@ -869,7 +871,7 @@ QueryService::GetSnapshotObjects(const std::string& operator_name,
     if (log != nullptr && durable_id.has_value() &&
         log->IsDurable(*durable_id)) {
       if (metrics_ != nullptr) {
-        metrics_->GetCounter("query.durable_fallbacks")->Increment();
+        metrics_->GetCounter(metric_names::kQueryDurableFallbacks)->Increment();
       }
       std::vector<std::pair<kv::Value, kv::Object>> out;
       SQ_RETURN_IF_ERROR(log->ScanSnapshot(
@@ -899,7 +901,7 @@ QueryService::GetSnapshotObjects(const std::string& operator_name,
 Result<std::vector<kv::Object>> QueryService::ScanDurable(
     storage::SnapshotLog* log, const std::string& table, int64_t ssid) {
   if (metrics_ != nullptr) {
-    metrics_->GetCounter("query.durable_fallbacks")->Increment();
+    metrics_->GetCounter(metric_names::kQueryDurableFallbacks)->Increment();
   }
   std::vector<kv::Object> tuples;
   SQ_RETURN_IF_ERROR(log->ScanSnapshot(

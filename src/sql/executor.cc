@@ -110,6 +110,7 @@ void CollectAggregates(const Expr* expr, std::vector<AggregateSpec>* out) {
 /// precomputed values (keyed by canonical text).
 Result<Value> EvalWithAggregates(
     const Expr& expr, const Object& tuple,
+    // sq-lint: unordered-ok(lookup-only; never iterated, no order leaks)
     const std::unordered_map<std::string, Value>& agg_values,
     const EvalContext& ctx) {
   if (expr.kind == ExprKind::kFuncCall && IsAggregateFunction(expr.column)) {
@@ -664,6 +665,7 @@ Result<ResultSet> ExecuteSelect(const SelectStatement& stmt,
                          nullptr, nullptr, ctx, options, stats));
     // Build side: hash the (smaller, typically right) input on the USING
     // column; S-QUERY's extension of the IMDG SQL interface (Section VI-A).
+    // sq-lint: unordered-ok(probe-only; output order follows the left input)
     std::unordered_map<Value, std::vector<const Object*>, kv::ValueHash>
         index;
     index.reserve(right.size());
@@ -725,6 +727,7 @@ Result<ResultSet> ExecuteSelect(const SelectStatement& stmt,
   std::vector<OutRow> out_rows;
 
   auto emit_row = [&](const Object& tuple,
+                      // sq-lint: unordered-ok(lookup-only; never iterated)
                       const std::unordered_map<std::string, Value>& aggs)
       -> Status {
     OutRow out;
@@ -784,6 +787,7 @@ Result<ResultSet> ExecuteSelect(const SelectStatement& stmt,
       groups.groups.push_back(std::move(empty));
     }
     for (GroupData& group : groups.groups) {
+      // sq-lint: unordered-ok(lookup-only; rows follow groups vector order)
       std::unordered_map<std::string, Value> agg_values;
       for (size_t a = 0; a < aggregates.size(); ++a) {
         SQ_ASSIGN_OR_RETURN(

@@ -38,6 +38,7 @@ struct GroupData {
 /// which is what lets one partition mix both engines mid-scan and still
 /// merge bit-identically.
 struct GroupTable {
+  // sq-lint: unordered-ok(lookup-only; groups vector keeps first-seen order)
   std::unordered_map<std::vector<kv::Value>, size_t, GroupKeyHash> index;
   std::vector<GroupData> groups;
 };

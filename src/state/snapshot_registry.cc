@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "common/metric_names.h"
 #include "trace/trace.h"
 
 namespace sq::state {
@@ -13,10 +14,10 @@ SnapshotRegistry::SnapshotRegistry(kv::Grid* grid, Options options)
   SQ_CHECK(options_.retained_versions >= 1)
       << "must retain at least one snapshot version";
   if (options_.metrics != nullptr) {
-    m_prunes_ = options_.metrics->GetCounter("state.prune_runs");
-    m_pruned_entries_ = options_.metrics->GetCounter("state.pruned_entries");
+    m_prunes_ = options_.metrics->GetCounter(metric_names::kStatePruneRuns);
+    m_pruned_entries_ = options_.metrics->GetCounter(metric_names::kStatePrunedEntries);
     m_aborted_drops_ =
-        options_.metrics->GetCounter("state.aborted_snapshot_drops");
+        options_.metrics->GetCounter(metric_names::kStateAbortedSnapshotDrops);
   }
   if (options_.async_prune) {
     pruner_ = std::thread([this] { RunPruner(); });

@@ -83,7 +83,9 @@ class SnapshotRegistry : public dataflow::CheckpointListener {
   void PruneTo(int64_t floor_ssid);
   void RunPruner();
 
+  // sq-lint: unguarded-ok(set in the constructor, immutable afterwards)
   kv::Grid* grid_;
+  // sq-lint: unguarded-ok(set in the constructor, immutable afterwards)
   Options options_;
 
   // Cached metric handles (null when options_.metrics is null).
@@ -103,6 +105,7 @@ class SnapshotRegistry : public dataflow::CheckpointListener {
   std::deque<int64_t> prune_queue_ SQ_GUARDED_BY(prune_mu_);
   bool prune_stop_ SQ_GUARDED_BY(prune_mu_) = false;
   bool prune_idle_ SQ_GUARDED_BY(prune_mu_) = true;
+  // sq-lint: unguarded-ok(started in the constructor, joined in Stop)
   std::thread pruner_;
 };
 

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <limits>
 
+#include "common/metric_names.h"
 #include "storage/snapshot_log.h"
 
 namespace sq::state {
@@ -37,13 +38,13 @@ SQueryStateStore::SQueryStateStore(kv::Grid* grid, std::string operator_name,
         grid_->GetOrCreateSnapshotTable(SnapshotTableName(operator_name_));
   }
   if (config_.metrics != nullptr) {
-    m_entries_ = config_.metrics->GetCounter("state.snapshot_entries");
-    m_bytes_ = config_.metrics->GetCounter("state.snapshot_bytes");
-    m_tombstones_ = config_.metrics->GetCounter("state.snapshot_tombstones");
+    m_entries_ = config_.metrics->GetCounter(metric_names::kStateSnapshotEntries);
+    m_bytes_ = config_.metrics->GetCounter(metric_names::kStateSnapshotBytes);
+    m_tombstones_ = config_.metrics->GetCounter(metric_names::kStateSnapshotTombstones);
     m_entries_per_snapshot_ =
-        config_.metrics->GetHistogram("state.snapshot_entries_per_snapshot");
+        config_.metrics->GetHistogram(metric_names::kStateSnapshotEntriesPerSnapshot);
     m_delta_ratio_pct_ =
-        config_.metrics->GetHistogram("state.snapshot_delta_ratio_pct");
+        config_.metrics->GetHistogram(metric_names::kStateSnapshotDeltaRatioPct);
   }
 }
 

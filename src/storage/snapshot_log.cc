@@ -18,6 +18,7 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "common/metric_names.h"
 #include "storage/crc32c.h"
 #include "storage/serde.h"
 #include "trace/trace.h"
@@ -133,6 +134,7 @@ size_t ParseRecords(
     Reader header(data.substr(offset, kRecordHeaderSize));
     uint32_t len = 0;
     uint32_t masked_crc = 0;
+    // The reader was sized to exactly one header, so these cannot fail.
     (void)header.ReadU32(&len);
     (void)header.ReadU32(&masked_crc);
     const size_t end = offset + kRecordHeaderSize + len;
@@ -286,11 +288,11 @@ SnapshotLog::SnapshotLog(StorageOptions options)
     : options_(std::move(options)) {
   if (options_.metrics != nullptr) {
     m_persisted_bytes_ =
-        options_.metrics->GetCounter("storage.persisted_bytes");
-    m_commits_ = options_.metrics->GetCounter("storage.commits");
-    m_compactions_ = options_.metrics->GetCounter("storage.compactions");
-    m_segments_ = options_.metrics->GetGauge("storage.segments");
-    m_fsync_ = options_.metrics->GetHistogram("storage.fsync_nanos");
+        options_.metrics->GetCounter(metric_names::kStoragePersistedBytes);
+    m_commits_ = options_.metrics->GetCounter(metric_names::kStorageCommits);
+    m_compactions_ = options_.metrics->GetCounter(metric_names::kStorageCompactions);
+    m_segments_ = options_.metrics->GetGauge(metric_names::kStorageSegments);
+    m_fsync_ = options_.metrics->GetHistogram(metric_names::kStorageFsyncNanos);
   }
 }
 
@@ -819,7 +821,10 @@ Status SnapshotLog::ScanSnapshotLocked(const std::string& table, int64_t ssid,
     bool tombstone = false;
     kv::Object value;
   };
-  std::unordered_map<kv::Value, Best, kv::ValueHash> view;
+  // Ordered map, not unordered: these rows reach query output on the
+  // durable-fallback path, so emission must be deterministic (key order),
+  // not hash order. Cold path; the tree map is fine.
+  std::map<kv::Value, Best> view;
   for (const Segment& segment : segments_) {
     std::string data;
     SQ_RETURN_IF_ERROR(ReadFileBytes(segment.path, &data));
@@ -955,8 +960,10 @@ size_t SnapshotLog::CompactTo(int64_t floor_ssid) {
     bool tombstone = false;
     kv::Object value;
   };
-  std::map<std::string, std::unordered_map<kv::Value, Base, kv::ValueHash>>
-      bases;
+  // Ordered by key so the rewritten segment's bytes are deterministic: a
+  // recovered node and a live node compacting the same inputs must produce
+  // identical segments. Cold path; the tree map is fine.
+  std::map<std::string, std::map<kv::Value, Base>> bases;
   int64_t max_base_ssid = 0;
   for (size_t i : inputs) {
     std::string data;
@@ -1047,6 +1054,8 @@ size_t SnapshotLog::CompactTo(int64_t floor_ssid) {
     fs::remove(segments_[i].path, ec);
     ++deleted;
   }
+  // Best effort: a missed directory sync re-surfaces deleted segments after
+  // a crash, which recovery already tolerates (newest entry per key wins).
   (void)SyncDir(options_.dir);
 
   std::vector<Segment> remaining;
@@ -1074,6 +1083,8 @@ size_t SnapshotLog::CompactTo(int64_t floor_ssid) {
   if (m_segments_ != nullptr) {
     m_segments_->Set(static_cast<int64_t>(segments_.size()));
   }
+  // Best effort: the manifest is a recovery accelerator, not a correctness
+  // input; a stale one just means a slower segment scan on next open.
   (void)WriteManifestLocked();
   return deleted;
 }

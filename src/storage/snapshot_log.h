@@ -228,7 +228,9 @@ class SnapshotLog {
   Status ScanSnapshotLocked(const std::string& table, int64_t ssid,
                             const ScanFn& fn) const SQ_REQUIRES(mu_);
 
+  // sq-lint: unguarded-ok(set in Open before any concurrent access)
   StorageOptions options_;
+  // sq-lint: unguarded-ok(immutable once OpenImpl returns)
   RecoveryInfo recovery_;  // immutable once OpenImpl returns
 
   // The commit path holds mu_ while enqueueing to the compactor under
@@ -270,6 +272,7 @@ class SnapshotLog {
   std::deque<int64_t> compact_queue_ SQ_GUARDED_BY(compact_mu_);
   bool compact_stop_ SQ_GUARDED_BY(compact_mu_) = false;
   bool compact_idle_ SQ_GUARDED_BY(compact_mu_) = true;
+  // sq-lint: unguarded-ok(started in Open, joined in Close)
   std::thread compactor_;
 };
 

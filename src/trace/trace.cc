@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/clock.h"
+#include "common/metric_names.h"
 #include "common/metrics.h"
 #include "common/mutex.h"
 
@@ -56,6 +57,7 @@ int32_t ThisThreadOrdinal() {
 struct ThreadRing {
   static constexpr uint64_t kCapacity = 256;  // power of two
 
+  // sq-lint: unguarded-ok(SPSC ring: slot ownership handed off by head/tail)
   TraceSpan slots[kCapacity];
   std::atomic<uint64_t> head{0};  ///< next slot the producer writes
   std::atomic<uint64_t> tail{0};  ///< next slot a consumer reads
@@ -84,7 +86,7 @@ struct Globals {
 
   Globals() {
     dropped_counter =
-        MetricsRegistry::Default()->GetCounter("trace.dropped_spans");
+        MetricsRegistry::Default()->GetCounter(metric_names::kTraceDroppedSpans);
   }
 };
 

@@ -14,8 +14,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -303,6 +305,277 @@ TEST(WireCodec, SmallPayloadRoundTrips) {
     ASSERT_TRUE(decoded.ok()) << decoded.status();
     EXPECT_TRUE(decoded->has_requested);
     EXPECT_EQ(decoded->requested, 5);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden-frame corpus: one checked-in encoded frame per MsgType. Each case
+// asserts (a) re-encoding the canonical message reproduces the checked-in
+// bytes exactly — any wire-format drift (field order, width, CRC, framing)
+// fails here before it can strand persisted frames or break rolling
+// upgrades — and (b) decoding the checked-in bytes round-trips byte-exactly.
+// sq-lint's wire pass cross-checks that every MsgType appears between the
+// corpus markers below.
+
+std::string FromHex(std::string_view hex) {
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    return c - 'a' + 10;
+  };
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i + 1 < hex.size(); i += 2) {
+    out.push_back(static_cast<char>((nibble(hex[i]) << 4) | nibble(hex[i + 1])));
+  }
+  return out;
+}
+
+std::string ToHex(std::string_view bytes) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xf]);
+  }
+  return out;
+}
+
+struct GoldenFrame {
+  MsgType type;
+  std::string hex;  // full encoded frame: header + payload
+  std::function<Frame()> build;
+};
+
+std::vector<GoldenFrame> GoldenCorpus() {
+  std::vector<GoldenFrame> corpus;
+  auto add = [&corpus](MsgType type, std::string hex,
+                       std::function<Frame()> build) {
+    corpus.push_back({type, std::move(hex), std::move(build)});
+  };
+  // sqlint-golden-corpus-begin
+  add(MsgType::kHello, "1200000020c2dfdf010101000000000000000000000000000000",
+      [] {
+        Frame f;
+        f.type = MsgType::kHello;
+        f.request_id = 1;
+        return f;
+      });
+  add(MsgType::kPointLookup,
+      "3d00000014a713eb01020200000000000000bc0a000000000000060000006f72646572"
+      "7301030000000000000000020000000201000000000000000405000000616c706861",
+      [] {
+        Frame f;
+        f.type = MsgType::kPointLookup;
+        f.request_id = 2;
+        f.trace_id = 0xabc;
+        PointLookupRequest m;
+        m.read.table = "orders";
+        m.read.has_ssid = true;
+        m.read.ssid = 3;
+        m.keys.push_back(kv::Value(int64_t{1}));
+        m.keys.push_back(kv::Value("alpha"));
+        EncodePointLookupRequest(m, &f.body);
+        return f;
+      });
+  add(MsgType::kScanPartition,
+      "400000004a2781f4010303000000000000000000000000000000060000006f72646572"
+      "7300000000000000000000020000000a0000007072696365203e20313000401e18240a"
+      "0600",
+      [] {
+        Frame f;
+        f.type = MsgType::kScanPartition;
+        f.request_id = 3;
+        ScanPartitionRequest m;
+        m.read.table = "orders";
+        m.partition = 2;
+        m.predicate_sql = "price > 10";
+        m.local_timestamp_micros = 1700000000000000;
+        EncodeScanPartitionRequest(m, &f.body);
+        return f;
+      });
+  add(MsgType::kAggregatePartition,
+      "61000000320b3ff00104040000000000000000000000000000000400000062696473"
+      "010900000000000000000100000000000000010000000700000061756374696f6e02"
+      "00000008000000636f756e74282a290a0000006d6178287072696365290000000000"
+      "000000",
+      [] {
+        Frame f;
+        f.type = MsgType::kAggregatePartition;
+        f.request_id = 4;
+        AggregatePartitionRequest m;
+        m.read.table = "bids";
+        m.read.has_ssid = true;
+        m.read.ssid = 9;
+        m.partition = 1;
+        m.group_by_sql.push_back("auction");
+        m.aggregate_sql.push_back("count(*)");
+        m.aggregate_sql.push_back("max(price)");
+        EncodeAggregatePartitionRequest(m, &f.body);
+        return f;
+      });
+  add(MsgType::kReplicationDelta,
+      "560000007a27a7e4010505000000000000000000000000000000060000006f72646572"
+      "73070000000000000002000000020a000000000000000001000000050000007072696365"
+      "030000000000000440020b000000000000000100000000",
+      [] {
+        Frame f;
+        f.type = MsgType::kReplicationDelta;
+        f.request_id = 5;
+        ReplicationDelta m;
+        m.table = "orders";
+        m.ssid = 7;
+        DeltaEntry put;
+        put.key = kv::Value(int64_t{10});
+        put.value.Set("price", kv::Value(2.5));
+        m.entries.push_back(std::move(put));
+        DeltaEntry del;
+        del.key = kv::Value(int64_t{11});
+        del.tombstone = true;
+        m.entries.push_back(std::move(del));
+        EncodeReplicationDelta(m, &f.body);
+        return f;
+      });
+  add(MsgType::kCheckpointMarker,
+      "1b00000097380b1d010606000000000000000000000000000000010c00000000000000",
+      [] {
+        Frame f;
+        f.type = MsgType::kCheckpointMarker;
+        f.request_id = 6;
+        CheckpointMarker m{CheckpointPhase::kCommit, 12};
+        EncodeCheckpointMarker(m, &f.body);
+        return f;
+      });
+  add(MsgType::kResolveSsid,
+      "1b000000d5b99b8e010707000000000000000000000000000000010400000000000000",
+      [] {
+        Frame f;
+        f.type = MsgType::kResolveSsid;
+        f.request_id = 7;
+        ResolveSsidRequest m{true, 4};
+        EncodeResolveSsidRequest(m, &f.body);
+        return f;
+      });
+  add(MsgType::kHelloReply,
+      "220000009c6636d90140010000000000000000000000000000000200000004000000"
+      "080000000c000000",
+      [] {
+        Frame f;
+        f.type = MsgType::kHelloReply;
+        f.request_id = 1;
+        HelloReply m{2, 4, 8, 12};
+        EncodeHelloReply(m, &f.body);
+        return f;
+      });
+  add(MsgType::kRows,
+      "460000008bd72d270141020000000000000000000000000000000500000000000000"
+      "0100000002010000000000000001030000000000000001000000050000007072696365"
+      "022a00000000000000",
+      [] {
+        Frame f;
+        f.type = MsgType::kRows;
+        f.request_id = 2;
+        RowsReply m;
+        m.rows_scanned = 5;
+        WireRow r;
+        r.key = kv::Value(int64_t{1});
+        r.has_ssid = true;
+        r.ssid = 3;
+        r.value.Set("price", kv::Value(int64_t{42}));
+        m.rows.push_back(std::move(r));
+        EncodeRowsReply(m, &f.body);
+        return f;
+      });
+  add(MsgType::kAggregateReply,
+      "6e000000e19afe3701420400000000000000000000000000000003000000000000000"
+      "100000000000000010000000100000002070000000000000001000000070000006175"
+      "6374696f6e0207000000000000000100000002000000000000000"
+      "11e000000000000000000000000000000000000000000",
+      [] {
+        Frame f;
+        f.type = MsgType::kAggregateReply;
+        f.request_id = 4;
+        AggregateReply m;
+        m.rows_scanned = 3;
+        m.rows_returned = 1;
+        WireGroup g;
+        g.key.push_back(kv::Value(int64_t{7}));
+        g.representative.Set("auction", kv::Value(int64_t{7}));
+        sql::AggState s;
+        s.count = 2;
+        s.isum = 30;
+        g.aggs.push_back(s);
+        m.groups.push_back(std::move(g));
+        EncodeAggregateReply(m, &f.body);
+        return f;
+      });
+  add(MsgType::kAck, "1200000010437c08014305000000000000000000000000000000",
+      [] {
+        Frame f;
+        f.type = MsgType::kAck;
+        f.request_id = 5;
+        return f;
+      });
+  add(MsgType::kResolveSsidReply,
+      "1a00000069ad487c0144070000000000000000000000000000000400000000000000",
+      [] {
+        Frame f;
+        f.type = MsgType::kResolveSsidReply;
+        f.request_id = 7;
+        ResolveSsidReply m{4};
+        EncodeResolveSsidReply(m, &f.body);
+        return f;
+      });
+  add(MsgType::kError,
+      "27000000049d31f601450900000000000000000000000000000002100000006e6f2073"
+      "75636820736e617073686f74",
+      [] {
+        Frame f;
+        f.type = MsgType::kError;
+        f.request_id = 9;
+        EncodeStatusBody(Status::NotFound("no such snapshot"), &f.body);
+        return f;
+      });
+  // sqlint-golden-corpus-end
+  return corpus;
+}
+
+TEST(WireCodec, GoldenCorpusCoversEveryMsgType) {
+  const auto corpus = GoldenCorpus();
+  std::set<uint8_t> covered;
+  for (const GoldenFrame& g : corpus) {
+    covered.insert(static_cast<uint8_t>(g.type));
+  }
+  for (uint8_t t = 0; t < 255; ++t) {
+    EXPECT_EQ(IsKnownMsgType(t), covered.count(t) == 1)
+        << "MsgType " << int{t} << " known/corpus mismatch";
+  }
+}
+
+TEST(WireCodec, GoldenFramesEncodeByteExactly) {
+  for (const GoldenFrame& g : GoldenCorpus()) {
+    std::string encoded;
+    EncodeFrame(g.build(), &encoded);
+    EXPECT_EQ(ToHex(encoded), g.hex)
+        << "wire-format drift for " << MsgTypeToString(g.type)
+        << ": re-encoding the canonical message no longer reproduces the "
+           "checked-in frame";
+  }
+}
+
+TEST(WireCodec, GoldenFramesDecodeAndRoundTrip) {
+  for (const GoldenFrame& g : GoldenCorpus()) {
+    const std::string bytes = FromHex(g.hex);
+    size_t consumed = 0;
+    auto decoded = DecodeFrame(bytes, &consumed);
+    ASSERT_TRUE(decoded.ok())
+        << MsgTypeToString(g.type) << ": " << decoded.status();
+    EXPECT_EQ(consumed, bytes.size());
+    EXPECT_EQ(decoded->type, g.type);
+    std::string reencoded;
+    EncodeFrame(*decoded, &reencoded);
+    EXPECT_EQ(ToHex(reencoded), g.hex)
+        << MsgTypeToString(g.type) << " does not round-trip byte-exactly";
   }
 }
 

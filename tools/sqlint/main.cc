@@ -1,0 +1,54 @@
+#include <cstring>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "sqlint.h"
+
+namespace {
+
+void Usage(std::ostream& out) {
+  out << "usage: sqlint --root <repo> [--pass <a,b,...>] [--dump-metrics]\n"
+      << "passes: determinism, wire, locks, status, metrics (default: all)\n"
+      << "exit: 0 clean, 1 findings, 2 usage/setup error\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::set<std::string> passes;
+  bool dump_metrics = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--pass" && i + 1 < argc) {
+      std::istringstream list(argv[++i]);
+      std::string pass;
+      while (std::getline(list, pass, ',')) {
+        if (!pass.empty()) passes.insert(pass);
+      }
+    } else if (arg == "--dump-metrics") {
+      dump_metrics = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "sqlint: unknown argument '" << arg << "'\n";
+      Usage(std::cerr);
+      return 2;
+    }
+  }
+  if (root.empty()) {
+    std::cerr << "sqlint: --root is required\n";
+    Usage(std::cerr);
+    return 2;
+  }
+  if (dump_metrics) {
+    std::cout << sq::lint::DumpMetricsTable(sq::lint::LoadTree(root));
+    return 0;
+  }
+  return sq::lint::RunSqlint(root, passes, std::cout);
+}

@@ -1,0 +1,191 @@
+#include "source.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace sq::lint {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+std::string_view SourceFile::CodeAt(size_t line) const {
+  if (line == 0 || line > lines.size()) return {};
+  return lines[line - 1].code;
+}
+
+std::string_view SourceFile::CommentAt(size_t line) const {
+  if (line == 0 || line > lines.size()) return {};
+  return lines[line - 1].comment;
+}
+
+SourceFile ScanSource(std::string path, std::string_view contents) {
+  SourceFile file;
+  file.path = std::move(path);
+
+  enum class State { kCode, kString, kChar, kLineComment, kBlockComment };
+  State state = State::kCode;
+  SourceLine current;
+
+  for (size_t i = 0; i < contents.size(); ++i) {
+    const char c = contents[i];
+    const char next = i + 1 < contents.size() ? contents[i + 1] : '\0';
+
+    if (c == '\n') {
+      file.lines.push_back(std::move(current));
+      current = SourceLine{};
+      if (state == State::kLineComment) state = State::kCode;
+      // A newline inside a string/char literal is ill-formed C++; recover to
+      // code so one bad line cannot eat the rest of the file.
+      if (state == State::kString || state == State::kChar) {
+        state = State::kCode;
+      }
+      continue;
+    }
+
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+          current.code.push_back(c);
+        } else if (c == '\'') {
+          state = State::kChar;
+          current.code.push_back(c);
+        } else {
+          current.code.push_back(c);
+        }
+        break;
+      case State::kString:
+      case State::kChar:
+        current.code.push_back(c);
+        if (c == '\\' && next != '\0') {
+          current.code.push_back(next);
+          ++i;
+        } else if ((state == State::kString && c == '"') ||
+                   (state == State::kChar && c == '\'')) {
+          state = State::kCode;
+        }
+        break;
+      case State::kLineComment:
+        current.comment.push_back(c);
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          current.comment.push_back(c);
+        }
+        break;
+    }
+  }
+  if (!current.code.empty() || !current.comment.empty()) {
+    file.lines.push_back(std::move(current));
+  }
+  return file;
+}
+
+SourceFile ScanPlainText(std::string path, std::string_view contents) {
+  SourceFile file;
+  file.path = std::move(path);
+  size_t start = 0;
+  while (start <= contents.size()) {
+    const size_t end = contents.find('\n', start);
+    SourceLine line;
+    line.code = std::string(
+        contents.substr(start, end == std::string_view::npos
+                                   ? std::string_view::npos
+                                   : end - start));
+    file.lines.push_back(std::move(line));
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  return file;
+}
+
+bool ReadFileToString(const std::filesystem::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+bool HasToken(std::string_view code, std::string_view token) {
+  size_t pos = 0;
+  while ((pos = code.find(token, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
+    const size_t end = pos + token.size();
+    const bool right_ok = end >= code.size() || !IsIdentChar(code[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+bool ParseExemption(std::string_view comment, std::string* rule,
+                    std::string* reason) {
+  const size_t marker = comment.find("sq-lint:");
+  if (marker == std::string_view::npos) return false;
+  size_t pos = marker + std::string_view("sq-lint:").size();
+  while (pos < comment.size() &&
+         std::isspace(static_cast<unsigned char>(comment[pos])) != 0) {
+    ++pos;
+  }
+  const size_t rule_begin = pos;
+  while (pos < comment.size() &&
+         (std::isalnum(static_cast<unsigned char>(comment[pos])) != 0 ||
+          comment[pos] == '-' || comment[pos] == '_')) {
+    ++pos;
+  }
+  *rule = std::string(comment.substr(rule_begin, pos - rule_begin));
+  reason->clear();
+  if (pos >= comment.size() || comment[pos] != '(') return true;
+  const size_t close = comment.rfind(')');
+  if (close == std::string_view::npos || close <= pos) return true;
+  std::string_view r = comment.substr(pos + 1, close - pos - 1);
+  while (!r.empty() && std::isspace(static_cast<unsigned char>(r.front()))) {
+    r.remove_prefix(1);
+  }
+  while (!r.empty() && std::isspace(static_cast<unsigned char>(r.back()))) {
+    r.remove_suffix(1);
+  }
+  *reason = std::string(r);
+  return true;
+}
+
+namespace {
+
+bool LineExempts(const SourceFile& file, size_t line, std::string_view rule) {
+  std::string got_rule;
+  std::string reason;
+  if (!ParseExemption(file.CommentAt(line), &got_rule, &reason)) return false;
+  return got_rule == std::string(rule) + "-ok" && !reason.empty();
+}
+
+}  // namespace
+
+bool HasExemption(const SourceFile& file, size_t line, std::string_view rule) {
+  if (LineExempts(file, line, rule)) return true;
+  if (line <= 1) return false;
+  // The line above only exempts if it is a standalone comment line — a
+  // trailing exemption belongs to its own code, not to the line below.
+  for (char c : file.CodeAt(line - 1)) {
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) return false;
+  }
+  return LineExempts(file, line - 1, rule);
+}
+
+}  // namespace sq::lint

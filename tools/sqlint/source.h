@@ -1,0 +1,65 @@
+#ifndef SQUERY_TOOLS_SQLINT_SOURCE_H_
+#define SQUERY_TOOLS_SQLINT_SOURCE_H_
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// sqlint is deliberately standalone: it lints the engine's sources, so it
+// must not link them. Plain std only, no sq::Status/Result.
+
+namespace sq::lint {
+
+/// One physical source line, split by the scanner: `code` is the line with
+/// comments removed (string literals kept verbatim, including quotes);
+/// `comment` is the text of any comment that appears on the line (both `//`
+/// and `/* */` forms, block comments attributed to every line they span).
+struct SourceLine {
+  std::string code;
+  std::string comment;
+};
+
+/// A scanned file. `path` is repo-relative with '/' separators; lines are
+/// 0-indexed internally, findings report 1-based numbers.
+struct SourceFile {
+  std::string path;
+  std::vector<SourceLine> lines;
+
+  bool empty() const { return lines.empty(); }
+  /// 1-based accessors; out-of-range returns an empty string.
+  std::string_view CodeAt(size_t line) const;
+  std::string_view CommentAt(size_t line) const;
+};
+
+/// Splits `contents` into code and comment channels. Handles `//`, `/* */`,
+/// string and char literals with escapes. Raw string literals are not used
+/// in this codebase and are scanned as ordinary strings.
+SourceFile ScanSource(std::string path, std::string_view contents);
+
+/// Loads a file verbatim into one SourceLine per physical line, with no
+/// comment/string scanning (for README.md and other non-C++ inputs).
+SourceFile ScanPlainText(std::string path, std::string_view contents);
+
+/// Reads a whole file; returns false if it cannot be opened.
+bool ReadFileToString(const std::filesystem::path& path, std::string* out);
+
+/// True if `code` contains `token` as a whole identifier (not a substring of
+/// a longer identifier).
+bool HasToken(std::string_view code, std::string_view token);
+
+/// The exemption-comment grammar: `sq-lint: <rule>(<reason>)`, e.g.
+///   // sq-lint: unordered-ok(lookup-only; probe order follows left input)
+/// Returns true if the comment of `line` (1-based) or of the immediately
+/// preceding line carries a well-formed exemption for `rule` with a
+/// non-empty reason.
+bool HasExemption(const SourceFile& file, size_t line, std::string_view rule);
+
+/// Parses one comment for an `sq-lint:` marker. Returns true if a marker is
+/// present; fills rule/reason (empty reason = malformed).
+bool ParseExemption(std::string_view comment, std::string* rule,
+                    std::string* reason);
+
+}  // namespace sq::lint
+
+#endif  // SQUERY_TOOLS_SQLINT_SOURCE_H_

@@ -1,0 +1,77 @@
+#ifndef SQUERY_TOOLS_SQLINT_SQLINT_H_
+#define SQUERY_TOOLS_SQLINT_SQLINT_H_
+
+#include <filesystem>
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "source.h"
+
+// sq-lint: the project-invariant static-analysis suite (README "Static
+// analysis & concurrency hygiene"). Five passes over a lexical scan of the
+// tree — no libclang, so it runs in every CI job and as a tier-1 ctest:
+//
+//   determinism   unordered-container iteration / wall-clock / rand inside
+//                 result-producing layers (src/sql, src/query, src/net,
+//                 src/storage) — the bit-identical merge invariant
+//   wire          every net::MsgType and storage RecordType value must have
+//                 an encode site, a decode case, a MsgTypeToString entry and
+//                 a golden-frame corpus reference in tests/net_test.cc
+//   locks         every sq::Mutex/SharedMutex member carries a lockrank,
+//                 every sibling mutable field is SQ_GUARDED_BY or exempted,
+//                 and the lockrank table matches the README rank table
+//   status        `(void)`-discarded calls must carry a rationale comment
+//   metrics       metric names come from common/metric_names.h, every
+//                 registry entry is used and documented in the README
+//
+// A finding is suppressed by an exemption comment on the same line or the
+// line above:  // sq-lint: <rule>-ok(<non-empty reason>)
+// with <rule> one of: unordered, wallclock, rand, unranked, unguarded,
+// discard, metric-name.
+
+namespace sq::lint {
+
+struct Finding {
+  std::string file;
+  size_t line = 0;
+  std::string pass;
+  std::string message;
+};
+
+/// The scanned tree: every .h/.cc under src/, plus tests/net_test.cc (golden
+/// corpus cross-check) and README.md (rank + metrics table cross-checks).
+struct Tree {
+  std::filesystem::path root;
+  std::vector<SourceFile> files;
+
+  const SourceFile* Find(std::string_view rel_path) const;
+};
+
+Tree LoadTree(const std::filesystem::path& root);
+
+// Individual passes (exposed for the fixture tests). Each appends findings.
+void CheckExemptionGrammar(const Tree& tree, std::vector<Finding>* findings);
+void PassDeterminism(const Tree& tree, std::vector<Finding>* findings);
+void PassWire(const Tree& tree, std::vector<Finding>* findings);
+void PassLocks(const Tree& tree, std::vector<Finding>* findings);
+void PassStatus(const Tree& tree, std::vector<Finding>* findings);
+void PassMetrics(const Tree& tree, std::vector<Finding>* findings);
+
+/// Valid pass names for RunSqlint's filter.
+const std::set<std::string>& AllPassNames();
+
+/// Runs the selected passes (empty = all) plus the exemption-grammar check,
+/// prints findings to `out`, returns the process exit code (0 = clean,
+/// 1 = findings, 2 = usage/setup error).
+int RunSqlint(const std::filesystem::path& root,
+              const std::set<std::string>& passes, std::ostream& out);
+
+/// Renders the metric registry as the README's markdown table
+/// (`sqlint --dump-metrics`).
+std::string DumpMetricsTable(const Tree& tree);
+
+}  // namespace sq::lint
+
+#endif  // SQUERY_TOOLS_SQLINT_SQLINT_H_
