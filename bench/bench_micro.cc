@@ -2,13 +2,16 @@
 // substrates, used to calibrate the cluster simulator and as ablations for
 // the design decisions listed in DESIGN.md §6 (colocation, key-level
 // locking, incremental snapshots, SQL operator costs). A custom main adds
-// two sections with their own output files:
+// three sections with their own output files:
 //   * trace overhead (off / sampled / full), writing BENCH_trace.json and a
 //     Perfetto-loadable sq_query.trace.json; SQ_BENCH_TRACE_ONLY=1 runs
 //     just this section (the CI smoke run);
 //   * scan throughput (row vs columnar engine, filtered vs unfiltered,
 //     parallelism 1/8) in rows/sec, merged into BENCH_query.json;
-//     SQ_BENCH_SCAN_ONLY=1 runs just this section.
+//     SQ_BENCH_SCAN_ONLY=1 runs just this section;
+//   * federated-scan overhead (system-table scan with vs without a cluster
+//     attached), writing BENCH_federation.json; SQ_BENCH_FED_ONLY=1 runs
+//     just this section (CI gates the overhead at < 5%).
 
 #include <benchmark/benchmark.h>
 
@@ -27,6 +30,7 @@
 #include "kv/grid.h"
 #include "kv/map_store.h"
 #include "kv/snapshot_table.h"
+#include "net/cluster_client.h"
 #include "query/query_service.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
@@ -508,19 +512,94 @@ void RunScanThroughputSection() {
   std::printf("merged scan_throughput into BENCH_query.json\n");
 }
 
+// --- Federation overhead. Attaching a ClusterRouter sends every
+// system-table scan through the federated path (local scan, then remote
+// fan-out over RemoteNodeIds). With no remote nodes that fan-out must be
+// free: CI gates the delta on a local `__spans` scan at < 5% so the cluster
+// observability plumbing never taxes single-node deployments.
+// SQ_BENCH_FED_ONLY=1 runs just this section.
+double MeasureSystemScanNanos(query::QueryService* service,
+                              const std::string& sql, int iters) {
+  const int64_t t0 = SystemClock::Default()->NowNanos();
+  for (int i = 0; i < iters; ++i) {
+    auto result = service->Execute(sql);
+    benchmark::DoNotOptimize(result);
+  }
+  return static_cast<double>(SystemClock::Default()->NowNanos() - t0) /
+         iters;
+}
+
+void RunFederatedOverheadSection() {
+  auto& fixture = ParallelQueryFixture::Get();
+  const char* scale_env = std::getenv("SQ_BENCH_SCALE");
+  const double scale = scale_env != nullptr ? std::atof(scale_env) : 1.0;
+  const int iters = std::max(10, static_cast<int>(150 * scale));
+  const int rounds = 5;
+
+  // A deterministically full journal, so the scan measures real row volume
+  // rather than the fixed per-query cost on an empty snapshot.
+  for (int64_t i = 0; i < 2000; ++i) {
+    trace::RecordSpan(trace::Category::kQuery, "bench.fed_fixture",
+                      trace::RootContext(trace::NewTraceId(), /*forced=*/true),
+                      i * 1000, i * 1000 + 500);
+  }
+
+  query::QueryService federated(&fixture.grid, &fixture.registry);
+  net::ClusterClient client(
+      net::ClusterTopology{.partition_count = 271, .nodes = {}},
+      net::RpcOptions{});
+  federated.AttachCluster(&client);
+
+  const std::string sql = "SELECT COUNT(*) AS n FROM __spans";
+  // Warmup both paths identically.
+  MeasureSystemScanNanos(&fixture.service, sql, iters / 2 + 1);
+  MeasureSystemScanNanos(&federated, sql, iters / 2 + 1);
+
+  // Interleaved best-of-rounds, same rationale as the trace section.
+  double best_local = 1e300;
+  double best_fed = 1e300;
+  for (int round = 0; round < rounds; ++round) {
+    best_local = std::min(
+        best_local, MeasureSystemScanNanos(&fixture.service, sql, iters));
+    best_fed = std::min(best_fed,
+                        MeasureSystemScanNanos(&federated, sql, iters));
+  }
+  const double overhead_pct = (best_fed - best_local) / best_local * 100.0;
+  std::printf(
+      "\nfederated-scan overhead on '%s' (%d queries x %d rounds):\n"
+      "  local-only:       %10.0f ns/query\n"
+      "  cluster attached: %10.0f ns/query (%+.2f%%)\n",
+      sql.c_str(), iters, rounds, best_local, best_fed, overhead_pct);
+
+  std::FILE* f = std::fopen("BENCH_federation.json", "w");
+  if (f == nullptr) return;
+  std::fprintf(f,
+               "{\n  \"federated_scan_overhead\": {\n"
+               "    \"query\": \"%s\",\n"
+               "    \"iters\": %d,\n"
+               "    \"local_nanos\": %.0f,\n"
+               "    \"federated_nanos\": %.0f,\n"
+               "    \"overhead_pct\": %.3f\n  }\n}\n",
+               sql.c_str(), iters, best_local, best_fed, overhead_pct);
+  std::fclose(f);
+  std::printf("wrote BENCH_federation.json\n");
+}
+
 }  // namespace
 }  // namespace sq
 
 int main(int argc, char** argv) {
   const bool trace_only = std::getenv("SQ_BENCH_TRACE_ONLY") != nullptr;
   const bool scan_only = std::getenv("SQ_BENCH_SCAN_ONLY") != nullptr;
-  if (!trace_only && !scan_only) {
+  const bool fed_only = std::getenv("SQ_BENCH_FED_ONLY") != nullptr;
+  if (!trace_only && !scan_only && !fed_only) {
     ::benchmark::Initialize(&argc, argv);
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
     ::benchmark::RunSpecifiedBenchmarks();
     ::benchmark::Shutdown();
   }
-  if (!scan_only) sq::RunTraceOverheadSection();
-  if (!trace_only) sq::RunScanThroughputSection();
+  if (!scan_only && !fed_only) sq::RunTraceOverheadSection();
+  if (!trace_only && !fed_only) sq::RunScanThroughputSection();
+  if (!trace_only && !scan_only) sq::RunFederatedOverheadSection();
   return 0;
 }

@@ -48,36 +48,38 @@ void Histogram::Record(int64_t value) {
 }
 
 void Histogram::Merge(const Histogram& other) {
-  std::vector<int64_t> other_buckets;
-  int64_t other_count;
-  int64_t other_min;
-  int64_t other_max;
-  double other_sum;
-  {
-    MutexLock lock(&other.mu_);
-    other_buckets = other.buckets_;
-    other_count = other.count_;
-    other_min = other.min_;
-    other_max = other.max_;
-    other_sum = other.sum_;
-  }
-  if (other_count == 0) return;
+  MergeState(other.Snapshot());
+}
+
+Histogram::State Histogram::Snapshot() const {
+  State s;
   MutexLock lock(&mu_);
-  if (other_buckets.size() > buckets_.size()) {
-    buckets_.resize(other_buckets.size(), 0);
+  s.buckets = buckets_;
+  s.count = count_;
+  s.min = min_;
+  s.max = max_;
+  s.sum = sum_;
+  return s;
+}
+
+void Histogram::MergeState(const State& other) {
+  if (other.count == 0) return;
+  MutexLock lock(&mu_);
+  if (other.buckets.size() > buckets_.size()) {
+    buckets_.resize(other.buckets.size(), 0);
   }
-  for (size_t i = 0; i < other_buckets.size(); ++i) {
-    buckets_[i] += other_buckets[i];
+  for (size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets_[i] += other.buckets[i];
   }
   if (count_ == 0) {
-    min_ = other_min;
-    max_ = other_max;
+    min_ = other.min;
+    max_ = other.max;
   } else {
-    min_ = std::min(min_, other_min);
-    max_ = std::max(max_, other_max);
+    min_ = std::min(min_, other.min);
+    max_ = std::max(max_, other.max);
   }
-  count_ += other_count;
-  sum_ += other_sum;
+  count_ += other.count;
+  sum_ += other.sum;
 }
 
 void Histogram::Reset() {

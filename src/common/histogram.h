@@ -32,6 +32,25 @@ class Histogram {
   /// Adds all counts from `other` into this histogram.
   void Merge(const Histogram& other);
 
+  /// Raw histogram state: the per-bucket counts plus the exact aggregates.
+  /// This is the *only* representation that may travel between processes —
+  /// bucket counts merge exactly, while percentiles computed per process do
+  /// not (averaging a p99 with a p99 is not a p99).
+  struct State {
+    std::vector<int64_t> buckets;
+    int64_t count = 0;
+    int64_t min = 0;
+    int64_t max = 0;
+    double sum = 0.0;
+  };
+
+  /// Atomically copies the raw state (for serialization / federation).
+  State Snapshot() const;
+
+  /// Adds a raw state (e.g. received from another process) into this
+  /// histogram, bucket by bucket — the cross-process form of `Merge`.
+  void MergeState(const State& other);
+
   /// Removes all recorded values.
   void Reset();
 

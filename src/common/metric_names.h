@@ -142,6 +142,15 @@ inline constexpr char kNetServerConnections[] = "net.server.connections";
 inline constexpr char kNetServerHandleNanos[] = "net.server.handle_nanos";
 /// counter — requests handled; name prefix, completed with the MsgType name
 inline constexpr char kNetServerRpcsPrefix[] = "net.server.rpcs.";
+/// gauge — 1 while the node answers RPCs, 0 after a transport failure;
+/// name prefix, completed with the node id
+inline constexpr char kNetHealthAlivePrefix[] = "net.health.alive.";
+/// counter — successful re-dials after a lost connection; name prefix,
+/// completed with the node id
+inline constexpr char kNetHealthReconnectsPrefix[] = "net.health.reconnects.";
+/// counter — transport-level RPC failures against the node; name prefix,
+/// completed with the node id
+inline constexpr char kNetHealthFailuresPrefix[] = "net.health.failures.";
 
 // --- trace: the span tracer.
 

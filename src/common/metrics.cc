@@ -1,6 +1,8 @@
 #include "common/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <utility>
 
 namespace sq {
 
@@ -67,6 +69,85 @@ std::vector<MetricSample> MetricsRegistry::Collect() const {
             [](const MetricSample& a, const MetricSample& b) {
               return a.name < b.name;
             });
+  return out;
+}
+
+std::vector<std::pair<std::string, Histogram::State>>
+MetricsRegistry::HistogramStates() const {
+  // Stable pointers let the (possibly slow) per-histogram snapshots run
+  // outside the registry lock; std::map iteration is already name-sorted.
+  std::vector<std::pair<std::string, const Histogram*>> live;
+  {
+    MutexLock lock(&mu_);
+    live.reserve(histograms_.size());
+    for (const auto& [name, histogram] : histograms_) {
+      live.emplace_back(name, histogram.get());
+    }
+  }
+  std::vector<std::pair<std::string, Histogram::State>> out;
+  out.reserve(live.size());
+  for (const auto& [name, histogram] : live) {
+    out.emplace_back(name, histogram->Snapshot());
+  }
+  return out;
+}
+
+namespace {
+
+/// "net.client.bytes_in" -> "sq_net_client_bytes_in". Characters outside
+/// [a-z0-9_] (after lowering) become '_' so the output is always a valid
+/// Prometheus metric name.
+std::string OpenMetricsName(const std::string& name) {
+  std::string out = "sq_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9');
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderOpenMetrics() const {
+  std::string out;
+  for (const MetricSample& s : Collect()) {
+    const std::string name = OpenMetricsName(s.name);
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + "_total " + std::to_string(s.value) + "\n";
+        break;
+      case MetricSample::Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + std::to_string(s.value) + "\n";
+        break;
+      case MetricSample::Kind::kHistogram: {
+        out += "# TYPE " + name + " summary\n";
+        const std::pair<const char*, int64_t> quantiles[] = {
+            {"0.5", s.summary.p50},
+            {"0.9", s.summary.p90},
+            {"0.99", s.summary.p99},
+            {"0.999", s.summary.p999},
+        };
+        for (const auto& [q, v] : quantiles) {
+          out += name + "{quantile=\"" + q + "\"} " + std::to_string(v) + "\n";
+        }
+        out += name + "_count " + std::to_string(s.summary.count) + "\n";
+        out += name + "_sum ";
+        AppendDouble(&out,
+                     s.summary.mean * static_cast<double>(s.summary.count));
+        out += "\n";
+        break;
+      }
+    }
+  }
+  out += "# EOF\n";
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/histogram.h"
@@ -75,6 +76,18 @@ class MetricsRegistry {
 
   /// Reads every registered metric, sorted by name (kinds interleaved).
   std::vector<MetricSample> Collect() const;
+
+  /// Raw bucket state of every registered histogram, sorted by name. This is
+  /// the form histograms travel in between processes: counts merge exactly
+  /// via `Histogram::MergeState`, percentiles never do.
+  std::vector<std::pair<std::string, Histogram::State>> HistogramStates()
+      const;
+
+  /// Renders every metric in the Prometheus / OpenMetrics text exposition
+  /// format: dotted names become underscored with an `sq_` prefix, counters
+  /// get the conventional `_total` suffix, histograms render as summaries
+  /// (quantile-labelled samples plus `_count`/`_sum`). Ends with `# EOF`.
+  std::string RenderOpenMetrics() const;
 
   /// Process-wide fallback registry for code without an injected one.
   static MetricsRegistry* Default();

@@ -188,6 +188,27 @@ ClusterClient::ClusterClient(ClusterTopology topology, RpcOptions rpc,
     m_retries_ = metrics_->GetCounter(metric_names::kNetClientRetries);
     m_deadline_exceeded_ = metrics_->GetCounter(metric_names::kNetClientDeadlineExceeded);
     m_errors_ = metrics_->GetCounter(metric_names::kNetClientErrors);
+    // Per-node health metrics, registered up front so every known node has
+    // rows in `__metrics` (alive defaults to 0 = "not yet contacted").
+    for (size_t i = 0; i < topology_.nodes.size(); ++i) {
+      const std::string id = std::to_string(topology_.nodes[i].node_id);
+      peers_[i]->m_alive = metrics_->GetGauge(
+          std::string(metric_names::kNetHealthAlivePrefix) + id);
+      peers_[i]->m_reconnects = metrics_->GetCounter(
+          std::string(metric_names::kNetHealthReconnectsPrefix) + id);
+      peers_[i]->m_failures = metrics_->GetCounter(
+          std::string(metric_names::kNetHealthFailuresPrefix) + id);
+    }
+    // Likewise the per-type RPC counters of every known message type, so
+    // `__metrics` carries the full set (zeros included) from the start —
+    // the lint rpc-metrics rule keeps this list in sync with the enum.
+    for (int t = 0; t < 256; ++t) {
+      if (!IsKnownMsgType(static_cast<uint8_t>(t))) continue;
+      // Registration only; Call() re-looks the handle up per RPC.
+      (void)metrics_->GetCounter(
+          std::string(metric_names::kNetClientRpcsPrefix) +
+          MsgTypeToString(static_cast<MsgType>(t)));
+    }
   }
 }
 
@@ -227,6 +248,12 @@ Status ClusterClient::TryCall(Peer* peer, const NodeAddress& address,
     Result<int> fd = DialTcp(address.host, address.port, deadline);
     if (!fd.ok()) return fd.status();
     peer->fd = *fd;
+    if (peer->ever_connected) {
+      // Health registry: a successful dial after a lost connection.
+      ++peer->reconnects;
+      if (peer->m_reconnects != nullptr) peer->m_reconnects->Increment();
+    }
+    peer->ever_connected = true;
   }
   int64_t bytes_in = 0;
   int64_t bytes_out = 0;
@@ -237,6 +264,15 @@ Status ClusterClient::TryCall(Peer* peer, const NodeAddress& address,
     m_bytes_out_->Increment(bytes_out);
   }
   if (m_bytes_in_ != nullptr && bytes_in > 0) m_bytes_in_->Increment(bytes_in);
+  {
+    TypeStats& stats = peer->by_type[static_cast<uint8_t>(request.type)];
+    stats.bytes_in += bytes_in;
+    stats.bytes_out += bytes_out;
+  }
+  if (reply.ok()) {
+    // Any decoded reply — kError included — proves the node is answering.
+    peer->last_contact_micros = SteadyToUnixMicros(trace::NowNanos());
+  }
   if (!reply.ok()) {
     // The connection is in an unknown state (half-written request, torn
     // reply) — drop it; a retry reconnects.
@@ -285,11 +321,12 @@ Status ClusterClient::Call(int32_t node_id, MsgType type,
   const int64_t t0 = trace::NowNanos();
   Status status = Status::OK();
   int32_t attempts = 0;
+  bool transport_failed = false;
   for (;;) {
     ++attempts;
     request.request_id =
         next_request_id_.fetch_add(1, std::memory_order_relaxed);
-    bool transport_failed = false;
+    transport_failed = false;
     status = TryCall(peer, address, request, expected_reply, reply_body,
                      &transport_failed);
     if (status.ok()) break;
@@ -304,6 +341,25 @@ Status ClusterClient::Call(int32_t node_id, MsgType type,
         std::chrono::milliseconds(rpc_.backoff_ms * attempts));
   }
   const int64_t t1 = trace::NowNanos();
+  {
+    // Health registry: liveness follows the *transport*, not the status — a
+    // typed error reply means the node answered and is alive.
+    MutexLock lock(&peer->mu);
+    TypeStats& stats = peer->by_type[static_cast<uint8_t>(type)];
+    ++stats.rpcs;
+    if (stats.latency == nullptr) stats.latency = std::make_unique<Histogram>();
+    stats.latency->Record(t1 - t0);
+    const bool answered = status.ok() || !transport_failed;
+    peer->alive = answered;
+    if (peer->m_alive != nullptr) peer->m_alive->Set(answered ? 1 : 0);
+    if (!status.ok()) {
+      peer->last_error = status.ToString();
+      if (!answered) {
+        ++peer->failures;
+        if (peer->m_failures != nullptr) peer->m_failures->Increment();
+      }
+    }
+  }
   if (!status.ok()) {
     status = status.WithContext(std::string("rpc ") + MsgTypeToString(type) +
                                 " to node " + std::to_string(node_id));
@@ -372,6 +428,174 @@ Result<int64_t> ClusterClient::ResolveSsid(std::optional<int64_t> requested) {
     if (!last.IsUnavailable() && !last.IsTimeout()) break;
   }
   return last;
+}
+
+Result<query::RemoteSystemTable> ClusterClient::FetchSystemTable(
+    const std::string& table, int32_t node_id) {
+  FetchSystemTableRequest req;
+  req.table = table;
+  std::string body;
+  EncodeFetchSystemTableRequest(req, &body);
+  trace::ScopedSpan span(trace::Category::kNet, "rpc.fetch_system_table",
+                         trace::CurrentContext());
+  span.AddAttr("table", table);
+  span.AddAttr("node", node_id);
+  std::string reply_body;
+  const int64_t t0_wall = SteadyToUnixMicros(trace::NowNanos());
+  SQ_RETURN_IF_ERROR(Call(node_id, MsgType::kFetchSystemTable, body,
+                          MsgType::kSystemTableReply, &reply_body,
+                          span.context(), /*idempotent=*/true));
+  const int64_t t1_wall = SteadyToUnixMicros(trace::NowNanos());
+  SQ_ASSIGN_OR_RETURN(SystemTableReply reply,
+                      DecodeSystemTableReply(reply_body));
+  query::RemoteSystemTable out;
+  out.rows = std::move(reply.rows);
+  out.histograms.reserve(reply.histograms.size());
+  for (WireHistogram& h : reply.histograms) {
+    Histogram::State state;
+    state.buckets = std::move(h.buckets);
+    state.count = h.count;
+    state.min = h.min;
+    state.max = h.max;
+    state.sum = h.sum;
+    out.histograms.emplace_back(std::move(h.name), std::move(state));
+  }
+  // RPC-midpoint clock alignment (DESIGN.md §11): assume the server stamped
+  // its reply halfway through the round trip, so the stamp minus our own
+  // midpoint is the server's wall-clock skew. The error is bounded by half
+  // the RTT — far below the millisecond-scale drift it corrects.
+  const int64_t skew = reply.server_unix_micros - (t0_wall + t1_wall) / 2;
+  span.AddAttr("clock_offset_micros", skew);
+  out.clock_offset_micros = -skew;
+  if (Result<size_t> index = IndexOfNode(node_id); index.ok()) {
+    Peer* peer = peers_[*index].get();
+    MutexLock lock(&peer->mu);
+    peer->clock_offset_micros = out.clock_offset_micros;
+    peer->has_clock_offset = true;
+  }
+  return out;
+}
+
+std::vector<int32_t> ClusterClient::RemoteNodeIds() {
+  std::vector<int32_t> ids;
+  ids.reserve(topology_.nodes.size());
+  for (const NodeAddress& node : topology_.nodes) {
+    ids.push_back(node.node_id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<kv::Object> ClusterClient::NodeHealthRows() {
+  std::vector<kv::Object> rows;
+  for (size_t i = 0; i < topology_.nodes.size(); ++i) {
+    const NodeAddress& address = topology_.nodes[i];
+    Peer* peer = peers_[i].get();
+    const kv::PartitionRange owned = kv::PartitionRangeOf(
+        static_cast<int32_t>(i), static_cast<int32_t>(topology_.nodes.size()),
+        topology_.partition_count);
+
+    // Snapshot the health state under the peer mutex, then build rows
+    // outside it (Summarize takes the histogram's own lock; the rank order
+    // kNetClient < kHistogram would allow it inline, but there is no need
+    // to hold up RPCs for row formatting).
+    bool ever_connected;
+    bool alive;
+    int64_t last_contact_micros;
+    int64_t reconnects;
+    int64_t failures;
+    std::string last_error;
+    bool has_clock_offset;
+    int64_t clock_offset_micros;
+    struct TypeRow {
+      uint8_t type;
+      int64_t rpcs;
+      int64_t bytes_in;
+      int64_t bytes_out;
+      Histogram::Summary latency;
+    };
+    std::vector<TypeRow> type_rows;
+    {
+      MutexLock lock(&peer->mu);
+      ever_connected = peer->ever_connected;
+      alive = peer->alive;
+      last_contact_micros = peer->last_contact_micros;
+      reconnects = peer->reconnects;
+      failures = peer->failures;
+      last_error = peer->last_error;
+      has_clock_offset = peer->has_clock_offset;
+      clock_offset_micros = peer->clock_offset_micros;
+      for (const auto& [type, stats] : peer->by_type) {
+        TypeRow tr;
+        tr.type = type;
+        tr.rpcs = stats.rpcs;
+        tr.bytes_in = stats.bytes_in;
+        tr.bytes_out = stats.bytes_out;
+        if (stats.latency != nullptr) tr.latency = stats.latency->Summarize();
+        type_rows.push_back(std::move(tr));
+      }
+    }
+
+    int64_t total_rpcs = 0;
+    int64_t total_bytes_in = 0;
+    int64_t total_bytes_out = 0;
+    for (const TypeRow& tr : type_rows) {
+      total_rpcs += tr.rpcs;
+      total_bytes_in += tr.bytes_in;
+      total_bytes_out += tr.bytes_out;
+    }
+
+    const int64_t node = address.node_id;
+    const std::string node_key = std::to_string(node);
+    kv::Object row;
+    row.Set("key", kv::Value(node_key));
+    row.Set("partitionKey", kv::Value(node_key));
+    row.Set("node", kv::Value(node));
+    row.Set("msg_type", kv::Value(""));  // summary row; per-type rows follow
+    row.Set("host", kv::Value(address.host));
+    row.Set("port", kv::Value(static_cast<int64_t>(address.port)));
+    row.Set("partition_begin", kv::Value(static_cast<int64_t>(owned.begin)));
+    row.Set("partition_end", kv::Value(static_cast<int64_t>(owned.end)));
+    // `status` says why a federated scan may be partial: "ok" answers RPCs,
+    // "unreachable" failed its last transport attempt, "unknown" has never
+    // been contacted.
+    row.Set("status", kv::Value(alive ? "ok"
+                                : ever_connected ? "unreachable"
+                                                 : "unknown"));
+    row.Set("alive", kv::Value(alive));
+    row.Set("last_contact_micros", kv::Value(last_contact_micros));
+    row.Set("reconnects", kv::Value(reconnects));
+    row.Set("failures", kv::Value(failures));
+    row.Set("rpcs", kv::Value(total_rpcs));
+    row.Set("bytes_in", kv::Value(total_bytes_in));
+    row.Set("bytes_out", kv::Value(total_bytes_out));
+    if (has_clock_offset) {
+      row.Set("clock_offset_micros", kv::Value(clock_offset_micros));
+    }
+    row.Set("last_error", kv::Value(std::move(last_error)));
+    rows.push_back(std::move(row));
+
+    for (const TypeRow& tr : type_rows) {
+      const char* type_name = MsgTypeToString(static_cast<MsgType>(tr.type));
+      kv::Object trow;
+      const std::string key = node_key + "/" + type_name;
+      trow.Set("key", kv::Value(key));
+      trow.Set("partitionKey", kv::Value(key));
+      trow.Set("node", kv::Value(node));
+      trow.Set("msg_type", kv::Value(type_name));
+      trow.Set("status", kv::Value(alive ? "ok"
+                                   : ever_connected ? "unreachable"
+                                                    : "unknown"));
+      trow.Set("alive", kv::Value(alive));
+      trow.Set("rpcs", kv::Value(tr.rpcs));
+      trow.Set("bytes_in", kv::Value(tr.bytes_in));
+      trow.Set("bytes_out", kv::Value(tr.bytes_out));
+      trow.Set("rpc_p50_nanos", kv::Value(tr.latency.p50));
+      trow.Set("rpc_p99_nanos", kv::Value(tr.latency.p99));
+      rows.push_back(std::move(trow));
+    }
+  }
+  return rows;
 }
 
 Result<HelloReply> ClusterClient::Hello(int32_t node_id) {

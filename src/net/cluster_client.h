@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -64,6 +65,14 @@ class ClusterClient : public query::ClusterRouter {
       const std::string& table, std::optional<int64_t> resolved_ssid,
       bool all_versions) override;
   Result<int64_t> ResolveSsid(std::optional<int64_t> requested) override;
+  /// One node's local rows of a virtual system table, plus (for
+  /// `__metrics`) raw histogram state and the RPC-midpoint clock-offset
+  /// estimate. Bounded by the per-attempt RPC deadline; a dead node is a
+  /// typed error the coordinator degrades on, never a hang.
+  Result<query::RemoteSystemTable> FetchSystemTable(const std::string& table,
+                                                    int32_t node_id) override;
+  std::vector<int32_t> RemoteNodeIds() override;
+  std::vector<kv::Object> NodeHealthRows() override;
 
   /// Handshake with one node: identity and owned partition range.
   Result<HelloReply> Hello(int32_t node_id);
@@ -98,9 +107,44 @@ class ClusterClient : public query::ClusterRouter {
               trace::SpanContext parent, bool idempotent);
 
  private:
+  /// Per-message-type RPC stats of one peer. Latency is a real Histogram so
+  /// `__nodes` percentiles come from raw buckets, exactly like `__metrics`
+  /// (recording under the peer mutex is rank-safe: kNetClient < kHistogram).
+  struct TypeStats {
+    int64_t rpcs = 0;
+    int64_t bytes_in = 0;
+    int64_t bytes_out = 0;
+    std::unique_ptr<Histogram> latency;
+  };
+
   struct Peer {
     Mutex mu{lockrank::kNetClient, "net.client.peer"};
     int fd SQ_GUARDED_BY(mu) = -1;
+
+    // --- health registry (surfaced as the `__nodes` system table and the
+    // net.health.* metrics) ---
+    bool ever_connected SQ_GUARDED_BY(mu) = false;
+    /// True while the node answers RPCs (a typed error reply still counts:
+    /// the node is alive, the request was just bad). False after a
+    /// transport-level failure, until the next successful contact.
+    bool alive SQ_GUARDED_BY(mu) = false;
+    int64_t last_contact_micros SQ_GUARDED_BY(mu) = 0;
+    int64_t reconnects SQ_GUARDED_BY(mu) = 0;
+    int64_t failures SQ_GUARDED_BY(mu) = 0;
+    std::string last_error SQ_GUARDED_BY(mu);
+    /// Latest RPC-midpoint clock-offset estimate (micros to add to the
+    /// node's wall timestamps), refreshed by every FetchSystemTable.
+    int64_t clock_offset_micros SQ_GUARDED_BY(mu) = 0;
+    bool has_clock_offset SQ_GUARDED_BY(mu) = false;
+    std::map<uint8_t, TypeStats> by_type SQ_GUARDED_BY(mu);
+
+    // Cached per-node metric handles (null without a registry).
+    // sq-lint: unguarded-ok(written once in the constructor, before sharing)
+    Gauge* m_alive = nullptr;
+    // sq-lint: unguarded-ok(written once in the constructor, before sharing)
+    Counter* m_reconnects = nullptr;
+    // sq-lint: unguarded-ok(written once in the constructor, before sharing)
+    Counter* m_failures = nullptr;
   };
 
   /// One attempt over the peer's cached connection. `transport_failed`

@@ -52,6 +52,16 @@ NodeServer::NodeServer(NodeServerOptions options)
     m_errors_ = m->GetCounter(metric_names::kNetServerErrors);
     m_connections_ = m->GetCounter(metric_names::kNetServerConnections);
     m_handle_nanos_ = m->GetHistogram(metric_names::kNetServerHandleNanos);
+    // Register the per-type RPC counter of every known message type eagerly,
+    // so `__metrics` carries a (possibly zero) row for each type from the
+    // start — dashboards and the lint rpc-metrics rule rely on the full
+    // set existing, not just the types already exercised.
+    for (int t = 0; t < 256; ++t) {
+      if (!IsKnownMsgType(static_cast<uint8_t>(t))) continue;
+      // Registration only; Handle() re-looks the handle up per request.
+      (void)m->GetCounter(std::string(metric_names::kNetServerRpcsPrefix) +
+                          MsgTypeToString(static_cast<MsgType>(t)));
+    }
   }
 }
 
@@ -133,36 +143,51 @@ void NodeServer::AcceptLoop() {
 }
 
 void NodeServer::Serve(int fd) {
-  int64_t bytes_in = 0;
-  int64_t bytes_out = 0;
   for (;;) {
+    int64_t bytes_in = 0;
+    int64_t bytes_out = 0;
+    int64_t first_byte_nanos = 0;
     // Block without deadline between requests (peers hold idle connections);
     // Stop() shuts the fd down to wake this.
-    Result<Frame> request = RecvFrame(fd, /*deadline_nanos=*/0, &bytes_in);
+    Result<Frame> request =
+        RecvFrame(fd, /*deadline_nanos=*/0, &bytes_in, &first_byte_nanos);
     if (m_bytes_in_ != nullptr && bytes_in > 0) {
       m_bytes_in_->Increment(bytes_in);
-      bytes_in = 0;
     }
     if (!request.ok()) break;
-    const Frame reply = Handle(*request);
+    bool handled_ok = true;
+    const Frame reply = Handle(*request, &handled_ok);
     const Status sent = SendFrame(fd, reply,
                                   trace::NowNanos() + kSendDeadlineNanos,
                                   &bytes_out);
     if (m_bytes_out_ != nullptr && bytes_out > 0) {
       m_bytes_out_->Increment(bytes_out);
-      bytes_out = 0;
+    }
+    // The server half of the RPC, wide: from the frame header's arrival
+    // through body receive, decode, dispatch, encode and the reply send —
+    // so client `rpc.call` minus server `rpc.serve` is pure wire time.
+    if (request->trace_id != 0) {
+      trace::RecordSpan(trace::Category::kNet, "rpc.serve",
+                        trace::RootContext(request->trace_id),
+                        first_byte_nanos, trace::NowNanos(),
+                        {{"msg_type", MsgTypeToString(request->type)},
+                         {"node", options_.node_id},
+                         {"ok", handled_ok && sent.ok()},
+                         {"bytes_in", bytes_in},
+                         {"bytes_out", bytes_out}});
     }
     if (!sent.ok()) break;
   }
 }
 
-Frame NodeServer::Handle(const Frame& request) {
+Frame NodeServer::Handle(const Frame& request, bool* handled_ok) {
   const int64_t t0 = trace::NowNanos();
   Frame reply;
   reply.request_id = request.request_id;
   reply.trace_id = request.trace_id;
   MsgType reply_type = MsgType::kError;
   Result<std::string> body = Dispatch(request, &reply_type);
+  *handled_ok = body.ok();
   if (body.ok()) {
     reply.type = reply_type;
     reply.body = std::move(body).value();
@@ -178,13 +203,6 @@ Frame NodeServer::Handle(const Frame& request) {
         ->GetCounter(std::string(metric_names::kNetServerRpcsPrefix) +
                      MsgTypeToString(request.type))
         ->Increment();
-  }
-  if (request.trace_id != 0) {
-    trace::RecordSpan(trace::Category::kNet, "rpc.serve",
-                      trace::RootContext(request.trace_id), t0, t1,
-                      {{"type", MsgTypeToString(request.type)},
-                       {"node", options_.node_id},
-                       {"ok", body.ok()}});
   }
   return reply;
 }
@@ -221,6 +239,9 @@ Result<std::string> NodeServer::Dispatch(const Frame& request,
     case MsgType::kResolveSsid:
       *reply_type = MsgType::kResolveSsidReply;
       return HandleResolveSsid(request.body);
+    case MsgType::kFetchSystemTable:
+      *reply_type = MsgType::kSystemTableReply;
+      return HandleFetchSystemTable(request.body);
     default:
       return Status::InvalidArgument(
           std::string("net: not a request type: ") +
@@ -488,6 +509,36 @@ Result<std::string> NodeServer::HandleCheckpointMarker(
     }
   }
   return std::string();
+}
+
+Result<std::string> NodeServer::HandleFetchSystemTable(std::string_view body) {
+  SQ_ASSIGN_OR_RETURN(FetchSystemTableRequest req,
+                      DecodeFetchSystemTableRequest(body));
+  // ScanSystemObjects is local-only by contract, so a federated fetch can
+  // never recurse back into the cluster from here.
+  SQ_ASSIGN_OR_RETURN(std::vector<kv::Object> rows,
+                      options_.query->ScanSystemObjects(req.table));
+  SystemTableReply reply;
+  reply.rows = std::move(rows);
+  if (req.table == "__metrics" && options_.metrics != nullptr) {
+    // Histograms additionally travel as raw bucket state: the coordinator
+    // recomputes the percentile columns from these (percentiles themselves
+    // must never be merged across processes).
+    for (auto& [name, state] : options_.metrics->HistogramStates()) {
+      WireHistogram h;
+      h.name = name;
+      h.buckets = std::move(state.buckets);
+      h.count = state.count;
+      h.min = state.min;
+      h.max = state.max;
+      h.sum = state.sum;
+      reply.histograms.push_back(std::move(h));
+    }
+  }
+  reply.server_unix_micros = SteadyToUnixMicros(trace::NowNanos());
+  std::string out;
+  EncodeSystemTableReply(reply, &out);
+  return out;
 }
 
 Result<std::string> NodeServer::HandleResolveSsid(std::string_view body) {

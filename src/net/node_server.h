@@ -76,8 +76,8 @@ class NodeServer {
   void AcceptLoop();
   void Serve(int fd);
   /// Builds the reply for one request frame. Never fails: errors become
-  /// kError frames carrying the typed Status.
-  Frame Handle(const Frame& request);
+  /// kError frames carrying the typed Status (`*handled_ok` reports which).
+  Frame Handle(const Frame& request, bool* handled_ok);
   Result<std::string> Dispatch(const Frame& request, MsgType* reply_type);
 
   Result<std::string> HandlePointLookup(std::string_view body);
@@ -86,6 +86,7 @@ class NodeServer {
   Result<std::string> HandleReplicationDelta(std::string_view body);
   Result<std::string> HandleCheckpointMarker(std::string_view body);
   Result<std::string> HandleResolveSsid(std::string_view body);
+  Result<std::string> HandleFetchSystemTable(std::string_view body);
 
   Status CheckOwned(int32_t partition) const;
   Result<std::unique_ptr<sql::TableSource>> OpenSource(const TableRead& read);

@@ -209,10 +209,15 @@ Status SendFrame(int fd, const Frame& frame, int64_t deadline_nanos,
                  bytes_out);
 }
 
-Result<Frame> RecvFrame(int fd, int64_t deadline_nanos, int64_t* bytes_in) {
+Result<Frame> RecvFrame(int fd, int64_t deadline_nanos, int64_t* bytes_in,
+                        int64_t* first_byte_nanos) {
   char header[kFrameHeaderBytes];
   SQ_RETURN_IF_ERROR(
       RecvExact(fd, header, sizeof(header), deadline_nanos, bytes_in));
+  // The header has arrived: from here on the connection is actively carrying
+  // a frame, so this is where an RPC-serve span should start (the idle wait
+  // for the next request is not part of any RPC).
+  if (first_byte_nanos != nullptr) *first_byte_nanos = trace::NowNanos();
   storage::Reader r(std::string_view(header, sizeof(header)));
   uint32_t len = 0;
   uint32_t masked_crc = 0;

@@ -46,9 +46,12 @@ Status SendFrame(int fd, const Frame& frame, int64_t deadline_nanos,
 /// Reads and decodes one frame. Length-prefix violations (zero / oversized)
 /// and payload corruption surface as the DecodeFrame errors; a cleanly
 /// closed peer is kUnavailable. `bytes_in`, if non-null, is incremented by
-/// the bytes read.
+/// the bytes read. `first_byte_nanos`, if non-null, receives the steady-clock
+/// time the frame header finished arriving — the start of the receive/decode
+/// work, excluding the idle wait for the peer to send anything.
 Result<Frame> RecvFrame(int fd, int64_t deadline_nanos,
-                        int64_t* bytes_in = nullptr);
+                        int64_t* bytes_in = nullptr,
+                        int64_t* first_byte_nanos = nullptr);
 
 }  // namespace sq::net
 

@@ -104,12 +104,14 @@ bool IsKnownMsgType(uint8_t type) {
     case MsgType::kReplicationDelta:
     case MsgType::kCheckpointMarker:
     case MsgType::kResolveSsid:
+    case MsgType::kFetchSystemTable:
     case MsgType::kHelloReply:
     case MsgType::kRows:
     case MsgType::kAggregateReply:
     case MsgType::kAck:
     case MsgType::kResolveSsidReply:
     case MsgType::kError:
+    case MsgType::kSystemTableReply:
       return true;
   }
   return false;
@@ -124,12 +126,14 @@ const char* MsgTypeToString(MsgType type) {
     case MsgType::kReplicationDelta: return "replication_delta";
     case MsgType::kCheckpointMarker: return "checkpoint_marker";
     case MsgType::kResolveSsid: return "resolve_ssid";
+    case MsgType::kFetchSystemTable: return "fetch_system_table";
     case MsgType::kHelloReply: return "hello_reply";
     case MsgType::kRows: return "rows";
     case MsgType::kAggregateReply: return "aggregate_reply";
     case MsgType::kAck: return "ack";
     case MsgType::kResolveSsidReply: return "resolve_ssid_reply";
     case MsgType::kError: return "error";
+    case MsgType::kSystemTableReply: return "system_table_reply";
   }
   return "unknown";
 }
@@ -447,6 +451,77 @@ Result<ResolveSsidReply> DecodeResolveSsidReply(std::string_view body) {
   ResolveSsidReply msg;
   if (!r.ReadI64(&msg.ssid)) return Corrupt("bad resolve reply");
   return Finish(r, std::move(msg), "bad resolve reply");
+}
+
+void EncodeFetchSystemTableRequest(const FetchSystemTableRequest& msg,
+                                   std::string* body) {
+  PutString(body, msg.table);
+}
+
+Result<FetchSystemTableRequest> DecodeFetchSystemTableRequest(
+    std::string_view body) {
+  Reader r(body);
+  FetchSystemTableRequest msg;
+  if (!r.ReadString(&msg.table)) return Corrupt("bad system table request");
+  return Finish(r, std::move(msg), "bad system table request");
+}
+
+void EncodeSystemTableReply(const SystemTableReply& msg, std::string* body) {
+  PutU32(body, static_cast<uint32_t>(msg.rows.size()));
+  for (const kv::Object& row : msg.rows) {
+    PutObject(body, row);
+  }
+  PutU32(body, static_cast<uint32_t>(msg.histograms.size()));
+  for (const WireHistogram& hist : msg.histograms) {
+    PutString(body, hist.name);
+    PutU32(body, static_cast<uint32_t>(hist.buckets.size()));
+    for (int64_t bucket : hist.buckets) PutI64(body, bucket);
+    PutI64(body, hist.count);
+    PutI64(body, hist.min);
+    PutI64(body, hist.max);
+    PutU64(body, std::bit_cast<uint64_t>(hist.sum));
+  }
+  PutI64(body, msg.server_unix_micros);
+}
+
+Result<SystemTableReply> DecodeSystemTableReply(std::string_view body) {
+  Reader r(body);
+  SystemTableReply msg;
+  uint32_t row_count = 0;
+  if (!ReadCount(&r, &row_count)) return Corrupt("bad system table reply");
+  msg.rows.reserve(row_count);
+  for (uint32_t i = 0; i < row_count; ++i) {
+    kv::Object row;
+    if (!r.ReadObject(&row)) return Corrupt("bad system table reply");
+    msg.rows.push_back(std::move(row));
+  }
+  uint32_t hist_count = 0;
+  if (!ReadCount(&r, &hist_count)) return Corrupt("bad system table reply");
+  msg.histograms.reserve(hist_count);
+  for (uint32_t i = 0; i < hist_count; ++i) {
+    WireHistogram hist;
+    uint32_t bucket_count = 0;
+    uint64_t sum_bits = 0;
+    if (!r.ReadString(&hist.name) || !ReadCount(&r, &bucket_count)) {
+      return Corrupt("bad system table reply");
+    }
+    hist.buckets.resize(bucket_count);
+    for (uint32_t b = 0; b < bucket_count; ++b) {
+      if (!r.ReadI64(&hist.buckets[b])) {
+        return Corrupt("bad system table reply");
+      }
+    }
+    if (!r.ReadI64(&hist.count) || !r.ReadI64(&hist.min) ||
+        !r.ReadI64(&hist.max) || !r.ReadU64(&sum_bits)) {
+      return Corrupt("bad system table reply");
+    }
+    hist.sum = std::bit_cast<double>(sum_bits);
+    msg.histograms.push_back(std::move(hist));
+  }
+  if (!r.ReadI64(&msg.server_unix_micros)) {
+    return Corrupt("bad system table reply");
+  }
+  return Finish(r, std::move(msg), "bad system table reply");
 }
 
 void EncodeStatusBody(const Status& status, std::string* body) {

@@ -45,6 +45,7 @@ enum class MsgType : uint8_t {
   kReplicationDelta = 5,   ///< primary→backup entry batch (live or snapshot)
   kCheckpointMarker = 6,   ///< 2PC marker exchange (prepare/commit/abort)
   kResolveSsid = 7,        ///< resolve "latest"/explicit id cluster-wide
+  kFetchSystemTable = 8,   ///< one node's rows of a virtual system table
 
   // Responses.
   kHelloReply = 64,
@@ -53,6 +54,7 @@ enum class MsgType : uint8_t {
   kAck = 67,
   kResolveSsidReply = 68,
   kError = 69,
+  kSystemTableReply = 70,
 };
 
 /// True for the type values actually defined above (frame decoding rejects
@@ -203,6 +205,45 @@ struct ResolveSsidReply {
 };
 void EncodeResolveSsidReply(const ResolveSsidReply& msg, std::string* body);
 Result<ResolveSsidReply> DecodeResolveSsidReply(std::string_view body);
+
+/// Federated system-table fetch: the coordinator asks a node for its local
+/// rows of one virtual table (`__metrics`, `__operators`, `__checkpoints`,
+/// `__spans`). The node answers with fully materialized rows; the `node`
+/// column the rows already carry keeps them attributable after the merge.
+struct FetchSystemTableRequest {
+  std::string table;
+};
+void EncodeFetchSystemTableRequest(const FetchSystemTableRequest& msg,
+                                   std::string* body);
+Result<FetchSystemTableRequest> DecodeFetchSystemTableRequest(
+    std::string_view body);
+
+/// Raw bucket state of one histogram on the serving node. Histograms cross
+/// the wire as bucket counts only — percentiles computed on one node must
+/// never be merged or re-reported by another (a p99 of p99s is not a p99);
+/// the coordinator rebuilds them from the buckets via Histogram::MergeState.
+struct WireHistogram {
+  std::string name;
+  std::vector<int64_t> buckets;
+  int64_t count = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  double sum = 0.0;  // exact bits travel via bit_cast
+};
+
+struct SystemTableReply {
+  std::vector<kv::Object> rows;
+  /// For `__metrics` fetches: the raw state of every histogram on the node,
+  /// keyed by metric name. Empty for other tables.
+  std::vector<WireHistogram> histograms;
+  /// The server's wall clock (its process anchor timeline) when the reply
+  /// was built. The coordinator's RPC-midpoint clock-offset estimate —
+  /// `server_unix_micros - (t0 + t1) / 2` over its own send/receive wall
+  /// times — aligns this node's span timestamps in merged trace exports.
+  int64_t server_unix_micros = 0;
+};
+void EncodeSystemTableReply(const SystemTableReply& msg, std::string* body);
+Result<SystemTableReply> DecodeSystemTableReply(std::string_view body);
 
 /// A Status carried over the wire (the body of kError frames).
 void EncodeStatusBody(const Status& status, std::string* body);

@@ -389,6 +389,92 @@ void AppendSpanTimings(uint64_t trace_id, std::vector<std::string>* lines) {
   }
 }
 
+/// The system tables a coordinator federates cluster-wide. Everything else
+/// (`__nodes`, embedder-registered tables) stays local: `__nodes` already
+/// describes the whole cluster, and the coordinator cannot know an embedder
+/// table's merge semantics.
+bool IsFederatedSystemTable(std::string_view table) {
+  return table == "__metrics" || table == "__operators" ||
+         table == "__checkpoints" || table == "__spans";
+}
+
+/// Rebuilds the percentile columns of remote `__metrics` histogram rows from
+/// the raw bucket state that travelled with them. The percentile columns a
+/// remote node computed are advisory — the federation rule (DESIGN.md §11)
+/// is that bucket counts cross processes and percentile math happens where
+/// the rows are consumed, so percentiles are never merged or relayed.
+void RebuildHistogramColumns(RemoteSystemTable* fetch) {
+  for (kv::Object& row : fetch->rows) {
+    const kv::Value& kind = row.Get("kind");
+    if (!kind.is_string() || kind.string_value() != "histogram") continue;
+    const kv::Value& name = row.Get("name");
+    if (!name.is_string()) continue;
+    const Histogram::State* state = nullptr;
+    for (const auto& [hist_name, hist_state] : fetch->histograms) {
+      if (hist_name == name.string_value()) {
+        state = &hist_state;
+        break;
+      }
+    }
+    if (state == nullptr) continue;
+    Histogram h;
+    h.MergeState(*state);
+    const Histogram::Summary s = h.Summarize();
+    row.Set("value", kv::Value(s.count));
+    row.Set("count", kv::Value(s.count));
+    row.Set("mean", kv::Value(s.mean));
+    row.Set("p50", kv::Value(s.p50));
+    row.Set("p90", kv::Value(s.p90));
+    row.Set("p99", kv::Value(s.p99));
+    row.Set("p999", kv::Value(s.p999));
+    row.Set("max", kv::Value(s.max));
+  }
+}
+
+int64_t RowInt(const kv::Object& row, std::string_view column) {
+  const kv::Value& v = row.Get(column);
+  return v.is_int64() ? v.int64_value() : 0;
+}
+
+std::string RowString(const kv::Object& row, std::string_view column) {
+  const kv::Value& v = row.Get(column);
+  return v.is_string() ? v.string_value() : std::string();
+}
+
+/// A federated `__spans` row as a merged-export span (origin-clock times;
+/// the exporter applies the process offset).
+trace::MergedSpan RowToMergedSpan(const kv::Object& row) {
+  trace::MergedSpan s;
+  s.trace_id = static_cast<uint64_t>(RowInt(row, "trace_id"));
+  s.span_id = static_cast<uint64_t>(RowInt(row, "span_id"));
+  s.parent_id = static_cast<uint64_t>(RowInt(row, "parent_id"));
+  s.category = RowString(row, "category");
+  s.name = RowString(row, "name");
+  s.start_micros = RowInt(row, "start_micros");
+  s.duration_nanos = RowInt(row, "duration_nanos");
+  s.tid = static_cast<int32_t>(RowInt(row, "thread"));
+  if (std::string attrs = RowString(row, "attrs"); !attrs.empty()) {
+    s.attrs.emplace_back("attrs", std::move(attrs));
+  }
+  return s;
+}
+
+trace::MergedSpan LocalToMergedSpan(const trace::TraceSpan& span) {
+  trace::MergedSpan s;
+  s.trace_id = span.trace_id;
+  s.span_id = span.span_id;
+  s.parent_id = span.parent_id;
+  s.category = trace::CategoryToString(span.category);
+  s.name = span.name;
+  s.start_micros = SteadyToUnixMicros(span.start_nanos);
+  s.duration_nanos = span.duration_nanos();
+  s.tid = span.tid;
+  for (const trace::Attr& attr : span.attrs) {
+    s.attrs.emplace_back(attr.key, attr.value);
+  }
+  return s;
+}
+
 }  // namespace
 
 QueryService::QueryService(kv::Grid* grid, state::SnapshotRegistry* registry,
@@ -400,7 +486,8 @@ QueryService::QueryService(kv::Grid* grid, state::SnapshotRegistry* registry,
   // The span journal as a table: every retained span, engine-wide. Rows are
   // computed at scan time (`SELECT * FROM __spans WHERE category = ...`).
   catalog_.RegisterVirtualTable(
-      "__spans", []() -> Result<std::vector<kv::Object>> {
+      "__spans", [this]() -> Result<std::vector<kv::Object>> {
+        const int64_t node = node_id();
         std::vector<kv::Object> rows;
         for (const trace::TraceSpan& s : trace::SnapshotSpans()) {
           kv::Object row;
@@ -408,6 +495,7 @@ QueryService::QueryService(kv::Grid* grid, state::SnapshotRegistry* registry,
                                   std::to_string(s.span_id);
           row.Set("key", kv::Value(key));
           row.Set("partitionKey", kv::Value(key));
+          row.Set("node", kv::Value(node));
           row.Set("trace_id", kv::Value(static_cast<int64_t>(s.trace_id)));
           row.Set("span_id", kv::Value(static_cast<int64_t>(s.span_id)));
           row.Set("parent_id", kv::Value(static_cast<int64_t>(s.parent_id)));
@@ -429,6 +517,15 @@ QueryService::QueryService(kv::Grid* grid, state::SnapshotRegistry* registry,
           rows.push_back(std::move(row));
         }
         return rows;
+      });
+  // The cluster health registry. Registered unconditionally so the table
+  // always exists (dashboards need not special-case single-node); without an
+  // attached router it is simply empty.
+  catalog_.RegisterVirtualTable(
+      "__nodes", [this]() -> Result<std::vector<kv::Object>> {
+        ClusterRouter* cluster = cluster_.load(std::memory_order_acquire);
+        if (cluster == nullptr) return std::vector<kv::Object>{};
+        return cluster->NodeHealthRows();
       });
 }
 
@@ -611,6 +708,7 @@ void QueryService::RegisterEngineIntrospection(dataflow::Job* job,
         });
     catalog_.RegisterVirtualTable(
         "__checkpoints", [this, job]() -> Result<std::vector<kv::Object>> {
+          const int64_t node = node_id();
           std::vector<kv::Object> rows;
           storage::SnapshotLog* log =
               durable_log_.load(std::memory_order_acquire);
@@ -623,6 +721,7 @@ void QueryService::RegisterEngineIntrospection(dataflow::Job* job,
             // of filtering rows.
             row.Set("key", kv::Value(c.id));
             row.Set("partitionKey", kv::Value(c.id));
+            row.Set("node", kv::Value(node));
             row.Set("id", kv::Value(c.id));
             row.Set("state", kv::Value(c.committed ? "committed" : "aborted"));
             row.Set("committed", kv::Value(c.committed));
@@ -650,6 +749,65 @@ void QueryService::RegisterEngineIntrospection(dataflow::Job* job,
 Result<std::vector<kv::Object>> QueryService::ScanSystemObjects(
     const std::string& table) {
   return catalog_.ScanVirtualTable(table);
+}
+
+void QueryService::AppendFederatedRows(ClusterRouter* router,
+                                       const std::string& table,
+                                       std::vector<kv::Object>* rows) {
+  trace::ScopedSpan span(trace::Category::kQuery, "federate",
+                         trace::CurrentContext());
+  span.AddAttr("table", table);
+  int64_t reached = 0;
+  int64_t skipped = 0;
+  // Merge order is deterministic: local rows are already in `rows`, remote
+  // rows follow in ascending node-id order. Each fetch is bounded by the
+  // router's RPC deadline; a node that cannot answer is skipped — the
+  // result degrades to the reachable subset (why is visible in `__nodes`)
+  // rather than erroring or hanging the whole scan.
+  for (int32_t node : router->RemoteNodeIds()) {
+    Result<RemoteSystemTable> fetch = router->FetchSystemTable(table, node);
+    if (!fetch.ok()) {
+      ++skipped;
+      continue;
+    }
+    ++reached;
+    if (table == "__metrics" && !fetch->histograms.empty()) {
+      RebuildHistogramColumns(&*fetch);
+    }
+    for (kv::Object& row : fetch->rows) {
+      rows->push_back(std::move(row));
+    }
+  }
+  span.AddAttr("nodes_reached", reached);
+  span.AddAttr("nodes_skipped", skipped);
+}
+
+Status QueryService::ExportClusterTrace(const std::string& path) {
+  std::vector<trace::MergedProcess> processes;
+  // The coordinator's own journal defines the timeline (offset 0).
+  trace::MergedProcess local;
+  local.node = node_id();
+  for (const trace::TraceSpan& s : trace::SnapshotSpans()) {
+    local.spans.push_back(LocalToMergedSpan(s));
+  }
+  processes.push_back(std::move(local));
+  if (ClusterRouter* cluster = cluster_.load(std::memory_order_acquire);
+      cluster != nullptr) {
+    for (int32_t node : cluster->RemoteNodeIds()) {
+      Result<RemoteSystemTable> fetch =
+          cluster->FetchSystemTable("__spans", node);
+      if (!fetch.ok()) continue;  // partial export, same degradation rule
+      trace::MergedProcess proc;
+      proc.node = node;
+      proc.clock_offset_micros = fetch->clock_offset_micros;
+      proc.spans.reserve(fetch->rows.size());
+      for (const kv::Object& row : fetch->rows) {
+        proc.spans.push_back(RowToMergedSpan(row));
+      }
+      processes.push_back(std::move(proc));
+    }
+  }
+  return trace::ExportChromeJsonMerged(path, processes);
 }
 
 Result<std::vector<kv::Object>> QueryService::ScanTable(
@@ -745,9 +903,17 @@ Result<std::vector<kv::Object>> QueryService::ScanTableImpl(
     const std::string& table, std::optional<int64_t> requested_ssid,
     const QueryOptions& options) {
   // System tables first: engine introspection is observational (not stream
-  // state), so it is readable at every isolation level.
+  // state), so it is readable at every isolation level. With a cluster
+  // attached, the federatable tables merge every reachable node's rows
+  // behind the local ones.
   if (catalog_.HasVirtualTable(table)) {
-    return catalog_.ScanVirtualTable(table);
+    SQ_ASSIGN_OR_RETURN(std::vector<kv::Object> rows,
+                        catalog_.ScanVirtualTable(table));
+    if (ClusterRouter* cluster = cluster_.load(std::memory_order_acquire);
+        cluster != nullptr && IsFederatedSystemTable(table)) {
+      AppendFederatedRows(cluster, table, &rows);
+    }
+    return rows;
   }
 
   // Cluster-attached: materialize through the remote source (errors — dead

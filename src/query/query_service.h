@@ -59,6 +59,21 @@ struct QueryOptions {
   bool force_row_scan = false;
 };
 
+/// One node's answer to a federated system-table fetch (the query-layer
+/// view of a `system_table_reply` wire message — no net:: types leak here).
+struct RemoteSystemTable {
+  /// Fully materialized rows, already carrying their `node` column.
+  std::vector<kv::Object> rows;
+  /// `__metrics` fetches only: the raw bucket state of every histogram on
+  /// the node, keyed by metric name. The coordinator recomputes percentile
+  /// columns from these — bucket counts merge across processes, percentiles
+  /// never do (a p99 of p99s is not a p99).
+  std::vector<std::pair<std::string, Histogram::State>> histograms;
+  /// Estimated microseconds to ADD to the node's wall timestamps to land
+  /// them on this process's timeline (RPC-midpoint method, DESIGN.md §11).
+  int64_t clock_offset_micros = 0;
+};
+
 /// Distributed-routing hook, implemented by the cluster layer (`sq::net`).
 /// QueryService stays network-agnostic: when a router is attached it asks
 /// the router for partition-addressable sources over grid tables (which
@@ -77,6 +92,29 @@ class ClusterRouter {
 
   /// Resolves `requested` (nullopt = latest committed) against the cluster.
   virtual Result<int64_t> ResolveSsid(std::optional<int64_t> requested) = 0;
+
+  // The three hooks below have conservative defaults (nothing to federate)
+  // so routers predating cluster-wide observability keep compiling; system
+  // tables then simply stay local.
+
+  /// Fetches node `node_id`'s local rows of virtual table `table` within
+  /// the router's RPC deadline. A dead or slow node is a typed error, never
+  /// a hang — the caller degrades to a partial result.
+  virtual Result<RemoteSystemTable> FetchSystemTable(const std::string& table,
+                                                     int32_t node_id) {
+    (void)table;
+    (void)node_id;
+    return Status::Unimplemented(
+        "cluster router does not federate system tables");
+  }
+
+  /// Ids of the remote nodes this router can reach, ascending (the merge
+  /// order of federated scans). Empty = nothing to federate.
+  virtual std::vector<int32_t> RemoteNodeIds() { return {}; }
+
+  /// The `__nodes` health registry: one summary row per known node plus one
+  /// row per (node, message type) with RPC latency/byte stats.
+  virtual std::vector<kv::Object> NodeHealthRows() { return {}; }
 };
 
 /// Everything one Execute call produced: the rows plus that query's own scan
@@ -104,7 +142,12 @@ struct QueryResult {
 ///   `__metrics`/`__operators`/`__checkpoints`
 ///                                   virtual system tables over the engine's
 ///                                   own internals (after
-///                                   RegisterEngineIntrospection)
+///                                   RegisterEngineIntrospection); with a
+///                                   cluster attached, scans federate across
+///                                   every reachable node (`__spans` too)
+///   `__spans`                       the trace-span journal as rows
+///   `__nodes`                       per-peer cluster health registry (empty
+///                                   without an attached cluster)
 class QueryService : public sql::TableResolver {
  public:
   QueryService(kv::Grid* grid, state::SnapshotRegistry* registry,
@@ -156,7 +199,17 @@ class QueryService : public sql::TableResolver {
 
   /// Direct object interface to system tables: the rows `SELECT * FROM
   /// <table>` would return, bypassing SQL (cheap programmatic monitoring).
+  /// Always local-only — this is what node servers serve to federated
+  /// fetches, so it must never fan out itself.
   Result<std::vector<kv::Object>> ScanSystemObjects(const std::string& table);
+
+  /// Writes a merged multi-process Chrome/Perfetto trace: the local span
+  /// journal plus every reachable node's `__spans` (fetched through the
+  /// attached router), timestamps aligned per node via the RPC-midpoint
+  /// clock offsets the router estimated. Unreachable nodes are skipped —
+  /// the export degrades exactly like a federated scan. Without a router
+  /// this is a single-process export of the local journal.
+  Status ExportClusterTrace(const std::string& path);
 
   /// Attaches the durable snapshot log (not owned; may be null to detach).
   /// With a log attached:
@@ -228,6 +281,13 @@ class QueryService : public sql::TableResolver {
   Result<std::unique_ptr<sql::TableSource>> OpenClusterSource(
       ClusterRouter* router, const std::string& table,
       std::optional<int64_t> requested_ssid, const QueryOptions& options);
+
+  /// Appends every reachable node's rows of federated system table `table`
+  /// to `rows` (remote `__metrics` percentile columns rebuilt from raw
+  /// buckets). Unreachable nodes are skipped — partial results, visible in
+  /// `__nodes` — never an error or a hang.
+  void AppendFederatedRows(ClusterRouter* router, const std::string& table,
+                           std::vector<kv::Object>* rows);
 
   /// The scan worker pool, created on first parallel query.
   ThreadPool* Pool();

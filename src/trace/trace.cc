@@ -415,6 +415,20 @@ void AppendJsonEscaped(const std::string& in, std::string* out) {
   }
 }
 
+Status WriteWholeFile(const std::string& path, const std::string& data) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("trace export: cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != data.size() || close_rc != 0) {
+    return Status::Internal("trace export: short write to " + path);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status ExportChromeJson(const std::string& path) {
@@ -464,18 +478,64 @@ Status ExportChromeJson(const std::string& path) {
     json.append("}}");
   }
   json.append("]}\n");
+  return WriteWholeFile(path, json);
+}
 
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return Status::Internal("trace export: cannot open " + path + ": " +
-                            std::strerror(errno));
+Status ExportChromeJsonMerged(const std::string& path,
+                              const std::vector<MergedProcess>& processes) {
+  std::string json;
+  size_t span_count = 0;
+  for (const MergedProcess& p : processes) span_count += p.spans.size();
+  json.reserve(span_count * 192 + 64);
+  json.append("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+  bool first = true;
+  char buf[128];
+  for (const MergedProcess& p : processes) {
+    if (!first) json.push_back(',');
+    first = false;
+    // Name the pid after the node so the viewer's process lanes read as the
+    // cluster topology.
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                  "\"args\":{\"name\":\"node %d\"}}",
+                  p.node, p.node);
+    json.append(buf);
+    for (const MergedSpan& s : p.spans) {
+      json.push_back(',');
+      json.append("{\"name\":\"");
+      AppendJsonEscaped(s.name, &json);
+      json.append("\",\"cat\":\"");
+      AppendJsonEscaped(s.category, &json);
+      const int64_t ts = s.start_micros + p.clock_offset_micros;
+      std::snprintf(buf, sizeof(buf),
+                    "\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%lld,",
+                    p.node, s.tid, static_cast<long long>(ts));
+      json.append(buf);
+      const int64_t dur = s.duration_nanos < 0 ? 0 : s.duration_nanos;
+      std::snprintf(buf, sizeof(buf), "\"dur\":%lld.%03lld,",
+                    static_cast<long long>(dur / 1000),
+                    static_cast<long long>(dur % 1000));
+      json.append(buf);
+      std::snprintf(buf, sizeof(buf),
+                    "\"args\":{\"trace_id\":%llu,\"span_id\":%llu,"
+                    "\"parent_id\":%llu,\"clock_offset_micros\":%lld",
+                    static_cast<unsigned long long>(s.trace_id),
+                    static_cast<unsigned long long>(s.span_id),
+                    static_cast<unsigned long long>(s.parent_id),
+                    static_cast<long long>(p.clock_offset_micros));
+      json.append(buf);
+      for (const auto& [key, value] : s.attrs) {
+        json.append(",\"");
+        AppendJsonEscaped(key, &json);
+        json.append("\":\"");
+        AppendJsonEscaped(value, &json);
+        json.append("\"");
+      }
+      json.append("}}");
+    }
   }
-  size_t written = std::fwrite(json.data(), 1, json.size(), f);
-  int close_rc = std::fclose(f);
-  if (written != json.size() || close_rc != 0) {
-    return Status::Internal("trace export: short write to " + path);
-  }
-  return Status::OK();
+  json.append("]}\n");
+  return WriteWholeFile(path, json);
 }
 
 void SetJournalCapacityForTest(size_t capacity) {

@@ -4,6 +4,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -185,6 +186,42 @@ int64_t DroppedSpans();
 /// microseconds via sq::SteadyToUnixMicros. Attribute values are
 /// JSON-escaped (control characters included).
 Status ExportChromeJson(const std::string& path);
+
+/// One span of a merged multi-process export. Unlike TraceSpan this is
+/// string-based — names, categories and attributes arriving as federated
+/// `__spans` rows are not static strings — and wall-anchored:
+/// `start_micros` is wall time on the *origin process's* clock; the
+/// exporter shifts it by that process's clock offset.
+struct MergedSpan {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
+  std::string category;
+  std::string name;
+  int64_t start_micros = 0;    ///< origin-clock wall micros (unshifted)
+  int64_t duration_nanos = 0;
+  int32_t tid = 0;
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/// One process (cluster node) of a merged export.
+struct MergedProcess {
+  int32_t node = 0;
+  /// Microseconds to ADD to this process's wall timestamps to land them on
+  /// the coordinator's timeline — the RPC-midpoint estimate (DESIGN.md §11).
+  /// 0 for the coordinator itself.
+  int64_t clock_offset_micros = 0;
+  std::vector<MergedSpan> spans;
+};
+
+/// Multi-process variant of ExportChromeJson: one Chrome/Perfetto pid per
+/// cluster node (with a `process_name` metadata event), span timestamps
+/// shifted by each process's clock offset so client and server halves of an
+/// RPC line up on one timeline. The applied offset is recorded on every
+/// span as `args.clock_offset_micros`, so the alignment is auditable in the
+/// viewer rather than silently baked in.
+Status ExportChromeJsonMerged(const std::string& path,
+                              const std::vector<MergedProcess>& processes);
 
 /// Test hooks: shrink the journal (to force drop-oldest) and wipe all
 /// recorded spans + the dropped counter.

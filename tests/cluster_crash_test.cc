@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "dataflow/checkpoint.h"
 #include "kv/grid.h"
 #include "kv/object.h"
@@ -81,6 +82,11 @@ std::string MakeTempDir() {
   query::QueryService query(&grid, &registry);
   query.set_node_id(node_id);
   query.AttachDurableStorage(log->get());
+  // Every child carries its own registry so federated `__metrics` scans see
+  // genuinely per-process values. No job runs here, so the engine tables
+  // (`__operators`) stay absent by design.
+  MetricsRegistry metrics;
+  query.RegisterEngineIntrospection(/*job=*/nullptr, &metrics);
 
   // Same listener order as in-process: durability strictly before
   // visibility, so a marker-committed snapshot is already fsynced when the
@@ -96,6 +102,7 @@ std::string MakeTempDir() {
   opts.grid = &grid;
   opts.registry = &registry;
   opts.checkpoint = &chain;
+  opts.metrics = &metrics;
   NodeServer server(opts);
   if (!server.Start().ok()) _exit(4);
   const int32_t port = server.port();
@@ -146,6 +153,7 @@ void KillNode(ChildNode* node) {
 struct Coordinator {
   std::unique_ptr<kv::Grid> grid;
   std::unique_ptr<state::SnapshotRegistry> registry;
+  std::unique_ptr<MetricsRegistry> metrics;
   std::unique_ptr<ClusterClient> client;
   std::unique_ptr<query::QueryService> query;
 };
@@ -169,6 +177,10 @@ Coordinator MakeCoordinator(const std::vector<ChildNode>& nodes) {
       RpcOptions{.deadline_ms = 5000, .max_attempts = 2, .backoff_ms = 10});
   c.query = std::make_unique<query::QueryService>(c.grid.get(),
                                                   c.registry.get());
+  // Registers `__metrics` at the coordinator so federated scans of it have a
+  // local table to fan out from (the coordinator's own registry stays empty).
+  c.metrics = std::make_unique<MetricsRegistry>();
+  c.query->RegisterEngineIntrospection(/*job=*/nullptr, c.metrics.get());
   c.query->AttachCluster(c.client.get());
   return c;
 }
@@ -253,6 +265,97 @@ TEST(ClusterCrashTest, KillRecoveryAndRejoin) {
     ASSERT_TRUE(resolved.ok()) << resolved.status();
     EXPECT_EQ(*resolved, 2);
   }
+
+  for (auto& node : nodes) {
+    KillNode(&node);
+    std::error_code ec;
+    fs::remove_all(node.dir, ec);
+  }
+}
+
+// Observability across real process boundaries. Unlike the in-process
+// net_test cluster (one shared trace journal), every child here has its own
+// journal and metrics registry, so a federated `__spans` query is genuine
+// cross-process stitching: the coordinator's `rpc.call` spans and each
+// child's `rpc.serve` span reassemble into one distributed tree under a
+// single trace id. Then a SIGKILL shows the degradation contract — typed
+// partial results within the RPC deadline, the dead node visible in
+// `__nodes` — on real processes.
+TEST(ClusterCrashTest, FederatedObservabilitySpansProcessBoundaries) {
+  constexpr int32_t kCoordinatorNodeId = 9;
+  std::vector<ChildNode> nodes;
+  for (int32_t i = 0; i < kNodes; ++i) {
+    nodes.push_back(SpawnNode(i, MakeTempDir()));
+  }
+  Coordinator coord = MakeCoordinator(nodes);
+  coord.query->set_node_id(kCoordinatorNodeId);
+
+  // One RPC per node under a forced root: the trace id rides the frame, so
+  // each child records `rpc.serve` in its *own* journal while the
+  // coordinator records the matching `rpc.call` client side.
+  const uint64_t trace_id = trace::NewTraceId();
+  {
+    trace::ScopedSpan root(trace::Category::kNet, "test.cluster_root",
+                           trace::RootContext(trace_id, /*forced=*/true));
+    for (int32_t i = 0; i < kNodes; ++i) {
+      auto hello = coord.client->Hello(i);
+      ASSERT_TRUE(hello.ok()) << hello.status();
+    }
+  }
+
+  // The federated scan stitches the full distributed tree back together:
+  // one server-side span per child process, three client-side spans plus
+  // the root at the coordinator.
+  const std::string sql = "SELECT node, name FROM __spans WHERE trace_id = " +
+                          std::to_string(trace_id) + " ORDER BY node, name";
+  auto spans = coord.query->Execute(sql);
+  ASSERT_TRUE(spans.ok()) << spans.status();
+  ASSERT_EQ(spans->rows.size(), 7u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(spans->rows[i][0], kv::Value(static_cast<int64_t>(i)));
+    EXPECT_EQ(spans->rows[i][1], kv::Value("rpc.serve"));
+  }
+  for (size_t i = 3; i < 6; ++i) {
+    EXPECT_EQ(spans->rows[i][0], kv::Value(int64_t{kCoordinatorNodeId}));
+    EXPECT_EQ(spans->rows[i][1], kv::Value("rpc.call"));
+  }
+  EXPECT_EQ(spans->rows[6][0], kv::Value(int64_t{kCoordinatorNodeId}));
+  EXPECT_EQ(spans->rows[6][1], kv::Value("test.cluster_root"));
+
+  // `__metrics` federates per process: each child's own registry counted
+  // the hello it served; the coordinator's registry has no server counters,
+  // so exactly the three child rows come back.
+  auto hellos = coord.query->Execute(
+      "SELECT node, value FROM __metrics "
+      "WHERE name = 'net.server.rpcs.hello' ORDER BY node");
+  ASSERT_TRUE(hellos.ok()) << hellos.status();
+  ASSERT_EQ(hellos->rows.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(hellos->rows[i][0], kv::Value(static_cast<int64_t>(i)));
+    EXPECT_GE(hellos->rows[i][1].AsInt64(), 1);
+  }
+
+  // --- SIGKILL one child under the live coordinator. The federated scan
+  // must degrade to typed partial results in bounded time, never a hang,
+  // and `__nodes` must show why the rows are missing.
+  KillNode(&nodes[1]);
+  const int64_t t0 = trace::NowNanos();
+  auto partial = coord.query->Execute(sql);
+  const int64_t elapsed_ms = (trace::NowNanos() - t0) / 1'000'000;
+  ASSERT_TRUE(partial.ok()) << partial.status();
+  EXPECT_LT(elapsed_ms, 120'000);
+  ASSERT_EQ(partial->rows.size(), 6u);  // node 1's rpc.serve span is gone
+  for (const auto& row : partial->rows) {
+    EXPECT_NE(row[0], kv::Value(int64_t{1}));
+  }
+
+  auto health = coord.query->Execute(
+      "SELECT node, status FROM __nodes WHERE msg_type = '' ORDER BY node");
+  ASSERT_TRUE(health.ok()) << health.status();
+  ASSERT_EQ(health->rows.size(), 3u);
+  EXPECT_EQ(health->rows[0][1], kv::Value("ok"));
+  EXPECT_EQ(health->rows[1][1], kv::Value("unreachable"));
+  EXPECT_EQ(health->rows[2][1], kv::Value("ok"));
 
   for (auto& node : nodes) {
     KillNode(&node);

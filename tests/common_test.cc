@@ -181,6 +181,58 @@ TEST(HistogramTest, ConcurrentRecordsAreAllCounted) {
   EXPECT_EQ(h.count(), kThreads * kPerThread);
 }
 
+TEST(HistogramTest, MergeStateEqualsDirectMerge) {
+  // Raw bucket state is how histograms cross the wire between nodes;
+  // rebuilding from a snapshot must be indistinguishable from a direct
+  // merge of the live histograms.
+  Histogram a;
+  Histogram b;
+  for (int i = 1; i <= 100; ++i) a.Record(i * 10);
+  for (int i = 1; i <= 50; ++i) b.Record(i * 1000);
+
+  Histogram via_state;
+  via_state.MergeState(a.Snapshot());
+  via_state.MergeState(b.Snapshot());
+  Histogram direct;
+  direct.Merge(a);
+  direct.Merge(b);
+
+  const Histogram::Summary s1 = via_state.Summarize();
+  const Histogram::Summary s2 = direct.Summarize();
+  EXPECT_EQ(s1.count, s2.count);
+  EXPECT_EQ(s1.count, 150);
+  EXPECT_EQ(s1.p0, s2.p0);
+  EXPECT_EQ(s1.p50, s2.p50);
+  EXPECT_EQ(s1.p99, s2.p99);
+  EXPECT_EQ(s1.max, s2.max);
+  EXPECT_EQ(s1.max, 50000);
+  EXPECT_EQ(s1.mean, s2.mean);
+}
+
+TEST(MetricsRegistryTest, RenderOpenMetricsExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("net.server.bytes_in")->Increment(7);
+  registry.GetGauge("dataflow.queue_depth")->Set(3);
+  registry.GetHistogram("rpc.nanos")->Record(1000);
+  const std::string text = registry.RenderOpenMetrics();
+
+  // Dotted names become sq_-prefixed underscore names; counters carry
+  // _total, histograms render as summaries with quantile labels.
+  EXPECT_NE(text.find("# TYPE sq_net_server_bytes_in counter\n"
+                      "sq_net_server_bytes_in_total 7\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE sq_dataflow_queue_depth gauge\n"
+                      "sq_dataflow_queue_depth 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE sq_rpc_nanos summary\n"), std::string::npos);
+  EXPECT_NE(text.find("sq_rpc_nanos{quantile=\"0.99\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("sq_rpc_nanos_count 1\n"), std::string::npos);
+  // The exposition terminator comes last, exactly once.
+  EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
+}
+
 TEST(RngTest, DeterministicForSeed) {
   Rng a(42);
   Rng b(42);

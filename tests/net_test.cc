@@ -13,11 +13,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdint>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -306,6 +309,45 @@ TEST(WireCodec, SmallPayloadRoundTrips) {
     EXPECT_TRUE(decoded->has_requested);
     EXPECT_EQ(decoded->requested, 5);
   }
+  {
+    FetchSystemTableRequest msg{"__spans"};
+    std::string body;
+    EncodeFetchSystemTableRequest(msg, &body);
+    auto decoded = DecodeFetchSystemTableRequest(body);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(decoded->table, "__spans");
+  }
+  {
+    SystemTableReply msg;
+    kv::Object row;
+    row.Set("name", kv::Value("x.y"));
+    row.Set("node", kv::Value(int64_t{2}));
+    msg.rows.push_back(std::move(row));
+    WireHistogram h;
+    h.name = "x.nanos";
+    h.buckets = {1, 0, 3};
+    h.count = 4;
+    h.min = 2;
+    h.max = 9;
+    h.sum = 0.1 + 0.2;  // a value whose bits matter
+    msg.histograms.push_back(h);
+    msg.server_unix_micros = 1700000000000001;
+    std::string body;
+    EncodeSystemTableReply(msg, &body);
+    auto decoded = DecodeSystemTableReply(body);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    ASSERT_EQ(decoded->rows.size(), 1u);
+    EXPECT_EQ(decoded->rows[0].Get("name"), kv::Value("x.y"));
+    EXPECT_EQ(decoded->rows[0].Get("node"), kv::Value(int64_t{2}));
+    ASSERT_EQ(decoded->histograms.size(), 1u);
+    EXPECT_EQ(decoded->histograms[0].name, "x.nanos");
+    EXPECT_EQ(decoded->histograms[0].buckets, h.buckets);
+    EXPECT_EQ(decoded->histograms[0].count, 4);
+    EXPECT_EQ(decoded->histograms[0].min, 2);
+    EXPECT_EQ(decoded->histograms[0].max, 9);
+    EXPECT_EQ(decoded->histograms[0].sum, h.sum);  // exact: bit_cast travel
+    EXPECT_EQ(decoded->server_unix_micros, 1700000000000001);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -456,6 +498,18 @@ std::vector<GoldenFrame> GoldenCorpus() {
         EncodeResolveSsidRequest(m, &f.body);
         return f;
       });
+  add(MsgType::kFetchSystemTable,
+      "1f0000001653ad83010808000000000000000000000000000000090000005f5f6d6574"
+      "72696373",
+      [] {
+        Frame f;
+        f.type = MsgType::kFetchSystemTable;
+        f.request_id = 8;
+        FetchSystemTableRequest m;
+        m.table = "__metrics";
+        EncodeFetchSystemTableRequest(m, &f.body);
+        return f;
+      });
   add(MsgType::kHelloReply,
       "220000009c6636d90140010000000000000000000000000000000200000004000000"
       "080000000c000000",
@@ -534,6 +588,34 @@ std::vector<GoldenFrame> GoldenCorpus() {
         f.type = MsgType::kError;
         f.request_id = 9;
         EncodeStatusBody(Status::NotFound("no such snapshot"), &f.body);
+        return f;
+      });
+  add(MsgType::kSystemTableReply,
+      "b100000083ebad9d014608000000000000000000000000000000010000000200000004"
+      "0000006e616d6504150000006e65742e7365727665722e727063732e68656c6c6f0500"
+      "000076616c756502030000000000000001000000170000006e65742e7365727665722e"
+      "68616e646c655f6e616e6f730300000000000000000000000200000000000000010000"
+      "00000000000300000000000000460000000000000082000000000000000000000000c0"
+      "724000401e18240a0600",
+      [] {
+        Frame f;
+        f.type = MsgType::kSystemTableReply;
+        f.request_id = 8;
+        SystemTableReply m;
+        kv::Object row;
+        row.Set("name", kv::Value("net.server.rpcs.hello"));
+        row.Set("value", kv::Value(int64_t{3}));
+        m.rows.push_back(std::move(row));
+        WireHistogram h;
+        h.name = "net.server.handle_nanos";
+        h.buckets = {0, 2, 1};
+        h.count = 3;
+        h.min = 70;
+        h.max = 130;
+        h.sum = 300.0;
+        m.histograms.push_back(std::move(h));
+        m.server_unix_micros = 1700000000000000;
+        EncodeSystemTableReply(m, &f.body);
         return f;
       });
   // sqlint-golden-corpus-end
@@ -1034,6 +1116,416 @@ TEST(ClusterNet, RetriesAreCountedAndRecoverAfterReconnect) {
   auto result = tc->coordinator->Execute("SELECT count(*) FROM orders",
                                          ReadCommitted());
   ASSERT_TRUE(result.ok()) << result.status();
+}
+
+// ---------------------------------------------------------------------------
+// Cluster-wide observability: federated system tables, the __nodes health
+// registry, per-type RPC telemetry, and the merged trace export.
+
+/// The coordinator is given a node id outside the cluster's range so its own
+/// locally-attributed rows are distinguishable from the federated ones.
+constexpr int32_t kCoordinatorNodeId = 9;
+
+TEST(ClusterNet, PerTypeRpcCountersRegisteredForEveryMsgType) {
+  // Both constructors eagerly register one counter per known message type,
+  // so `__metrics` always carries the full per-type set — a type that was
+  // never sent still shows up as an explicit zero. sq-lint's wire pass
+  // cross-checks that every MsgTypeToString name appears between the
+  // markers below, so adding a message type without telemetry fails lint.
+  auto tc = StartCluster({}, /*load_data=*/false);
+  // sqlint-rpc-metrics-begin
+  const std::vector<std::string> wire_names = {
+      "hello",           "point_lookup",      "scan_partition",
+      "aggregate_partition", "replication_delta", "checkpoint_marker",
+      "resolve_ssid",    "fetch_system_table", "hello_reply",
+      "rows",            "aggregate_reply",   "ack",
+      "resolve_ssid_reply", "error",          "system_table_reply",
+  };
+  // sqlint-rpc-metrics-end
+  auto names_of = [](MetricsRegistry* m) {
+    std::set<std::string> names;
+    for (const MetricSample& s : m->Collect()) names.insert(s.name);
+    return names;
+  };
+  const std::set<std::string> client = names_of(tc->coord_metrics.get());
+  const std::set<std::string> server = names_of(tc->nodes[0]->metrics.get());
+  for (const std::string& n : wire_names) {
+    EXPECT_EQ(client.count("net.client.rpcs." + n), 1u) << n;
+    EXPECT_EQ(server.count("net.server.rpcs." + n), 1u) << n;
+  }
+  // The marker list is itself exhaustive against the enum.
+  size_t known = 0;
+  for (int t = 0; t < 256; ++t) {
+    if (IsKnownMsgType(static_cast<uint8_t>(t))) ++known;
+  }
+  EXPECT_EQ(wire_names.size(), known);
+}
+
+TEST(ClusterNet, FederatedMetricsScanIsUnionOfPerNodeScans) {
+  auto tc = StartCluster({}, /*load_data=*/false);
+  tc->coordinator->set_node_id(kCoordinatorNodeId);
+  tc->coordinator->RegisterEngineIntrospection(nullptr,
+                                               tc->coord_metrics.get());
+  for (int32_t i = 0; i < kClusterNodes; ++i) {
+    ClusterNode* n = tc->nodes[i].get();
+    n->query->RegisterEngineIntrospection(nullptr, n->metrics.get());
+    n->metrics->GetCounter("test.sentinel")->Increment(1000 + i);
+    for (int r = 0; r <= i; ++r) {
+      n->metrics->GetHistogram("test.lat_nanos")->Record(1000 * (i + 1));
+    }
+  }
+
+  // The coordinator-side scan must equal its local rows plus the union of
+  // what each node reports for itself, row for row.
+  auto fed = tc->coordinator->Execute(
+      "SELECT node, value FROM __metrics WHERE name = 'test.sentinel' "
+      "ORDER BY node");
+  ASSERT_TRUE(fed.ok()) << fed.status();
+  ASSERT_EQ(fed->rows.size(), 3u);  // the coordinator has no sentinel
+  for (int32_t i = 0; i < kClusterNodes; ++i) {
+    EXPECT_EQ(fed->rows[i][0], kv::Value(int64_t{i}));
+    EXPECT_EQ(fed->rows[i][1], kv::Value(int64_t{1000 + i}));
+    auto direct = tc->nodes[i]->query->ScanSystemObjects("__metrics");
+    ASSERT_TRUE(direct.ok()) << direct.status();
+    bool found = false;
+    for (const kv::Object& row : *direct) {
+      if (row.Get("name") != kv::Value("test.sentinel")) continue;
+      found = true;
+      EXPECT_EQ(row.Get("value"), fed->rows[i][1]);
+    }
+    EXPECT_TRUE(found) << "node " << i;
+  }
+
+  // Histogram columns are rebuilt on the coordinator from raw bucket
+  // counts (percentiles never merge); count and exact max survive the trip.
+  auto hist = tc->coordinator->Execute(
+      "SELECT node, value, max FROM __metrics WHERE name = 'test.lat_nanos' "
+      "ORDER BY node");
+  ASSERT_TRUE(hist.ok()) << hist.status();
+  ASSERT_EQ(hist->rows.size(), 3u);
+  for (int32_t i = 0; i < kClusterNodes; ++i) {
+    EXPECT_EQ(hist->rows[i][0], kv::Value(int64_t{i}));
+    EXPECT_EQ(hist->rows[i][1], kv::Value(int64_t{i + 1}));  // sample count
+    EXPECT_EQ(hist->rows[i][2], kv::Value(int64_t{1000 * (i + 1)}));
+  }
+
+  // Bit-stable ordering: a federated scan is still a deterministic query.
+  auto again = tc->coordinator->Execute(
+      "SELECT node, value FROM __metrics WHERE name = 'test.sentinel' "
+      "ORDER BY node");
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again->rows, fed->rows);
+}
+
+TEST(ClusterNet, FederatedSpansScanReturnsDistributedTree) {
+  auto tc = StartCluster({}, /*load_data=*/false);
+  tc->coordinator->set_node_id(kCoordinatorNodeId);
+  const uint64_t trace_id = trace::NewTraceId();
+  {
+    trace::ScopedSpan span(trace::Category::kQuery, "test.federated_span",
+                           trace::RootContext(trace_id, /*forced=*/true));
+  }
+
+  // Every node serves the span under its own node id (the in-process nodes
+  // share one trace journal; what the test proves is the fan-out, the merge
+  // and the node attribution — multi-process stitching is covered by the
+  // forked-cluster test).
+  const std::string sql =
+      "SELECT node, name FROM __spans WHERE trace_id = " +
+      std::to_string(trace_id) + " ORDER BY node";
+  auto result = tc->coordinator->Execute(sql);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 4u);  // nodes 0, 1, 2 + the coordinator
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(result->rows[i][0], kv::Value(static_cast<int64_t>(i)));
+    EXPECT_EQ(result->rows[i][1], kv::Value("test.federated_span"));
+  }
+  EXPECT_EQ(result->rows[3][0], kv::Value(int64_t{kCoordinatorNodeId}));
+
+  auto again = tc->coordinator->Execute(sql);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again->rows, result->rows);
+}
+
+TEST(ClusterNet, DeadNodeDegradesFederatedScanToTypedPartialResults) {
+  // The deadline has headroom for parallel-ctest CPU contention: the dead
+  // node fails fast on connect (kUnavailable), not by burning the deadline,
+  // so a generous value does not slow the degradation path it bounds.
+  auto tc = StartCluster(RpcOptions{.deadline_ms = 2000, .max_attempts = 2,
+                                    .backoff_ms = 10},
+                         /*load_data=*/false);
+  tc->coordinator->set_node_id(kCoordinatorNodeId);
+  const uint64_t trace_id = trace::NewTraceId();
+  {
+    trace::ScopedSpan span(trace::Category::kQuery, "test.partial_span",
+                           trace::RootContext(trace_id, /*forced=*/true));
+  }
+  // Contact every node once so the kill is a transition from ok to
+  // unreachable, not a node that was never seen.
+  for (int32_t i = 0; i < kClusterNodes; ++i) {
+    ASSERT_TRUE(tc->client->Hello(i).ok());
+  }
+  tc->nodes[1]->server->Stop();
+  tc->client->Disconnect();
+
+  // The scan degrades: the dead node's rows are missing, everything else is
+  // present, and the whole thing returns within the RPC deadline budget —
+  // never a hang, never a query-wide failure.
+  const int64_t t0 = trace::NowNanos();
+  auto result = tc->coordinator->Execute(
+      "SELECT node FROM __spans WHERE trace_id = " +
+      std::to_string(trace_id) + " ORDER BY node");
+  const int64_t elapsed_ms = (trace::NowNanos() - t0) / 1'000'000;
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 3u);
+  EXPECT_EQ(result->rows[0][0], kv::Value(int64_t{0}));
+  EXPECT_EQ(result->rows[1][0], kv::Value(int64_t{2}));
+  EXPECT_EQ(result->rows[2][0], kv::Value(int64_t{kCoordinatorNodeId}));
+  EXPECT_LT(elapsed_ms, 30'000);
+
+  // Why the rows are missing is visible in __nodes: the dead node's health
+  // row says unreachable while the survivors stay ok.
+  auto health = tc->coordinator->Execute(
+      "SELECT node, status FROM __nodes WHERE msg_type = '' ORDER BY node");
+  ASSERT_TRUE(health.ok()) << health.status();
+  ASSERT_EQ(health->rows.size(), 3u);
+  EXPECT_EQ(health->rows[0][1], kv::Value("ok"));
+  EXPECT_EQ(health->rows[1][1], kv::Value("unreachable"));
+  EXPECT_EQ(health->rows[2][1], kv::Value("ok"));
+}
+
+TEST(ClusterNet, NodesHealthRegistryTracksLivenessAndRpcStats) {
+  auto tc = StartCluster();
+  ASSERT_TRUE(tc->coordinator
+                  ->Execute("SELECT count(*) FROM orders", ReadCommitted())
+                  .ok());
+
+  auto health = tc->coordinator->Execute(
+      "SELECT node, status, host, port, partition_begin, partition_end, "
+      "rpcs, bytes_in, bytes_out FROM __nodes WHERE msg_type = '' "
+      "ORDER BY node");
+  ASSERT_TRUE(health.ok()) << health.status();
+  ASSERT_EQ(health->rows.size(), 3u);
+  for (int32_t i = 0; i < kClusterNodes; ++i) {
+    const auto& row = health->rows[static_cast<size_t>(i)];
+    EXPECT_EQ(row[0], kv::Value(int64_t{i}));
+    EXPECT_EQ(row[1], kv::Value("ok"));
+    EXPECT_EQ(row[2], kv::Value("127.0.0.1"));
+    EXPECT_EQ(row[3],
+              kv::Value(int64_t{tc->nodes[static_cast<size_t>(i)]
+                                    ->server->port()}));
+    const kv::PartitionRange owned =
+        kv::PartitionRangeOf(i, kClusterNodes, kClusterPartitions);
+    EXPECT_EQ(row[4], kv::Value(int64_t{owned.begin}));
+    EXPECT_EQ(row[5], kv::Value(int64_t{owned.end}));
+    EXPECT_GT(row[6].AsInt64(), 0) << "rpcs";
+    EXPECT_GT(row[7].AsInt64(), 0) << "bytes_in";
+    EXPECT_GT(row[8].AsInt64(), 0) << "bytes_out";
+  }
+
+  // Per-type breakdown rows: the loader's replication deltas are visible
+  // with raw-bucket latency percentiles (p99 >= p50 > 0).
+  auto by_type = tc->coordinator->Execute(
+      "SELECT node, rpcs, rpc_p50_nanos, rpc_p99_nanos FROM __nodes "
+      "WHERE msg_type = 'replication_delta' ORDER BY node");
+  ASSERT_TRUE(by_type.ok()) << by_type.status();
+  ASSERT_EQ(by_type->rows.size(), 3u);
+  for (const auto& row : by_type->rows) {
+    EXPECT_GT(row[1].AsInt64(), 0);
+    EXPECT_GT(row[2].AsInt64(), 0);
+    EXPECT_GE(row[3].AsInt64(), row[2].AsInt64());
+  }
+
+  // And the same liveness is exported as net.health.* metrics.
+  EXPECT_EQ(tc->coord_metrics->GetGauge("net.health.alive.0")->Value(), 1);
+  EXPECT_EQ(tc->coord_metrics->GetGauge("net.health.alive.1")->Value(), 1);
+  EXPECT_EQ(tc->coord_metrics->GetGauge("net.health.alive.2")->Value(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Merged trace export: structural RFC 8259 validation.
+
+/// Minimal RFC 8259 recognizer (objects, arrays, strings with escape rules,
+/// numbers, literals) — enough to prove the merged export parses under any
+/// conforming consumer, with no JSON library dependency.
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view text) : s_(text) {}
+
+  bool Validate() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return p_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (p_ >= s_.size()) return false;
+    switch (s_[p_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    ++p_;  // '{'
+    SkipWs();
+    if (Peek('}')) return true;
+    while (true) {
+      SkipWs();
+      if (p_ >= s_.size() || s_[p_] != '"' || !String()) return false;
+      SkipWs();
+      if (!Peek(':')) return false;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek('}')) return true;
+      if (!Peek(',')) return false;
+    }
+  }
+
+  bool Array() {
+    ++p_;  // '['
+    SkipWs();
+    if (Peek(']')) return true;
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek(']')) return true;
+      if (!Peek(',')) return false;
+    }
+  }
+
+  bool String() {
+    ++p_;  // '"'
+    while (p_ < s_.size()) {
+      const unsigned char c = static_cast<unsigned char>(s_[p_]);
+      if (c == '"') {
+        ++p_;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control characters are illegal
+      if (c == '\\') {
+        ++p_;
+        if (p_ >= s_.size()) return false;
+        const char e = s_[p_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++p_;
+            if (p_ >= s_.size() ||
+                std::isxdigit(static_cast<unsigned char>(s_[p_])) == 0) {
+              return false;
+            }
+          }
+        } else if (std::string_view("\"\\/bfnrt").find(e) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+      ++p_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    const size_t begin = p_;
+    Peek('-');  // optional sign
+    if (p_ >= s_.size() ||
+        std::isdigit(static_cast<unsigned char>(s_[p_])) == 0) {
+      return false;
+    }
+    if (s_[p_] == '0') {
+      ++p_;
+    } else {
+      Digits();
+    }
+    if (p_ < s_.size() && s_[p_] == '.') {
+      ++p_;
+      if (p_ >= s_.size() ||
+          std::isdigit(static_cast<unsigned char>(s_[p_])) == 0) {
+        return false;
+      }
+      Digits();
+    }
+    if (p_ < s_.size() && (s_[p_] == 'e' || s_[p_] == 'E')) {
+      ++p_;
+      if (p_ < s_.size() && (s_[p_] == '+' || s_[p_] == '-')) ++p_;
+      if (p_ >= s_.size() ||
+          std::isdigit(static_cast<unsigned char>(s_[p_])) == 0) {
+        return false;
+      }
+      Digits();
+    }
+    return p_ > begin;
+  }
+
+  void Digits() {
+    while (p_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[p_])) != 0) {
+      ++p_;
+    }
+  }
+
+  bool Literal(std::string_view lit) {
+    if (s_.substr(p_, lit.size()) != lit) return false;
+    p_ += lit.size();
+    return true;
+  }
+
+  bool Peek(char c) {
+    if (p_ < s_.size() && s_[p_] == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (p_ < s_.size() && (s_[p_] == ' ' || s_[p_] == '\t' ||
+                              s_[p_] == '\n' || s_[p_] == '\r')) {
+      ++p_;
+    }
+  }
+
+  std::string_view s_;
+  size_t p_ = 0;
+};
+
+TEST(ClusterNet, MergedClusterTraceExportIsValidJson) {
+  auto tc = StartCluster({}, /*load_data=*/false);
+  tc->coordinator->set_node_id(kCoordinatorNodeId);
+  {
+    trace::ScopedSpan span(trace::Category::kQuery, "test.export_span",
+                           trace::RootContext(trace::NewTraceId(),
+                                              /*forced=*/true));
+  }
+  const std::string path =
+      ::testing::TempDir() + "sq_cluster_trace_test.json";
+  ASSERT_TRUE(tc->coordinator->ExportClusterTrace(path).ok());
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  ASSERT_FALSE(json.empty());
+  EXPECT_TRUE(JsonValidator(json).Validate())
+      << "merged export is not RFC 8259 JSON";
+
+  // One process per node, the coordinator included, each with an auditable
+  // clock-offset attribute on its spans.
+  for (const char* needle :
+       {"process_name", "\"node 0\"", "\"node 1\"", "\"node 2\"",
+        "\"node 9\"", "clock_offset_micros", "test.export_span"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
 }
 
 }  // namespace

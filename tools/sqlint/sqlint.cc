@@ -316,6 +316,7 @@ void PassWire(const Tree& tree, std::vector<Finding>* findings) {
 
       const SourceFile* net_test = tree.Find("tests/net_test.cc");
       std::pair<size_t, size_t> corpus{0, 0};
+      std::pair<size_t, size_t> rpc_metrics{0, 0};
       if (net_test != nullptr) {
         for (size_t i = 0; i < net_test->lines.size(); ++i) {
           const std::string& comment = net_test->lines[i].comment;
@@ -325,12 +326,24 @@ void PassWire(const Tree& tree, std::vector<Finding>* findings) {
           } else if (comment.find("sqlint-golden-corpus-end") !=
                      std::string::npos) {
             corpus.second = i + 1;
+          } else if (comment.find("sqlint-rpc-metrics-begin") !=
+                     std::string::npos) {
+            rpc_metrics.first = i + 1;
+          } else if (comment.find("sqlint-rpc-metrics-end") !=
+                     std::string::npos) {
+            rpc_metrics.second = i + 1;
           }
         }
         if (corpus.first == 0 || corpus.second == 0) {
           Add(findings, *net_test, 1, "wire",
               "golden-frame corpus markers (sqlint-golden-corpus-begin/end) "
               "missing from tests/net_test.cc");
+        }
+        if (rpc_metrics.first == 0 || rpc_metrics.second == 0) {
+          Add(findings, *net_test, 1, "wire",
+              "per-type RPC-metrics coverage markers "
+              "(sqlint-rpc-metrics-begin/end) missing from "
+              "tests/net_test.cc");
         }
       }
 
@@ -379,6 +392,47 @@ void PassWire(const Tree& tree, std::vector<Finding>* findings) {
             Add(findings, *net_test, corpus.first, "wire",
                 "MsgType::" + e + " has no golden-frame corpus entry "
                 "(wire-format drift would go unnoticed)");
+          }
+        }
+        // Per-type RPC metrics: the name MsgTypeToString() returns is the
+        // suffix of the net.client.rpcs.* / net.server.rpcs.* counters, and
+        // the coverage test between the rpc-metrics markers must list it —
+        // otherwise a new message type ships without per-type telemetry.
+        if (net_test != nullptr && to_string.has_value() &&
+            rpc_metrics.first != 0 && rpc_metrics.second != 0) {
+          std::string wire_name;
+          for (size_t line = to_string->first; line <= to_string->second;
+               ++line) {
+            const std::string_view code = wire_cc->CodeAt(line);
+            if (!HasToken(code, e)) continue;
+            const size_t open = code.find('"');
+            const size_t close = open == std::string_view::npos
+                                     ? std::string_view::npos
+                                     : code.find('"', open + 1);
+            if (open != std::string_view::npos &&
+                close != std::string_view::npos) {
+              wire_name = std::string(code.substr(open + 1, close - open - 1));
+            }
+            break;
+          }
+          if (!wire_name.empty()) {
+            const std::string quoted = "\"" + wire_name + "\"";
+            bool covered = false;
+            for (size_t line = rpc_metrics.first; line <= rpc_metrics.second;
+                 ++line) {
+              if (net_test->CodeAt(line).find(quoted) !=
+                  std::string_view::npos) {
+                covered = true;
+                break;
+              }
+            }
+            if (!covered) {
+              Add(findings, *net_test, rpc_metrics.first, "wire",
+                  "MsgType::" + e + " (" + quoted + ") is missing from the "
+                  "per-type RPC-metrics coverage test (a new message type "
+                  "must register net.client.rpcs.* / net.server.rpcs.* "
+                  "counters)");
+            }
           }
         }
       }

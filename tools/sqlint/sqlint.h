@@ -17,8 +17,9 @@
 //                 result-producing layers (src/sql, src/query, src/net,
 //                 src/storage) — the bit-identical merge invariant
 //   wire          every net::MsgType and storage RecordType value must have
-//                 an encode site, a decode case, a MsgTypeToString entry and
-//                 a golden-frame corpus reference in tests/net_test.cc
+//                 an encode site, a decode case, a MsgTypeToString entry, a
+//                 golden-frame corpus reference and a per-type RPC-metrics
+//                 coverage entry in tests/net_test.cc
 //   locks         every sq::Mutex/SharedMutex member carries a lockrank,
 //                 every sibling mutable field is SQ_GUARDED_BY or exempted,
 //                 and the lockrank table matches the README rank table

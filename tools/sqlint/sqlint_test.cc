@@ -185,7 +185,11 @@ const char kNetTestComplete[] =
     "// sqlint-golden-corpus-begin\n"
     "GoldenFrame(MsgType::kHello, \"...\");\n"
     "GoldenFrame(MsgType::kError, \"...\");\n"
-    "// sqlint-golden-corpus-end\n";
+    "// sqlint-golden-corpus-end\n"
+    "// sqlint-rpc-metrics-begin\n"
+    "ExpectPerTypeRpcCounters(\"Hello\");\n"
+    "ExpectPerTypeRpcCounters(\"Error\");\n"
+    "// sqlint-rpc-metrics-end\n";
 
 TEST(Wire, CompleteFixtureIsClean) {
   const Tree tree = MakeTree({{"src/net/wire.h", kWireH},
@@ -225,7 +229,11 @@ TEST(Wire, MissingGoldenCorpusEntryIsFlagged) {
   const char kNetTestMissingError[] =
       "// sqlint-golden-corpus-begin\n"
       "GoldenFrame(MsgType::kHello, \"...\");\n"
-      "// sqlint-golden-corpus-end\n";
+      "// sqlint-golden-corpus-end\n"
+      "// sqlint-rpc-metrics-begin\n"
+      "ExpectPerTypeRpcCounters(\"Hello\");\n"
+      "ExpectPerTypeRpcCounters(\"Error\");\n"
+      "// sqlint-rpc-metrics-end\n";
   const Tree tree = MakeTree({{"src/net/wire.h", kWireH},
                               {"src/net/wire.cc", kWireCcComplete},
                               {"src/net/client.cc", kNetUser},
@@ -233,6 +241,43 @@ TEST(Wire, MissingGoldenCorpusEntryIsFlagged) {
   const auto findings = RunPass(PassWire, tree);
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_NE(findings[0].message.find("golden-frame"), std::string::npos);
+}
+
+TEST(Wire, MissingRpcMetricsCoverageIsFlagged) {
+  // kError is in the golden corpus but absent from the rpc-metrics coverage
+  // block: the new-message-type-without-telemetry failure mode.
+  const char kNetTestNoErrorMetrics[] =
+      "// sqlint-golden-corpus-begin\n"
+      "GoldenFrame(MsgType::kHello, \"...\");\n"
+      "GoldenFrame(MsgType::kError, \"...\");\n"
+      "// sqlint-golden-corpus-end\n"
+      "// sqlint-rpc-metrics-begin\n"
+      "ExpectPerTypeRpcCounters(\"Hello\");\n"
+      "// sqlint-rpc-metrics-end\n";
+  const Tree tree = MakeTree({{"src/net/wire.h", kWireH},
+                              {"src/net/wire.cc", kWireCcComplete},
+                              {"src/net/client.cc", kNetUser},
+                              {"tests/net_test.cc", kNetTestNoErrorMetrics}});
+  const auto findings = RunPass(PassWire, tree);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("kError"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("RPC-metrics"), std::string::npos);
+}
+
+TEST(Wire, MissingRpcMetricsMarkersAreFlagged) {
+  const char kNetTestNoMarkers[] =
+      "// sqlint-golden-corpus-begin\n"
+      "GoldenFrame(MsgType::kHello, \"...\");\n"
+      "GoldenFrame(MsgType::kError, \"...\");\n"
+      "// sqlint-golden-corpus-end\n";
+  const Tree tree = MakeTree({{"src/net/wire.h", kWireH},
+                              {"src/net/wire.cc", kWireCcComplete},
+                              {"src/net/client.cc", kNetUser},
+                              {"tests/net_test.cc", kNetTestNoMarkers}});
+  const auto findings = RunPass(PassWire, tree);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("sqlint-rpc-metrics-begin"),
+            std::string::npos);
 }
 
 TEST(Wire, UnreferencedMsgTypeIsFlagged) {
